@@ -1,0 +1,89 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! probing-quota policy, commutation links on/off, DHT lookup mode, and
+//! budget levels. Each measures one `compose` call on a fixed world; the
+//! throughput differences quantify each mechanism's cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spidernet_bench::{bench_request_config, bench_world};
+use spidernet_core::bcp::{BcpConfig, LookupMode, QuotaPolicy};
+use spidernet_core::model::FunctionGraph;
+use spidernet_core::workload::random_request;
+use spidernet_util::id::FunctionId;
+use spidernet_util::rng::rng_for;
+
+fn bench_quota_policy(c: &mut Criterion) {
+    let mut net = bench_world(1);
+    let mut rng = rng_for(1, "ablation-quota");
+    let req = random_request(net.overlay(), net.registry(), &bench_request_config(), &mut rng);
+    let mut g = c.benchmark_group("ablation-quota");
+    g.sample_size(20);
+    for (label, quota) in [
+        ("uniform-2", QuotaPolicy::Uniform(2)),
+        ("uniform-8", QuotaPolicy::Uniform(8)),
+        ("replica-fraction-0.5", QuotaPolicy::ReplicaFraction(0.5)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &quota, |b, &quota| {
+            let cfg = BcpConfig { budget: 32, quota, ..BcpConfig::default() };
+            b.iter(|| net.compose(&req, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup_mode(c: &mut Criterion) {
+    let mut net = bench_world(2);
+    let mut rng = rng_for(2, "ablation-lookup");
+    let req = random_request(net.overlay(), net.registry(), &bench_request_config(), &mut rng);
+    let mut g = c.benchmark_group("ablation-lookup");
+    g.sample_size(20);
+    for (label, lookup) in [("prefetch", LookupMode::Prefetch), ("per-hop", LookupMode::PerHop)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &lookup, |b, &lookup| {
+            let cfg = BcpConfig { lookup, ..BcpConfig::default() };
+            b.iter(|| net.compose(&req, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_budget(c: &mut Criterion) {
+    let mut net = bench_world(3);
+    let mut rng = rng_for(3, "ablation-budget");
+    let req = random_request(net.overlay(), net.registry(), &bench_request_config(), &mut rng);
+    let mut g = c.benchmark_group("ablation-budget");
+    g.sample_size(20);
+    for budget in [4u32, 16, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
+            let cfg = BcpConfig { budget, quota: QuotaPolicy::Uniform(8), ..BcpConfig::default() };
+            b.iter(|| net.compose(&req, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_commutation(c: &mut Criterion) {
+    let mut net = bench_world(4);
+    let mut rng = rng_for(4, "ablation-commutation");
+    let base = random_request(net.overlay(), net.registry(), &bench_request_config(), &mut rng);
+    let funcs: Vec<FunctionId> = base.function_graph.functions().to_vec();
+    let linear = FunctionGraph::linear_of(&funcs);
+    let commuted = FunctionGraph::new(
+        funcs.clone(),
+        vec![(0, 1), (1, 2)],
+        vec![(1, 2)],
+    )
+    .expect("valid chain with one commutation");
+
+    let mut g = c.benchmark_group("ablation-commutation");
+    g.sample_size(20);
+    for (label, graph) in [("fixed-order", linear), ("commutable", commuted)] {
+        let mut req = base.clone();
+        req.function_graph = graph;
+        g.bench_function(label, |b| {
+            b.iter(|| net.compose(&req, &BcpConfig { budget: 32, ..BcpConfig::default() }))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_quota_policy, bench_lookup_mode, bench_budget, bench_commutation);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Fig. 10 driver (wide-area session setup on the
+//! threaded runtime). Time compression keeps wall time low while model
+//! times stay WAN-scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spidernet_runtime::cluster::ClusterConfig;
+use spidernet_runtime::experiments::{run, Fig10Config};
+
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = Fig10Config {
+        cluster: ClusterConfig { peers: 24, time_scale: 0.002, ..ClusterConfig::default() },
+        function_counts: vec![3],
+        requests_per_point: 4,
+        ..Fig10Config::default()
+    };
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("setup-3-functions-24-peers", |b| b.iter(|| run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

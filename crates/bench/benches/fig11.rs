@@ -1,0 +1,23 @@
+//! Criterion bench for the Fig. 11 driver (delay vs probing budget).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spidernet_core::experiments::fig11::{run, Fig11Config};
+
+fn bench_fig11(c: &mut Criterion) {
+    let cfg = Fig11Config {
+        ip_nodes: 300,
+        peers: 40,
+        functions: 4,
+        request_functions: 3,
+        budgets: vec![8, 64],
+        requests: 8,
+        seed: 11,
+    };
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("budget-sweep", |b| b.iter(|| run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for the Fig. 8 driver (success rate vs workload):
+//! times one miniaturized workload cell per algorithm class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spidernet_core::experiments::fig8::{run, Algorithm, Fig8Config};
+use spidernet_core::workload::{PopulationConfig, RequestConfig};
+
+fn tiny(algorithms: Vec<Algorithm>) -> Fig8Config {
+    Fig8Config {
+        ip_nodes: 300,
+        peers: 60,
+        functions: 12,
+        duration_units: 10,
+        workloads: vec![5],
+        population: PopulationConfig { functions: 12, ..PopulationConfig::default() },
+        optimal_cap: Some(200),
+        request: RequestConfig { functions: (2, 3), ..RequestConfig::default() },
+        algorithms,
+        ..Fig8Config::default()
+    }
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("probing-0.2", |b| {
+        let cfg = tiny(vec![Algorithm::Probing(0.2)]);
+        b.iter(|| run(&cfg))
+    });
+    g.bench_function("optimal", |b| {
+        let cfg = tiny(vec![Algorithm::Optimal]);
+        b.iter(|| run(&cfg))
+    });
+    g.bench_function("random+static", |b| {
+        let cfg = tiny(vec![Algorithm::Random, Algorithm::Static]);
+        b.iter(|| run(&cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

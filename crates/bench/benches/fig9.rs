@@ -1,0 +1,24 @@
+//! Criterion bench for the Fig. 9 driver (failure frequency under churn,
+//! with vs without proactive recovery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spidernet_core::experiments::fig9::{run, Fig9Config};
+use spidernet_core::workload::PopulationConfig;
+
+fn bench_fig9(c: &mut Criterion) {
+    let cfg = Fig9Config {
+        ip_nodes: 300,
+        peers: 80,
+        sessions: 15,
+        duration_units: 10,
+        population: PopulationConfig { functions: 10, ..PopulationConfig::default() },
+        ..Fig9Config::default()
+    };
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("churn-with-and-without-recovery", |b| b.iter(|| run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

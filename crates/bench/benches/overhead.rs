@@ -1,0 +1,22 @@
+//! Criterion bench for the §6.1 overhead comparison driver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spidernet_core::experiments::overhead::{run, OverheadConfig};
+
+fn bench_overhead(c: &mut Criterion) {
+    let cfg = OverheadConfig {
+        ip_nodes: 400,
+        peers: 100,
+        functions: 20,
+        duration_units: 20,
+        requests_per_unit: 1,
+        ..OverheadConfig::default()
+    };
+    let mut g = c.benchmark_group("overhead");
+    g.sample_size(10);
+    g.bench_function("spidernet-vs-centralized", |b| b.iter(|| run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the substrates the composition system stands on:
+//! power-law topology generation, Dijkstra routing, Pastry routing, and
+//! the discrete-event scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spidernet_dht::{NodeId, PastryNetwork};
+use spidernet_sim::Scheduler;
+use spidernet_sim::time::SimTime;
+use spidernet_topology::inet::{generate_power_law, InetConfig};
+use spidernet_topology::routing::dijkstra;
+use spidernet_util::id::PeerId;
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate-topology");
+    g.sample_size(10);
+    g.bench_function("inet-2000-nodes", |b| {
+        let cfg = InetConfig { nodes: 2_000, ..InetConfig::default() };
+        b.iter(|| generate_power_law(&cfg, 1))
+    });
+    let graph = generate_power_law(&InetConfig { nodes: 2_000, ..InetConfig::default() }, 1);
+    g.bench_function("dijkstra-2000-nodes", |b| b.iter(|| dijkstra(&graph, 0)));
+    g.finish();
+}
+
+fn bench_pastry(c: &mut Criterion) {
+    let peers: Vec<PeerId> = (0..500).map(PeerId::new).collect();
+    let net = PastryNetwork::build(&peers, &mut |_, _| 1.0);
+    let mut g = c.benchmark_group("substrate-pastry");
+    g.bench_function("route-500-nodes", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            net.route(PeerId::new(k % 500), NodeId::from_peer_index(100_000 + k), &mut |_, _| 1.0)
+        })
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate-scheduler");
+    g.bench_function("schedule-pop-10k", |b| {
+        b.iter(|| {
+            let mut s: Scheduler<u64> = Scheduler::new();
+            for i in 0..10_000u64 {
+                s.schedule_at(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = s.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            sum
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_topology, bench_pastry, bench_scheduler);
+criterion_main!(benches);

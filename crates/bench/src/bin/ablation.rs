@@ -1,0 +1,12 @@
+//! Quality ablations: commutation links, probing-quota policy, and
+//! trust-aware selection.
+//!
+//! `cargo run --release -p spidernet-bench --bin ablation`
+
+use spidernet_core::experiments::ablation::{run, AblationConfig};
+
+fn main() {
+    let cfg = AblationConfig::default();
+    eprintln!("ablation: {} peers, {} requests per arm", cfg.peers, cfg.requests);
+    println!("{}", run(&cfg));
+}

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 10: wide-area session setup time vs function number on
+//! the threaded PlanetLab stand-in (102 peers).
+//!
+//! `cargo run --release -p spidernet-bench --bin fig10 [--paper]`
+
+use spidernet_bench::{csv_requested, paper_scale_requested};
+use spidernet_runtime::experiments::{run, Fig10Config};
+
+fn main() {
+    let mut cfg = Fig10Config::default();
+    if paper_scale_requested() {
+        cfg.requests_per_point = 100; // ≥500 requests total, as in the paper
+    }
+    eprintln!(
+        "fig10: {} peers, {} requests per function count",
+        cfg.cluster.peers, cfg.requests_per_point
+    );
+    let res = run(&cfg);
+    if csv_requested() {
+        print!("{}", res.to_csv());
+    } else {
+        println!("{res}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 11: average end-to-end delay vs probing budget for
+//! random, SpiderNet, and optimal.
+//!
+//! `cargo run --release -p spidernet-bench --bin fig11 [--paper]`
+
+use spidernet_bench::{csv_requested, paper_scale_requested};
+use spidernet_core::experiments::fig11::{run, Fig11Config};
+
+fn main() {
+    let cfg = if paper_scale_requested() {
+        Fig11Config { requests: 200, ..Fig11Config::default() }
+    } else {
+        Fig11Config::default()
+    };
+    eprintln!("fig11: {} peers, {} functions, budgets {:?}", cfg.peers, cfg.functions, cfg.budgets);
+    let res = run(&cfg);
+    if csv_requested() {
+        print!("{}", res.to_csv());
+    } else {
+        println!("{res}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 8: composition success rate vs workload for optimal,
+//! probing-0.2, probing-0.1, random, and static.
+//!
+//! `cargo run --release -p spidernet-bench --bin fig8 [--paper]`
+
+use spidernet_bench::{csv_requested, paper_scale_requested};
+use spidernet_core::experiments::fig8::{run, Fig8Config};
+
+fn main() {
+    let cfg = if paper_scale_requested() { Fig8Config::paper_scale() } else { Fig8Config::default() };
+    eprintln!(
+        "fig8: {} peers, {} units, workloads {:?}{}",
+        cfg.peers,
+        cfg.duration_units,
+        cfg.workloads,
+        if paper_scale_requested() { " (paper scale)" } else { " (scaled down; pass --paper for full size)" }
+    );
+    let res = run(&cfg);
+    if csv_requested() {
+        print!("{}", res.to_csv());
+    } else {
+        println!("{res}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Fig. 9: failure frequency over time with and without
+//! proactive recovery under 1%-per-unit churn.
+//!
+//! `cargo run --release -p spidernet-bench --bin fig9 [--paper]`
+
+use spidernet_bench::{csv_requested, paper_scale_requested};
+use spidernet_core::experiments::fig9::{run, Fig9Config};
+use spidernet_core::workload::PopulationConfig;
+
+fn main() {
+    let cfg = if paper_scale_requested() {
+        Fig9Config {
+            ip_nodes: 10_000,
+            peers: 1_000,
+            sessions: 300,
+            population: PopulationConfig { functions: 200, ..PopulationConfig::default() },
+            ..Fig9Config::default()
+        }
+    } else {
+        Fig9Config::default()
+    };
+    eprintln!("fig9: {} peers, {} sessions, {} units", cfg.peers, cfg.sessions, cfg.duration_units);
+    let res = run(&cfg);
+    if csv_requested() {
+        print!("{}", res.to_csv());
+    } else {
+        println!("{res}");
+    }
+}

@@ -1,0 +1,18 @@
+//! E7 — recovery-latency distribution: proactive backup switching vs
+//! reactive re-composition.
+//!
+//! `cargo run --release -p spidernet-bench --bin latency`
+
+use spidernet_bench::csv_requested;
+use spidernet_core::experiments::latency::{run, LatencyConfig};
+
+fn main() {
+    let cfg = LatencyConfig::default();
+    eprintln!("latency: {} peers, {} sessions, {} units", cfg.peers, cfg.sessions, cfg.duration_units);
+    let res = run(&cfg);
+    if csv_requested() {
+        print!("{}", res.to_csv());
+    } else {
+        println!("{res}");
+    }
+}

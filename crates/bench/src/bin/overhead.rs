@@ -1,0 +1,22 @@
+//! Regenerates the §6.1 overhead claim: SpiderNet's on-demand probing vs
+//! the centralized scheme's periodic global-state maintenance.
+//!
+//! `cargo run --release -p spidernet-bench --bin overhead [--paper]`
+
+use spidernet_bench::{csv_requested, paper_scale_requested};
+use spidernet_core::experiments::overhead::{run, OverheadConfig};
+
+fn main() {
+    let cfg = if paper_scale_requested() {
+        OverheadConfig { ip_nodes: 10_000, peers: 1_000, duration_units: 500, ..OverheadConfig::default() }
+    } else {
+        OverheadConfig::default()
+    };
+    eprintln!("overhead: {} peers, {} units", cfg.peers, cfg.duration_units);
+    let res = run(&cfg);
+    if csv_requested() {
+        print!("{}", res.to_csv());
+    } else {
+        println!("{res}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Shared scaffolding for the SpiderNet benchmark harness.
+//!
+//! The `fig8`/`fig9`/`fig10`/`fig11`/`overhead` binaries regenerate the
+//! paper's figures (run with `--paper` for the full-size configuration);
+//! the criterion benches in `benches/` time miniaturized versions of the
+//! same drivers plus ablations of the design choices called out in
+//! DESIGN.md.
+
+#![warn(missing_docs)]
+
+use spidernet_core::bcp::BcpConfig;
+use spidernet_core::system::{SpiderNet, SpiderNetConfig};
+use spidernet_core::workload::{PopulationConfig, RequestConfig};
+
+/// True if the CLI was invoked with `--paper` (full-scale experiment).
+pub fn paper_scale_requested() -> bool {
+    std::env::args().any(|a| a == "--paper")
+}
+
+/// True if the CLI was invoked with `--csv` (machine-readable output).
+pub fn csv_requested() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// A small, fast world shared by micro-benchmarks: 60 peers over a
+/// 300-node IP network, 12 functions.
+pub fn bench_world(seed: u64) -> SpiderNet {
+    let mut net = SpiderNet::build(&SpiderNetConfig {
+        ip_nodes: 300,
+        peers: 60,
+        seed,
+        ..SpiderNetConfig::default()
+    });
+    net.populate(&PopulationConfig { functions: 12, ..PopulationConfig::default() });
+    net
+}
+
+/// A permissive request template for micro-benchmarks.
+pub fn bench_request_config() -> RequestConfig {
+    RequestConfig {
+        functions: (3, 3),
+        delay_bound_ms: (5_000.0, 5_001.0),
+        loss_bound: (0.3, 0.31),
+        ..RequestConfig::default()
+    }
+}
+
+/// The default BCP config micro-benchmarks use.
+pub fn bench_bcp() -> BcpConfig {
+    BcpConfig { budget: 16, ..BcpConfig::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidernet_core::workload::random_request;
+    use spidernet_util::rng::rng_for;
+
+    #[test]
+    fn bench_world_composes() {
+        let mut net = bench_world(1);
+        let mut rng = rng_for(1, "bench-lib");
+        let req = random_request(net.overlay(), net.registry(), &bench_request_config(), &mut rng);
+        assert!(net.compose(&req, &bench_bcp()).is_ok());
+    }
+}

@@ -1,0 +1,389 @@
+//! The paper's comparison algorithms (§6.1): optimal (unbounded flooding),
+//! random, static, and the centralized global-state scheme's overhead
+//! model.
+
+use crate::model::component::Registry;
+use crate::model::request::CompositionRequest;
+use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
+use crate::paths::PathTable;
+use crate::selection::{evaluate, is_qualified, select_best};
+use crate::state::OverlayState;
+use rand::seq::SliceRandom;
+use spidernet_topology::Overlay;
+use spidernet_util::error::{Error, Result};
+use spidernet_util::id::ComponentId;
+use spidernet_util::rng::Rng;
+
+/// Result of a baseline composition.
+#[derive(Clone, Debug)]
+pub struct BaselineOutcome {
+    /// The selected service graph.
+    pub best: ServiceGraph,
+    /// Its evaluation.
+    pub eval: GraphEval,
+    /// Remaining qualified graphs, cost-ordered (empty for random/static).
+    pub qualified_pool: Vec<(ServiceGraph, GraphEval)>,
+    /// Probe-equivalent overhead: candidate service graphs examined. For
+    /// the optimal flooding scheme this is Π_k Z_k — the paper's "average
+    /// number of probes required by the optimal algorithm" (17³ = 4913 in
+    /// §6.2).
+    pub probes: u64,
+}
+
+/// Shared borrow bundle for baseline runs.
+pub struct BaselineContext<'a> {
+    /// The service overlay.
+    pub overlay: &'a Overlay,
+    /// Component ground truth (baselines are centralized: they may read it
+    /// wholesale).
+    pub reg: &'a Registry,
+    /// Live resource state.
+    pub state: &'a OverlayState,
+    /// Shortest-path cache.
+    pub paths: &'a mut PathTable,
+    /// ψ weights.
+    pub weights: &'a CostWeights,
+}
+
+fn replica_sets(ctx: &BaselineContext<'_>, req: &CompositionRequest) -> Result<Vec<Vec<ComponentId>>> {
+    req.function_graph
+        .functions()
+        .iter()
+        .map(|&f| {
+            let reps = ctx.reg.replicas(f);
+            if reps.is_empty() {
+                Err(Error::UnknownFunction(ctx.reg.catalog().name(f).to_owned()))
+            } else {
+                Ok(reps.to_vec())
+            }
+        })
+        .collect()
+}
+
+/// The optimal algorithm: "unbounded network flooding, which exhaustively
+/// searches all candidate service graphs to find the best qualified
+/// service graph".
+///
+/// `combo_cap`, when set, truncates the enumeration (used only to bound
+/// test/bench runtimes; experiments reproducing paper numbers run
+/// uncapped).
+pub fn optimal(
+    ctx: &mut BaselineContext<'_>,
+    req: &CompositionRequest,
+    combo_cap: Option<u64>,
+) -> Result<BaselineOutcome> {
+    req.validate()?;
+    let mut qualified: Vec<(ServiceGraph, GraphEval)> = Vec::new();
+    let mut total_combos: u64 = 0;
+    let mut examined: u64 = 0;
+    // Validate that every required function has replicas before enumerating.
+    replica_sets(ctx, req)?;
+
+    for pattern in req.function_graph.patterns() {
+        // Replica sets follow the *pattern's* node order.
+        let sets: Vec<Vec<ComponentId>> =
+            pattern.functions().iter().map(|&f| ctx.reg.replicas(f).to_vec()).collect();
+        let combos: u64 = sets.iter().map(|s| s.len() as u64).product();
+        total_combos += combos;
+
+        // Odometer enumeration of the cartesian product.
+        let n = sets.len();
+        let mut idx = vec![0usize; n];
+        loop {
+            if let Some(cap) = combo_cap {
+                if examined >= cap {
+                    break;
+                }
+            }
+            examined += 1;
+            let assignment: Vec<ComponentId> = (0..n).map(|i| sets[i][idx[i]]).collect();
+            let graph = ServiceGraph::new(req.source, req.dest, pattern.clone(), assignment);
+            let eval = evaluate(&graph, req, ctx.reg, ctx.overlay, ctx.state, ctx.paths, ctx.weights);
+            if is_qualified(&eval, req) {
+                qualified.push((graph, eval));
+            }
+            // Advance odometer.
+            let mut carry = n;
+            for i in (0..n).rev() {
+                idx[i] += 1;
+                if idx[i] < sets[i].len() {
+                    carry = i;
+                    break;
+                }
+                idx[i] = 0;
+            }
+            if carry == n {
+                break;
+            }
+        }
+    }
+
+    match select_best(qualified) {
+        Some((best, eval, pool)) => Ok(BaselineOutcome {
+            best,
+            eval,
+            qualified_pool: pool,
+            probes: combo_cap.map_or(total_combos, |c| total_combos.min(c)),
+        }),
+        None => Err(Error::NoQualifiedComposition),
+    }
+}
+
+/// The random algorithm: "randomly selects a functionally qualified service
+/// component for each function node … does not consider the user's QoS and
+/// resource requirements". The pick ignores requirements; the returned
+/// evaluation reports whether it happened to qualify.
+pub fn random(
+    ctx: &mut BaselineContext<'_>,
+    req: &CompositionRequest,
+    rng: &mut Rng,
+) -> Result<BaselineOutcome> {
+    req.validate()?;
+    let sets = replica_sets(ctx, req)?;
+    let assignment: Vec<ComponentId> = sets
+        .iter()
+        .map(|s| *s.choose(rng).expect("replica sets are non-empty"))
+        .collect();
+    // Random/static use the original function graph order (they do not
+    // explore commutations).
+    let pattern = req.function_graph.patterns().into_iter().next().expect("≥1 pattern");
+    let graph = ServiceGraph::new(req.source, req.dest, pattern, assignment);
+    let eval = evaluate(&graph, req, ctx.reg, ctx.overlay, ctx.state, ctx.paths, ctx.weights);
+    Ok(BaselineOutcome { best: graph, eval, qualified_pool: Vec::new(), probes: 1 })
+}
+
+/// The static algorithm: a pre-defined component (the first registered
+/// replica) for each function node, regardless of requirements.
+pub fn static_(ctx: &mut BaselineContext<'_>, req: &CompositionRequest) -> Result<BaselineOutcome> {
+    req.validate()?;
+    let sets = replica_sets(ctx, req)?;
+    let assignment: Vec<ComponentId> = sets.iter().map(|s| s[0]).collect();
+    let pattern = req.function_graph.patterns().into_iter().next().expect("≥1 pattern");
+    let graph = ServiceGraph::new(req.source, req.dest, pattern, assignment);
+    let eval = evaluate(&graph, req, ctx.reg, ctx.overlay, ctx.state, ctx.paths, ctx.weights);
+    Ok(BaselineOutcome { best: graph, eval, qualified_pool: Vec::new(), probes: 1 })
+}
+
+/// Message overhead of the centralized global-view scheme over a time
+/// horizon: every peer pushes a state update to the central composer every
+/// `update_period` time units (the "expensive periodical states update" the
+/// paper contrasts BCP against).
+pub fn centralized_state_messages(peers: u64, duration_units: u64, update_period_units: u64) -> u64 {
+    assert!(update_period_units >= 1, "update period must be ≥ 1");
+    peers * (duration_units / update_period_units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::component::{FunctionCatalog, ServiceComponent};
+    use crate::model::function_graph::FunctionGraph;
+    use spidernet_topology::inet::{generate_power_law, InetConfig};
+    use spidernet_topology::overlay::{OverlayConfig, OverlayStyle};
+    use spidernet_util::id::{FunctionId, PeerId};
+    use spidernet_util::qos::{QosRequirement, QosVector};
+    use spidernet_util::res::ResourceVector;
+    use spidernet_util::rng::rng_for;
+
+    struct World {
+        overlay: Overlay,
+        reg: Registry,
+        state: OverlayState,
+        paths: PathTable,
+        weights: CostWeights,
+    }
+
+    fn world(funcs: u64, reps: u64) -> World {
+        let ip = generate_power_law(&InetConfig { nodes: 200, ..InetConfig::default() }, 21);
+        let overlay = Overlay::build(
+            &ip,
+            &OverlayConfig { peers: 40, style: OverlayStyle::Mesh { neighbors: 5 } },
+            21,
+        );
+        let mut catalog = FunctionCatalog::new();
+        for f in 0..funcs {
+            catalog.intern(&format!("fn-{f}"));
+        }
+        let mut reg = Registry::new(catalog);
+        for f in 0..funcs {
+            for r in 0..reps {
+                reg.add(ServiceComponent {
+                    id: ComponentId::new(0),
+                    peer: PeerId::new(2 + f * reps + r),
+                    function: FunctionId::new(f),
+                    perf_qos: QosVector::from_values(vec![10.0 + r as f64 * 5.0, 0.01]),
+                    resources: ResourceVector::new(0.2, 32.0),
+                    out_bandwidth_mbps: 1.0,
+                    failure_prob: 0.01,
+                });
+            }
+        }
+        let state = OverlayState::new(&overlay, ResourceVector::new(1.0, 256.0));
+        World { overlay, reg, state, paths: PathTable::new(), weights: CostWeights::uniform() }
+    }
+
+    fn ctx<'a>(w: &'a mut World) -> BaselineContext<'a> {
+        BaselineContext {
+            overlay: &w.overlay,
+            reg: &w.reg,
+            state: &w.state,
+            paths: &mut w.paths,
+            weights: &w.weights,
+        }
+    }
+
+    fn request(k: usize) -> CompositionRequest {
+        CompositionRequest {
+            source: PeerId::new(0),
+            dest: PeerId::new(1),
+            function_graph: FunctionGraph::linear(k),
+            qos_req: QosRequirement::new(vec![100_000.0, 10.0]).unwrap(),
+            bandwidth_mbps: 1.0,
+            max_failure_prob: 1.0,
+        }
+    }
+
+    #[test]
+    fn optimal_probe_count_is_product_of_replicas() {
+        let mut w = world(3, 4);
+        let out = optimal(&mut ctx(&mut w), &request(3), None).unwrap();
+        assert_eq!(out.probes, 64); // 4³
+    }
+
+    #[test]
+    fn optimal_truly_minimizes_cost() {
+        let mut w = world(2, 3);
+        let req = request(2);
+        let out = optimal(&mut ctx(&mut w), &req, None).unwrap();
+        // Brute-force check against every combo.
+        let mut best_cost = f64::INFINITY;
+        let r0 = w.reg.replicas(FunctionId::new(0)).to_vec();
+        let r1 = w.reg.replicas(FunctionId::new(1)).to_vec();
+        let c2 = BaselineContext {
+            overlay: &w.overlay,
+            reg: &w.reg,
+            state: &w.state,
+            paths: &mut w.paths,
+            weights: &w.weights,
+        };
+        for &a in &r0 {
+            for &b in &r1 {
+                let g = ServiceGraph::new(
+                    req.source,
+                    req.dest,
+                    FunctionGraph::linear(2),
+                    vec![a, b],
+                );
+                let e = evaluate(&g, &req, c2.reg, c2.overlay, c2.state, c2.paths, c2.weights);
+                if is_qualified(&e, &req) {
+                    best_cost = best_cost.min(e.cost);
+                }
+            }
+        }
+        assert!((out.eval.cost - best_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_pool_contains_all_other_qualified() {
+        let mut w = world(2, 3);
+        let out = optimal(&mut ctx(&mut w), &request(2), None).unwrap();
+        // 9 combos, all qualify under the loose requirement.
+        assert_eq!(1 + out.qualified_pool.len(), 9);
+    }
+
+    #[test]
+    fn combo_cap_bounds_enumeration() {
+        let mut w = world(3, 4);
+        let out = optimal(&mut ctx(&mut w), &request(3), Some(10)).unwrap();
+        assert!(out.probes <= 10);
+    }
+
+    #[test]
+    fn random_is_functionally_correct_but_quality_blind() {
+        let mut w = world(3, 4);
+        let req = request(3);
+        let mut rng = rng_for(5, "baseline");
+        let out = random(&mut ctx(&mut w), &req, &mut rng).unwrap();
+        for (i, &c) in out.best.assignment.iter().enumerate() {
+            assert_eq!(w.reg.get(c).function, FunctionId::new(i as u64));
+        }
+        assert_eq!(out.probes, 1);
+    }
+
+    #[test]
+    fn random_varies_with_rng() {
+        let mut w = world(2, 8);
+        let req = request(2);
+        let mut rng = rng_for(6, "baseline");
+        let picks: Vec<Vec<ComponentId>> = (0..10)
+            .map(|_| random(&mut ctx(&mut w), &req, &mut rng).unwrap().best.assignment)
+            .collect();
+        assert!(picks.windows(2).any(|w| w[0] != w[1]), "random always picked the same graph");
+    }
+
+    #[test]
+    fn static_always_picks_first_replica() {
+        let mut w = world(2, 3);
+        let req = request(2);
+        let a = static_(&mut ctx(&mut w), &req).unwrap();
+        let b = static_(&mut ctx(&mut w), &req).unwrap();
+        assert_eq!(a.best.assignment, b.best.assignment);
+        assert_eq!(a.best.assignment[0], w.reg.replicas(FunctionId::new(0))[0]);
+    }
+
+    #[test]
+    fn random_and_static_ignore_qos_violations() {
+        let mut w = world(2, 2);
+        let mut req = request(2);
+        req.qos_req = QosRequirement::new(vec![0.001, 10.0]).unwrap();
+        let mut rng = rng_for(7, "baseline");
+        // They still return a graph — just an unqualified one.
+        let r = random(&mut ctx(&mut w), &req, &mut rng).unwrap();
+        assert!(!is_qualified(&r.eval, &req));
+        let s = static_(&mut ctx(&mut w), &req).unwrap();
+        assert!(!is_qualified(&s.eval, &req));
+        // Optimal, by contrast, reports failure.
+        assert!(matches!(
+            optimal(&mut ctx(&mut w), &req, None),
+            Err(Error::NoQualifiedComposition)
+        ));
+    }
+
+    #[test]
+    fn optimal_beats_or_ties_random_on_cost() {
+        let mut w = world(3, 3);
+        let req = request(3);
+        let opt = optimal(&mut ctx(&mut w), &req, None).unwrap();
+        let mut rng = rng_for(8, "baseline");
+        for _ in 0..10 {
+            let r = random(&mut ctx(&mut w), &req, &mut rng).unwrap();
+            assert!(opt.eval.cost <= r.eval.cost + 1e-12);
+        }
+    }
+
+    #[test]
+    fn centralized_overhead_formula() {
+        // 1000 peers, 2000 units, update every unit.
+        assert_eq!(centralized_state_messages(1000, 2000, 1), 2_000_000);
+        assert_eq!(centralized_state_messages(1000, 2000, 10), 200_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "update period")]
+    fn centralized_overhead_rejects_zero_period() {
+        centralized_state_messages(10, 10, 0);
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let mut w = world(1, 1);
+        let mut req = request(1);
+        w.reg.catalog_mut().intern("ghost");
+        let ghost = w.reg.catalog().lookup("ghost").unwrap();
+        req.function_graph = FunctionGraph::linear_of(&[ghost]);
+        assert!(matches!(
+            optimal(&mut ctx(&mut w), &req, None),
+            Err(Error::UnknownFunction(_))
+        ));
+    }
+}

@@ -1,0 +1,838 @@
+//! Bounded Composition Probing (paper §4).
+//!
+//! Given a composite service request, the source spawns *probes* that walk
+//! candidate service graphs hop by hop. A probing budget β caps the total
+//! number of probes a request may use; per-function probing quotas α_k
+//! steer how the budget is divided among next-hop functions. Each hop
+//! (§4.2):
+//!
+//! 1. checks the accumulated QoS against the user's bounds and drops the
+//!    probe on violation;
+//! 2. *soft-allocates* the component's resources so concurrent probes
+//!    cannot jointly over-admit (reservations expire unless confirmed);
+//! 3. derives next-hop functions (the composition-pattern successor — the
+//!    source pre-enumerates commutation orders into patterns, see
+//!    [`crate::model::function_graph::FunctionGraph::patterns`]);
+//! 4. selects up to `I_k = min(β_k, α_k)` next-hop replicas by a composite
+//!    local metric (network delay, failure probability, load) and spawns
+//!    child probes with budget ⌊β_k / I_k⌋.
+//!
+//! The destination merges branch probes into complete service graphs,
+//! filters by the user's requirements, and returns the ψ-optimal qualified
+//! graph plus the remaining qualified graphs for backup selection.
+
+use crate::model::component::Registry;
+use crate::model::request::CompositionRequest;
+use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
+use crate::paths::PathTable;
+use crate::selection::{evaluate, is_qualified, merge_branches, select_best};
+use crate::state::{OverlayState, SoftToken};
+use crate::trust::TrustManager;
+use spidernet_dht::{PastryNetwork, ServiceDirectory};
+use spidernet_sim::metrics::{counter, Metrics};
+use spidernet_sim::time::{SimDuration, SimTime};
+use spidernet_topology::Overlay;
+use spidernet_util::error::{Error, Result};
+use spidernet_util::id::{ComponentId, FunctionId, PeerId};
+use spidernet_util::qos::{dim, QosVector};
+use std::collections::{HashMap, HashSet};
+
+/// How probing quota α_k is assigned per function.
+#[derive(Clone, Copy, Debug)]
+pub enum QuotaPolicy {
+    /// The same quota for every function.
+    Uniform(u32),
+    /// α_k = ⌈fraction · Z_k⌉ — more replicas, more quota (the paper's
+    /// differentiated allocation).
+    ReplicaFraction(f64),
+}
+
+impl QuotaPolicy {
+    fn quota(&self, replicas: usize) -> u32 {
+        match *self {
+            QuotaPolicy::Uniform(a) => a.max(1),
+            QuotaPolicy::ReplicaFraction(f) => ((replicas as f64 * f).ceil() as u32).max(1),
+        }
+    }
+}
+
+/// How probes learn the replica lists of next-hop functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupMode {
+    /// The source resolves every function once before probing and attaches
+    /// the lists to the probe. Metadata is static, so this is
+    /// behaviour-preserving; it matches the prototype's phase split where
+    /// "service discovery time" is measured separately from composition
+    /// (Fig. 10).
+    Prefetch,
+    /// Every hop re-queries the DHT, as §4.2 step 2.3 describes literally;
+    /// costs extra DHT messages and latency per hop.
+    PerHop,
+}
+
+/// BCP tuning knobs.
+#[derive(Clone, Debug)]
+pub struct BcpConfig {
+    /// Probing budget β: total probes a request may use.
+    pub budget: u32,
+    /// Per-function quota policy (α).
+    pub quota: QuotaPolicy,
+    /// Soft-reservation lifetime (cancelled earlier at selection).
+    pub soft_ttl: SimDuration,
+    /// Weight of normalized next-hop network delay in the composite
+    /// next-hop selection metric.
+    pub w_delay: f64,
+    /// Weight of the candidate's failure probability.
+    pub w_failure: f64,
+    /// Weight of the candidate peer's current load.
+    pub w_load: f64,
+    /// Cap on merged complete graphs per pattern (cartesian guard).
+    pub merge_cap: usize,
+    /// Replica-list resolution strategy.
+    pub lookup: LookupMode,
+    /// Fixed per-hop probe processing delay, ms.
+    pub hop_processing_ms: f64,
+    /// Weight of `(1 − trust)` in the next-hop metric. 0 disables the
+    /// trust extension (paper §8 future work) entirely.
+    pub w_trust: f64,
+    /// Candidates with aggregate trust below this are excluded outright.
+    pub min_trust: f64,
+    /// Whether probes perform soft resource allocation (§4.2 step 2.1).
+    /// Disabling is an ablation: concurrent probes may then jointly
+    /// over-admit and the final commit can fail.
+    pub soft_allocation: bool,
+}
+
+impl Default for BcpConfig {
+    fn default() -> Self {
+        BcpConfig {
+            budget: 16,
+            quota: QuotaPolicy::Uniform(4),
+            soft_ttl: SimDuration::from_secs(10),
+            w_delay: 0.5,
+            w_failure: 0.25,
+            w_load: 0.25,
+            merge_cap: 64,
+            lookup: LookupMode::Prefetch,
+            hop_processing_ms: 1.0,
+            w_trust: 0.0,
+            min_trust: 0.0,
+            soft_allocation: true,
+        }
+    }
+}
+
+/// Counters and timings of one BCP run.
+#[derive(Clone, Debug, Default)]
+pub struct BcpStats {
+    /// Probe transmissions (per-hop messages).
+    pub probes_sent: u64,
+    /// DHT lookup queries issued.
+    pub dht_lookups: u64,
+    /// DHT routing messages (hops) those lookups cost.
+    pub dht_messages: u64,
+    /// Probes that reached the destination.
+    pub complete_probes: u64,
+    /// Probes dropped for QoS violation.
+    pub dropped_qos: u64,
+    /// Probes dropped by soft-allocation admission.
+    pub dropped_admission: u64,
+    /// Complete candidate service graphs examined at the destination.
+    pub candidates_examined: u64,
+    /// Wall-clock (virtual) time of the discovery phase, ms.
+    pub discovery_ms: f64,
+    /// Wall-clock (virtual) time of the probing phase: the latest probe
+    /// arrival at the destination, ms.
+    pub probing_ms: f64,
+}
+
+/// A successful composition.
+#[derive(Clone, Debug)]
+pub struct CompositionOutcome {
+    /// The ψ-optimal qualified service graph.
+    pub best: ServiceGraph,
+    /// Its evaluation.
+    pub eval: GraphEval,
+    /// Other qualified graphs, cost-ordered — the pool backup selection
+    /// draws from (paper §5). `C` = `1 + qualified_pool.len()`.
+    pub qualified_pool: Vec<(ServiceGraph, GraphEval)>,
+    /// Protocol accounting.
+    pub stats: BcpStats,
+}
+
+/// One in-flight probe walking a branch path.
+struct PartialProbe {
+    at_peer: PeerId,
+    pos: usize,
+    assign: Vec<(usize, ComponentId)>,
+    qos: QosVector,
+    budget: u32,
+    latency_ms: f64,
+}
+
+/// A probe that reached the destination.
+struct BranchProbe {
+    assign: Vec<(usize, ComponentId)>,
+    latency_ms: f64,
+}
+
+/// Borrowed world context for one BCP execution.
+pub struct BcpEngine<'a> {
+    /// The service overlay.
+    pub overlay: &'a Overlay,
+    /// Component ground truth (accessed via discovery results and
+    /// peer-local reads).
+    pub reg: &'a Registry,
+    /// The Pastry substrate for discovery routing.
+    pub pastry: &'a PastryNetwork,
+    /// The replica directory.
+    pub directory: &'a ServiceDirectory,
+    /// Live resource state.
+    pub state: &'a mut OverlayState,
+    /// Shortest-path cache.
+    pub paths: &'a mut PathTable,
+    /// ψ weights.
+    pub weights: &'a CostWeights,
+    /// Protocol-message accounting.
+    pub metrics: &'a mut Metrics,
+    /// Current virtual time (for soft-reservation expiry).
+    pub now: SimTime,
+    /// Trust tables, when the trust extension is active.
+    pub trust: Option<&'a TrustManager>,
+}
+
+impl BcpEngine<'_> {
+    /// Runs the full BCP protocol for `req`. Returns
+    /// [`Error::NoQualifiedComposition`] when no candidate satisfies the
+    /// requirements within the probing budget.
+    pub fn compose(
+        &mut self,
+        req: &CompositionRequest,
+        cfg: &BcpConfig,
+    ) -> Result<CompositionOutcome> {
+        req.validate()?;
+        if cfg.budget == 0 {
+            return Err(Error::InvalidConfig("probing budget must be ≥ 1".into()));
+        }
+        let mut stats = BcpStats::default();
+        let mut tokens: Vec<SoftToken> = Vec::new();
+
+        // --- Discovery phase: resolve replica lists --------------------
+        let mut replica_lists: HashMap<FunctionId, Vec<ComponentId>> = HashMap::new();
+        let mut discovery_ms: f64 = 0.0;
+        for &f in req.function_graph.functions() {
+            if replica_lists.contains_key(&f) {
+                continue;
+            }
+            let name = self.reg.catalog().name(f).to_owned();
+            let mut transport = |a: PeerId, b: PeerId| self.paths.delay(self.overlay, a, b);
+            let (metas, route) = self
+                .directory
+                .lookup(self.pastry, req.source, &name, &mut transport)
+                .ok_or_else(|| Error::Network("source is not a DHT member".into()))?;
+            stats.dht_lookups += 1;
+            stats.dht_messages += route.hops() as u64 + 1; // query hops + reply
+            self.metrics.add(counter::DHT_MESSAGES, route.hops() as u64 + 1);
+            // Lookups run in parallel; the phase lasts as long as the
+            // slowest round trip.
+            discovery_ms = discovery_ms.max(2.0 * route.latency_ms);
+            let list: Vec<ComponentId> = metas.iter().map(|m| m.component).collect();
+            if list.is_empty() {
+                return Err(Error::UnknownFunction(name));
+            }
+            replica_lists.insert(f, list);
+        }
+        stats.discovery_ms = discovery_ms;
+
+        // --- Probing phase ---------------------------------------------
+        let patterns = req.function_graph.patterns();
+        let per_pattern_budget = (cfg.budget / patterns.len() as u32).max(1);
+        let mut candidates: Vec<(ServiceGraph, GraphEval)> = Vec::new();
+
+        for pattern in &patterns {
+            let branch_paths = pattern.branch_paths();
+            let per_branch_budget = (per_pattern_budget / branch_paths.len() as u32).max(1);
+            let mut per_branch: Vec<Vec<Vec<(usize, ComponentId)>>> = Vec::new();
+            let mut probing_ms: f64 = 0.0;
+            // Soft reservations are per *expected session*, not per probe:
+            // a peer recognizes repeat probes of the same request for the
+            // same component and shares the reservation (paper §4.2 step
+            // 2.1 reserves for "the expected application session").
+            let mut reserved: HashSet<ComponentId> = HashSet::new();
+            for branch in &branch_paths {
+                let probes = self.probe_branch(
+                    req,
+                    cfg,
+                    pattern,
+                    branch,
+                    per_branch_budget,
+                    &replica_lists,
+                    &mut stats,
+                    &mut tokens,
+                    &mut reserved,
+                );
+                for p in &probes {
+                    probing_ms = probing_ms.max(p.latency_ms);
+                }
+                per_branch.push(probes.into_iter().map(|p| p.assign).collect());
+            }
+            stats.probing_ms = stats.probing_ms.max(probing_ms);
+
+            // Destination-side merge into complete service graphs.
+            let merged = merge_branches(pattern, &branch_paths, &per_branch, cfg.merge_cap);
+            stats.candidates_examined += merged.len() as u64;
+
+            // Release this request's own reservations before evaluating so
+            // availability reflects *other* traffic only (sequential
+            // processing makes release-then-commit atomic; the reservations
+            // already did their job gating admission during probing).
+            for t in tokens.drain(..) {
+                self.state.release_soft(t);
+            }
+
+            for assignment in merged {
+                let graph =
+                    ServiceGraph::new(req.source, req.dest, pattern.clone(), assignment);
+                let eval = evaluate(
+                    &graph,
+                    req,
+                    self.reg,
+                    self.overlay,
+                    self.state,
+                    self.paths,
+                    self.weights,
+                );
+                if is_qualified(&eval, req) {
+                    candidates.push((graph, eval));
+                }
+            }
+        }
+
+        // Any tokens from the last pattern iteration were drained above;
+        // drain again defensively in case of early exits.
+        for t in tokens.drain(..) {
+            self.state.release_soft(t);
+        }
+
+        match select_best(candidates) {
+            Some((best, eval, pool)) => Ok(CompositionOutcome {
+                best,
+                eval,
+                qualified_pool: pool,
+                stats,
+            }),
+            None => Err(Error::NoQualifiedComposition),
+        }
+    }
+
+    /// Probes one branch path of one pattern; returns complete branch
+    /// probes.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_branch(
+        &mut self,
+        req: &CompositionRequest,
+        cfg: &BcpConfig,
+        pattern: &crate::model::function_graph::FunctionGraph,
+        branch: &[usize],
+        budget: u32,
+        replica_lists: &HashMap<FunctionId, Vec<ComponentId>>,
+        stats: &mut BcpStats,
+        tokens: &mut Vec<SoftToken>,
+        reserved: &mut HashSet<ComponentId>,
+    ) -> Vec<BranchProbe> {
+        let m = req.qos_req.dims();
+        let mut complete = Vec::new();
+        let mut frontier = vec![PartialProbe {
+            at_peer: req.source,
+            pos: 0,
+            assign: Vec::new(),
+            qos: QosVector::zeros(m),
+            budget,
+            latency_ms: 0.0,
+        }];
+
+        while let Some(probe) = frontier.pop() {
+            if probe.pos == branch.len() {
+                // Final leg to the destination.
+                let tail = self.paths.delay(self.overlay, probe.at_peer, req.dest);
+                let mut leg = vec![0.0; m];
+                leg[dim::DELAY_MS] = tail;
+                let mut qos = probe.qos.clone();
+                qos.accumulate(&QosVector::from_values(leg));
+                stats.probes_sent += 1;
+                self.metrics.incr(counter::PROBES);
+                if !req.qos_req.is_satisfied_by(&qos) {
+                    stats.dropped_qos += 1;
+                    continue;
+                }
+                stats.complete_probes += 1;
+                complete.push(BranchProbe {
+                    assign: probe.assign,
+                    latency_ms: probe.latency_ms + tail,
+                });
+                continue;
+            }
+
+            let node = branch[probe.pos];
+            let function = pattern.function(node);
+            let Some(replicas) = replica_lists.get(&function) else { continue };
+
+            // Per-hop DHT lookup mode: pay the lookup from the current peer.
+            let mut lookup_latency = 0.0;
+            if cfg.lookup == LookupMode::PerHop && probe.pos > 0 {
+                let name = self.reg.catalog().name(function).to_owned();
+                let mut transport = |a: PeerId, b: PeerId| self.paths.delay(self.overlay, a, b);
+                if let Some((_, route)) =
+                    self.directory.lookup(self.pastry, probe.at_peer, &name, &mut transport)
+                {
+                    stats.dht_lookups += 1;
+                    stats.dht_messages += route.hops() as u64 + 1;
+                    self.metrics.add(counter::DHT_MESSAGES, route.hops() as u64 + 1);
+                    lookup_latency = 2.0 * route.latency_ms;
+                }
+            }
+
+            // Rank live candidates by the composite next-hop metric.
+            let mut scored: Vec<(f64, ComponentId)> = Vec::new();
+            let mut max_delay: f64 = 0.0;
+            let mut cand_info: Vec<(ComponentId, f64)> = Vec::new();
+            for &cid in replicas {
+                let comp = self.reg.get(cid);
+                if !self.state.is_alive(comp.peer) {
+                    continue;
+                }
+                let d = self.paths.delay(self.overlay, probe.at_peer, comp.peer);
+                if !d.is_finite() {
+                    continue;
+                }
+                max_delay = max_delay.max(d);
+                cand_info.push((cid, d));
+            }
+            for (cid, d) in cand_info {
+                let comp = self.reg.get(cid);
+                let peer_trust = self
+                    .trust
+                    .map(|t| t.aggregate_trust(comp.peer))
+                    .unwrap_or(0.5);
+                if peer_trust < cfg.min_trust {
+                    continue; // distrusted hosts are not even probed
+                }
+                let cap = self.state.capacity(comp.peer);
+                let avail = self.state.available(comp.peer);
+                let load = if cap.cpu() > 0.0 { 1.0 - avail.cpu() / cap.cpu() } else { 1.0 };
+                let norm_delay = if max_delay > 0.0 { d / max_delay } else { 0.0 };
+                let score = cfg.w_delay * norm_delay
+                    + cfg.w_failure * comp.failure_prob
+                    + cfg.w_load * load
+                    + cfg.w_trust * (1.0 - peer_trust);
+                scored.push((score, cid));
+            }
+            scored.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0).expect("scores are finite").then_with(|| a.1.cmp(&b.1))
+            });
+
+            let alpha = cfg.quota.quota(replicas.len());
+            let i_k = (probe.budget.min(alpha) as usize).min(scored.len());
+            if i_k == 0 {
+                continue;
+            }
+            let child_budget = (probe.budget / i_k as u32).max(1);
+
+            for &(_, cid) in scored.iter().take(i_k) {
+                let comp = self.reg.get(cid);
+                let link_delay = self.paths.delay(self.overlay, probe.at_peer, comp.peer);
+                stats.probes_sent += 1;
+                self.metrics.incr(counter::PROBES);
+
+                // Accumulate QoS, check, drop early (step 2.1).
+                let mut qos = probe.qos.clone();
+                let mut leg = vec![0.0; m];
+                leg[dim::DELAY_MS] = link_delay;
+                qos.accumulate(&QosVector::from_values(leg));
+                qos.accumulate(&comp.perf_qos);
+                if !req.qos_req.is_satisfied_by(&qos) {
+                    stats.dropped_qos += 1;
+                    continue;
+                }
+
+                // Soft resource allocation — once per component per
+                // request; repeat probes share the reservation.
+                if cfg.soft_allocation && !reserved.contains(&cid) {
+                    match self.state.soft_allocate(comp.peer, comp.resources, self.now + cfg.soft_ttl)
+                    {
+                        Ok(tok) => {
+                            tokens.push(tok);
+                            reserved.insert(cid);
+                        }
+                        Err(_) => {
+                            stats.dropped_admission += 1;
+                            continue;
+                        }
+                    }
+                }
+
+                let mut assign = probe.assign.clone();
+                assign.push((node, cid));
+                frontier.push(PartialProbe {
+                    at_peer: comp.peer,
+                    pos: probe.pos + 1,
+                    assign,
+                    qos,
+                    budget: child_budget,
+                    latency_ms: probe.latency_ms
+                        + lookup_latency
+                        + link_delay
+                        + cfg.hop_processing_ms,
+                });
+            }
+        }
+        complete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::component::{FunctionCatalog, ServiceComponent};
+    use crate::model::function_graph::FunctionGraph;
+    use spidernet_topology::inet::{generate_power_law, InetConfig};
+    use spidernet_topology::overlay::{Overlay, OverlayConfig, OverlayStyle};
+    use spidernet_util::qos::QosRequirement;
+    use spidernet_util::res::ResourceVector;
+
+    /// A self-contained world: 40 peers, `funcs` functions with `reps`
+    /// replicas each on distinct peers.
+    struct World {
+        overlay: Overlay,
+        reg: Registry,
+        pastry: PastryNetwork,
+        directory: ServiceDirectory,
+        state: OverlayState,
+        paths: PathTable,
+        weights: CostWeights,
+        metrics: Metrics,
+    }
+
+    fn world(funcs: u64, reps: u64) -> World {
+        let ip = generate_power_law(&InetConfig { nodes: 200, ..InetConfig::default() }, 11);
+        let overlay = Overlay::build(
+            &ip,
+            &OverlayConfig { peers: 40, style: OverlayStyle::Mesh { neighbors: 5 } },
+            11,
+        );
+        let mut catalog = FunctionCatalog::new();
+        for f in 0..funcs {
+            catalog.intern(&format!("fn-{f}"));
+        }
+        let mut reg = Registry::new(catalog);
+        let peers: Vec<PeerId> = overlay.peers().collect();
+        let mut pt = PathTable::new();
+        let mut prox = |a: PeerId, b: PeerId| pt.delay(&overlay, a, b);
+        let pastry = PastryNetwork::build(&peers, &mut prox);
+        let mut directory = ServiceDirectory::new();
+        let mut paths = PathTable::new();
+        // Replica r of function f on peer 2 + f*reps + r.
+        for f in 0..funcs {
+            for r in 0..reps {
+                let peer = PeerId::new(2 + f * reps + r);
+                let cid = reg.add(ServiceComponent {
+                    id: ComponentId::new(0),
+                    peer,
+                    function: FunctionId::new(f),
+                    perf_qos: QosVector::from_values(vec![10.0 + r as f64, 0.01]),
+                    resources: ResourceVector::new(0.2, 32.0),
+                    out_bandwidth_mbps: 1.0,
+                    failure_prob: 0.01,
+                });
+                let mut transport = |a: PeerId, b: PeerId| paths.delay(&overlay, a, b);
+                directory
+                    .register(
+                        &pastry,
+                        &format!("fn-{f}"),
+                        spidernet_dht::ServiceMeta { component: cid, peer, function: FunctionId::new(f) },
+                        &mut transport,
+                    )
+                    .unwrap();
+            }
+        }
+        let state = OverlayState::new(&overlay, ResourceVector::new(1.0, 256.0));
+        World {
+            overlay,
+            reg,
+            pastry,
+            directory,
+            state,
+            paths,
+            weights: CostWeights::uniform(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    fn engine<'a>(w: &'a mut World) -> BcpEngine<'a> {
+        BcpEngine {
+            overlay: &w.overlay,
+            reg: &w.reg,
+            pastry: &w.pastry,
+            directory: &w.directory,
+            state: &mut w.state,
+            paths: &mut w.paths,
+            weights: &w.weights,
+            metrics: &mut w.metrics,
+            now: SimTime::ZERO,
+            trust: None,
+        }
+    }
+
+    fn request(k: usize) -> CompositionRequest {
+        CompositionRequest {
+            source: PeerId::new(0),
+            dest: PeerId::new(1),
+            function_graph: FunctionGraph::linear(k),
+            qos_req: QosRequirement::new(vec![100_000.0, 10.0]).unwrap(),
+            bandwidth_mbps: 1.0,
+            max_failure_prob: 1.0,
+        }
+    }
+
+    #[test]
+    fn composes_a_linear_chain() {
+        let mut w = world(3, 3);
+        let req = request(3);
+        let out = engine(&mut w).compose(&req, &BcpConfig::default()).unwrap();
+        assert_eq!(out.best.assignment.len(), 3);
+        // Each assigned component provides the right function.
+        for (i, &c) in out.best.assignment.iter().enumerate() {
+            assert_eq!(w.reg.get(c).function, out.best.pattern.function(i));
+            assert_eq!(out.best.pattern.function(i), FunctionId::new(i as u64));
+        }
+        assert!(out.stats.complete_probes >= 1);
+        assert!(out.stats.discovery_ms > 0.0);
+        assert!(out.stats.probing_ms > 0.0);
+    }
+
+    #[test]
+    fn probe_count_respects_budget() {
+        let mut w = world(3, 4);
+        let req = request(3);
+        for budget in [1u32, 2, 4, 8] {
+            let cfg = BcpConfig {
+                budget,
+                quota: QuotaPolicy::Uniform(16),
+                ..BcpConfig::default()
+            };
+            let out = engine(&mut w).compose(&req, &cfg).unwrap();
+            // Complete end-to-end probes never exceed β.
+            assert!(
+                out.stats.complete_probes <= budget as u64,
+                "budget {budget}: {} complete probes",
+                out.stats.complete_probes
+            );
+        }
+    }
+
+    #[test]
+    fn larger_budget_examines_no_fewer_candidates() {
+        let mut w = world(2, 5);
+        let req = request(2);
+        let small = engine(&mut w)
+            .compose(&req, &BcpConfig { budget: 1, ..BcpConfig::default() })
+            .unwrap();
+        let big = engine(&mut w)
+            .compose(
+                &req,
+                &BcpConfig { budget: 32, quota: QuotaPolicy::Uniform(8), ..BcpConfig::default() },
+            )
+            .unwrap();
+        assert!(big.stats.candidates_examined >= small.stats.candidates_examined);
+        assert!(big.stats.probes_sent > small.stats.probes_sent);
+    }
+
+    #[test]
+    fn no_replicas_is_unknown_function() {
+        let mut w = world(2, 2);
+        let mut req = request(2);
+        // Reference a function that exists in the catalog but has no
+        // registrations.
+        w.reg.catalog_mut().intern("fn-ghost");
+        let ghost = w.reg.catalog().lookup("fn-ghost").unwrap();
+        req.function_graph = FunctionGraph::linear_of(&[FunctionId::new(0), ghost]);
+        let err = engine(&mut w).compose(&req, &BcpConfig::default());
+        assert!(matches!(err, Err(Error::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn impossible_qos_returns_no_qualified() {
+        let mut w = world(2, 2);
+        let mut req = request(2);
+        req.qos_req = QosRequirement::new(vec![0.001, 10.0]).unwrap();
+        let err = engine(&mut w).compose(&req, &BcpConfig::default());
+        assert!(matches!(err, Err(Error::NoQualifiedComposition)));
+    }
+
+    #[test]
+    fn dead_replicas_are_skipped() {
+        let mut w = world(2, 2);
+        // Kill one replica of function 0 (peer 2); the other (peer 3)
+        // must carry the composition.
+        w.state.fail_peer(PeerId::new(2));
+        let req = request(2);
+        let out = engine(&mut w).compose(&req, &BcpConfig::default()).unwrap();
+        assert!(!out.best.contains_peer(PeerId::new(2), &w.reg));
+    }
+
+    #[test]
+    fn all_replicas_dead_fails() {
+        let mut w = world(2, 2);
+        w.state.fail_peer(PeerId::new(2));
+        w.state.fail_peer(PeerId::new(3));
+        let err = engine(&mut w).compose(&request(2), &BcpConfig::default());
+        assert!(matches!(err, Err(Error::NoQualifiedComposition)));
+    }
+
+    #[test]
+    fn soft_reservations_are_all_released() {
+        let mut w = world(3, 3);
+        let req = request(3);
+        let _ = engine(&mut w).compose(&req, &BcpConfig::default()).unwrap();
+        assert_eq!(w.state.soft_count(), 0, "leaked soft reservations");
+        for p in w.overlay.peers() {
+            assert_eq!(w.state.available(p), w.state.capacity(p), "peer {p} not clean");
+        }
+    }
+
+    #[test]
+    fn exhausted_peers_reject_probes_via_admission() {
+        let mut w = world(1, 1);
+        // The only replica's peer has no headroom.
+        let peer = w.reg.get(ComponentId::new(0)).peer;
+        w.state.set_capacity(peer, ResourceVector::new(0.05, 1.0));
+        let err = engine(&mut w).compose(&request(1), &BcpConfig::default());
+        assert!(matches!(err, Err(Error::NoQualifiedComposition)));
+    }
+
+    #[test]
+    fn dag_with_commutation_composes() {
+        let mut w = world(4, 2);
+        let mut req = request(4);
+        // Diamond with commutable middle functions.
+        req.function_graph = FunctionGraph::new(
+            (0..4).map(FunctionId::new).collect(),
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![(1, 2)],
+        )
+        .unwrap();
+        let cfg = BcpConfig { budget: 32, ..BcpConfig::default() };
+        let out = engine(&mut w).compose(&req, &cfg).unwrap();
+        assert_eq!(out.best.assignment.len(), 4);
+        // Functions covered regardless of pattern chosen.
+        let mut provided: Vec<u64> =
+            out.best.assignment.iter().map(|&c| w.reg.get(c).function.raw()).collect();
+        provided.sort_unstable();
+        assert_eq!(provided, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn per_hop_lookup_costs_more_dht_messages() {
+        let mut w = world(3, 3);
+        let req = request(3);
+        let pre = engine(&mut w)
+            .compose(&req, &BcpConfig { lookup: LookupMode::Prefetch, ..BcpConfig::default() })
+            .unwrap();
+        let per = engine(&mut w)
+            .compose(&req, &BcpConfig { lookup: LookupMode::PerHop, ..BcpConfig::default() })
+            .unwrap();
+        assert!(per.stats.dht_messages >= pre.stats.dht_messages);
+        assert!(per.stats.dht_lookups >= pre.stats.dht_lookups);
+    }
+
+    #[test]
+    fn zero_budget_is_invalid_config() {
+        let mut w = world(1, 1);
+        let err = engine(&mut w).compose(&request(1), &BcpConfig { budget: 0, ..BcpConfig::default() });
+        assert!(matches!(err, Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn quota_policies_bound_fanout() {
+        assert_eq!(QuotaPolicy::Uniform(3).quota(100), 3);
+        assert_eq!(QuotaPolicy::Uniform(0).quota(100), 1); // floor at 1
+        assert_eq!(QuotaPolicy::ReplicaFraction(0.5).quota(10), 5);
+        assert_eq!(QuotaPolicy::ReplicaFraction(0.01).quota(10), 1);
+    }
+
+    #[test]
+    fn distrusted_replicas_are_deprioritized() {
+        use crate::trust::{Experience, TrustManager};
+        let mut w = world(1, 2);
+        // Two replicas of function 0 on peers 2 and 3; poison peer 2's
+        // reputation thoroughly.
+        let mut tm = TrustManager::new(1.0);
+        for observer in 0..5u64 {
+            for _ in 0..50 {
+                tm.record(PeerId::new(observer), PeerId::new(2), Experience::Negative);
+                tm.record(PeerId::new(observer), PeerId::new(3), Experience::Positive);
+            }
+        }
+        let req = request(1);
+        let cfg = BcpConfig { budget: 1, w_trust: 10.0, ..BcpConfig::default() };
+        let out = {
+            let mut e = engine(&mut w);
+            e.trust = Some(&tm);
+            e.compose(&req, &cfg).unwrap()
+        };
+        // With budget 1 only the top-ranked candidate is probed; the
+        // heavy trust weight must push the distrusted host out of it.
+        assert!(!out.best.contains_peer(PeerId::new(2), &w.reg));
+        assert!(out.best.contains_peer(PeerId::new(3), &w.reg));
+    }
+
+    #[test]
+    fn min_trust_excludes_hosts_outright() {
+        use crate::trust::{Experience, TrustManager};
+        let mut w = world(1, 2);
+        let mut tm = TrustManager::new(1.0);
+        for _ in 0..50 {
+            tm.record(PeerId::new(0), PeerId::new(2), Experience::Negative);
+            tm.record(PeerId::new(0), PeerId::new(3), Experience::Negative);
+        }
+        let req = request(1);
+        let cfg = BcpConfig { min_trust: 0.4, ..BcpConfig::default() };
+        let err = {
+            let mut e = engine(&mut w);
+            e.trust = Some(&tm);
+            e.compose(&req, &cfg)
+        };
+        // Both hosts fall below the threshold: nothing can be composed.
+        assert!(matches!(err, Err(Error::NoQualifiedComposition)));
+    }
+
+    #[test]
+    fn disabling_soft_allocation_skips_reservations() {
+        let mut w = world(2, 3);
+        let req = request(2);
+        let cfg = BcpConfig { soft_allocation: false, budget: 16, ..BcpConfig::default() };
+        let out = engine(&mut w).compose(&req, &cfg).unwrap();
+        assert_eq!(out.stats.dropped_admission, 0, "no admission without reservations");
+        assert_eq!(w.state.soft_count(), 0);
+    }
+
+    #[test]
+    fn qualified_pool_members_are_distinct_and_qualified() {
+        let mut w = world(2, 4);
+        let req = request(2);
+        let cfg = BcpConfig { budget: 64, quota: QuotaPolicy::Uniform(8), ..BcpConfig::default() };
+        let out = engine(&mut w).compose(&req, &cfg).unwrap();
+        for (g, e) in &out.qualified_pool {
+            assert!(is_qualified(e, &req));
+            assert_ne!(g.assignment, out.best.assignment);
+        }
+        // Pool is cost-ordered.
+        for pair in out.qualified_pool.windows(2) {
+            assert!(pair[0].1.cost <= pair[1].1.cost);
+        }
+        // Best beats the pool.
+        if let Some((_, e)) = out.qualified_pool.first() {
+            assert!(out.eval.cost <= e.cost);
+        }
+    }
+}

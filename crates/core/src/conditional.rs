@@ -1,0 +1,404 @@
+//! Conditional-branch composition semantics (the paper's §8 future work:
+//! "extend the current solution to support more expressive service
+//! composition semantics such as conditional branch").
+//!
+//! A DAG fork is *parallel* by default — every ADU flows down every
+//! branch, so user-visible QoS is the **worst branch** and every branch
+//! carries the full stream rate. Under *conditional* semantics each ADU
+//! takes exactly one branch, chosen with a per-branch probability: the
+//! expected QoS is the **probability-weighted mean** over branches and a
+//! branch's links carry only their share of the stream.
+//!
+//! This module layers the conditional evaluation on top of the existing
+//! model without changing the core types: a [`BranchPolicy`] assigns
+//! probabilities to a pattern's branch paths, and [`evaluate_conditional`]
+//! mirrors [`crate::selection::evaluate`] with the weighted aggregation.
+//! Components and failure handling are unchanged — all branches must be
+//! instantiated and alive; only the data-flow statistics differ.
+
+use crate::model::component::Registry;
+use crate::model::request::CompositionRequest;
+use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
+use crate::paths::PathTable;
+use crate::state::OverlayState;
+use spidernet_topology::Overlay;
+use spidernet_util::error::{Error, Result};
+use spidernet_util::qos::{dim, QosVector};
+
+/// Probabilities over a pattern's branch paths (same order as
+/// [`crate::model::FunctionGraph::branch_paths`]).
+#[derive(Clone, Debug)]
+pub struct BranchPolicy {
+    probabilities: Vec<f64>,
+}
+
+impl BranchPolicy {
+    /// Builds a policy; probabilities must be non-negative and sum to 1.
+    pub fn new(probabilities: Vec<f64>) -> Result<Self> {
+        if probabilities.is_empty() {
+            return Err(Error::InvalidRequirement("empty branch policy".into()));
+        }
+        if probabilities.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(Error::InvalidRequirement("negative branch probability".into()));
+        }
+        let sum: f64 = probabilities.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(Error::InvalidRequirement(format!(
+                "branch probabilities sum to {sum}, expected 1"
+            )));
+        }
+        Ok(BranchPolicy { probabilities })
+    }
+
+    /// Uniform probability over `n` branches.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0);
+        BranchPolicy { probabilities: vec![1.0 / n as f64; n] }
+    }
+
+    /// Number of branches covered.
+    pub fn len(&self) -> usize {
+        self.probabilities.len()
+    }
+
+    /// True if the policy covers no branches (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.probabilities.is_empty()
+    }
+
+    /// Probability of branch `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.probabilities[i]
+    }
+}
+
+/// Evaluates a service graph under conditional-branch semantics.
+///
+/// Differences from the parallel evaluation:
+/// * QoS = Σ_b p_b · QoS(branch b) (expected, not worst-case);
+/// * a service link inside branch b demands `p_b ×` its parallel-semantics
+///   bandwidth (expected stream share); links on the trunk shared by all
+///   branches keep full rate (their probability shares sum to 1).
+///
+/// The ψ cost and resource feasibility use the scaled bandwidths; peer
+/// end-system demand is unchanged (a component must be provisioned for
+/// the whole session regardless of how often its branch fires).
+#[allow(clippy::too_many_arguments)] // mirrors selection::evaluate's shape
+pub fn evaluate_conditional(
+    graph: &ServiceGraph,
+    policy: &BranchPolicy,
+    req: &CompositionRequest,
+    reg: &Registry,
+    overlay: &Overlay,
+    state: &OverlayState,
+    paths: &mut PathTable,
+    weights: &CostWeights,
+) -> Result<GraphEval> {
+    let branches = graph.pattern.branch_paths();
+    if branches.len() != policy.len() {
+        return Err(Error::InvalidRequirement(format!(
+            "policy covers {} branches, pattern has {}",
+            policy.len(),
+            branches.len()
+        )));
+    }
+    let m = req.qos_req.dims();
+
+    // --- expected QoS over branches ---
+    let mut qos_acc = vec![0.0; m];
+    for (bi, branch) in branches.iter().enumerate() {
+        let p = policy.probability(bi);
+        let mut acc = QosVector::zeros(m);
+        let mut prev = graph.source;
+        for &node in branch {
+            let comp = reg.get(graph.component_at(node));
+            let mut leg = vec![0.0; m];
+            leg[dim::DELAY_MS] = paths.delay(overlay, prev, comp.peer);
+            acc.accumulate(&QosVector::from_values(leg));
+            acc.accumulate(&comp.perf_qos);
+            prev = comp.peer;
+        }
+        let mut tail = vec![0.0; m];
+        tail[dim::DELAY_MS] = paths.delay(overlay, prev, graph.dest);
+        acc.accumulate(&QosVector::from_values(tail));
+        for (a, v) in qos_acc.iter_mut().zip(acc.values()) {
+            *a += p * v;
+        }
+    }
+    let qos = QosVector::from_values(qos_acc);
+
+    // --- bandwidth with per-node branch shares ---
+    // A node's share is the total probability of branches containing it;
+    // the edge (a → b) carries min(share_a, share_b)… which for tree-like
+    // DAG forks equals share of the downstream node.
+    let mut node_share = vec![0.0f64; graph.pattern.len()];
+    for (bi, branch) in branches.iter().enumerate() {
+        for &n in branch {
+            node_share[n] += policy.probability(bi);
+        }
+    }
+    // Shares can exceed 1 only through float accumulation; clamp.
+    for s in &mut node_share {
+        *s = s.min(1.0);
+    }
+
+    let mut fits = true;
+    let mut cost = 0.0;
+    let demand = graph.per_peer_demand(reg);
+    for (&peer, need) in &demand {
+        let avail = state.available(peer);
+        if !need.fits_within(&avail) {
+            fits = false;
+        }
+        cost += need.weighted_usage_ratio(&avail, &weights.resource);
+    }
+    for link in graph.service_links() {
+        let from = graph.peer_of_end(link.from, reg);
+        let to = graph.peer_of_end(link.to, reg);
+        let base_bw = graph.link_bandwidth(&link, reg, req.bandwidth_mbps);
+        let share = match (link.from, link.to) {
+            (crate::model::service_graph::LinkEnd::Node(a), crate::model::service_graph::LinkEnd::Node(b)) => {
+                node_share[a].min(node_share[b])
+            }
+            (_, crate::model::service_graph::LinkEnd::Node(b)) => node_share[b],
+            (crate::model::service_graph::LinkEnd::Node(a), _) => node_share[a],
+            _ => 1.0,
+        };
+        let bw = base_bw * share;
+        if from == to || bw <= 0.0 {
+            continue;
+        }
+        match paths.peer_path(overlay, from, to) {
+            None => {
+                fits = false;
+                cost = f64::INFINITY;
+            }
+            Some(path) => {
+                let avail = state.path_available(&path);
+                if avail + 1e-12 < bw {
+                    fits = false;
+                }
+                cost += weights.bandwidth * if avail > 0.0 { bw / avail } else { f64::INFINITY };
+            }
+        }
+    }
+    for &c in graph.components() {
+        if !state.is_alive(reg.get(c).peer) {
+            fits = false;
+            cost = f64::INFINITY;
+        }
+    }
+
+    Ok(GraphEval { qos, cost, failure_prob: graph.failure_probability(reg), fits_resources: fits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::component::ServiceComponent;
+    use crate::model::function_graph::FunctionGraph;
+    use crate::selection::evaluate;
+    use spidernet_topology::inet::{generate_power_law, InetConfig};
+    use spidernet_topology::overlay::{OverlayConfig, OverlayStyle};
+    use spidernet_util::id::{ComponentId, FunctionId, PeerId};
+    use spidernet_util::qos::QosRequirement;
+    use spidernet_util::res::ResourceVector;
+
+    struct World {
+        overlay: Overlay,
+        reg: Registry,
+        state: OverlayState,
+        paths: PathTable,
+        weights: CostWeights,
+    }
+
+    /// Diamond 0→{1,2}→3 with distinct per-branch component delays.
+    fn world() -> (World, ServiceGraph, CompositionRequest) {
+        let ip = generate_power_law(&InetConfig { nodes: 150, ..InetConfig::default() }, 51);
+        let overlay = Overlay::build(
+            &ip,
+            &OverlayConfig { peers: 30, style: OverlayStyle::Mesh { neighbors: 4 } },
+            51,
+        );
+        let mut reg = Registry::default();
+        // Functions 0..4, one replica each, branch 1 slow (100ms), branch 2
+        // fast (10ms).
+        for (peer, function, delay) in
+            [(2u64, 0u64, 10.0), (3, 1, 100.0), (4, 2, 10.0), (5, 3, 10.0)]
+        {
+            reg.add(ServiceComponent {
+                id: ComponentId::new(0),
+                peer: PeerId::new(peer),
+                function: FunctionId::new(function),
+                perf_qos: QosVector::from_values(vec![delay, 0.0]),
+                resources: ResourceVector::new(0.1, 16.0),
+                out_bandwidth_mbps: 2.0,
+                failure_prob: 0.01,
+            });
+        }
+        let pattern = FunctionGraph::new(
+            (0..4).map(FunctionId::new).collect(),
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![],
+        )
+        .unwrap();
+        let graph = ServiceGraph::new(
+            PeerId::new(0),
+            PeerId::new(1),
+            pattern,
+            (0..4).map(ComponentId::new).collect(),
+        );
+        let req = CompositionRequest {
+            source: PeerId::new(0),
+            dest: PeerId::new(1),
+            function_graph: graph.pattern.clone(),
+            qos_req: QosRequirement::new(vec![100_000.0, 10.0]).unwrap(),
+            bandwidth_mbps: 1.0,
+            max_failure_prob: 1.0,
+        };
+        let state = OverlayState::new(&overlay, ResourceVector::new(1.0, 256.0));
+        (World { overlay, reg, state, paths: PathTable::new(), weights: CostWeights::uniform() }, graph, req)
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(BranchPolicy::new(vec![0.5, 0.5]).is_ok());
+        assert!(BranchPolicy::new(vec![0.5, 0.6]).is_err());
+        assert!(BranchPolicy::new(vec![-0.1, 1.1]).is_err());
+        assert!(BranchPolicy::new(vec![]).is_err());
+        let u = BranchPolicy::uniform(4);
+        assert_eq!(u.len(), 4);
+        assert!((u.probability(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_qos_is_probability_weighted() {
+        let (mut w, graph, req) = world();
+        // All mass on the slow branch ≈ parallel worst-branch result for
+        // that branch; all mass on the fast branch is strictly better.
+        let slow = evaluate_conditional(
+            &graph,
+            &BranchPolicy::new(vec![1.0, 0.0]).unwrap(),
+            &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &w.weights,
+        )
+        .unwrap();
+        let fast = evaluate_conditional(
+            &graph,
+            &BranchPolicy::new(vec![0.0, 1.0]).unwrap(),
+            &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &w.weights,
+        )
+        .unwrap();
+        let even = evaluate_conditional(
+            &graph,
+            &BranchPolicy::uniform(2),
+            &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &w.weights,
+        )
+        .unwrap();
+        assert!(fast.qos[dim::DELAY_MS] < slow.qos[dim::DELAY_MS]);
+        let expected_even = 0.5 * (slow.qos[dim::DELAY_MS] + fast.qos[dim::DELAY_MS]);
+        assert!((even.qos[dim::DELAY_MS] - expected_even).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditional_delay_never_exceeds_parallel_worst_branch() {
+        let (mut w, graph, req) = world();
+        let parallel =
+            evaluate(&graph, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &w.weights);
+        let conditional = evaluate_conditional(
+            &graph,
+            &BranchPolicy::uniform(2),
+            &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &w.weights,
+        )
+        .unwrap();
+        assert!(conditional.qos[dim::DELAY_MS] <= parallel.qos[dim::DELAY_MS] + 1e-9);
+    }
+
+    #[test]
+    fn branch_links_demand_only_their_share() {
+        let (mut w, graph, req) = world();
+        // ψ bandwidth term should shrink when branch traffic is split,
+        // because branch links carry scaled rates.
+        let parallel =
+            evaluate(&graph, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &w.weights);
+        let conditional = evaluate_conditional(
+            &graph,
+            &BranchPolicy::uniform(2),
+            &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &w.weights,
+        )
+        .unwrap();
+        assert!(conditional.cost <= parallel.cost + 1e-9);
+    }
+
+    #[test]
+    fn policy_must_match_branch_count() {
+        let (mut w, graph, req) = world();
+        let err = evaluate_conditional(
+            &graph,
+            &BranchPolicy::uniform(3),
+            &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &w.weights,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn dead_peer_still_disqualifies() {
+        let (mut w, graph, req) = world();
+        // Even a zero-probability branch must be alive (it is provisioned).
+        w.state.fail_peer(PeerId::new(3));
+        let eval = evaluate_conditional(
+            &graph,
+            &BranchPolicy::new(vec![0.0, 1.0]).unwrap(),
+            &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &w.weights,
+        )
+        .unwrap();
+        assert!(!eval.fits_resources);
+    }
+
+    #[test]
+    fn linear_graphs_reduce_to_parallel_semantics() {
+        let ip = generate_power_law(&InetConfig { nodes: 150, ..InetConfig::default() }, 52);
+        let overlay = Overlay::build(
+            &ip,
+            &OverlayConfig { peers: 20, style: OverlayStyle::Mesh { neighbors: 4 } },
+            52,
+        );
+        let mut reg = Registry::default();
+        for f in 0..2u64 {
+            reg.add(ServiceComponent {
+                id: ComponentId::new(0),
+                peer: PeerId::new(2 + f),
+                function: FunctionId::new(f),
+                perf_qos: QosVector::from_values(vec![10.0, 0.0]),
+                resources: ResourceVector::new(0.1, 16.0),
+                out_bandwidth_mbps: 1.0,
+                failure_prob: 0.01,
+            });
+        }
+        let g = ServiceGraph::new(
+            PeerId::new(0),
+            PeerId::new(1),
+            FunctionGraph::linear(2),
+            vec![ComponentId::new(0), ComponentId::new(1)],
+        );
+        let req = CompositionRequest {
+            source: PeerId::new(0),
+            dest: PeerId::new(1),
+            function_graph: g.pattern.clone(),
+            qos_req: QosRequirement::new(vec![100_000.0, 10.0]).unwrap(),
+            bandwidth_mbps: 1.0,
+            max_failure_prob: 1.0,
+        };
+        let state = OverlayState::new(&overlay, ResourceVector::new(1.0, 256.0));
+        let mut paths = PathTable::new();
+        let weights = CostWeights::uniform();
+        let par = evaluate(&g, &req, &reg, &overlay, &state, &mut paths, &weights);
+        let cond = evaluate_conditional(
+            &g,
+            &BranchPolicy::uniform(1),
+            &req, &reg, &overlay, &state, &mut paths, &weights,
+        )
+        .unwrap();
+        assert!((par.qos[dim::DELAY_MS] - cond.qos[dim::DELAY_MS]).abs() < 1e-9);
+        assert!((par.cost - cond.cost).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,249 @@
+//! Quality ablations of the design choices DESIGN.md calls out.
+//!
+//! Three studies, each isolating one mechanism:
+//!
+//! 1. **Commutation links** — the same workload with exchangeable middle
+//!    functions vs the identical graphs with commutations stripped.
+//!    SpiderNet's claim: exploring exchangeable orders finds better
+//!    (lower-ψ / lower-delay) compositions.
+//! 2. **Probing-quota policy** — uniform α vs replica-proportional α at a
+//!    fixed small budget. The paper motivates differentiated quotas for
+//!    functions with more duplicates.
+//! 3. **Trust-aware selection** (the §8 extension) — a population with
+//!    adversarial (failure-prone, distrusted) hosts, composed with
+//!    `w_trust = 0` vs a strong trust weight. Metric: how often the
+//!    selected graph touches an adversarial host.
+
+use crate::bcp::{BcpConfig, QuotaPolicy};
+use crate::model::function_graph::FunctionGraph;
+use crate::model::request::CompositionRequest;
+use crate::system::{SpiderNet, SpiderNetConfig};
+use crate::trust::Experience;
+use crate::workload::{random_request, PopulationConfig, RequestConfig};
+use spidernet_util::id::PeerId;
+use spidernet_util::qos::dim;
+use spidernet_util::rng::rng_for;
+use spidernet_util::stats::Summary;
+use std::fmt;
+
+/// Ablation study parameters.
+#[derive(Clone, Debug)]
+pub struct AblationConfig {
+    /// IP-layer nodes.
+    pub ip_nodes: usize,
+    /// Overlay peers.
+    pub peers: usize,
+    /// Function pool.
+    pub functions: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Requests per study arm.
+    pub requests: usize,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        AblationConfig { ip_nodes: 600, peers: 120, functions: 20, seed: 3, requests: 60 }
+    }
+}
+
+/// Results of the three studies.
+#[derive(Clone, Debug)]
+pub struct AblationResult {
+    /// (mean delay with commutation, without) over requests where both
+    /// composed, plus the count compared.
+    pub commutation_delay_ms: (f64, f64, usize),
+    /// Mean best-candidate delay, ms (uniform quota, replica-proportional
+    /// quota) at the same tight budget.
+    pub quota_delay_ms: (f64, f64),
+    /// Fraction of selected graphs touching an adversarial host
+    /// (trust-blind, trust-aware).
+    pub trust_adversarial_rate: (f64, f64),
+}
+
+impl fmt::Display for AblationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# Ablations")?;
+        let (with_c, without_c, n) = self.commutation_delay_ms;
+        writeln!(
+            f,
+            "commutation:   mean best delay {with_c:.1} ms with exchangeable orders vs {without_c:.1} ms fixed ({n} requests)"
+        )?;
+        let (u, r) = self.quota_delay_ms;
+        writeln!(f, "quota policy:  mean best delay {u:.1} ms uniform vs {r:.1} ms replica-proportional")?;
+        let (blind, aware) = self.trust_adversarial_rate;
+        writeln!(
+            f,
+            "trust:         adversarial-host selection rate {blind:.3} blind vs {aware:.3} trust-aware"
+        )
+    }
+}
+
+fn build(cfg: &AblationConfig, label: &str) -> SpiderNet {
+    let mut net = SpiderNet::build(&SpiderNetConfig {
+        ip_nodes: cfg.ip_nodes,
+        peers: cfg.peers,
+        seed: spidernet_util::rng::derive_seed(cfg.seed, label),
+        ..SpiderNetConfig::default()
+    });
+    net.populate(&PopulationConfig { functions: cfg.functions, ..PopulationConfig::default() });
+    net
+}
+
+fn loose(cfg_fns: (usize, usize)) -> RequestConfig {
+    RequestConfig {
+        functions: cfg_fns,
+        delay_bound_ms: (3_000.0, 4_000.0),
+        loss_bound: (0.3, 0.4),
+        max_failure_prob: 1.0,
+        ..RequestConfig::default()
+    }
+}
+
+/// Study 1: commutation on/off.
+fn commutation(cfg: &AblationConfig) -> (f64, f64, usize) {
+    let mut net = build(cfg, "ablation-commutation");
+    let mut rng = rng_for(cfg.seed, "ablation-commutation-req");
+    let req_cfg = RequestConfig { dag_probability: 0.0, ..loose((4, 4)) };
+    let bcp = BcpConfig { budget: 48, merge_cap: 512, ..BcpConfig::default() };
+    let mut with_sum = Summary::new();
+    let mut without_sum = Summary::new();
+    let mut compared = 0;
+    for _ in 0..cfg.requests {
+        let base = random_request(net.overlay(), net.registry(), &req_cfg, &mut rng);
+        let funcs = base.function_graph.functions().to_vec();
+        let chain_deps: Vec<(usize, usize)> = (0..3).map(|i| (i, i + 1)).collect();
+        let with_commute = CompositionRequest {
+            function_graph: FunctionGraph::new(funcs.clone(), chain_deps.clone(), vec![(1, 2)])
+                .expect("valid"),
+            ..base.clone()
+        };
+        let without = CompositionRequest {
+            function_graph: FunctionGraph::new(funcs, chain_deps, vec![]).expect("valid"),
+            ..base
+        };
+        let (Ok(a), Ok(b)) = (net.compose(&with_commute, &bcp), net.compose(&without, &bcp))
+        else {
+            continue;
+        };
+        // Best delay among qualified candidates, the Fig. 11 metric.
+        let best = |o: &crate::bcp::CompositionOutcome| {
+            o.qualified_pool
+                .iter()
+                .map(|(_, e)| e.qos[dim::DELAY_MS])
+                .fold(o.eval.qos[dim::DELAY_MS], f64::min)
+        };
+        with_sum.record(best(&a));
+        without_sum.record(best(&b));
+        compared += 1;
+    }
+    (with_sum.mean(), without_sum.mean(), compared)
+}
+
+/// Study 2: quota policy at a tight budget — measured on composition
+/// quality (best candidate delay), where probe placement matters.
+fn quota(cfg: &AblationConfig) -> (f64, f64) {
+    let mut means = Vec::new();
+    for policy in [QuotaPolicy::Uniform(2), QuotaPolicy::ReplicaFraction(0.4)] {
+        let mut net = build(cfg, "ablation-quota");
+        let mut rng = rng_for(cfg.seed, "ablation-quota-req");
+        let bcp = BcpConfig { budget: 8, quota: policy, ..BcpConfig::default() };
+        let mut sum = Summary::new();
+        for _ in 0..cfg.requests {
+            let req = random_request(net.overlay(), net.registry(), &loose((2, 4)), &mut rng);
+            if let Ok(out) = net.compose(&req, &bcp) {
+                let best = out
+                    .qualified_pool
+                    .iter()
+                    .map(|(_, e)| e.qos[dim::DELAY_MS])
+                    .fold(out.eval.qos[dim::DELAY_MS], f64::min);
+                sum.record(best);
+            }
+        }
+        means.push(sum.mean());
+    }
+    (means[0], means[1])
+}
+
+/// Study 3: trust-blind vs trust-aware under adversarial hosts.
+fn trust(cfg: &AblationConfig) -> (f64, f64) {
+    let mut rates = Vec::new();
+    for w_trust in [0.0, 4.0] {
+        let mut net = build(cfg, "ablation-trust");
+        // A quarter of the peers are adversarial; the network has learned
+        // this (poisoned reputations from many observers).
+        let adversaries: Vec<PeerId> =
+            (0..cfg.peers as u64).filter(|p| p % 4 == 0).map(PeerId::new).collect();
+        for &a in &adversaries {
+            for observer in 0..8u64 {
+                for _ in 0..20 {
+                    net.trust_mut().record(PeerId::new(observer), a, Experience::Negative);
+                }
+            }
+        }
+        let mut rng = rng_for(cfg.seed, "ablation-trust-req");
+        let bcp = BcpConfig { budget: 16, w_trust, ..BcpConfig::default() };
+        let mut touched = 0usize;
+        let mut composed = 0usize;
+        for _ in 0..cfg.requests {
+            let req = random_request(net.overlay(), net.registry(), &loose((2, 3)), &mut rng);
+            if let Ok(out) = net.compose(&req, &bcp) {
+                composed += 1;
+                if adversaries.iter().any(|&a| out.best.contains_peer(a, net.registry())) {
+                    touched += 1;
+                }
+            }
+        }
+        rates.push(if composed == 0 { 0.0 } else { touched as f64 / composed as f64 });
+    }
+    (rates[0], rates[1])
+}
+
+/// Runs all three studies.
+pub fn run(cfg: &AblationConfig) -> AblationResult {
+    AblationResult {
+        commutation_delay_ms: commutation(cfg),
+        quota_delay_ms: quota(cfg),
+        trust_adversarial_rate: trust(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AblationConfig {
+        AblationConfig { ip_nodes: 300, peers: 60, functions: 10, requests: 15, ..Default::default() }
+    }
+
+    #[test]
+    fn commutation_never_hurts_quality() {
+        let (with_c, without_c, n) = commutation(&tiny());
+        assert!(n > 0, "nothing compared");
+        // Exploring a superset of orders cannot find a worse best.
+        assert!(
+            with_c <= without_c + 1e-6,
+            "commutation worsened delay: {with_c} vs {without_c}"
+        );
+    }
+
+    #[test]
+    fn trust_awareness_reduces_adversarial_exposure() {
+        let (blind, aware) = trust(&tiny());
+        assert!(
+            aware <= blind + 1e-9,
+            "trust weighting increased adversarial exposure: {aware} vs {blind}"
+        );
+    }
+
+    #[test]
+    fn full_run_renders() {
+        let res = run(&tiny());
+        let text = res.to_string();
+        assert!(text.contains("commutation"));
+        assert!(text.contains("quota"));
+        assert!(text.contains("trust"));
+        let (u, r) = res.quota_delay_ms;
+        assert!(u > 0.0 && r > 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Fig. 11 — average end-to-end delay vs probing budget, comparing the
+//! random algorithm, SpiderNet (BCP), and the optimal algorithm.
+//!
+//! The paper's prototype setting (§6.2): ~102 peers, six multimedia
+//! functions, one component per peer (≈17 replicas per function);
+//! compositions require three functions and the goal is the qualified
+//! service graph with *minimum end-to-end delay*. The optimal algorithm
+//! needs 17³ = 4913 probes; BCP's delay falls with budget, degenerating to
+//! random at tiny budgets and asymptotically approaching optimal around a
+//! few hundred probes (≈4% of the flooding cost).
+
+use crate::bcp::{BcpConfig, QuotaPolicy};
+use crate::model::service_graph::{GraphEval, ServiceGraph};
+use crate::system::{SpiderNet, SpiderNetConfig};
+use crate::workload::{random_request, PopulationConfig, RequestConfig};
+use spidernet_util::qos::dim;
+use spidernet_util::rng::rng_for;
+use spidernet_util::stats::Summary;
+use std::fmt;
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Fig11Config {
+    /// IP-layer nodes.
+    pub ip_nodes: usize,
+    /// Overlay peers (paper: 102 PlanetLab hosts).
+    pub peers: usize,
+    /// Function pool (paper: 6 multimedia functions).
+    pub functions: usize,
+    /// Functions per request (paper: 3).
+    pub request_functions: usize,
+    /// Probing budgets to sweep (paper x-axis: 10 … 1000).
+    pub budgets: Vec<u32>,
+    /// Requests averaged per point.
+    pub requests: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Fig11Config {
+    fn default() -> Self {
+        Fig11Config {
+            ip_nodes: 1_000,
+            peers: 102,
+            functions: 6,
+            request_functions: 3,
+            budgets: vec![10, 100, 200, 300, 400, 500, 1000],
+            requests: 50,
+            seed: 11,
+        }
+    }
+}
+
+/// The regenerated figure.
+#[derive(Clone, Debug)]
+pub struct Fig11Result {
+    /// Budget points.
+    pub budgets: Vec<u32>,
+    /// Mean delay of SpiderNet's pick at each budget, ms.
+    pub spidernet_ms: Vec<f64>,
+    /// Mean delay of the random pick (budget-independent), ms.
+    pub random_ms: f64,
+    /// Mean delay of the optimal pick, ms.
+    pub optimal_ms: f64,
+    /// The optimal algorithm's probe count (Π Z_k averaged), for the
+    /// "4% of flooding" ratio.
+    pub optimal_probes: f64,
+}
+
+impl fmt::Display for Fig11Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# Fig. 11 — average delay vs probing budget")?;
+        writeln!(f, "{:>8} {:>12} {:>12} {:>12}", "budget", "Random", "SpiderNet", "Optimal")?;
+        for (i, &b) in self.budgets.iter().enumerate() {
+            writeln!(
+                f,
+                "{b:>8} {:>12.1} {:>12.1} {:>12.1}",
+                self.random_ms, self.spidernet_ms[i], self.optimal_ms
+            )?;
+        }
+        writeln!(f, "optimal probes (mean): {:.0}", self.optimal_probes)
+    }
+}
+
+impl Fig11Result {
+    /// CSV rendering: `budget,random_ms,spidernet_ms,optimal_ms`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("budget,random_ms,spidernet_ms,optimal_ms\n");
+        for (i, &b) in self.budgets.iter().enumerate() {
+            out.push_str(&format!(
+                "{b},{:.2},{:.2},{:.2}\n",
+                self.random_ms, self.spidernet_ms[i], self.optimal_ms
+            ));
+        }
+        out
+    }
+}
+
+/// Minimum-delay pick among the best graph and the qualified pool.
+fn min_delay(best: &(ServiceGraph, GraphEval), pool: &[(ServiceGraph, GraphEval)]) -> f64 {
+    let mut d = best.1.qos[dim::DELAY_MS];
+    for (_, e) in pool {
+        d = d.min(e.qos[dim::DELAY_MS]);
+    }
+    d
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &Fig11Config) -> Fig11Result {
+    let mut net = SpiderNet::build(&SpiderNetConfig {
+        ip_nodes: cfg.ip_nodes,
+        peers: cfg.peers,
+        seed: cfg.seed,
+        ..SpiderNetConfig::default()
+    });
+    // One component per peer, drawn from the small function pool — the
+    // prototype's deployment (§6.2).
+    net.populate(&PopulationConfig {
+        functions: cfg.functions,
+        components_per_peer: (1, 1),
+        ..PopulationConfig::default()
+    });
+
+    let req_cfg = RequestConfig {
+        functions: (cfg.request_functions, cfg.request_functions),
+        // The experiment minimizes delay among qualified graphs; generous
+        // bounds keep qualification from masking the metric.
+        delay_bound_ms: (50_000.0, 50_001.0),
+        loss_bound: (0.5, 0.51),
+        max_failure_prob: 1.0,
+        ..RequestConfig::default()
+    };
+
+    // A fixed request set shared by every algorithm and budget.
+    let mut rng = rng_for(cfg.seed, "fig11-requests");
+    let requests: Vec<_> = (0..cfg.requests)
+        .map(|_| random_request(net.overlay(), net.registry(), &req_cfg, &mut rng))
+        .collect();
+
+    // Optimal + random references.
+    let mut rand_rng = rng_for(cfg.seed, "fig11-random");
+    let mut random_sum = Summary::new();
+    let mut optimal_sum = Summary::new();
+    let mut probes_sum = Summary::new();
+    for req in &requests {
+        if let Ok(out) = net.compose_random(req, &mut rand_rng) {
+            random_sum.record(out.eval.qos[dim::DELAY_MS]);
+        }
+        if let Ok(out) = net.compose_optimal(req, None) {
+            optimal_sum.record(min_delay(&(out.best.clone(), out.eval.clone()), &out.qualified_pool));
+            probes_sum.record(out.probes as f64);
+        }
+    }
+
+    // BCP sweep.
+    let mut spidernet_ms = Vec::with_capacity(cfg.budgets.len());
+    for &budget in &cfg.budgets {
+        let bcp = BcpConfig {
+            budget,
+            quota: QuotaPolicy::Uniform(budget.max(1)),
+            merge_cap: 4096,
+            ..BcpConfig::default()
+        };
+        let mut sum = Summary::new();
+        for req in &requests {
+            match net.compose(req, &bcp) {
+                Ok(out) => {
+                    sum.record(min_delay(&(out.best.clone(), out.eval.clone()), &out.qualified_pool))
+                }
+                Err(_) => {
+                    // Budget too small to find anything qualified: fall
+                    // back to the random pick's delay, mirroring the
+                    // paper's "degenerates into the random algorithm".
+                    if let Ok(out) = net.compose_random(req, &mut rand_rng) {
+                        sum.record(out.eval.qos[dim::DELAY_MS]);
+                    }
+                }
+            }
+        }
+        spidernet_ms.push(sum.mean());
+    }
+
+    Fig11Result {
+        budgets: cfg.budgets.clone(),
+        spidernet_ms,
+        random_ms: random_sum.mean(),
+        optimal_ms: optimal_sum.mean(),
+        optimal_probes: probes_sum.mean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig11Config {
+        Fig11Config {
+            ip_nodes: 300,
+            peers: 40,
+            functions: 4,
+            request_functions: 3,
+            budgets: vec![1, 8, 64],
+            requests: 10,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn delay_improves_with_budget_toward_optimal() {
+        let res = run(&tiny());
+        assert_eq!(res.spidernet_ms.len(), 3);
+        // Optimal lower-bounds everything.
+        for &d in &res.spidernet_ms {
+            assert!(d + 1e-6 >= res.optimal_ms, "BCP beat optimal: {d} < {}", res.optimal_ms);
+        }
+        assert!(res.random_ms + 1e-6 >= res.optimal_ms);
+        // The largest budget must do at least as well as the smallest.
+        assert!(
+            res.spidernet_ms.last().unwrap() <= res.spidernet_ms.first().unwrap(),
+            "more budget made delay worse: {:?}",
+            res.spidernet_ms
+        );
+        assert!(res.optimal_probes >= 1.0);
+        assert!(res.to_string().contains("SpiderNet"));
+    }
+
+    #[test]
+    fn csv_mirrors_budgets() {
+        let res = run(&tiny());
+        let csv = res.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "budget,random_ms,spidernet_ms,optimal_ms");
+        assert_eq!(lines.len(), 1 + res.budgets.len());
+        assert!(lines[1].starts_with("1,"));
+    }
+
+    #[test]
+    fn large_budget_is_near_optimal() {
+        let res = run(&tiny());
+        let last = *res.spidernet_ms.last().unwrap();
+        // 40 peers / 4 functions = 10 replicas per function; 64 probes over
+        // 10³ = 1000 combos should land within 25% of optimal.
+        assert!(
+            last <= res.optimal_ms * 1.25 + 5.0,
+            "budget-64 BCP too far from optimal: {last} vs {}",
+            res.optimal_ms
+        );
+    }
+}

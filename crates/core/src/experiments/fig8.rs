@@ -1,0 +1,344 @@
+//! Fig. 8 — composition success rate vs workload, five algorithms.
+//!
+//! The paper's setting: 10,000-node IP network, 1,000 peers each providing
+//! \[1,3\] of 200 functions; during each time unit a configurable number of
+//! composition requests arrives; each run lasts 2,000 time units. The
+//! "QoS success rate" counts compositions that satisfy function, resource,
+//! and QoS requirements. Algorithms: optimal (unbounded flooding),
+//! probing-0.2 and probing-0.1 (BCP at 20% / 10% of the optimal probe
+//! count), random, and static.
+//!
+//! Defaults below are scaled down (see [`Fig8Config::paper_scale`] for the
+//! full-size run); the claim under test is the *ordering and shape*:
+//! optimal ≈ probing-0.2 ≥ probing-0.1 ≫ random > static, with success
+//! decaying as workload grows.
+
+use crate::bcp::{BcpConfig, LookupMode, QuotaPolicy};
+use crate::state::SessionAllocation;
+use crate::system::{SpiderNet, SpiderNetConfig};
+use crate::workload::{random_request, PopulationConfig, RequestConfig};
+use crate::{recovery, selection};
+use spidernet_util::rng::{rng_for, Rng};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One competing algorithm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// Exhaustive flooding (global best), probe count Π Z_k.
+    Optimal,
+    /// BCP with budget = `fraction` × (optimal probe count).
+    Probing(f64),
+    /// Random functionally-qualified pick.
+    Random,
+    /// Fixed pre-defined pick.
+    Static,
+}
+
+impl Algorithm {
+    /// Stable label used in result rows (matches the paper's legend).
+    pub fn label(&self) -> String {
+        match self {
+            Algorithm::Optimal => "Optimal".into(),
+            Algorithm::Probing(f) => format!("probing-{f}"),
+            Algorithm::Random => "Random".into(),
+            Algorithm::Static => "Static".into(),
+        }
+    }
+}
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Fig8Config {
+    /// IP-layer nodes.
+    pub ip_nodes: usize,
+    /// Overlay peers.
+    pub peers: usize,
+    /// Function pool size.
+    pub functions: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulated time units per run.
+    pub duration_units: u64,
+    /// Workload points: requests per time unit.
+    pub workloads: Vec<u64>,
+    /// Session lifetime in time units (uniform range).
+    pub session_lifetime: (u64, u64),
+    /// Request shape.
+    pub request: RequestConfig,
+    /// Component population shape.
+    pub population: PopulationConfig,
+    /// Enumeration cap for the optimal baseline (None = exact).
+    pub optimal_cap: Option<u64>,
+    /// Algorithms to run.
+    pub algorithms: Vec<Algorithm>,
+}
+
+impl Default for Fig8Config {
+    fn default() -> Self {
+        Fig8Config {
+            ip_nodes: 1_000,
+            peers: 200,
+            functions: 40,
+            seed: 8,
+            duration_units: 100,
+            workloads: vec![5, 10, 15, 20, 25],
+            session_lifetime: (10, 30),
+            request: RequestConfig { functions: (2, 4), ..RequestConfig::default() },
+            population: PopulationConfig { functions: 40, ..PopulationConfig::default() },
+            optimal_cap: Some(2_000),
+            algorithms: vec![
+                Algorithm::Optimal,
+                Algorithm::Probing(0.2),
+                Algorithm::Probing(0.1),
+                Algorithm::Random,
+                Algorithm::Static,
+            ],
+        }
+    }
+}
+
+impl Fig8Config {
+    /// The paper's full-size setting (minutes of runtime).
+    pub fn paper_scale() -> Self {
+        Fig8Config {
+            ip_nodes: 10_000,
+            peers: 1_000,
+            functions: 200,
+            duration_units: 2_000,
+            workloads: vec![50, 100, 150, 200, 250],
+            population: PopulationConfig { functions: 200, ..PopulationConfig::default() },
+            optimal_cap: None,
+            ..Fig8Config::default()
+        }
+    }
+}
+
+/// One row of the figure: success rate per algorithm at one workload.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    /// Requests per time unit.
+    pub workload: u64,
+    /// Algorithm label → success rate in [0, 1].
+    pub success: BTreeMap<String, f64>,
+}
+
+/// The regenerated figure.
+#[derive(Clone, Debug)]
+pub struct Fig8Result {
+    /// One row per workload point.
+    pub rows: Vec<Fig8Row>,
+}
+
+impl fmt::Display for Fig8Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# Fig. 8 — composition success rate vs workload")?;
+        let labels: Vec<&String> =
+            self.rows.first().map(|r| r.success.keys().collect()).unwrap_or_default();
+        write!(f, "{:>10}", "workload")?;
+        for l in &labels {
+            write!(f, " {l:>14}")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{:>10}", row.workload)?;
+            for l in &labels {
+                write!(f, " {:>14.3}", row.success[*l])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Fig8Result {
+    /// CSV rendering: `workload,<algorithm columns>`, one row per point.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let labels: Vec<&String> =
+            self.rows.first().map(|r| r.success.keys().collect()).unwrap_or_default();
+        out.push_str("workload");
+        for l in &labels {
+            out.push(',');
+            out.push_str(l);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.workload.to_string());
+            for l in &labels {
+                out.push_str(&format!(",{:.4}", row.success[*l]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The per-request probe budget for a BCP fraction: `fraction × Π Z_k`,
+/// floored at 1.
+fn fraction_budget(net: &SpiderNet, req: &crate::model::request::CompositionRequest, fraction: f64) -> u32 {
+    let combos: f64 = req
+        .function_graph
+        .functions()
+        .iter()
+        .map(|&f| net.registry().replicas(f).len() as f64)
+        .product();
+    ((combos * fraction).round() as u32).max(1)
+}
+
+/// Runs one algorithm at one workload point; returns its success rate.
+fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> f64 {
+    let mut net = SpiderNet::build(&SpiderNetConfig {
+        ip_nodes: cfg.ip_nodes,
+        peers: cfg.peers,
+        seed: cfg.seed,
+        ..SpiderNetConfig::default()
+    });
+    net.populate(&cfg.population);
+    // The request stream is seeded identically for every algorithm so they
+    // face the same demand.
+    let mut req_rng: Rng = rng_for(cfg.seed, "fig8-requests");
+    let mut algo_rng: Rng = rng_for(cfg.seed, "fig8-algo");
+
+    let mut active: Vec<(u64, SessionAllocation)> = Vec::new();
+    let mut successes = 0u64;
+    let mut attempts = 0u64;
+
+    for unit in 0..cfg.duration_units {
+        // Expire finished sessions.
+        let (expired, rest): (Vec<_>, Vec<_>) =
+            active.into_iter().partition(|(end, _)| *end <= unit);
+        active = rest;
+        for (_, alloc) in expired {
+            net.state_mut().release(&alloc);
+        }
+
+        for _ in 0..workload {
+            let req = random_request(net.overlay(), net.registry(), &cfg.request, &mut req_rng);
+            let lifetime = {
+                use rand::Rng as _;
+                let (lo, hi) = cfg.session_lifetime;
+                req_rng.gen_range(lo..=hi)
+            };
+            attempts += 1;
+
+            // Each algorithm picks a graph; success = picked graph is
+            // qualified AND its resources commit.
+            let picked = match algo {
+                Algorithm::Optimal => {
+                    net.compose_optimal(&req, cfg.optimal_cap).ok().map(|o| (o.best, o.eval))
+                }
+                Algorithm::Probing(fraction) => {
+                    let budget = fraction_budget(&net, &req, fraction);
+                    let bcp = BcpConfig {
+                        budget,
+                        quota: QuotaPolicy::ReplicaFraction(fraction.max(0.05)),
+                        merge_cap: 256,
+                        lookup: LookupMode::Prefetch,
+                        ..BcpConfig::default()
+                    };
+                    net.compose(&req, &bcp).ok().map(|o| (o.best, o.eval))
+                }
+                Algorithm::Random => net
+                    .compose_random(&req, &mut algo_rng)
+                    .ok()
+                    .filter(|o| selection::is_qualified(&o.eval, &req))
+                    .map(|o| (o.best, o.eval)),
+                Algorithm::Static => net
+                    .compose_static(&req)
+                    .ok()
+                    .filter(|o| selection::is_qualified(&o.eval, &req))
+                    .map(|o| (o.best, o.eval)),
+            };
+
+            if let Some((graph, _)) = picked {
+                // Commit the session's resources for its lifetime.
+                let (peers, links) = {
+                    let mut paths = crate::paths::PathTable::new();
+                    recovery::session_demands(&graph, &req, net.registry(), net.overlay(), &mut paths)
+                };
+                if let Ok(alloc) = net.state_mut().commit(&peers, &links) {
+                    active.push((unit + lifetime, alloc));
+                    successes += 1;
+                }
+            }
+        }
+    }
+    successes as f64 / attempts.max(1) as f64
+}
+
+/// Runs the full figure.
+pub fn run(cfg: &Fig8Config) -> Fig8Result {
+    let mut rows = Vec::with_capacity(cfg.workloads.len());
+    for &workload in &cfg.workloads {
+        let mut success = BTreeMap::new();
+        for &algo in &cfg.algorithms {
+            success.insert(algo.label(), run_cell(cfg, algo, workload));
+        }
+        rows.push(Fig8Row { workload, success });
+    }
+    Fig8Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig8Config {
+        Fig8Config {
+            ip_nodes: 300,
+            peers: 60,
+            functions: 12,
+            duration_units: 20,
+            workloads: vec![3, 9],
+            population: PopulationConfig { functions: 12, ..PopulationConfig::default() },
+            optimal_cap: Some(200),
+            request: RequestConfig { functions: (2, 3), ..RequestConfig::default() },
+            ..Fig8Config::default()
+        }
+    }
+
+    #[test]
+    fn produces_one_row_per_workload_and_all_labels() {
+        let cfg = tiny();
+        let res = run(&cfg);
+        assert_eq!(res.rows.len(), 2);
+        for row in &res.rows {
+            assert_eq!(row.success.len(), 5);
+            for &rate in row.success.values() {
+                assert!((0.0..=1.0).contains(&rate));
+            }
+        }
+        // Display renders without panicking and mentions every algorithm.
+        let text = res.to_string();
+        assert!(text.contains("probing-0.2"));
+        assert!(text.contains("Optimal"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let cfg = tiny();
+        let res = run(&cfg);
+        let csv = res.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + res.rows.len());
+        assert!(lines[0].starts_with("workload,"));
+        assert!(lines[0].contains("Optimal"));
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), 6); // workload + 5 algorithms
+        }
+    }
+
+    #[test]
+    fn qos_aware_algorithms_beat_blind_ones() {
+        let cfg = tiny();
+        let res = run(&cfg);
+        // Averaged over workloads, optimal and probing-0.2 must beat
+        // random and static (the paper's headline ordering).
+        let avg = |label: &str| -> f64 {
+            res.rows.iter().map(|r| r.success[label]).sum::<f64>() / res.rows.len() as f64
+        };
+        assert!(avg("Optimal") >= avg("Random"), "optimal below random");
+        assert!(avg("probing-0.2") >= avg("Static"), "probing below static");
+    }
+}

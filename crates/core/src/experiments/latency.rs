@@ -1,0 +1,256 @@
+//! E7 — recovery-latency distribution: proactive backup switching vs
+//! reactive re-composition.
+//!
+//! The paper's §5 argument: proactive recovery is "especially important
+//! for soft real time applications" because switching to a maintained
+//! backup avoids "the delay and overhead of triggering BCP to find a new
+//! composition". This experiment quantifies that delay gap. Recovery
+//! latency is modeled as:
+//!
+//! * **proactive**: failure-detection delay + stream switch delay;
+//! * **reactive**: failure-detection delay + a full BCP round (discovery +
+//!   probing in virtual network time) + session re-initialization (ack
+//!   traversal of the new graph).
+//!
+//! The experiment drives a churn loop, forces both paths to occur (by
+//! running one arm with backups and one without), and reports the latency
+//! distribution of each.
+
+use crate::bcp::BcpConfig;
+use crate::recovery::{FailureOutcome, RecoveryConfig};
+use crate::system::{SpiderNet, SpiderNetConfig};
+use crate::workload::{random_request, PopulationConfig, RequestConfig};
+use spidernet_sim::ChurnModel;
+use spidernet_util::id::PeerId;
+use spidernet_util::rng::rng_for;
+use spidernet_util::stats::percentile;
+use std::fmt;
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct LatencyConfig {
+    /// IP-layer nodes.
+    pub ip_nodes: usize,
+    /// Overlay peers.
+    pub peers: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Standing sessions.
+    pub sessions: usize,
+    /// Churn time units simulated.
+    pub duration_units: u64,
+    /// Churn process.
+    pub churn: ChurnModel,
+    /// Recovery policy (detection/switch delays).
+    pub recovery: RecoveryConfig,
+    /// Component population.
+    pub population: PopulationConfig,
+    /// Request shape.
+    pub request: RequestConfig,
+    /// BCP configuration (setup + reactive).
+    pub bcp: BcpConfig,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            ip_nodes: 800,
+            peers: 160,
+            seed: 77,
+            sessions: 80,
+            duration_units: 40,
+            churn: ChurnModel { fail_fraction: 0.02, rejoin_after_units: Some(8) },
+            recovery: RecoveryConfig { backup_upper_bound: 4.0, ..RecoveryConfig::default() },
+            population: PopulationConfig { functions: 25, ..PopulationConfig::default() },
+            request: RequestConfig {
+                functions: (2, 4),
+                delay_bound_ms: (350.0, 600.0),
+                loss_bound: (0.03, 0.06),
+                max_failure_prob: 0.12,
+                ..RequestConfig::default()
+            },
+            bcp: BcpConfig { budget: 96, merge_cap: 256, ..BcpConfig::default() },
+        }
+    }
+}
+
+/// Latency distribution of one recovery mechanism, ms.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyDist {
+    /// Raw samples.
+    pub samples: Vec<f64>,
+}
+
+impl LatencyDist {
+    /// p50 / p95 / max summary; NaNs for an empty distribution.
+    pub fn quantiles(&self) -> (f64, f64, f64) {
+        let mut v = self.samples.clone();
+        let p50 = percentile(&mut v, 50.0);
+        let p95 = percentile(&mut v, 95.0);
+        let max = v.last().copied().unwrap_or(f64::NAN);
+        (p50, p95, max)
+    }
+}
+
+/// The measured comparison.
+#[derive(Clone, Debug)]
+pub struct LatencyResult {
+    /// Proactive (backup-switch) recovery latencies.
+    pub proactive: LatencyDist,
+    /// Reactive (full-BCP) recovery latencies.
+    pub reactive: LatencyDist,
+}
+
+impl fmt::Display for LatencyResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# E7 — recovery latency: proactive switch vs reactive re-composition (ms)")?;
+        writeln!(f, "{:>10} {:>8} {:>10} {:>10} {:>10}", "mechanism", "n", "p50", "p95", "max")?;
+        for (name, d) in [("proactive", &self.proactive), ("reactive", &self.reactive)] {
+            let (p50, p95, max) = d.quantiles();
+            writeln!(
+                f,
+                "{name:>10} {:>8} {p50:>10.0} {p95:>10.0} {max:>10.0}",
+                d.samples.len()
+            )?;
+        }
+        let (p_p50, ..) = self.proactive.quantiles();
+        let (r_p50, ..) = self.reactive.quantiles();
+        if p_p50.is_finite() && r_p50.is_finite() && p_p50 > 0.0 {
+            writeln!(f, "median speedup: {:.1}x", r_p50 / p_p50)?;
+        }
+        Ok(())
+    }
+}
+
+impl LatencyResult {
+    /// CSV rendering: `mechanism,n,p50_ms,p95_ms,max_ms`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("mechanism,n,p50_ms,p95_ms,max_ms\n");
+        for (name, d) in [("proactive", &self.proactive), ("reactive", &self.reactive)] {
+            let (p50, p95, max) = d.quantiles();
+            out.push_str(&format!("{name},{},{p50:.1},{p95:.1},{max:.1}\n", d.samples.len()));
+        }
+        out
+    }
+}
+
+/// One arm: proactive (backups on) or reactive (backups off).
+fn run_arm(cfg: &LatencyConfig, proactive: bool) -> LatencyDist {
+    let recovery = RecoveryConfig {
+        backup_upper_bound: if proactive { cfg.recovery.backup_upper_bound } else { 0.0 },
+        ..cfg.recovery.clone()
+    };
+    let mut net = SpiderNet::build(&SpiderNetConfig {
+        ip_nodes: cfg.ip_nodes,
+        peers: cfg.peers,
+        seed: cfg.seed,
+        recovery: recovery.clone(),
+        ..SpiderNetConfig::default()
+    });
+    net.populate(&cfg.population);
+
+    let mut req_rng = rng_for(cfg.seed, "latency-requests");
+    let mut established = 0usize;
+    let mut guard = 0;
+    while established < cfg.sessions && guard < cfg.sessions * 20 {
+        guard += 1;
+        let req = random_request(net.overlay(), net.registry(), &cfg.request, &mut req_rng);
+        if let Ok(outcome) = net.compose(&req, &cfg.bcp) {
+            if net.establish(&req, outcome).is_ok() {
+                established += 1;
+            }
+        }
+    }
+
+    let mut churn_rng = rng_for(cfg.seed, "latency-churn");
+    let mut dist = LatencyDist::default();
+    let mut pending_rejoin: Vec<(u64, PeerId)> = Vec::new();
+
+    for unit in 0..cfg.duration_units {
+        let (due, rest): (Vec<_>, Vec<_>) =
+            pending_rejoin.into_iter().partition(|(t, _)| *t <= unit);
+        pending_rejoin = rest;
+        for (_, p) in due {
+            net.revive_peer(p);
+        }
+        let victims = cfg.churn.sample_failures(&net.state().live_peers(), &mut churn_rng);
+        for v in victims {
+            for (sid, outcome) in net.fail_peer(v) {
+                match outcome {
+                    FailureOutcome::RecoveredByBackup { switch_ms, .. } => {
+                        dist.samples.push(switch_ms);
+                    }
+                    FailureOutcome::NeedsReactive => {
+                        // Reactive latency: detection + BCP protocol time
+                        // + re-init ack (≈ a quarter of the protocol time,
+                        // one reversed traversal of the selected graph).
+                        if let Some(stats) = net.reactive_recover_with_stats(sid, &cfg.bcp) {
+                            let protocol = stats.discovery_ms + stats.probing_ms;
+                            dist.samples.push(
+                                recovery.detection_delay_ms + protocol + protocol * 0.25,
+                            );
+                        }
+                    }
+                }
+            }
+            if let Some(k) = cfg.churn.rejoin_after_units {
+                pending_rejoin.push((unit + k, v));
+            }
+        }
+        net.maintenance_tick();
+    }
+    dist
+}
+
+/// Runs both arms.
+pub fn run(cfg: &LatencyConfig) -> LatencyResult {
+    LatencyResult { proactive: run_arm(cfg, true), reactive: run_arm(cfg, false) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LatencyConfig {
+        LatencyConfig {
+            ip_nodes: 300,
+            peers: 70,
+            sessions: 20,
+            duration_units: 12,
+            population: PopulationConfig { functions: 10, ..PopulationConfig::default() },
+            ..LatencyConfig::default()
+        }
+    }
+
+    #[test]
+    fn proactive_recovery_is_much_faster() {
+        let res = run(&tiny());
+        assert!(!res.proactive.samples.is_empty(), "no proactive recoveries observed");
+        assert!(!res.reactive.samples.is_empty(), "no reactive recoveries observed");
+        let (p50_pro, ..) = res.proactive.quantiles();
+        let (p50_re, ..) = res.reactive.quantiles();
+        assert!(
+            p50_pro < p50_re,
+            "proactive median {p50_pro} not below reactive {p50_re}"
+        );
+        assert!(res.to_string().contains("median speedup"));
+    }
+
+    #[test]
+    fn csv_lists_both_mechanisms() {
+        let res = run(&tiny());
+        let csv = res.to_csv();
+        assert!(csv.starts_with("mechanism,"));
+        assert!(csv.contains("proactive,"));
+        assert!(csv.contains("reactive,"));
+    }
+
+    #[test]
+    fn latencies_include_detection_delay() {
+        let cfg = tiny();
+        let res = run(&cfg);
+        for s in res.proactive.samples.iter().chain(&res.reactive.samples) {
+            assert!(*s >= cfg.recovery.detection_delay_ms, "latency {s} below detection delay");
+        }
+    }
+}

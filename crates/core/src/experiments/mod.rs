@@ -1,0 +1,21 @@
+//! Experiment drivers regenerating the paper's evaluation (§6).
+//!
+//! Each submodule owns one figure or claim:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig8`] | Fig. 8 — composition success rate vs workload, five algorithms |
+//! | [`fig9`] | Fig. 9 — failure frequency over time with/without proactive recovery |
+//! | [`fig11`] | Fig. 11 — average end-to-end delay vs probing budget |
+//! | [`overhead`] | §6.1 claim — BCP vs centralized global-state message overhead |
+//!
+//! Fig. 10 (wide-area session setup time) runs on the threaded runtime and
+//! lives in `spidernet-runtime::experiments`. [`ablation`] adds quality
+//! ablations of the design choices (commutation, quota policy, trust).
+
+pub mod ablation;
+pub mod fig11;
+pub mod latency;
+pub mod fig8;
+pub mod fig9;
+pub mod overhead;

@@ -1,0 +1,245 @@
+//! Service components and the component registry (paper §2.2, Fig. 3).
+//!
+//! A service component is a self-contained application unit hosted on one
+//! peer. It consumes application data units, processes them, and emits
+//! outputs; its contract is the tuple (provisioned function, input quality
+//! Q_in, output quality Q_out, performance quality Q_p, resource
+//! requirements R). Functionally duplicated components share a
+//! [`FunctionId`] but may differ in every other attribute.
+
+use spidernet_util::id::{ComponentId, FunctionId, PeerId};
+use spidernet_util::qos::QosVector;
+use spidernet_util::res::ResourceVector;
+use std::collections::HashMap;
+
+/// One service component instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceComponent {
+    /// Unique component id.
+    pub id: ComponentId,
+    /// Hosting peer.
+    pub peer: PeerId,
+    /// The abstract function it provides.
+    pub function: FunctionId,
+    /// Performance quality Q_p: the component's additive contribution to
+    /// each user-visible QoS dimension (e.g. processing delay in dim 0).
+    pub perf_qos: QosVector,
+    /// End-system resources R consumed per active session.
+    pub resources: ResourceVector,
+    /// Bandwidth demanded on the component's *outgoing* service link,
+    /// Mbit/s (transformations can shrink or grow the stream).
+    pub out_bandwidth_mbps: f64,
+    /// Probability that this component fails during one time unit
+    /// (dominated by its peer's failure behaviour).
+    pub failure_prob: f64,
+}
+
+/// Bidirectional map between function names and [`FunctionId`]s.
+///
+/// Discovery keys are derived from names (hashing in `spidernet-dht`); the
+/// rest of the system uses dense ids.
+#[derive(Clone, Debug, Default)]
+pub struct FunctionCatalog {
+    names: Vec<String>,
+    by_name: HashMap<String, FunctionId>,
+}
+
+impl FunctionCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        FunctionCatalog::default()
+    }
+
+    /// A catalog of `n` synthetic functions named `func-000`, `func-001`, …
+    /// (the simulation study uses 200 pre-defined functions).
+    pub fn synthetic(n: usize) -> Self {
+        let mut c = FunctionCatalog::new();
+        for i in 0..n {
+            c.intern(&format!("func-{i:03}"));
+        }
+        c
+    }
+
+    /// Returns the id for `name`, creating it if new.
+    pub fn intern(&mut self, name: &str) -> FunctionId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = FunctionId::from(self.names.len());
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// The id for `name`, if interned.
+    pub fn lookup(&self, name: &str) -> Option<FunctionId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of `id`.
+    pub fn name(&self, id: FunctionId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned functions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no functions are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// The component registry: dense storage plus by-function and by-peer
+/// indices.
+///
+/// In a deployment each peer knows only its own components and discovers
+/// others through the DHT; the registry is the simulator's ground-truth
+/// table, and protocol code only reads it through discovery results or for
+/// peer-local data.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    components: Vec<ServiceComponent>,
+    by_function: HashMap<FunctionId, Vec<ComponentId>>,
+    by_peer: HashMap<PeerId, Vec<ComponentId>>,
+    catalog: FunctionCatalog,
+}
+
+impl Registry {
+    /// An empty registry with the given catalog.
+    pub fn new(catalog: FunctionCatalog) -> Self {
+        Registry { catalog, ..Registry::default() }
+    }
+
+    /// The function catalog.
+    pub fn catalog(&self) -> &FunctionCatalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (interning new functions).
+    pub fn catalog_mut(&mut self) -> &mut FunctionCatalog {
+        &mut self.catalog
+    }
+
+    /// Adds a component, assigning its id. All fields of `proto` except
+    /// `id` are preserved.
+    pub fn add(&mut self, mut proto: ServiceComponent) -> ComponentId {
+        let id = ComponentId::from(self.components.len());
+        proto.id = id;
+        self.by_function.entry(proto.function).or_default().push(id);
+        self.by_peer.entry(proto.peer).or_default().push(id);
+        self.components.push(proto);
+        id
+    }
+
+    /// The component with the given id. Panics on an unknown id (ids are
+    /// only minted by [`Registry::add`]).
+    pub fn get(&self, id: ComponentId) -> &ServiceComponent {
+        &self.components[id.index()]
+    }
+
+    /// All functionally duplicated components providing `f` — the paper's
+    /// Z_k replicas.
+    pub fn replicas(&self, f: FunctionId) -> &[ComponentId] {
+        self.by_function.get(&f).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Components hosted on `peer`.
+    pub fn on_peer(&self, peer: PeerId) -> &[ComponentId] {
+        self.by_peer.get(&peer).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True if no components are registered.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Iterates all components.
+    pub fn iter(&self) -> impl Iterator<Item = &ServiceComponent> {
+        self.components.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn proto(peer: u64, function: u64) -> ServiceComponent {
+        ServiceComponent {
+            id: ComponentId::new(0),
+            peer: PeerId::new(peer),
+            function: FunctionId::new(function),
+            perf_qos: QosVector::from_values(vec![10.0, 0.01]),
+            resources: ResourceVector::new(0.1, 32.0),
+            out_bandwidth_mbps: 1.0,
+            failure_prob: 0.01,
+        }
+    }
+
+    #[test]
+    fn catalog_interns_and_looks_up() {
+        let mut c = FunctionCatalog::new();
+        let a = c.intern("scale");
+        let b = c.intern("crop");
+        assert_ne!(a, b);
+        assert_eq!(c.intern("scale"), a);
+        assert_eq!(c.lookup("crop"), Some(b));
+        assert_eq!(c.lookup("nope"), None);
+        assert_eq!(c.name(a), "scale");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn synthetic_catalog_has_n_functions() {
+        let c = FunctionCatalog::synthetic(200);
+        assert_eq!(c.len(), 200);
+        assert_eq!(c.lookup("func-000"), Some(FunctionId::new(0)));
+        assert_eq!(c.lookup("func-199"), Some(FunctionId::new(199)));
+    }
+
+    #[test]
+    fn registry_assigns_dense_ids() {
+        let mut r = Registry::default();
+        let a = r.add(proto(0, 0));
+        let b = r.add(proto(1, 0));
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+        assert_eq!(r.get(a).peer, PeerId::new(0));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn replica_index_groups_by_function() {
+        let mut r = Registry::default();
+        let a = r.add(proto(0, 7));
+        let _ = r.add(proto(1, 8));
+        let c = r.add(proto(2, 7));
+        assert_eq!(r.replicas(FunctionId::new(7)), &[a, c]);
+        assert_eq!(r.replicas(FunctionId::new(9)), &[] as &[ComponentId]);
+    }
+
+    #[test]
+    fn peer_index_groups_by_host() {
+        let mut r = Registry::default();
+        let a = r.add(proto(3, 0));
+        let b = r.add(proto(3, 1));
+        let _ = r.add(proto(4, 1));
+        assert_eq!(r.on_peer(PeerId::new(3)), &[a, b]);
+        assert!(r.on_peer(PeerId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn iter_walks_everything() {
+        let mut r = Registry::default();
+        r.add(proto(0, 0));
+        r.add(proto(1, 1));
+        assert_eq!(r.iter().count(), 2);
+    }
+}

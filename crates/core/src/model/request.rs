@@ -1,0 +1,98 @@
+//! Composite service requests (paper §2.1).
+
+use crate::model::function_graph::FunctionGraph;
+use spidernet_util::error::{Error, Result};
+use spidernet_util::id::PeerId;
+use spidernet_util::qos::QosRequirement;
+
+/// A user's composite service request: who talks to whom, through which
+/// function graph, under which QoS, bandwidth, and failure-resilience
+/// requirements.
+#[derive(Clone, Debug)]
+pub struct CompositionRequest {
+    /// The application sender (invokes BCP).
+    pub source: PeerId,
+    /// The application receiver (collects probes, selects the composition).
+    pub dest: PeerId,
+    /// Required functions with dependency/commutation links.
+    pub function_graph: FunctionGraph,
+    /// Multi-constrained QoS requirement Q^req (additive dimensions).
+    pub qos_req: QosRequirement,
+    /// Bandwidth the source stream demands on its first service link,
+    /// Mbit/s (downstream links derive their demand from each component's
+    /// output bandwidth).
+    pub bandwidth_mbps: f64,
+    /// Required upper bound on the composed graph's failure probability
+    /// F^req (per time unit).
+    pub max_failure_prob: f64,
+}
+
+impl CompositionRequest {
+    /// Validates the request's scalar requirements.
+    pub fn validate(&self) -> Result<()> {
+        if self.source == self.dest {
+            return Err(Error::InvalidRequirement("source equals destination".into()));
+        }
+        if !self.bandwidth_mbps.is_finite() || self.bandwidth_mbps <= 0.0 {
+            return Err(Error::InvalidRequirement(format!(
+                "bandwidth {} must be positive",
+                self.bandwidth_mbps
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.max_failure_prob) {
+            return Err(Error::InvalidRequirement(format!(
+                "failure bound {} outside [0,1]",
+                self.max_failure_prob
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CompositionRequest {
+        CompositionRequest {
+            source: PeerId::new(0),
+            dest: PeerId::new(1),
+            function_graph: FunctionGraph::linear(3),
+            qos_req: QosRequirement::new(vec![500.0, 1.0]).unwrap(),
+            bandwidth_mbps: 1.5,
+            max_failure_prob: 0.1,
+        }
+    }
+
+    #[test]
+    fn valid_request_passes() {
+        assert!(base().validate().is_ok());
+    }
+
+    #[test]
+    fn source_equals_dest_rejected() {
+        let mut r = base();
+        r.dest = r.source;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn nonpositive_bandwidth_rejected() {
+        let mut r = base();
+        r.bandwidth_mbps = 0.0;
+        assert!(r.validate().is_err());
+        r.bandwidth_mbps = f64::NAN;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn failure_bound_domain() {
+        let mut r = base();
+        r.max_failure_prob = 1.0;
+        assert!(r.validate().is_ok());
+        r.max_failure_prob = 1.5;
+        assert!(r.validate().is_err());
+        r.max_failure_prob = -0.1;
+        assert!(r.validate().is_err());
+    }
+}

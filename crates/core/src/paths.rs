@@ -1,0 +1,144 @@
+//! Cached overlay shortest paths.
+//!
+//! Service links map onto overlay network paths (paper §2.2); pricing a
+//! candidate service graph therefore needs, for arbitrary peer pairs, the
+//! overlay path's delay, its node sequence (for bandwidth accounting), and
+//! its bottleneck capacity. This table memoizes one overlay SSSP per
+//! queried source.
+
+use spidernet_topology::routing::{dijkstra, PathResult};
+use spidernet_topology::Overlay;
+use spidernet_util::id::PeerId;
+use std::collections::HashMap;
+
+/// Per-source shortest-path cache over the overlay graph.
+#[derive(Default)]
+pub struct PathTable {
+    cache: HashMap<PeerId, PathResult>,
+}
+
+impl PathTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        PathTable::default()
+    }
+
+    fn sssp(&mut self, overlay: &Overlay, from: PeerId) -> &PathResult {
+        self.cache
+            .entry(from)
+            .or_insert_with(|| dijkstra(overlay.graph(), from.index()))
+    }
+
+    /// Overlay-routed one-way delay `from → to`, ms.
+    pub fn delay(&mut self, overlay: &Overlay, from: PeerId, to: PeerId) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        self.sssp(overlay, from).delay_to(to.index())
+    }
+
+    /// The overlay peer path `from → to` (inclusive of both endpoints), or
+    /// `None` if disconnected.
+    pub fn peer_path(&mut self, overlay: &Overlay, from: PeerId, to: PeerId) -> Option<Vec<PeerId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        self.sssp(overlay, from)
+            .path_to(to.index())
+            .map(|p| p.into_iter().map(PeerId::from).collect())
+    }
+
+    /// Static bottleneck capacity of the path `from → to`, Mbit/s.
+    pub fn bottleneck(&mut self, overlay: &Overlay, from: PeerId, to: PeerId) -> Option<f64> {
+        if from == to {
+            return Some(f64::INFINITY);
+        }
+        // Borrow dance: compute the path first, then inspect edges.
+        let path = self.peer_path(overlay, from, to)?;
+        let mut cap = f64::INFINITY;
+        for w in path.windows(2) {
+            cap = cap.min(overlay.link(w[0], w[1]).map(|l| l.capacity_mbps).unwrap_or(0.0));
+        }
+        Some(cap)
+    }
+
+    /// Drops all cached SSSP results. Call after overlay liveness changes
+    /// if stale routes would matter (experiments that fail peers
+    /// mid-stream re-resolve paths per composition anyway).
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Number of cached sources.
+    pub fn cached_sources(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidernet_topology::inet::{generate_power_law, InetConfig};
+    use spidernet_topology::overlay::{OverlayConfig, OverlayStyle};
+
+    fn overlay() -> Overlay {
+        let ip = generate_power_law(&InetConfig { nodes: 150, ..InetConfig::default() }, 4);
+        Overlay::build(
+            &ip,
+            &OverlayConfig { peers: 30, style: OverlayStyle::Mesh { neighbors: 4 } },
+            4,
+        )
+    }
+
+    #[test]
+    fn delay_matches_overlay_route() {
+        let ov = overlay();
+        let mut pt = PathTable::new();
+        let (a, b) = (PeerId::new(0), PeerId::new(17));
+        assert!((pt.delay(&ov, a, b) - ov.route_delay(a, b)).abs() < 1e-9);
+        assert_eq!(pt.delay(&ov, a, a), 0.0);
+    }
+
+    #[test]
+    fn path_endpoints_and_adjacency() {
+        let ov = overlay();
+        let mut pt = PathTable::new();
+        let (a, b) = (PeerId::new(3), PeerId::new(25));
+        let path = pt.peer_path(&ov, a, b).unwrap();
+        assert_eq!(*path.first().unwrap(), a);
+        assert_eq!(*path.last().unwrap(), b);
+        for w in path.windows(2) {
+            assert!(ov.link(w[0], w[1]).is_some(), "non-adjacent hop {w:?}");
+        }
+    }
+
+    #[test]
+    fn bottleneck_matches_overlay() {
+        let ov = overlay();
+        let mut pt = PathTable::new();
+        let (a, b) = (PeerId::new(1), PeerId::new(20));
+        let got = pt.bottleneck(&ov, a, b).unwrap();
+        let expect = ov.route_bottleneck(a, b).unwrap();
+        assert!((got - expect).abs() < 1e-9);
+        assert!(pt.bottleneck(&ov, a, a).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn caching_and_invalidation() {
+        let ov = overlay();
+        let mut pt = PathTable::new();
+        pt.delay(&ov, PeerId::new(0), PeerId::new(1));
+        pt.delay(&ov, PeerId::new(0), PeerId::new(2));
+        assert_eq!(pt.cached_sources(), 1);
+        pt.invalidate();
+        assert_eq!(pt.cached_sources(), 0);
+    }
+
+    #[test]
+    fn self_path_is_trivial() {
+        let ov = overlay();
+        let mut pt = PathTable::new();
+        let p = PeerId::new(9);
+        assert_eq!(pt.peer_path(&ov, p, p).unwrap(), vec![p]);
+    }
+}

@@ -1,0 +1,435 @@
+//! Destination-side composition selection (paper §4.3).
+//!
+//! The destination (1) merges per-branch probe results into complete
+//! service graphs, (2) filters them against the user's QoS and resource
+//! requirements, and (3) picks the qualified graph minimizing the ψ cost
+//! aggregation (Eq. 1), which expresses load balancing: a smaller ψ means
+//! the graph's peers and paths have more headroom relative to the demand
+//! placed on them.
+
+use crate::model::component::Registry;
+use crate::model::function_graph::FunctionGraph;
+use crate::model::request::CompositionRequest;
+use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
+use crate::paths::PathTable;
+use crate::state::OverlayState;
+use spidernet_topology::Overlay;
+use spidernet_util::id::ComponentId;
+use spidernet_util::qos::{dim, QosVector};
+use std::collections::HashMap;
+
+/// Evaluates one candidate service graph against a request.
+///
+/// QoS accumulation follows branch semantics: each additive dimension is
+/// summed along every source→…→destination branch path (component Q_p plus
+/// overlay path delay into dimension [`dim::DELAY_MS`]), and the
+/// user-visible value is the worst branch.
+pub fn evaluate(
+    graph: &ServiceGraph,
+    req: &CompositionRequest,
+    reg: &Registry,
+    overlay: &Overlay,
+    state: &OverlayState,
+    paths: &mut PathTable,
+    weights: &CostWeights,
+) -> GraphEval {
+    let m = req.qos_req.dims();
+
+    // --- QoS: worst branch of per-branch accumulation ---
+    let mut qos = QosVector::zeros(m);
+    for branch in graph.pattern.branch_paths() {
+        let mut acc = QosVector::zeros(m);
+        let mut prev_peer = graph.source;
+        for &node in &branch {
+            let comp = reg.get(graph.component_at(node));
+            let link_delay = paths.delay(overlay, prev_peer, comp.peer);
+            let mut leg = vec![0.0; m];
+            leg[dim::DELAY_MS] = link_delay;
+            acc.accumulate(&QosVector::from_values(leg));
+            acc.accumulate(&comp.perf_qos);
+            prev_peer = comp.peer;
+        }
+        let mut tail = vec![0.0; m];
+        tail[dim::DELAY_MS] = paths.delay(overlay, prev_peer, graph.dest);
+        acc.accumulate(&QosVector::from_values(tail));
+        // Element-wise max across branches.
+        let merged: Vec<f64> = qos
+            .values()
+            .iter()
+            .zip(acc.values())
+            .map(|(a, b)| a.max(*b))
+            .collect();
+        qos = QosVector::from_values(merged);
+    }
+
+    // --- resource feasibility + ψ cost ---
+    let mut fits = true;
+    let mut cost = 0.0;
+
+    // End-system term: Σ_j Σ_i w_i · r_i^{s_j} / ra_i^{v_j}.
+    let demand = graph.per_peer_demand(reg);
+    for (&peer, need) in &demand {
+        let avail = state.available(peer);
+        if !need.fits_within(&avail) {
+            fits = false;
+        }
+        cost += need.weighted_usage_ratio(&avail, &weights.resource);
+    }
+
+    // Bandwidth term: Σ_links w_{n+1} · b_ℓ / ba_℘ over each service
+    // link's overlay path, with feasibility on *aggregate* per-overlay-link
+    // demand (branches can share overlay links).
+    let mut per_overlay_link: HashMap<(usize, usize), f64> = HashMap::new();
+    for link in graph.service_links() {
+        let from = graph.peer_of_end(link.from, reg);
+        let to = graph.peer_of_end(link.to, reg);
+        let bw = graph.link_bandwidth(&link, reg, req.bandwidth_mbps);
+        if from == to || bw <= 0.0 {
+            continue;
+        }
+        match paths.peer_path(overlay, from, to) {
+            None => {
+                fits = false;
+                cost = f64::INFINITY;
+            }
+            Some(path) => {
+                let avail = state.path_available(&path);
+                cost += weights.bandwidth * if avail > 0.0 { bw / avail } else { f64::INFINITY };
+                for w in path.windows(2) {
+                    let key = if w[0].index() <= w[1].index() {
+                        (w[0].index(), w[1].index())
+                    } else {
+                        (w[1].index(), w[0].index())
+                    };
+                    *per_overlay_link.entry(key).or_insert(0.0) += bw;
+                }
+            }
+        }
+    }
+    for (&(a, b), &need) in &per_overlay_link {
+        let avail = state.link_available(a.into(), b.into());
+        if avail + 1e-12 < need {
+            fits = false;
+        }
+    }
+
+    // Dead peers disqualify outright.
+    for &c in graph.components() {
+        if !state.is_alive(reg.get(c).peer) {
+            fits = false;
+            cost = f64::INFINITY;
+        }
+    }
+
+    let failure_prob = graph.failure_probability(reg);
+    GraphEval { qos, cost, failure_prob, fits_resources: fits }
+}
+
+/// True if the evaluation satisfies the request's QoS bounds and fits the
+/// overlay's resources — the paper's "qualified service graph".
+pub fn is_qualified(eval: &GraphEval, req: &CompositionRequest) -> bool {
+    eval.fits_resources && req.qos_req.is_satisfied_by(&eval.qos)
+}
+
+/// Merges per-branch assignments into complete graph assignments
+/// (paper §4.3: "we need to first merge the branches into complete service
+/// graphs").
+///
+/// `per_branch[i]` holds candidate assignments for branch path
+/// `branch_paths[i]`, each as `(node index, component)` pairs. Two branch
+/// candidates combine only if they agree on every shared node (e.g. the
+/// fork and join functions of a DAG). At most `cap` complete assignments
+/// are produced (cartesian growth guard).
+pub fn merge_branches(
+    pattern: &FunctionGraph,
+    branch_paths: &[Vec<usize>],
+    per_branch: &[Vec<Vec<(usize, ComponentId)>>],
+    cap: usize,
+) -> Vec<Vec<ComponentId>> {
+    assert_eq!(branch_paths.len(), per_branch.len());
+    let n = pattern.len();
+    // Partial assignment: per-node Option<ComponentId>.
+    let mut partials: Vec<Vec<Option<ComponentId>>> = vec![vec![None; n]];
+    for candidates in per_branch {
+        let mut next: Vec<Vec<Option<ComponentId>>> = Vec::new();
+        'outer: for partial in &partials {
+            for cand in candidates {
+                let mut merged = partial.clone();
+                let mut ok = true;
+                for &(node, comp) in cand {
+                    match merged[node] {
+                        Some(existing) if existing != comp => {
+                            ok = false;
+                            break;
+                        }
+                        _ => merged[node] = Some(comp),
+                    }
+                }
+                if ok {
+                    next.push(merged);
+                    if next.len() >= cap {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        partials = next;
+        if partials.is_empty() {
+            return Vec::new();
+        }
+    }
+    partials
+        .into_iter()
+        .filter_map(|p| p.into_iter().collect::<Option<Vec<ComponentId>>>())
+        .collect()
+}
+
+/// A candidate with its evaluation.
+pub type Candidate = (ServiceGraph, GraphEval);
+
+/// Ranks qualified graphs by ψ and returns `(best, best's eval, others)` —
+/// the others, still cost-ordered, feed backup selection (paper §5).
+pub fn select_best(
+    mut qualified: Vec<Candidate>,
+) -> Option<(ServiceGraph, GraphEval, Vec<Candidate>)> {
+    if qualified.is_empty() {
+        return None;
+    }
+    qualified.sort_by(|a, b| {
+        a.1.cost
+            .partial_cmp(&b.1.cost)
+            .expect("costs are not NaN")
+            .then_with(|| a.0.assignment.cmp(&b.0.assignment))
+    });
+    let (best, eval) = qualified.remove(0);
+    Some((best, eval, qualified))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::component::ServiceComponent;
+    use spidernet_topology::inet::{generate_power_law, InetConfig};
+    use spidernet_topology::overlay::{OverlayConfig, OverlayStyle};
+    use spidernet_util::id::{FunctionId, PeerId};
+    use spidernet_util::qos::QosRequirement;
+    use spidernet_util::res::ResourceVector;
+
+    struct World {
+        overlay: Overlay,
+        reg: Registry,
+        state: OverlayState,
+        paths: PathTable,
+    }
+
+    fn world() -> World {
+        let ip = generate_power_law(&InetConfig { nodes: 150, ..InetConfig::default() }, 6);
+        let overlay = Overlay::build(
+            &ip,
+            &OverlayConfig { peers: 30, style: OverlayStyle::Mesh { neighbors: 4 } },
+            6,
+        );
+        let mut reg = Registry::default();
+        // Function f on peer f+1 (peers 1, 2, 3) plus a duplicate of
+        // function 0 on peer 4.
+        for (peer, function) in [(1u64, 0u64), (2, 1), (3, 2), (4, 0)] {
+            reg.add(ServiceComponent {
+                id: ComponentId::new(0),
+                peer: PeerId::new(peer),
+                function: FunctionId::new(function),
+                perf_qos: QosVector::from_values(vec![10.0, 0.01]),
+                resources: ResourceVector::new(0.2, 32.0),
+                out_bandwidth_mbps: 1.0,
+                failure_prob: 0.01,
+            });
+        }
+        let state = OverlayState::new(&overlay, ResourceVector::new(1.0, 256.0));
+        World { overlay, reg, state, paths: PathTable::new() }
+    }
+
+    fn request() -> CompositionRequest {
+        CompositionRequest {
+            source: PeerId::new(0),
+            dest: PeerId::new(9),
+            function_graph: FunctionGraph::linear(3),
+            qos_req: QosRequirement::new(vec![10_000.0, 10.0]).unwrap(),
+            bandwidth_mbps: 1.0,
+            max_failure_prob: 1.0,
+        }
+    }
+
+    fn chain_assignment() -> Vec<ComponentId> {
+        vec![ComponentId::new(0), ComponentId::new(1), ComponentId::new(2)]
+    }
+
+    #[test]
+    fn evaluation_accumulates_qos_along_the_chain() {
+        let mut w = world();
+        let req = request();
+        let g = ServiceGraph::new(req.source, req.dest, FunctionGraph::linear(3), chain_assignment());
+        let eval = evaluate(&g, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &CostWeights::uniform());
+        // Delay = 3 component Qp (30ms) + 4 overlay legs.
+        let legs = w.paths.delay(&w.overlay, PeerId::new(0), PeerId::new(1))
+            + w.paths.delay(&w.overlay, PeerId::new(1), PeerId::new(2))
+            + w.paths.delay(&w.overlay, PeerId::new(2), PeerId::new(3))
+            + w.paths.delay(&w.overlay, PeerId::new(3), PeerId::new(9));
+        assert!((eval.qos[dim::DELAY_MS] - (30.0 + legs)).abs() < 1e-9);
+        assert!((eval.qos[dim::LOSS] - 0.03).abs() < 1e-12);
+        assert!(eval.fits_resources);
+        assert!(eval.cost.is_finite() && eval.cost > 0.0);
+        assert!(is_qualified(&eval, &req));
+    }
+
+    #[test]
+    fn tight_qos_bound_disqualifies() {
+        let mut w = world();
+        let mut req = request();
+        req.qos_req = QosRequirement::new(vec![1.0, 10.0]).unwrap(); // 1ms budget
+        let g = ServiceGraph::new(req.source, req.dest, FunctionGraph::linear(3), chain_assignment());
+        let eval = evaluate(&g, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &CostWeights::uniform());
+        assert!(!is_qualified(&eval, &req));
+    }
+
+    #[test]
+    fn dead_peer_disqualifies_with_infinite_cost() {
+        let mut w = world();
+        let req = request();
+        w.state.fail_peer(PeerId::new(2));
+        let g = ServiceGraph::new(req.source, req.dest, FunctionGraph::linear(3), chain_assignment());
+        let eval = evaluate(&g, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &CostWeights::uniform());
+        assert!(!eval.fits_resources);
+        assert!(eval.cost.is_infinite());
+    }
+
+    #[test]
+    fn resource_exhaustion_disqualifies() {
+        let mut w = world();
+        let req = request();
+        w.state.set_capacity(PeerId::new(1), ResourceVector::new(0.1, 8.0));
+        let g = ServiceGraph::new(req.source, req.dest, FunctionGraph::linear(3), chain_assignment());
+        let eval = evaluate(&g, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &CostWeights::uniform());
+        assert!(!eval.fits_resources);
+    }
+
+    #[test]
+    fn loaded_peers_cost_more() {
+        let mut w = world();
+        let req = request();
+        let g = ServiceGraph::new(req.source, req.dest, FunctionGraph::linear(3), chain_assignment());
+        let before =
+            evaluate(&g, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &CostWeights::uniform());
+        // Load peer 1 heavily (committed elsewhere).
+        w.state
+            .commit(&[(PeerId::new(1), ResourceVector::new(0.7, 200.0))], &[])
+            .unwrap();
+        let after =
+            evaluate(&g, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &CostWeights::uniform());
+        assert!(after.cost > before.cost, "ψ must grow with load");
+    }
+
+    #[test]
+    fn merge_linear_is_direct() {
+        let pattern = FunctionGraph::linear(2);
+        let branches = pattern.branch_paths();
+        let per_branch = vec![vec![
+            vec![(0, ComponentId::new(0)), (1, ComponentId::new(1))],
+            vec![(0, ComponentId::new(2)), (1, ComponentId::new(3))],
+        ]];
+        let merged = merge_branches(&pattern, &branches, &per_branch, 100);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0], vec![ComponentId::new(0), ComponentId::new(1)]);
+    }
+
+    #[test]
+    fn merge_requires_agreement_on_shared_nodes() {
+        // Diamond 0→1→3, 0→2→3; node 0 and 3 shared between branches.
+        let pattern = FunctionGraph::new(
+            (0..4).map(FunctionId::new).collect(),
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![],
+        )
+        .unwrap();
+        let branches = pattern.branch_paths(); // [[0,1,3],[0,2,3]]
+        let c = ComponentId::new;
+        let per_branch = vec![
+            vec![
+                vec![(0, c(10)), (1, c(11)), (3, c(13))],
+                vec![(0, c(20)), (1, c(21)), (3, c(23))],
+            ],
+            vec![
+                vec![(0, c(10)), (2, c(12)), (3, c(13))], // agrees with first
+                vec![(0, c(99)), (2, c(12)), (3, c(13))], // disagrees on node 0
+            ],
+        ];
+        let merged = merge_branches(&pattern, &branches, &per_branch, 100);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0], vec![c(10), c(11), c(12), c(13)]);
+    }
+
+    #[test]
+    fn merge_cap_limits_output() {
+        let pattern = FunctionGraph::linear(1);
+        let branches = pattern.branch_paths();
+        let cands: Vec<Vec<(usize, ComponentId)>> =
+            (0..50).map(|i| vec![(0, ComponentId::new(i))]).collect();
+        let merged = merge_branches(&pattern, &branches, &[cands], 7);
+        assert_eq!(merged.len(), 7);
+    }
+
+    #[test]
+    fn merge_with_no_candidates_is_empty() {
+        let pattern = FunctionGraph::linear(2);
+        let branches = pattern.branch_paths();
+        let merged = merge_branches(&pattern, &branches, &[vec![]], 10);
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn dag_qos_takes_the_worst_branch() {
+        let mut w = world();
+        let req = CompositionRequest {
+            source: PeerId::new(0),
+            dest: PeerId::new(9),
+            function_graph: FunctionGraph::new(
+                (0..3).map(FunctionId::new).collect(),
+                vec![(0, 1), (0, 2)], // fork: two exit branches
+                vec![],
+            )
+            .unwrap(),
+            qos_req: QosRequirement::new(vec![10_000.0, 10.0]).unwrap(),
+            bandwidth_mbps: 1.0,
+            max_failure_prob: 1.0,
+        };
+        let g = ServiceGraph::new(
+            req.source,
+            req.dest,
+            req.function_graph.clone(),
+            chain_assignment(),
+        );
+        let eval =
+            evaluate(&g, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &CostWeights::uniform());
+        // Compute both branches by hand; the eval must equal the max.
+        let mut leg = |a: u64, b: u64| w.paths.delay(&w.overlay, PeerId::new(a), PeerId::new(b));
+        let branch1 = leg(0, 1) + 10.0 + leg(1, 2) + 10.0 + leg(2, 9); // 0→n0→n1→dest
+        let branch2 = leg(0, 1) + 10.0 + leg(1, 3) + 10.0 + leg(3, 9); // 0→n0→n2→dest
+        assert!((eval.qos[dim::DELAY_MS] - branch1.max(branch2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn select_best_minimizes_cost() {
+        let mut w = world();
+        let req = request();
+        let g1 = ServiceGraph::new(req.source, req.dest, FunctionGraph::linear(3), chain_assignment());
+        let mut a2 = chain_assignment();
+        a2[0] = ComponentId::new(3); // duplicate of function 0 on peer 4
+        let g2 = ServiceGraph::new(req.source, req.dest, FunctionGraph::linear(3), a2);
+        let weights = CostWeights::uniform();
+        let e1 = evaluate(&g1, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &weights);
+        let e2 = evaluate(&g2, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &weights);
+        let expect_first = if e1.cost <= e2.cost { g1.clone() } else { g2.clone() };
+        let (best, _, rest) = select_best(vec![(g1, e1), (g2, e2)]).unwrap();
+        assert_eq!(best.assignment, expect_first.assignment);
+        assert_eq!(rest.len(), 1);
+        assert!(select_best(vec![]).is_none());
+    }
+}

@@ -1,0 +1,298 @@
+//! Declarative composite-request specification.
+//!
+//! The paper's users author function graphs in QoSTalk, an XML-based
+//! visual specification environment [13, 23]. This module provides the
+//! textual equivalent: a small line-oriented format covering everything a
+//! [`CompositionRequest`] needs, parsed without external dependencies.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! function transcode        # node 0
+//! function scale            # node 1
+//! function watermark        # node 2
+//! dep 0 -> 1                # dependency link
+//! dep 1 -> 2
+//! commute 1 2               # commutation link: order exchangeable
+//! max_delay_ms 400
+//! max_loss 0.05
+//! bandwidth_mbps 1.0
+//! max_failure_prob 0.1
+//! ```
+//!
+//! Function names are interned into the catalog at parse time, so a spec
+//! can be written before any replica registers.
+
+use crate::model::component::FunctionCatalog;
+use crate::model::function_graph::FunctionGraph;
+use crate::model::request::CompositionRequest;
+use spidernet_util::error::{Error, Result};
+use spidernet_util::id::{FunctionId, PeerId};
+use spidernet_util::qos::{loss_to_additive, QosRequirement};
+
+/// A parsed specification, independent of endpoints.
+#[derive(Clone, Debug)]
+pub struct RequestSpec {
+    /// The function graph.
+    pub function_graph: FunctionGraph,
+    /// End-to-end delay bound, ms.
+    pub max_delay_ms: f64,
+    /// End-to-end loss bound, probability.
+    pub max_loss: f64,
+    /// Stream bandwidth, Mbit/s.
+    pub bandwidth_mbps: f64,
+    /// Failure-probability bound.
+    pub max_failure_prob: f64,
+}
+
+impl RequestSpec {
+    /// Instantiates the spec into a request between two peers.
+    pub fn into_request(self, source: PeerId, dest: PeerId) -> Result<CompositionRequest> {
+        let req = CompositionRequest {
+            source,
+            dest,
+            function_graph: self.function_graph,
+            qos_req: QosRequirement::new(vec![
+                self.max_delay_ms,
+                loss_to_additive(self.max_loss),
+            ])?,
+            bandwidth_mbps: self.bandwidth_mbps,
+            max_failure_prob: self.max_failure_prob,
+        };
+        req.validate()?;
+        Ok(req)
+    }
+}
+
+fn bad(line_no: usize, msg: impl std::fmt::Display) -> Error {
+    Error::InvalidRequirement(format!("spec line {line_no}: {msg}"))
+}
+
+fn parse_f64(line_no: usize, token: &str, what: &str) -> Result<f64> {
+    token
+        .parse::<f64>()
+        .map_err(|_| bad(line_no, format!("{what} is not a number: {token:?}")))
+}
+
+fn parse_idx(line_no: usize, token: &str, n: usize) -> Result<usize> {
+    let i = token
+        .parse::<usize>()
+        .map_err(|_| bad(line_no, format!("node index is not an integer: {token:?}")))?;
+    if i >= n {
+        return Err(bad(line_no, format!("node index {i} out of range (have {n} functions)")));
+    }
+    Ok(i)
+}
+
+/// Parses a spec, interning function names into `catalog`.
+pub fn parse_spec(text: &str, catalog: &mut FunctionCatalog) -> Result<RequestSpec> {
+    let mut functions: Vec<FunctionId> = Vec::new();
+    let mut deps: Vec<(usize, usize)> = Vec::new();
+    let mut commutations: Vec<(usize, usize)> = Vec::new();
+    let mut max_delay_ms: Option<f64> = None;
+    let mut max_loss: Option<f64> = None;
+    let mut bandwidth_mbps: Option<f64> = None;
+    let mut max_failure_prob: f64 = 1.0;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = tokens.collect();
+        match keyword {
+            "function" => {
+                let [name] = rest.as_slice() else {
+                    return Err(bad(line_no, "expected: function <name>"));
+                };
+                functions.push(catalog.intern(name));
+            }
+            "dep" => {
+                let [a, arrow, b] = rest.as_slice() else {
+                    return Err(bad(line_no, "expected: dep <i> -> <j>"));
+                };
+                if *arrow != "->" {
+                    return Err(bad(line_no, "expected '->' between node indices"));
+                }
+                deps.push((
+                    parse_idx(line_no, a, functions.len())?,
+                    parse_idx(line_no, b, functions.len())?,
+                ));
+            }
+            "commute" => {
+                let [a, b] = rest.as_slice() else {
+                    return Err(bad(line_no, "expected: commute <i> <j>"));
+                };
+                commutations.push((
+                    parse_idx(line_no, a, functions.len())?,
+                    parse_idx(line_no, b, functions.len())?,
+                ));
+            }
+            "max_delay_ms" => {
+                let [v] = rest.as_slice() else {
+                    return Err(bad(line_no, "expected: max_delay_ms <ms>"));
+                };
+                max_delay_ms = Some(parse_f64(line_no, v, "delay bound")?);
+            }
+            "max_loss" => {
+                let [v] = rest.as_slice() else {
+                    return Err(bad(line_no, "expected: max_loss <p>"));
+                };
+                let p = parse_f64(line_no, v, "loss bound")?;
+                if !(0.0..1.0).contains(&p) {
+                    return Err(bad(line_no, format!("loss bound {p} outside [0, 1)")));
+                }
+                max_loss = Some(p);
+            }
+            "bandwidth_mbps" => {
+                let [v] = rest.as_slice() else {
+                    return Err(bad(line_no, "expected: bandwidth_mbps <rate>"));
+                };
+                bandwidth_mbps = Some(parse_f64(line_no, v, "bandwidth")?);
+            }
+            "max_failure_prob" => {
+                let [v] = rest.as_slice() else {
+                    return Err(bad(line_no, "expected: max_failure_prob <p>"));
+                };
+                max_failure_prob = parse_f64(line_no, v, "failure bound")?;
+            }
+            other => return Err(bad(line_no, format!("unknown keyword {other:?}"))),
+        }
+    }
+
+    if functions.is_empty() {
+        return Err(Error::InvalidRequirement("spec declares no functions".into()));
+    }
+    // A spec without dependency links means a linear chain in declaration
+    // order — the common case.
+    if deps.is_empty() && functions.len() > 1 {
+        deps = (0..functions.len() - 1).map(|i| (i, i + 1)).collect();
+    }
+    let function_graph = FunctionGraph::new(functions, deps, commutations)?;
+
+    Ok(RequestSpec {
+        function_graph,
+        max_delay_ms: max_delay_ms
+            .ok_or_else(|| Error::InvalidRequirement("spec missing max_delay_ms".into()))?,
+        max_loss: max_loss
+            .ok_or_else(|| Error::InvalidRequirement("spec missing max_loss".into()))?,
+        bandwidth_mbps: bandwidth_mbps
+            .ok_or_else(|| Error::InvalidRequirement("spec missing bandwidth_mbps".into()))?,
+        max_failure_prob,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "
+        # pervasive content distribution
+        function transcode
+        function scale     # node 1
+        function watermark
+        dep 0 -> 1
+        dep 1 -> 2
+        commute 1 2
+        max_delay_ms 400
+        max_loss 0.05
+        bandwidth_mbps 1.5
+        max_failure_prob 0.1
+    ";
+
+    #[test]
+    fn parses_a_complete_spec() {
+        let mut cat = FunctionCatalog::new();
+        let spec = parse_spec(GOOD, &mut cat).unwrap();
+        assert_eq!(spec.function_graph.len(), 3);
+        assert_eq!(spec.function_graph.deps(), &[(0, 1), (1, 2)]);
+        assert_eq!(spec.function_graph.commutations(), &[(1, 2)]);
+        assert_eq!(spec.max_delay_ms, 400.0);
+        assert_eq!(spec.max_loss, 0.05);
+        assert_eq!(cat.lookup("scale"), Some(spec.function_graph.function(1)));
+        // Two composition patterns from the commutation link.
+        assert_eq!(spec.function_graph.patterns().len(), 2);
+    }
+
+    #[test]
+    fn spec_converts_to_valid_request() {
+        let mut cat = FunctionCatalog::new();
+        let req = parse_spec(GOOD, &mut cat)
+            .unwrap()
+            .into_request(PeerId::new(0), PeerId::new(9))
+            .unwrap();
+        assert_eq!(req.bandwidth_mbps, 1.5);
+        assert!(req.qos_req.bounds()[0] == 400.0);
+        req.validate().unwrap();
+    }
+
+    #[test]
+    fn missing_deps_default_to_linear_chain() {
+        let mut cat = FunctionCatalog::new();
+        let spec = parse_spec(
+            "function a\nfunction b\nfunction c\nmax_delay_ms 100\nmax_loss 0.1\nbandwidth_mbps 1",
+            &mut cat,
+        )
+        .unwrap();
+        assert!(spec.function_graph.is_linear());
+        assert_eq!(spec.function_graph.deps(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn default_failure_bound_is_permissive() {
+        let mut cat = FunctionCatalog::new();
+        let spec = parse_spec(
+            "function a\nmax_delay_ms 100\nmax_loss 0.1\nbandwidth_mbps 1",
+            &mut cat,
+        )
+        .unwrap();
+        assert_eq!(spec.max_failure_prob, 1.0);
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let mut cat = FunctionCatalog::new();
+        let err = parse_spec("function a\nbogus keyword here", &mut cat).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_spec("function a\ndep 0 -> 5\nmax_delay_ms 1", &mut cat).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let err = parse_spec("function a\ndep 0 to 0", &mut cat).unwrap_err();
+        assert!(err.to_string().contains("'->'"), "{err}");
+    }
+
+    #[test]
+    fn missing_required_fields_rejected() {
+        let mut cat = FunctionCatalog::new();
+        for missing in [
+            "function a\nmax_loss 0.1\nbandwidth_mbps 1",     // no delay
+            "function a\nmax_delay_ms 10\nbandwidth_mbps 1",  // no loss
+            "function a\nmax_delay_ms 10\nmax_loss 0.1",      // no bandwidth
+            "max_delay_ms 10\nmax_loss 0.1\nbandwidth_mbps 1", // no functions
+        ] {
+            assert!(parse_spec(missing, &mut cat).is_err(), "accepted: {missing}");
+        }
+    }
+
+    #[test]
+    fn invalid_numbers_and_domains_rejected() {
+        let mut cat = FunctionCatalog::new();
+        assert!(parse_spec("function a\nmax_delay_ms abc", &mut cat).is_err());
+        assert!(parse_spec(
+            "function a\nmax_delay_ms 10\nmax_loss 1.5\nbandwidth_mbps 1",
+            &mut cat
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cyclic_spec_rejected_by_graph_validation() {
+        let mut cat = FunctionCatalog::new();
+        let err = parse_spec(
+            "function a\nfunction b\ndep 0 -> 1\ndep 1 -> 0\nmax_delay_ms 1\nmax_loss 0.1\nbandwidth_mbps 1",
+            &mut cat,
+        );
+        assert!(matches!(err, Err(Error::InvalidFunctionGraph(_))));
+    }
+}

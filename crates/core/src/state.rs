@@ -1,0 +1,453 @@
+//! Live overlay resource state: peer capacities, link bandwidth, soft
+//! (probe-time) and committed (session-time) allocations, and peer
+//! liveness.
+//!
+//! In a deployment this state is sharded across peers — each peer admits
+//! against its own CPU/memory and its adjacent links. The simulator holds
+//! it in one table indexed by peer, but protocol code only touches a peer's
+//! entries in steps that execute *at* that peer, so the semantics match the
+//! fully decentralized system.
+//!
+//! **Soft resource allocation** (paper §4.2 step 2.1): when a probe visits
+//! a peer, required resources are tentatively reserved so that concurrent
+//! probes cannot jointly over-admit; reservations expire after a timeout
+//! unless confirmed. Here the probing engine releases a request's
+//! reservations explicitly at selection time, and the expiry clock handles
+//! probes that die mid-flight.
+
+use spidernet_sim::time::SimTime;
+use spidernet_topology::Overlay;
+use spidernet_util::error::{Error, Result};
+use spidernet_util::id::PeerId;
+use spidernet_util::res::ResourceVector;
+use std::collections::HashMap;
+
+/// Token identifying one soft reservation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SoftToken(u64);
+
+/// A committed per-session allocation, returned by [`OverlayState::commit`]
+/// and passed back to [`OverlayState::release`] at teardown.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionAllocation {
+    /// Per-peer end-system resources held.
+    pub peers: Vec<(PeerId, ResourceVector)>,
+    /// Per-overlay-link bandwidth held (canonical link keys).
+    pub links: Vec<((usize, usize), f64)>,
+}
+
+struct SoftAlloc {
+    peer: PeerId,
+    res: ResourceVector,
+    expires: SimTime,
+}
+
+/// The overlay's live resource state.
+pub struct OverlayState {
+    capacity: Vec<ResourceVector>,
+    soft: Vec<ResourceVector>,
+    committed: Vec<ResourceVector>,
+    alive: Vec<bool>,
+    link_capacity: HashMap<(usize, usize), f64>,
+    link_committed: HashMap<(usize, usize), f64>,
+    soft_allocs: HashMap<SoftToken, SoftAlloc>,
+    next_token: u64,
+}
+
+fn link_key(a: PeerId, b: PeerId) -> (usize, usize) {
+    let (x, y) = (a.index(), b.index());
+    if x <= y {
+        (x, y)
+    } else {
+        (y, x)
+    }
+}
+
+impl OverlayState {
+    /// Initializes state from an overlay: every peer gets
+    /// `peer_capacity`, every overlay link its topology capacity.
+    pub fn new(overlay: &Overlay, peer_capacity: ResourceVector) -> Self {
+        let n = overlay.peer_count();
+        let mut link_capacity = HashMap::new();
+        for (a, b, e) in overlay.graph().edges() {
+            link_capacity.insert((a, b), e.capacity_mbps);
+        }
+        OverlayState {
+            capacity: vec![peer_capacity; n],
+            soft: vec![ResourceVector::ZERO; n],
+            committed: vec![ResourceVector::ZERO; n],
+            alive: vec![true; n],
+            link_capacity,
+            link_committed: HashMap::new(),
+            soft_allocs: HashMap::new(),
+            next_token: 0,
+        }
+    }
+
+    /// Overrides one peer's capacity (heterogeneous populations).
+    pub fn set_capacity(&mut self, peer: PeerId, cap: ResourceVector) {
+        self.capacity[peer.index()] = cap;
+    }
+
+    /// A peer's total capacity.
+    pub fn capacity(&self, peer: PeerId) -> ResourceVector {
+        self.capacity[peer.index()]
+    }
+
+    /// A peer's currently available resources: capacity minus soft and
+    /// committed holdings; zero for a dead peer.
+    pub fn available(&self, peer: PeerId) -> ResourceVector {
+        if !self.alive[peer.index()] {
+            return ResourceVector::ZERO;
+        }
+        self.capacity[peer.index()]
+            .saturating_sub(&self.soft[peer.index()])
+            .saturating_sub(&self.committed[peer.index()])
+    }
+
+    /// Liveness flag.
+    pub fn is_alive(&self, peer: PeerId) -> bool {
+        self.alive[peer.index()]
+    }
+
+    /// Marks a peer failed. Its committed and soft holdings become moot
+    /// (available() is zero while dead); sessions referencing it are the
+    /// recovery layer's problem.
+    pub fn fail_peer(&mut self, peer: PeerId) {
+        self.alive[peer.index()] = false;
+    }
+
+    /// Revives a failed peer with a clean slate (a rejoining peer restarts
+    /// its components; stale holdings from before the failure are dropped).
+    pub fn revive_peer(&mut self, peer: PeerId) {
+        let i = peer.index();
+        self.alive[i] = true;
+        self.soft[i] = ResourceVector::ZERO;
+        self.committed[i] = ResourceVector::ZERO;
+        self.soft_allocs.retain(|_, a| a.peer != peer);
+    }
+
+    /// Live peers (diagnostics).
+    pub fn live_peers(&self) -> Vec<PeerId> {
+        (0..self.alive.len()).filter(|&i| self.alive[i]).map(PeerId::from).collect()
+    }
+
+    // --- soft (probe-time) reservations -------------------------------
+
+    /// Attempts a soft reservation of `res` on `peer`, expiring at
+    /// `expires`. Fails if the peer is dead or lacks headroom.
+    pub fn soft_allocate(
+        &mut self,
+        peer: PeerId,
+        res: ResourceVector,
+        expires: SimTime,
+    ) -> Result<SoftToken> {
+        if !self.alive[peer.index()] || !res.fits_within(&self.available(peer)) {
+            return Err(Error::AdmissionRejected { peer: peer.raw() });
+        }
+        self.soft[peer.index()] = self.soft[peer.index()].add(&res);
+        let token = SoftToken(self.next_token);
+        self.next_token += 1;
+        self.soft_allocs.insert(token, SoftAlloc { peer, res, expires });
+        Ok(token)
+    }
+
+    /// Releases a soft reservation (no-op on an unknown/expired token).
+    pub fn release_soft(&mut self, token: SoftToken) {
+        if let Some(a) = self.soft_allocs.remove(&token) {
+            self.soft[a.peer.index()] = self.soft[a.peer.index()].saturating_sub(&a.res);
+        }
+    }
+
+    /// Drops every reservation whose deadline has passed. Returns how many
+    /// expired.
+    pub fn expire_soft(&mut self, now: SimTime) -> usize {
+        let expired: Vec<SoftToken> = self
+            .soft_allocs
+            .iter()
+            .filter(|(_, a)| a.expires <= now)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in &expired {
+            self.release_soft(*t);
+        }
+        expired.len()
+    }
+
+    /// Number of outstanding soft reservations.
+    pub fn soft_count(&self) -> usize {
+        self.soft_allocs.len()
+    }
+
+    // --- link bandwidth ------------------------------------------------
+
+    /// Available bandwidth on the direct overlay link `{a, b}`, Mbit/s.
+    /// Zero if the link does not exist or either endpoint is dead.
+    pub fn link_available(&self, a: PeerId, b: PeerId) -> f64 {
+        if !self.alive[a.index()] || !self.alive[b.index()] {
+            return 0.0;
+        }
+        let key = link_key(a, b);
+        let cap = self.link_capacity.get(&key).copied().unwrap_or(0.0);
+        let used = self.link_committed.get(&key).copied().unwrap_or(0.0);
+        (cap - used).max(0.0)
+    }
+
+    /// Bottleneck available bandwidth along a peer path (consecutive pairs
+    /// must be overlay links).
+    pub fn path_available(&self, path: &[PeerId]) -> f64 {
+        if path.len() < 2 {
+            return f64::INFINITY;
+        }
+        path.windows(2).map(|w| self.link_available(w[0], w[1])).fold(f64::INFINITY, f64::min)
+    }
+
+    // --- committed (session-time) allocations ---------------------------
+
+    /// Atomically commits a session's demand: per-peer resources and
+    /// per-link bandwidth (links given as peer paths with their demanded
+    /// rate). On any shortfall nothing is taken.
+    pub fn commit(
+        &mut self,
+        peer_demand: &[(PeerId, ResourceVector)],
+        link_demand: &[(Vec<PeerId>, f64)],
+    ) -> Result<SessionAllocation> {
+        // Feasibility pass.
+        for &(p, res) in peer_demand {
+            if !self.alive[p.index()] || !res.fits_within(&self.available(p)) {
+                return Err(Error::AdmissionRejected { peer: p.raw() });
+            }
+        }
+        // Aggregate per-link bandwidth (paths may share links).
+        let mut per_link: HashMap<(usize, usize), f64> = HashMap::new();
+        for (path, bw) in link_demand {
+            for w in path.windows(2) {
+                *per_link.entry(link_key(w[0], w[1])).or_insert(0.0) += bw;
+            }
+        }
+        for (&key, &need) in &per_link {
+            let cap = self.link_capacity.get(&key).copied().unwrap_or(0.0);
+            let used = self.link_committed.get(&key).copied().unwrap_or(0.0);
+            if cap - used < need - 1e-12 {
+                return Err(Error::Network(format!(
+                    "link {key:?} lacks {need} Mbps ({} free)",
+                    cap - used
+                )));
+            }
+        }
+        // Take everything.
+        let mut alloc = SessionAllocation::default();
+        for &(p, res) in peer_demand {
+            self.committed[p.index()] = self.committed[p.index()].add(&res);
+            alloc.peers.push((p, res));
+        }
+        for (key, need) in per_link {
+            *self.link_committed.entry(key).or_insert(0.0) += need;
+            alloc.links.push((key, need));
+        }
+        Ok(alloc)
+    }
+
+    /// Releases a committed allocation at session teardown.
+    pub fn release(&mut self, alloc: &SessionAllocation) {
+        for &(p, res) in &alloc.peers {
+            self.committed[p.index()] = self.committed[p.index()].saturating_sub(&res);
+        }
+        for &(key, bw) in &alloc.links {
+            if let Some(used) = self.link_committed.get_mut(&key) {
+                *used = (*used - bw).max(0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidernet_topology::inet::{generate_power_law, InetConfig};
+    use spidernet_topology::overlay::{OverlayConfig, OverlayStyle};
+
+    fn overlay() -> Overlay {
+        let ip = generate_power_law(&InetConfig { nodes: 120, ..InetConfig::default() }, 2);
+        Overlay::build(
+            &ip,
+            &OverlayConfig { peers: 24, style: OverlayStyle::Mesh { neighbors: 4 } },
+            2,
+        )
+    }
+
+    fn state() -> OverlayState {
+        OverlayState::new(&overlay(), ResourceVector::new(1.0, 256.0))
+    }
+
+    fn t(ms: f64) -> SimTime {
+        SimTime::from_ms(ms)
+    }
+
+    #[test]
+    fn initial_availability_equals_capacity() {
+        let s = state();
+        let p = PeerId::new(0);
+        assert_eq!(s.available(p), s.capacity(p));
+        assert!(s.is_alive(p));
+        assert_eq!(s.live_peers().len(), 24);
+    }
+
+    #[test]
+    fn soft_allocation_reduces_availability_until_released() {
+        let mut s = state();
+        let p = PeerId::new(1);
+        let tok = s.soft_allocate(p, ResourceVector::new(0.4, 100.0), t(1000.0)).unwrap();
+        let avail = s.available(p);
+        assert!((avail.cpu() - 0.6).abs() < 1e-12);
+        s.release_soft(tok);
+        assert_eq!(s.available(p), s.capacity(p));
+    }
+
+    #[test]
+    fn soft_allocation_rejects_overcommit() {
+        let mut s = state();
+        let p = PeerId::new(2);
+        s.soft_allocate(p, ResourceVector::new(0.8, 10.0), t(1000.0)).unwrap();
+        let err = s.soft_allocate(p, ResourceVector::new(0.3, 10.0), t(1000.0));
+        assert_eq!(err.unwrap_err(), Error::AdmissionRejected { peer: 2 });
+    }
+
+    #[test]
+    fn concurrent_probes_cannot_jointly_over_admit() {
+        // The paper's motivation for soft allocation: two probes that each
+        // fit alone must not both pass when together they exceed capacity.
+        let mut s = state();
+        let p = PeerId::new(3);
+        let half = ResourceVector::new(0.6, 100.0);
+        assert!(s.soft_allocate(p, half, t(1000.0)).is_ok());
+        assert!(s.soft_allocate(p, half, t(1000.0)).is_err());
+    }
+
+    #[test]
+    fn expiry_drops_overdue_reservations() {
+        let mut s = state();
+        let p = PeerId::new(4);
+        s.soft_allocate(p, ResourceVector::new(0.5, 10.0), t(100.0)).unwrap();
+        s.soft_allocate(p, ResourceVector::new(0.3, 10.0), t(300.0)).unwrap();
+        assert_eq!(s.expire_soft(t(100.0)), 1);
+        assert_eq!(s.soft_count(), 1);
+        assert!((s.available(p).cpu() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn releasing_unknown_token_is_noop() {
+        let mut s = state();
+        let p = PeerId::new(5);
+        let tok = s.soft_allocate(p, ResourceVector::new(0.1, 1.0), t(10.0)).unwrap();
+        s.release_soft(tok);
+        s.release_soft(tok); // double release
+        assert_eq!(s.available(p), s.capacity(p));
+    }
+
+    #[test]
+    fn dead_peers_have_nothing_available() {
+        let mut s = state();
+        let p = PeerId::new(6);
+        s.fail_peer(p);
+        assert!(!s.is_alive(p));
+        assert_eq!(s.available(p), ResourceVector::ZERO);
+        assert!(s.soft_allocate(p, ResourceVector::new(0.1, 1.0), t(10.0)).is_err());
+        s.revive_peer(p);
+        assert_eq!(s.available(p), s.capacity(p));
+    }
+
+    #[test]
+    fn commit_and_release_roundtrip() {
+        let ov = overlay();
+        let mut s = OverlayState::new(&ov, ResourceVector::new(1.0, 256.0));
+        // Pick a real overlay link for the bandwidth path.
+        let (a, b, e) = ov.graph().edges().next().unwrap();
+        let (pa, pb) = (PeerId::from(a), PeerId::from(b));
+        let alloc = s
+            .commit(
+                &[(pa, ResourceVector::new(0.2, 64.0))],
+                &[(vec![pa, pb], 10.0)],
+            )
+            .unwrap();
+        assert!((s.available(pa).cpu() - 0.8).abs() < 1e-12);
+        assert!((s.link_available(pa, pb) - (e.capacity_mbps - 10.0)).abs() < 1e-9);
+        s.release(&alloc);
+        assert_eq!(s.available(pa), s.capacity(pa));
+        assert!((s.link_available(pa, pb) - e.capacity_mbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn commit_is_atomic_on_failure() {
+        let ov = overlay();
+        let mut s = OverlayState::new(&ov, ResourceVector::new(1.0, 256.0));
+        let (a, b, _) = ov.graph().edges().next().unwrap();
+        let (pa, pb) = (PeerId::from(a), PeerId::from(b));
+        // Second peer demand exceeds capacity → whole commit must fail and
+        // leave the first peer untouched.
+        let err = s.commit(
+            &[
+                (pa, ResourceVector::new(0.2, 64.0)),
+                (pb, ResourceVector::new(5.0, 64.0)),
+            ],
+            &[],
+        );
+        assert!(err.is_err());
+        assert_eq!(s.available(pa), s.capacity(pa));
+    }
+
+    #[test]
+    fn commit_rejects_bandwidth_overload() {
+        let ov = overlay();
+        let mut s = OverlayState::new(&ov, ResourceVector::new(1.0, 256.0));
+        let (a, b, e) = ov.graph().edges().next().unwrap();
+        let (pa, pb) = (PeerId::from(a), PeerId::from(b));
+        let err = s.commit(&[], &[(vec![pa, pb], e.capacity_mbps + 1.0)]);
+        assert!(err.is_err());
+        assert!((s.link_available(pa, pb) - e.capacity_mbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_links_aggregate_demand_within_one_commit() {
+        let ov = overlay();
+        let mut s = OverlayState::new(&ov, ResourceVector::new(1.0, 256.0));
+        let (a, b, e) = ov.graph().edges().next().unwrap();
+        let (pa, pb) = (PeerId::from(a), PeerId::from(b));
+        // Two branch paths over the same link: demands add.
+        let alloc = s
+            .commit(&[], &[(vec![pa, pb], 10.0), (vec![pa, pb], 5.0)])
+            .unwrap();
+        assert!((s.link_available(pa, pb) - (e.capacity_mbps - 15.0)).abs() < 1e-9);
+        s.release(&alloc);
+    }
+
+    #[test]
+    fn path_available_is_bottleneck() {
+        let ov = overlay();
+        let s = OverlayState::new(&ov, ResourceVector::new(1.0, 256.0));
+        // A single-node "path" has infinite bandwidth (no links used).
+        assert!(s.path_available(&[PeerId::new(0)]).is_infinite());
+        let (a, b, e) = ov.graph().edges().next().unwrap();
+        let got = s.path_available(&[PeerId::from(a), PeerId::from(b)]);
+        assert!((got - e.capacity_mbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonexistent_link_has_zero_bandwidth() {
+        let ov = overlay();
+        let s = OverlayState::new(&ov, ResourceVector::new(1.0, 256.0));
+        // Find a non-adjacent pair.
+        let g = ov.graph();
+        let mut pair = None;
+        'outer: for x in 0..g.node_count() {
+            for y in (x + 1)..g.node_count() {
+                if !g.has_edge(x, y) {
+                    pair = Some((x, y));
+                    break 'outer;
+                }
+            }
+        }
+        let (x, y) = pair.expect("mesh is not complete");
+        assert_eq!(s.link_available(PeerId::from(x), PeerId::from(y)), 0.0);
+    }
+}

@@ -1,0 +1,664 @@
+//! The `SpiderNet` facade: one object tying together the overlay, the
+//! Pastry discovery substrate, live resource state, the BCP protocol,
+//! baselines, and session management.
+//!
+//! This is the API examples and experiment drivers program against:
+//!
+//! ```
+//! use spidernet_core::system::{SpiderNet, SpiderNetConfig};
+//! use spidernet_core::workload::{self, PopulationConfig, RequestConfig};
+//! use spidernet_core::bcp::BcpConfig;
+//! use spidernet_util::rng::rng_for;
+//!
+//! let mut net = SpiderNet::build(&SpiderNetConfig {
+//!     ip_nodes: 200,
+//!     peers: 40,
+//!     seed: 7,
+//!     ..SpiderNetConfig::default()
+//! });
+//! net.populate(&PopulationConfig { functions: 20, ..Default::default() });
+//! let mut rng = rng_for(7, "doc");
+//! let req = workload::random_request(net.overlay(), net.registry(), &RequestConfig::default(), &mut rng);
+//! match net.compose(&req, &BcpConfig::default()) {
+//!     Ok(outcome) => println!("composed over {} components", outcome.best.assignment.len()),
+//!     Err(e) => println!("not composable: {e}"),
+//! }
+//! ```
+
+use crate::baselines::{self, BaselineContext, BaselineOutcome};
+use crate::bcp::{BcpConfig, BcpEngine, CompositionOutcome};
+use crate::model::component::{Registry, ServiceComponent};
+use crate::model::request::CompositionRequest;
+use crate::model::service_graph::CostWeights;
+use crate::paths::PathTable;
+use crate::recovery::{FailureOutcome, RecoveryConfig, SessionManager};
+use crate::state::OverlayState;
+use crate::trust::{Experience, TrustManager};
+use crate::workload::{populate, PopulationConfig};
+use spidernet_dht::{PastryNetwork, ServiceDirectory, ServiceMeta};
+use spidernet_sim::metrics::{counter, Metrics};
+use spidernet_sim::time::{SimDuration, SimTime};
+use spidernet_topology::inet::{generate_power_law, InetConfig};
+use spidernet_topology::overlay::{Overlay, OverlayConfig, OverlayStyle};
+use spidernet_util::error::Result;
+use spidernet_util::id::{ComponentId, PeerId, SessionId};
+use spidernet_util::res::ResourceVector;
+use spidernet_util::rng::Rng;
+
+/// End-to-end construction parameters.
+#[derive(Clone, Debug)]
+pub struct SpiderNetConfig {
+    /// IP-layer nodes (paper: 10,000).
+    pub ip_nodes: usize,
+    /// Overlay peers (paper: 1,000).
+    pub peers: usize,
+    /// Overlay wiring.
+    pub style: OverlayStyle,
+    /// Master seed.
+    pub seed: u64,
+    /// Uniform peer capacity.
+    pub peer_capacity: ResourceVector,
+    /// ψ weights.
+    pub weights: CostWeights,
+    /// Recovery policy.
+    pub recovery: RecoveryConfig,
+}
+
+impl Default for SpiderNetConfig {
+    fn default() -> Self {
+        SpiderNetConfig {
+            ip_nodes: 10_000,
+            peers: 1_000,
+            style: OverlayStyle::Mesh { neighbors: 6 },
+            seed: 0,
+            peer_capacity: ResourceVector::new(1.0, 256.0),
+            weights: CostWeights::uniform(),
+            recovery: RecoveryConfig::default(),
+        }
+    }
+}
+
+/// The assembled SpiderNet middleware over one simulated overlay.
+pub struct SpiderNet {
+    overlay: Overlay,
+    reg: Registry,
+    pastry: PastryNetwork,
+    directory: ServiceDirectory,
+    state: OverlayState,
+    paths: PathTable,
+    weights: CostWeights,
+    metrics: Metrics,
+    sessions: SessionManager,
+    trust: TrustManager,
+    now: SimTime,
+    seed: u64,
+}
+
+impl SpiderNet {
+    /// Generates the IP network, promotes peers, builds the Pastry ring,
+    /// and wires everything up. Component population is a separate step
+    /// ([`SpiderNet::populate`] or [`SpiderNet::add_component`]).
+    pub fn build(cfg: &SpiderNetConfig) -> SpiderNet {
+        let ip = generate_power_law(
+            &InetConfig { nodes: cfg.ip_nodes, ..InetConfig::default() },
+            cfg.seed,
+        );
+        let overlay =
+            Overlay::build(&ip, &OverlayConfig { peers: cfg.peers, style: cfg.style }, cfg.seed);
+        SpiderNet::from_overlay(overlay, cfg)
+    }
+
+    /// Wires SpiderNet over a pre-built overlay (tests, custom topologies).
+    pub fn from_overlay(overlay: Overlay, cfg: &SpiderNetConfig) -> SpiderNet {
+        let peers: Vec<PeerId> = overlay.peers().collect();
+        let mut paths = PathTable::new();
+        let mut prox = |a: PeerId, b: PeerId| paths.delay(&overlay, a, b);
+        let pastry = PastryNetwork::build(&peers, &mut prox);
+        let state = OverlayState::new(&overlay, cfg.peer_capacity);
+        SpiderNet {
+            overlay,
+            reg: Registry::default(),
+            pastry,
+            directory: ServiceDirectory::new(),
+            state,
+            paths,
+            weights: cfg.weights,
+            metrics: Metrics::new(),
+            sessions: SessionManager::new(cfg.recovery.clone()),
+            trust: TrustManager::new(0.98),
+            now: SimTime::ZERO,
+            seed: cfg.seed,
+        }
+    }
+
+    /// Populates every peer with random components and registers them in
+    /// the DHT directory.
+    pub fn populate(&mut self, cfg: &PopulationConfig) {
+        self.reg = populate(&self.overlay, cfg, self.seed);
+        let metas: Vec<(String, ServiceMeta)> = self
+            .reg
+            .iter()
+            .map(|c| {
+                (
+                    self.reg.catalog().name(c.function).to_owned(),
+                    ServiceMeta { component: c.id, peer: c.peer, function: c.function },
+                )
+            })
+            .collect();
+        for (name, meta) in metas {
+            self.register_meta(&name, meta);
+        }
+    }
+
+    /// Adds one component (interning its function name) and registers it.
+    pub fn add_component(&mut self, function_name: &str, mut proto: ServiceComponent) -> ComponentId {
+        proto.function = self.reg.catalog_mut().intern(function_name);
+        let id = self.reg.add(proto);
+        let c = self.reg.get(id);
+        let meta = ServiceMeta { component: id, peer: c.peer, function: c.function };
+        self.register_meta(function_name, meta);
+        id
+    }
+
+    fn register_meta(&mut self, name: &str, meta: ServiceMeta) {
+        let SpiderNet { pastry, directory, paths, overlay, metrics, .. } = self;
+        let mut transport = |a: PeerId, b: PeerId| paths.delay(overlay, a, b);
+        if let Some(route) = directory.register(pastry, name, meta, &mut transport) {
+            metrics.add(counter::DHT_MESSAGES, route.hops() as u64);
+        }
+    }
+
+    // --- composition ---------------------------------------------------
+
+    /// Runs the BCP protocol for `req`.
+    pub fn compose(&mut self, req: &CompositionRequest, cfg: &BcpConfig) -> Result<CompositionOutcome> {
+        let mut engine = BcpEngine {
+            overlay: &self.overlay,
+            reg: &self.reg,
+            pastry: &self.pastry,
+            directory: &self.directory,
+            state: &mut self.state,
+            paths: &mut self.paths,
+            weights: &self.weights,
+            metrics: &mut self.metrics,
+            now: self.now,
+            trust: Some(&self.trust),
+        };
+        engine.compose(req, cfg)
+    }
+
+    /// The optimal (exhaustive flooding) baseline.
+    pub fn compose_optimal(
+        &mut self,
+        req: &CompositionRequest,
+        combo_cap: Option<u64>,
+    ) -> Result<BaselineOutcome> {
+        let mut ctx = BaselineContext {
+            overlay: &self.overlay,
+            reg: &self.reg,
+            state: &self.state,
+            paths: &mut self.paths,
+            weights: &self.weights,
+        };
+        baselines::optimal(&mut ctx, req, combo_cap)
+    }
+
+    /// The random baseline.
+    pub fn compose_random(&mut self, req: &CompositionRequest, rng: &mut Rng) -> Result<BaselineOutcome> {
+        let mut ctx = BaselineContext {
+            overlay: &self.overlay,
+            reg: &self.reg,
+            state: &self.state,
+            paths: &mut self.paths,
+            weights: &self.weights,
+        };
+        baselines::random(&mut ctx, req, rng)
+    }
+
+    /// The static baseline.
+    pub fn compose_static(&mut self, req: &CompositionRequest) -> Result<BaselineOutcome> {
+        let mut ctx = BaselineContext {
+            overlay: &self.overlay,
+            reg: &self.reg,
+            state: &self.state,
+            paths: &mut self.paths,
+            weights: &self.weights,
+        };
+        baselines::static_(&mut ctx, req)
+    }
+
+    // --- sessions --------------------------------------------------------
+
+    /// Establishes a session from a BCP outcome (commits resources, selects
+    /// backups) and counts the setup acknowledgement messages.
+    pub fn establish(
+        &mut self,
+        req: &CompositionRequest,
+        outcome: CompositionOutcome,
+    ) -> Result<SessionId> {
+        let id = self.sessions.establish(
+            req.clone(),
+            outcome.best,
+            outcome.eval,
+            outcome.qualified_pool,
+            &self.reg,
+            &self.overlay,
+            &mut self.paths,
+            &mut self.state,
+        )?;
+        // The ack travels the reversed service graph: one control message
+        // per component plus the final hop to the source.
+        if let Some(s) = self.sessions.session(id) {
+            self.metrics.add(counter::CONTROL, s.primary.assignment.len() as u64 + 1);
+        }
+        Ok(id)
+    }
+
+    /// Tears a session down (normal completion: the hosting peers earn
+    /// positive trust feedback from the session's source).
+    pub fn teardown(&mut self, id: SessionId) -> Result<()> {
+        if let Some(s) = self.sessions.session(id) {
+            let observer = s.request.source;
+            let hosts: Vec<PeerId> =
+                s.primary.components().iter().map(|&c| self.reg.get(c).peer).collect();
+            self.trust.record_session_outcome(observer, hosts, Experience::Positive);
+        }
+        self.sessions.teardown(id, &mut self.state)
+    }
+
+    /// Fails a peer: resource state, DHT membership, directory metadata,
+    /// and active sessions all react. Returns per-session outcomes for
+    /// sessions whose primary was hit.
+    pub fn fail_peer(&mut self, peer: PeerId) -> Vec<(SessionId, FailureOutcome)> {
+        self.state.fail_peer(peer);
+        self.pastry.remove_node(peer);
+        self.directory.handle_departure(&self.pastry, peer);
+        // Affected sessions' sources lose trust in the failed host.
+        let observers: Vec<PeerId> = self
+            .sessions
+            .sessions()
+            .filter(|s| s.primary.contains_peer(peer, &self.reg))
+            .map(|s| s.request.source)
+            .collect();
+        for o in observers {
+            self.trust.record(o, peer, Experience::Negative);
+        }
+        self.sessions.handle_peer_failure(
+            peer,
+            &self.reg,
+            &self.overlay,
+            &mut self.paths,
+            &mut self.state,
+            &self.weights,
+        )
+    }
+
+    /// Revives a failed peer: rejoins the ring and re-registers its
+    /// components.
+    pub fn revive_peer(&mut self, peer: PeerId) {
+        self.state.revive_peer(peer);
+        {
+            let SpiderNet { pastry, paths, overlay, .. } = self;
+            let mut prox = |a: PeerId, b: PeerId| paths.delay(overlay, a, b);
+            pastry.add_node(peer, &mut prox);
+        }
+        self.directory.handle_arrival(&self.pastry);
+        let metas: Vec<(String, ServiceMeta)> = self
+            .reg
+            .on_peer(peer)
+            .iter()
+            .map(|&cid| {
+                let c = self.reg.get(cid);
+                (
+                    self.reg.catalog().name(c.function).to_owned(),
+                    ServiceMeta { component: cid, peer: c.peer, function: c.function },
+                )
+            })
+            .collect();
+        for (name, meta) in metas {
+            self.register_meta(&name, meta);
+        }
+    }
+
+    /// One backup-maintenance round across all sessions (also decays the
+    /// trust tables one step).
+    pub fn maintenance_tick(&mut self) -> u64 {
+        self.trust.decay_all();
+        self.sessions.maintenance_tick(&self.reg, &self.state, &mut self.metrics)
+    }
+
+    /// Advances virtual time, expiring overdue soft reservations.
+    pub fn advance(&mut self, dt: SimDuration) {
+        self.now += dt;
+        self.state.expire_soft(self.now);
+    }
+
+    // --- accessors -------------------------------------------------------
+
+    /// The overlay.
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// The component registry.
+    pub fn registry(&self) -> &Registry {
+        &self.reg
+    }
+
+    /// Live resource state (mutable for experiment setup).
+    pub fn state_mut(&mut self) -> &mut OverlayState {
+        &mut self.state
+    }
+
+    /// Live resource state.
+    pub fn state(&self) -> &OverlayState {
+        &self.state
+    }
+
+    /// Protocol metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Resets protocol metrics (between experiment phases).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// The session manager.
+    pub fn sessions(&self) -> &SessionManager {
+        &self.sessions
+    }
+
+    /// Mutable session manager (reactive recovery orchestration).
+    pub fn sessions_mut(&mut self) -> &mut SessionManager {
+        &mut self.sessions
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The trust tables.
+    pub fn trust(&self) -> &TrustManager {
+        &self.trust
+    }
+
+    /// Mutable trust tables (experiments inject adversarial histories).
+    pub fn trust_mut(&mut self) -> &mut TrustManager {
+        &mut self.trust
+    }
+
+    /// Like [`SpiderNet::reactive_recover`] but also returns the BCP stats
+    /// of the re-composition (None when the session is gone or nothing
+    /// qualified — the session is abandoned in that case).
+    pub fn reactive_recover_with_stats(
+        &mut self,
+        id: SessionId,
+        cfg: &BcpConfig,
+    ) -> Option<crate::bcp::BcpStats> {
+        let req = self.sessions.session(id).map(|s| s.request.clone())?;
+        match self.compose(&req, cfg) {
+            Ok(outcome) => {
+                let stats = outcome.stats.clone();
+                let ok = self
+                    .sessions
+                    .reestablish(
+                        id,
+                        outcome.best,
+                        outcome.eval,
+                        outcome.qualified_pool,
+                        &self.reg,
+                        &self.overlay,
+                        &mut self.paths,
+                        &mut self.state,
+                    )
+                    .is_ok();
+                if ok {
+                    Some(stats)
+                } else {
+                    self.sessions.abandon(id);
+                    None
+                }
+            }
+            Err(_) => {
+                self.sessions.abandon(id);
+                None
+            }
+        }
+    }
+
+    /// Reactive recovery: re-runs BCP for a session that lost all backups
+    /// and re-establishes it on success; abandons it otherwise. Returns
+    /// true if the session was saved.
+    pub fn reactive_recover(&mut self, id: SessionId, cfg: &BcpConfig) -> bool {
+        let Some(req) = self.sessions.session(id).map(|s| s.request.clone()) else {
+            return false;
+        };
+        match self.compose(&req, cfg) {
+            Ok(outcome) => {
+                let ok = self
+                    .sessions
+                    .reestablish(
+                        id,
+                        outcome.best,
+                        outcome.eval,
+                        outcome.qualified_pool,
+                        &self.reg,
+                        &self.overlay,
+                        &mut self.paths,
+                        &mut self.state,
+                    )
+                    .is_ok();
+                if !ok {
+                    self.sessions.abandon(id);
+                }
+                ok
+            }
+            Err(_) => {
+                self.sessions.abandon(id);
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{random_request, RequestConfig};
+    use spidernet_util::rng::rng_for;
+
+    fn small() -> SpiderNet {
+        let mut net = SpiderNet::build(&SpiderNetConfig {
+            ip_nodes: 300,
+            peers: 60,
+            seed: 17,
+            ..SpiderNetConfig::default()
+        });
+        net.populate(&PopulationConfig { functions: 12, ..Default::default() });
+        net
+    }
+
+    fn loose_request(net: &SpiderNet, rng: &mut spidernet_util::rng::Rng) -> CompositionRequest {
+        random_request(
+            net.overlay(),
+            net.registry(),
+            &RequestConfig {
+                functions: (2, 3),
+                delay_bound_ms: (50_000.0, 60_000.0),
+                loss_bound: (0.5, 0.6),
+                ..RequestConfig::default()
+            },
+            rng,
+        )
+    }
+
+    #[test]
+    fn end_to_end_compose_and_establish() {
+        let mut net = small();
+        let mut rng = rng_for(17, "sys");
+        let req = loose_request(&net, &mut rng);
+        let outcome = net.compose(&req, &BcpConfig::default()).unwrap();
+        let id = net.establish(&req, outcome).unwrap();
+        assert_eq!(net.sessions().len(), 1);
+        assert!(net.metrics().counter(counter::PROBES) > 0);
+        assert!(net.metrics().counter(counter::CONTROL) > 0);
+        net.teardown(id).unwrap();
+        assert!(net.sessions().is_empty());
+    }
+
+    #[test]
+    fn dht_registration_costs_messages() {
+        let net = small();
+        assert!(net.metrics().counter(counter::DHT_MESSAGES) > 0);
+        assert!(net.registry().len() >= 60);
+    }
+
+    #[test]
+    fn bcp_agrees_with_optimal_under_large_budget() {
+        let mut net = small();
+        let mut rng = rng_for(18, "sys");
+        for _ in 0..5 {
+            let req = loose_request(&net, &mut rng);
+            let Ok(opt) = net.compose_optimal(&req, None) else { continue };
+            let bcp = net
+                .compose(
+                    &req,
+                    &BcpConfig {
+                        budget: 4096,
+                        quota: crate::bcp::QuotaPolicy::Uniform(64),
+                        merge_cap: 4096,
+                        ..BcpConfig::default()
+                    },
+                )
+                .unwrap();
+            assert!(
+                bcp.eval.cost <= opt.eval.cost + 1e-9,
+                "unbounded BCP must match optimal: {} vs {}",
+                bcp.eval.cost,
+                opt.eval.cost
+            );
+        }
+    }
+
+    #[test]
+    fn failure_and_reactive_recovery_flow() {
+        let mut net = small();
+        let mut rng = rng_for(19, "sys");
+        let req = loose_request(&net, &mut rng);
+        let outcome = net.compose(&req, &BcpConfig::default()).unwrap();
+        let id = net.establish(&req, outcome).unwrap();
+        // Fail every peer of the primary AND of the backups so reactive
+        // recovery is forced... or at least exercise the failure path once.
+        let victim = {
+            let s = net.sessions().session(id).unwrap();
+            net.registry().get(s.primary.assignment[0]).peer
+        };
+        let outcomes = net.fail_peer(victim);
+        assert_eq!(outcomes.len(), 1);
+        match &outcomes[0].1 {
+            FailureOutcome::RecoveredByBackup { .. } => {
+                let s = net.sessions().session(id).unwrap();
+                assert!(!s.primary.contains_peer(victim, net.registry()));
+            }
+            FailureOutcome::NeedsReactive => {
+                let saved = net.reactive_recover(id, &BcpConfig::default());
+                if saved {
+                    let s = net.sessions().session(id).unwrap();
+                    assert!(!s.primary.contains_peer(victim, net.registry()));
+                } else {
+                    assert!(net.sessions().session(id).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failed_peer_disappears_from_discovery() {
+        let mut net = small();
+        let victim = PeerId::new(5);
+        let victim_components = net.registry().on_peer(victim).len();
+        assert!(victim_components > 0);
+        net.fail_peer(victim);
+        // Compose requests never land on the dead peer.
+        let mut rng = rng_for(20, "sys");
+        for _ in 0..5 {
+            let req = loose_request(&net, &mut rng);
+            if req.source == victim || req.dest == victim {
+                continue;
+            }
+            if let Ok(out) = net.compose(&req, &BcpConfig::default()) {
+                assert!(!out.best.contains_peer(victim, net.registry()));
+            }
+        }
+        // Revival restores discoverability.
+        net.revive_peer(victim);
+        assert!(net.state().is_alive(victim));
+    }
+
+    #[test]
+    fn advance_expires_soft_state() {
+        let mut net = small();
+        let p = PeerId::new(3);
+        net.state_mut()
+            .soft_allocate(p, ResourceVector::new(0.1, 1.0), SimTime::from_ms(100.0))
+            .unwrap();
+        assert_eq!(net.state().soft_count(), 1);
+        net.advance(SimDuration::from_ms(200.0));
+        assert_eq!(net.state().soft_count(), 0);
+        assert_eq!(net.now(), SimTime::from_ms(200.0));
+    }
+
+    #[test]
+    fn trust_feedback_flows_from_session_outcomes() {
+        let mut net = small();
+        let mut rng = rng_for(23, "sys-trust");
+        let req = loose_request(&net, &mut rng);
+        let outcome = net.compose(&req, &BcpConfig::default()).unwrap();
+        let hosts: Vec<PeerId> = outcome
+            .best
+            .components()
+            .iter()
+            .map(|&c| net.registry().get(c).peer)
+            .collect();
+        let observer = req.source;
+        let id = net.establish(&req, outcome).unwrap();
+
+        // Normal completion earns positive trust from the source.
+        net.teardown(id).unwrap();
+        for &h in &hosts {
+            assert!(
+                net.trust().trust(observer, h) > 0.5,
+                "host {h} earned no positive feedback"
+            );
+        }
+
+        // A failure mid-session earns negative trust.
+        let req2 = loose_request(&net, &mut rng);
+        let outcome2 = net.compose(&req2, &BcpConfig::default()).unwrap();
+        let victim = net.registry().get(outcome2.best.assignment[0]).peer;
+        let observer2 = req2.source;
+        let before = net.trust().trust(observer2, victim);
+        let _ = net.establish(&req2, outcome2).unwrap();
+        net.fail_peer(victim);
+        assert!(
+            net.trust().trust(observer2, victim) < before + 1e-12,
+            "failure did not lower trust"
+        );
+    }
+
+    #[test]
+    fn maintenance_counts_messages() {
+        let mut net = small();
+        let mut rng = rng_for(21, "sys");
+        let req = loose_request(&net, &mut rng);
+        let outcome = net.compose(&req, &BcpConfig::default()).unwrap();
+        let _ = net.establish(&req, outcome).unwrap();
+        let msgs = net.maintenance_tick();
+        // Messages only flow if backups exist; either way the counter is
+        // consistent.
+        assert_eq!(net.metrics().counter(counter::MAINTENANCE), msgs);
+    }
+}

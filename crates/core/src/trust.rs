@@ -1,0 +1,236 @@
+//! Decentralized trust management (the paper's §8 future work:
+//! "we will integrate decentralized trust management into the current
+//! service composition framework to support secure service composition").
+//!
+//! Each peer keeps *direct experience* scores about the peers whose
+//! components served its sessions, using a beta-reputation model: a peer's
+//! trust is `(α + 1) / (α + β + 2)` where α counts positive outcomes
+//! (sessions served to completion) and β negative ones (failures,
+//! admission lies, bad frames). Scores decay toward the prior so stale
+//! history fades — a peer that misbehaved long ago can redeem itself, and
+//! a long-idle good reputation is not blindly trusted.
+//!
+//! Integration points:
+//! * BCP's composite next-hop metric takes a `w_trust · (1 − trust)` term
+//!   ([`crate::bcp::BcpConfig::w_trust`]), steering probes away from
+//!   distrusted hosts;
+//! * a minimum-trust threshold can exclude peers from candidacy outright
+//!   ([`crate::bcp::BcpConfig::min_trust`]).
+//!
+//! In the simulator one [`TrustManager`] instance holds every peer's
+//! observation table, sharded by observer — semantically the same as each
+//! peer storing its own table, since all reads/writes go through an
+//! observer argument.
+
+use spidernet_util::id::PeerId;
+use std::collections::HashMap;
+
+/// Outcome of one interaction with a peer's component.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Experience {
+    /// The component served its session to completion.
+    Positive,
+    /// The component failed mid-session, rejected a confirmed reservation,
+    /// or delivered corrupt output.
+    Negative,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Record {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Record {
+    fn trust(&self) -> f64 {
+        (self.alpha + 1.0) / (self.alpha + self.beta + 2.0)
+    }
+}
+
+/// Beta-reputation trust tables, sharded by observing peer.
+#[derive(Debug, Default)]
+pub struct TrustManager {
+    /// observer → (subject → record)
+    tables: HashMap<PeerId, HashMap<PeerId, Record>>,
+    /// Multiplicative decay applied to both counters by [`TrustManager::decay_all`].
+    decay: f64,
+}
+
+impl TrustManager {
+    /// A manager with the given per-round decay factor in (0, 1]; 1.0
+    /// disables decay.
+    pub fn new(decay: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        TrustManager { tables: HashMap::new(), decay }
+    }
+
+    /// Records one experience `observer` had with `subject`.
+    pub fn record(&mut self, observer: PeerId, subject: PeerId, exp: Experience) {
+        let rec = self.tables.entry(observer).or_default().entry(subject).or_default();
+        match exp {
+            Experience::Positive => rec.alpha += 1.0,
+            Experience::Negative => rec.beta += 1.0,
+        }
+    }
+
+    /// `observer`'s direct trust in `subject`, in (0, 1). A peer with no
+    /// history gets the neutral prior 0.5.
+    pub fn trust(&self, observer: PeerId, subject: PeerId) -> f64 {
+        self.tables
+            .get(&observer)
+            .and_then(|t| t.get(&subject))
+            .map(Record::trust)
+            .unwrap_or(0.5)
+    }
+
+    /// Network-wide aggregate trust in `subject`: the mean of all
+    /// observers' direct scores (neutral 0.5 when nobody has history).
+    /// This is the value the composition engine uses, standing in for a
+    /// gossip/aggregation protocol.
+    pub fn aggregate_trust(&self, subject: PeerId) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for table in self.tables.values() {
+            if let Some(rec) = table.get(&subject) {
+                sum += rec.trust();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.5
+        } else {
+            sum / f64::from(n)
+        }
+    }
+
+    /// Applies one round of decay to every record (call once per time
+    /// unit / maintenance round).
+    pub fn decay_all(&mut self) {
+        if self.decay >= 1.0 {
+            return;
+        }
+        for table in self.tables.values_mut() {
+            for rec in table.values_mut() {
+                rec.alpha *= self.decay;
+                rec.beta *= self.decay;
+            }
+        }
+    }
+
+    /// Records feedback for every peer hosting a component of a finished
+    /// session's service graph.
+    pub fn record_session_outcome(
+        &mut self,
+        observer: PeerId,
+        peers: impl IntoIterator<Item = PeerId>,
+        exp: Experience,
+    ) {
+        for p in peers {
+            self.record(observer, p, exp);
+        }
+    }
+
+    /// Number of (observer, subject) records held.
+    pub fn record_count(&self) -> usize {
+        self.tables.values().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PeerId {
+        PeerId::new(i)
+    }
+
+    #[test]
+    fn unknown_peers_get_neutral_prior() {
+        let tm = TrustManager::new(1.0);
+        assert_eq!(tm.trust(p(0), p(1)), 0.5);
+        assert_eq!(tm.aggregate_trust(p(1)), 0.5);
+    }
+
+    #[test]
+    fn positive_experience_raises_trust_negative_lowers() {
+        let mut tm = TrustManager::new(1.0);
+        tm.record(p(0), p(1), Experience::Positive);
+        assert!(tm.trust(p(0), p(1)) > 0.5);
+        tm.record(p(0), p(2), Experience::Negative);
+        assert!(tm.trust(p(0), p(2)) < 0.5);
+    }
+
+    #[test]
+    fn trust_converges_with_evidence() {
+        let mut tm = TrustManager::new(1.0);
+        for _ in 0..100 {
+            tm.record(p(0), p(1), Experience::Positive);
+        }
+        assert!(tm.trust(p(0), p(1)) > 0.95);
+        for _ in 0..100 {
+            tm.record(p(0), p(2), Experience::Negative);
+        }
+        assert!(tm.trust(p(0), p(2)) < 0.05);
+        // Bounded away from 0 and 1 (beta prior).
+        assert!(tm.trust(p(0), p(1)) < 1.0);
+        assert!(tm.trust(p(0), p(2)) > 0.0);
+    }
+
+    #[test]
+    fn trust_is_per_observer() {
+        let mut tm = TrustManager::new(1.0);
+        tm.record(p(0), p(9), Experience::Negative);
+        tm.record(p(1), p(9), Experience::Positive);
+        assert!(tm.trust(p(0), p(9)) < 0.5);
+        assert!(tm.trust(p(1), p(9)) > 0.5);
+    }
+
+    #[test]
+    fn aggregate_averages_observers() {
+        let mut tm = TrustManager::new(1.0);
+        tm.record(p(0), p(9), Experience::Negative);
+        tm.record(p(1), p(9), Experience::Positive);
+        let agg = tm.aggregate_trust(p(9));
+        assert!((agg - 0.5).abs() < 1e-12, "symmetric evidence should average to 0.5, got {agg}");
+    }
+
+    #[test]
+    fn decay_fades_history_toward_prior() {
+        let mut tm = TrustManager::new(0.5);
+        for _ in 0..20 {
+            tm.record(p(0), p(1), Experience::Negative);
+        }
+        let before = tm.trust(p(0), p(1));
+        for _ in 0..10 {
+            tm.decay_all();
+        }
+        let after = tm.trust(p(0), p(1));
+        assert!(after > before, "decay should move toward the prior");
+        assert!((after - 0.5).abs() < 0.05, "long decay approaches neutral, got {after}");
+    }
+
+    #[test]
+    fn no_decay_when_factor_is_one() {
+        let mut tm = TrustManager::new(1.0);
+        tm.record(p(0), p(1), Experience::Positive);
+        let before = tm.trust(p(0), p(1));
+        tm.decay_all();
+        assert_eq!(tm.trust(p(0), p(1)), before);
+    }
+
+    #[test]
+    fn session_outcome_touches_all_hosts() {
+        let mut tm = TrustManager::new(1.0);
+        tm.record_session_outcome(p(0), [p(1), p(2), p(3)], Experience::Positive);
+        for i in 1..=3 {
+            assert!(tm.trust(p(0), p(i)) > 0.5);
+        }
+        assert_eq!(tm.record_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in")]
+    fn zero_decay_rejected() {
+        TrustManager::new(0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Pastry-style distributed hash table with a service-discovery layer.
+//!
+//! SpiderNet's decentralized service discovery (paper §3) stores each
+//! service component's static metadata under `key = hash(function_name)` in
+//! a Pastry DHT; all functionally duplicated components share the key, so
+//! the responsible peer accumulates the full replica list. This crate
+//! implements:
+//!
+//! * [`nodeid`] — 128-bit ring identifiers with digit (4-bit) prefix
+//!   arithmetic and wrapping ring distance;
+//! * [`leafset`] — the numerically-nearest leaf set;
+//! * [`routing_table`] — the digit-indexed prefix routing table;
+//! * [`network`] — a whole-network view that builds per-node state, routes
+//!   messages hop-by-hop (with hop and latency accounting), and supports
+//!   node arrival/departure;
+//! * [`directory`] — the keyword → replica-list metadata layer used by
+//!   service registration and discovery.
+
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod leafset;
+pub mod network;
+pub mod nodeid;
+pub mod routing_table;
+
+pub use directory::{ServiceDirectory, ServiceMeta};
+pub use network::{PastryNetwork, RouteOutcome};
+pub use nodeid::NodeId;

@@ -1,0 +1,413 @@
+//! Whole-network Pastry view: per-node routing state, hop-by-hop routing
+//! with hop/latency accounting, and membership churn.
+//!
+//! The simulator builds each node's routing table and leaf set from global
+//! knowledge (the standard omniscient construction used in DHT simulation —
+//! equivalent to the state a completed Pastry join protocol converges to),
+//! then *routes* strictly hop-by-hop through per-node state, so hop counts
+//! and per-hop latencies faithfully reflect a decentralized deployment.
+
+use crate::leafset::{LeafSet, DEFAULT_SIDE};
+use crate::nodeid::NodeId;
+use crate::routing_table::RoutingTable;
+use spidernet_util::id::PeerId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-node Pastry state.
+#[derive(Clone, Debug)]
+pub struct PastryNode {
+    id: NodeId,
+    peer: PeerId,
+    table: RoutingTable,
+    leaves: LeafSet,
+}
+
+impl PastryNode {
+    /// This node's ring id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of populated routing-table cells (diagnostics).
+    pub fn table_size(&self) -> usize {
+        self.table.len()
+    }
+}
+
+/// The result of routing one message.
+#[derive(Clone, Debug)]
+pub struct RouteOutcome {
+    /// Peers visited, starting with the source and ending with the node
+    /// that accepted delivery (the replica root for the key).
+    pub path: Vec<PeerId>,
+    /// Total overlay latency accumulated along the path, ms.
+    pub latency_ms: f64,
+}
+
+impl RouteOutcome {
+    /// Overlay hops taken (path length minus one).
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// The delivering node.
+    pub fn destination(&self) -> PeerId {
+        *self.path.last().expect("path includes at least the source")
+    }
+}
+
+/// A complete Pastry network over a set of overlay peers.
+pub struct PastryNetwork {
+    nodes: HashMap<PeerId, PastryNode>,
+    ring: BTreeMap<NodeId, PeerId>,
+    leaf_side: usize,
+}
+
+impl PastryNetwork {
+    /// Builds the network for `peers`. `proximity(a, b)` supplies the
+    /// overlay latency between two peers, used both to pick
+    /// routing-table entries (Pastry's locality heuristic) and to account
+    /// per-hop latency during routing.
+    pub fn build(peers: &[PeerId], proximity: &mut dyn FnMut(PeerId, PeerId) -> f64) -> Self {
+        let mut net =
+            PastryNetwork { nodes: HashMap::new(), ring: BTreeMap::new(), leaf_side: DEFAULT_SIDE };
+        for &p in peers {
+            let id = NodeId::from_peer_index(p.raw());
+            net.ring.insert(id, p);
+        }
+        let membership: Vec<(NodeId, PeerId)> = net.ring.iter().map(|(k, v)| (*k, *v)).collect();
+        for &(id, peer) in &membership {
+            let mut table = RoutingTable::new(id);
+            let mut leaves = LeafSet::new(id, net.leaf_side);
+            for &(oid, opeer) in &membership {
+                if oid == id {
+                    continue;
+                }
+                table.insert(oid, opeer, proximity(peer, opeer));
+                leaves.insert(oid, opeer);
+            }
+            net.nodes.insert(peer, PastryNode { id, peer, table, leaves });
+        }
+        net
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True if `peer` is a live member.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.nodes.contains_key(&peer)
+    }
+
+    /// The ring id of a live peer.
+    pub fn node_id(&self, peer: PeerId) -> Option<NodeId> {
+        self.nodes.get(&peer).map(|n| n.id)
+    }
+
+    /// Per-node state (diagnostics/tests).
+    pub fn node(&self, peer: PeerId) -> Option<&PastryNode> {
+        self.nodes.get(&peer)
+    }
+
+    /// The globally correct replica root for `key`: the live node with the
+    /// numerically closest id. Used as the ground truth in tests and by the
+    /// directory's churn repair.
+    pub fn responsible(&self, key: NodeId) -> Option<PeerId> {
+        let mut best: Option<(u128, NodeId, PeerId)> = None;
+        // Check the nearest ring neighbors on both sides of the key.
+        let succ = self.ring.range(key..).next().or_else(|| self.ring.iter().next());
+        let pred = self.ring.range(..=key).next_back().or_else(|| self.ring.iter().next_back());
+        for cand in [succ, pred].into_iter().flatten() {
+            let (id, peer) = (*cand.0, *cand.1);
+            let d = id.ring_distance(&key);
+            match best {
+                Some((bd, bid, _)) if bd < d || (bd == d && bid < id) => {}
+                _ => best = Some((d, id, peer)),
+            }
+        }
+        best.map(|(_, _, p)| p)
+    }
+
+    /// Routes a message from `start` toward `key`, hop by hop through
+    /// per-node state. `latency(a, b)` supplies per-hop latency.
+    ///
+    /// Returns the visited path; delivery happens at the node that finds
+    /// itself numerically closest among its leaf set (Pastry's termination
+    /// rule).
+    pub fn route(
+        &self,
+        start: PeerId,
+        key: NodeId,
+        latency: &mut dyn FnMut(PeerId, PeerId) -> f64,
+    ) -> Option<RouteOutcome> {
+        let mut cur = self.nodes.get(&start)?;
+        let mut path = vec![start];
+        let mut total = 0.0;
+        // log_16(2^128) = 32 rows; 4x slack covers fallback detours.
+        for _ in 0..128 {
+            let next_peer = self.next_hop(cur, key);
+            match next_peer {
+                None => return Some(RouteOutcome { path, latency_ms: total }),
+                Some(np) => {
+                    total += latency(cur.peer, np);
+                    path.push(np);
+                    cur = self.nodes.get(&np).expect("next hop is a live node");
+                }
+            }
+        }
+        // Routing loop — should be unreachable with consistent state.
+        None
+    }
+
+    /// Pastry's per-hop decision from the live node `peer` toward `key`:
+    /// `None` means `peer` is the delivery point. This is the primitive a
+    /// message-passing deployment calls at every forwarding step.
+    pub fn next_hop_from(&self, peer: PeerId, key: NodeId) -> Option<Option<PeerId>> {
+        self.nodes.get(&peer).map(|n| self.next_hop(n, key))
+    }
+
+    /// Pastry's per-hop decision at `node` for `key`.
+    fn next_hop(&self, node: &PastryNode, key: NodeId) -> Option<PeerId> {
+        if node.id == key {
+            return None;
+        }
+        // 1. Leaf-set range: jump to the numerically closest leaf (or stop
+        //    if the owner is closest).
+        if node.leaves.covers(key) {
+            return node.leaves.closest_to(key).map(|(_, p)| p);
+        }
+        // 2. Prefix routing: use the table cell for the key's next digit.
+        let here_prefix = node.id.shared_prefix_len(&key);
+        if let Some(cell) = node.table.lookup(key) {
+            debug_assert!(cell.id.shared_prefix_len(&key) > here_prefix);
+            return Some(cell.peer);
+        }
+        // 3. Rare case: any known node with no shorter prefix that is
+        //    numerically closer to the key.
+        let mut best: Option<(u128, PeerId)> = None;
+        let here_dist = node.id.ring_distance(&key);
+        for (cid, cpeer) in node
+            .table
+            .cells()
+            .map(|c| (c.id, c.peer))
+            .chain(node.leaves.members())
+        {
+            if cid.shared_prefix_len(&key) >= here_prefix {
+                let d = cid.ring_distance(&key);
+                if d < here_dist && best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, cpeer));
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// Adds a node to the network, building its state and announcing it to
+    /// every other node (the end state of a Pastry join).
+    pub fn add_node(&mut self, peer: PeerId, proximity: &mut dyn FnMut(PeerId, PeerId) -> f64) {
+        let id = NodeId::from_peer_index(peer.raw());
+        let mut table = RoutingTable::new(id);
+        let mut leaves = LeafSet::new(id, self.leaf_side);
+        for (&oid, &opeer) in &self.ring {
+            table.insert(oid, opeer, proximity(peer, opeer));
+            leaves.insert(oid, opeer);
+        }
+        for node in self.nodes.values_mut() {
+            node.table.insert(id, peer, proximity(node.peer, peer));
+            node.leaves.insert(id, peer);
+        }
+        self.ring.insert(id, peer);
+        self.nodes.insert(peer, PastryNode { id, peer, table, leaves });
+    }
+
+    /// Removes a departed node and repairs every survivor's leaf set from
+    /// ring membership (the converged end state of Pastry's failure
+    /// recovery). Routing-table holes are left to the fallback path, as in
+    /// real Pastry before lazy repair fills them.
+    pub fn remove_node(&mut self, peer: PeerId) {
+        let Some(node) = self.nodes.remove(&peer) else { return };
+        self.ring.remove(&node.id);
+        let membership: Vec<(NodeId, PeerId)> = self.ring.iter().map(|(k, v)| (*k, *v)).collect();
+        for survivor in self.nodes.values_mut() {
+            survivor.table.remove(node.id);
+            survivor.leaves.remove(node.id);
+            // Refill the leaf set: O(N) scan, run rarely (churn events only).
+            for &(oid, opeer) in &membership {
+                if oid != survivor.id {
+                    survivor.leaves.insert(oid, opeer);
+                }
+            }
+        }
+    }
+
+    /// Live peers (arbitrary order).
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.nodes.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_latency(_: PeerId, _: PeerId) -> f64 {
+        1.0
+    }
+
+    fn build(n: u64) -> PastryNetwork {
+        let peers: Vec<PeerId> = (0..n).map(PeerId::new).collect();
+        PastryNetwork::build(&peers, &mut flat_latency)
+    }
+
+    #[test]
+    fn routing_reaches_the_responsible_node() {
+        let net = build(64);
+        for probe in 0..200u64 {
+            let key = NodeId::from_peer_index(10_000 + probe);
+            let start = PeerId::new(probe % 64);
+            let out = net.route(start, key, &mut flat_latency).expect("no loop");
+            assert_eq!(
+                out.destination(),
+                net.responsible(key).unwrap(),
+                "probe {probe} from {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn hop_counts_are_logarithmic() {
+        let net = build(256);
+        let mut worst = 0;
+        for probe in 0..100u64 {
+            let key = NodeId::from_peer_index(55_000 + probe);
+            let out = net.route(PeerId::new(probe % 256), key, &mut flat_latency).unwrap();
+            worst = worst.max(out.hops());
+        }
+        // ceil(log_16 256) = 2; leaf-set hops can add a couple more.
+        assert!(worst <= 5, "worst-case hops {worst}");
+    }
+
+    #[test]
+    fn routing_to_own_key_is_zero_hops() {
+        let net = build(32);
+        let p = PeerId::new(7);
+        let key = net.node_id(p).unwrap();
+        let out = net.route(p, key, &mut flat_latency).unwrap();
+        assert_eq!(out.hops(), 0);
+        assert_eq!(out.destination(), p);
+        assert_eq!(out.latency_ms, 0.0);
+    }
+
+    #[test]
+    fn latency_accumulates_per_hop() {
+        let net = build(64);
+        let key = NodeId::from_peer_index(99_999);
+        let out = net.route(PeerId::new(0), key, &mut |_, _| 7.5).unwrap();
+        assert!((out.latency_ms - 7.5 * out.hops() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn departure_reroutes_to_new_responsible() {
+        let mut net = build(48);
+        let key = NodeId::from_peer_index(123_456);
+        let old_root = net.responsible(key).unwrap();
+        net.remove_node(old_root);
+        let new_root = net.responsible(key).unwrap();
+        assert_ne!(old_root, new_root);
+        for start in (0..48).map(PeerId::new) {
+            if !net.contains(start) {
+                continue;
+            }
+            let out = net.route(start, key, &mut flat_latency).unwrap();
+            assert_eq!(out.destination(), new_root, "from {start}");
+        }
+    }
+
+    #[test]
+    fn arrival_takes_over_keys_it_is_closest_to() {
+        let mut net = build(16);
+        // Add many nodes; every key must afterwards route to the global
+        // closest node.
+        for p in 100..140u64 {
+            net.add_node(PeerId::new(p), &mut flat_latency);
+        }
+        assert_eq!(net.len(), 56);
+        for probe in 0..50u64 {
+            let key = NodeId::from_peer_index(7_000 + probe);
+            let out = net.route(PeerId::new(3), key, &mut flat_latency).unwrap();
+            assert_eq!(out.destination(), net.responsible(key).unwrap());
+        }
+    }
+
+    #[test]
+    fn two_node_network_routes() {
+        let net = build(2);
+        let key = NodeId::from_peer_index(42);
+        let out = net.route(PeerId::new(0), key, &mut flat_latency).unwrap();
+        assert_eq!(out.destination(), net.responsible(key).unwrap());
+        assert!(out.hops() <= 1);
+    }
+
+    #[test]
+    fn route_from_unknown_peer_is_none() {
+        let net = build(4);
+        assert!(net.route(PeerId::new(99), NodeId::new(1), &mut flat_latency).is_none());
+    }
+
+    #[test]
+    fn next_hop_from_walks_to_delivery() {
+        // Manually following next_hop_from must terminate at the
+        // responsible node — the primitive the threaded runtime uses.
+        let net = build(48);
+        for probe in 0..30u64 {
+            let key = NodeId::from_peer_index(90_000 + probe);
+            let mut cur = PeerId::new(probe % 48);
+            let mut hops = 0;
+            loop {
+                match net.next_hop_from(cur, key) {
+                    Some(Some(next)) => {
+                        cur = next;
+                        hops += 1;
+                        assert!(hops < 64, "routing loop");
+                    }
+                    Some(None) => break,
+                    None => panic!("walked onto a dead peer"),
+                }
+            }
+            assert_eq!(cur, net.responsible(key).unwrap(), "probe {probe}");
+        }
+        assert!(net.next_hop_from(PeerId::new(999), NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn proximity_prefers_close_table_entries() {
+        // With a proximity metric that makes peer 1 very close to peer 0,
+        // peer 0's table should prefer peer 1 over same-cell alternatives.
+        let peers: Vec<PeerId> = (0..32).map(PeerId::new).collect();
+        let mut prox = |a: PeerId, b: PeerId| {
+            if (a.raw(), b.raw()) == (0, 1) || (a.raw(), b.raw()) == (1, 0) {
+                0.1
+            } else {
+                50.0
+            }
+        };
+        let net = PastryNetwork::build(&peers, &mut prox);
+        let n0 = net.node(PeerId::new(0)).unwrap();
+        let id1 = net.node_id(PeerId::new(1)).unwrap();
+        // Find the cell where node 1 would live; it must contain node 1
+        // (nothing can beat 0.1ms proximity).
+        let row = n0.id().shared_prefix_len(&id1);
+        let _ = row;
+        assert!(
+            n0.table.cells().any(|c| c.peer == PeerId::new(1)),
+            "closest peer missing from routing table"
+        );
+    }
+}

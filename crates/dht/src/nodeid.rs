@@ -1,0 +1,144 @@
+//! 128-bit Pastry ring identifiers.
+//!
+//! Pastry interprets node and key identifiers as sequences of base-2^b
+//! digits; we fix b = 4 (hexadecimal digits), giving 32 digits per 128-bit
+//! identifier — the configuration used by the original Pastry paper for
+//! its analysis.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bits per routing digit (Pastry's `b`).
+pub const DIGIT_BITS: u32 = 4;
+/// Number of distinct digit values (2^b).
+pub const DIGIT_BASE: usize = 1 << DIGIT_BITS;
+/// Digits per identifier (128 / b).
+pub const NUM_DIGITS: usize = (128 / DIGIT_BITS) as usize;
+
+/// A position on the 128-bit Pastry ring.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u128);
+
+impl NodeId {
+    /// Wraps a raw 128-bit value.
+    pub const fn new(raw: u128) -> Self {
+        NodeId(raw)
+    }
+
+    /// Derives a ring id from a peer's stable name (its overlay peer id),
+    /// by hashing — peers are uniformly spread over the ring.
+    pub fn from_peer_index(index: u64) -> Self {
+        let digest = spidernet_util::hash::sha1(&index.to_be_bytes());
+        NodeId(digest.to_u128())
+    }
+
+    /// The `i`-th base-16 digit, counting from the most significant
+    /// (digit 0) to the least significant (digit 31).
+    #[inline]
+    pub fn digit(&self, i: usize) -> usize {
+        debug_assert!(i < NUM_DIGITS);
+        let shift = 128 - DIGIT_BITS as usize * (i + 1);
+        ((self.0 >> shift) as usize) & (DIGIT_BASE - 1)
+    }
+
+    /// Length of the longest common digit prefix with `other`
+    /// (0 ..= NUM_DIGITS).
+    pub fn shared_prefix_len(&self, other: &NodeId) -> usize {
+        let x = self.0 ^ other.0;
+        if x == 0 {
+            return NUM_DIGITS;
+        }
+        (x.leading_zeros() / DIGIT_BITS) as usize
+    }
+
+    /// Absolute numeric distance to `key` *with ring wraparound* — the
+    /// metric Pastry minimizes when picking the replica root.
+    pub fn ring_distance(&self, other: &NodeId) -> u128 {
+        let d = self.0.wrapping_sub(other.0);
+        let e = other.0.wrapping_sub(self.0);
+        d.min(e)
+    }
+
+    /// Clockwise (increasing-id, wrapping) distance from `self` to `other`.
+    pub fn clockwise_distance(&self, other: &NodeId) -> u128 {
+        other.0.wrapping_sub(self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_extract_msb_first() {
+        let id = NodeId::new(0xABCD_0000_0000_0000_0000_0000_0000_0001);
+        assert_eq!(id.digit(0), 0xA);
+        assert_eq!(id.digit(1), 0xB);
+        assert_eq!(id.digit(2), 0xC);
+        assert_eq!(id.digit(3), 0xD);
+        assert_eq!(id.digit(NUM_DIGITS - 1), 0x1);
+    }
+
+    #[test]
+    fn shared_prefix_len_counts_digits() {
+        let a = NodeId::new(0xABCD_0000_0000_0000_0000_0000_0000_0000);
+        let b = NodeId::new(0xABCE_0000_0000_0000_0000_0000_0000_0000);
+        assert_eq!(a.shared_prefix_len(&b), 3);
+        assert_eq!(a.shared_prefix_len(&a), NUM_DIGITS);
+        let c = NodeId::new(0x1BCD_0000_0000_0000_0000_0000_0000_0000);
+        assert_eq!(a.shared_prefix_len(&c), 0);
+    }
+
+    #[test]
+    fn prefix_len_is_floor_of_matching_bits() {
+        // 7 matching bits = 1 full digit.
+        let a = NodeId::new(0b1010_1010 << 120);
+        let b = NodeId::new(0b1010_1011 << 120);
+        assert_eq!(a.shared_prefix_len(&b), 1);
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let lo = NodeId::new(1);
+        let hi = NodeId::new(u128::MAX);
+        assert_eq!(lo.ring_distance(&hi), 2);
+        assert_eq!(hi.ring_distance(&lo), 2);
+        assert_eq!(lo.ring_distance(&lo), 0);
+    }
+
+    #[test]
+    fn clockwise_distance_is_directional() {
+        let a = NodeId::new(10);
+        let b = NodeId::new(4);
+        assert_eq!(b.clockwise_distance(&a), 6);
+        assert_eq!(a.clockwise_distance(&b), u128::MAX - 5);
+    }
+
+    #[test]
+    fn peer_ids_spread_over_ring() {
+        // The top digit of hashed peer ids should hit many of the 16 values.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            seen.insert(NodeId::from_peer_index(i).digit(0));
+        }
+        assert!(seen.len() >= 12, "only {} distinct top digits", seen.len());
+    }
+
+    #[test]
+    fn from_peer_index_is_stable() {
+        assert_eq!(NodeId::from_peer_index(5), NodeId::from_peer_index(5));
+        assert_ne!(NodeId::from_peer_index(5), NodeId::from_peer_index(6));
+    }
+}

@@ -1,0 +1,1222 @@
+//! The threaded peer cluster: one actor thread per peer, one network
+//! thread injecting WAN delays.
+//!
+//! Every protocol step of the prototype travels through real channels:
+//! DHT lookups route hop by hop along Pastry next-hops, BCP probes walk
+//! candidate component chains, the destination collects probes for a
+//! window and acknowledges the selected composition back along the
+//! reversed path, and media frames stream through the composed components
+//! (each applying its transform). Peer failure is modeled by the network
+//! dropping all traffic to the dead peer; streaming sources detect the
+//! resulting ack gap and fail over to a backup path — the proactive
+//! recovery data path of §5, exercised with real threads.
+//!
+//! Wall-clock time is compressed by `time_scale` (wall = model × scale);
+//! all reported times are model milliseconds.
+
+use crate::media::{Frame, MediaFunction};
+use crate::msg::{Msg, Probe, ReplicaMeta};
+use crate::wan::WanModel;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use spidernet_dht::{NodeId, PastryNetwork};
+use spidernet_util::hash::function_key;
+use spidernet_util::id::PeerId;
+use spidernet_util::rng::Rng;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cluster construction parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of peers (paper: 102 PlanetLab hosts).
+    pub peers: usize,
+    /// WAN jitter bound (multiplicative).
+    pub jitter: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Wall seconds per model second (0.02 = 50× compression).
+    pub time_scale: f64,
+    /// Destination-side probe collection window, model ms.
+    pub collect_window_ms: f64,
+    /// Per-hop probe fan-out quota.
+    pub quota: u32,
+    /// A streaming source fails over when no delivery ack has arrived for
+    /// this long (model ms). Must exceed the path round-trip time, or
+    /// frames legitimately in flight look like loss.
+    pub failover_timeout_ms: f64,
+    /// Period of backup-path maintenance probing, model ms (0 disables).
+    pub maintenance_period_ms: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            peers: 102,
+            jitter: 0.3,
+            seed: 0,
+            time_scale: 0.02,
+            collect_window_ms: 200.0,
+            quota: 3,
+            failover_timeout_ms: 400.0,
+            maintenance_period_ms: 120.0,
+        }
+    }
+}
+
+/// Result of one session setup (all times in model ms).
+#[derive(Clone, Debug)]
+pub struct SetupResult {
+    /// Request id (doubles as the session id).
+    pub request: u64,
+    /// Whether a composition was established.
+    pub ok: bool,
+    /// The application receiver.
+    pub dest: PeerId,
+    /// Selected component path (composition order).
+    pub path: Vec<PeerId>,
+    /// Functions along the path.
+    pub functions: Vec<MediaFunction>,
+    /// Alternative complete paths found by probing (failover backups).
+    pub backups: Vec<Vec<PeerId>>,
+    /// Decentralized service discovery time.
+    pub discovery_ms: f64,
+    /// Probing + destination selection time.
+    pub probing_ms: f64,
+    /// Session initialization (reverse-ack) time.
+    pub init_ms: f64,
+    /// End-to-end setup time.
+    pub total_ms: f64,
+}
+
+/// Final report of one streaming session.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Session id.
+    pub session: u64,
+    /// Frames emitted by the source.
+    pub sent: u64,
+    /// Frames acknowledged by the destination.
+    pub delivered: u64,
+    /// Whether every delivered frame matched the expected transform chain.
+    pub all_valid: bool,
+    /// Path failovers performed.
+    pub switches: u32,
+    /// Low-rate maintenance probes sent along backup paths.
+    pub maintenance_probes: u64,
+    /// The path in use when the stream ended.
+    pub final_path: Vec<PeerId>,
+}
+
+// ---------------------------------------------------------------------
+// Network thread: a delay queue delivering messages at their due time.
+// ---------------------------------------------------------------------
+
+struct QueuedMsg {
+    due: Instant,
+    seq: u64,
+    to: PeerId,
+    msg: Msg,
+}
+
+impl PartialEq for QueuedMsg {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for QueuedMsg {}
+impl Ord for QueuedMsg {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for QueuedMsg {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Default)]
+struct NetQueue {
+    heap: BinaryHeap<QueuedMsg>,
+    seq: u64,
+    shutdown: bool,
+}
+
+struct NetInner {
+    queue: Mutex<NetQueue>,
+    cond: Condvar,
+}
+
+/// Sender handle into the delay-queue network.
+#[derive(Clone)]
+struct Net {
+    inner: Arc<NetInner>,
+    scale: f64,
+}
+
+impl Net {
+    /// Enqueues `msg` for `to`, delivered after `model_ms` of model time.
+    fn send(&self, to: PeerId, msg: Msg, model_ms: f64) {
+        let wall = Duration::from_secs_f64((model_ms * self.scale / 1_000.0).max(0.0));
+        let mut q = self.inner.queue.lock();
+        let seq = q.seq;
+        q.seq += 1;
+        q.heap.push(QueuedMsg { due: Instant::now() + wall, seq, to, msg });
+        self.inner.cond.notify_one();
+    }
+
+    fn shutdown(&self) {
+        self.inner.queue.lock().shutdown = true;
+        self.inner.cond.notify_one();
+    }
+}
+
+fn network_thread(inner: Arc<NetInner>, peers: Vec<Sender<Msg>>, dead: Arc<Vec<AtomicBool>>) {
+    loop {
+        let mut q = inner.queue.lock();
+        if q.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        match q.heap.peek() {
+            Some(e) if e.due <= now => {
+                let e = q.heap.pop().expect("peeked");
+                drop(q);
+                if !dead[e.to.index()].load(Ordering::Relaxed) {
+                    // Channels are unbounded; send only fails at shutdown.
+                    let _ = peers[e.to.index()].send(e.msg);
+                }
+            }
+            Some(e) => {
+                let wait = e.due - now;
+                inner.cond.wait_for(&mut q, wait);
+            }
+            None => {
+                inner.cond.wait_for(&mut q, Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared immutable state.
+// ---------------------------------------------------------------------
+
+struct Shared {
+    wan: WanModel,
+    pastry: PastryNetwork,
+    dead: Arc<Vec<AtomicBool>>,
+    epoch: Instant,
+    scale: f64,
+    probes_sent: AtomicU64,
+    dht_hops: AtomicU64,
+    cfg: ClusterConfig,
+    functions: Vec<MediaFunction>,
+}
+
+impl Shared {
+    /// Milliseconds of *model* time since the cluster epoch.
+    fn now_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1_000.0 / self.scale
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-peer actor.
+// ---------------------------------------------------------------------
+
+struct ComposeJob {
+    dest: PeerId,
+    chain: Vec<MediaFunction>,
+    budget: u32,
+    reply: Sender<SetupResult>,
+    replica_lists: Vec<Option<Vec<ReplicaMeta>>>,
+    t0_ms: f64,
+    discovery_done_ms: Option<f64>,
+}
+
+struct DestJob {
+    source: PeerId,
+    chain: Vec<MediaFunction>,
+    probes: Vec<(f64, Probe)>,
+    timer_armed: bool,
+}
+
+enum StreamPhase {
+    Sending,
+    Draining,
+}
+
+struct StreamJob {
+    /// paths[0] is the active path; the rest are backups in preference
+    /// order. `backup_alive[i]` mirrors paths[i+1]'s last maintenance
+    /// verdict (true until proven dead).
+    paths: Vec<Vec<PeerId>>,
+    backup_alive: Vec<bool>,
+    /// Maintenance round counter; an ack for round r-1 arriving late still
+    /// counts (liveness, not freshness).
+    maintenance_pending: Vec<bool>,
+    maintenance_messages: u64,
+    functions: Vec<MediaFunction>,
+    dest: PeerId,
+    remaining: u64,
+    interval_ms: f64,
+    dims: (usize, usize),
+    reply: Sender<StreamReport>,
+    seq: u64,
+    delivered: u64,
+    all_valid: bool,
+    /// Model ms of the last sign of progress (stream start, delivery ack,
+    /// or failover) — the failover detector's baseline.
+    last_progress_ms: f64,
+    switches: u32,
+    phase: StreamPhase,
+}
+
+struct PeerActor {
+    me: PeerId,
+    inbox: Receiver<Msg>,
+    net: Net,
+    shared: Arc<Shared>,
+    store: HashMap<u128, Vec<ReplicaMeta>>,
+    rng: Rng,
+    compose_jobs: HashMap<u64, ComposeJob>,
+    dest_jobs: HashMap<u64, DestJob>,
+    done_requests: HashSet<u64>,
+    stream_jobs: HashMap<u64, StreamJob>,
+}
+
+impl PeerActor {
+    fn send(&mut self, to: PeerId, msg: Msg) {
+        let d = self.shared.wan.sample_ms(self.me, to, &mut self.rng);
+        self.net.send(to, msg, d);
+    }
+
+    fn run(mut self) {
+        while let Ok(msg) = self.inbox.recv() {
+            match msg {
+                Msg::Halt => return,
+                Msg::Compose { request, dest, chain, budget, reply } => {
+                    self.on_compose(request, dest, chain, budget, reply)
+                }
+                Msg::DhtLookup { query, key, origin, hops } => {
+                    self.route_dht(query, key, origin, hops)
+                }
+                Msg::DhtReply { query, metas } => self.on_dht_reply(query, metas),
+                Msg::Probe(p) => self.on_probe(p),
+                Msg::TimerCollect { request } => self.on_collect(request),
+                Msg::SetupAck { session, path, functions, idx, source, backups, selected_ms } => {
+                    if idx == usize::MAX {
+                        self.on_compose_completion(session, path, functions, backups, selected_ms)
+                    } else {
+                        self.on_setup_ack(session, path, functions, idx, source, backups, selected_ms)
+                    }
+                }
+                Msg::StartStream {
+                    session,
+                    path,
+                    functions,
+                    backups,
+                    dest,
+                    frames,
+                    interval_ms,
+                    dims,
+                    reply,
+                } => {
+                    let mut paths = vec![path];
+                    paths.extend(backups);
+                    let n_backups = paths.len() - 1;
+                    self.stream_jobs.insert(
+                        session,
+                        StreamJob {
+                            paths,
+                            backup_alive: vec![true; n_backups],
+                            maintenance_pending: vec![false; n_backups],
+                            maintenance_messages: 0,
+                            functions,
+                            dest,
+                            remaining: frames,
+                            interval_ms,
+                            dims,
+                            reply,
+                            seq: 0,
+                            delivered: 0,
+                            all_valid: true,
+                            last_progress_ms: self.shared.now_ms(),
+                            switches: 0,
+                            phase: StreamPhase::Sending,
+                        },
+                    );
+                    self.net.send(self.me, Msg::TimerStream { session }, 0.0);
+                    if self.shared.cfg.maintenance_period_ms > 0.0 {
+                        self.net.send(
+                            self.me,
+                            Msg::TimerMaintenance { session },
+                            self.shared.cfg.maintenance_period_ms,
+                        );
+                    }
+                }
+                Msg::TimerStream { session } => self.on_stream_timer(session),
+                Msg::TimerMaintenance { session } => self.on_maintenance_timer(session),
+                Msg::PathProbe { session, path, idx, origin, backup_idx } => {
+                    self.on_path_probe(session, path, idx, origin, backup_idx)
+                }
+                Msg::PathProbeAck { session, backup_idx } => {
+                    if let Some(job) = self.stream_jobs.get_mut(&session) {
+                        if let Some(alive) = job.backup_alive.get_mut(backup_idx) {
+                            *alive = true;
+                        }
+                        if let Some(p) = job.maintenance_pending.get_mut(backup_idx) {
+                            *p = false;
+                        }
+                    }
+                }
+                Msg::StreamFrame { session, path, functions, idx, dest, source, orig_dims, frame } => {
+                    self.on_frame(session, path, functions, idx, dest, source, orig_dims, frame)
+                }
+                Msg::FrameAck { session, seq: _, valid } => {
+                    let now = self.shared.now_ms();
+                    if let Some(job) = self.stream_jobs.get_mut(&session) {
+                        job.delivered += 1;
+                        job.all_valid &= valid;
+                        job.last_progress_ms = now;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- discovery --------------------------------------------------
+
+    fn route_dht(&mut self, query: u64, key: NodeId, origin: PeerId, hops: u32) {
+        self.shared.dht_hops.fetch_add(1, Ordering::Relaxed);
+        match self.shared.pastry.next_hop_from(self.me, key) {
+            Some(Some(next)) => {
+                self.send(next, Msg::DhtLookup { query, key, origin, hops: hops + 1 });
+            }
+            _ => {
+                // This peer is the key's root.
+                let metas = self.store.get(&key.0).cloned().unwrap_or_default();
+                self.send(origin, Msg::DhtReply { query, metas });
+            }
+        }
+    }
+
+    fn on_dht_reply(&mut self, query: u64, metas: Vec<ReplicaMeta>) {
+        let request = query / 64;
+        let pos = (query % 64) as usize;
+        let Some(job) = self.compose_jobs.get_mut(&request) else { return };
+        if pos >= job.replica_lists.len() {
+            return;
+        }
+        if job.replica_lists[pos].is_none() {
+            job.replica_lists[pos] = Some(metas);
+            if job.replica_lists.iter().all(Option::is_some) {
+                self.start_probing(request);
+            }
+        }
+    }
+
+    // --- composition (source side) ----------------------------------
+
+    fn on_compose(
+        &mut self,
+        request: u64,
+        dest: PeerId,
+        chain: Vec<MediaFunction>,
+        budget: u32,
+        reply: Sender<SetupResult>,
+    ) {
+        let t0_ms = self.shared.now_ms();
+        let n = chain.len();
+        assert!(n < 63, "query encoding supports chains up to 62 functions");
+        self.compose_jobs.insert(
+            request,
+            ComposeJob {
+                dest,
+                chain: chain.clone(),
+                budget,
+                reply,
+                replica_lists: vec![None; n],
+                t0_ms,
+                discovery_done_ms: None,
+            },
+        );
+        // Parallel DHT lookups, one per function; query ids encode the
+        // chain position. Routing starts at this peer.
+        for (pos, f) in chain.iter().enumerate() {
+            let key = NodeId::new(function_key(f.name()));
+            self.route_dht(request * 64 + pos as u64, key, self.me, 0);
+        }
+    }
+
+    fn start_probing(&mut self, request: u64) {
+        let now = self.shared.now_ms();
+        let (dest, chain, lists, budget, failed) = {
+            let job = self.compose_jobs.get_mut(&request).expect("caller holds the job");
+            job.discovery_done_ms = Some(now);
+            let lists: Vec<Vec<ReplicaMeta>> =
+                job.replica_lists.iter().map(|l| l.clone().expect("all present")).collect();
+            let failed = lists.iter().any(Vec::is_empty);
+            (job.dest, job.chain.clone(), lists, job.budget, failed)
+        };
+        if failed {
+            self.finish_failure(request);
+            return;
+        }
+        self.spawn_probes(Probe {
+            request,
+            source: self.me,
+            dest,
+            chain,
+            replica_lists: lists,
+            pos: 0,
+            path: Vec::new(),
+            budget,
+            started_ms: now,
+        });
+    }
+
+    fn finish_failure(&mut self, request: u64) {
+        if let Some(job) = self.compose_jobs.remove(&request) {
+            let now = self.shared.now_ms();
+            let _ = job.reply.send(SetupResult {
+                request,
+                ok: false,
+                dest: job.dest,
+                path: Vec::new(),
+                functions: job.chain,
+                backups: Vec::new(),
+                discovery_ms: job.discovery_done_ms.unwrap_or(now) - job.t0_ms,
+                probing_ms: 0.0,
+                init_ms: 0.0,
+                total_ms: now - job.t0_ms,
+            });
+        }
+    }
+
+    fn on_compose_completion(
+        &mut self,
+        session: u64,
+        path: Vec<PeerId>,
+        functions: Vec<MediaFunction>,
+        backups: Vec<Vec<PeerId>>,
+        selected_ms: f64,
+    ) {
+        let Some(job) = self.compose_jobs.remove(&session) else { return };
+        let now = self.shared.now_ms();
+        let discovery_end = job.discovery_done_ms.unwrap_or(job.t0_ms);
+        let ok = !path.is_empty();
+        let _ = job.reply.send(SetupResult {
+            request: session,
+            ok,
+            dest: job.dest,
+            path,
+            functions,
+            backups,
+            discovery_ms: discovery_end - job.t0_ms,
+            probing_ms: selected_ms - discovery_end,
+            init_ms: if ok { now - selected_ms } else { 0.0 },
+            total_ms: now - job.t0_ms,
+        });
+    }
+
+    // --- probing (all peers) ----------------------------------------
+
+    /// Fans a probe out to the next chain position's candidates, or ships
+    /// a completed probe to the destination.
+    fn spawn_probes(&mut self, probe: Probe) {
+        let pos = probe.pos;
+        if pos == probe.chain.len() {
+            self.shared.probes_sent.fetch_add(1, Ordering::Relaxed);
+            let dest = probe.dest;
+            self.send(dest, Msg::Probe(probe));
+            return;
+        }
+        let mut candidates: Vec<ReplicaMeta> = probe.replica_lists[pos]
+            .iter()
+            .copied()
+            .filter(|m| !probe.path.contains(&m.peer) && m.peer != probe.dest)
+            .collect();
+        // Composite next-hop metric, runtime flavour: nearest first.
+        let me = self.me;
+        candidates.sort_by(|a, b| {
+            self.shared
+                .wan
+                .base_ms(me, a.peer)
+                .partial_cmp(&self.shared.wan.base_ms(me, b.peer))
+                .expect("delays are finite")
+                .then_with(|| a.peer.cmp(&b.peer))
+        });
+        let k = (probe.budget.min(self.shared.cfg.quota) as usize).min(candidates.len());
+        if k == 0 {
+            return; // probe dies; the destination window handles silence
+        }
+        let child_budget = (probe.budget / k as u32).max(1);
+        for meta in candidates.into_iter().take(k) {
+            let mut child = probe.clone();
+            child.pos = pos + 1;
+            child.path.push(meta.peer);
+            child.budget = child_budget;
+            self.shared.probes_sent.fetch_add(1, Ordering::Relaxed);
+            self.send(meta.peer, Msg::Probe(child));
+        }
+    }
+
+    fn on_probe(&mut self, probe: Probe) {
+        if probe.pos == probe.chain.len() && probe.dest == self.me {
+            if self.done_requests.contains(&probe.request) {
+                return; // stragglers after selection
+            }
+            let now = self.shared.now_ms();
+            let request = probe.request;
+            let window = self.shared.cfg.collect_window_ms;
+            let job = self.dest_jobs.entry(request).or_insert_with(|| DestJob {
+                source: probe.source,
+                chain: probe.chain.clone(),
+                probes: Vec::new(),
+                timer_armed: false,
+            });
+            job.probes.push((now, probe));
+            if !job.timer_armed {
+                job.timer_armed = true;
+                self.net.send(self.me, Msg::TimerCollect { request }, window);
+            }
+            return;
+        }
+        self.spawn_probes(probe);
+    }
+
+    fn on_collect(&mut self, request: u64) {
+        let Some(job) = self.dest_jobs.remove(&request) else { return };
+        self.done_requests.insert(request);
+        let now = self.shared.now_ms();
+        if job.probes.is_empty() {
+            self.send(
+                job.source,
+                Msg::SetupAck {
+                    session: request,
+                    path: Vec::new(),
+                    functions: job.chain,
+                    idx: usize::MAX,
+                    source: job.source,
+                    backups: Vec::new(),
+                    selected_ms: now,
+                },
+            );
+            return;
+        }
+        // Earliest arrival = lowest-latency candidate path.
+        let mut probes = job.probes;
+        probes.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("timestamps are finite"));
+        let best = probes[0].1.clone();
+        let mut backups: Vec<Vec<PeerId>> = Vec::new();
+        for (_, p) in probes.iter().skip(1) {
+            if p.path != best.path && !backups.contains(&p.path) {
+                backups.push(p.path.clone());
+            }
+        }
+        let last = best.path.len() - 1;
+        let to = best.path[last];
+        self.send(
+            to,
+            Msg::SetupAck {
+                session: request,
+                path: best.path,
+                functions: best.chain,
+                idx: last,
+                source: best.source,
+                backups,
+                selected_ms: now,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_setup_ack(
+        &mut self,
+        session: u64,
+        path: Vec<PeerId>,
+        functions: Vec<MediaFunction>,
+        idx: usize,
+        source: PeerId,
+        backups: Vec<Vec<PeerId>>,
+        selected_ms: f64,
+    ) {
+        // Initialize the local component for this session (soft state made
+        // firm), then keep walking toward the head of the path.
+        let (to, next_idx) = if idx == 0 { (source, usize::MAX) } else { (path[idx - 1], idx - 1) };
+        self.send(
+            to,
+            Msg::SetupAck { session, path, functions, idx: next_idx, source, backups, selected_ms },
+        );
+    }
+
+    // --- streaming ---------------------------------------------------
+
+    fn on_stream_timer(&mut self, session: u64) {
+        let Some(job) = self.stream_jobs.get_mut(&session) else { return };
+        match job.phase {
+            StreamPhase::Draining => {
+                let job = self.stream_jobs.remove(&session).expect("present");
+                let _ = job.reply.send(StreamReport {
+                    session,
+                    sent: job.seq,
+                    delivered: job.delivered,
+                    all_valid: job.all_valid,
+                    switches: job.switches,
+                    maintenance_probes: job.maintenance_messages,
+                    final_path: job.paths.first().cloned().unwrap_or_default(),
+                });
+            }
+            StreamPhase::Sending => {
+                // Failover: no delivery ack for longer than the timeout
+                // while a backup exists. The baseline resets on switch so
+                // one broken path triggers one switch, not a cascade.
+                let now = self.shared.now_ms();
+                if job.seq > 0
+                    && now - job.last_progress_ms > self.shared.cfg.failover_timeout_ms
+                    && job.paths.len() > 1
+                {
+                    // Prefer the first backup the maintenance probes still
+                    // believe alive; fall back to blind order otherwise.
+                    let choice =
+                        job.backup_alive.iter().position(|&alive| alive).unwrap_or(0);
+                    job.paths.remove(0);
+                    // Promote the chosen backup to the front; liveness
+                    // bookkeeping mirrors the path list (paths[i+1] ↔
+                    // backup_alive[i]).
+                    if choice > 0 && choice < job.paths.len() {
+                        let chosen = job.paths.remove(choice);
+                        job.paths.insert(0, chosen);
+                    }
+                    if choice < job.backup_alive.len() {
+                        job.backup_alive.remove(choice);
+                        job.maintenance_pending.remove(choice);
+                    }
+                    job.switches += 1;
+                    job.last_progress_ms = now;
+                }
+                if job.remaining == 0 {
+                    job.phase = StreamPhase::Draining;
+                    let drain = job.interval_ms * 4.0 + 800.0;
+                    self.net.send(self.me, Msg::TimerStream { session }, drain);
+                    return;
+                }
+                job.remaining -= 1;
+                job.seq += 1;
+                let seq = job.seq;
+                let frame = Frame::synthetic(job.dims.0, job.dims.1, seq);
+                let path = job.paths[0].clone();
+                let functions = job.functions.clone();
+                let dest = job.dest;
+                let dims = job.dims;
+                let interval = job.interval_ms;
+                let first = path[0];
+                let me = self.me;
+                self.send(
+                    first,
+                    Msg::StreamFrame {
+                        session,
+                        path,
+                        functions,
+                        idx: 0,
+                        dest,
+                        source: me,
+                        orig_dims: dims,
+                        frame,
+                    },
+                );
+                self.net.send(self.me, Msg::TimerStream { session }, interval);
+            }
+        }
+    }
+
+    /// One maintenance round at the streaming source: probe every backup
+    /// path; a backup whose previous probe never returned is marked dead.
+    fn on_maintenance_timer(&mut self, session: u64) {
+        let period = self.shared.cfg.maintenance_period_ms;
+        let Some(job) = self.stream_jobs.get_mut(&session) else { return };
+        if matches!(job.phase, StreamPhase::Draining) {
+            return; // stream ending: stop maintaining
+        }
+        let me = self.me;
+        let mut sends: Vec<(PeerId, Msg)> = Vec::new();
+        for (bi, path) in job.paths.iter().skip(1).enumerate() {
+            if bi >= job.maintenance_pending.len() {
+                break;
+            }
+            if job.maintenance_pending[bi] {
+                // Last round's probe never came back: declare dead until a
+                // late ack revives it.
+                job.backup_alive[bi] = false;
+            }
+            job.maintenance_pending[bi] = true;
+            job.maintenance_messages += 1;
+            if let Some(&first) = path.first() {
+                sends.push((
+                    first,
+                    Msg::PathProbe {
+                        session,
+                        path: path.clone(),
+                        idx: 0,
+                        origin: me,
+                        backup_idx: bi,
+                    },
+                ));
+            }
+        }
+        for (to, msg) in sends {
+            self.send(to, msg);
+        }
+        self.net.send(self.me, Msg::TimerMaintenance { session }, period);
+    }
+
+    /// Forwards a maintenance probe along a backup path; the last hop
+    /// returns the ack straight to the origin.
+    fn on_path_probe(
+        &mut self,
+        session: u64,
+        path: Vec<PeerId>,
+        idx: usize,
+        origin: PeerId,
+        backup_idx: usize,
+    ) {
+        let next = idx + 1;
+        if next >= path.len() {
+            self.send(origin, Msg::PathProbeAck { session, backup_idx });
+        } else {
+            let to = path[next];
+            self.send(to, Msg::PathProbe { session, path, idx: next, origin, backup_idx });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_frame(
+        &mut self,
+        session: u64,
+        path: Vec<PeerId>,
+        functions: Vec<MediaFunction>,
+        idx: usize,
+        dest: PeerId,
+        source: PeerId,
+        orig_dims: (usize, usize),
+        frame: Frame,
+    ) {
+        if idx >= path.len() {
+            // Delivery: verify against the expected transform chain.
+            let expected = functions
+                .iter()
+                .fold(Frame::synthetic(orig_dims.0, orig_dims.1, frame.seq), |f, func| {
+                    func.apply(&f)
+                });
+            let valid = expected == frame;
+            let seq = frame.seq;
+            self.send(source, Msg::FrameAck { session, seq, valid });
+            return;
+        }
+        // Apply this hop's transform and forward. `functions[idx]` is the
+        // function of `path[idx]`; backup paths host the same function
+        // sequence by construction.
+        let out = functions[idx].apply(&frame);
+        let next_idx = idx + 1;
+        let to = if next_idx >= path.len() { dest } else { path[next_idx] };
+        self.send(
+            to,
+            Msg::StreamFrame {
+                session,
+                path,
+                functions,
+                idx: next_idx,
+                dest,
+                source,
+                orig_dims,
+                frame: out,
+            },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The cluster facade.
+// ---------------------------------------------------------------------
+
+/// A running cluster of peer threads.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    senders: Vec<Sender<Msg>>,
+    shared: Arc<Shared>,
+    net: Net,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    net_handle: Option<std::thread::JoinHandle<()>>,
+    next_request: AtomicU64,
+}
+
+impl Cluster {
+    /// Builds and starts the cluster: assigns one media component per peer
+    /// (round-robin over the six functions — at 102 peers that is the
+    /// paper's ≈17 replicas each), registers them into the per-peer DHT
+    /// shards, and spawns the actor threads.
+    pub fn start(cfg: ClusterConfig) -> Cluster {
+        assert!(cfg.peers >= 8, "the runtime needs a handful of peers");
+        let peers: Vec<PeerId> = (0..cfg.peers as u64).map(PeerId::new).collect();
+        let wan = WanModel::new(cfg.peers, cfg.jitter, cfg.seed);
+        let mut prox = |a: PeerId, b: PeerId| wan.base_ms(a, b);
+        let pastry = PastryNetwork::build(&peers, &mut prox);
+
+        // Component assignment + startup registration into DHT shards
+        // (run-time lookups go over the network hop by hop).
+        let functions: Vec<MediaFunction> =
+            (0..cfg.peers).map(|i| MediaFunction::ALL[i % MediaFunction::ALL.len()]).collect();
+        let mut stores: Vec<HashMap<u128, Vec<ReplicaMeta>>> = vec![HashMap::new(); cfg.peers];
+        for (i, &f) in functions.iter().enumerate() {
+            let key = function_key(f.name());
+            let root = pastry.responsible(NodeId::new(key)).expect("non-empty ring");
+            stores[root.index()]
+                .entry(key)
+                .or_default()
+                .push(ReplicaMeta { peer: PeerId::from(i), function: f });
+        }
+
+        let dead: Arc<Vec<AtomicBool>> =
+            Arc::new((0..cfg.peers).map(|_| AtomicBool::new(false)).collect());
+        let shared = Arc::new(Shared {
+            wan,
+            pastry,
+            dead: dead.clone(),
+            epoch: Instant::now(),
+            scale: cfg.time_scale,
+            probes_sent: AtomicU64::new(0),
+            dht_hops: AtomicU64::new(0),
+            cfg: cfg.clone(),
+            functions,
+        });
+
+        let inner = Arc::new(NetInner { queue: Mutex::new(NetQueue::default()), cond: Condvar::new() });
+        let net = Net { inner: inner.clone(), scale: cfg.time_scale };
+
+        let mut senders = Vec::with_capacity(cfg.peers);
+        let mut receivers = Vec::with_capacity(cfg.peers);
+        for _ in 0..cfg.peers {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let net_handle = {
+            let senders = senders.clone();
+            let dead = dead.clone();
+            std::thread::spawn(move || network_thread(inner, senders, dead))
+        };
+        let mut handles = Vec::with_capacity(cfg.peers);
+        for (i, inbox) in receivers.into_iter().enumerate() {
+            let actor = PeerActor {
+                me: PeerId::from(i),
+                inbox,
+                net: net.clone(),
+                shared: shared.clone(),
+                store: std::mem::take(&mut stores[i]),
+                rng: shared.wan.rng_for_peer(PeerId::from(i)),
+                compose_jobs: HashMap::new(),
+                dest_jobs: HashMap::new(),
+                done_requests: HashSet::new(),
+                stream_jobs: HashMap::new(),
+            };
+            handles.push(std::thread::spawn(move || actor.run()));
+        }
+        Cluster {
+            cfg,
+            senders,
+            shared,
+            net,
+            handles,
+            net_handle: Some(net_handle),
+            next_request: AtomicU64::new(1),
+        }
+    }
+
+    /// Number of peers.
+    pub fn peers(&self) -> usize {
+        self.cfg.peers
+    }
+
+    /// The media function hosted by a peer.
+    pub fn function_of(&self, p: PeerId) -> MediaFunction {
+        self.shared.functions[p.index()]
+    }
+
+    /// Replicas deployed for one function.
+    pub fn replica_count(&self, f: MediaFunction) -> usize {
+        self.shared.functions.iter().filter(|&&g| g == f).count()
+    }
+
+    /// Composes a session from `source` to `dest` over `chain`. Blocks up
+    /// to `timeout` wall time; `None` means the driver-side timeout hit.
+    pub fn compose(
+        &self,
+        source: PeerId,
+        dest: PeerId,
+        chain: Vec<MediaFunction>,
+        budget: u32,
+        timeout: Duration,
+    ) -> Option<SetupResult> {
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.senders[source.index()]
+            .send(Msg::Compose { request, dest, chain, budget, reply: tx })
+            .ok()?;
+        rx.recv_timeout(timeout).ok()
+    }
+
+    /// Streams `frames` synthetic frames along an established composition;
+    /// blocks until the source reports (or `timeout`).
+    pub fn stream(
+        &self,
+        source: PeerId,
+        setup: &SetupResult,
+        frames: u64,
+        interval_ms: f64,
+        dims: (usize, usize),
+        timeout: Duration,
+    ) -> Option<StreamReport> {
+        assert!(setup.ok, "cannot stream over a failed setup");
+        let (tx, rx) = bounded(1);
+        self.senders[source.index()]
+            .send(Msg::StartStream {
+                session: setup.request,
+                path: setup.path.clone(),
+                functions: setup.functions.clone(),
+                backups: setup.backups.clone(),
+                dest: setup.dest,
+                frames,
+                interval_ms,
+                dims,
+                reply: tx,
+            })
+            .ok()?;
+        rx.recv_timeout(timeout).ok()
+    }
+
+    /// Kills a peer: the network drops everything addressed to it.
+    pub fn kill(&self, peer: PeerId) {
+        self.shared.dead[peer.index()].store(true, Ordering::Relaxed);
+    }
+
+    /// Total probe transmissions so far.
+    pub fn probes_sent(&self) -> u64 {
+        self.shared.probes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total DHT routing steps so far.
+    pub fn dht_hops(&self) -> u64 {
+        self.shared.dht_hops.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for (i, s) in self.senders.iter().enumerate() {
+            self.shared.dead[i].store(false, Ordering::Relaxed);
+            let _ = s.send(Msg::Halt);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        self.net.shutdown();
+        if let Some(h) = self.net_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg(peers: usize, seed: u64) -> ClusterConfig {
+        ClusterConfig {
+            peers,
+            seed,
+            time_scale: 0.004, // 250× compression: 48ms hop → ~0.2ms wall
+            collect_window_ms: 250.0,
+            // At 250× compression, OS scheduling jitter (~ms wall) becomes
+            // hundreds of model ms; an effectively-infinite failover
+            // timeout keeps non-failover tests deterministic.
+            failover_timeout_ms: 1e9,
+            ..ClusterConfig::default()
+        }
+    }
+
+    const TIMEOUT: Duration = Duration::from_secs(20);
+
+    #[test]
+    fn composes_a_three_function_session() {
+        let cluster = Cluster::start(fast_cfg(24, 1));
+        let chain = vec![
+            MediaFunction::StockTicker,
+            MediaFunction::DownScale,
+            MediaFunction::Requantize,
+        ];
+        let res = cluster
+            .compose(PeerId::new(0), PeerId::new(7), chain.clone(), 8, TIMEOUT)
+            .expect("driver timeout");
+        assert!(res.ok, "setup failed");
+        assert_eq!(res.path.len(), 3);
+        // The chosen peers host the right functions in order.
+        for (i, &p) in res.path.iter().enumerate() {
+            assert_eq!(cluster.function_of(p), chain[i]);
+        }
+        assert_eq!(res.functions, chain);
+        // Phase decomposition is sane.
+        assert!(res.discovery_ms > 0.0, "discovery took no time");
+        assert!(res.probing_ms > 0.0, "probing took no time");
+        assert!(res.init_ms > 0.0, "init took no time");
+        assert!(res.total_ms >= res.discovery_ms + res.probing_ms + res.init_ms - 1.0);
+        assert!(cluster.probes_sent() > 0);
+        assert!(cluster.dht_hops() > 0);
+    }
+
+    #[test]
+    fn probing_respects_budget_scaling() {
+        let cluster = Cluster::start(fast_cfg(24, 2));
+        let chain = vec![MediaFunction::UpScale, MediaFunction::DownScale];
+        let before = cluster.probes_sent();
+        let _ = cluster.compose(PeerId::new(1), PeerId::new(8), chain.clone(), 1, TIMEOUT);
+        let small = cluster.probes_sent() - before;
+        let before = cluster.probes_sent();
+        let _ = cluster.compose(PeerId::new(1), PeerId::new(8), chain, 16, TIMEOUT);
+        let large = cluster.probes_sent() - before;
+        assert!(large > small, "bigger budget sent no more probes: {large} vs {small}");
+    }
+
+    #[test]
+    fn streaming_applies_the_transform_chain() {
+        let cluster = Cluster::start(fast_cfg(24, 3));
+        let chain = vec![MediaFunction::DownScale, MediaFunction::WeatherTicker];
+        let setup = cluster
+            .compose(PeerId::new(2), PeerId::new(9), chain, 8, TIMEOUT)
+            .expect("driver timeout");
+        assert!(setup.ok);
+        let report = cluster
+            .stream(PeerId::new(2), &setup, 20, 30.0, (16, 16), TIMEOUT)
+            .expect("stream timeout");
+        assert_eq!(report.sent, 20);
+        assert!(report.delivered >= 18, "only {} of 20 delivered", report.delivered);
+        assert!(report.all_valid, "a delivered frame failed transform verification");
+        assert_eq!(report.switches, 0);
+    }
+
+    #[test]
+    fn killed_component_triggers_failover_to_backup() {
+        // Gentler time compression than the other tests: failover timing
+        // must stay visible even when the whole suite runs in parallel.
+        let cluster = Cluster::start(ClusterConfig {
+            peers: 30,
+            seed: 4,
+            time_scale: 0.05, // 20×: failover timeout is ~20ms wall, well
+            collect_window_ms: 250.0, // above scheduler jitter
+            failover_timeout_ms: 400.0,
+            ..ClusterConfig::default()
+        });
+        let chain = vec![MediaFunction::Requantize, MediaFunction::StockTicker];
+        let setup = cluster
+            .compose(PeerId::new(3), PeerId::new(11), chain, 16, TIMEOUT)
+            .expect("driver timeout");
+        assert!(setup.ok);
+        assert!(!setup.backups.is_empty(), "probing found no backup paths");
+        // Kill the first component of the primary before streaming.
+        cluster.kill(setup.path[0]);
+        let report = cluster
+            .stream(PeerId::new(3), &setup, 80, 25.0, (8, 8), TIMEOUT)
+            .expect("stream timeout");
+        assert!(report.switches >= 1, "source never failed over");
+        assert!(
+            report.delivered > 0,
+            "no frames delivered after failover (sent {})",
+            report.sent
+        );
+        assert!(report.all_valid);
+        assert_ne!(report.final_path.first(), setup.path.first());
+    }
+
+    #[test]
+    fn maintenance_probes_steer_failover_around_dead_backups() {
+        let cluster = Cluster::start(ClusterConfig {
+            peers: 36,
+            seed: 7,
+            time_scale: 0.05,
+            collect_window_ms: 250.0,
+            failover_timeout_ms: 400.0,
+            maintenance_period_ms: 100.0,
+            ..ClusterConfig::default()
+        });
+        let chain = vec![MediaFunction::DownScale, MediaFunction::Requantize];
+        let setup = cluster
+            .compose(PeerId::new(2), PeerId::new(20), chain, 16, TIMEOUT)
+            .expect("driver timeout");
+        assert!(setup.ok);
+        assert!(setup.backups.len() >= 2, "need ≥2 backups, got {}", setup.backups.len());
+        // Kill the primary's head AND the first backup's head (when they
+        // differ) before streaming: maintenance should learn the backup is
+        // dead and the failover should land on a live one.
+        cluster.kill(setup.path[0]);
+        if setup.backups[0][0] != setup.path[0] {
+            cluster.kill(setup.backups[0][0]);
+        }
+        let report = cluster
+            .stream(PeerId::new(2), &setup, 100, 25.0, (8, 8), TIMEOUT)
+            .expect("stream timeout");
+        assert!(report.maintenance_probes > 0, "no maintenance probes sent");
+        assert!(report.switches >= 1);
+        assert!(report.delivered > 0, "never recovered: {report:?}");
+        assert!(report.all_valid);
+    }
+
+    #[test]
+    fn unknown_source_requests_fail_cleanly() {
+        let cluster = Cluster::start(fast_cfg(12, 5));
+        // Composing toward a dead destination times out at the driver
+        // rather than wedging the cluster.
+        cluster.kill(PeerId::new(5));
+        let res = cluster.compose(
+            PeerId::new(0),
+            PeerId::new(5),
+            vec![MediaFunction::UpScale],
+            4,
+            Duration::from_millis(400),
+        );
+        assert!(res.is_none(), "composition toward a dead peer should time out");
+        // The cluster still works afterwards.
+        let ok = cluster
+            .compose(PeerId::new(0), PeerId::new(6), vec![MediaFunction::UpScale], 4, TIMEOUT)
+            .expect("cluster wedged");
+        assert!(ok.ok);
+    }
+
+    #[test]
+    fn setup_times_scale_with_chain_length() {
+        let cluster = Cluster::start(fast_cfg(36, 6));
+        let chains: Vec<Vec<MediaFunction>> = vec![
+            MediaFunction::ALL[..2].to_vec(),
+            MediaFunction::ALL[..5].to_vec(),
+        ];
+        let mut totals = Vec::new();
+        for chain in chains {
+            let mut sum = 0.0;
+            for r in 0..3u64 {
+                let res = cluster
+                    .compose(PeerId::new(r), PeerId::new(20 + r), chain.clone(), 8, TIMEOUT)
+                    .expect("timeout");
+                sum += res.total_ms;
+            }
+            totals.push(sum / 3.0);
+        }
+        // Longer chains cannot be *faster* on average (more probe hops).
+        assert!(
+            totals[1] > totals[0] * 0.8,
+            "5-function setup implausibly fast: {totals:?}"
+        );
+    }
+}

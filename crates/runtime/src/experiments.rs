@@ -1,0 +1,226 @@
+//! Fig. 10 — average service session setup time vs function number, on the
+//! wide-area (PlanetLab stand-in) runtime.
+//!
+//! The paper measures, over 500+ requests from 102 hosts, the end-to-end
+//! session setup time decomposed into (1) decentralized service discovery,
+//! (2) service graph finding via BCP, and (3) session initialization, for
+//! compositions of 2–6 functions. Setup completes "within several seconds"
+//! — multi-hop WAN round trips dominate.
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::media::MediaFunction;
+use spidernet_util::id::PeerId;
+use spidernet_util::rng::{rng_for, Rng};
+use spidernet_util::stats::Summary;
+use rand::seq::SliceRandom;
+use rand::Rng as _;
+use std::fmt;
+use std::time::Duration;
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Fig10Config {
+    /// Cluster shape (peers, WAN model, time compression).
+    pub cluster: ClusterConfig,
+    /// Function counts to sweep (paper: 2–6).
+    pub function_counts: Vec<usize>,
+    /// Requests per function count.
+    pub requests_per_point: usize,
+    /// Per-request probing budget.
+    pub budget: u32,
+    /// Driver-side wall timeout per request.
+    pub request_timeout: Duration,
+}
+
+impl Default for Fig10Config {
+    fn default() -> Self {
+        Fig10Config {
+            // 10× compression keeps thread-scheduling noise (≈ms wall)
+            // an order of magnitude below the WAN signal (≈100ms model).
+            cluster: ClusterConfig { peers: 102, time_scale: 0.1, ..ClusterConfig::default() },
+            function_counts: vec![2, 3, 4, 5, 6],
+            requests_per_point: 25,
+            budget: 16,
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One row of the figure.
+#[derive(Clone, Debug)]
+pub struct Fig10Row {
+    /// Functions composed.
+    pub functions: usize,
+    /// Mean discovery time, model ms.
+    pub discovery_ms: f64,
+    /// Mean probing + selection time, model ms.
+    pub composition_ms: f64,
+    /// Mean session-initialization time, model ms.
+    pub init_ms: f64,
+    /// Mean total setup time, model ms.
+    pub total_ms: f64,
+    /// Requests that set up successfully.
+    pub successes: usize,
+    /// Requests attempted.
+    pub attempts: usize,
+}
+
+/// The regenerated figure.
+#[derive(Clone, Debug)]
+pub struct Fig10Result {
+    /// One row per function count.
+    pub rows: Vec<Fig10Row>,
+}
+
+impl fmt::Display for Fig10Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# Fig. 10 — session setup time in wide-area networks (model ms)")?;
+        writeln!(
+            f,
+            "{:>10} {:>12} {:>14} {:>10} {:>10} {:>9}",
+            "functions", "discovery", "composition", "init", "total", "success"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>10} {:>12.0} {:>14.0} {:>10.0} {:>10.0} {:>6}/{:<3}",
+                r.functions, r.discovery_ms, r.composition_ms, r.init_ms, r.total_ms,
+                r.successes, r.attempts
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Fig10Result {
+    /// CSV rendering: `functions,discovery_ms,composition_ms,init_ms,total_ms,successes,attempts`.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("functions,discovery_ms,composition_ms,init_ms,total_ms,successes,attempts\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.1},{:.1},{:.1},{:.1},{},{}\n",
+                r.functions, r.discovery_ms, r.composition_ms, r.init_ms, r.total_ms,
+                r.successes, r.attempts
+            ));
+        }
+        out
+    }
+}
+
+/// Draws a random chain of `k` distinct media functions.
+fn random_chain(k: usize, rng: &mut Rng) -> Vec<MediaFunction> {
+    let mut all = MediaFunction::ALL.to_vec();
+    all.shuffle(rng);
+    all.truncate(k);
+    all
+}
+
+/// Runs the sweep on a freshly started cluster.
+pub fn run(cfg: &Fig10Config) -> Fig10Result {
+    let cluster = Cluster::start(cfg.cluster.clone());
+    let n = cluster.peers() as u64;
+    let mut rng = rng_for(cfg.cluster.seed, "fig10");
+    let mut rows = Vec::new();
+
+    // Warm-up requests: populate thread stacks, path caches, and branch
+    // predictors so the measured rows don't absorb cold-start wall noise.
+    for w in 0..3u64 {
+        let _ = cluster.compose(
+            PeerId::new(w),
+            PeerId::new((w + 7) % n),
+            random_chain(3, &mut rng),
+            cfg.budget,
+            cfg.request_timeout,
+        );
+    }
+
+    for &k in &cfg.function_counts {
+        assert!(k <= MediaFunction::ALL.len(), "only six media functions exist");
+        let mut discovery = Summary::new();
+        let mut composition = Summary::new();
+        let mut init = Summary::new();
+        let mut total = Summary::new();
+        let mut successes = 0usize;
+        for _ in 0..cfg.requests_per_point {
+            let source = PeerId::new(rng.gen_range(0..n));
+            let mut dest = PeerId::new(rng.gen_range(0..n));
+            while dest == source {
+                dest = PeerId::new(rng.gen_range(0..n));
+            }
+            let chain = random_chain(k, &mut rng);
+            if let Some(res) =
+                cluster.compose(source, dest, chain, cfg.budget, cfg.request_timeout)
+            {
+                if res.ok {
+                    successes += 1;
+                    discovery.record(res.discovery_ms);
+                    composition.record(res.probing_ms);
+                    init.record(res.init_ms);
+                    total.record(res.total_ms);
+                }
+            }
+        }
+        rows.push(Fig10Row {
+            functions: k,
+            discovery_ms: discovery.mean(),
+            composition_ms: composition.mean(),
+            init_ms: init.mean(),
+            total_ms: total.mean(),
+            successes,
+            attempts: cfg.requests_per_point,
+        });
+    }
+    Fig10Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_one_row_per_function_count() {
+        let cfg = Fig10Config {
+            cluster: ClusterConfig { peers: 24, time_scale: 0.004, ..ClusterConfig::default() },
+            function_counts: vec![2],
+            requests_per_point: 2,
+            ..Fig10Config::default()
+        };
+        let res = run(&cfg);
+        let csv = res.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("functions,"));
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn setup_time_decomposes_and_grows_with_functions() {
+        let cfg = Fig10Config {
+            cluster: ClusterConfig {
+                peers: 30,
+                time_scale: 0.004,
+                ..ClusterConfig::default()
+            },
+            function_counts: vec![2, 5],
+            requests_per_point: 6,
+            ..Fig10Config::default()
+        };
+        let res = run(&cfg);
+        assert_eq!(res.rows.len(), 2);
+        for r in &res.rows {
+            assert!(r.successes > 0, "no successful setups at k={}", r.functions);
+            assert!(r.discovery_ms > 0.0);
+            assert!(r.composition_ms > 0.0);
+            assert!(r.total_ms > r.discovery_ms);
+            // "within several seconds" at WAN scale: sanity ceiling.
+            assert!(r.total_ms < 30_000.0, "implausible setup time {}", r.total_ms);
+        }
+        // Probing cost grows with chain length; totals should not shrink
+        // dramatically.
+        assert!(
+            res.rows[1].total_ms > res.rows[0].total_ms * 0.7,
+            "5-function setup implausibly fast: {res}"
+        );
+        assert!(res.to_string().contains("discovery"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Threaded wide-area deployment of SpiderNet — the PlanetLab stand-in.
+//!
+//! The paper's prototype is multi-threaded node software deployed on 102
+//! PlanetLab hosts across the US and Europe, populated with six multimedia
+//! service components and driven by a customizable video-streaming
+//! application (§6.2). This crate reproduces that system in-process:
+//!
+//! * [`wan`] — a measured-RTT-scale wide-area delay model (regions, jitter);
+//! * [`media`] — the six multimedia components as real byte transforms over
+//!   synthetic video frames;
+//! * [`msg`] — the wire protocol between peers;
+//! * [`cluster`] — one actor thread per peer plus a delay-queue network
+//!   thread; DHT lookups, BCP probes, session setup acks, heartbeats, and
+//!   media frames all travel hop by hop through real channels with injected
+//!   WAN latencies;
+//! * [`experiments`] — the Fig. 10 driver (session setup time vs function
+//!   number, decomposed into discovery / probing / session-init phases).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod experiments;
+pub mod media;
+pub mod msg;
+pub mod wan;
+
+pub use cluster::{Cluster, ClusterConfig, SetupResult, StreamReport};
+pub use media::{Frame, MediaFunction};
+pub use wan::{Region, WanModel};

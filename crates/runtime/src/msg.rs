@@ -1,0 +1,192 @@
+//! Wire protocol between runtime peers.
+//!
+//! Everything a peer learns arrives as one of these messages through its
+//! inbox channel; the network thread injects WAN-scale delays between send
+//! and delivery. Driver commands (compose, stream) carry reply channels.
+
+use crate::cluster::{SetupResult, StreamReport};
+use crate::media::{Frame, MediaFunction};
+use crossbeam::channel::Sender;
+use spidernet_dht::NodeId;
+use spidernet_util::id::PeerId;
+
+/// A discovered replica: which peer provides which function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicaMeta {
+    /// Hosting peer.
+    pub peer: PeerId,
+    /// Provided function.
+    pub function: MediaFunction,
+}
+
+/// One composition probe walking the function chain (runtime flavour of
+/// the BCP probe).
+#[derive(Clone, Debug)]
+pub struct Probe {
+    /// Request this probe serves.
+    pub request: u64,
+    /// The application sender.
+    pub source: PeerId,
+    /// The application receiver.
+    pub dest: PeerId,
+    /// Required functions, in composition order.
+    pub chain: Vec<MediaFunction>,
+    /// Prefetched replica lists, one per chain position.
+    pub replica_lists: Vec<Vec<ReplicaMeta>>,
+    /// Next chain position to instantiate.
+    pub pos: usize,
+    /// Component peers chosen so far.
+    pub path: Vec<PeerId>,
+    /// Remaining probing budget.
+    pub budget: u32,
+    /// Wall timestamp (ms since cluster epoch) when probing started.
+    pub started_ms: f64,
+}
+
+/// Messages between peers (and from the driver).
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// DHT lookup being routed hop-by-hop toward `key`'s root.
+    DhtLookup {
+        /// Query correlation id.
+        query: u64,
+        /// Target key.
+        key: NodeId,
+        /// Peer awaiting the reply.
+        origin: PeerId,
+        /// Hops taken so far.
+        hops: u32,
+    },
+    /// Reply from the key's root back to the querying peer.
+    DhtReply {
+        /// Query correlation id.
+        query: u64,
+        /// The stored replica list (possibly empty).
+        metas: Vec<ReplicaMeta>,
+    },
+    /// A BCP probe.
+    Probe(Probe),
+    /// Session-setup acknowledgement travelling the reversed service path.
+    /// `idx == usize::MAX` marks the final leg to the source (setup
+    /// complete, or failed when `path` is empty).
+    SetupAck {
+        /// Session id.
+        session: u64,
+        /// Component peers, composition order.
+        path: Vec<PeerId>,
+        /// Functions, composition order.
+        functions: Vec<MediaFunction>,
+        /// Position in `path` this hop initializes (moves toward 0).
+        idx: usize,
+        /// The application sender to notify at the end.
+        source: PeerId,
+        /// Alternative complete paths discovered by probing (failover
+        /// backups), carried to the source.
+        backups: Vec<Vec<PeerId>>,
+        /// Model ms when the destination selected the composition.
+        selected_ms: f64,
+    },
+    /// A media frame in flight along a composed session.
+    StreamFrame {
+        /// Session id.
+        session: u64,
+        /// Component peers, composition order.
+        path: Vec<PeerId>,
+        /// Functions, composition order.
+        functions: Vec<MediaFunction>,
+        /// Next position to process (`path.len()` = deliver to dest).
+        idx: usize,
+        /// The application receiver.
+        dest: PeerId,
+        /// The application sender (for the delivery ack).
+        source: PeerId,
+        /// Dimensions of the frame as originally emitted by the source
+        /// (lets the destination recompute the expected transform output).
+        orig_dims: (usize, usize),
+        /// The frame payload.
+        frame: Frame,
+    },
+    /// Destination → source delivery acknowledgement.
+    FrameAck {
+        /// Session id.
+        session: u64,
+        /// Delivered frame sequence number.
+        seq: u64,
+        /// Whether the delivered frame matched the expected transform
+        /// output.
+        valid: bool,
+    },
+    /// Driver command: compose a session.
+    Compose {
+        /// Request id.
+        request: u64,
+        /// The application receiver.
+        dest: PeerId,
+        /// Required functions, composition order.
+        chain: Vec<MediaFunction>,
+        /// Probing budget.
+        budget: u32,
+        /// Reply channel to the driver.
+        reply: Sender<SetupResult>,
+    },
+    /// Driver command: stream frames along an established session.
+    StartStream {
+        /// Session id (from the setup result).
+        session: u64,
+        /// Primary component path.
+        path: Vec<PeerId>,
+        /// Functions along the path.
+        functions: Vec<MediaFunction>,
+        /// Backup paths, preference-ordered (for failover).
+        backups: Vec<Vec<PeerId>>,
+        /// The application receiver.
+        dest: PeerId,
+        /// Frames to send.
+        frames: u64,
+        /// Model-time between frames, ms.
+        interval_ms: f64,
+        /// Frame dimensions.
+        dims: (usize, usize),
+        /// Reply channel for the final report.
+        reply: Sender<StreamReport>,
+    },
+    /// Low-rate maintenance probe walking a backup path (paper §5: the
+    /// source "periodically sends low-rate measurement probes along these
+    /// backup service graphs to monitor their liveness").
+    PathProbe {
+        /// Session whose backup is being checked.
+        session: u64,
+        /// The backup path under test.
+        path: Vec<PeerId>,
+        /// Next hop index; `path.len()` returns to the origin.
+        idx: usize,
+        /// The probing source.
+        origin: PeerId,
+        /// Which backup (index into the source's backup list).
+        backup_idx: usize,
+    },
+    /// Maintenance probe returning alive.
+    PathProbeAck {
+        /// Session id.
+        session: u64,
+        /// Backup index confirmed alive.
+        backup_idx: usize,
+    },
+    /// Self-scheduled timer: run one backup-maintenance round.
+    TimerMaintenance {
+        /// The streaming session to maintain.
+        session: u64,
+    },
+    /// Self-scheduled timer: destination-side probe collection deadline.
+    TimerCollect {
+        /// The request whose probes are due for selection.
+        request: u64,
+    },
+    /// Self-scheduled timer: emit the next stream frame.
+    TimerStream {
+        /// The session to advance.
+        session: u64,
+    },
+    /// Stop the peer thread.
+    Halt,
+}

@@ -1,0 +1,113 @@
+//! Peer-failure (churn) injection.
+//!
+//! Fig. 9 of the paper evaluates "a dynamic P2P network where 1% of peers
+//! randomly fail during each time unit". The churn model samples that
+//! process; optionally, failed peers rejoin after a recovery interval so
+//! long experiments keep a steady population.
+
+use spidernet_util::id::PeerId;
+use spidernet_util::rng::Rng;
+use rand::seq::SliceRandom;
+use rand::Rng as _;
+
+/// Parameters of the failure process.
+#[derive(Clone, Debug)]
+pub struct ChurnModel {
+    /// Fraction of *live* peers failing in each time unit (paper: 0.01).
+    pub fail_fraction: f64,
+    /// If `Some(k)`, a failed peer rejoins after `k` time units; if `None`
+    /// failures are permanent.
+    pub rejoin_after_units: Option<u64>,
+}
+
+impl ChurnModel {
+    /// The paper's Fig. 9 setting: 1% of peers fail per time unit and
+    /// recover after the given number of units.
+    pub fn paper_fig9() -> Self {
+        ChurnModel { fail_fraction: 0.01, rejoin_after_units: Some(10) }
+    }
+
+    /// Samples the set of peers failing this time unit from `live`.
+    ///
+    /// The count is `round(fail_fraction * live.len())`, with a Bernoulli
+    /// draw on the fractional remainder so the long-run rate is exact even
+    /// for small populations.
+    pub fn sample_failures(&self, live: &[PeerId], rng: &mut Rng) -> Vec<PeerId> {
+        if live.is_empty() || self.fail_fraction <= 0.0 {
+            return Vec::new();
+        }
+        let expected = self.fail_fraction * live.len() as f64;
+        let mut count = expected.floor() as usize;
+        if rng.gen::<f64>() < expected.fract() {
+            count += 1;
+        }
+        let count = count.min(live.len());
+        let mut pool: Vec<PeerId> = live.to_vec();
+        pool.shuffle(rng);
+        pool.truncate(count);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidernet_util::rng::rng_for;
+
+    fn peers(n: u64) -> Vec<PeerId> {
+        (0..n).map(PeerId::new).collect()
+    }
+
+    #[test]
+    fn one_percent_of_one_thousand_is_ten() {
+        let m = ChurnModel { fail_fraction: 0.01, rejoin_after_units: None };
+        let mut rng = rng_for(1, "churn");
+        let f = m.sample_failures(&peers(1000), &mut rng);
+        assert_eq!(f.len(), 10);
+    }
+
+    #[test]
+    fn fractional_rate_is_exact_in_the_long_run() {
+        let m = ChurnModel { fail_fraction: 0.015, rejoin_after_units: None };
+        let mut rng = rng_for(2, "churn");
+        let live = peers(100); // expected 1.5 per unit
+        let total: usize = (0..2000).map(|_| m.sample_failures(&live, &mut rng).len()).sum();
+        let rate = total as f64 / 2000.0;
+        assert!((rate - 1.5).abs() < 0.1, "rate {rate}");
+    }
+
+    #[test]
+    fn failures_are_distinct_peers() {
+        let m = ChurnModel { fail_fraction: 0.5, rejoin_after_units: None };
+        let mut rng = rng_for(3, "churn");
+        let f = m.sample_failures(&peers(20), &mut rng);
+        let mut ids: Vec<u64> = f.iter().map(|p| p.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), f.len());
+    }
+
+    #[test]
+    fn zero_rate_and_empty_population() {
+        let m = ChurnModel { fail_fraction: 0.0, rejoin_after_units: None };
+        let mut rng = rng_for(4, "churn");
+        assert!(m.sample_failures(&peers(10), &mut rng).is_empty());
+        let m = ChurnModel { fail_fraction: 0.5, rejoin_after_units: None };
+        assert!(m.sample_failures(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn rate_above_one_fails_everyone() {
+        let m = ChurnModel { fail_fraction: 2.0, rejoin_after_units: None };
+        let mut rng = rng_for(5, "churn");
+        assert_eq!(m.sample_failures(&peers(7), &mut rng).len(), 7);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let m = ChurnModel::paper_fig9();
+        let a = m.sample_failures(&peers(500), &mut rng_for(9, "churn"));
+        let b = m.sample_failures(&peers(500), &mut rng_for(9, "churn"));
+        assert_eq!(a, b);
+    }
+}

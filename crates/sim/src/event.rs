@@ -1,0 +1,233 @@
+//! The event scheduler.
+//!
+//! A min-heap of `(time, sequence, payload)` where the monotonically
+//! increasing sequence number breaks time ties in insertion order, making
+//! event processing fully deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need earliest-first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event scheduler over payload type `E`.
+///
+/// Drive it with a loop:
+///
+/// ```
+/// use spidernet_sim::{Scheduler, SimTime};
+/// use spidernet_sim::time::SimDuration;
+///
+/// let mut sched: Scheduler<&str> = Scheduler::new();
+/// sched.schedule_at(SimTime::from_ms(1.0), "hello");
+/// let mut seen = Vec::new();
+/// while let Some(ev) = sched.pop() {
+///     seen.push(ev);
+///     if seen.len() == 1 {
+///         sched.schedule_after(SimDuration::from_ms(2.0), "world");
+///     }
+/// }
+/// assert_eq!(seen, ["hello", "world"]);
+/// assert_eq!(sched.now(), SimTime::from_ms(3.0));
+/// ```
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry<E>>,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler { now: SimTime::ZERO, seq: 0, heap: BinaryHeap::new(), processed: 0 }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`. Scheduling in the past
+    /// clamps to `now` (the event fires next).
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        let at = at.max(self.now);
+        self.heap.push(Entry { at, seq: self.seq, payload });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` at `now + delay`.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<E> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now, "time went backwards");
+        self.now = e.at;
+        self.processed += 1;
+        Some(e.payload)
+    }
+
+    /// Pops the earliest event only if it fires at or before `limit`.
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<E> {
+        if self.heap.peek().is_none_or(|e| e.at > limit) {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Timestamp of the next pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Drops all pending events (used between experiment rounds).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_ms(3.0), 3);
+        s.schedule_at(SimTime::from_ms(1.0), 1);
+        s.schedule_at(SimTime::from_ms(2.0), 2);
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let t = SimTime::from_ms(5.0);
+        for i in 0..10 {
+            s.schedule_at(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop()).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_ms(10.0), "a");
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_ms(10.0));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_ms(10.0), "a");
+        s.pop();
+        s.schedule_at(SimTime::from_ms(1.0), "late");
+        assert_eq!(s.peek_time(), Some(SimTime::from_ms(10.0)));
+        assert_eq!(s.pop(), Some("late"));
+        assert_eq!(s.now(), SimTime::from_ms(10.0));
+    }
+
+    #[test]
+    fn pop_until_respects_limit() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_ms(1.0), 1);
+        s.schedule_at(SimTime::from_ms(5.0), 5);
+        assert_eq!(s.pop_until(SimTime::from_ms(2.0)), Some(1));
+        assert_eq!(s.pop_until(SimTime::from_ms(2.0)), None);
+        assert_eq!(s.pending(), 1);
+        assert_eq!(s.pop_until(SimTime::from_ms(5.0)), Some(5));
+    }
+
+    #[test]
+    fn interleaved_chains_preserve_causality() {
+        // Two event chains re-scheduling themselves at different periods:
+        // every delivery must observe monotonically non-decreasing time and
+        // the per-chain sequence must stay ordered.
+        #[derive(Clone, Copy)]
+        struct Ev {
+            chain: usize,
+            step: u32,
+        }
+        let mut s: Scheduler<Ev> = Scheduler::new();
+        s.schedule_at(SimTime::from_ms(1.0), Ev { chain: 0, step: 0 });
+        s.schedule_at(SimTime::from_ms(1.5), Ev { chain: 1, step: 0 });
+        let periods = [3.0, 7.0];
+        let mut last_time = SimTime::ZERO;
+        let mut last_step = [None::<u32>, None::<u32>];
+        let mut count = 0;
+        while let Some(ev) = s.pop() {
+            assert!(s.now() >= last_time, "time went backwards");
+            last_time = s.now();
+            if let Some(prev) = last_step[ev.chain] {
+                assert_eq!(ev.step, prev + 1, "chain {} skipped", ev.chain);
+            }
+            last_step[ev.chain] = Some(ev.step);
+            count += 1;
+            if ev.step < 20 {
+                s.schedule_after(
+                    crate::time::SimDuration::from_ms(periods[ev.chain]),
+                    Ev { chain: ev.chain, step: ev.step + 1 },
+                );
+            }
+        }
+        assert_eq!(count, 42); // 21 events per chain
+        assert_eq!(s.processed(), 42);
+    }
+
+    #[test]
+    fn clear_drops_pending() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_after(crate::time::SimDuration::from_ms(1.0), 1);
+        s.clear();
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.pop(), None);
+    }
+}

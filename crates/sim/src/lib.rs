@@ -1,0 +1,29 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! Reproduces the methodology of the paper's event-driven C++ overlay
+//! simulator: virtual time, a total-order event queue, message transport
+//! whose delays come from the topology layer, a churn injector for dynamic
+//! peer failures, and a metrics sink for protocol-overhead accounting.
+//!
+//! * [`time`] — virtual time as integer microseconds (total order, no
+//!   floating-point tie ambiguity);
+//! * [`event`] — the scheduler: a priority queue with FIFO tie-breaking;
+//! * [`transport`] — pluggable peer-to-peer latency models, including
+//!   overlay-routed latency;
+//! * [`churn`] — random peer-failure injection ("1% of peers fail per time
+//!   unit");
+//! * [`metrics`] — counters and summaries for protocol messages.
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod event;
+pub mod metrics;
+pub mod time;
+pub mod transport;
+
+pub use churn::ChurnModel;
+pub use event::Scheduler;
+pub use metrics::Metrics;
+pub use time::SimTime;
+pub use transport::{OverlayTransport, Transport, UniformTransport};

@@ -1,0 +1,145 @@
+//! Protocol-overhead accounting.
+//!
+//! The paper's headline overhead claim ("more than one order of magnitude
+//! less overhead" than the centralized global-state scheme) is a message
+//! count comparison, so the metrics sink tracks named counters; it also
+//! carries named [`Summary`] streams for latency-style measurements.
+
+use spidernet_util::stats::Summary;
+use std::collections::BTreeMap;
+
+/// Conventional counter names used across the experiments.
+pub mod counter {
+    /// BCP composition probes sent (per-hop transmissions).
+    pub const PROBES: &str = "bcp.probes";
+    /// DHT routing messages (registration + discovery hops).
+    pub const DHT_MESSAGES: &str = "dht.messages";
+    /// Backup-graph maintenance probes.
+    pub const MAINTENANCE: &str = "recovery.maintenance";
+    /// Session setup/teardown control messages (acks, confirmations).
+    pub const CONTROL: &str = "session.control";
+    /// Periodic global-state update messages (centralized baseline).
+    pub const STATE_UPDATES: &str = "centralized.state_updates";
+}
+
+/// Named counters + named summaries.
+///
+/// `BTreeMap` keeps report output deterministically ordered.
+#[derive(Default, Debug, Clone)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    summaries: BTreeMap<&'static str, Summary>,
+}
+
+impl Metrics {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Increments counter `name`.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &'static str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records an observation into summary `name`.
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.summaries.entry(name).or_default().record(value);
+    }
+
+    /// The summary stream `name`, if any observation was recorded.
+    pub fn summary(&self, name: &'static str) -> Option<&Summary> {
+        self.summaries.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another sink into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, s) in &other.summaries {
+            self.summaries.entry(k).or_default().merge(s);
+        }
+    }
+
+    /// Resets everything to zero.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.summaries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr(counter::PROBES);
+        m.add(counter::PROBES, 4);
+        assert_eq!(m.counter(counter::PROBES), 5);
+        assert_eq!(m.counter(counter::DHT_MESSAGES), 0);
+    }
+
+    #[test]
+    fn summaries_record() {
+        let mut m = Metrics::new();
+        m.observe("setup_ms", 10.0);
+        m.observe("setup_ms", 20.0);
+        let s = m.summary("setup_ms").unwrap();
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 15.0).abs() < 1e-12);
+        assert!(m.summary("other").is_none());
+    }
+
+    #[test]
+    fn merge_combines_both_kinds() {
+        let mut a = Metrics::new();
+        a.add(counter::PROBES, 3);
+        a.observe("x", 1.0);
+        let mut b = Metrics::new();
+        b.add(counter::PROBES, 2);
+        b.add(counter::CONTROL, 1);
+        b.observe("x", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter(counter::PROBES), 5);
+        assert_eq!(a.counter(counter::CONTROL), 1);
+        assert_eq!(a.summary("x").unwrap().count(), 2);
+        assert!((a.summary("x").unwrap().mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order() {
+        let mut m = Metrics::new();
+        m.incr("z");
+        m.incr("a");
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.observe("b", 1.0);
+        m.reset();
+        assert_eq!(m.counter("a"), 0);
+        assert!(m.summary("b").is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! Peer-to-peer message latency models.
+//!
+//! Protocol code asks a [`Transport`] how long a message from peer `a` to
+//! peer `b` takes; the simulator schedules delivery that far in the future.
+//! [`OverlayTransport`] routes over the overlay graph (application-level
+//! routing, as in the paper); [`UniformTransport`] is a constant-delay
+//! model for unit tests.
+
+use spidernet_topology::routing::{dijkstra, PathResult};
+use spidernet_topology::Overlay;
+use spidernet_util::id::PeerId;
+use std::collections::HashMap;
+
+/// A source of peer-to-peer one-way latencies (milliseconds).
+pub trait Transport {
+    /// One-way latency from `a` to `b`, in ms.
+    fn latency_ms(&mut self, a: PeerId, b: PeerId) -> f64;
+}
+
+/// Constant latency between every pair of distinct peers.
+pub struct UniformTransport {
+    /// The constant one-way delay, ms.
+    pub delay_ms: f64,
+}
+
+impl Transport for UniformTransport {
+    fn latency_ms(&mut self, a: PeerId, b: PeerId) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.delay_ms
+        }
+    }
+}
+
+/// Latency = shortest-path delay over the overlay graph, with per-source
+/// SSSP caching. Owns a clone-free borrow of the overlay.
+pub struct OverlayTransport<'o> {
+    overlay: &'o Overlay,
+    cache: HashMap<PeerId, PathResult>,
+}
+
+impl<'o> OverlayTransport<'o> {
+    /// Creates a transport over `overlay`.
+    pub fn new(overlay: &'o Overlay) -> Self {
+        OverlayTransport { overlay, cache: HashMap::new() }
+    }
+
+    /// The underlying overlay.
+    pub fn overlay(&self) -> &Overlay {
+        self.overlay
+    }
+
+    fn sssp(&mut self, a: PeerId) -> &PathResult {
+        self.cache
+            .entry(a)
+            .or_insert_with(|| dijkstra(self.overlay.graph(), a.index()))
+    }
+}
+
+impl Transport for OverlayTransport<'_> {
+    fn latency_ms(&mut self, a: PeerId, b: PeerId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        self.sssp(a).delay_to(b.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidernet_topology::inet::{generate_power_law, InetConfig};
+    use spidernet_topology::overlay::{OverlayConfig, OverlayStyle};
+
+    #[test]
+    fn uniform_transport_is_constant() {
+        let mut t = UniformTransport { delay_ms: 25.0 };
+        assert_eq!(t.latency_ms(PeerId::new(0), PeerId::new(1)), 25.0);
+        assert_eq!(t.latency_ms(PeerId::new(5), PeerId::new(5)), 0.0);
+    }
+
+    #[test]
+    fn overlay_transport_matches_route_delay() {
+        let ip = generate_power_law(&InetConfig { nodes: 200, ..InetConfig::default() }, 3);
+        let ov = Overlay::build(
+            &ip,
+            &OverlayConfig { peers: 40, style: OverlayStyle::Mesh { neighbors: 4 } },
+            3,
+        );
+        let mut t = OverlayTransport::new(&ov);
+        for (a, b) in [(0u64, 7u64), (3, 20), (39, 0)] {
+            let got = t.latency_ms(PeerId::new(a), PeerId::new(b));
+            let expect = ov.route_delay(PeerId::new(a), PeerId::new(b));
+            assert!((got - expect).abs() < 1e-9);
+        }
+        assert_eq!(t.latency_ms(PeerId::new(2), PeerId::new(2)), 0.0);
+    }
+
+    #[test]
+    fn overlay_transport_caches_sources() {
+        let ip = generate_power_law(&InetConfig { nodes: 100, ..InetConfig::default() }, 1);
+        let ov = Overlay::build(
+            &ip,
+            &OverlayConfig { peers: 20, style: OverlayStyle::Mesh { neighbors: 3 } },
+            1,
+        );
+        let mut t = OverlayTransport::new(&ov);
+        let x = t.latency_ms(PeerId::new(0), PeerId::new(10));
+        let y = t.latency_ms(PeerId::new(0), PeerId::new(10));
+        assert_eq!(x, y);
+        assert_eq!(t.cache.len(), 1);
+    }
+}

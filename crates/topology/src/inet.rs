@@ -1,0 +1,277 @@
+//! Degree-based power-law Internet topology generation.
+//!
+//! Stand-in for the Inet-3.0 generator the paper uses. Inet-3.0 synthesizes
+//! AS-level graphs whose degree distribution follows the power laws observed
+//! by Faloutsos et al.; its essential outputs for SpiderNet are (a) a
+//! power-law degree distribution with a small, highly connected core and a
+//! large low-degree fringe, and (b) heterogeneous link delays. We reproduce
+//! both with a generalized linear preference (GLP-style) preferential
+//! attachment process over nodes placed on a 2-D plane, deriving propagation
+//! delays from Euclidean distance and assigning capacities by a simple
+//! core/edge tiering, mirroring how transit links are faster than stub
+//! links.
+
+use crate::graph::{EdgeAttrs, Graph};
+use rand::seq::SliceRandom;
+use rand::Rng as _;
+use spidernet_util::rng::rng_for;
+
+/// Parameters of the power-law generator.
+#[derive(Clone, Debug)]
+pub struct InetConfig {
+    /// Total number of nodes (the paper uses 10,000).
+    pub nodes: usize,
+    /// Edges added per new node (m in BA terms; Inet graphs average degree
+    /// ≈ 2·m). 2 reproduces Inet's sparse AS graphs.
+    pub edges_per_node: usize,
+    /// Preference shift of the GLP process. 0.0 gives pure BA (exponent 3);
+    /// negative values flatten the exponent toward the ~2.2 observed on the
+    /// Internet.
+    pub preference_shift: f64,
+    /// Side of the square on which nodes are scattered, in "ms of
+    /// propagation" — the maximum single-hop delay contribution.
+    pub plane_side_ms: f64,
+    /// Minimum per-link delay (serialization/processing floor), ms.
+    pub min_link_delay_ms: f64,
+    /// Capacity of core links (between high-degree nodes), Mbit/s.
+    pub core_capacity_mbps: f64,
+    /// Capacity of edge links, Mbit/s.
+    pub edge_capacity_mbps: f64,
+    /// Degree above which a node counts as core for capacity tiering.
+    pub core_degree_threshold: usize,
+}
+
+impl Default for InetConfig {
+    fn default() -> Self {
+        InetConfig {
+            nodes: 10_000,
+            edges_per_node: 2,
+            preference_shift: -0.5,
+            plane_side_ms: 30.0,
+            min_link_delay_ms: 0.5,
+            core_capacity_mbps: 1_000.0,
+            edge_capacity_mbps: 100.0,
+            core_degree_threshold: 10,
+        }
+    }
+}
+
+/// Generates a connected power-law graph per `cfg`, seeded by
+/// `(seed, "inet")`.
+///
+/// The process: start from a small clique, then attach each new node to
+/// `edges_per_node` distinct existing nodes chosen with probability
+/// proportional to `degree - preference_shift` (GLP). Finally annotate every
+/// link with a distance-derived delay and a tiered capacity.
+pub fn generate_power_law(cfg: &InetConfig, seed: u64) -> Graph {
+    assert!(cfg.nodes >= 3, "need at least 3 nodes");
+    assert!(cfg.edges_per_node >= 1, "need at least one edge per node");
+    assert!(
+        cfg.preference_shift < 1.0,
+        "preference shift must be < 1 so attachment weights stay positive"
+    );
+    let mut rng = rng_for(seed, "inet");
+
+    // Node coordinates drive link delays.
+    let coords: Vec<(f64, f64)> = (0..cfg.nodes)
+        .map(|_| (rng.gen::<f64>() * cfg.plane_side_ms, rng.gen::<f64>() * cfg.plane_side_ms))
+        .collect();
+
+    let mut g = Graph::with_nodes(cfg.nodes);
+    let seed_nodes = (cfg.edges_per_node + 1).min(cfg.nodes);
+
+    // `targets` holds one entry per unit of attachment weight: `degree`
+    // copies of each node plus a correction pool for the preference shift.
+    // We implement the shifted preference by mixing degree-proportional
+    // choice with uniform choice: P(v) ∝ deg(v) - c equals a
+    // (1-c·n/Σdeg)-weighted degree draw plus uniform correction; for
+    // simplicity and robustness we use the standard repeated-nodes trick
+    // for the degree part and flip a biased coin for the uniform part.
+    let mut degree_pool: Vec<usize> = Vec::with_capacity(cfg.nodes * cfg.edges_per_node * 2);
+
+    // Seed clique.
+    for a in 0..seed_nodes {
+        for b in (a + 1)..seed_nodes {
+            g.add_edge(a, b, edge_attrs(&coords, a, b, cfg, &g));
+            degree_pool.push(a);
+            degree_pool.push(b);
+        }
+    }
+
+    // Probability of taking the uniform branch instead of the
+    // degree-proportional branch. A negative shift boosts low-degree nodes.
+    let uniform_prob = if cfg.preference_shift < 0.0 {
+        (-cfg.preference_shift) / (1.0 - cfg.preference_shift)
+    } else {
+        0.0
+    };
+
+    for new in seed_nodes..cfg.nodes {
+        let mut chosen: Vec<usize> = Vec::with_capacity(cfg.edges_per_node);
+        let mut guard = 0;
+        while chosen.len() < cfg.edges_per_node && guard < 10_000 {
+            guard += 1;
+            let candidate = if rng.gen::<f64>() < uniform_prob {
+                rng.gen_range(0..new)
+            } else {
+                *degree_pool.choose(&mut rng).expect("pool non-empty after seeding")
+            };
+            if candidate != new && !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        for &t in &chosen {
+            g.add_edge(new, t, edge_attrs(&coords, new, t, cfg, &g));
+            degree_pool.push(new);
+            degree_pool.push(t);
+        }
+    }
+
+    debug_assert!(g.is_connected(), "preferential attachment keeps the graph connected");
+    retier_capacities(&mut g, cfg);
+    g
+}
+
+fn edge_attrs(coords: &[(f64, f64)], a: usize, b: usize, cfg: &InetConfig, _g: &Graph) -> EdgeAttrs {
+    let (ax, ay) = coords[a];
+    let (bx, by) = coords[b];
+    let dist = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+    // Capacity assigned later by retier_capacities once degrees are final.
+    EdgeAttrs::new(cfg.min_link_delay_ms + dist, cfg.edge_capacity_mbps)
+}
+
+/// Re-assigns link capacities once the final degrees are known: a link
+/// between two core-degree nodes is a core (transit) link.
+fn retier_capacities(g: &mut Graph, cfg: &InetConfig) {
+    let core: Vec<bool> = (0..g.node_count()).map(|v| g.degree(v) >= cfg.core_degree_threshold).collect();
+    let edges: Vec<(usize, usize, EdgeAttrs)> = g.edges().collect();
+    let mut rebuilt = Graph::with_nodes(g.node_count());
+    for (a, b, mut e) in edges {
+        e.capacity_mbps =
+            if core[a] && core[b] { cfg.core_capacity_mbps } else { cfg.edge_capacity_mbps };
+        rebuilt.add_edge(a, b, e);
+    }
+    *g = rebuilt;
+}
+
+/// Fits the slope of `log(count of degree ≥ d)` against `log d` — the CCDF
+/// power-law exponent. Healthy Internet-like graphs give a clearly negative
+/// slope (≈ −1.1 … −2.5 depending on the generator parameters).
+pub fn ccdf_slope(g: &Graph) -> f64 {
+    let hist = g.degree_histogram();
+    // Build CCDF over degrees ≥ 1.
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    let total: usize = hist.iter().skip(1).sum();
+    let mut at_least = total;
+    for (d, &cnt) in hist.iter().enumerate().skip(1) {
+        if at_least == 0 {
+            break;
+        }
+        points.push(((d as f64).ln(), (at_least as f64).ln()));
+        at_least -= cnt;
+    }
+    linear_slope(&points)
+}
+
+fn linear_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(nodes: usize) -> InetConfig {
+        InetConfig { nodes, ..InetConfig::default() }
+    }
+
+    #[test]
+    fn generated_graph_is_connected() {
+        let g = generate_power_law(&small_cfg(500), 1);
+        assert!(g.is_connected());
+        assert_eq!(g.node_count(), 500);
+    }
+
+    #[test]
+    fn average_degree_near_two_m() {
+        let cfg = small_cfg(2000);
+        let g = generate_power_law(&cfg, 2);
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        let target = 2.0 * cfg.edges_per_node as f64;
+        assert!((avg - target).abs() < 0.5, "avg degree {avg}, expected ≈{target}");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = generate_power_law(&small_cfg(3000), 3);
+        let hist = g.degree_histogram();
+        let max_deg = hist.len() - 1;
+        // A power-law graph of 3000 nodes must contain hubs far above the
+        // mean degree (~4) — an Erdős–Rényi graph of the same density
+        // essentially never produces degree > 20.
+        assert!(max_deg > 25, "max degree {max_deg} too small for a power law");
+        let slope = ccdf_slope(&g);
+        assert!(slope < -0.8, "CCDF slope {slope} not heavy-tailed");
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = generate_power_law(&small_cfg(300), 7);
+        let b = generate_power_law(&small_cfg(300), 7);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea.len(), eb.len());
+        for (x, y) in ea.iter().zip(&eb) {
+            assert_eq!((x.0, x.1), (y.0, y.1));
+            assert_eq!(x.2.delay_ms, y.2.delay_ms);
+        }
+        let c = generate_power_law(&small_cfg(300), 8);
+        assert_ne!(
+            a.edges().map(|(x, y, _)| (x, y)).collect::<Vec<_>>(),
+            c.edges().map(|(x, y, _)| (x, y)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn link_delays_respect_floor_and_plane() {
+        let cfg = small_cfg(400);
+        let g = generate_power_law(&cfg, 3);
+        let diag = cfg.plane_side_ms * 2f64.sqrt();
+        for (_, _, e) in g.edges() {
+            assert!(e.delay_ms >= cfg.min_link_delay_ms);
+            assert!(e.delay_ms <= cfg.min_link_delay_ms + diag + 1e-9);
+        }
+    }
+
+    #[test]
+    fn core_links_get_core_capacity() {
+        let cfg = small_cfg(2000);
+        let g = generate_power_law(&cfg, 5);
+        let mut saw_core = false;
+        for (a, b, e) in g.edges() {
+            let both_core = g.degree(a) >= cfg.core_degree_threshold
+                && g.degree(b) >= cfg.core_degree_threshold;
+            if both_core {
+                saw_core = true;
+                assert_eq!(e.capacity_mbps, cfg.core_capacity_mbps);
+            } else {
+                assert_eq!(e.capacity_mbps, cfg.edge_capacity_mbps);
+            }
+        }
+        assert!(saw_core, "power-law graph should contain core-core links");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_configs_rejected() {
+        generate_power_law(&small_cfg(2), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Network topology substrate for SpiderNet.
+//!
+//! The paper's simulator generates a 10,000-node power-law IP network with
+//! Inet-3.0, randomly promotes 1,000 nodes to SpiderNet peers, connects them
+//! into an overlay (mesh or power-law), and routes both IP-layer and
+//! overlay-layer traffic over shortest paths. This crate reproduces that
+//! pipeline:
+//!
+//! * [`graph`] — the weighted undirected graph both layers share;
+//! * [`inet`] — a degree-based power-law Internet generator standing in for
+//!   Inet-3.0 (see DESIGN.md §2 for the substitution argument);
+//! * [`routing`] — Dijkstra single-source shortest paths and a cached
+//!   multi-source oracle;
+//! * [`overlay`] — peer selection and overlay construction, with per-link
+//!   latency/capacity derived from the underlying IP paths.
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod inet;
+pub mod overlay;
+pub mod routing;
+
+pub use graph::{EdgeAttrs, Graph, NodeIndex};
+pub use inet::{generate_power_law, InetConfig};
+pub use overlay::{Overlay, OverlayConfig, OverlayLink, OverlayStyle};
+pub use routing::{dijkstra, PathResult, RoutingOracle};

@@ -1,0 +1,305 @@
+//! P2P service overlay construction.
+//!
+//! The paper describes the overlay as a directed graph `G = (V, E)` of N
+//! peers over M application-level links, "either maintained as a
+//! topologically-aware overlay mesh or dynamically constructed", and states
+//! that the composition system is orthogonal to the overlay topology. We
+//! therefore support three styles — a latency-aware mesh, a power-law
+//! overlay, and a random regular overlay — all built over the same IP
+//! substrate: each overlay link's delay is the IP shortest-path delay
+//! between the two peers' hosts and its capacity is the bottleneck capacity
+//! of that IP path.
+
+use crate::graph::{EdgeAttrs, Graph, NodeIndex};
+use crate::routing::{dijkstra, PathResult, RoutingOracle};
+use rand::seq::SliceRandom;
+use rand::Rng as _;
+use spidernet_util::id::PeerId;
+use spidernet_util::rng::rng_for;
+
+/// Attributes of one overlay link: same shape as an IP link.
+pub type OverlayLink = EdgeAttrs;
+
+/// The overlay wiring style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverlayStyle {
+    /// Topologically-aware mesh: each peer links to its `k` nearest peers
+    /// by IP latency (Ratnasamy et al.'s binning idea reduced to kNN).
+    Mesh {
+        /// Nearest peers each node links to.
+        neighbors: usize,
+    },
+    /// Power-law overlay: preferential attachment among peers with `m`
+    /// links per joining peer.
+    PowerLaw {
+        /// Links added per joining peer.
+        edges_per_node: usize,
+    },
+    /// Random (approximately) regular overlay with the given degree.
+    RandomRegular {
+        /// Minimum degree of every peer.
+        degree: usize,
+    },
+}
+
+/// Overlay construction parameters.
+#[derive(Clone, Debug)]
+pub struct OverlayConfig {
+    /// Number of peers promoted from the IP graph (the paper uses 1,000
+    /// peers out of 10,000 IP nodes).
+    pub peers: usize,
+    /// Wiring style.
+    pub style: OverlayStyle,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig { peers: 1_000, style: OverlayStyle::Mesh { neighbors: 6 } }
+    }
+}
+
+/// A constructed P2P service overlay.
+#[derive(Clone, Debug)]
+pub struct Overlay {
+    graph: Graph,
+    ip_hosts: Vec<NodeIndex>,
+}
+
+impl Overlay {
+    /// Builds an overlay over `ip` per `cfg`, seeded by `(seed, "overlay")`.
+    ///
+    /// Runs one IP-layer Dijkstra per peer to derive overlay link delays and
+    /// bottleneck capacities.
+    pub fn build(ip: &Graph, cfg: &OverlayConfig, seed: u64) -> Overlay {
+        assert!(cfg.peers >= 2, "an overlay needs at least two peers");
+        assert!(cfg.peers <= ip.node_count(), "more peers than IP nodes");
+        let mut rng = rng_for(seed, "overlay");
+
+        // Random peer placement.
+        let mut all: Vec<NodeIndex> = (0..ip.node_count()).collect();
+        all.shuffle(&mut rng);
+        let ip_hosts: Vec<NodeIndex> = all.into_iter().take(cfg.peers).collect();
+
+        // One SSSP per peer host.
+        let sssp: Vec<PathResult> = ip_hosts.iter().map(|&h| dijkstra(ip, h)).collect();
+
+        let mut graph = Graph::with_nodes(cfg.peers);
+        let connect = |graph: &mut Graph, a: usize, b: usize| {
+            if a == b || graph.has_edge(a, b) {
+                return;
+            }
+            let delay = sssp[a].delay_to(ip_hosts[b]);
+            let cap = sssp[a].bottleneck_capacity_to(ip, ip_hosts[b]).unwrap_or(0.0);
+            graph.add_edge(a, b, EdgeAttrs::new(delay, cap));
+        };
+
+        match cfg.style {
+            OverlayStyle::Mesh { neighbors } => {
+                assert!(neighbors >= 1, "mesh needs at least one neighbor");
+                #[allow(clippy::needless_range_loop)] // `a` indexes both sssp and graph
+                for a in 0..cfg.peers {
+                    let mut others: Vec<usize> = (0..cfg.peers).filter(|&b| b != a).collect();
+                    others.sort_by(|&x, &y| {
+                        sssp[a]
+                            .delay_to(ip_hosts[x])
+                            .partial_cmp(&sssp[a].delay_to(ip_hosts[y]))
+                            .expect("finite delays")
+                    });
+                    for &b in others.iter().take(neighbors) {
+                        connect(&mut graph, a, b);
+                    }
+                }
+            }
+            OverlayStyle::PowerLaw { edges_per_node } => {
+                assert!(edges_per_node >= 1);
+                let seedn = (edges_per_node + 1).min(cfg.peers);
+                let mut pool: Vec<usize> = Vec::new();
+                for a in 0..seedn {
+                    for b in (a + 1)..seedn {
+                        connect(&mut graph, a, b);
+                        pool.push(a);
+                        pool.push(b);
+                    }
+                }
+                for new in seedn..cfg.peers {
+                    let mut chosen = Vec::with_capacity(edges_per_node);
+                    let mut guard = 0;
+                    while chosen.len() < edges_per_node && guard < 10_000 {
+                        guard += 1;
+                        let c = *pool.choose(&mut rng).expect("non-empty pool");
+                        if c != new && !chosen.contains(&c) {
+                            chosen.push(c);
+                        }
+                    }
+                    for &b in &chosen {
+                        connect(&mut graph, new, b);
+                        pool.push(new);
+                        pool.push(b);
+                    }
+                }
+            }
+            OverlayStyle::RandomRegular { degree } => {
+                assert!(degree >= 2, "random overlay needs degree ≥ 2 to stay connected");
+                // Ring for connectivity, then random chords up to the degree.
+                for a in 0..cfg.peers {
+                    connect(&mut graph, a, (a + 1) % cfg.peers);
+                }
+                for a in 0..cfg.peers {
+                    let mut guard = 0;
+                    while graph.degree(a) < degree && guard < 1_000 {
+                        guard += 1;
+                        let b = rng.gen_range(0..cfg.peers);
+                        connect(&mut graph, a, b);
+                    }
+                }
+            }
+        }
+
+        Overlay { graph, ip_hosts }
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// All peer ids.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> {
+        (0..self.peer_count() as u64).map(PeerId::new)
+    }
+
+    /// The IP node hosting a peer.
+    pub fn ip_host(&self, p: PeerId) -> NodeIndex {
+        self.ip_hosts[p.index()]
+    }
+
+    /// The overlay graph (peers as node indices).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Overlay neighbors of `p` with link attributes.
+    pub fn neighbors(&self, p: PeerId) -> impl Iterator<Item = (PeerId, OverlayLink)> + '_ {
+        self.graph.neighbors(p.index()).map(|(n, e)| (PeerId::from(n), e))
+    }
+
+    /// Attributes of the direct overlay link between two peers, if any.
+    pub fn link(&self, a: PeerId, b: PeerId) -> Option<OverlayLink> {
+        self.graph.edge(a.index(), b.index())
+    }
+
+    /// A routing oracle over the overlay graph (application-level routing:
+    /// messages travel along overlay links, shortest-delay paths).
+    pub fn routing(&self) -> RoutingOracle<'_> {
+        RoutingOracle::new(&self.graph)
+    }
+
+    /// Overlay-routed delay between two peers (shortest overlay path).
+    /// Convenience wrapper; for bulk queries use [`Overlay::routing`].
+    pub fn route_delay(&self, a: PeerId, b: PeerId) -> f64 {
+        dijkstra(&self.graph, a.index()).delay_to(b.index())
+    }
+
+    /// Bottleneck capacity of the overlay path `a → b`: the paper's
+    /// `ba_{℘_j}` term, the bandwidth available on the underlying overlay
+    /// network path. `None` if no overlay path exists.
+    pub fn route_bottleneck(&self, a: PeerId, b: PeerId) -> Option<f64> {
+        dijkstra(&self.graph, a.index()).bottleneck_capacity_to(&self.graph, b.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inet::{generate_power_law, InetConfig};
+
+    fn ip_graph() -> Graph {
+        generate_power_law(&InetConfig { nodes: 300, ..InetConfig::default() }, 5)
+    }
+
+    fn build(style: OverlayStyle) -> Overlay {
+        Overlay::build(&ip_graph(), &OverlayConfig { peers: 60, style }, 9)
+    }
+
+    #[test]
+    fn mesh_overlay_is_connected_with_expected_degree() {
+        let o = build(OverlayStyle::Mesh { neighbors: 4 });
+        assert_eq!(o.peer_count(), 60);
+        assert!(o.graph().is_connected());
+        // kNN guarantees each peer at least k links (mutual selections can
+        // add more).
+        for p in o.peers() {
+            assert!(o.graph().degree(p.index()) >= 4);
+        }
+    }
+
+    #[test]
+    fn power_law_overlay_is_connected() {
+        let o = build(OverlayStyle::PowerLaw { edges_per_node: 2 });
+        assert!(o.graph().is_connected());
+    }
+
+    #[test]
+    fn random_regular_overlay_meets_degree_floor() {
+        let o = build(OverlayStyle::RandomRegular { degree: 4 });
+        assert!(o.graph().is_connected());
+        for p in o.peers() {
+            assert!(o.graph().degree(p.index()) >= 4, "peer {p}");
+        }
+    }
+
+    #[test]
+    fn overlay_link_delay_matches_ip_shortest_path() {
+        let ip = ip_graph();
+        let o = Overlay::build(&ip, &OverlayConfig { peers: 40, style: OverlayStyle::Mesh { neighbors: 3 } }, 2);
+        let mut oracle = RoutingOracle::new(&ip);
+        for (a, b, e) in o.graph().edges() {
+            let ha = o.ip_host(PeerId::from(a));
+            let hb = o.ip_host(PeerId::from(b));
+            let expect = oracle.delay(ha, hb);
+            assert!((e.delay_ms - expect).abs() < 1e-9, "link {a}-{b}");
+        }
+    }
+
+    #[test]
+    fn peer_hosts_are_distinct() {
+        let o = build(OverlayStyle::Mesh { neighbors: 3 });
+        let mut hosts: Vec<_> = o.peers().map(|p| o.ip_host(p)).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        assert_eq!(hosts.len(), o.peer_count());
+    }
+
+    #[test]
+    fn route_delay_uses_overlay_paths() {
+        let o = build(OverlayStyle::Mesh { neighbors: 4 });
+        let a = PeerId::new(0);
+        let b = PeerId::new(30);
+        let d = o.route_delay(a, b);
+        assert!(d.is_finite() && d > 0.0);
+        // Triangle inequality against any direct link.
+        if let Some(l) = o.link(a, b) {
+            assert!(d <= l.delay_ms + 1e-9);
+        }
+        assert!(o.route_bottleneck(a, b).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let ip = ip_graph();
+        let cfg = OverlayConfig { peers: 50, style: OverlayStyle::PowerLaw { edges_per_node: 2 } };
+        let a = Overlay::build(&ip, &cfg, 3);
+        let b = Overlay::build(&ip, &cfg, 3);
+        assert_eq!(
+            a.graph().edges().map(|(x, y, _)| (x, y)).collect::<Vec<_>>(),
+            b.graph().edges().map(|(x, y, _)| (x, y)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more peers than IP nodes")]
+    fn too_many_peers_rejected() {
+        let ip = generate_power_law(&InetConfig { nodes: 10, ..InetConfig::default() }, 1);
+        Overlay::build(&ip, &OverlayConfig { peers: 11, style: OverlayStyle::Mesh { neighbors: 2 } }, 0);
+    }
+}

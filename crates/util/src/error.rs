@@ -1,0 +1,95 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used throughout the SpiderNet crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the SpiderNet crates.
+///
+/// The variants are intentionally coarse: callers of the public API mostly
+/// need to distinguish "no qualified composition exists" from programmer
+/// errors (malformed graphs, unknown identifiers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A referenced peer does not exist in the overlay.
+    UnknownPeer(u64),
+    /// A referenced service function has no registration anywhere.
+    UnknownFunction(String),
+    /// A referenced service component does not exist.
+    UnknownComponent(u64),
+    /// A referenced session does not exist (expired or never created).
+    UnknownSession(u64),
+    /// The supplied function graph is structurally invalid (cyclic
+    /// dependencies, dangling links, empty, or inconsistent commutation).
+    InvalidFunctionGraph(String),
+    /// A QoS/resource requirement vector is malformed (e.g. dimension
+    /// mismatch or non-finite entries).
+    InvalidRequirement(String),
+    /// Composition finished but no candidate service graph satisfied the
+    /// user's QoS and resource requirements.
+    NoQualifiedComposition,
+    /// A session failed and no backup service graph could recover it, and
+    /// reactive re-composition also found nothing.
+    RecoveryExhausted(u64),
+    /// The simulated network dropped or could not route a message.
+    Network(String),
+    /// Admission control rejected a soft resource allocation.
+    AdmissionRejected {
+        /// Raw id of the rejecting peer.
+        peer: u64,
+    },
+    /// Configuration value out of its documented domain.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownPeer(p) => write!(f, "unknown peer id {p}"),
+            Error::UnknownFunction(n) => write!(f, "unknown service function {n:?}"),
+            Error::UnknownComponent(c) => write!(f, "unknown service component id {c}"),
+            Error::UnknownSession(s) => write!(f, "unknown session id {s}"),
+            Error::InvalidFunctionGraph(m) => write!(f, "invalid function graph: {m}"),
+            Error::InvalidRequirement(m) => write!(f, "invalid requirement: {m}"),
+            Error::NoQualifiedComposition => {
+                write!(f, "no service graph satisfies the QoS/resource requirements")
+            }
+            Error::RecoveryExhausted(s) => {
+                write!(f, "session {s}: all backups failed and re-composition found nothing")
+            }
+            Error::Network(m) => write!(f, "network error: {m}"),
+            Error::AdmissionRejected { peer } => {
+                write!(f, "peer {peer} rejected soft resource allocation")
+            }
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = Error::UnknownPeer(7);
+        assert_eq!(e.to_string(), "unknown peer id 7");
+        let e = Error::AdmissionRejected { peer: 3 };
+        assert!(e.to_string().contains("peer 3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::NoQualifiedComposition, Error::NoQualifiedComposition);
+        assert_ne!(Error::UnknownPeer(1), Error::UnknownPeer(2));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Network("down".into()));
+    }
+}

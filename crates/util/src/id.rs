@@ -1,0 +1,128 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity in the SpiderNet model carries its own newtype so that a
+//! peer index can never be confused with a session number or a component
+//! handle. All identifiers are plain `u64`s underneath, `Copy`, and cheap to
+//! hash.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the raw index as a `usize`, for indexing into dense
+            /// per-entity tables.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(raw: usize) -> Self {
+                Self(raw as u64)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a peer (an overlay node hosting service components).
+    PeerId,
+    "v"
+);
+define_id!(
+    /// Identifier of a concrete service component instance on some peer.
+    ComponentId,
+    "s"
+);
+define_id!(
+    /// Identifier of an abstract service *function* (e.g. "video-scaling").
+    /// Functionally duplicated components share one `FunctionId`.
+    FunctionId,
+    "F"
+);
+define_id!(
+    /// Identifier of an active composed service session.
+    SessionId,
+    "sess"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip() {
+        let p = PeerId::new(42);
+        assert_eq!(p.raw(), 42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(PeerId::from(42u64), p);
+        assert_eq!(PeerId::from(42usize), p);
+    }
+
+    #[test]
+    fn ids_format_with_paper_prefixes() {
+        assert_eq!(format!("{}", PeerId::new(3)), "v3");
+        assert_eq!(format!("{}", ComponentId::new(9)), "s9");
+        assert_eq!(format!("{}", FunctionId::new(1)), "F1");
+        assert_eq!(format!("{:?}", SessionId::new(5)), "sess5");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(PeerId::new(1));
+        set.insert(PeerId::new(1));
+        set.insert(PeerId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(PeerId::new(1) < PeerId::new(2));
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_unify() {
+        // Compile-time property: this test just documents intent.
+        let p = PeerId::new(1);
+        let c = ComponentId::new(1);
+        assert_eq!(p.raw(), c.raw());
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared foundations for the SpiderNet workspace.
+//!
+//! This crate hosts the small, dependency-light vocabulary types every other
+//! crate speaks: identifiers ([`id`]), the DHT key hash ([`hash`]),
+//! application-level QoS vectors ([`qos`]), end-system resource vectors
+//! ([`res`]), deterministic randomness plumbing ([`rng`]), summary statistics
+//! ([`stats`]), and the workspace error type ([`error`]).
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod hash;
+pub mod id;
+pub mod qos;
+pub mod res;
+pub mod rng;
+pub mod stats;
+
+pub use error::{Error, Result};
+pub use id::{ComponentId, FunctionId, PeerId, SessionId};
+pub use qos::{QosRequirement, QosVector};
+pub use res::{ResourceKind, ResourceVector};

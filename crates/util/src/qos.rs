@@ -1,0 +1,239 @@
+//! Application-level QoS vectors.
+//!
+//! The paper models user QoS requirements as a vector
+//! `Q^req = [q_1, …, q_m]` of *additive* quality parameters (delay, loss,
+//! jitter…). Multiplicative metrics like loss rate are folded into the
+//! additive framework with a logarithmic transform (footnote 2 of the
+//! paper): a loss probability `p` becomes `-ln(1 - p)`, which adds along a
+//! path while `1-p` multiplies.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index};
+
+/// Conventional dimension indices used by the SpiderNet workloads.
+///
+/// The QoS machinery itself is dimension-agnostic; these constants only fix
+/// a shared convention between workload generators and checkers.
+pub mod dim {
+    /// End-to-end delay, in milliseconds.
+    pub const DELAY_MS: usize = 0;
+    /// Loss rate, stored in the additive `-ln(1-p)` transform domain.
+    pub const LOSS: usize = 1;
+}
+
+/// Transforms a loss probability `p ∈ [0, 1)` into its additive form.
+pub fn loss_to_additive(p: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p), "loss probability out of range: {p}");
+    -(1.0 - p).ln()
+}
+
+/// Inverse of [`loss_to_additive`].
+pub fn additive_to_loss(a: f64) -> f64 {
+    1.0 - (-a).exp()
+}
+
+/// An m-dimensional vector of accumulated (additive) QoS values.
+#[derive(Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct QosVector(Vec<f64>);
+
+impl QosVector {
+    /// A zero vector of the given dimension — the neutral element of
+    /// accumulation.
+    pub fn zeros(m: usize) -> Self {
+        QosVector(vec![0.0; m])
+    }
+
+    /// Builds a vector from raw per-dimension values.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        QosVector(values)
+    }
+
+    /// Convenience constructor for the standard 2-dimensional
+    /// (delay, loss) workload convention.
+    pub fn delay_loss(delay_ms: f64, loss_probability: f64) -> Self {
+        QosVector(vec![delay_ms, loss_to_additive(loss_probability)])
+    }
+
+    /// Number of quality dimensions.
+    pub fn dims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Raw per-dimension values.
+    pub fn values(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Accumulates another vector into this one (per-dimension addition).
+    pub fn accumulate(&mut self, other: &QosVector) {
+        debug_assert_eq!(self.0.len(), other.0.len(), "QoS dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += b;
+        }
+    }
+
+    /// Returns true if every entry is finite and non-negative.
+    pub fn is_well_formed(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+impl Index<usize> for QosVector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl Add<&QosVector> for QosVector {
+    type Output = QosVector;
+    fn add(mut self, rhs: &QosVector) -> QosVector {
+        self.accumulate(rhs);
+        self
+    }
+}
+
+impl AddAssign<&QosVector> for QosVector {
+    fn add_assign(&mut self, rhs: &QosVector) {
+        self.accumulate(rhs);
+    }
+}
+
+impl fmt::Debug for QosVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Qos{:?}", self.0)
+    }
+}
+
+/// A user's QoS requirement: per-dimension *upper bounds* on the accumulated
+/// QoS vector of the composed service graph.
+#[derive(Clone, PartialEq, Serialize, Deserialize, Debug)]
+pub struct QosRequirement {
+    bounds: Vec<f64>,
+}
+
+impl QosRequirement {
+    /// Builds a requirement from per-dimension upper bounds.
+    ///
+    /// Every bound must be finite and positive (a zero bound would make all
+    /// non-trivial compositions unqualified).
+    pub fn new(bounds: Vec<f64>) -> Result<Self> {
+        if bounds.is_empty() {
+            return Err(Error::InvalidRequirement("empty bound vector".into()));
+        }
+        if let Some(b) = bounds.iter().find(|b| !b.is_finite() || **b <= 0.0) {
+            return Err(Error::InvalidRequirement(format!("non-positive bound {b}")));
+        }
+        Ok(QosRequirement { bounds })
+    }
+
+    /// Standard 2-dimensional (delay, loss) requirement.
+    pub fn delay_loss(max_delay_ms: f64, max_loss_probability: f64) -> Result<Self> {
+        QosRequirement::new(vec![max_delay_ms, loss_to_additive(max_loss_probability)])
+    }
+
+    /// An effectively unconstrained requirement (all bounds infinite is not
+    /// allowed, so we use a very large finite bound). Useful for experiments
+    /// that optimize a single metric and only need qualification plumbing.
+    pub fn unconstrained(m: usize) -> Self {
+        QosRequirement { bounds: vec![1e18; m] }
+    }
+
+    /// Number of quality dimensions.
+    pub fn dims(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Per-dimension upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Returns true if the accumulated vector satisfies every bound.
+    pub fn is_satisfied_by(&self, q: &QosVector) -> bool {
+        debug_assert_eq!(self.bounds.len(), q.dims(), "QoS dimension mismatch");
+        self.bounds.iter().zip(q.values()).all(|(bound, v)| v <= bound)
+    }
+
+    /// Relative slack `Σ_i q_i / q_i^req` — the quantity used by Eq. 2 of
+    /// the paper to size the backup set. Lower is better (more headroom).
+    pub fn relative_usage(&self, q: &QosVector) -> f64 {
+        self.bounds
+            .iter()
+            .zip(q.values())
+            .map(|(bound, v)| v / bound)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_transform_round_trips() {
+        for p in [0.0, 0.001, 0.01, 0.1, 0.5, 0.9] {
+            let a = loss_to_additive(p);
+            assert!((additive_to_loss(a) - p).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn loss_transform_is_additive() {
+        // Two hops with loss p1, p2 compose to 1-(1-p1)(1-p2); the additive
+        // forms must sum to the transform of the composed loss.
+        let (p1, p2) = (0.05, 0.2);
+        let composed = 1.0 - (1.0 - p1) * (1.0 - p2);
+        let sum = loss_to_additive(p1) + loss_to_additive(p2);
+        assert!((loss_to_additive(composed) - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_adds_per_dimension() {
+        let mut q = QosVector::zeros(2);
+        q += &QosVector::from_values(vec![10.0, 0.5]);
+        q += &QosVector::from_values(vec![5.0, 0.25]);
+        assert_eq!(q.values(), &[15.0, 0.75]);
+    }
+
+    #[test]
+    fn requirement_checks_bounds() {
+        let req = QosRequirement::new(vec![100.0, 1.0]).unwrap();
+        assert!(req.is_satisfied_by(&QosVector::from_values(vec![100.0, 1.0])));
+        assert!(req.is_satisfied_by(&QosVector::from_values(vec![0.0, 0.0])));
+        assert!(!req.is_satisfied_by(&QosVector::from_values(vec![100.1, 0.0])));
+        assert!(!req.is_satisfied_by(&QosVector::from_values(vec![0.0, 1.01])));
+    }
+
+    #[test]
+    fn requirement_rejects_degenerate_bounds() {
+        assert!(QosRequirement::new(vec![]).is_err());
+        assert!(QosRequirement::new(vec![0.0]).is_err());
+        assert!(QosRequirement::new(vec![-1.0]).is_err());
+        assert!(QosRequirement::new(vec![f64::NAN]).is_err());
+        assert!(QosRequirement::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn relative_usage_matches_hand_computation() {
+        let req = QosRequirement::new(vec![200.0, 2.0]).unwrap();
+        let q = QosVector::from_values(vec![100.0, 1.0]);
+        assert!((req.relative_usage(&q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_loss_constructor_uses_transform() {
+        let q = QosVector::delay_loss(50.0, 0.1);
+        assert_eq!(q[dim::DELAY_MS], 50.0);
+        assert!((q[dim::LOSS] - loss_to_additive(0.1)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(QosVector::from_values(vec![1.0, 0.0]).is_well_formed());
+        assert!(!QosVector::from_values(vec![-1.0]).is_well_formed());
+        assert!(!QosVector::from_values(vec![f64::NAN]).is_well_formed());
+    }
+}

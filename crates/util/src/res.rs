@@ -1,0 +1,199 @@
+//! End-system resource vectors.
+//!
+//! Each service component requires a vector `R` of end-system resources
+//! (CPU, memory) on its hosting peer; bandwidth is a *link* resource handled
+//! by the topology layer. Peers advertise availability vectors of the same
+//! shape; admission compares requirement against availability, and the ψ
+//! cost function (Eq. 1) sums requirement/availability ratios.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// The end-system resource types tracked on every peer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Processing capacity, in abstract CPU units.
+    Cpu,
+    /// Memory, in megabytes.
+    Memory,
+}
+
+impl ResourceKind {
+    /// All tracked resource kinds, in vector order.
+    pub const ALL: [ResourceKind; 2] = [ResourceKind::Cpu, ResourceKind::Memory];
+
+    /// Number of tracked end-system resource kinds.
+    pub const COUNT: usize = 2;
+
+    /// Index of this kind within a [`ResourceVector`].
+    pub fn index(self) -> usize {
+        match self {
+            ResourceKind::Cpu => 0,
+            ResourceKind::Memory => 1,
+        }
+    }
+}
+
+/// A fixed-shape vector over [`ResourceKind::ALL`].
+///
+/// Used both for component *requirements* and for peer *availability*.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ResourceVector([f64; ResourceKind::COUNT]);
+
+impl ResourceVector {
+    /// The zero vector.
+    pub const ZERO: ResourceVector = ResourceVector([0.0; ResourceKind::COUNT]);
+
+    /// Builds a vector from (cpu, memory).
+    pub const fn new(cpu: f64, memory: f64) -> Self {
+        ResourceVector([cpu, memory])
+    }
+
+    /// CPU entry.
+    pub fn cpu(&self) -> f64 {
+        self.0[0]
+    }
+
+    /// Memory entry.
+    pub fn memory(&self) -> f64 {
+        self.0[1]
+    }
+
+    /// Returns true if every entry of `self` (a requirement) fits within
+    /// `avail` (an availability vector).
+    pub fn fits_within(&self, avail: &ResourceVector) -> bool {
+        self.0.iter().zip(&avail.0).all(|(need, have)| need <= have)
+    }
+
+    /// Per-entry addition.
+    pub fn add(&self, other: &ResourceVector) -> ResourceVector {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(&other.0) {
+            *o += b;
+        }
+        ResourceVector(out)
+    }
+
+    /// Per-entry saturating subtraction (never goes below zero).
+    pub fn saturating_sub(&self, other: &ResourceVector) -> ResourceVector {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(&other.0) {
+            *o = (*o - b).max(0.0);
+        }
+        ResourceVector(out)
+    }
+
+    /// `Σ_i w_i · need_i / have_i`, the per-component term of the ψ cost
+    /// aggregation (Eq. 1). `weights` must have [`ResourceKind::COUNT`]
+    /// entries. Division by a zero availability yields `f64::INFINITY`,
+    /// which correctly makes exhausted peers maximally costly.
+    pub fn weighted_usage_ratio(&self, avail: &ResourceVector, weights: &[f64]) -> f64 {
+        debug_assert_eq!(weights.len(), ResourceKind::COUNT);
+        self.0
+            .iter()
+            .zip(&avail.0)
+            .zip(weights)
+            .map(|((need, have), w)| {
+                if *need == 0.0 {
+                    0.0
+                } else {
+                    w * need / have
+                }
+            })
+            .sum()
+    }
+
+    /// Returns true if every entry is finite and non-negative.
+    pub fn is_well_formed(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+
+    /// Per-entry scaling.
+    pub fn scale(&self, factor: f64) -> ResourceVector {
+        ResourceVector([self.0[0] * factor, self.0[1] * factor])
+    }
+}
+
+impl Index<ResourceKind> for ResourceVector {
+    type Output = f64;
+    fn index(&self, k: ResourceKind) -> &f64 {
+        &self.0[k.index()]
+    }
+}
+
+impl fmt::Debug for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Res{{cpu:{}, mem:{}}}", self.0[0], self.0[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_within_is_componentwise() {
+        let need = ResourceVector::new(2.0, 100.0);
+        assert!(need.fits_within(&ResourceVector::new(2.0, 100.0)));
+        assert!(need.fits_within(&ResourceVector::new(3.0, 200.0)));
+        assert!(!need.fits_within(&ResourceVector::new(1.9, 200.0)));
+        assert!(!need.fits_within(&ResourceVector::new(3.0, 99.0)));
+    }
+
+    #[test]
+    fn add_and_saturating_sub() {
+        let a = ResourceVector::new(1.0, 10.0);
+        let b = ResourceVector::new(2.0, 30.0);
+        assert_eq!(a.add(&b), ResourceVector::new(3.0, 40.0));
+        assert_eq!(b.saturating_sub(&a), ResourceVector::new(1.0, 20.0));
+        // Never negative.
+        assert_eq!(a.saturating_sub(&b), ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn weighted_usage_ratio_matches_eq1_term() {
+        let need = ResourceVector::new(1.0, 50.0);
+        let have = ResourceVector::new(4.0, 100.0);
+        let w = [0.5, 0.5];
+        // 0.5*(1/4) + 0.5*(50/100) = 0.125 + 0.25
+        let got = need.weighted_usage_ratio(&have, &w);
+        assert!((got - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhausted_peer_costs_infinity() {
+        let need = ResourceVector::new(1.0, 0.0);
+        let have = ResourceVector::new(0.0, 100.0);
+        assert!(need.weighted_usage_ratio(&have, &[1.0, 0.0]).is_infinite());
+    }
+
+    #[test]
+    fn zero_need_costs_zero_even_on_empty_peer() {
+        let need = ResourceVector::ZERO;
+        let have = ResourceVector::ZERO;
+        assert_eq!(need.weighted_usage_ratio(&have, &[0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn indexing_by_kind() {
+        let v = ResourceVector::new(3.0, 7.0);
+        assert_eq!(v[ResourceKind::Cpu], 3.0);
+        assert_eq!(v[ResourceKind::Memory], 7.0);
+        assert_eq!(v.cpu(), 3.0);
+        assert_eq!(v.memory(), 7.0);
+    }
+
+    #[test]
+    fn scale_scales_all_entries() {
+        let v = ResourceVector::new(2.0, 4.0).scale(0.5);
+        assert_eq!(v, ResourceVector::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(ResourceVector::new(0.0, 0.0).is_well_formed());
+        assert!(!ResourceVector::new(-1.0, 0.0).is_well_formed());
+        assert!(!ResourceVector::new(f64::NAN, 0.0).is_well_formed());
+    }
+}

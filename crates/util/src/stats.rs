@@ -1,0 +1,254 @@
+//! Summary statistics for experiment harnesses.
+//!
+//! The figure regenerators report means, percentiles, and time-bucketed
+//! event counts; this module provides the accumulators they share.
+
+use std::fmt;
+
+/// Streaming mean/variance accumulator (Welford's algorithm) with min/max.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 for fewer than two observations).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Computes the p-th percentile (0 ≤ p ≤ 100) of a sample using linear
+/// interpolation between order statistics. Returns NaN on an empty sample.
+pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = (p / 100.0) * (samples.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        samples[lo]
+    } else {
+        let frac = rank - lo as f64;
+        samples[lo] * (1.0 - frac) + samples[hi] * frac
+    }
+}
+
+/// Counts events into fixed-width time buckets — the shape of the paper's
+/// "failure frequency over time" plot (Fig. 9).
+#[derive(Clone, Debug)]
+pub struct TimeBuckets {
+    width: f64,
+    counts: Vec<u64>,
+}
+
+impl TimeBuckets {
+    /// Creates `n` buckets each covering `width` time units starting at 0.
+    pub fn new(width: f64, n: usize) -> Self {
+        assert!(width > 0.0, "bucket width must be positive");
+        TimeBuckets { width, counts: vec![0; n] }
+    }
+
+    /// Records one event at time `t`; events beyond the last bucket are
+    /// clamped into it so totals are conserved.
+    pub fn record(&mut self, t: f64) {
+        if self.counts.is_empty() {
+            return;
+        }
+        let idx = ((t / self.width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket event counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bucket start times, for plotting.
+    pub fn bucket_starts(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.counts.len()).map(move |i| i as f64 * self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample sd of this classic dataset is sqrt(32/7).
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &data[..37] {
+            a.record(x);
+        }
+        for &x in &data[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - whole.std_dev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::new();
+        a.record(1.0);
+        let before = a.mean();
+        a.merge(&Summary::new());
+        assert_eq!(a.mean(), before);
+        let mut e = Summary::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let mut v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&mut v.clone(), 0.0), 1.0);
+        assert_eq!(percentile(&mut v.clone(), 100.0), 4.0);
+        assert!((percentile(&mut v, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_empty_is_nan() {
+        assert!(percentile(&mut [], 50.0).is_nan());
+    }
+
+    #[test]
+    fn time_buckets_clamp_and_conserve() {
+        let mut tb = TimeBuckets::new(10.0, 3);
+        tb.record(0.0);
+        tb.record(9.99);
+        tb.record(10.0);
+        tb.record(25.0);
+        tb.record(1000.0); // clamped into last bucket
+        assert_eq!(tb.counts(), &[2, 1, 2]);
+        assert_eq!(tb.total(), 5);
+        let starts: Vec<f64> = tb.bucket_starts().collect();
+        assert_eq!(starts, vec![0.0, 10.0, 20.0]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Quickstart: build a small P2P service overlay, register components,
+//! and compose a three-function service with bounded composition probing.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spidernet::core::bcp::BcpConfig;
+use spidernet::core::model::component::ServiceComponent;
+use spidernet::core::system::{SpiderNet, SpiderNetConfig};
+use spidernet::core::CompositionRequest;
+use spidernet::core::FunctionGraph;
+use spidernet::util::id::{ComponentId, FunctionId, PeerId};
+use spidernet::util::qos::{QosRequirement, QosVector};
+use spidernet::util::res::ResourceVector;
+
+fn main() {
+    // A 60-peer overlay promoted from a 400-node power-law IP network.
+    let mut net = SpiderNet::build(&SpiderNetConfig {
+        ip_nodes: 400,
+        peers: 60,
+        seed: 42,
+        ..SpiderNetConfig::default()
+    });
+
+    // Register three replicas each of "transcode", "watermark", "scale" on
+    // distinct peers — the function names are hashed into DHT keys, so
+    // every replica of one function lands on the same directory node.
+    let functions = ["transcode", "watermark", "scale"];
+    for (fi, name) in functions.iter().enumerate() {
+        for r in 0..3u64 {
+            let peer = PeerId::new(5 + fi as u64 * 3 + r);
+            net.add_component(
+                name,
+                ServiceComponent {
+                    id: ComponentId::new(0), // assigned by the registry
+                    peer,
+                    function: FunctionId::new(0), // interned by name
+                    perf_qos: QosVector::delay_loss(8.0 + 4.0 * r as f64, 0.002),
+                    resources: ResourceVector::new(0.15, 24.0),
+                    out_bandwidth_mbps: 1.2,
+                    failure_prob: 0.01,
+                },
+            );
+        }
+    }
+
+    // The user's composite request: transcode → watermark → scale, with an
+    // end-to-end delay bound of 400 ms and ≤5% loss, from peer 0 to peer 1.
+    let catalog = net.registry().catalog();
+    let fg = FunctionGraph::linear_of(&[
+        catalog.lookup("transcode").expect("registered"),
+        catalog.lookup("watermark").expect("registered"),
+        catalog.lookup("scale").expect("registered"),
+    ]);
+    let request = CompositionRequest {
+        source: PeerId::new(0),
+        dest: PeerId::new(1),
+        function_graph: fg,
+        qos_req: QosRequirement::delay_loss(400.0, 0.05).expect("valid bounds"),
+        bandwidth_mbps: 1.0,
+        max_failure_prob: 0.1,
+    };
+
+    // Bounded composition probing with a budget of 8 probes.
+    let outcome = net
+        .compose(&request, &BcpConfig { budget: 8, ..BcpConfig::default() })
+        .expect("composition should succeed on this population");
+
+    println!("composed service graph:");
+    println!("  source: {}", outcome.best.source);
+    for (i, &c) in outcome.best.assignment.iter().enumerate() {
+        let comp = net.registry().get(c);
+        println!(
+            "  [{}] {} -> component {} on peer {} (Qp delay {:.1} ms)",
+            i,
+            net.registry().catalog().name(comp.function),
+            c,
+            comp.peer,
+            comp.perf_qos[0],
+        );
+    }
+    println!("  dest: {}", outcome.best.dest);
+    println!(
+        "end-to-end: delay {:.1} ms, ψ cost {:.4}, failure prob {:.4}",
+        outcome.eval.qos[0], outcome.eval.cost, outcome.eval.failure_prob
+    );
+    println!(
+        "protocol cost: {} probes, {} DHT messages, {} other qualified graphs for backup",
+        outcome.stats.probes_sent,
+        outcome.stats.dht_messages,
+        outcome.qualified_pool.len()
+    );
+
+    // Establish the session (commits resources, selects backups).
+    let session = net.establish(&request, outcome).expect("admission succeeds");
+    let s = net.sessions().session(session).expect("just established");
+    println!("session {session} established with {} backup graphs", s.backups.len());
+}

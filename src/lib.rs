@@ -1,0 +1,18 @@
+//! SpiderNet facade crate.
+//!
+//! Re-exports the whole workspace under one roof so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! ```
+//! use spidernet::core::model::FunctionGraph;
+//! let _ = FunctionGraph::linear(3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use spidernet_core as core;
+pub use spidernet_dht as dht;
+pub use spidernet_runtime as runtime;
+pub use spidernet_sim as sim;
+pub use spidernet_topology as topology;
+pub use spidernet_util as util;

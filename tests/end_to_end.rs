@@ -1,0 +1,231 @@
+//! Cross-crate integration: the full SpiderNet pipeline on a simulated
+//! overlay — population, DHT discovery, BCP composition, session
+//! establishment, churn, and recovery.
+
+use spidernet::core::baselines::centralized_state_messages;
+use spidernet::core::bcp::{BcpConfig, QuotaPolicy};
+use spidernet::core::recovery::FailureOutcome;
+use spidernet::core::selection::is_qualified;
+use spidernet::core::system::{SpiderNet, SpiderNetConfig};
+use spidernet::core::workload::{random_request, PopulationConfig, RequestConfig};
+use spidernet::sim::metrics::counter;
+use spidernet::util::rng::rng_for;
+
+fn build(seed: u64) -> SpiderNet {
+    let mut net = SpiderNet::build(&SpiderNetConfig {
+        ip_nodes: 400,
+        peers: 80,
+        seed,
+        ..SpiderNetConfig::default()
+    });
+    net.populate(&PopulationConfig { functions: 16, ..PopulationConfig::default() });
+    net
+}
+
+fn loose_requests(net: &SpiderNet, seed: u64, n: usize) -> Vec<spidernet::core::CompositionRequest> {
+    let cfg = RequestConfig {
+        functions: (2, 4),
+        delay_bound_ms: (2_000.0, 3_000.0),
+        loss_bound: (0.2, 0.3),
+        max_failure_prob: 0.5,
+        ..RequestConfig::default()
+    };
+    let mut rng = rng_for(seed, "e2e-req");
+    (0..n).map(|_| random_request(net.overlay(), net.registry(), &cfg, &mut rng)).collect()
+}
+
+#[test]
+fn bcp_results_are_always_qualified_and_functionally_correct() {
+    let mut net = build(1);
+    for req in loose_requests(&net, 1, 10) {
+        let Ok(outcome) = net.compose(&req, &BcpConfig::default()) else { continue };
+        assert!(is_qualified(&outcome.eval, &req));
+        // The chosen components provide exactly the requested functions
+        // (as a multiset — commutation may reorder them).
+        let mut want: Vec<u64> = req.function_graph.functions().iter().map(|f| f.raw()).collect();
+        let mut got: Vec<u64> = outcome
+            .best
+            .assignment
+            .iter()
+            .map(|&c| net.registry().get(c).function.raw())
+            .collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(want, got);
+        // Every pool entry is qualified too.
+        for (_, eval) in &outcome.qualified_pool {
+            assert!(is_qualified(eval, &req));
+        }
+    }
+}
+
+#[test]
+fn bcp_never_finds_anything_optimal_misses_entirely() {
+    // If exhaustive search finds nothing qualified, bounded probing cannot
+    // either (it searches a subset).
+    let mut net = build(2);
+    let mut impossible = 0;
+    for mut req in loose_requests(&net, 2, 12) {
+        req.qos_req = spidernet::util::qos::QosRequirement::new(vec![0.01, 0.001]).unwrap();
+        assert!(net.compose_optimal(&req, None).is_err());
+        assert!(net.compose(&req, &BcpConfig::default()).is_err());
+        impossible += 1;
+    }
+    assert!(impossible > 0);
+}
+
+#[test]
+fn bcp_cost_is_sandwiched_between_optimal_and_random() {
+    let mut net = build(3);
+    let mut rng = rng_for(3, "e2e-rand");
+    let mut compared = 0;
+    for req in loose_requests(&net, 3, 12) {
+        let Ok(opt) = net.compose_optimal(&req, Some(5_000)) else { continue };
+        let Ok(bcp) = net.compose(
+            &req,
+            &BcpConfig { budget: 64, quota: QuotaPolicy::Uniform(8), ..BcpConfig::default() },
+        ) else {
+            continue;
+        };
+        assert!(
+            bcp.eval.cost + 1e-9 >= opt.eval.cost,
+            "BCP beat exhaustive search: {} < {}",
+            bcp.eval.cost,
+            opt.eval.cost
+        );
+        // Random is quality-blind; averaged over draws it must not beat
+        // BCP's ψ. Check the mean of several draws.
+        let mut rand_sum = 0.0;
+        for _ in 0..5 {
+            rand_sum += net.compose_random(&req, &mut rng).unwrap().eval.cost;
+        }
+        assert!(bcp.eval.cost <= rand_sum / 5.0 + 1e-9, "BCP worse than mean random pick");
+        compared += 1;
+    }
+    assert!(compared >= 5, "too few comparable requests ({compared})");
+}
+
+#[test]
+fn session_lifecycle_conserves_resources() {
+    let mut net = build(4);
+    let baseline: Vec<_> = net
+        .overlay()
+        .peers()
+        .map(|p| net.state().available(p))
+        .collect();
+    let mut ids = Vec::new();
+    for req in loose_requests(&net, 4, 6) {
+        if let Ok(outcome) = net.compose(&req, &BcpConfig::default()) {
+            if let Ok(id) = net.establish(&req, outcome) {
+                ids.push(id);
+            }
+        }
+    }
+    assert!(!ids.is_empty());
+    // Established sessions hold resources…
+    let held: f64 = net
+        .overlay()
+        .peers()
+        .map(|p| baseline[p.index()].cpu() - net.state().available(p).cpu())
+        .sum();
+    assert!(held > 0.0, "sessions hold no resources");
+    // …and teardown returns everything.
+    for id in ids {
+        net.teardown(id).unwrap();
+    }
+    for p in net.overlay().peers() {
+        assert_eq!(net.state().available(p), baseline[p.index()], "leak on {p}");
+    }
+}
+
+#[test]
+fn churn_with_recovery_keeps_sessions_alive() {
+    let mut net = SpiderNet::build(&SpiderNetConfig {
+        ip_nodes: 400,
+        peers: 80,
+        seed: 5,
+        ..SpiderNetConfig::default()
+    });
+    net.populate(&PopulationConfig { functions: 16, ..PopulationConfig::default() });
+    // Tight-ish bounds so Eq. 2 keeps backups.
+    let cfg = RequestConfig {
+        functions: (2, 3),
+        delay_bound_ms: (400.0, 700.0),
+        loss_bound: (0.03, 0.06),
+        max_failure_prob: 0.12,
+        ..RequestConfig::default()
+    };
+    let bcp = BcpConfig { budget: 64, ..BcpConfig::default() };
+    let mut rng = rng_for(5, "e2e-churn");
+    let mut established = 0;
+    let mut guard = 0;
+    while established < 15 && guard < 300 {
+        guard += 1;
+        let req = random_request(net.overlay(), net.registry(), &cfg, &mut rng);
+        if let Ok(outcome) = net.compose(&req, &bcp) {
+            if net.establish(&req, outcome).is_ok() {
+                established += 1;
+            }
+        }
+    }
+    assert_eq!(established, 15);
+    let before = net.sessions().len();
+
+    // Fail peers hosting session components, one by one.
+    let mut hits = 0;
+    let mut recovered = 0;
+    for round in 0..10u64 {
+        let victim = net
+            .sessions()
+            .sessions()
+            .flat_map(|s| s.primary.components().iter())
+            .map(|&c| net.registry().get(c).peer)
+            .nth(round as usize % 3);
+        let Some(victim) = victim else { break };
+        if !net.state().is_alive(victim) {
+            continue;
+        }
+        for (sid, outcome) in net.fail_peer(victim) {
+            hits += 1;
+            match outcome {
+                FailureOutcome::RecoveredByBackup { .. } => recovered += 1,
+                FailureOutcome::NeedsReactive => {
+                    if net.reactive_recover(sid, &bcp) {
+                        recovered += 1;
+                    }
+                }
+            }
+        }
+        net.maintenance_tick();
+    }
+    assert!(hits > 0, "no session was ever hit");
+    assert!(
+        recovered * 10 >= hits * 7,
+        "recovery rate too low: {recovered}/{hits}"
+    );
+    assert!(net.sessions().len() + 2 >= before, "too many sessions lost");
+}
+
+#[test]
+fn overhead_counters_track_protocol_activity() {
+    let mut net = build(6);
+    net.reset_metrics();
+    let reqs = loose_requests(&net, 6, 8);
+    let mut established = 0;
+    for req in &reqs {
+        if let Ok(outcome) = net.compose(req, &BcpConfig::default()) {
+            if net.establish(req, outcome).is_ok() {
+                established += 1;
+            }
+        }
+    }
+    net.maintenance_tick();
+    let m = net.metrics();
+    assert!(m.counter(counter::PROBES) > 0);
+    assert!(m.counter(counter::DHT_MESSAGES) > 0);
+    assert!(m.counter(counter::CONTROL) as usize >= established);
+    // The centralized alternative would have cost far more over any
+    // realistic horizon.
+    let centralized = centralized_state_messages(80, 1_000, 1);
+    assert!(centralized > m.counter(counter::PROBES));
+}

@@ -1,0 +1,418 @@
+//! Property-based tests (proptest) over the core data structures and
+//! protocol invariants.
+
+use proptest::prelude::*;
+use spidernet::core::model::FunctionGraph;
+use spidernet::core::recovery::{backup_count, select_backups};
+use spidernet::core::selection::merge_branches;
+use spidernet::core::state::OverlayState;
+use spidernet::dht::{NodeId, PastryNetwork};
+use spidernet::sim::time::SimTime;
+use spidernet::topology::inet::{generate_power_law, InetConfig};
+use spidernet::topology::overlay::{Overlay, OverlayConfig, OverlayStyle};
+use spidernet::topology::routing::dijkstra;
+use spidernet::util::hash::sha1;
+use spidernet::util::id::{ComponentId, PeerId};
+use spidernet::util::qos::{additive_to_loss, loss_to_additive, QosRequirement, QosVector};
+use spidernet::util::res::ResourceVector;
+
+proptest! {
+    // ---- hashing --------------------------------------------------
+
+    /// SHA-1 is deterministic and length-sensitive.
+    #[test]
+    fn sha1_deterministic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(sha1(&data).0, sha1(&data).0);
+        let mut extended = data.clone();
+        extended.push(0);
+        prop_assert_ne!(sha1(&data).0, sha1(&extended).0);
+    }
+
+    // ---- QoS ------------------------------------------------------
+
+    /// The loss transform is a monotone bijection on [0, 1).
+    #[test]
+    fn loss_transform_bijection(p in 0.0f64..0.999) {
+        let a = loss_to_additive(p);
+        prop_assert!(a >= 0.0);
+        prop_assert!((additive_to_loss(a) - p).abs() < 1e-9);
+    }
+
+    /// Additive-domain sums equal multiplicative-domain composition.
+    #[test]
+    fn loss_composition(p1 in 0.0f64..0.9, p2 in 0.0f64..0.9) {
+        let composed = 1.0 - (1.0 - p1) * (1.0 - p2);
+        let sum = loss_to_additive(p1) + loss_to_additive(p2);
+        prop_assert!((loss_to_additive(composed) - sum).abs() < 1e-9);
+    }
+
+    /// Accumulation is commutative and order-independent.
+    #[test]
+    fn qos_accumulation_commutes(
+        a in proptest::collection::vec(0.0f64..1e6, 3),
+        b in proptest::collection::vec(0.0f64..1e6, 3),
+    ) {
+        let mut x = QosVector::from_values(a.clone());
+        x.accumulate(&QosVector::from_values(b.clone()));
+        let mut y = QosVector::from_values(b);
+        y.accumulate(&QosVector::from_values(a));
+        for (u, v) in x.values().iter().zip(y.values()) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    /// A requirement satisfied by q stays satisfied by anything
+    /// dominated by q.
+    #[test]
+    fn qos_satisfaction_is_monotone(
+        bounds in proptest::collection::vec(1.0f64..1e3, 2),
+        frac in 0.0f64..1.0,
+    ) {
+        let req = QosRequirement::new(bounds.clone()).unwrap();
+        let at_bound = QosVector::from_values(bounds.clone());
+        let scaled = QosVector::from_values(bounds.iter().map(|b| b * frac).collect());
+        prop_assert!(req.is_satisfied_by(&at_bound));
+        prop_assert!(req.is_satisfied_by(&scaled));
+    }
+
+    // ---- resources -------------------------------------------------
+
+    /// fits_within is antisymmetric under strict domination and add/sub
+    /// round-trips.
+    #[test]
+    fn resource_arithmetic(c1 in 0.0f64..10.0, m1 in 0.0f64..100.0, c2 in 0.0f64..10.0, m2 in 0.0f64..100.0) {
+        let a = ResourceVector::new(c1, m1);
+        let b = ResourceVector::new(c2, m2);
+        let sum = a.add(&b);
+        prop_assert!(a.fits_within(&sum));
+        prop_assert!(b.fits_within(&sum));
+        let back = sum.saturating_sub(&b);
+        prop_assert!((back.cpu() - c1).abs() < 1e-9);
+        prop_assert!((back.memory() - m1).abs() < 1e-9);
+    }
+
+    // ---- function graphs -------------------------------------------
+
+    /// Linear chains of any size validate, are linear, and have exactly
+    /// one branch path covering all nodes in order.
+    #[test]
+    fn linear_chains_are_wellformed(k in 1usize..12) {
+        let g = FunctionGraph::linear(k);
+        prop_assert!(g.is_linear());
+        let paths = g.branch_paths();
+        prop_assert_eq!(paths.len(), 1);
+        prop_assert_eq!(&paths[0], &(0..k).collect::<Vec<_>>());
+        prop_assert_eq!(g.topo_order().unwrap().len(), k);
+    }
+
+    /// Every enumerated pattern is a permutation of the original functions
+    /// and acyclic.
+    #[test]
+    fn patterns_are_acyclic_permutations(k in 2usize..6, swaps in proptest::collection::vec((0usize..6, 0usize..6), 0..3)) {
+        let commutations: Vec<(usize, usize)> = swaps
+            .into_iter()
+            .map(|(a, b)| (a % k, b % k))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let Ok(g) = FunctionGraph::new(
+            (0..k as u64).map(spidernet::util::id::FunctionId::new).collect(),
+            (0..k - 1).map(|i| (i, i + 1)).collect(),
+            commutations,
+        ) else {
+            return Ok(());
+        };
+        let mut base: Vec<u64> = g.functions().iter().map(|f| f.raw()).collect();
+        base.sort_unstable();
+        for p in g.patterns() {
+            prop_assert!(p.topo_order().is_some());
+            let mut fs: Vec<u64> = p.functions().iter().map(|f| f.raw()).collect();
+            fs.sort_unstable();
+            prop_assert_eq!(&fs, &base);
+        }
+    }
+
+    // ---- merge -----------------------------------------------------
+
+    /// Merged assignments agree with some candidate on every branch.
+    #[test]
+    fn merge_respects_branch_candidates(n_cands in 1usize..6) {
+        let pattern = FunctionGraph::linear(2);
+        let branches = pattern.branch_paths();
+        let cands: Vec<Vec<(usize, ComponentId)>> = (0..n_cands)
+            .map(|i| vec![(0, ComponentId::new(i as u64)), (1, ComponentId::new(100 + i as u64))])
+            .collect();
+        let merged = merge_branches(&pattern, &branches, std::slice::from_ref(&cands), 100);
+        prop_assert_eq!(merged.len(), n_cands);
+        for m in merged {
+            prop_assert!(cands.iter().any(|c| c[0].1 == m[0] && c[1].1 == m[1]));
+        }
+    }
+
+    // ---- Eq. 2 -----------------------------------------------------
+
+    /// γ is monotone in U and never exceeds C−1.
+    #[test]
+    fn gamma_bounds(u in 0.0f64..10.0, c in 1usize..50, delay in 0.0f64..1000.0, fail in 0.0f64..0.2) {
+        let req = spidernet::core::CompositionRequest {
+            source: PeerId::new(0),
+            dest: PeerId::new(1),
+            function_graph: FunctionGraph::linear(2),
+            qos_req: QosRequirement::new(vec![1_000.0, 1.0]).unwrap(),
+            bandwidth_mbps: 1.0,
+            max_failure_prob: 0.2,
+        };
+        let eval = spidernet::core::model::service_graph::GraphEval {
+            qos: QosVector::from_values(vec![delay, 0.1]),
+            cost: 1.0,
+            failure_prob: fail,
+            fits_resources: true,
+        };
+        let g = backup_count(&eval, &req, u, c);
+        prop_assert!(g < c);
+        let g2 = backup_count(&eval, &req, u + 1.0, c);
+        prop_assert!(g2 >= g);
+    }
+
+    // ---- soft allocations -------------------------------------------
+
+    /// Arbitrary soft allocate/release interleavings never over-commit a
+    /// peer and fully restore availability when balanced.
+    #[test]
+    fn soft_allocations_never_overbook(ops in proptest::collection::vec((0u8..4, 0.0f64..0.5), 1..40)) {
+        let ip = generate_power_law(&InetConfig { nodes: 60, ..InetConfig::default() }, 1);
+        let overlay = Overlay::build(
+            &ip,
+            &OverlayConfig { peers: 10, style: OverlayStyle::Mesh { neighbors: 3 } },
+            1,
+        );
+        let mut state = OverlayState::new(&overlay, ResourceVector::new(1.0, 100.0));
+        let peer = PeerId::new(0);
+        let mut tokens = Vec::new();
+        for (op, amount) in ops {
+            match op {
+                0 | 1 => {
+                    if let Ok(t) = state.soft_allocate(
+                        peer,
+                        ResourceVector::new(amount, amount * 10.0),
+                        SimTime::from_secs(10),
+                    ) {
+                        tokens.push(t);
+                    }
+                }
+                2 => {
+                    if let Some(t) = tokens.pop() {
+                        state.release_soft(t);
+                    }
+                }
+                _ => {
+                    state.expire_soft(SimTime::ZERO); // nothing due yet
+                }
+            }
+            let avail = state.available(peer);
+            prop_assert!(avail.cpu() >= -1e-9, "negative availability");
+            prop_assert!(avail.cpu() <= 1.0 + 1e-9, "availability above capacity");
+        }
+        for t in tokens {
+            state.release_soft(t);
+        }
+        // Balanced allocate/release restores availability up to float
+        // rounding.
+        let avail = state.available(peer);
+        let cap = state.capacity(peer);
+        prop_assert!((avail.cpu() - cap.cpu()).abs() < 1e-9);
+        prop_assert!((avail.memory() - cap.memory()).abs() < 1e-9);
+    }
+
+    // ---- DHT --------------------------------------------------------
+
+    /// Routing from any start delivers at the globally responsible node.
+    #[test]
+    fn pastry_routes_to_responsible(key in any::<u128>(), start in 0u64..32) {
+        let peers: Vec<PeerId> = (0..32).map(PeerId::new).collect();
+        let net = PastryNetwork::build(&peers, &mut |_, _| 1.0);
+        let out = net.route(PeerId::new(start), NodeId::new(key), &mut |_, _| 1.0).unwrap();
+        prop_assert_eq!(out.destination(), net.responsible(NodeId::new(key)).unwrap());
+    }
+
+    // ---- routing ----------------------------------------------------
+
+    /// Dijkstra satisfies the triangle inequality over sampled triples.
+    #[test]
+    fn shortest_paths_triangle_inequality(seed in 0u64..20, a in 0usize..50, b in 0usize..50, c in 0usize..50) {
+        let g = generate_power_law(&InetConfig { nodes: 50, ..InetConfig::default() }, seed);
+        let from_a = dijkstra(&g, a);
+        let from_b = dijkstra(&g, b);
+        let ab = from_a.delay_to(b);
+        let bc = from_b.delay_to(c);
+        let ac = from_a.delay_to(c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+}
+
+// ---- backup selection (plain test: richer setup) ----------------------
+
+#[test]
+fn backups_never_contain_the_excluded_component() {
+    // For every primary component, if any pool graph excludes it, the
+    // selected backup set contains a graph excluding it (single-failure
+    // coverage), and no selected index repeats.
+    use spidernet::core::model::component::{Registry, ServiceComponent};
+    use spidernet::core::model::service_graph::{GraphEval, ServiceGraph};
+    use spidernet::util::id::FunctionId;
+
+    let mut reg = Registry::default();
+    for f in 0..2u64 {
+        for r in 0..4u64 {
+            reg.add(ServiceComponent {
+                id: ComponentId::new(0),
+                peer: PeerId::new(f * 4 + r),
+                function: FunctionId::new(f),
+                perf_qos: QosVector::from_values(vec![10.0, 0.0]),
+                resources: ResourceVector::new(0.1, 8.0),
+                out_bandwidth_mbps: 1.0,
+                failure_prob: 0.01 + r as f64 * 0.01,
+            });
+        }
+    }
+    let graph = |a: u64, b: u64| {
+        ServiceGraph::new(
+            PeerId::new(90),
+            PeerId::new(91),
+            FunctionGraph::linear(2),
+            vec![ComponentId::new(a), ComponentId::new(4 + b)],
+        )
+    };
+    let eval = GraphEval {
+        qos: QosVector::from_values(vec![10.0, 0.0]),
+        cost: 1.0,
+        failure_prob: 0.02,
+        fits_resources: true,
+    };
+    let primary = graph(0, 0);
+    #[allow(clippy::redundant_clone)]
+    let pool: Vec<(ServiceGraph, GraphEval)> = (0..4)
+        .flat_map(|a| (0..4).map(move |b| (a, b)))
+        .filter(|&(a, b)| (a, b) != (0, 0))
+        .map(|(a, b)| (graph(a, b), eval.clone()))
+        .collect();
+
+    for gamma in 1..=6 {
+        let idx = select_backups(&primary, &pool, gamma, &reg, 3);
+        assert!(idx.len() <= gamma);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), idx.len(), "duplicate backup indices");
+        if gamma >= 2 {
+            // Single-failure coverage of both primary components.
+            for &comp in primary.components() {
+                assert!(
+                    idx.iter().any(|&i| !pool[i].0.contains_component(comp)),
+                    "γ={gamma}: no backup excludes {comp:?}"
+                );
+            }
+        }
+    }
+}
+
+// ---- BCP protocol invariants over randomized worlds --------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Over random small worlds: complete probes never exceed the budget,
+    /// the selected graph is qualified, and soft reservations never leak.
+    #[test]
+    fn bcp_invariants_hold_on_random_worlds(seed in 0u64..500, budget in 1u32..40) {
+        use spidernet::core::bcp::BcpConfig;
+        use spidernet::core::selection::is_qualified;
+        use spidernet::core::system::{SpiderNet, SpiderNetConfig};
+        use spidernet::core::workload::{random_request, PopulationConfig, RequestConfig};
+        use spidernet::util::rng::rng_for;
+
+        let mut net = SpiderNet::build(&SpiderNetConfig {
+            ip_nodes: 200,
+            peers: 40,
+            seed,
+            ..SpiderNetConfig::default()
+        });
+        net.populate(&PopulationConfig { functions: 8, ..PopulationConfig::default() });
+        let mut rng = rng_for(seed, "prop-bcp");
+        let req = random_request(
+            net.overlay(),
+            net.registry(),
+            &RequestConfig {
+                functions: (2, 3),
+                delay_bound_ms: (3_000.0, 4_000.0),
+                loss_bound: (0.3, 0.4),
+                ..RequestConfig::default()
+            },
+            &mut rng,
+        );
+        let cfg = BcpConfig { budget, ..BcpConfig::default() };
+        // Infeasible worlds (Err) are fine; invariants apply on success.
+        if let Ok(out) = net.compose(&req, &cfg) {
+            prop_assert!(out.stats.complete_probes <= u64::from(budget) * 2,
+                "complete probes {} vastly exceed budget {budget} (patterns double it at most)",
+                out.stats.complete_probes);
+            prop_assert!(is_qualified(&out.eval, &req));
+            prop_assert!(out.stats.probes_sent >= out.stats.complete_probes);
+        }
+        // No reservation leaks whatever happened.
+        prop_assert_eq!(net.state().soft_count(), 0);
+    }
+
+    /// Pastry stays correct through arbitrary interleavings of departures
+    /// and arrivals: every key routes to the live node with the closest id.
+    #[test]
+    fn pastry_correct_under_churn_sequences(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..24),
+        probe in any::<u128>(),
+    ) {
+        let peers: Vec<PeerId> = (0..32).map(PeerId::new).collect();
+        let mut net = PastryNetwork::build(&peers, &mut |_, _| 1.0);
+        let mut next_new = 100u64;
+        for (arrive, pick) in ops {
+            if arrive {
+                net.add_node(PeerId::new(next_new), &mut |_, _| 1.0);
+                next_new += 1;
+            } else if net.len() > 4 {
+                // Remove some live peer deterministically chosen by `pick`.
+                let live: Vec<PeerId> = {
+                    let mut v: Vec<PeerId> = net.peers().collect();
+                    v.sort_unstable();
+                    v
+                };
+                let victim = live[(pick as usize) % live.len()];
+                net.remove_node(victim);
+            }
+        }
+        let key = NodeId::new(probe);
+        let start = {
+            let mut v: Vec<PeerId> = net.peers().collect();
+            v.sort_unstable();
+            v[0]
+        };
+        let out = net.route(start, key, &mut |_, _| 1.0).expect("routing must terminate");
+        prop_assert_eq!(out.destination(), net.responsible(key).unwrap());
+    }
+
+    /// Media transforms preserve frame well-formedness for arbitrary sizes
+    /// and chain them safely.
+    #[test]
+    fn media_chains_stay_wellformed(
+        w in 1usize..40,
+        h in 1usize..40,
+        chain in proptest::collection::vec(0usize..6, 1..5),
+        seq in any::<u64>(),
+    ) {
+        use spidernet::runtime::media::{Frame, MediaFunction};
+        let mut f = Frame::synthetic(w, h, seq);
+        for &i in &chain {
+            f = MediaFunction::ALL[i].apply(&f);
+            prop_assert_eq!(f.byte_len(), f.width * f.height);
+            prop_assert!(f.width >= 1 && f.height >= 1);
+            prop_assert_eq!(f.seq, seq);
+        }
+    }
+}
