@@ -1,21 +1,45 @@
 //! Regenerates Fig. 8: composition success rate vs workload for optimal,
 //! probing-0.2, probing-0.1, random, and static.
 //!
-//! `cargo run --release -p spidernet-bench --bin fig8 [--paper]`
+//! `cargo run --release -p spidernet-bench --bin fig8 [--paper] [--csv] [--json]`
+//!
+//! `--json` additionally times the harness sequentially and in parallel
+//! (the outputs are bit-identical either way) and writes the wall-time /
+//! throughput record to `BENCH_fig8.json`.
 
-use spidernet_bench::{csv_requested, paper_scale_requested};
+use spidernet_bench::{csv_requested, json_requested, paper_scale_requested, time_seq_par, BenchReport};
 use spidernet_core::experiments::fig8::{run, Fig8Config};
 
 fn main() {
-    let cfg = if paper_scale_requested() { Fig8Config::paper_scale() } else { Fig8Config::default() };
+    let base = if paper_scale_requested() { Fig8Config::paper_scale() } else { Fig8Config::default() };
     eprintln!(
         "fig8: {} peers, {} units, workloads {:?}{}",
-        cfg.peers,
-        cfg.duration_units,
-        cfg.workloads,
+        base.peers,
+        base.duration_units,
+        base.workloads,
         if paper_scale_requested() { " (paper scale)" } else { " (scaled down; pass --paper for full size)" }
     );
-    let res = run(&cfg);
+    let res = if json_requested() {
+        let trials = (base.workloads.len() * base.algorithms.len()) as u64;
+        let (seq, par, threads, out) =
+            time_seq_par(|t| run(&Fig8Config { threads: Some(t), ..base.clone() }));
+        let mut rep = BenchReport::new("fig8");
+        rep.int("trials", trials)
+            .int("threads", threads as u64)
+            .num("sequential_secs", seq)
+            .num("parallel_secs", par)
+            .num("speedup", seq / par)
+            .num("trials_per_sec", trials as f64 / par)
+            .int("probes", out.total_probes)
+            .num("probes_per_sec", out.total_probes as f64 / par);
+        match rep.write() {
+            Ok(p) => eprintln!("fig8: wrote {}", p.display()),
+            Err(e) => eprintln!("fig8: could not write report: {e}"),
+        }
+        out
+    } else {
+        run(&base)
+    };
     if csv_requested() {
         print!("{}", res.to_csv());
     } else {

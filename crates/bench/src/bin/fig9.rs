@@ -1,14 +1,18 @@
 //! Regenerates Fig. 9: failure frequency over time with and without
 //! proactive recovery under 1%-per-unit churn.
 //!
-//! `cargo run --release -p spidernet-bench --bin fig9 [--paper]`
+//! `cargo run --release -p spidernet-bench --bin fig9 [--paper] [--csv] [--json]`
+//!
+//! `--json` additionally times the harness sequentially and in parallel
+//! (the outputs are bit-identical either way) and writes the wall-time /
+//! throughput record to `BENCH_fig9.json`.
 
-use spidernet_bench::{csv_requested, paper_scale_requested};
+use spidernet_bench::{csv_requested, json_requested, paper_scale_requested, time_seq_par, BenchReport};
 use spidernet_core::experiments::fig9::{run, Fig9Config};
 use spidernet_core::workload::PopulationConfig;
 
 fn main() {
-    let cfg = if paper_scale_requested() {
+    let base = if paper_scale_requested() {
         Fig9Config {
             ip_nodes: 10_000,
             peers: 1_000,
@@ -19,8 +23,27 @@ fn main() {
     } else {
         Fig9Config::default()
     };
-    eprintln!("fig9: {} peers, {} sessions, {} units", cfg.peers, cfg.sessions, cfg.duration_units);
-    let res = run(&cfg);
+    eprintln!("fig9: {} peers, {} sessions, {} units", base.peers, base.sessions, base.duration_units);
+    let res = if json_requested() {
+        let (seq, par, threads, out) =
+            time_seq_par(|t| run(&Fig9Config { threads: Some(t), ..base.clone() }));
+        let mut rep = BenchReport::new("fig9");
+        rep.int("trials", 2) // the two recovery arms
+            .int("threads", threads as u64)
+            .num("sequential_secs", seq)
+            .num("parallel_secs", par)
+            .num("speedup", seq / par)
+            .num("trials_per_sec", 2.0 / par)
+            .int("probes", out.total_probes)
+            .num("probes_per_sec", out.total_probes as f64 / par);
+        match rep.write() {
+            Ok(p) => eprintln!("fig9: wrote {}", p.display()),
+            Err(e) => eprintln!("fig9: could not write report: {e}"),
+        }
+        out
+    } else {
+        run(&base)
+    };
     if csv_requested() {
         print!("{}", res.to_csv());
     } else {

@@ -22,6 +22,78 @@ pub fn csv_requested() -> bool {
     std::env::args().any(|a| a == "--csv")
 }
 
+/// True if the CLI was invoked with `--json` (write a `BENCH_<fig>.json`
+/// harness-performance report alongside the figure output).
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Times one figure driver sequentially (1 worker thread) and again at the
+/// environment's thread count; returns
+/// `(sequential_secs, parallel_secs, threads, parallel_result)`.
+///
+/// The harness is deterministic by construction, so both runs produce the
+/// same figure and only the parallel result is kept.
+pub fn time_seq_par<T>(mut run_with_threads: impl FnMut(usize) -> T) -> (f64, f64, usize, T) {
+    let threads = spidernet_util::par::configured_threads();
+    let t0 = std::time::Instant::now();
+    drop(run_with_threads(1));
+    let sequential = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let out = run_with_threads(threads);
+    let parallel = t1.elapsed().as_secs_f64();
+    (sequential, parallel, threads, out)
+}
+
+/// An insertion-ordered flat JSON report written as `BENCH_<fig>.json`.
+pub struct BenchReport {
+    name: String,
+    fields: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// A report for figure `name` (e.g. `"fig8"`).
+    pub fn new(name: &str) -> Self {
+        let mut r = BenchReport { name: name.to_owned(), fields: Vec::new() };
+        r.fields.push(("figure".into(), format!("\"{name}\"")));
+        r
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, v: u64) -> &mut Self {
+        self.fields.push((key.to_owned(), v.to_string()));
+        self
+    }
+
+    /// Adds a float field, rendered with four decimal places.
+    pub fn num(&mut self, key: &str, v: f64) -> &mut Self {
+        self.fields.push((key.to_owned(), format!("{v:.4}")));
+        self
+    }
+
+    /// Renders the report as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            s.push_str("  \"");
+            s.push_str(k);
+            s.push_str("\": ");
+            s.push_str(v);
+            s.push_str(if i + 1 == self.fields.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Writes `BENCH_<fig>.json` into the current directory and returns
+    /// the path.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let path = std::path::PathBuf::from(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
 /// A small, fast world shared by micro-benchmarks: 60 peers over a
 /// 300-node IP network, 12 functions.
 pub fn bench_world(seed: u64) -> SpiderNet {
@@ -55,6 +127,18 @@ mod tests {
     use super::*;
     use spidernet_core::workload::random_request;
     use spidernet_util::rng::rng_for;
+
+    #[test]
+    fn bench_report_renders_valid_flat_json() {
+        let mut rep = BenchReport::new("figX");
+        rep.int("trials", 10).num("parallel_secs", 1.25);
+        let json = rep.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"figure\": \"figX\""));
+        assert!(json.contains("\"trials\": 10,"));
+        assert!(json.contains("\"parallel_secs\": 1.2500\n"));
+    }
 
     #[test]
     fn bench_world_composes() {

@@ -8,7 +8,7 @@ use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
 use crate::paths::PathTable;
 use crate::selection::{evaluate, is_qualified, select_best};
 use crate::state::OverlayState;
-use rand::seq::SliceRandom;
+use spidernet_util::rng::SliceRandom;
 use spidernet_topology::Overlay;
 use spidernet_util::error::{Error, Result};
 use spidernet_util::id::ComponentId;

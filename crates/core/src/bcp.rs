@@ -33,9 +33,9 @@ use spidernet_sim::metrics::{counter, Metrics};
 use spidernet_sim::time::{SimDuration, SimTime};
 use spidernet_topology::Overlay;
 use spidernet_util::error::{Error, Result};
+use spidernet_util::hash::{FxHashMap, FxHashSet};
 use spidernet_util::id::{ComponentId, FunctionId, PeerId};
 use spidernet_util::qos::{dim, QosVector};
-use std::collections::{HashMap, HashSet};
 
 /// How probing quota α_k is assigned per function.
 #[derive(Clone, Copy, Debug)]
@@ -160,20 +160,49 @@ pub struct CompositionOutcome {
     pub stats: BcpStats,
 }
 
-/// One in-flight probe walking a branch path.
-struct PartialProbe {
-    at_peer: PeerId,
-    pos: usize,
-    assign: Vec<(usize, ComponentId)>,
-    qos: QosVector,
-    budget: u32,
-    latency_ms: f64,
-}
-
 /// A probe that reached the destination.
 struct BranchProbe {
     assign: Vec<(usize, ComponentId)>,
     latency_ms: f64,
+}
+
+/// One live, trust-admitted replica of a function, prefiltered once per
+/// [`BcpEngine::compose`] so per-hop ranking recomputes only what actually
+/// varies with the probe's position: distance and load.
+struct PoolEntry {
+    cid: ComponentId,
+    peer: PeerId,
+    /// Hop-invariant part of the next-hop metric:
+    /// `w_failure · p_fail + w_trust · (1 − trust)`.
+    static_score: f64,
+}
+
+/// The qualified-replica pool of one function.
+struct FunctionPool {
+    /// Directory list length, dead replicas included — quota α_k follows
+    /// the advertised replication degree Z_k, not momentary liveness.
+    raw_len: usize,
+    entries: Vec<PoolEntry>,
+}
+
+/// In-place state of one branch probe walk. Each hop pushes its
+/// contribution and undoes it on backtrack; only probes that reach the
+/// destination clone their assignment, where the frontier-stack
+/// formulation cloned the full accumulator state per spawned child.
+struct ProbeState {
+    /// Partial assignment `(node, component)` along the current walk.
+    assign: Vec<(usize, ComponentId)>,
+    /// Accumulated QoS of the walk, mutated in place.
+    qos: QosVector,
+    /// Saved QoS snapshots for undo, one `dims()`-sized slab per live hop
+    /// (floating-point addition has no exact inverse, so undo restores
+    /// the saved values rather than subtracting).
+    qos_undo: Vec<f64>,
+    /// Per-depth candidate scratch `(delay, score, component, peer)`,
+    /// reused across sibling subtrees.
+    scratch: Vec<Vec<(f64, f64, ComponentId, PeerId)>>,
+    /// Probes that reached the destination.
+    complete: Vec<BranchProbe>,
 }
 
 /// Borrowed world context for one BCP execution.
@@ -218,7 +247,7 @@ impl BcpEngine<'_> {
         let mut tokens: Vec<SoftToken> = Vec::new();
 
         // --- Discovery phase: resolve replica lists --------------------
-        let mut replica_lists: HashMap<FunctionId, Vec<ComponentId>> = HashMap::new();
+        let mut replica_lists: FxHashMap<FunctionId, Vec<ComponentId>> = FxHashMap::default();
         let mut discovery_ms: f64 = 0.0;
         for &f in req.function_graph.functions() {
             if replica_lists.contains_key(&f) {
@@ -244,6 +273,34 @@ impl BcpEngine<'_> {
         }
         stats.discovery_ms = discovery_ms;
 
+        // Prefilter each function's replica list once per composition:
+        // liveness and trust admission cannot change mid-compose, so the
+        // per-hop ranking loop recomputes only distance and load. Quota
+        // α_k still follows the raw (advertised) replication degree Z_k.
+        let pools: FxHashMap<FunctionId, FunctionPool> = replica_lists
+            .iter()
+            .map(|(&f, list)| {
+                let entries = list
+                    .iter()
+                    .filter_map(|&cid| {
+                        let comp = self.reg.get(cid);
+                        if !self.state.is_alive(comp.peer) {
+                            return None;
+                        }
+                        let trust =
+                            self.trust.map(|t| t.aggregate_trust(comp.peer)).unwrap_or(0.5);
+                        if trust < cfg.min_trust {
+                            return None; // distrusted hosts are not even probed
+                        }
+                        let static_score =
+                            cfg.w_failure * comp.failure_prob + cfg.w_trust * (1.0 - trust);
+                        Some(PoolEntry { cid, peer: comp.peer, static_score })
+                    })
+                    .collect();
+                (f, FunctionPool { raw_len: list.len(), entries })
+            })
+            .collect();
+
         // --- Probing phase ---------------------------------------------
         let patterns = req.function_graph.patterns();
         let per_pattern_budget = (cfg.budget / patterns.len() as u32).max(1);
@@ -258,7 +315,7 @@ impl BcpEngine<'_> {
             // a peer recognizes repeat probes of the same request for the
             // same component and shares the reservation (paper §4.2 step
             // 2.1 reserves for "the expected application session").
-            let mut reserved: HashSet<ComponentId> = HashSet::new();
+            let mut reserved: FxHashSet<ComponentId> = FxHashSet::default();
             for branch in &branch_paths {
                 let probes = self.probe_branch(
                     req,
@@ -266,7 +323,7 @@ impl BcpEngine<'_> {
                     pattern,
                     branch,
                     per_branch_budget,
-                    &replica_lists,
+                    &pools,
                     &mut stats,
                     &mut tokens,
                     &mut reserved,
@@ -326,7 +383,9 @@ impl BcpEngine<'_> {
     }
 
     /// Probes one branch path of one pattern; returns complete branch
-    /// probes.
+    /// probes. The walk is depth-first with in-place push/undo state:
+    /// leaves the engine (resource state aside — soft reservations are the
+    /// protocol's job) exactly as it found it.
     #[allow(clippy::too_many_arguments)]
     fn probe_branch(
         &mut self,
@@ -335,158 +394,183 @@ impl BcpEngine<'_> {
         pattern: &crate::model::function_graph::FunctionGraph,
         branch: &[usize],
         budget: u32,
-        replica_lists: &HashMap<FunctionId, Vec<ComponentId>>,
+        pools: &FxHashMap<FunctionId, FunctionPool>,
         stats: &mut BcpStats,
         tokens: &mut Vec<SoftToken>,
-        reserved: &mut HashSet<ComponentId>,
+        reserved: &mut FxHashSet<ComponentId>,
     ) -> Vec<BranchProbe> {
-        let m = req.qos_req.dims();
-        let mut complete = Vec::new();
-        let mut frontier = vec![PartialProbe {
-            at_peer: req.source,
-            pos: 0,
-            assign: Vec::new(),
-            qos: QosVector::zeros(m),
-            budget,
-            latency_ms: 0.0,
-        }];
+        let mut st = ProbeState {
+            assign: Vec::with_capacity(branch.len()),
+            qos: QosVector::zeros(req.qos_req.dims()),
+            qos_undo: Vec::new(),
+            scratch: (0..branch.len()).map(|_| Vec::new()).collect(),
+            complete: Vec::new(),
+        };
+        self.probe_step(
+            req, cfg, pattern, branch, pools, stats, tokens, reserved, &mut st, req.source, 0,
+            budget, 0.0,
+        );
+        debug_assert!(
+            st.assign.is_empty() && st.qos_undo.is_empty(),
+            "probe push/undo imbalance"
+        );
+        debug_assert!(
+            st.qos.values().iter().all(|&v| v == 0.0),
+            "probe QoS accumulator not restored"
+        );
+        st.complete
+    }
 
-        while let Some(probe) = frontier.pop() {
-            if probe.pos == branch.len() {
-                // Final leg to the destination.
-                let tail = self.paths.delay(self.overlay, probe.at_peer, req.dest);
-                let mut leg = vec![0.0; m];
-                leg[dim::DELAY_MS] = tail;
-                let mut qos = probe.qos.clone();
-                qos.accumulate(&QosVector::from_values(leg));
-                stats.probes_sent += 1;
-                self.metrics.incr(counter::PROBES);
-                if !req.qos_req.is_satisfied_by(&qos) {
-                    stats.dropped_qos += 1;
-                    continue;
-                }
+    /// One hop of the depth-first branch walk: at `at_peer` having assigned
+    /// `branch[..pos]`, spend `budget` probes on the next function.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_step(
+        &mut self,
+        req: &CompositionRequest,
+        cfg: &BcpConfig,
+        pattern: &crate::model::function_graph::FunctionGraph,
+        branch: &[usize],
+        pools: &FxHashMap<FunctionId, FunctionPool>,
+        stats: &mut BcpStats,
+        tokens: &mut Vec<SoftToken>,
+        reserved: &mut FxHashSet<ComponentId>,
+        st: &mut ProbeState,
+        at_peer: PeerId,
+        pos: usize,
+        budget: u32,
+        latency_ms: f64,
+    ) {
+        if pos == branch.len() {
+            // Final leg to the destination.
+            let tail = self.paths.delay(self.overlay, at_peer, req.dest);
+            stats.probes_sent += 1;
+            self.metrics.incr(counter::PROBES);
+            let saved = st.qos.values()[dim::DELAY_MS];
+            st.qos.values_mut()[dim::DELAY_MS] += tail;
+            if req.qos_req.is_satisfied_by(&st.qos) {
                 stats.complete_probes += 1;
-                complete.push(BranchProbe {
-                    assign: probe.assign,
-                    latency_ms: probe.latency_ms + tail,
+                st.complete.push(BranchProbe {
+                    assign: st.assign.clone(),
+                    latency_ms: latency_ms + tail,
                 });
+            } else {
+                stats.dropped_qos += 1;
+            }
+            st.qos.values_mut()[dim::DELAY_MS] = saved;
+            return;
+        }
+
+        let node = branch[pos];
+        let function = pattern.function(node);
+        let Some(pool) = pools.get(&function) else { return };
+
+        // Per-hop DHT lookup mode: pay the lookup from the current peer.
+        let mut lookup_latency = 0.0;
+        if cfg.lookup == LookupMode::PerHop && pos > 0 {
+            let name = self.reg.catalog().name(function).to_owned();
+            let mut transport = |a: PeerId, b: PeerId| self.paths.delay(self.overlay, a, b);
+            if let Some((_, route)) =
+                self.directory.lookup(self.pastry, at_peer, &name, &mut transport)
+            {
+                stats.dht_lookups += 1;
+                stats.dht_messages += route.hops() as u64 + 1;
+                self.metrics.add(counter::DHT_MESSAGES, route.hops() as u64 + 1);
+                lookup_latency = 2.0 * route.latency_ms;
+            }
+        }
+
+        // Rank the prefiltered pool by the composite next-hop metric —
+        // liveness and trust were settled once per composition, so only
+        // distance and load are recomputed here, into a per-depth scratch
+        // buffer reused across sibling subtrees.
+        let mut scored = std::mem::take(&mut st.scratch[pos]);
+        scored.clear();
+        let mut max_delay: f64 = 0.0;
+        for e in &pool.entries {
+            let d = self.paths.delay(self.overlay, at_peer, e.peer);
+            if !d.is_finite() {
                 continue;
             }
+            max_delay = max_delay.max(d);
+            scored.push((d, e.static_score, e.cid, e.peer));
+        }
+        for s in scored.iter_mut() {
+            let cap = self.state.capacity(s.3);
+            let avail = self.state.available(s.3);
+            let load = if cap.cpu() > 0.0 { 1.0 - avail.cpu() / cap.cpu() } else { 1.0 };
+            let norm_delay = if max_delay > 0.0 { s.0 / max_delay } else { 0.0 };
+            s.1 += cfg.w_delay * norm_delay + cfg.w_load * load;
+        }
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).expect("scores are finite").then_with(|| a.2.cmp(&b.2))
+        });
 
-            let node = branch[probe.pos];
-            let function = pattern.function(node);
-            let Some(replicas) = replica_lists.get(&function) else { continue };
-
-            // Per-hop DHT lookup mode: pay the lookup from the current peer.
-            let mut lookup_latency = 0.0;
-            if cfg.lookup == LookupMode::PerHop && probe.pos > 0 {
-                let name = self.reg.catalog().name(function).to_owned();
-                let mut transport = |a: PeerId, b: PeerId| self.paths.delay(self.overlay, a, b);
-                if let Some((_, route)) =
-                    self.directory.lookup(self.pastry, probe.at_peer, &name, &mut transport)
-                {
-                    stats.dht_lookups += 1;
-                    stats.dht_messages += route.hops() as u64 + 1;
-                    self.metrics.add(counter::DHT_MESSAGES, route.hops() as u64 + 1);
-                    lookup_latency = 2.0 * route.latency_ms;
-                }
-            }
-
-            // Rank live candidates by the composite next-hop metric.
-            let mut scored: Vec<(f64, ComponentId)> = Vec::new();
-            let mut max_delay: f64 = 0.0;
-            let mut cand_info: Vec<(ComponentId, f64)> = Vec::new();
-            for &cid in replicas {
+        let alpha = cfg.quota.quota(pool.raw_len);
+        let i_k = (budget.min(alpha) as usize).min(scored.len());
+        if i_k > 0 {
+            let child_budget = (budget / i_k as u32).max(1);
+            for &(link_delay, _, cid, peer) in scored.iter().take(i_k) {
                 let comp = self.reg.get(cid);
-                if !self.state.is_alive(comp.peer) {
-                    continue;
-                }
-                let d = self.paths.delay(self.overlay, probe.at_peer, comp.peer);
-                if !d.is_finite() {
-                    continue;
-                }
-                max_delay = max_delay.max(d);
-                cand_info.push((cid, d));
-            }
-            for (cid, d) in cand_info {
-                let comp = self.reg.get(cid);
-                let peer_trust = self
-                    .trust
-                    .map(|t| t.aggregate_trust(comp.peer))
-                    .unwrap_or(0.5);
-                if peer_trust < cfg.min_trust {
-                    continue; // distrusted hosts are not even probed
-                }
-                let cap = self.state.capacity(comp.peer);
-                let avail = self.state.available(comp.peer);
-                let load = if cap.cpu() > 0.0 { 1.0 - avail.cpu() / cap.cpu() } else { 1.0 };
-                let norm_delay = if max_delay > 0.0 { d / max_delay } else { 0.0 };
-                let score = cfg.w_delay * norm_delay
-                    + cfg.w_failure * comp.failure_prob
-                    + cfg.w_load * load
-                    + cfg.w_trust * (1.0 - peer_trust);
-                scored.push((score, cid));
-            }
-            scored.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0).expect("scores are finite").then_with(|| a.1.cmp(&b.1))
-            });
-
-            let alpha = cfg.quota.quota(replicas.len());
-            let i_k = (probe.budget.min(alpha) as usize).min(scored.len());
-            if i_k == 0 {
-                continue;
-            }
-            let child_budget = (probe.budget / i_k as u32).max(1);
-
-            for &(_, cid) in scored.iter().take(i_k) {
-                let comp = self.reg.get(cid);
-                let link_delay = self.paths.delay(self.overlay, probe.at_peer, comp.peer);
                 stats.probes_sent += 1;
                 self.metrics.incr(counter::PROBES);
 
-                // Accumulate QoS, check, drop early (step 2.1).
-                let mut qos = probe.qos.clone();
-                let mut leg = vec![0.0; m];
-                leg[dim::DELAY_MS] = link_delay;
-                qos.accumulate(&QosVector::from_values(leg));
-                qos.accumulate(&comp.perf_qos);
-                if !req.qos_req.is_satisfied_by(&qos) {
-                    stats.dropped_qos += 1;
-                    continue;
-                }
+                // Push this hop's QoS contribution in place, saving the
+                // prior values for the undo below.
+                let undo_base = st.qos_undo.len();
+                st.qos_undo.extend_from_slice(st.qos.values());
+                st.qos.values_mut()[dim::DELAY_MS] += link_delay;
+                st.qos.accumulate(&comp.perf_qos);
 
-                // Soft resource allocation — once per component per
-                // request; repeat probes share the reservation.
-                if cfg.soft_allocation && !reserved.contains(&cid) {
-                    match self.state.soft_allocate(comp.peer, comp.resources, self.now + cfg.soft_ttl)
+                // QoS check and soft resource allocation (step 2.1) —
+                // reservations are once per component per request; repeat
+                // probes share them.
+                let admitted = if !req.qos_req.is_satisfied_by(&st.qos) {
+                    stats.dropped_qos += 1;
+                    false
+                } else if cfg.soft_allocation && !reserved.contains(&cid) {
+                    match self.state.soft_allocate(peer, comp.resources, self.now + cfg.soft_ttl)
                     {
                         Ok(tok) => {
                             tokens.push(tok);
                             reserved.insert(cid);
+                            true
                         }
                         Err(_) => {
                             stats.dropped_admission += 1;
-                            continue;
+                            false
                         }
                     }
+                } else {
+                    true
+                };
+
+                if admitted {
+                    st.assign.push((node, cid));
+                    self.probe_step(
+                        req,
+                        cfg,
+                        pattern,
+                        branch,
+                        pools,
+                        stats,
+                        tokens,
+                        reserved,
+                        st,
+                        peer,
+                        pos + 1,
+                        child_budget,
+                        latency_ms + lookup_latency + link_delay + cfg.hop_processing_ms,
+                    );
+                    st.assign.pop();
                 }
 
-                let mut assign = probe.assign.clone();
-                assign.push((node, cid));
-                frontier.push(PartialProbe {
-                    at_peer: comp.peer,
-                    pos: probe.pos + 1,
-                    assign,
-                    qos,
-                    budget: child_budget,
-                    latency_ms: probe.latency_ms
-                        + lookup_latency
-                        + link_delay
-                        + cfg.hop_processing_ms,
-                });
+                // Undo: restore the saved QoS values.
+                let undo_len = st.qos_undo.len();
+                st.qos.values_mut().copy_from_slice(&st.qos_undo[undo_base..undo_len]);
+                st.qos_undo.truncate(undo_base);
             }
         }
-        complete
+        st.scratch[pos] = scored;
     }
 }
 
@@ -514,11 +598,11 @@ mod tests {
     }
 
     fn world(funcs: u64, reps: u64) -> World {
-        let ip = generate_power_law(&InetConfig { nodes: 200, ..InetConfig::default() }, 11);
+        let ip = generate_power_law(&InetConfig { nodes: 200, ..InetConfig::default() }, 12);
         let overlay = Overlay::build(
             &ip,
             &OverlayConfig { peers: 40, style: OverlayStyle::Mesh { neighbors: 5 } },
-            11,
+            12,
         );
         let mut catalog = FunctionCatalog::new();
         for f in 0..funcs {
@@ -814,6 +898,85 @@ mod tests {
         let out = engine(&mut w).compose(&req, &cfg).unwrap();
         assert_eq!(out.stats.dropped_admission, 0, "no admission without reservations");
         assert_eq!(w.state.soft_count(), 0);
+    }
+
+    #[test]
+    fn probe_walk_restores_engine_state_on_every_path() {
+        let mut rng = spidernet_util::rng::rng_for(0xBC9, "bcp-pushundo");
+        for case in 0u64..16 {
+            let funcs = 2 + case % 3;
+            let reps = 1 + case % 4;
+            let mut w = world(funcs, reps);
+            // Exercise the success, QoS-drop, and admission-drop paths.
+            let delay_bound = match case % 3 {
+                0 => 0.001,                          // impossible: every probe drops
+                1 => rng.gen_range(20.0..200.0),     // tight: mixed outcomes
+                _ => 100_000.0,                      // loose: mostly complete
+            };
+            if case % 4 == 3 {
+                // Starve one replica's host so admission fails too.
+                let peer = w.reg.get(ComponentId::new(0)).peer;
+                w.state.set_capacity(peer, ResourceVector::new(0.05, 1.0));
+            }
+            let req = CompositionRequest {
+                qos_req: QosRequirement::new(vec![delay_bound, 10.0]).unwrap(),
+                ..request(funcs as usize)
+            };
+            let cfg = BcpConfig { budget: 1 + (case as u32 % 8), ..BcpConfig::default() };
+            // The world registers replica r of function f as component
+            // f·reps + r, so replica lists are reconstructible without the
+            // DHT round trip.
+            let lists: FxHashMap<FunctionId, Vec<ComponentId>> = (0..funcs)
+                .map(|f| {
+                    let cids = (0..reps).map(|r| ComponentId::new(f * reps + r)).collect();
+                    (FunctionId::new(f), cids)
+                })
+                .collect();
+            let before: Vec<_> = w.overlay.peers().map(|p| w.state.available(p)).collect();
+
+            {
+                let mut e = engine(&mut w);
+                let pools: FxHashMap<FunctionId, FunctionPool> = lists
+                    .iter()
+                    .map(|(&f, list)| {
+                        let entries = list
+                            .iter()
+                            .filter_map(|&cid| {
+                                let comp = e.reg.get(cid);
+                                if !e.state.is_alive(comp.peer) {
+                                    return None;
+                                }
+                                let static_score = cfg.w_failure * comp.failure_prob;
+                                Some(PoolEntry { cid, peer: comp.peer, static_score })
+                            })
+                            .collect();
+                        (f, FunctionPool { raw_len: list.len(), entries })
+                    })
+                    .collect();
+                let pattern = req.function_graph.patterns().remove(0);
+                let branch = pattern.branch_paths().remove(0);
+                let mut stats = BcpStats::default();
+                let mut tokens = Vec::new();
+                let mut reserved = FxHashSet::default();
+                // probe_branch's debug_asserts check ProbeState restoration
+                // (assignment stack, undo stack, QoS accumulator) on every
+                // exit path, including QoS and admission drops.
+                let _ = e.probe_branch(
+                    &req, &cfg, &pattern, &branch, cfg.budget, &pools, &mut stats, &mut tokens,
+                    &mut reserved,
+                );
+                // Releasing the walk's reservations must restore resource
+                // state exactly.
+                for t in tokens.drain(..) {
+                    e.state.release_soft(t);
+                }
+            }
+
+            assert_eq!(w.state.soft_count(), 0, "case {case}: leaked reservations");
+            for (p, avail) in w.overlay.peers().zip(before) {
+                assert_eq!(w.state.available(p), avail, "case {case}: peer {p} state changed");
+            }
+        }
     }
 
     #[test]

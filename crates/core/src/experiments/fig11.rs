@@ -10,11 +10,13 @@
 //! few hundred probes (≈4% of the flooding cost).
 
 use crate::bcp::{BcpConfig, QuotaPolicy};
+use crate::model::request::CompositionRequest;
 use crate::model::service_graph::{GraphEval, ServiceGraph};
 use crate::system::{SpiderNet, SpiderNetConfig};
 use crate::workload::{random_request, PopulationConfig, RequestConfig};
+use spidernet_util::par::par_map_with;
 use spidernet_util::qos::dim;
-use spidernet_util::rng::rng_for;
+use spidernet_util::rng::{rng_for, rng_for_trial};
 use spidernet_util::stats::Summary;
 use std::fmt;
 
@@ -35,6 +37,9 @@ pub struct Fig11Config {
     pub requests: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for the budget-point fan-out (`None` = environment /
+    /// all cores; results are identical for any value).
+    pub threads: Option<usize>,
 }
 
 impl Default for Fig11Config {
@@ -47,6 +52,7 @@ impl Default for Fig11Config {
             budgets: vec![10, 100, 200, 300, 400, 500, 1000],
             requests: 50,
             seed: 11,
+            threads: None,
         }
     }
 }
@@ -105,8 +111,10 @@ fn min_delay(best: &(ServiceGraph, GraphEval), pool: &[(ServiceGraph, GraphEval)
     d
 }
 
-/// Runs the sweep.
-pub fn run(cfg: &Fig11Config) -> Fig11Result {
+/// Builds the prototype deployment and the fixed request set shared by
+/// every algorithm and budget. Fully determined by the config, so every
+/// cell of the sweep reconstructs an identical world.
+fn world(cfg: &Fig11Config) -> (SpiderNet, Vec<CompositionRequest>) {
     let mut net = SpiderNet::build(&SpiderNetConfig {
         ip_nodes: cfg.ip_nodes,
         peers: cfg.peers,
@@ -130,14 +138,16 @@ pub fn run(cfg: &Fig11Config) -> Fig11Result {
         max_failure_prob: 1.0,
         ..RequestConfig::default()
     };
-
-    // A fixed request set shared by every algorithm and budget.
     let mut rng = rng_for(cfg.seed, "fig11-requests");
-    let requests: Vec<_> = (0..cfg.requests)
+    let requests = (0..cfg.requests)
         .map(|_| random_request(net.overlay(), net.registry(), &req_cfg, &mut rng))
         .collect();
+    (net, requests)
+}
 
-    // Optimal + random references.
+/// The reference cell: random and optimal baselines over the request set.
+fn references(cfg: &Fig11Config) -> (f64, f64, f64) {
+    let (mut net, requests) = world(cfg);
     let mut rand_rng = rng_for(cfg.seed, "fig11-random");
     let mut random_sum = Summary::new();
     let mut optimal_sum = Summary::new();
@@ -151,41 +161,72 @@ pub fn run(cfg: &Fig11Config) -> Fig11Result {
             probes_sum.record(out.probes as f64);
         }
     }
+    (random_sum.mean(), optimal_sum.mean(), probes_sum.mean())
+}
 
-    // BCP sweep.
-    let mut spidernet_ms = Vec::with_capacity(cfg.budgets.len());
-    for &budget in &cfg.budgets {
-        let bcp = BcpConfig {
-            budget,
-            quota: QuotaPolicy::Uniform(budget.max(1)),
-            merge_cap: 4096,
-            ..BcpConfig::default()
-        };
-        let mut sum = Summary::new();
-        for req in &requests {
-            match net.compose(req, &bcp) {
-                Ok(out) => {
-                    sum.record(min_delay(&(out.best.clone(), out.eval.clone()), &out.qualified_pool))
-                }
-                Err(_) => {
-                    // Budget too small to find anything qualified: fall
-                    // back to the random pick's delay, mirroring the
-                    // paper's "degenerates into the random algorithm".
-                    if let Ok(out) = net.compose_random(req, &mut rand_rng) {
-                        sum.record(out.eval.qos[dim::DELAY_MS]);
-                    }
+/// One budget cell of the sweep: BCP's mean minimum delay at `budget`.
+/// `trial` indexes the cell's private random-fallback stream.
+fn budget_cell(cfg: &Fig11Config, budget: u32, trial: u64) -> f64 {
+    let (mut net, requests) = world(cfg);
+    // Each budget point owns an independent fallback stream so cells are
+    // self-contained trials (the sequential harness threaded one stream
+    // through the whole sweep, which no fan-out can reproduce).
+    let mut rand_rng = rng_for_trial(cfg.seed, "fig11-random-fallback", trial);
+    let bcp = BcpConfig {
+        budget,
+        quota: QuotaPolicy::Uniform(budget.max(1)),
+        merge_cap: 4096,
+        ..BcpConfig::default()
+    };
+    let mut sum = Summary::new();
+    for req in &requests {
+        match net.compose(req, &bcp) {
+            Ok(out) => {
+                sum.record(min_delay(&(out.best.clone(), out.eval.clone()), &out.qualified_pool))
+            }
+            Err(_) => {
+                // Budget too small to find anything qualified: fall
+                // back to the random pick's delay, mirroring the
+                // paper's "degenerates into the random algorithm".
+                if let Ok(out) = net.compose_random(req, &mut rand_rng) {
+                    sum.record(out.eval.qos[dim::DELAY_MS]);
                 }
             }
         }
-        spidernet_ms.push(sum.mean());
     }
+    sum.mean()
+}
 
+/// What one parallel cell computes.
+enum Cell {
+    /// Random + optimal baselines.
+    References,
+    /// BCP at one budget (budget, trial index).
+    Budget(u32, u64),
+}
+
+/// Runs the sweep. The reference baselines and every budget point are
+/// independent cells fanned out across the configured worker threads;
+/// results are identical for any thread count.
+pub fn run(cfg: &Fig11Config) -> Fig11Result {
+    let mut cells = vec![Cell::References];
+    cells.extend(cfg.budgets.iter().enumerate().map(|(i, &b)| Cell::Budget(b, i as u64)));
+    let mut outs = par_map_with(super::resolve_threads(cfg.threads), cells, |_, cell| match cell {
+        Cell::References => {
+            let (random_ms, optimal_ms, optimal_probes) = references(cfg);
+            vec![random_ms, optimal_ms, optimal_probes]
+        }
+        Cell::Budget(budget, trial) => vec![budget_cell(cfg, budget, trial)],
+    })
+    .into_iter();
+
+    let refs = outs.next().expect("references cell");
     Fig11Result {
         budgets: cfg.budgets.clone(),
-        spidernet_ms,
-        random_ms: random_sum.mean(),
-        optimal_ms: optimal_sum.mean(),
-        optimal_probes: probes_sum.mean(),
+        spidernet_ms: outs.map(|v| v[0]).collect(),
+        random_ms: refs[0],
+        optimal_ms: refs[1],
+        optimal_probes: refs[2],
     }
 }
 
@@ -202,6 +243,7 @@ mod tests {
             budgets: vec![1, 8, 64],
             requests: 10,
             seed: 11,
+            threads: None,
         }
     }
 

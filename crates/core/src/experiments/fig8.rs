@@ -18,6 +18,8 @@ use crate::state::SessionAllocation;
 use crate::system::{SpiderNet, SpiderNetConfig};
 use crate::workload::{random_request, PopulationConfig, RequestConfig};
 use crate::{recovery, selection};
+use spidernet_sim::metrics::counter;
+use spidernet_util::par::par_map_with;
 use spidernet_util::rng::{rng_for, Rng};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -72,6 +74,9 @@ pub struct Fig8Config {
     pub optimal_cap: Option<u64>,
     /// Algorithms to run.
     pub algorithms: Vec<Algorithm>,
+    /// Worker threads for the cell fan-out (`None` = environment /
+    /// all cores; results are identical for any value).
+    pub threads: Option<usize>,
 }
 
 impl Default for Fig8Config {
@@ -94,6 +99,7 @@ impl Default for Fig8Config {
                 Algorithm::Random,
                 Algorithm::Static,
             ],
+            threads: None,
         }
     }
 }
@@ -128,6 +134,9 @@ pub struct Fig8Row {
 pub struct Fig8Result {
     /// One row per workload point.
     pub rows: Vec<Fig8Row>,
+    /// Probe transmissions summed across every cell — harness throughput
+    /// accounting (for `BENCH_fig8.json`), not part of the figure.
+    pub total_probes: u64,
 }
 
 impl fmt::Display for Fig8Result {
@@ -186,8 +195,9 @@ fn fraction_budget(net: &SpiderNet, req: &crate::model::request::CompositionRequ
     ((combos * fraction).round() as u32).max(1)
 }
 
-/// Runs one algorithm at one workload point; returns its success rate.
-fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> f64 {
+/// Runs one algorithm at one workload point; returns its success rate and
+/// the probe transmissions it spent.
+fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> (f64, u64) {
     let mut net = SpiderNet::build(&SpiderNetConfig {
         ip_nodes: cfg.ip_nodes,
         peers: cfg.peers,
@@ -203,6 +213,10 @@ fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> f64 {
     let mut active: Vec<(u64, SessionAllocation)> = Vec::new();
     let mut successes = 0u64;
     let mut attempts = 0u64;
+    // One SSSP cache for the whole trial: session-demand paths repeat the
+    // same sources across requests, so rebuilding a table per session
+    // would redo identical Dijkstra runs.
+    let mut paths = crate::paths::PathTable::new();
 
     for unit in 0..cfg.duration_units {
         // Expire finished sessions.
@@ -216,7 +230,6 @@ fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> f64 {
         for _ in 0..workload {
             let req = random_request(net.overlay(), net.registry(), &cfg.request, &mut req_rng);
             let lifetime = {
-                use rand::Rng as _;
                 let (lo, hi) = cfg.session_lifetime;
                 req_rng.gen_range(lo..=hi)
             };
@@ -253,10 +266,8 @@ fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> f64 {
 
             if let Some((graph, _)) = picked {
                 // Commit the session's resources for its lifetime.
-                let (peers, links) = {
-                    let mut paths = crate::paths::PathTable::new();
-                    recovery::session_demands(&graph, &req, net.registry(), net.overlay(), &mut paths)
-                };
+                let (peers, links) =
+                    recovery::session_demands(&graph, &req, net.registry(), net.overlay(), &mut paths);
                 if let Ok(alloc) = net.state_mut().commit(&peers, &links) {
                     active.push((unit + lifetime, alloc));
                     successes += 1;
@@ -264,20 +275,39 @@ fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> f64 {
             }
         }
     }
-    successes as f64 / attempts.max(1) as f64
+    (successes as f64 / attempts.max(1) as f64, net.metrics().counter(counter::PROBES))
 }
 
 /// Runs the full figure.
+///
+/// Every (workload, algorithm) cell is an independent trial — it builds
+/// its own network from the master seed and derives its own request
+/// stream — so the grid fans out over the configured worker threads and
+/// reassembles by cell index. The result is bit-identical for any thread
+/// count.
 pub fn run(cfg: &Fig8Config) -> Fig8Result {
+    let cells: Vec<(u64, Algorithm)> = cfg
+        .workloads
+        .iter()
+        .flat_map(|&w| cfg.algorithms.iter().map(move |&a| (w, a)))
+        .collect();
+    let rates = par_map_with(super::resolve_threads(cfg.threads), cells, |_, (workload, algo)| {
+        run_cell(cfg, algo, workload)
+    });
+
     let mut rows = Vec::with_capacity(cfg.workloads.len());
+    let mut total_probes = 0u64;
+    let mut it = rates.into_iter();
     for &workload in &cfg.workloads {
         let mut success = BTreeMap::new();
         for &algo in &cfg.algorithms {
-            success.insert(algo.label(), run_cell(cfg, algo, workload));
+            let (rate, probes) = it.next().expect("one rate per cell");
+            total_probes += probes;
+            success.insert(algo.label(), rate);
         }
         rows.push(Fig8Row { workload, success });
     }
-    Fig8Result { rows }
+    Fig8Result { rows, total_probes }
 }
 
 #[cfg(test)]

@@ -14,7 +14,9 @@ use crate::recovery::{FailureOutcome, RecoveryConfig};
 use crate::system::{SpiderNet, SpiderNetConfig};
 use crate::workload::{random_request, PopulationConfig, RequestConfig};
 use spidernet_util::id::PeerId;
+use spidernet_util::par::par_map_with;
 use spidernet_util::rng::rng_for;
+use spidernet_sim::metrics::counter;
 use spidernet_sim::ChurnModel;
 use std::fmt;
 
@@ -41,6 +43,9 @@ pub struct Fig9Config {
     pub request: RequestConfig,
     /// BCP configuration for setup and reactive recovery.
     pub bcp: BcpConfig,
+    /// Worker threads for the arm fan-out (`None` = environment /
+    /// all cores; results are identical for any value).
+    pub threads: Option<usize>,
 }
 
 impl Default for Fig9Config {
@@ -65,6 +70,7 @@ impl Default for Fig9Config {
                 ..RequestConfig::default()
             },
             bcp: BcpConfig { budget: 128, merge_cap: 256, ..BcpConfig::default() },
+            threads: None,
         }
     }
 }
@@ -80,6 +86,9 @@ pub struct Fig9Result {
     pub mean_backups: f64,
     /// Fraction of peer-failure hits recovered by a backup.
     pub recovery_ratio: f64,
+    /// Probe transmissions summed across both arms — harness throughput
+    /// accounting (for `BENCH_fig9.json`), not part of the figure.
+    pub total_probes: u64,
 }
 
 impl fmt::Display for Fig9Result {
@@ -106,7 +115,7 @@ impl Fig9Result {
 }
 
 /// One simulation mode.
-fn run_mode(cfg: &Fig9Config, proactive: bool) -> (Vec<u64>, f64, f64) {
+fn run_mode(cfg: &Fig9Config, proactive: bool) -> (Vec<u64>, f64, f64, u64) {
     let recovery = RecoveryConfig {
         backup_upper_bound: if proactive { cfg.backup_upper_bound } else { 0.0 },
         ..RecoveryConfig::default()
@@ -180,14 +189,30 @@ fn run_mode(cfg: &Fig9Config, proactive: bool) -> (Vec<u64>, f64, f64) {
     }
 
     let ratio = if hits > 0 { recovered as f64 / hits as f64 } else { 1.0 };
-    (failures_per_unit, mean_backups, ratio)
+    (failures_per_unit, mean_backups, ratio, net.metrics().counter(counter::PROBES))
 }
 
 /// Runs both modes over the same failure schedule.
+///
+/// The two arms share their seeds *deliberately* (same network, same
+/// standing demand, same failure schedule) but are otherwise independent
+/// simulations, so they run as two parallel trials.
 pub fn run(cfg: &Fig9Config) -> Fig9Result {
-    let (without_recovery, _, _) = run_mode(cfg, false);
-    let (with_recovery, mean_backups, recovery_ratio) = run_mode(cfg, true);
-    Fig9Result { without_recovery, with_recovery, mean_backups, recovery_ratio }
+    let mut arms = par_map_with(
+        super::resolve_threads(cfg.threads),
+        vec![false, true],
+        |_, proactive| run_mode(cfg, proactive),
+    );
+    let (with_recovery, mean_backups, recovery_ratio, probes_with) =
+        arms.pop().expect("proactive arm");
+    let (without_recovery, _, _, probes_without) = arms.pop().expect("baseline arm");
+    Fig9Result {
+        without_recovery,
+        with_recovery,
+        mean_backups,
+        recovery_ratio,
+        total_probes: probes_with + probes_without,
+    }
 }
 
 #[cfg(test)]
@@ -232,7 +257,7 @@ mod tests {
     #[test]
     fn without_recovery_mode_maintains_no_backups() {
         let cfg = tiny();
-        let (_, mean_backups, ratio) = run_mode(&cfg, false);
+        let (_, mean_backups, ratio, _) = run_mode(&cfg, false);
         assert_eq!(mean_backups, 0.0);
         // Either nothing was hit (ratio defaults to 1) or nothing could be
         // backup-recovered.

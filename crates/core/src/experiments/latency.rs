@@ -22,6 +22,7 @@ use crate::system::{SpiderNet, SpiderNetConfig};
 use crate::workload::{random_request, PopulationConfig, RequestConfig};
 use spidernet_sim::ChurnModel;
 use spidernet_util::id::PeerId;
+use spidernet_util::par::par_map_with;
 use spidernet_util::rng::rng_for;
 use spidernet_util::stats::percentile;
 use std::fmt;
@@ -49,6 +50,9 @@ pub struct LatencyConfig {
     pub request: RequestConfig,
     /// BCP configuration (setup + reactive).
     pub bcp: BcpConfig,
+    /// Worker threads for the arm fan-out (`None` = environment /
+    /// all cores; results are identical for any value).
+    pub threads: Option<usize>,
 }
 
 impl Default for LatencyConfig {
@@ -70,6 +74,7 @@ impl Default for LatencyConfig {
                 ..RequestConfig::default()
             },
             bcp: BcpConfig { budget: 96, merge_cap: 256, ..BcpConfig::default() },
+            threads: None,
         }
     }
 }
@@ -202,9 +207,17 @@ fn run_arm(cfg: &LatencyConfig, proactive: bool) -> LatencyDist {
     dist
 }
 
-/// Runs both arms.
+/// Runs both arms in parallel; each arm is an independent simulation
+/// with deliberately shared seeds (same network and failure schedule).
 pub fn run(cfg: &LatencyConfig) -> LatencyResult {
-    LatencyResult { proactive: run_arm(cfg, true), reactive: run_arm(cfg, false) }
+    let mut arms = par_map_with(
+        super::resolve_threads(cfg.threads),
+        vec![true, false],
+        |_, proactive| run_arm(cfg, proactive),
+    );
+    let reactive = arms.pop().expect("reactive arm");
+    let proactive = arms.pop().expect("proactive arm");
+    LatencyResult { proactive, reactive }
 }
 
 #[cfg(test)]

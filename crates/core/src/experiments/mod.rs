@@ -12,6 +12,22 @@
 //! Fig. 10 (wide-area session setup time) runs on the threaded runtime and
 //! lives in `spidernet-runtime::experiments`. [`ablation`] adds quality
 //! ablations of the design choices (commutation, quota policy, trust).
+//!
+//! # Parallel deterministic harness
+//!
+//! Every driver decomposes its figure into *independent cells* — a
+//! (workload, algorithm) pair for Fig. 8, a budget point for Fig. 11, an
+//! arm or study for the two-sided comparisons — and fans the cells out
+//! over [`spidernet_util::par::par_map_with`]. Each cell derives its own
+//! random streams from the master seed with
+//! [`spidernet_util::rng::rng_for`] / [`rng_for_trial`]
+//! (SplitMix64-derived, never shared across cells), and results are
+//! written back by cell index, so the output is **bit-identical whatever
+//! the thread count** — `threads = Some(1)` runs the very same code on
+//! the caller's thread. Thread selection: the config's `threads` field,
+//! else `SPIDERNET_THREADS` / `RAYON_NUM_THREADS`, else all cores.
+//!
+//! [`rng_for_trial`]: spidernet_util::rng::rng_for_trial
 
 pub mod ablation;
 pub mod fig11;
@@ -19,3 +35,9 @@ pub mod latency;
 pub mod fig8;
 pub mod fig9;
 pub mod overhead;
+
+/// Resolves a config's optional thread override against the environment
+/// (see [`spidernet_util::par::configured_threads`]).
+pub(crate) fn resolve_threads(threads: Option<usize>) -> usize {
+    threads.unwrap_or_else(spidernet_util::par::configured_threads)
+}

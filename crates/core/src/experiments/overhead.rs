@@ -22,6 +22,7 @@ use crate::system::{SpiderNet, SpiderNetConfig};
 use crate::workload::{random_request, PopulationConfig, RequestConfig};
 use spidernet_sim::metrics::counter;
 use spidernet_util::id::PeerId;
+use spidernet_util::par::par_map_with;
 use spidernet_util::rng::rng_for;
 use std::fmt;
 
@@ -48,6 +49,9 @@ pub struct OverheadConfig {
     pub update_period_units: u64,
     /// BCP budget per request.
     pub budget: u32,
+    /// Worker threads for the per-peer hop-count fan-out (`None` =
+    /// environment / all cores; results are identical for any value).
+    pub threads: Option<usize>,
 }
 
 impl Default for OverheadConfig {
@@ -62,6 +66,7 @@ impl Default for OverheadConfig {
             session_lifetime_units: 20,
             update_period_units: 1,
             budget: 20,
+            threads: None,
         }
     }
 }
@@ -129,21 +134,20 @@ pub fn run(cfg: &OverheadConfig) -> OverheadResult {
     net.reset_metrics(); // registration cost excluded from both sides
 
     // Mean overlay path length from peers to the central composer (peer 0):
-    // the per-update transmission cost of the centralized scheme.
+    // the per-update transmission cost of the centralized scheme. Each
+    // peer's SSSP is independent, so the hop counts fan out across the
+    // worker threads (the simulation loop below is inherently sequential —
+    // every request mutates the shared resource state).
     let mean_update_hops = {
-        let mut paths = PathTable::new();
         let composer = PeerId::new(0);
-        let mut total_hops = 0usize;
-        let mut counted = 0usize;
-        for p in net.overlay().peers() {
-            if p == composer {
-                continue;
-            }
-            if let Some(path) = paths.peer_path(net.overlay(), p, composer) {
-                total_hops += path.len() - 1;
-                counted += 1;
-            }
-        }
+        let sources: Vec<PeerId> = net.overlay().peers().filter(|&p| p != composer).collect();
+        let overlay = net.overlay();
+        let hops = par_map_with(super::resolve_threads(cfg.threads), sources, |_, p| {
+            let mut paths = PathTable::new();
+            paths.peer_path(overlay, p, composer).map(|path| path.len() - 1)
+        });
+        let counted = hops.iter().flatten().count();
+        let total_hops: usize = hops.iter().flatten().sum();
         total_hops as f64 / counted.max(1) as f64
     };
 

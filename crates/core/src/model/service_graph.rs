@@ -5,7 +5,7 @@ use crate::model::component::Registry;
 use crate::model::function_graph::FunctionGraph;
 use spidernet_util::id::{ComponentId, PeerId};
 use spidernet_util::res::ResourceKind;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One endpoint of a service link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -174,8 +174,8 @@ impl ServiceGraph {
     pub fn per_peer_demand(
         &self,
         reg: &Registry,
-    ) -> HashMap<PeerId, spidernet_util::res::ResourceVector> {
-        let mut demand: HashMap<PeerId, spidernet_util::res::ResourceVector> = HashMap::new();
+    ) -> BTreeMap<PeerId, spidernet_util::res::ResourceVector> {
+        let mut demand: BTreeMap<PeerId, spidernet_util::res::ResourceVector> = BTreeMap::new();
         for &c in &self.assignment {
             let comp = reg.get(c);
             let entry = demand.entry(comp.peer).or_default();
@@ -188,7 +188,9 @@ impl ServiceGraph {
     /// `F = 1 − Π_j (1 − p_j)` over the distinct peers in the graph, each
     /// taken at its worst component failure probability.
     pub fn failure_probability(&self, reg: &Registry) -> f64 {
-        let mut per_peer: HashMap<PeerId, f64> = HashMap::new();
+        // Ordered: the product below is a float reduction, and its result
+        // must not depend on map iteration order.
+        let mut per_peer: BTreeMap<PeerId, f64> = BTreeMap::new();
         for &c in &self.assignment {
             let comp = reg.get(c);
             let p = per_peer.entry(comp.peer).or_insert(0.0);

@@ -8,13 +8,13 @@
 
 use spidernet_topology::routing::{dijkstra, PathResult};
 use spidernet_topology::Overlay;
+use spidernet_util::hash::FxHashMap;
 use spidernet_util::id::PeerId;
-use std::collections::HashMap;
 
 /// Per-source shortest-path cache over the overlay graph.
 #[derive(Default)]
 pub struct PathTable {
-    cache: HashMap<PeerId, PathResult>,
+    cache: FxHashMap<PeerId, PathResult>,
 }
 
 impl PathTable {
@@ -67,6 +67,14 @@ impl PathTable {
     /// mid-stream re-resolve paths per composition anyway).
     pub fn invalidate(&mut self) {
         self.cache.clear();
+    }
+
+    /// Drops only the cached results a departed peer can affect: the entry
+    /// sourced at `peer` plus any source whose shortest-path tree routes
+    /// through it. Under churn this keeps every unrelated SSSP warm where
+    /// [`PathTable::invalidate`] throws the whole cache away.
+    pub fn invalidate_peer(&mut self, peer: PeerId) {
+        self.cache.retain(|_, res| !res.routes_via(peer.index()));
     }
 
     /// Number of cached sources.
@@ -132,6 +140,62 @@ mod tests {
         assert_eq!(pt.cached_sources(), 1);
         pt.invalidate();
         assert_eq!(pt.cached_sources(), 0);
+    }
+
+    #[test]
+    fn per_peer_invalidation_drops_only_affected_trees() {
+        let ov = overlay();
+        let mut pt = PathTable::new();
+        let sources = [PeerId::new(0), PeerId::new(3), PeerId::new(9)];
+        // Warm the cache and record each tree's waypoint set: the nodes
+        // some shortest path routes *through* (final hops excluded).
+        let mut waypoints: Vec<std::collections::HashSet<PeerId>> = Vec::new();
+        for &s in &sources {
+            let mut w = std::collections::HashSet::new();
+            for dest in ov.peers() {
+                if let Some(path) = pt.peer_path(&ov, s, dest) {
+                    for &hop in &path[..path.len() - 1] {
+                        w.insert(hop);
+                    }
+                }
+            }
+            waypoints.push(w);
+        }
+        assert_eq!(pt.cached_sources(), 3);
+        let dead = *waypoints[0].iter().min_by_key(|p| p.index()).unwrap();
+        pt.invalidate_peer(dead);
+        // Exactly the trees touching `dead` are gone.
+        let expect = sources
+            .iter()
+            .zip(&waypoints)
+            .filter(|&(&s, w)| s != dead && !w.contains(&dead))
+            .count();
+        assert_eq!(pt.cached_sources(), expect);
+        assert!(expect < 3, "source 0's tree must be dropped");
+        // Re-querying rebuilds the identical result (static overlay).
+        let d = pt.delay(&ov, PeerId::new(0), PeerId::new(17));
+        assert!((d - ov.route_delay(PeerId::new(0), PeerId::new(17))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalidating_an_uninvolved_peer_keeps_the_cache() {
+        let ov = overlay();
+        let mut pt = PathTable::new();
+        pt.delay(&ov, PeerId::new(0), PeerId::new(1));
+        // A peer no cached tree routes through: one whose only appearance
+        // is as a leaf. Find it by scanning the lone cached tree.
+        let mut interior = std::collections::HashSet::new();
+        for dest in ov.peers() {
+            if let Some(path) = pt.peer_path(&ov, PeerId::new(0), dest) {
+                for &hop in &path[..path.len() - 1] {
+                    interior.insert(hop);
+                }
+            }
+        }
+        if let Some(leaf) = ov.peers().find(|p| !interior.contains(p)) {
+            pt.invalidate_peer(leaf);
+            assert_eq!(pt.cached_sources(), 1, "leaf invalidation must keep the tree");
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ use spidernet_topology::Overlay;
 use spidernet_util::error::{Error, Result};
 use spidernet_util::id::{ComponentId, PeerId, SessionId};
 use spidernet_util::res::ResourceVector;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Recovery policy knobs.
 #[derive(Clone, Debug)]
@@ -255,14 +255,14 @@ pub enum FailureOutcome {
 /// Owns all active sessions and implements the recovery policy.
 pub struct SessionManager {
     cfg: RecoveryConfig,
-    sessions: HashMap<SessionId, Session>,
+    sessions: BTreeMap<SessionId, Session>,
     next_id: u64,
 }
 
 impl SessionManager {
     /// A manager with the given policy.
     pub fn new(cfg: RecoveryConfig) -> Self {
-        SessionManager { cfg, sessions: HashMap::new(), next_id: 0 }
+        SessionManager { cfg, sessions: BTreeMap::new(), next_id: 0 }
     }
 
     /// The policy in force.

@@ -14,9 +14,9 @@ use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
 use crate::paths::PathTable;
 use crate::state::OverlayState;
 use spidernet_topology::Overlay;
+use spidernet_util::hash::FxHashMap;
 use spidernet_util::id::ComponentId;
 use spidernet_util::qos::{dim, QosVector};
-use std::collections::HashMap;
 
 /// Evaluates one candidate service graph against a request.
 ///
@@ -37,29 +37,21 @@ pub fn evaluate(
 
     // --- QoS: worst branch of per-branch accumulation ---
     let mut qos = QosVector::zeros(m);
+    let mut acc = QosVector::zeros(m);
     for branch in graph.pattern.branch_paths() {
-        let mut acc = QosVector::zeros(m);
+        acc.values_mut().fill(0.0);
         let mut prev_peer = graph.source;
         for &node in &branch {
             let comp = reg.get(graph.component_at(node));
-            let link_delay = paths.delay(overlay, prev_peer, comp.peer);
-            let mut leg = vec![0.0; m];
-            leg[dim::DELAY_MS] = link_delay;
-            acc.accumulate(&QosVector::from_values(leg));
+            acc.values_mut()[dim::DELAY_MS] += paths.delay(overlay, prev_peer, comp.peer);
             acc.accumulate(&comp.perf_qos);
             prev_peer = comp.peer;
         }
-        let mut tail = vec![0.0; m];
-        tail[dim::DELAY_MS] = paths.delay(overlay, prev_peer, graph.dest);
-        acc.accumulate(&QosVector::from_values(tail));
+        acc.values_mut()[dim::DELAY_MS] += paths.delay(overlay, prev_peer, graph.dest);
         // Element-wise max across branches.
-        let merged: Vec<f64> = qos
-            .values()
-            .iter()
-            .zip(acc.values())
-            .map(|(a, b)| a.max(*b))
-            .collect();
-        qos = QosVector::from_values(merged);
+        for (q, a) in qos.values_mut().iter_mut().zip(acc.values()) {
+            *q = q.max(*a);
+        }
     }
 
     // --- resource feasibility + ψ cost ---
@@ -79,7 +71,7 @@ pub fn evaluate(
     // Bandwidth term: Σ_links w_{n+1} · b_ℓ / ba_℘ over each service
     // link's overlay path, with feasibility on *aggregate* per-overlay-link
     // demand (branches can share overlay links).
-    let mut per_overlay_link: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut per_overlay_link: FxHashMap<(usize, usize), f64> = FxHashMap::default();
     for link in graph.service_links() {
         let from = graph.peer_of_end(link.from, reg);
         let to = graph.peer_of_end(link.to, reg);

@@ -20,10 +20,10 @@ use spidernet_topology::Overlay;
 use spidernet_util::error::{Error, Result};
 use spidernet_util::id::PeerId;
 use spidernet_util::res::ResourceVector;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Token identifying one soft reservation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SoftToken(u64);
 
 /// A committed per-session allocation, returned by [`OverlayState::commit`]
@@ -50,7 +50,10 @@ pub struct OverlayState {
     alive: Vec<bool>,
     link_capacity: HashMap<(usize, usize), f64>,
     link_committed: HashMap<(usize, usize), f64>,
-    soft_allocs: HashMap<SoftToken, SoftAlloc>,
+    // Ordered by token (= allocation order) so expiry sweeps release in a
+    // fixed order; the released amounts fold into per-peer float
+    // accumulators.
+    soft_allocs: BTreeMap<SoftToken, SoftAlloc>,
     next_token: u64,
 }
 
@@ -79,7 +82,7 @@ impl OverlayState {
             alive: vec![true; n],
             link_capacity,
             link_committed: HashMap::new(),
-            soft_allocs: HashMap::new(),
+            soft_allocs: BTreeMap::new(),
             next_token: 0,
         }
     }

@@ -271,6 +271,9 @@ impl SpiderNet {
     /// sessions whose primary was hit.
     pub fn fail_peer(&mut self, peer: PeerId) -> Vec<(SessionId, FailureOutcome)> {
         self.state.fail_peer(peer);
+        // Shed only the shortest-path trees the departed peer participates
+        // in; unrelated cached SSSPs stay warm through churn.
+        self.paths.invalidate_peer(peer);
         self.pastry.remove_node(peer);
         self.directory.handle_departure(&self.pastry, peer);
         // Affected sessions' sources lose trust in the failed host.

@@ -23,7 +23,7 @@
 //! observer argument.
 
 use spidernet_util::id::PeerId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Outcome of one interaction with a peer's component.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,8 +50,10 @@ impl Record {
 /// Beta-reputation trust tables, sharded by observing peer.
 #[derive(Debug, Default)]
 pub struct TrustManager {
-    /// observer → (subject → record)
-    tables: HashMap<PeerId, HashMap<PeerId, Record>>,
+    /// observer → (subject → record). Ordered so [`TrustManager::aggregate_trust`]
+    /// sums observer scores in a fixed order — float addition is not
+    /// associative, and the aggregate feeds BCP's candidate ranking.
+    tables: BTreeMap<PeerId, BTreeMap<PeerId, Record>>,
     /// Multiplicative decay applied to both counters by [`TrustManager::decay_all`].
     decay: f64,
 }
@@ -61,7 +63,7 @@ impl TrustManager {
     /// disables decay.
     pub fn new(decay: f64) -> Self {
         assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
-        TrustManager { tables: HashMap::new(), decay }
+        TrustManager { tables: BTreeMap::new(), decay }
     }
 
     /// Records one experience `observer` had with `subject`.
@@ -132,7 +134,7 @@ impl TrustManager {
 
     /// Number of (observer, subject) records held.
     pub fn record_count(&self) -> usize {
-        self.tables.values().map(HashMap::len).sum()
+        self.tables.values().map(BTreeMap::len).sum()
     }
 }
 

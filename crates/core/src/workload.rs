@@ -9,8 +9,7 @@
 use crate::model::component::{FunctionCatalog, Registry, ServiceComponent};
 use crate::model::function_graph::FunctionGraph;
 use crate::model::request::CompositionRequest;
-use rand::seq::SliceRandom;
-use rand::Rng as _;
+use spidernet_util::rng::SliceRandom;
 use spidernet_topology::Overlay;
 use spidernet_util::id::{ComponentId, FunctionId, PeerId};
 use spidernet_util::qos::{loss_to_additive, QosRequirement, QosVector};

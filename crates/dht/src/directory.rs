@@ -10,7 +10,7 @@ use crate::network::{PastryNetwork, RouteOutcome};
 use crate::nodeid::NodeId;
 use spidernet_util::hash::function_key;
 use spidernet_util::id::{ComponentId, FunctionId, PeerId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Static metadata registered for one service component.
 ///
@@ -33,17 +33,19 @@ pub struct ServiceMeta {
 /// Storage is held per responsible peer, exactly as a deployment would
 /// shard it; every operation routes through the Pastry network and reports
 /// the hops/latency it cost, which the Fig. 10 experiment accounts as
-/// "service discovery time".
+/// "service discovery time". Ordered maps keep churn-time re-homing
+/// iteration (and therefore replica-list order) identical across
+/// processes.
 #[derive(Default)]
 pub struct ServiceDirectory {
     /// responsible peer → (key → replica metadata list)
-    store: HashMap<PeerId, HashMap<u128, Vec<ServiceMeta>>>,
+    store: BTreeMap<PeerId, BTreeMap<u128, Vec<ServiceMeta>>>,
 }
 
 impl ServiceDirectory {
     /// An empty directory.
     pub fn new() -> Self {
-        ServiceDirectory { store: HashMap::new() }
+        ServiceDirectory { store: BTreeMap::new() }
     }
 
     /// Registers a component under `function_name`, routing from the

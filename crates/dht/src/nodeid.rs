@@ -5,7 +5,6 @@
 //! identifier — the configuration used by the original Pastry paper for
 //! its analysis.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Bits per routing digit (Pastry's `b`).
@@ -16,7 +15,7 @@ pub const DIGIT_BASE: usize = 1 << DIGIT_BITS;
 pub const NUM_DIGITS: usize = (128 / DIGIT_BITS) as usize;
 
 /// A position on the 128-bit Pastry ring.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u128);
 
 impl NodeId {

@@ -17,15 +17,14 @@
 use crate::media::{Frame, MediaFunction};
 use crate::msg::{Msg, Probe, ReplicaMeta};
 use crate::wan::WanModel;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
 use spidernet_dht::{NodeId, PastryNetwork};
 use spidernet_util::hash::function_key;
 use spidernet_util::id::PeerId;
 use spidernet_util::rng::Rng;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Cluster construction parameters.
@@ -161,7 +160,7 @@ impl Net {
     /// Enqueues `msg` for `to`, delivered after `model_ms` of model time.
     fn send(&self, to: PeerId, msg: Msg, model_ms: f64) {
         let wall = Duration::from_secs_f64((model_ms * self.scale / 1_000.0).max(0.0));
-        let mut q = self.inner.queue.lock();
+        let mut q = self.inner.queue.lock().unwrap();
         let seq = q.seq;
         q.seq += 1;
         q.heap.push(QueuedMsg { due: Instant::now() + wall, seq, to, msg });
@@ -169,19 +168,19 @@ impl Net {
     }
 
     fn shutdown(&self) {
-        self.inner.queue.lock().shutdown = true;
+        self.inner.queue.lock().unwrap().shutdown = true;
         self.inner.cond.notify_one();
     }
 }
 
 fn network_thread(inner: Arc<NetInner>, peers: Vec<Sender<Msg>>, dead: Arc<Vec<AtomicBool>>) {
     loop {
-        let mut q = inner.queue.lock();
+        let mut q = inner.queue.lock().unwrap();
         if q.shutdown {
             return;
         }
         let now = Instant::now();
-        match q.heap.peek() {
+        let wait = match q.heap.peek() {
             Some(e) if e.due <= now => {
                 let e = q.heap.pop().expect("peeked");
                 drop(q);
@@ -189,15 +188,12 @@ fn network_thread(inner: Arc<NetInner>, peers: Vec<Sender<Msg>>, dead: Arc<Vec<A
                     // Channels are unbounded; send only fails at shutdown.
                     let _ = peers[e.to.index()].send(e.msg);
                 }
+                continue;
             }
-            Some(e) => {
-                let wait = e.due - now;
-                inner.cond.wait_for(&mut q, wait);
-            }
-            None => {
-                inner.cond.wait_for(&mut q, Duration::from_millis(50));
-            }
-        }
+            Some(e) => e.due - now,
+            None => Duration::from_millis(50),
+        };
+        let _ = inner.cond.wait_timeout(q, wait).unwrap();
     }
 }
 
@@ -232,7 +228,7 @@ struct ComposeJob {
     dest: PeerId,
     chain: Vec<MediaFunction>,
     budget: u32,
-    reply: Sender<SetupResult>,
+    reply: SyncSender<SetupResult>,
     replica_lists: Vec<Option<Vec<ReplicaMeta>>>,
     t0_ms: f64,
     discovery_done_ms: Option<f64>,
@@ -265,7 +261,7 @@ struct StreamJob {
     remaining: u64,
     interval_ms: f64,
     dims: (usize, usize),
-    reply: Sender<StreamReport>,
+    reply: SyncSender<StreamReport>,
     seq: u64,
     delivered: u64,
     all_valid: bool,
@@ -428,7 +424,7 @@ impl PeerActor {
         dest: PeerId,
         chain: Vec<MediaFunction>,
         budget: u32,
-        reply: Sender<SetupResult>,
+        reply: SyncSender<SetupResult>,
     ) {
         let t0_ms = self.shared.now_ms();
         let n = chain.len();
@@ -901,7 +897,7 @@ impl Cluster {
         let mut senders = Vec::with_capacity(cfg.peers);
         let mut receivers = Vec::with_capacity(cfg.peers);
         for _ in 0..cfg.peers {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -963,7 +959,7 @@ impl Cluster {
         timeout: Duration,
     ) -> Option<SetupResult> {
         let request = self.next_request.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = sync_channel(1);
         self.senders[source.index()]
             .send(Msg::Compose { request, dest, chain, budget, reply: tx })
             .ok()?;
@@ -982,7 +978,7 @@ impl Cluster {
         timeout: Duration,
     ) -> Option<StreamReport> {
         assert!(setup.ok, "cannot stream over a failed setup");
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = sync_channel(1);
         self.senders[source.index()]
             .send(Msg::StartStream {
                 session: setup.request,

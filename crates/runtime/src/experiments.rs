@@ -12,8 +12,7 @@ use crate::media::MediaFunction;
 use spidernet_util::id::PeerId;
 use spidernet_util::rng::{rng_for, Rng};
 use spidernet_util::stats::Summary;
-use rand::seq::SliceRandom;
-use rand::Rng as _;
+use spidernet_util::rng::SliceRandom;
 use std::fmt;
 use std::time::Duration;
 

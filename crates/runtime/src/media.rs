@@ -8,7 +8,7 @@
 //! Frames are grayscale byte matrices; each transform manipulates the
 //! pixel buffer for real, so a composed chain's output is checkable.
 
-use bytes::Bytes;
+use std::sync::Arc;
 
 /// A synthetic video frame: `width × height` grayscale pixels.
 #[derive(Clone, Debug, PartialEq)]
@@ -18,7 +18,7 @@ pub struct Frame {
     /// Rows.
     pub height: usize,
     /// Row-major pixel bytes (`width * height` long).
-    pub pixels: Bytes,
+    pub pixels: Arc<[u8]>,
     /// Sequence number within the stream.
     pub seq: u64,
 }
@@ -33,7 +33,7 @@ impl Frame {
                 px.push(((x + y + seq as usize) % 251) as u8);
             }
         }
-        Frame { width, height, pixels: Bytes::from(px), seq }
+        Frame { width, height, pixels: px.into(), seq }
     }
 
     /// Pixel at (x, y).
@@ -142,7 +142,7 @@ fn embed_ticker(f: &Frame, top: bool) -> Frame {
             px[y * f.width + x] = if x % 2 == 0 { 0xFF } else { 0x00 };
         }
     }
-    Frame { width: f.width, height: f.height, pixels: Bytes::from(px), seq: f.seq }
+    Frame { width: f.width, height: f.height, pixels: px.into(), seq: f.seq }
 }
 
 fn upscale(f: &Frame) -> Frame {
@@ -153,7 +153,7 @@ fn upscale(f: &Frame) -> Frame {
             px.push(f.pixel(x / 2, y / 2));
         }
     }
-    Frame { width: w, height: h, pixels: Bytes::from(px), seq: f.seq }
+    Frame { width: w, height: h, pixels: px.into(), seq: f.seq }
 }
 
 fn downscale(f: &Frame) -> Frame {
@@ -172,7 +172,7 @@ fn downscale(f: &Frame) -> Frame {
             px.push((sum / 4) as u8);
         }
     }
-    Frame { width: w, height: h, pixels: Bytes::from(px), seq: f.seq }
+    Frame { width: w, height: h, pixels: px.into(), seq: f.seq }
 }
 
 fn sub_image(f: &Frame) -> Frame {
@@ -184,12 +184,12 @@ fn sub_image(f: &Frame) -> Frame {
             px.push(f.pixel(x + ox, y + oy));
         }
     }
-    Frame { width: w, height: h, pixels: Bytes::from(px), seq: f.seq }
+    Frame { width: w, height: h, pixels: px.into(), seq: f.seq }
 }
 
 fn requantize(f: &Frame) -> Frame {
     let px: Vec<u8> = f.pixels.iter().map(|&p| p & 0xF0).collect();
-    Frame { width: f.width, height: f.height, pixels: Bytes::from(px), seq: f.seq }
+    Frame { width: f.width, height: f.height, pixels: px.into(), seq: f.seq }
 }
 
 #[cfg(test)]

@@ -6,8 +6,8 @@
 
 use crate::cluster::{SetupResult, StreamReport};
 use crate::media::{Frame, MediaFunction};
-use crossbeam::channel::Sender;
 use spidernet_dht::NodeId;
+use std::sync::mpsc::SyncSender;
 use spidernet_util::id::PeerId;
 
 /// A discovered replica: which peer provides which function.
@@ -127,7 +127,7 @@ pub enum Msg {
         /// Probing budget.
         budget: u32,
         /// Reply channel to the driver.
-        reply: Sender<SetupResult>,
+        reply: SyncSender<SetupResult>,
     },
     /// Driver command: stream frames along an established session.
     StartStream {
@@ -148,7 +148,7 @@ pub enum Msg {
         /// Frame dimensions.
         dims: (usize, usize),
         /// Reply channel for the final report.
-        reply: Sender<StreamReport>,
+        reply: SyncSender<StreamReport>,
     },
     /// Low-rate maintenance probe walking a backup path (paper §5: the
     /// source "periodically sends low-rate measurement probes along these

@@ -8,7 +8,6 @@
 //! lets tests compress wall-clock time without changing reported
 //! model-time numbers.
 
-use rand::Rng as _;
 use spidernet_util::id::PeerId;
 use spidernet_util::rng::{rng_for_indexed, Rng};
 

@@ -7,8 +7,7 @@
 
 use spidernet_util::id::PeerId;
 use spidernet_util::rng::Rng;
-use rand::seq::SliceRandom;
-use rand::Rng as _;
+use spidernet_util::rng::SliceRandom;
 
 /// Parameters of the failure process.
 #[derive(Clone, Debug)]

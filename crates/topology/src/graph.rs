@@ -1,12 +1,11 @@
 //! Weighted undirected graph shared by the IP layer and the overlay layer.
 
-use serde::{Deserialize, Serialize};
 
 /// Dense node index into a [`Graph`].
 pub type NodeIndex = usize;
 
 /// Attributes of one (undirected) link.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EdgeAttrs {
     /// Propagation delay in milliseconds.
     pub delay_ms: f64,
@@ -26,7 +25,7 @@ impl EdgeAttrs {
 /// Both endpoints hold a copy of the edge attributes, so neighbor iteration
 /// never chases a separate edge table — the access pattern Dijkstra and the
 /// probe simulator hammer.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
     adj: Vec<Vec<(NodeIndex, EdgeAttrs)>>,
     edge_count: usize,

@@ -12,8 +12,7 @@
 //! links.
 
 use crate::graph::{EdgeAttrs, Graph};
-use rand::seq::SliceRandom;
-use rand::Rng as _;
+use spidernet_util::rng::SliceRandom;
 use spidernet_util::rng::rng_for;
 
 /// Parameters of the power-law generator.

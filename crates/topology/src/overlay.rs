@@ -12,8 +12,7 @@
 
 use crate::graph::{EdgeAttrs, Graph, NodeIndex};
 use crate::routing::{dijkstra, PathResult, RoutingOracle};
-use rand::seq::SliceRandom;
-use rand::Rng as _;
+use spidernet_util::rng::SliceRandom;
 use spidernet_util::id::PeerId;
 use spidernet_util::rng::rng_for;
 

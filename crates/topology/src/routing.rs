@@ -48,6 +48,14 @@ impl PathResult {
         Some(path)
     }
 
+    /// True if `v` participates in this SSSP tree as a routing waypoint:
+    /// it is the source itself or the parent of at least one node, i.e.
+    /// some cached shortest path routes through it. Lets caches invalidate
+    /// only the results a departed node can actually affect.
+    pub fn routes_via(&self, v: NodeIndex) -> bool {
+        self.source == v || self.prev.contains(&Some(v))
+    }
+
     /// Bottleneck capacity (min link capacity) along the shortest path to
     /// `v`. `None` if unreachable; the trivial path to the source itself has
     /// infinite bottleneck.
@@ -150,7 +158,6 @@ impl<'g> RoutingOracle<'g> {
 mod tests {
     use super::*;
     use crate::graph::EdgeAttrs;
-    use rand::Rng as _;
     use spidernet_util::rng::rng_for;
 
     /// 0 -1ms- 1 -1ms- 2, plus a 10ms shortcut 0-2 and a spur 2 -3ms- 3.
@@ -189,6 +196,18 @@ mod tests {
         assert_eq!(r.bottleneck_capacity_to(&g, 3).unwrap(), 10.0);
         assert_eq!(r.bottleneck_capacity_to(&g, 1).unwrap(), 100.0);
         assert!(r.bottleneck_capacity_to(&g, 0).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn routes_via_identifies_tree_waypoints() {
+        let g = diamond();
+        let r = dijkstra(&g, 0);
+        // Tree from 0: 0→1→2→3 (the 10ms shortcut is unused), so 0, 1 and
+        // 2 are waypoints while 3 is a leaf.
+        assert!(r.routes_via(0), "the source anchors its own tree");
+        assert!(r.routes_via(1));
+        assert!(r.routes_via(2));
+        assert!(!r.routes_via(3), "a leaf routes nothing");
     }
 
     #[test]

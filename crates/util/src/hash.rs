@@ -1,10 +1,89 @@
-//! A self-contained SHA-1 implementation used to derive DHT keys.
+//! Self-contained hashing: SHA-1 for DHT keys, FxHash for hot-path maps.
 //!
 //! The paper's discovery substrate stores service metadata under
 //! `key = secure_hash(function_name)` on a Pastry ring. We implement SHA-1
 //! locally (RFC 3174) rather than pulling in a crypto crate; the DHT only
 //! needs a well-mixed 160-bit digest, of which the top 128 bits become the
 //! Pastry key.
+//!
+//! [`FxHashMap`]/[`FxHashSet`] are `std` collections behind rustc's Fx hash
+//! (a multiply-xor hash, far cheaper than SipHash for the small integer
+//! keys the BCP hot loops use, and deterministic — no per-process random
+//! state, so experiment output never depends on iteration-order accidents).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier from rustc's `FxHasher` (a Fibonacci-style constant).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// rustc's Fx hash: one rotate-xor-multiply per word of input.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
 
 /// A 160-bit SHA-1 digest.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -139,6 +218,37 @@ mod tests {
         let k3 = function_key("video-downscale");
         assert_eq!(k1, k2);
         assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn fx_map_behaves_like_std_map() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+        let mut s: FxHashSet<(usize, usize)> = FxHashSet::default();
+        assert!(s.insert((3, 4)));
+        assert!(!s.insert((3, 4)));
+    }
+
+    #[test]
+    fn fx_hash_is_deterministic_and_discriminating() {
+        let h = |x: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(x);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+        let hb = |b: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(b);
+            hasher.finish()
+        };
+        assert_eq!(hb(b"abc"), hb(b"abc"));
+        assert_ne!(hb(b"abc"), hb(b"abd"));
+        assert_ne!(hb(b"abc"), hb(b"abcd"));
     }
 
     #[test]

@@ -3,14 +3,16 @@
 //! This crate hosts the small, dependency-light vocabulary types every other
 //! crate speaks: identifiers ([`id`]), the DHT key hash ([`hash`]),
 //! application-level QoS vectors ([`qos`]), end-system resource vectors
-//! ([`res`]), deterministic randomness plumbing ([`rng`]), summary statistics
-//! ([`stats`]), and the workspace error type ([`error`]).
+//! ([`res`]), deterministic randomness plumbing ([`rng`]), deterministic
+//! parallel fan-out ([`par`]), summary statistics ([`stats`]), and the
+//! workspace error type ([`error`]).
 
 #![warn(missing_docs)]
 
 pub mod error;
 pub mod hash;
 pub mod id;
+pub mod par;
 pub mod qos;
 pub mod res;
 pub mod rng;

@@ -8,7 +8,6 @@
 //! path while `1-p` multiplies.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Index};
 
@@ -35,7 +34,7 @@ pub fn additive_to_loss(a: f64) -> f64 {
 }
 
 /// An m-dimensional vector of accumulated (additive) QoS values.
-#[derive(Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Clone, PartialEq, Default)]
 pub struct QosVector(Vec<f64>);
 
 impl QosVector {
@@ -64,6 +63,14 @@ impl QosVector {
     /// Raw per-dimension values.
     pub fn values(&self) -> &[f64] {
         &self.0
+    }
+
+    /// Mutable per-dimension values. Lets probing engines push and undo
+    /// partial accumulations in place instead of cloning the vector per
+    /// candidate (undo must restore saved values — floating-point
+    /// subtraction is not an exact inverse of addition).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.0
     }
 
     /// Accumulates another vector into this one (per-dimension addition).
@@ -109,7 +116,7 @@ impl fmt::Debug for QosVector {
 
 /// A user's QoS requirement: per-dimension *upper bounds* on the accumulated
 /// QoS vector of the composed service graph.
-#[derive(Clone, PartialEq, Serialize, Deserialize, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct QosRequirement {
     bounds: Vec<f64>,
 }

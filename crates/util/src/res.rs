@@ -6,12 +6,11 @@
 //! shape; admission compares requirement against availability, and the ψ
 //! cost function (Eq. 1) sums requirement/availability ratios.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Index;
 
 /// The end-system resource types tracked on every peer.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ResourceKind {
     /// Processing capacity, in abstract CPU units.
     Cpu,
@@ -38,7 +37,7 @@ impl ResourceKind {
 /// A fixed-shape vector over [`ResourceKind::ALL`].
 ///
 /// Used both for component *requirements* and for peer *availability*.
-#[derive(Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Default)]
 pub struct ResourceVector([f64; ResourceKind::COUNT]);
 
 impl ResourceVector {

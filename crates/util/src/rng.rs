@@ -4,13 +4,206 @@
 //! seed. Subsystems derive independent streams from the master seed with
 //! [`derive_seed`], a SplitMix64 finalizer keyed by a label, so adding a new
 //! consumer of randomness never perturbs existing streams.
+//!
+//! The generator itself is an in-tree xoshiro256++ (public domain algorithm
+//! by Blackman & Vigna), state-expanded from the 64-bit seed with SplitMix64
+//! — no external crates, identical output on every platform and thread
+//! count. The parallel experiment harness leans on this: each trial draws
+//! its own [`rng_for_trial`] stream from `(master, label, trial)`, so a
+//! trial's randomness is a pure function of its coordinates, never of
+//! scheduling order.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
 
 /// The workspace-standard RNG: seedable, portable, and fast enough for
-/// simulation workloads.
-pub type Rng = StdRng;
+/// simulation workloads. xoshiro256++ with SplitMix64 seeding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Builds a generator whose full 256-bit state is expanded from `seed`
+    /// with SplitMix64 (the seeding scheme recommended by the xoshiro
+    /// authors).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = z.wrapping_add(0x9E3779B97F4A7C15);
+            *slot = splitmix64(z);
+        }
+        // All-zero state is the one forbidden fixed point.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E3779B97F4A7C15;
+        }
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A uniform sample of `T` over its natural domain (`[0, 1)` for
+    /// floats, the full range for integers).
+    #[inline]
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive; integer or
+    /// float).
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_in(self)
+    }
+
+    /// A uniform integer in `[0, bound)` via the widening-multiply method.
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty range");
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Sample: Sized {
+    /// Draws one uniform value.
+    fn sample(rng: &mut Rng) -> Self;
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn sample(rng: &mut Rng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    #[inline]
+    fn sample(rng: &mut Rng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for usize {
+    #[inline]
+    fn sample(rng: &mut Rng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Sample for u8 {
+    #[inline]
+    fn sample(rng: &mut Rng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample(rng: &mut Rng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with the full 53 bits of mantissa precision.
+    #[inline]
+    fn sample(rng: &mut Rng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_in(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_in(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_in(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_in(self, rng: &mut Rng) -> f64 {
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_in(self, rng: &mut Rng) -> f64 {
+        self.start() + rng.gen::<f64>() * (self.end() - self.start())
+    }
+}
+
+/// Random slice operations (the subset of `rand::seq::SliceRandom` the
+/// workspace uses).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+    /// A uniformly chosen element, or `None` if empty.
+    fn choose(&self, rng: &mut Rng) -> Option<&Self::Item>;
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle(&mut self, rng: &mut Rng);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose(&self, rng: &mut Rng) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.below(self.len() as u64) as usize])
+        }
+    }
+
+    fn shuffle(&mut self, rng: &mut Rng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
 
 /// SplitMix64 finalization step — a high-quality 64-bit mixer.
 #[inline]
@@ -44,10 +237,20 @@ pub fn rng_for_indexed(master: u64, label: &str, index: u64) -> Rng {
     Rng::seed_from_u64(splitmix64(derive_seed(master, label) ^ splitmix64(index)))
 }
 
+/// Creates the per-trial stream the parallel experiment harness hands to
+/// trial `trial` of the experiment labelled `label`.
+///
+/// Each trial's randomness is a pure function of `(master, label, trial)`,
+/// independent of which worker thread runs it and of how many threads
+/// exist — this is what makes the parallel drivers bit-identical to their
+/// sequential runs.
+pub fn rng_for_trial(master: u64, label: &str, trial: u64) -> Rng {
+    rng_for_indexed(master, label, trial)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng as _;
 
     #[test]
     fn derive_seed_is_deterministic() {
@@ -79,11 +282,84 @@ mod tests {
     }
 
     #[test]
+    fn trial_streams_match_indexed_streams() {
+        let mut a = rng_for_trial(7, "fig8", 3);
+        let mut b = rng_for_indexed(7, "fig8", 3);
+        for _ in 0..8 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
     fn splitmix_avalanche_smoke() {
         // Flipping one input bit should flip roughly half the output bits.
         let x = splitmix64(0x1234_5678);
         let y = splitmix64(0x1234_5679);
         let flipped = (x ^ y).count_ones();
         assert!((16..=48).contains(&flipped), "flipped {flipped} bits");
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = rng_for(11, "f64");
+        for _ in 0..10_000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = rng_for(12, "ranges");
+        for _ in 0..10_000 {
+            let a = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(3usize..=17);
+            assert!((3..=17).contains(&b));
+            let c = rng.gen_range(-2.0f64..5.0);
+            assert!((-2.0..5.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn inclusive_integer_ranges_hit_both_endpoints() {
+        let mut rng = rng_for(13, "endpoints");
+        let draws: Vec<u64> = (0..1000).map(|_| rng.gen_range(0u64..=3)).collect();
+        assert!(draws.contains(&0));
+        assert!(draws.contains(&3));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = rng_for(14, "shuffle");
+        let mut v: Vec<u64> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50-element shuffle left the slice sorted");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = rng_for(15, "choose");
+        let v = [1u64, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &x = v.choose(&mut rng).unwrap();
+            seen[(x - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u64; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn mean_of_unit_floats_is_half() {
+        let mut rng = rng_for(16, "mean");
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 }

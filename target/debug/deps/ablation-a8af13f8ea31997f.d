@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-a8af13f8ea31997f.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-a8af13f8ea31997f: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-cdcc1a0c1ad1e819.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-cdcc1a0c1ad1e819: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

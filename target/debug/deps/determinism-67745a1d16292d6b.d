@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-67745a1d16292d6b.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-67745a1d16292d6b: tests/determinism.rs
+
+tests/determinism.rs:

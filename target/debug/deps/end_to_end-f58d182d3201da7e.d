@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f58d182d3201da7e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f58d182d3201da7e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

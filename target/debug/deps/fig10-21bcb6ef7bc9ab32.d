@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-21bcb6ef7bc9ab32.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-21bcb6ef7bc9ab32: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-4c108bbc6bf66a13.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-4c108bbc6bf66a13: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-0b119325c8aeef71.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-0b119325c8aeef71: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

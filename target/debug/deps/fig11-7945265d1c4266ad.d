@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-7945265d1c4266ad.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-7945265d1c4266ad: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-7df62a646f63379a.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-7df62a646f63379a: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-bbb997fa05fad44e.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-bbb997fa05fad44e: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-495fc7f0be716ce6.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-495fc7f0be716ce6: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-ca400e04d168a19a.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-ca400e04d168a19a: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

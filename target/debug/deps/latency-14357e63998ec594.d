@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency-14357e63998ec594.d: crates/bench/src/bin/latency.rs
+
+/root/repo/target/debug/deps/latency-14357e63998ec594: crates/bench/src/bin/latency.rs
+
+crates/bench/src/bin/latency.rs:

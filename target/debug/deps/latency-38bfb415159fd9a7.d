@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency-38bfb415159fd9a7.d: crates/bench/src/bin/latency.rs
+
+/root/repo/target/debug/deps/latency-38bfb415159fd9a7: crates/bench/src/bin/latency.rs
+
+crates/bench/src/bin/latency.rs:

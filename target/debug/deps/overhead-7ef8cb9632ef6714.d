@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-7ef8cb9632ef6714.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/overhead-7ef8cb9632ef6714: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-ce696b95c82f3ff2.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/overhead-ce696b95c82f3ff2: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

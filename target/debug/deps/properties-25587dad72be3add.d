@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-25587dad72be3add.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-25587dad72be3add: tests/properties.rs
+
+tests/properties.rs:

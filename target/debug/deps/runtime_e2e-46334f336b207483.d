@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_e2e-46334f336b207483.d: tests/runtime_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_e2e-46334f336b207483.rmeta: tests/runtime_e2e.rs Cargo.toml
+
+tests/runtime_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

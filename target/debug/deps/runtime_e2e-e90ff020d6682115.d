@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_e2e-e90ff020d6682115.d: tests/runtime_e2e.rs
+
+/root/repo/target/debug/deps/runtime_e2e-e90ff020d6682115: tests/runtime_e2e.rs
+
+tests/runtime_e2e.rs:

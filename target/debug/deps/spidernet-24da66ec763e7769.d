@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spidernet-24da66ec763e7769.d: src/lib.rs
+
+/root/repo/target/debug/deps/spidernet-24da66ec763e7769: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spidernet-bfe1342452a31cac.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspidernet-bfe1342452a31cac.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spidernet-e8fee82aa5e6f927.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspidernet-e8fee82aa5e6f927.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spidernet-efee8170f253034b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspidernet-efee8170f253034b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspidernet-efee8170f253034b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spidernet_bench-7ba3bb70b9c02829.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libspidernet_bench-7ba3bb70b9c02829.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libspidernet_bench-7ba3bb70b9c02829.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

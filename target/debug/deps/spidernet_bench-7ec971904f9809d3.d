@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spidernet_bench-7ec971904f9809d3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/spidernet_bench-7ec971904f9809d3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,32 @@
+/root/repo/target/debug/deps/spidernet_core-9df2f7c82c367b81.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bcp.rs crates/core/src/conditional.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablation.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/latency.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/overhead.rs crates/core/src/model/mod.rs crates/core/src/model/component.rs crates/core/src/model/function_graph.rs crates/core/src/model/request.rs crates/core/src/model/service_graph.rs crates/core/src/paths.rs crates/core/src/recovery.rs crates/core/src/selection.rs crates/core/src/spec.rs crates/core/src/state.rs crates/core/src/system.rs crates/core/src/trust.rs crates/core/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspidernet_core-9df2f7c82c367b81.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bcp.rs crates/core/src/conditional.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablation.rs crates/core/src/experiments/fig11.rs crates/core/src/experiments/latency.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/overhead.rs crates/core/src/model/mod.rs crates/core/src/model/component.rs crates/core/src/model/function_graph.rs crates/core/src/model/request.rs crates/core/src/model/service_graph.rs crates/core/src/paths.rs crates/core/src/recovery.rs crates/core/src/selection.rs crates/core/src/spec.rs crates/core/src/state.rs crates/core/src/system.rs crates/core/src/trust.rs crates/core/src/workload.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/bcp.rs:
+crates/core/src/conditional.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablation.rs:
+crates/core/src/experiments/fig11.rs:
+crates/core/src/experiments/latency.rs:
+crates/core/src/experiments/fig8.rs:
+crates/core/src/experiments/fig9.rs:
+crates/core/src/experiments/overhead.rs:
+crates/core/src/model/mod.rs:
+crates/core/src/model/component.rs:
+crates/core/src/model/function_graph.rs:
+crates/core/src/model/request.rs:
+crates/core/src/model/service_graph.rs:
+crates/core/src/paths.rs:
+crates/core/src/recovery.rs:
+crates/core/src/selection.rs:
+crates/core/src/spec.rs:
+crates/core/src/state.rs:
+crates/core/src/system.rs:
+crates/core/src/trust.rs:
+crates/core/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

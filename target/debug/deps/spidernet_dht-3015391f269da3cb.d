@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spidernet_dht-3015391f269da3cb.d: crates/dht/src/lib.rs crates/dht/src/directory.rs crates/dht/src/leafset.rs crates/dht/src/network.rs crates/dht/src/nodeid.rs crates/dht/src/routing_table.rs
+
+/root/repo/target/debug/deps/libspidernet_dht-3015391f269da3cb.rlib: crates/dht/src/lib.rs crates/dht/src/directory.rs crates/dht/src/leafset.rs crates/dht/src/network.rs crates/dht/src/nodeid.rs crates/dht/src/routing_table.rs
+
+/root/repo/target/debug/deps/libspidernet_dht-3015391f269da3cb.rmeta: crates/dht/src/lib.rs crates/dht/src/directory.rs crates/dht/src/leafset.rs crates/dht/src/network.rs crates/dht/src/nodeid.rs crates/dht/src/routing_table.rs
+
+crates/dht/src/lib.rs:
+crates/dht/src/directory.rs:
+crates/dht/src/leafset.rs:
+crates/dht/src/network.rs:
+crates/dht/src/nodeid.rs:
+crates/dht/src/routing_table.rs:

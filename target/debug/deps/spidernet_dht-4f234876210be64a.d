@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spidernet_dht-4f234876210be64a.d: crates/dht/src/lib.rs crates/dht/src/directory.rs crates/dht/src/leafset.rs crates/dht/src/network.rs crates/dht/src/nodeid.rs crates/dht/src/routing_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspidernet_dht-4f234876210be64a.rmeta: crates/dht/src/lib.rs crates/dht/src/directory.rs crates/dht/src/leafset.rs crates/dht/src/network.rs crates/dht/src/nodeid.rs crates/dht/src/routing_table.rs Cargo.toml
+
+crates/dht/src/lib.rs:
+crates/dht/src/directory.rs:
+crates/dht/src/leafset.rs:
+crates/dht/src/network.rs:
+crates/dht/src/nodeid.rs:
+crates/dht/src/routing_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spidernet_dht-97f22b025ecc7bf5.d: crates/dht/src/lib.rs crates/dht/src/directory.rs crates/dht/src/leafset.rs crates/dht/src/network.rs crates/dht/src/nodeid.rs crates/dht/src/routing_table.rs
+
+/root/repo/target/debug/deps/spidernet_dht-97f22b025ecc7bf5: crates/dht/src/lib.rs crates/dht/src/directory.rs crates/dht/src/leafset.rs crates/dht/src/network.rs crates/dht/src/nodeid.rs crates/dht/src/routing_table.rs
+
+crates/dht/src/lib.rs:
+crates/dht/src/directory.rs:
+crates/dht/src/leafset.rs:
+crates/dht/src/network.rs:
+crates/dht/src/nodeid.rs:
+crates/dht/src/routing_table.rs:

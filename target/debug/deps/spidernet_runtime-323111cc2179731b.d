@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spidernet_runtime-323111cc2179731b.d: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/experiments.rs crates/runtime/src/media.rs crates/runtime/src/msg.rs crates/runtime/src/wan.rs
+
+/root/repo/target/debug/deps/spidernet_runtime-323111cc2179731b: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/experiments.rs crates/runtime/src/media.rs crates/runtime/src/msg.rs crates/runtime/src/wan.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cluster.rs:
+crates/runtime/src/experiments.rs:
+crates/runtime/src/media.rs:
+crates/runtime/src/msg.rs:
+crates/runtime/src/wan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spidernet_runtime-6a82af03cf92a72c.d: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/experiments.rs crates/runtime/src/media.rs crates/runtime/src/msg.rs crates/runtime/src/wan.rs
+
+/root/repo/target/debug/deps/libspidernet_runtime-6a82af03cf92a72c.rlib: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/experiments.rs crates/runtime/src/media.rs crates/runtime/src/msg.rs crates/runtime/src/wan.rs
+
+/root/repo/target/debug/deps/libspidernet_runtime-6a82af03cf92a72c.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/experiments.rs crates/runtime/src/media.rs crates/runtime/src/msg.rs crates/runtime/src/wan.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cluster.rs:
+crates/runtime/src/experiments.rs:
+crates/runtime/src/media.rs:
+crates/runtime/src/msg.rs:
+crates/runtime/src/wan.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spidernet_runtime-87ebd558611d6f85.d: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/experiments.rs crates/runtime/src/media.rs crates/runtime/src/msg.rs crates/runtime/src/wan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspidernet_runtime-87ebd558611d6f85.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/experiments.rs crates/runtime/src/media.rs crates/runtime/src/msg.rs crates/runtime/src/wan.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cluster.rs:
+crates/runtime/src/experiments.rs:
+crates/runtime/src/media.rs:
+crates/runtime/src/msg.rs:
+crates/runtime/src/wan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spidernet_sim-3b4f1f2667621e11.d: crates/sim/src/lib.rs crates/sim/src/churn.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/time.rs crates/sim/src/transport.rs
+
+/root/repo/target/debug/deps/spidernet_sim-3b4f1f2667621e11: crates/sim/src/lib.rs crates/sim/src/churn.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/time.rs crates/sim/src/transport.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/churn.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/time.rs:
+crates/sim/src/transport.rs:

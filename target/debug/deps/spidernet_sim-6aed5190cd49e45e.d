@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spidernet_sim-6aed5190cd49e45e.d: crates/sim/src/lib.rs crates/sim/src/churn.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/time.rs crates/sim/src/transport.rs
+
+/root/repo/target/debug/deps/libspidernet_sim-6aed5190cd49e45e.rlib: crates/sim/src/lib.rs crates/sim/src/churn.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/time.rs crates/sim/src/transport.rs
+
+/root/repo/target/debug/deps/libspidernet_sim-6aed5190cd49e45e.rmeta: crates/sim/src/lib.rs crates/sim/src/churn.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/time.rs crates/sim/src/transport.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/churn.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/time.rs:
+crates/sim/src/transport.rs:

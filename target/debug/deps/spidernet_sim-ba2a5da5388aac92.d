@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spidernet_sim-ba2a5da5388aac92.d: crates/sim/src/lib.rs crates/sim/src/churn.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/time.rs crates/sim/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspidernet_sim-ba2a5da5388aac92.rmeta: crates/sim/src/lib.rs crates/sim/src/churn.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/time.rs crates/sim/src/transport.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/churn.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/time.rs:
+crates/sim/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spidernet_topology-32e752ecea5b8556.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/inet.rs crates/topology/src/overlay.rs crates/topology/src/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspidernet_topology-32e752ecea5b8556.rmeta: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/inet.rs crates/topology/src/overlay.rs crates/topology/src/routing.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/inet.rs:
+crates/topology/src/overlay.rs:
+crates/topology/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

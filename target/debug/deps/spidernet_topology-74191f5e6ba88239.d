@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/spidernet_topology-74191f5e6ba88239.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/inet.rs crates/topology/src/overlay.rs crates/topology/src/routing.rs
+
+/root/repo/target/debug/deps/libspidernet_topology-74191f5e6ba88239.rlib: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/inet.rs crates/topology/src/overlay.rs crates/topology/src/routing.rs
+
+/root/repo/target/debug/deps/libspidernet_topology-74191f5e6ba88239.rmeta: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/inet.rs crates/topology/src/overlay.rs crates/topology/src/routing.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/inet.rs:
+crates/topology/src/overlay.rs:
+crates/topology/src/routing.rs:

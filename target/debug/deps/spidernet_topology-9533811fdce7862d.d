@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spidernet_topology-9533811fdce7862d.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/inet.rs crates/topology/src/overlay.rs crates/topology/src/routing.rs
+
+/root/repo/target/debug/deps/spidernet_topology-9533811fdce7862d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/inet.rs crates/topology/src/overlay.rs crates/topology/src/routing.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/inet.rs:
+crates/topology/src/overlay.rs:
+crates/topology/src/routing.rs:

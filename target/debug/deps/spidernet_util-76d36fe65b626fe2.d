@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spidernet_util-76d36fe65b626fe2.d: crates/util/src/lib.rs crates/util/src/error.rs crates/util/src/hash.rs crates/util/src/id.rs crates/util/src/par.rs crates/util/src/qos.rs crates/util/src/res.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+/root/repo/target/debug/deps/spidernet_util-76d36fe65b626fe2: crates/util/src/lib.rs crates/util/src/error.rs crates/util/src/hash.rs crates/util/src/id.rs crates/util/src/par.rs crates/util/src/qos.rs crates/util/src/res.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+crates/util/src/lib.rs:
+crates/util/src/error.rs:
+crates/util/src/hash.rs:
+crates/util/src/id.rs:
+crates/util/src/par.rs:
+crates/util/src/qos.rs:
+crates/util/src/res.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/spidernet_util-8628dbea3a6818bf.d: crates/util/src/lib.rs crates/util/src/error.rs crates/util/src/hash.rs crates/util/src/id.rs crates/util/src/par.rs crates/util/src/qos.rs crates/util/src/res.rs crates/util/src/rng.rs crates/util/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspidernet_util-8628dbea3a6818bf.rmeta: crates/util/src/lib.rs crates/util/src/error.rs crates/util/src/hash.rs crates/util/src/id.rs crates/util/src/par.rs crates/util/src/qos.rs crates/util/src/res.rs crates/util/src/rng.rs crates/util/src/stats.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/error.rs:
+crates/util/src/hash.rs:
+crates/util/src/id.rs:
+crates/util/src/par.rs:
+crates/util/src/qos.rs:
+crates/util/src/res.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

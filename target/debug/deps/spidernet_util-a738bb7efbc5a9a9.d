@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/spidernet_util-a738bb7efbc5a9a9.d: crates/util/src/lib.rs crates/util/src/error.rs crates/util/src/hash.rs crates/util/src/id.rs crates/util/src/par.rs crates/util/src/qos.rs crates/util/src/res.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+/root/repo/target/debug/deps/libspidernet_util-a738bb7efbc5a9a9.rlib: crates/util/src/lib.rs crates/util/src/error.rs crates/util/src/hash.rs crates/util/src/id.rs crates/util/src/par.rs crates/util/src/qos.rs crates/util/src/res.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+/root/repo/target/debug/deps/libspidernet_util-a738bb7efbc5a9a9.rmeta: crates/util/src/lib.rs crates/util/src/error.rs crates/util/src/hash.rs crates/util/src/id.rs crates/util/src/par.rs crates/util/src/qos.rs crates/util/src/res.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+crates/util/src/lib.rs:
+crates/util/src/error.rs:
+crates/util/src/hash.rs:
+crates/util/src/id.rs:
+crates/util/src/par.rs:
+crates/util/src/qos.rs:
+crates/util/src/res.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/churn_resilience-2995c7b0cf7cdcc2.d: examples/churn_resilience.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchurn_resilience-2995c7b0cf7cdcc2.rmeta: examples/churn_resilience.rs Cargo.toml
+
+examples/churn_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

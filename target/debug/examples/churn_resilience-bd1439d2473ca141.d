@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/churn_resilience-bd1439d2473ca141.d: examples/churn_resilience.rs
+
+/root/repo/target/debug/examples/churn_resilience-bd1439d2473ca141: examples/churn_resilience.rs
+
+examples/churn_resilience.rs:

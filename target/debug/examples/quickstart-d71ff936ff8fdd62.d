@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d71ff936ff8fdd62.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d71ff936ff8fdd62: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scientific_workflow-3b4ebb07a1272aa3.d: examples/scientific_workflow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscientific_workflow-3b4ebb07a1272aa3.rmeta: examples/scientific_workflow.rs Cargo.toml
+
+examples/scientific_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

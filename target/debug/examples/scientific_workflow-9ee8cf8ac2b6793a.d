@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scientific_workflow-9ee8cf8ac2b6793a.d: examples/scientific_workflow.rs
+
+/root/repo/target/debug/examples/scientific_workflow-9ee8cf8ac2b6793a: examples/scientific_workflow.rs
+
+examples/scientific_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spec_driven-6a96e69276c0785e.d: examples/spec_driven.rs
+
+/root/repo/target/debug/examples/spec_driven-6a96e69276c0785e: examples/spec_driven.rs
+
+examples/spec_driven.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spec_driven-e0e88af5d342fdd0.d: examples/spec_driven.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspec_driven-e0e88af5d342fdd0.rmeta: examples/spec_driven.rs Cargo.toml
+
+examples/spec_driven.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/video_streaming-8364eb7f27fdfca8.d: examples/video_streaming.rs
+
+/root/repo/target/debug/examples/video_streaming-8364eb7f27fdfca8: examples/video_streaming.rs
+
+examples/video_streaming.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/video_streaming-a1576c2269ca3756.d: examples/video_streaming.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvideo_streaming-a1576c2269ca3756.rmeta: examples/video_streaming.rs Cargo.toml
+
+examples/video_streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

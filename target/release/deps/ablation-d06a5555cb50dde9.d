@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-d06a5555cb50dde9.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-d06a5555cb50dde9: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

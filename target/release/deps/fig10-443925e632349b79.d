@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-443925e632349b79.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-443925e632349b79: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-537df45f38a4ac29.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-537df45f38a4ac29: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-797a035fbcf4adea.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-797a035fbcf4adea: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

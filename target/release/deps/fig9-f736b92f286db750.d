@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-f736b92f286db750.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-f736b92f286db750: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/latency-fdec5bcccc6abada.d: crates/bench/src/bin/latency.rs
+
+/root/repo/target/release/deps/latency-fdec5bcccc6abada: crates/bench/src/bin/latency.rs
+
+crates/bench/src/bin/latency.rs:

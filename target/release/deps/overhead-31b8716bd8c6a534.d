@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead-31b8716bd8c6a534.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/release/deps/overhead-31b8716bd8c6a534: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spidernet-f80bfed2b99e502d.d: src/lib.rs
+
+/root/repo/target/release/deps/libspidernet-f80bfed2b99e502d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspidernet-f80bfed2b99e502d.rmeta: src/lib.rs
+
+src/lib.rs:

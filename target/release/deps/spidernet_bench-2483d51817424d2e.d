@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spidernet_bench-2483d51817424d2e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libspidernet_bench-2483d51817424d2e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libspidernet_bench-2483d51817424d2e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/spidernet_dht-396b12f7a21227db.d: crates/dht/src/lib.rs crates/dht/src/directory.rs crates/dht/src/leafset.rs crates/dht/src/network.rs crates/dht/src/nodeid.rs crates/dht/src/routing_table.rs
+
+/root/repo/target/release/deps/libspidernet_dht-396b12f7a21227db.rlib: crates/dht/src/lib.rs crates/dht/src/directory.rs crates/dht/src/leafset.rs crates/dht/src/network.rs crates/dht/src/nodeid.rs crates/dht/src/routing_table.rs
+
+/root/repo/target/release/deps/libspidernet_dht-396b12f7a21227db.rmeta: crates/dht/src/lib.rs crates/dht/src/directory.rs crates/dht/src/leafset.rs crates/dht/src/network.rs crates/dht/src/nodeid.rs crates/dht/src/routing_table.rs
+
+crates/dht/src/lib.rs:
+crates/dht/src/directory.rs:
+crates/dht/src/leafset.rs:
+crates/dht/src/network.rs:
+crates/dht/src/nodeid.rs:
+crates/dht/src/routing_table.rs:

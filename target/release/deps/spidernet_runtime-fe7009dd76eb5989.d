@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/spidernet_runtime-fe7009dd76eb5989.d: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/experiments.rs crates/runtime/src/media.rs crates/runtime/src/msg.rs crates/runtime/src/wan.rs
+
+/root/repo/target/release/deps/libspidernet_runtime-fe7009dd76eb5989.rlib: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/experiments.rs crates/runtime/src/media.rs crates/runtime/src/msg.rs crates/runtime/src/wan.rs
+
+/root/repo/target/release/deps/libspidernet_runtime-fe7009dd76eb5989.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/experiments.rs crates/runtime/src/media.rs crates/runtime/src/msg.rs crates/runtime/src/wan.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cluster.rs:
+crates/runtime/src/experiments.rs:
+crates/runtime/src/media.rs:
+crates/runtime/src/msg.rs:
+crates/runtime/src/wan.rs:

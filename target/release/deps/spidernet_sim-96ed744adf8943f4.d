@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/spidernet_sim-96ed744adf8943f4.d: crates/sim/src/lib.rs crates/sim/src/churn.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/time.rs crates/sim/src/transport.rs
+
+/root/repo/target/release/deps/libspidernet_sim-96ed744adf8943f4.rlib: crates/sim/src/lib.rs crates/sim/src/churn.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/time.rs crates/sim/src/transport.rs
+
+/root/repo/target/release/deps/libspidernet_sim-96ed744adf8943f4.rmeta: crates/sim/src/lib.rs crates/sim/src/churn.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/time.rs crates/sim/src/transport.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/churn.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/time.rs:
+crates/sim/src/transport.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/spidernet_topology-3db2e68095e5d372.d: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/inet.rs crates/topology/src/overlay.rs crates/topology/src/routing.rs
+
+/root/repo/target/release/deps/libspidernet_topology-3db2e68095e5d372.rlib: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/inet.rs crates/topology/src/overlay.rs crates/topology/src/routing.rs
+
+/root/repo/target/release/deps/libspidernet_topology-3db2e68095e5d372.rmeta: crates/topology/src/lib.rs crates/topology/src/graph.rs crates/topology/src/inet.rs crates/topology/src/overlay.rs crates/topology/src/routing.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/inet.rs:
+crates/topology/src/overlay.rs:
+crates/topology/src/routing.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/spidernet_util-d2f1b28cfb320f1f.d: crates/util/src/lib.rs crates/util/src/error.rs crates/util/src/hash.rs crates/util/src/id.rs crates/util/src/par.rs crates/util/src/qos.rs crates/util/src/res.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+/root/repo/target/release/deps/libspidernet_util-d2f1b28cfb320f1f.rlib: crates/util/src/lib.rs crates/util/src/error.rs crates/util/src/hash.rs crates/util/src/id.rs crates/util/src/par.rs crates/util/src/qos.rs crates/util/src/res.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+/root/repo/target/release/deps/libspidernet_util-d2f1b28cfb320f1f.rmeta: crates/util/src/lib.rs crates/util/src/error.rs crates/util/src/hash.rs crates/util/src/id.rs crates/util/src/par.rs crates/util/src/qos.rs crates/util/src/res.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+crates/util/src/lib.rs:
+crates/util/src/error.rs:
+crates/util/src/hash.rs:
+crates/util/src/id.rs:
+crates/util/src/par.rs:
+crates/util/src/qos.rs:
+crates/util/src/res.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:

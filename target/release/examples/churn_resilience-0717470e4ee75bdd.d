@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/churn_resilience-0717470e4ee75bdd.d: examples/churn_resilience.rs
+
+/root/repo/target/release/examples/churn_resilience-0717470e4ee75bdd: examples/churn_resilience.rs
+
+examples/churn_resilience.rs:

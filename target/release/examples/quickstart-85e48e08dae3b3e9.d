@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-85e48e08dae3b3e9.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-85e48e08dae3b3e9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,76 @@
+//! The parallel experiment harness must be determinism-preserving: every
+//! cell of an experiment derives its own random streams from the master
+//! seed and writes its result by cell index, so the rendered output is
+//! byte-identical for *any* worker-thread count — including 1 (fully
+//! sequential) and more threads than this machine has cores.
+
+use spidernet_core::experiments::{fig8, fig9};
+use spidernet_core::workload::{PopulationConfig, RequestConfig};
+
+fn fig8_tiny(threads: usize) -> fig8::Fig8Config {
+    fig8::Fig8Config {
+        ip_nodes: 300,
+        peers: 60,
+        functions: 12,
+        duration_units: 15,
+        workloads: vec![3, 8],
+        optimal_cap: Some(200),
+        population: PopulationConfig { functions: 12, ..PopulationConfig::default() },
+        request: RequestConfig { functions: (2, 3), ..RequestConfig::default() },
+        threads: Some(threads),
+        ..fig8::Fig8Config::default()
+    }
+}
+
+fn fig9_tiny(threads: usize) -> fig9::Fig9Config {
+    fig9::Fig9Config {
+        ip_nodes: 300,
+        peers: 80,
+        sessions: 15,
+        duration_units: 12,
+        population: PopulationConfig { functions: 10, ..PopulationConfig::default() },
+        threads: Some(threads),
+        ..fig9::Fig9Config::default()
+    }
+}
+
+#[test]
+fn fig8_csv_is_byte_identical_across_thread_counts() {
+    let reference = fig8::run(&fig8_tiny(1)).to_csv();
+    assert!(reference.lines().count() > 1, "empty figure");
+    for threads in [2usize, 8] {
+        let csv = fig8::run(&fig8_tiny(threads)).to_csv();
+        assert_eq!(csv, reference, "fig8 output diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn fig9_csv_is_byte_identical_across_thread_counts() {
+    let reference = fig9::run(&fig9_tiny(1)).to_csv();
+    assert!(reference.lines().count() > 1, "empty figure");
+    for threads in [2usize, 8] {
+        let csv = fig9::run(&fig9_tiny(threads)).to_csv();
+        assert_eq!(csv, reference, "fig9 output diverged at {threads} threads");
+    }
+}
+
+/// Guards against `std::collections::HashMap` iteration order leaking into
+/// behavior (float reductions, candidate ordering, churn re-homing): every
+/// std `HashMap` seeds a fresh `RandomState` per instance, so two runs in
+/// the same process already iterate any order-sensitive map differently.
+/// Repeat-run equality therefore fails if a behavior-feeding aggregation
+/// ever regresses from an ordered map back to a hashed one.
+#[test]
+fn fig9_is_invariant_to_map_iteration_order() {
+    let a = fig9::run(&fig9_tiny(1)).to_csv();
+    let b = fig9::run(&fig9_tiny(1)).to_csv();
+    assert_eq!(a, b, "fig9 output depends on map iteration order");
+}
+
+#[test]
+fn fig9_scalar_outputs_match_across_thread_counts() {
+    let a = fig9::run(&fig9_tiny(1));
+    let b = fig9::run(&fig9_tiny(8));
+    assert_eq!(a.mean_backups.to_bits(), b.mean_backups.to_bits());
+    assert_eq!(a.recovery_ratio.to_bits(), b.recovery_ratio.to_bits());
+}

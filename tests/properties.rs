@@ -1,7 +1,12 @@
-//! Property-based tests (proptest) over the core data structures and
-//! protocol invariants.
+//! Property-based tests over the core data structures and protocol
+//! invariants.
+//!
+//! Implemented as seeded randomized-case loops over the workspace's own
+//! deterministic [`spidernet::util::rng`] streams (no external property
+//! framework): every test draws its cases from `rng_for(PROP_SEED, name)`,
+//! so failures are reproducible bit-for-bit and the suite needs no network
+//! access to build.
 
-use proptest::prelude::*;
 use spidernet::core::model::FunctionGraph;
 use spidernet::core::recovery::{backup_count, select_backups};
 use spidernet::core::selection::merge_branches;
@@ -15,103 +20,145 @@ use spidernet::util::hash::sha1;
 use spidernet::util::id::{ComponentId, PeerId};
 use spidernet::util::qos::{additive_to_loss, loss_to_additive, QosRequirement, QosVector};
 use spidernet::util::res::ResourceVector;
+use spidernet::util::rng::{rng_for, Rng};
 
-proptest! {
-    // ---- hashing --------------------------------------------------
+/// Master seed of the property suite; change to explore a different slice
+/// of the case space.
+const PROP_SEED: u64 = 0x5EED_50DE;
 
-    /// SHA-1 is deterministic and length-sensitive.
-    #[test]
-    fn sha1_deterministic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
-        prop_assert_eq!(sha1(&data).0, sha1(&data).0);
+/// Standard case count for cheap properties.
+const CASES: usize = 200;
+
+fn prop_rng(name: &str) -> Rng {
+    rng_for(PROP_SEED, name)
+}
+
+fn random_u128(rng: &mut Rng) -> u128 {
+    (u128::from(rng.gen::<u64>()) << 64) | u128::from(rng.gen::<u64>())
+}
+
+// ---- hashing --------------------------------------------------
+
+/// SHA-1 is deterministic and length-sensitive.
+#[test]
+fn sha1_deterministic() {
+    let mut rng = prop_rng("sha1");
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..512);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        assert_eq!(sha1(&data).0, sha1(&data).0);
         let mut extended = data.clone();
         extended.push(0);
-        prop_assert_ne!(sha1(&data).0, sha1(&extended).0);
+        assert_ne!(sha1(&data).0, sha1(&extended).0);
     }
+}
 
-    // ---- QoS ------------------------------------------------------
+// ---- QoS ------------------------------------------------------
 
-    /// The loss transform is a monotone bijection on [0, 1).
-    #[test]
-    fn loss_transform_bijection(p in 0.0f64..0.999) {
+/// The loss transform is a monotone bijection on [0, 1).
+#[test]
+fn loss_transform_bijection() {
+    let mut rng = prop_rng("loss-bijection");
+    for _ in 0..CASES {
+        let p = rng.gen_range(0.0f64..0.999);
         let a = loss_to_additive(p);
-        prop_assert!(a >= 0.0);
-        prop_assert!((additive_to_loss(a) - p).abs() < 1e-9);
+        assert!(a >= 0.0);
+        assert!((additive_to_loss(a) - p).abs() < 1e-9, "p={p}");
     }
+}
 
-    /// Additive-domain sums equal multiplicative-domain composition.
-    #[test]
-    fn loss_composition(p1 in 0.0f64..0.9, p2 in 0.0f64..0.9) {
+/// Additive-domain sums equal multiplicative-domain composition.
+#[test]
+fn loss_composition() {
+    let mut rng = prop_rng("loss-composition");
+    for _ in 0..CASES {
+        let p1 = rng.gen_range(0.0f64..0.9);
+        let p2 = rng.gen_range(0.0f64..0.9);
         let composed = 1.0 - (1.0 - p1) * (1.0 - p2);
         let sum = loss_to_additive(p1) + loss_to_additive(p2);
-        prop_assert!((loss_to_additive(composed) - sum).abs() < 1e-9);
+        assert!((loss_to_additive(composed) - sum).abs() < 1e-9, "p1={p1} p2={p2}");
     }
+}
 
-    /// Accumulation is commutative and order-independent.
-    #[test]
-    fn qos_accumulation_commutes(
-        a in proptest::collection::vec(0.0f64..1e6, 3),
-        b in proptest::collection::vec(0.0f64..1e6, 3),
-    ) {
+/// Accumulation is commutative and order-independent.
+#[test]
+fn qos_accumulation_commutes() {
+    let mut rng = prop_rng("qos-commute");
+    for _ in 0..CASES {
+        let a: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0f64..1e6)).collect();
+        let b: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0f64..1e6)).collect();
         let mut x = QosVector::from_values(a.clone());
         x.accumulate(&QosVector::from_values(b.clone()));
         let mut y = QosVector::from_values(b);
         y.accumulate(&QosVector::from_values(a));
         for (u, v) in x.values().iter().zip(y.values()) {
-            prop_assert!((u - v).abs() < 1e-9);
+            assert!((u - v).abs() < 1e-9);
         }
     }
+}
 
-    /// A requirement satisfied by q stays satisfied by anything
-    /// dominated by q.
-    #[test]
-    fn qos_satisfaction_is_monotone(
-        bounds in proptest::collection::vec(1.0f64..1e3, 2),
-        frac in 0.0f64..1.0,
-    ) {
+/// A requirement satisfied by q stays satisfied by anything dominated by q.
+#[test]
+fn qos_satisfaction_is_monotone() {
+    let mut rng = prop_rng("qos-monotone");
+    for _ in 0..CASES {
+        let bounds: Vec<f64> = (0..2).map(|_| rng.gen_range(1.0f64..1e3)).collect();
+        let frac = rng.gen_range(0.0f64..1.0);
         let req = QosRequirement::new(bounds.clone()).unwrap();
         let at_bound = QosVector::from_values(bounds.clone());
         let scaled = QosVector::from_values(bounds.iter().map(|b| b * frac).collect());
-        prop_assert!(req.is_satisfied_by(&at_bound));
-        prop_assert!(req.is_satisfied_by(&scaled));
+        assert!(req.is_satisfied_by(&at_bound));
+        assert!(req.is_satisfied_by(&scaled));
     }
+}
 
-    // ---- resources -------------------------------------------------
+// ---- resources -------------------------------------------------
 
-    /// fits_within is antisymmetric under strict domination and add/sub
-    /// round-trips.
-    #[test]
-    fn resource_arithmetic(c1 in 0.0f64..10.0, m1 in 0.0f64..100.0, c2 in 0.0f64..10.0, m2 in 0.0f64..100.0) {
+/// fits_within is antisymmetric under strict domination and add/sub
+/// round-trips.
+#[test]
+fn resource_arithmetic() {
+    let mut rng = prop_rng("resources");
+    for _ in 0..CASES {
+        let (c1, m1) = (rng.gen_range(0.0f64..10.0), rng.gen_range(0.0f64..100.0));
+        let (c2, m2) = (rng.gen_range(0.0f64..10.0), rng.gen_range(0.0f64..100.0));
         let a = ResourceVector::new(c1, m1);
         let b = ResourceVector::new(c2, m2);
         let sum = a.add(&b);
-        prop_assert!(a.fits_within(&sum));
-        prop_assert!(b.fits_within(&sum));
+        assert!(a.fits_within(&sum));
+        assert!(b.fits_within(&sum));
         let back = sum.saturating_sub(&b);
-        prop_assert!((back.cpu() - c1).abs() < 1e-9);
-        prop_assert!((back.memory() - m1).abs() < 1e-9);
+        assert!((back.cpu() - c1).abs() < 1e-9);
+        assert!((back.memory() - m1).abs() < 1e-9);
     }
+}
 
-    // ---- function graphs -------------------------------------------
+// ---- function graphs -------------------------------------------
 
-    /// Linear chains of any size validate, are linear, and have exactly
-    /// one branch path covering all nodes in order.
-    #[test]
-    fn linear_chains_are_wellformed(k in 1usize..12) {
+/// Linear chains of any size validate, are linear, and have exactly one
+/// branch path covering all nodes in order.
+#[test]
+fn linear_chains_are_wellformed() {
+    for k in 1usize..12 {
         let g = FunctionGraph::linear(k);
-        prop_assert!(g.is_linear());
+        assert!(g.is_linear());
         let paths = g.branch_paths();
-        prop_assert_eq!(paths.len(), 1);
-        prop_assert_eq!(&paths[0], &(0..k).collect::<Vec<_>>());
-        prop_assert_eq!(g.topo_order().unwrap().len(), k);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(&paths[0], &(0..k).collect::<Vec<_>>());
+        assert_eq!(g.topo_order().unwrap().len(), k);
     }
+}
 
-    /// Every enumerated pattern is a permutation of the original functions
-    /// and acyclic.
-    #[test]
-    fn patterns_are_acyclic_permutations(k in 2usize..6, swaps in proptest::collection::vec((0usize..6, 0usize..6), 0..3)) {
-        let commutations: Vec<(usize, usize)> = swaps
-            .into_iter()
-            .map(|(a, b)| (a % k, b % k))
+/// Every enumerated pattern is a permutation of the original functions and
+/// acyclic.
+#[test]
+fn patterns_are_acyclic_permutations() {
+    let mut rng = prop_rng("patterns");
+    for _ in 0..CASES {
+        let k = rng.gen_range(2usize..6);
+        let n_swaps = rng.gen_range(0usize..3);
+        let commutations: Vec<(usize, usize)> = (0..n_swaps)
+            .map(|_| (rng.gen_range(0usize..6) % k, rng.gen_range(0usize..6) % k))
             .filter(|(a, b)| a != b)
             .collect();
         let Ok(g) = FunctionGraph::new(
@@ -119,40 +166,49 @@ proptest! {
             (0..k - 1).map(|i| (i, i + 1)).collect(),
             commutations,
         ) else {
-            return Ok(());
+            continue;
         };
         let mut base: Vec<u64> = g.functions().iter().map(|f| f.raw()).collect();
         base.sort_unstable();
         for p in g.patterns() {
-            prop_assert!(p.topo_order().is_some());
+            assert!(p.topo_order().is_some());
             let mut fs: Vec<u64> = p.functions().iter().map(|f| f.raw()).collect();
             fs.sort_unstable();
-            prop_assert_eq!(&fs, &base);
+            assert_eq!(&fs, &base);
         }
     }
+}
 
-    // ---- merge -----------------------------------------------------
+// ---- merge -----------------------------------------------------
 
-    /// Merged assignments agree with some candidate on every branch.
-    #[test]
-    fn merge_respects_branch_candidates(n_cands in 1usize..6) {
+/// Merged assignments agree with some candidate on every branch.
+#[test]
+fn merge_respects_branch_candidates() {
+    for n_cands in 1usize..6 {
         let pattern = FunctionGraph::linear(2);
         let branches = pattern.branch_paths();
         let cands: Vec<Vec<(usize, ComponentId)>> = (0..n_cands)
             .map(|i| vec![(0, ComponentId::new(i as u64)), (1, ComponentId::new(100 + i as u64))])
             .collect();
         let merged = merge_branches(&pattern, &branches, std::slice::from_ref(&cands), 100);
-        prop_assert_eq!(merged.len(), n_cands);
+        assert_eq!(merged.len(), n_cands);
         for m in merged {
-            prop_assert!(cands.iter().any(|c| c[0].1 == m[0] && c[1].1 == m[1]));
+            assert!(cands.iter().any(|c| c[0].1 == m[0] && c[1].1 == m[1]));
         }
     }
+}
 
-    // ---- Eq. 2 -----------------------------------------------------
+// ---- Eq. 2 -----------------------------------------------------
 
-    /// γ is monotone in U and never exceeds C−1.
-    #[test]
-    fn gamma_bounds(u in 0.0f64..10.0, c in 1usize..50, delay in 0.0f64..1000.0, fail in 0.0f64..0.2) {
+/// γ is monotone in U and never exceeds C−1.
+#[test]
+fn gamma_bounds() {
+    let mut rng = prop_rng("gamma");
+    for _ in 0..CASES {
+        let u = rng.gen_range(0.0f64..10.0);
+        let c = rng.gen_range(1usize..50);
+        let delay = rng.gen_range(0.0f64..1000.0);
+        let fail = rng.gen_range(0.0f64..0.2);
         let req = spidernet::core::CompositionRequest {
             source: PeerId::new(0),
             dest: PeerId::new(1),
@@ -168,27 +224,33 @@ proptest! {
             fits_resources: true,
         };
         let g = backup_count(&eval, &req, u, c);
-        prop_assert!(g < c);
+        assert!(g < c);
         let g2 = backup_count(&eval, &req, u + 1.0, c);
-        prop_assert!(g2 >= g);
+        assert!(g2 >= g);
     }
+}
 
-    // ---- soft allocations -------------------------------------------
+// ---- soft allocations -------------------------------------------
 
-    /// Arbitrary soft allocate/release interleavings never over-commit a
-    /// peer and fully restore availability when balanced.
-    #[test]
-    fn soft_allocations_never_overbook(ops in proptest::collection::vec((0u8..4, 0.0f64..0.5), 1..40)) {
-        let ip = generate_power_law(&InetConfig { nodes: 60, ..InetConfig::default() }, 1);
-        let overlay = Overlay::build(
-            &ip,
-            &OverlayConfig { peers: 10, style: OverlayStyle::Mesh { neighbors: 3 } },
-            1,
-        );
+/// Arbitrary soft allocate/release interleavings never over-commit a peer
+/// and fully restore availability when balanced.
+#[test]
+fn soft_allocations_never_overbook() {
+    let ip = generate_power_law(&InetConfig { nodes: 60, ..InetConfig::default() }, 1);
+    let overlay = Overlay::build(
+        &ip,
+        &OverlayConfig { peers: 10, style: OverlayStyle::Mesh { neighbors: 3 } },
+        1,
+    );
+    let mut rng = prop_rng("soft-alloc");
+    for _ in 0..40 {
         let mut state = OverlayState::new(&overlay, ResourceVector::new(1.0, 100.0));
         let peer = PeerId::new(0);
         let mut tokens = Vec::new();
-        for (op, amount) in ops {
+        let n_ops = rng.gen_range(1usize..40);
+        for _ in 0..n_ops {
+            let op = rng.gen_range(0u32..4);
+            let amount = rng.gen_range(0.0f64..0.5);
             match op {
                 0 | 1 => {
                     if let Ok(t) = state.soft_allocate(
@@ -209,8 +271,8 @@ proptest! {
                 }
             }
             let avail = state.available(peer);
-            prop_assert!(avail.cpu() >= -1e-9, "negative availability");
-            prop_assert!(avail.cpu() <= 1.0 + 1e-9, "availability above capacity");
+            assert!(avail.cpu() >= -1e-9, "negative availability");
+            assert!(avail.cpu() <= 1.0 + 1e-9, "availability above capacity");
         }
         for t in tokens {
             state.release_soft(t);
@@ -219,33 +281,48 @@ proptest! {
         // rounding.
         let avail = state.available(peer);
         let cap = state.capacity(peer);
-        prop_assert!((avail.cpu() - cap.cpu()).abs() < 1e-9);
-        prop_assert!((avail.memory() - cap.memory()).abs() < 1e-9);
+        assert!((avail.cpu() - cap.cpu()).abs() < 1e-9);
+        assert!((avail.memory() - cap.memory()).abs() < 1e-9);
     }
+}
 
-    // ---- DHT --------------------------------------------------------
+// ---- DHT --------------------------------------------------------
 
-    /// Routing from any start delivers at the globally responsible node.
-    #[test]
-    fn pastry_routes_to_responsible(key in any::<u128>(), start in 0u64..32) {
-        let peers: Vec<PeerId> = (0..32).map(PeerId::new).collect();
-        let net = PastryNetwork::build(&peers, &mut |_, _| 1.0);
+/// Routing from any start delivers at the globally responsible node.
+#[test]
+fn pastry_routes_to_responsible() {
+    let peers: Vec<PeerId> = (0..32).map(PeerId::new).collect();
+    let net = PastryNetwork::build(&peers, &mut |_, _| 1.0);
+    let mut rng = prop_rng("pastry-route");
+    for _ in 0..CASES {
+        let key = random_u128(&mut rng);
+        let start = rng.gen_range(0u64..32);
         let out = net.route(PeerId::new(start), NodeId::new(key), &mut |_, _| 1.0).unwrap();
-        prop_assert_eq!(out.destination(), net.responsible(NodeId::new(key)).unwrap());
+        assert_eq!(out.destination(), net.responsible(NodeId::new(key)).unwrap());
     }
+}
 
-    // ---- routing ----------------------------------------------------
+// ---- routing ----------------------------------------------------
 
-    /// Dijkstra satisfies the triangle inequality over sampled triples.
-    #[test]
-    fn shortest_paths_triangle_inequality(seed in 0u64..20, a in 0usize..50, b in 0usize..50, c in 0usize..50) {
+/// Dijkstra satisfies the triangle inequality over sampled triples.
+#[test]
+fn shortest_paths_triangle_inequality() {
+    let mut rng = prop_rng("triangle");
+    for seed in 0u64..10 {
         let g = generate_power_law(&InetConfig { nodes: 50, ..InetConfig::default() }, seed);
-        let from_a = dijkstra(&g, a);
-        let from_b = dijkstra(&g, b);
-        let ab = from_a.delay_to(b);
-        let bc = from_b.delay_to(c);
-        let ac = from_a.delay_to(c);
-        prop_assert!(ac <= ab + bc + 1e-9);
+        for _ in 0..8 {
+            let (a, b, c) = (
+                rng.gen_range(0usize..50),
+                rng.gen_range(0usize..50),
+                rng.gen_range(0usize..50),
+            );
+            let from_a = dijkstra(&g, a);
+            let from_b = dijkstra(&g, b);
+            let ab = from_a.delay_to(b);
+            let bc = from_b.delay_to(c);
+            let ac = from_a.delay_to(c);
+            assert!(ac <= ab + bc + 1e-9);
+        }
     }
 }
 
@@ -289,7 +366,6 @@ fn backups_never_contain_the_excluded_component() {
         fits_resources: true,
     };
     let primary = graph(0, 0);
-    #[allow(clippy::redundant_clone)]
     let pool: Vec<(ServiceGraph, GraphEval)> = (0..4)
         .flat_map(|a| (0..4).map(move |b| (a, b)))
         .filter(|&(a, b)| (a, b) != (0, 0))
@@ -317,19 +393,19 @@ fn backups_never_contain_the_excluded_component() {
 
 // ---- BCP protocol invariants over randomized worlds --------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Over random small worlds: complete probes never exceed the budget, the
+/// selected graph is qualified, and soft reservations never leak.
+#[test]
+fn bcp_invariants_hold_on_random_worlds() {
+    use spidernet::core::bcp::BcpConfig;
+    use spidernet::core::selection::is_qualified;
+    use spidernet::core::system::{SpiderNet, SpiderNetConfig};
+    use spidernet::core::workload::{random_request, PopulationConfig, RequestConfig};
 
-    /// Over random small worlds: complete probes never exceed the budget,
-    /// the selected graph is qualified, and soft reservations never leak.
-    #[test]
-    fn bcp_invariants_hold_on_random_worlds(seed in 0u64..500, budget in 1u32..40) {
-        use spidernet::core::bcp::BcpConfig;
-        use spidernet::core::selection::is_qualified;
-        use spidernet::core::system::{SpiderNet, SpiderNetConfig};
-        use spidernet::core::workload::{random_request, PopulationConfig, RequestConfig};
-        use spidernet::util::rng::rng_for;
-
+    let mut case_rng = prop_rng("bcp-worlds");
+    for _ in 0..12 {
+        let seed = case_rng.gen_range(0u64..500);
+        let budget = case_rng.gen_range(1u32..40);
         let mut net = SpiderNet::build(&SpiderNetConfig {
             ip_nodes: 200,
             peers: 40,
@@ -352,27 +428,32 @@ proptest! {
         let cfg = BcpConfig { budget, ..BcpConfig::default() };
         // Infeasible worlds (Err) are fine; invariants apply on success.
         if let Ok(out) = net.compose(&req, &cfg) {
-            prop_assert!(out.stats.complete_probes <= u64::from(budget) * 2,
+            assert!(
+                out.stats.complete_probes <= u64::from(budget) * 2,
                 "complete probes {} vastly exceed budget {budget} (patterns double it at most)",
-                out.stats.complete_probes);
-            prop_assert!(is_qualified(&out.eval, &req));
-            prop_assert!(out.stats.probes_sent >= out.stats.complete_probes);
+                out.stats.complete_probes
+            );
+            assert!(is_qualified(&out.eval, &req));
+            assert!(out.stats.probes_sent >= out.stats.complete_probes);
         }
         // No reservation leaks whatever happened.
-        prop_assert_eq!(net.state().soft_count(), 0);
+        assert_eq!(net.state().soft_count(), 0);
     }
+}
 
-    /// Pastry stays correct through arbitrary interleavings of departures
-    /// and arrivals: every key routes to the live node with the closest id.
-    #[test]
-    fn pastry_correct_under_churn_sequences(
-        ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..24),
-        probe in any::<u128>(),
-    ) {
+/// Pastry stays correct through arbitrary interleavings of departures and
+/// arrivals: every key routes to the live node with the closest id.
+#[test]
+fn pastry_correct_under_churn_sequences() {
+    let mut rng = prop_rng("pastry-churn");
+    for _ in 0..24 {
         let peers: Vec<PeerId> = (0..32).map(PeerId::new).collect();
         let mut net = PastryNetwork::build(&peers, &mut |_, _| 1.0);
         let mut next_new = 100u64;
-        for (arrive, pick) in ops {
+        let n_ops = rng.gen_range(1usize..24);
+        for _ in 0..n_ops {
+            let arrive = rng.gen::<bool>();
+            let pick = rng.gen_range(0u64..64);
             if arrive {
                 net.add_node(PeerId::new(next_new), &mut |_, _| 1.0);
                 next_new += 1;
@@ -387,32 +468,35 @@ proptest! {
                 net.remove_node(victim);
             }
         }
-        let key = NodeId::new(probe);
+        let key = NodeId::new(random_u128(&mut rng));
         let start = {
             let mut v: Vec<PeerId> = net.peers().collect();
             v.sort_unstable();
             v[0]
         };
         let out = net.route(start, key, &mut |_, _| 1.0).expect("routing must terminate");
-        prop_assert_eq!(out.destination(), net.responsible(key).unwrap());
+        assert_eq!(out.destination(), net.responsible(key).unwrap());
     }
+}
 
-    /// Media transforms preserve frame well-formedness for arbitrary sizes
-    /// and chain them safely.
-    #[test]
-    fn media_chains_stay_wellformed(
-        w in 1usize..40,
-        h in 1usize..40,
-        chain in proptest::collection::vec(0usize..6, 1..5),
-        seq in any::<u64>(),
-    ) {
-        use spidernet::runtime::media::{Frame, MediaFunction};
+/// Media transforms preserve frame well-formedness for arbitrary sizes and
+/// chain them safely.
+#[test]
+fn media_chains_stay_wellformed() {
+    use spidernet::runtime::media::{Frame, MediaFunction};
+    let mut rng = prop_rng("media-chains");
+    for _ in 0..CASES {
+        let w = rng.gen_range(1usize..40);
+        let h = rng.gen_range(1usize..40);
+        let len = rng.gen_range(1usize..5);
+        let chain: Vec<usize> = (0..len).map(|_| rng.gen_range(0usize..6)).collect();
+        let seq = rng.gen::<u64>();
         let mut f = Frame::synthetic(w, h, seq);
         for &i in &chain {
             f = MediaFunction::ALL[i].apply(&f);
-            prop_assert_eq!(f.byte_len(), f.width * f.height);
-            prop_assert!(f.width >= 1 && f.height >= 1);
-            prop_assert_eq!(f.seq, seq);
+            assert_eq!(f.byte_len(), f.width * f.height);
+            assert!(f.width >= 1 && f.height >= 1);
+            assert_eq!(f.seq, seq);
         }
     }
 }
