@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-397ae663030e92c5.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-397ae663030e92c5: tests/determinism.rs
+
+tests/determinism.rs:

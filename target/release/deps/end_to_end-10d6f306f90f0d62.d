@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-10d6f306f90f0d62.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-10d6f306f90f0d62: tests/end_to_end.rs
+
+tests/end_to_end.rs:

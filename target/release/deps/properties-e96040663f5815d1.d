@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-e96040663f5815d1.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-e96040663f5815d1: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_e2e-30f8740e057f36bd.d: tests/runtime_e2e.rs
+
+/root/repo/target/release/deps/runtime_e2e-30f8740e057f36bd: tests/runtime_e2e.rs
+
+tests/runtime_e2e.rs:

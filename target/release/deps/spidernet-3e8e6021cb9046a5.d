@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spidernet-3e8e6021cb9046a5.d: src/lib.rs
+
+/root/repo/target/release/deps/spidernet-3e8e6021cb9046a5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scientific_workflow-e3dc2ae437e70ac7.d: examples/scientific_workflow.rs
+
+/root/repo/target/release/examples/scientific_workflow-e3dc2ae437e70ac7: examples/scientific_workflow.rs
+
+examples/scientific_workflow.rs:

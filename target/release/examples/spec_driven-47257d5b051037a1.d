@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/spec_driven-47257d5b051037a1.d: examples/spec_driven.rs
+
+/root/repo/target/release/examples/spec_driven-47257d5b051037a1: examples/spec_driven.rs
+
+examples/spec_driven.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/video_streaming-33817707d36fc084.d: examples/video_streaming.rs
+
+/root/repo/target/release/examples/video_streaming-33817707d36fc084: examples/video_streaming.rs
+
+examples/video_streaming.rs:
