@@ -1,10 +1,14 @@
 //! Regenerates Fig. 10: wide-area session setup time vs function number on
 //! the threaded PlanetLab stand-in (102 peers).
 //!
-//! `cargo run --release -p spidernet-bench --bin fig10 [--paper]`
+//! `cargo run --release -p spidernet-bench --bin fig10 [--paper] [--csv] [--trace-json]`
+//!
+//! `--trace-json` writes `TRACE_fig10.json`: probe transmissions per
+//! composition session plus cluster trace-ring statistics.
 
-use spidernet_bench::{csv_requested, paper_scale_requested};
+use spidernet_bench::{csv_requested, paper_scale_requested, trace_json_requested};
 use spidernet_runtime::experiments::{run, Fig10Config};
+use spidernet_sim::TraceReport;
 
 fn main() {
     let mut cfg = Fig10Config::default();
@@ -16,6 +20,20 @@ fn main() {
         cfg.cluster.peers, cfg.requests_per_point
     );
     let res = run(&cfg);
+    if trace_json_requested() {
+        let mut rep = TraceReport::new("fig10");
+        let total: u64 = res.session_probes.iter().map(|&(_, p)| p).sum();
+        rep.counter("bcp.probes", total).session_columns(&["bcp.probes"]);
+        for &(session, probes) in &res.session_probes {
+            rep.session(session, &[probes]);
+        }
+        let (recorded, buffered, overwritten) = res.trace_stats;
+        rep.trace_stats(recorded, buffered, overwritten);
+        match rep.write() {
+            Ok(p) => eprintln!("fig10: wrote {}", p.display()),
+            Err(e) => eprintln!("fig10: could not write trace report: {e}"),
+        }
+    }
     if csv_requested() {
         print!("{}", res.to_csv());
     } else {

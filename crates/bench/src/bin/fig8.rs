@@ -1,14 +1,19 @@
 //! Regenerates Fig. 8: composition success rate vs workload for optimal,
 //! probing-0.2, probing-0.1, random, and static.
 //!
-//! `cargo run --release -p spidernet-bench --bin fig8 [--paper] [--csv] [--json]`
+//! `cargo run --release -p spidernet-bench --bin fig8 [--paper] [--csv] [--json] [--trace-json]`
 //!
 //! `--json` additionally times the harness sequentially and in parallel
 //! (the outputs are bit-identical either way) and writes the wall-time /
-//! throughput record to `BENCH_fig8.json`.
+//! throughput record to `BENCH_fig8.json`. `--trace-json` writes the
+//! merged protocol counters and DAG-shape histograms to `TRACE_fig8.json`.
 
-use spidernet_bench::{csv_requested, json_requested, paper_scale_requested, time_seq_par, BenchReport};
+use spidernet_bench::{
+    csv_requested, json_requested, paper_scale_requested, time_seq_par, trace_json_requested,
+    BenchReport,
+};
 use spidernet_core::experiments::fig8::{run, Fig8Config};
+use spidernet_sim::TraceReport;
 
 fn main() {
     let base = if paper_scale_requested() { Fig8Config::paper_scale() } else { Fig8Config::default() };
@@ -40,6 +45,14 @@ fn main() {
     } else {
         run(&base)
     };
+    if trace_json_requested() {
+        let mut rep = TraceReport::new("fig8");
+        rep.add_registry(&res.metrics);
+        match rep.write() {
+            Ok(p) => eprintln!("fig8: wrote {}", p.display()),
+            Err(e) => eprintln!("fig8: could not write trace report: {e}"),
+        }
+    }
     if csv_requested() {
         print!("{}", res.to_csv());
     } else {

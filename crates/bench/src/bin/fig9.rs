@@ -1,15 +1,21 @@
 //! Regenerates Fig. 9: failure frequency over time with and without
 //! proactive recovery under 1%-per-unit churn.
 //!
-//! `cargo run --release -p spidernet-bench --bin fig9 [--paper] [--csv] [--json]`
+//! `cargo run --release -p spidernet-bench --bin fig9 [--paper] [--csv] [--json] [--trace-json]`
 //!
 //! `--json` additionally times the harness sequentially and in parallel
 //! (the outputs are bit-identical either way) and writes the wall-time /
-//! throughput record to `BENCH_fig9.json`.
+//! throughput record to `BENCH_fig9.json`. `--trace-json` writes the
+//! merged protocol counters (probes, maintenance, switch latencies) to
+//! `TRACE_fig9.json`.
 
-use spidernet_bench::{csv_requested, json_requested, paper_scale_requested, time_seq_par, BenchReport};
+use spidernet_bench::{
+    csv_requested, json_requested, paper_scale_requested, time_seq_par, trace_json_requested,
+    BenchReport,
+};
 use spidernet_core::experiments::fig9::{run, Fig9Config};
 use spidernet_core::workload::PopulationConfig;
+use spidernet_sim::TraceReport;
 
 fn main() {
     let base = if paper_scale_requested() {
@@ -44,6 +50,14 @@ fn main() {
     } else {
         run(&base)
     };
+    if trace_json_requested() {
+        let mut rep = TraceReport::new("fig9");
+        rep.add_registry(&res.metrics);
+        match rep.write() {
+            Ok(p) => eprintln!("fig9: wrote {}", p.display()),
+            Err(e) => eprintln!("fig9: could not write trace report: {e}"),
+        }
+    }
     if csv_requested() {
         print!("{}", res.to_csv());
     } else {

@@ -1,10 +1,14 @@
 //! Regenerates the §6.1 overhead claim: SpiderNet's on-demand probing vs
 //! the centralized scheme's periodic global-state maintenance.
 //!
-//! `cargo run --release -p spidernet-bench --bin overhead [--paper]`
+//! `cargo run --release -p spidernet-bench --bin overhead [--paper] [--csv] [--trace-json]`
+//!
+//! `--trace-json` writes `TRACE_overhead.json`: the per-protocol message
+//! counters and the probes each composition session spent.
 
-use spidernet_bench::{csv_requested, paper_scale_requested};
+use spidernet_bench::{csv_requested, paper_scale_requested, trace_json_requested};
 use spidernet_core::experiments::overhead::{run, OverheadConfig};
+use spidernet_sim::TraceReport;
 
 fn main() {
     let cfg = if paper_scale_requested() {
@@ -14,6 +18,22 @@ fn main() {
     };
     eprintln!("overhead: {} peers, {} units", cfg.peers, cfg.duration_units);
     let res = run(&cfg);
+    if trace_json_requested() {
+        let mut rep = TraceReport::new("overhead");
+        rep.counter("bcp.probes", res.probe_messages)
+            .counter("dht.messages", res.dht_messages)
+            .counter("recovery.maintenance", res.maintenance_messages)
+            .counter("session.control", res.control_messages)
+            .counter("centralized.state_updates", res.centralized_total)
+            .session_columns(&["bcp.probes"]);
+        for &(session, probes) in &res.session_probes {
+            rep.session(session, &[probes]);
+        }
+        match rep.write() {
+            Ok(p) => eprintln!("overhead: wrote {}", p.display()),
+            Err(e) => eprintln!("overhead: could not write trace report: {e}"),
+        }
+    }
     if csv_requested() {
         print!("{}", res.to_csv());
     } else {

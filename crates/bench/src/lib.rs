@@ -28,6 +28,14 @@ pub fn json_requested() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
+/// True if the CLI was invoked with `--trace-json` (write a
+/// `TRACE_<fig>.json` observability report — merged protocol counters,
+/// DAG-shape histograms, and per-session probe rows — alongside the
+/// figure output).
+pub fn trace_json_requested() -> bool {
+    std::env::args().any(|a| a == "--trace-json")
+}
+
 /// Times one figure driver sequentially (1 worker thread) and again at the
 /// environment's thread count; returns
 /// `(sequential_secs, parallel_secs, threads, parallel_result)`.
@@ -97,12 +105,8 @@ impl BenchReport {
 /// A small, fast world shared by micro-benchmarks: 60 peers over a
 /// 300-node IP network, 12 functions.
 pub fn bench_world(seed: u64) -> SpiderNet {
-    let mut net = SpiderNet::build(&SpiderNetConfig {
-        ip_nodes: 300,
-        peers: 60,
-        seed,
-        ..SpiderNetConfig::default()
-    });
+    let mut net =
+        SpiderNet::build(&SpiderNetConfig::builder().ip_nodes(300).peers(60).seed(seed).build());
     net.populate(&PopulationConfig { functions: 12, ..PopulationConfig::default() });
     net
 }
@@ -119,7 +123,7 @@ pub fn bench_request_config() -> RequestConfig {
 
 /// The default BCP config micro-benchmarks use.
 pub fn bench_bcp() -> BcpConfig {
-    BcpConfig { budget: 16, ..BcpConfig::default() }
+    BcpConfig::builder().budget(16).build()
 }
 
 #[cfg(test)]

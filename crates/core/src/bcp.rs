@@ -29,8 +29,9 @@ use crate::selection::{evaluate, is_qualified, merge_branches, select_best};
 use crate::state::{OverlayState, SoftToken};
 use crate::trust::TrustManager;
 use spidernet_dht::{PastryNetwork, ServiceDirectory};
-use spidernet_sim::metrics::{counter, Metrics};
+use spidernet_sim::metrics::Instruments;
 use spidernet_sim::time::{SimDuration, SimTime};
+use spidernet_sim::trace::{DropReason, TraceEvent};
 use spidernet_topology::Overlay;
 use spidernet_util::error::{Error, Result};
 use spidernet_util::hash::{FxHashMap, FxHashSet};
@@ -71,7 +72,11 @@ pub enum LookupMode {
 }
 
 /// BCP tuning knobs.
+///
+/// Construct via [`BcpConfig::builder`] (the struct is `#[non_exhaustive]`
+/// so downstream crates stay source-compatible when knobs are added).
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct BcpConfig {
     /// Probing budget β: total probes a request may use.
     pub budget: u32,
@@ -119,6 +124,83 @@ impl Default for BcpConfig {
             min_trust: 0.0,
             soft_allocation: true,
         }
+    }
+}
+
+impl BcpConfig {
+    /// A builder seeded with the defaults.
+    pub fn builder() -> BcpConfigBuilder {
+        BcpConfigBuilder { cfg: BcpConfig::default() }
+    }
+}
+
+/// Builder for [`BcpConfig`]; every setter defaults to the paper's values.
+#[derive(Clone, Debug)]
+pub struct BcpConfigBuilder {
+    cfg: BcpConfig,
+}
+
+impl BcpConfigBuilder {
+    /// Probing budget β.
+    pub fn budget(mut self, budget: u32) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// Per-function quota policy (α).
+    pub fn quota(mut self, quota: QuotaPolicy) -> Self {
+        self.cfg.quota = quota;
+        self
+    }
+
+    /// Soft-reservation lifetime.
+    pub fn soft_ttl(mut self, ttl: SimDuration) -> Self {
+        self.cfg.soft_ttl = ttl;
+        self
+    }
+
+    /// Next-hop metric weights (delay, failure, load).
+    pub fn hop_weights(mut self, w_delay: f64, w_failure: f64, w_load: f64) -> Self {
+        self.cfg.w_delay = w_delay;
+        self.cfg.w_failure = w_failure;
+        self.cfg.w_load = w_load;
+        self
+    }
+
+    /// Cap on merged complete graphs per pattern.
+    pub fn merge_cap(mut self, cap: usize) -> Self {
+        self.cfg.merge_cap = cap;
+        self
+    }
+
+    /// Replica-list resolution strategy.
+    pub fn lookup(mut self, mode: LookupMode) -> Self {
+        self.cfg.lookup = mode;
+        self
+    }
+
+    /// Fixed per-hop probe processing delay, ms.
+    pub fn hop_processing_ms(mut self, ms: f64) -> Self {
+        self.cfg.hop_processing_ms = ms;
+        self
+    }
+
+    /// Trust extension: metric weight and admission floor.
+    pub fn trust(mut self, w_trust: f64, min_trust: f64) -> Self {
+        self.cfg.w_trust = w_trust;
+        self.cfg.min_trust = min_trust;
+        self
+    }
+
+    /// Whether probes perform soft resource allocation.
+    pub fn soft_allocation(mut self, on: bool) -> Self {
+        self.cfg.soft_allocation = on;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> BcpConfig {
+        self.cfg
     }
 }
 
@@ -222,8 +304,10 @@ pub struct BcpEngine<'a> {
     pub paths: &'a mut PathTable,
     /// ψ weights.
     pub weights: &'a CostWeights,
-    /// Protocol-message accounting.
-    pub metrics: &'a mut Metrics,
+    /// Observability bundle: metrics registry, resolved handles, trace ring.
+    pub obs: &'a mut Instruments,
+    /// Session id trace/session-scoped events are attributed to.
+    pub session: u64,
     /// Current virtual time (for soft-reservation expiry).
     pub now: SimTime,
     /// Trust tables, when the trust extension is active.
@@ -257,11 +341,11 @@ impl BcpEngine<'_> {
             let mut transport = |a: PeerId, b: PeerId| self.paths.delay(self.overlay, a, b);
             let (metas, route) = self
                 .directory
-                .lookup(self.pastry, req.source, &name, &mut transport)
+                .lookup(self.pastry, req.source, &name, &mut transport, &mut self.obs.trace)
                 .ok_or_else(|| Error::Network("source is not a DHT member".into()))?;
             stats.dht_lookups += 1;
             stats.dht_messages += route.hops() as u64 + 1; // query hops + reply
-            self.metrics.add(counter::DHT_MESSAGES, route.hops() as u64 + 1);
+            self.obs.metrics.add(self.obs.counters.dht_messages, route.hops() as u64 + 1);
             // Lookups run in parallel; the phase lasts as long as the
             // slowest round trip.
             discovery_ms = discovery_ms.max(2.0 * route.latency_ms);
@@ -344,7 +428,7 @@ impl BcpEngine<'_> {
             // processing makes release-then-commit atomic; the reservations
             // already did their job gating admission during probing).
             for t in tokens.drain(..) {
-                self.state.release_soft(t);
+                self.state.release_soft(t, &mut self.obs.trace);
             }
 
             for assignment in merged {
@@ -368,7 +452,7 @@ impl BcpEngine<'_> {
         // Any tokens from the last pattern iteration were drained above;
         // drain again defensively in case of early exits.
         for t in tokens.drain(..) {
-            self.state.release_soft(t);
+            self.state.release_soft(t, &mut self.obs.trace);
         }
 
         match select_best(candidates) {
@@ -444,7 +528,12 @@ impl BcpEngine<'_> {
             // Final leg to the destination.
             let tail = self.paths.delay(self.overlay, at_peer, req.dest);
             stats.probes_sent += 1;
-            self.metrics.incr(counter::PROBES);
+            self.obs.metrics.incr(self.obs.counters.probes);
+            self.obs.trace.record(TraceEvent::ProbeSpawned {
+                session: self.session,
+                depth: pos as u16,
+                budget,
+            });
             let saved = st.qos.values()[dim::DELAY_MS];
             st.qos.values_mut()[dim::DELAY_MS] += tail;
             if req.qos_req.is_satisfied_by(&st.qos) {
@@ -455,6 +544,10 @@ impl BcpEngine<'_> {
                 });
             } else {
                 stats.dropped_qos += 1;
+                self.obs.trace.record(TraceEvent::ProbeDropped {
+                    session: self.session,
+                    reason: DropReason::Qos,
+                });
             }
             st.qos.values_mut()[dim::DELAY_MS] = saved;
             return;
@@ -470,11 +563,11 @@ impl BcpEngine<'_> {
             let name = self.reg.catalog().name(function).to_owned();
             let mut transport = |a: PeerId, b: PeerId| self.paths.delay(self.overlay, a, b);
             if let Some((_, route)) =
-                self.directory.lookup(self.pastry, at_peer, &name, &mut transport)
+                self.directory.lookup(self.pastry, at_peer, &name, &mut transport, &mut self.obs.trace)
             {
                 stats.dht_lookups += 1;
                 stats.dht_messages += route.hops() as u64 + 1;
-                self.metrics.add(counter::DHT_MESSAGES, route.hops() as u64 + 1);
+                self.obs.metrics.add(self.obs.counters.dht_messages, route.hops() as u64 + 1);
                 lookup_latency = 2.0 * route.latency_ms;
             }
         }
@@ -512,7 +605,12 @@ impl BcpEngine<'_> {
             for &(link_delay, _, cid, peer) in scored.iter().take(i_k) {
                 let comp = self.reg.get(cid);
                 stats.probes_sent += 1;
-                self.metrics.incr(counter::PROBES);
+                self.obs.metrics.incr(self.obs.counters.probes);
+                self.obs.trace.record(TraceEvent::ProbeSpawned {
+                    session: self.session,
+                    depth: pos as u16,
+                    budget: child_budget,
+                });
 
                 // Push this hop's QoS contribution in place, saving the
                 // prior values for the undo below.
@@ -526,10 +624,18 @@ impl BcpEngine<'_> {
                 // probes share them.
                 let admitted = if !req.qos_req.is_satisfied_by(&st.qos) {
                     stats.dropped_qos += 1;
+                    self.obs.trace.record(TraceEvent::ProbeDropped {
+                        session: self.session,
+                        reason: DropReason::Qos,
+                    });
                     false
                 } else if cfg.soft_allocation && !reserved.contains(&cid) {
-                    match self.state.soft_allocate(peer, comp.resources, self.now + cfg.soft_ttl)
-                    {
+                    match self.state.soft_allocate(
+                        peer,
+                        comp.resources,
+                        self.now + cfg.soft_ttl,
+                        &mut self.obs.trace,
+                    ) {
                         Ok(tok) => {
                             tokens.push(tok);
                             reserved.insert(cid);
@@ -537,6 +643,10 @@ impl BcpEngine<'_> {
                         }
                         Err(_) => {
                             stats.dropped_admission += 1;
+                            self.obs.trace.record(TraceEvent::ProbeDropped {
+                                session: self.session,
+                                reason: DropReason::Admission,
+                            });
                             false
                         }
                     }
@@ -594,7 +704,7 @@ mod tests {
         state: OverlayState,
         paths: PathTable,
         weights: CostWeights,
-        metrics: Metrics,
+        obs: Instruments,
     }
 
     fn world(funcs: u64, reps: u64) -> World {
@@ -635,6 +745,7 @@ mod tests {
                         &format!("fn-{f}"),
                         spidernet_dht::ServiceMeta { component: cid, peer, function: FunctionId::new(f) },
                         &mut transport,
+                        &mut spidernet_sim::trace::TraceBuffer::new(),
                     )
                     .unwrap();
             }
@@ -648,7 +759,7 @@ mod tests {
             state,
             paths,
             weights: CostWeights::uniform(),
-            metrics: Metrics::new(),
+            obs: Instruments::new(),
         }
     }
 
@@ -661,7 +772,8 @@ mod tests {
             state: &mut w.state,
             paths: &mut w.paths,
             weights: &w.weights,
-            metrics: &mut w.metrics,
+            obs: &mut w.obs,
+            session: 0,
             now: SimTime::ZERO,
             trust: None,
         }
@@ -968,7 +1080,7 @@ mod tests {
                 // Releasing the walk's reservations must restore resource
                 // state exactly.
                 for t in tokens.drain(..) {
-                    e.state.release_soft(t);
+                    e.state.release_soft(t, &mut e.obs.trace);
                 }
             }
 

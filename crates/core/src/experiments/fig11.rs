@@ -12,11 +12,11 @@
 use crate::bcp::{BcpConfig, QuotaPolicy};
 use crate::model::request::CompositionRequest;
 use crate::model::service_graph::{GraphEval, ServiceGraph};
-use crate::system::{SpiderNet, SpiderNetConfig};
+use crate::system::{CompositionOptions, SpiderNet, SpiderNetConfig};
 use crate::workload::{random_request, PopulationConfig, RequestConfig};
 use spidernet_util::par::par_map_with;
 use spidernet_util::qos::dim;
-use spidernet_util::rng::{rng_for, rng_for_trial};
+use spidernet_util::rng::rng_for;
 use spidernet_util::stats::Summary;
 use std::fmt;
 
@@ -148,15 +148,14 @@ fn world(cfg: &Fig11Config) -> (SpiderNet, Vec<CompositionRequest>) {
 /// The reference cell: random and optimal baselines over the request set.
 fn references(cfg: &Fig11Config) -> (f64, f64, f64) {
     let (mut net, requests) = world(cfg);
-    let mut rand_rng = rng_for(cfg.seed, "fig11-random");
     let mut random_sum = Summary::new();
     let mut optimal_sum = Summary::new();
     let mut probes_sum = Summary::new();
     for req in &requests {
-        if let Ok(out) = net.compose_random(req, &mut rand_rng) {
+        if let Ok(out) = net.compose_with(req, &CompositionOptions::random()) {
             random_sum.record(out.eval.qos[dim::DELAY_MS]);
         }
-        if let Ok(out) = net.compose_optimal(req, None) {
+        if let Ok(out) = net.compose_with(req, &CompositionOptions::optimal(None)) {
             optimal_sum.record(min_delay(&(out.best.clone(), out.eval.clone()), &out.qualified_pool));
             probes_sum.record(out.probes as f64);
         }
@@ -165,13 +164,8 @@ fn references(cfg: &Fig11Config) -> (f64, f64, f64) {
 }
 
 /// One budget cell of the sweep: BCP's mean minimum delay at `budget`.
-/// `trial` indexes the cell's private random-fallback stream.
-fn budget_cell(cfg: &Fig11Config, budget: u32, trial: u64) -> f64 {
+fn budget_cell(cfg: &Fig11Config, budget: u32) -> f64 {
     let (mut net, requests) = world(cfg);
-    // Each budget point owns an independent fallback stream so cells are
-    // self-contained trials (the sequential harness threaded one stream
-    // through the whole sweep, which no fan-out can reproduce).
-    let mut rand_rng = rng_for_trial(cfg.seed, "fig11-random-fallback", trial);
     let bcp = BcpConfig {
         budget,
         quota: QuotaPolicy::Uniform(budget.max(1)),
@@ -188,7 +182,7 @@ fn budget_cell(cfg: &Fig11Config, budget: u32, trial: u64) -> f64 {
                 // Budget too small to find anything qualified: fall
                 // back to the random pick's delay, mirroring the
                 // paper's "degenerates into the random algorithm".
-                if let Ok(out) = net.compose_random(req, &mut rand_rng) {
+                if let Ok(out) = net.compose_with(req, &CompositionOptions::random()) {
                     sum.record(out.eval.qos[dim::DELAY_MS]);
                 }
             }
@@ -201,22 +195,23 @@ fn budget_cell(cfg: &Fig11Config, budget: u32, trial: u64) -> f64 {
 enum Cell {
     /// Random + optimal baselines.
     References,
-    /// BCP at one budget (budget, trial index).
-    Budget(u32, u64),
+    /// BCP at one budget.
+    Budget(u32),
 }
 
 /// Runs the sweep. The reference baselines and every budget point are
 /// independent cells fanned out across the configured worker threads;
-/// results are identical for any thread count.
+/// results are identical for any thread count (each cell rebuilds its own
+/// world, so the per-network baseline stream restarts per cell).
 pub fn run(cfg: &Fig11Config) -> Fig11Result {
     let mut cells = vec![Cell::References];
-    cells.extend(cfg.budgets.iter().enumerate().map(|(i, &b)| Cell::Budget(b, i as u64)));
+    cells.extend(cfg.budgets.iter().map(|&b| Cell::Budget(b)));
     let mut outs = par_map_with(super::resolve_threads(cfg.threads), cells, |_, cell| match cell {
         Cell::References => {
             let (random_ms, optimal_ms, optimal_probes) = references(cfg);
             vec![random_ms, optimal_ms, optimal_probes]
         }
-        Cell::Budget(budget, trial) => vec![budget_cell(cfg, budget, trial)],
+        Cell::Budget(budget) => vec![budget_cell(cfg, budget)],
     })
     .into_iter();
 

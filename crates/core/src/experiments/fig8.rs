@@ -15,10 +15,10 @@
 
 use crate::bcp::{BcpConfig, LookupMode, QuotaPolicy};
 use crate::state::SessionAllocation;
-use crate::system::{SpiderNet, SpiderNetConfig};
+use crate::system::{CompositionOptions, SpiderNet, SpiderNetConfig};
 use crate::workload::{random_request, PopulationConfig, RequestConfig};
 use crate::{recovery, selection};
-use spidernet_sim::metrics::counter;
+use spidernet_sim::metrics::{counter, MetricsRegistry};
 use spidernet_util::par::par_map_with;
 use spidernet_util::rng::{rng_for, Rng};
 use std::collections::BTreeMap;
@@ -137,6 +137,9 @@ pub struct Fig8Result {
     /// Probe transmissions summed across every cell — harness throughput
     /// accounting (for `BENCH_fig8.json`), not part of the figure.
     pub total_probes: u64,
+    /// Protocol counters and histograms merged across every cell in
+    /// (workload, algorithm) order — the `--trace-json` exporter's input.
+    pub metrics: MetricsRegistry,
 }
 
 impl fmt::Display for Fig8Result {
@@ -197,7 +200,7 @@ fn fraction_budget(net: &SpiderNet, req: &crate::model::request::CompositionRequ
 
 /// Runs one algorithm at one workload point; returns its success rate and
 /// the probe transmissions it spent.
-fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> (f64, u64) {
+fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> (f64, u64, MetricsRegistry) {
     let mut net = SpiderNet::build(&SpiderNetConfig {
         ip_nodes: cfg.ip_nodes,
         peers: cfg.peers,
@@ -208,7 +211,6 @@ fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> (f64, u64) {
     // The request stream is seeded identically for every algorithm so they
     // face the same demand.
     let mut req_rng: Rng = rng_for(cfg.seed, "fig8-requests");
-    let mut algo_rng: Rng = rng_for(cfg.seed, "fig8-algo");
 
     let mut active: Vec<(u64, SessionAllocation)> = Vec::new();
     let mut successes = 0u64;
@@ -238,9 +240,10 @@ fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> (f64, u64) {
             // Each algorithm picks a graph; success = picked graph is
             // qualified AND its resources commit.
             let picked = match algo {
-                Algorithm::Optimal => {
-                    net.compose_optimal(&req, cfg.optimal_cap).ok().map(|o| (o.best, o.eval))
-                }
+                Algorithm::Optimal => net
+                    .compose_with(&req, &CompositionOptions::optimal(cfg.optimal_cap))
+                    .ok()
+                    .map(|o| (o.best, o.eval)),
                 Algorithm::Probing(fraction) => {
                     let budget = fraction_budget(&net, &req, fraction);
                     let bcp = BcpConfig {
@@ -253,12 +256,12 @@ fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> (f64, u64) {
                     net.compose(&req, &bcp).ok().map(|o| (o.best, o.eval))
                 }
                 Algorithm::Random => net
-                    .compose_random(&req, &mut algo_rng)
+                    .compose_with(&req, &CompositionOptions::random())
                     .ok()
                     .filter(|o| selection::is_qualified(&o.eval, &req))
                     .map(|o| (o.best, o.eval)),
                 Algorithm::Static => net
-                    .compose_static(&req)
+                    .compose_with(&req, &CompositionOptions::static_())
                     .ok()
                     .filter(|o| selection::is_qualified(&o.eval, &req))
                     .map(|o| (o.best, o.eval)),
@@ -275,7 +278,8 @@ fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> (f64, u64) {
             }
         }
     }
-    (successes as f64 / attempts.max(1) as f64, net.metrics().counter(counter::PROBES))
+    let rate = successes as f64 / attempts.max(1) as f64;
+    (rate, net.metrics().value(counter::PROBES), net.metrics().clone())
 }
 
 /// Runs the full figure.
@@ -297,17 +301,19 @@ pub fn run(cfg: &Fig8Config) -> Fig8Result {
 
     let mut rows = Vec::with_capacity(cfg.workloads.len());
     let mut total_probes = 0u64;
+    let mut metrics = MetricsRegistry::new();
     let mut it = rates.into_iter();
     for &workload in &cfg.workloads {
         let mut success = BTreeMap::new();
         for &algo in &cfg.algorithms {
-            let (rate, probes) = it.next().expect("one rate per cell");
+            let (rate, probes, reg) = it.next().expect("one rate per cell");
             total_probes += probes;
+            metrics.merge(&reg);
             success.insert(algo.label(), rate);
         }
         rows.push(Fig8Row { workload, success });
     }
-    Fig8Result { rows, total_probes }
+    Fig8Result { rows, total_probes, metrics }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use crate::workload::{random_request, PopulationConfig, RequestConfig};
 use spidernet_util::id::PeerId;
 use spidernet_util::par::par_map_with;
 use spidernet_util::rng::rng_for;
-use spidernet_sim::metrics::counter;
+use spidernet_sim::metrics::{counter, MetricsRegistry};
 use spidernet_sim::ChurnModel;
 use std::fmt;
 
@@ -89,6 +89,9 @@ pub struct Fig9Result {
     /// Probe transmissions summed across both arms — harness throughput
     /// accounting (for `BENCH_fig9.json`), not part of the figure.
     pub total_probes: u64,
+    /// Protocol counters and histograms merged across both arms (baseline
+    /// first, proactive second) — the `--trace-json` exporter's input.
+    pub metrics: MetricsRegistry,
 }
 
 impl fmt::Display for Fig9Result {
@@ -115,7 +118,7 @@ impl Fig9Result {
 }
 
 /// One simulation mode.
-fn run_mode(cfg: &Fig9Config, proactive: bool) -> (Vec<u64>, f64, f64, u64) {
+fn run_mode(cfg: &Fig9Config, proactive: bool) -> (Vec<u64>, f64, f64, u64, MetricsRegistry) {
     let recovery = RecoveryConfig {
         backup_upper_bound: if proactive { cfg.backup_upper_bound } else { 0.0 },
         ..RecoveryConfig::default()
@@ -189,7 +192,8 @@ fn run_mode(cfg: &Fig9Config, proactive: bool) -> (Vec<u64>, f64, f64, u64) {
     }
 
     let ratio = if hits > 0 { recovered as f64 / hits as f64 } else { 1.0 };
-    (failures_per_unit, mean_backups, ratio, net.metrics().counter(counter::PROBES))
+    let probes = net.metrics().value(counter::PROBES);
+    (failures_per_unit, mean_backups, ratio, probes, net.metrics().clone())
 }
 
 /// Runs both modes over the same failure schedule.
@@ -203,15 +207,18 @@ pub fn run(cfg: &Fig9Config) -> Fig9Result {
         vec![false, true],
         |_, proactive| run_mode(cfg, proactive),
     );
-    let (with_recovery, mean_backups, recovery_ratio, probes_with) =
+    let (with_recovery, mean_backups, recovery_ratio, probes_with, reg_with) =
         arms.pop().expect("proactive arm");
-    let (without_recovery, _, _, probes_without) = arms.pop().expect("baseline arm");
+    let (without_recovery, _, _, probes_without, reg_without) = arms.pop().expect("baseline arm");
+    let mut metrics = reg_without;
+    metrics.merge(&reg_with);
     Fig9Result {
         without_recovery,
         with_recovery,
         mean_backups,
         recovery_ratio,
         total_probes: probes_with + probes_without,
+        metrics,
     }
 }
 
@@ -257,7 +264,7 @@ mod tests {
     #[test]
     fn without_recovery_mode_maintains_no_backups() {
         let cfg = tiny();
-        let (_, mean_backups, ratio, _) = run_mode(&cfg, false);
+        let (_, mean_backups, ratio, _, _) = run_mode(&cfg, false);
         assert_eq!(mean_backups, 0.0);
         // Either nothing was hit (ratio defaults to 1) or nothing could be
         // backup-recovered.

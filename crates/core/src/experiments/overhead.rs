@@ -90,6 +90,10 @@ pub struct OverheadResult {
     pub centralized_total: u64,
     /// centralized / spidernet.
     pub ratio: f64,
+    /// Probes spent per composition session `(session id, probes)`,
+    /// ascending by session — the per-session rows the `--trace-json`
+    /// exporter publishes.
+    pub session_probes: Vec<(u64, u64)>,
 }
 
 impl fmt::Display for OverheadResult {
@@ -132,6 +136,7 @@ pub fn run(cfg: &OverheadConfig) -> OverheadResult {
     });
     net.populate(&PopulationConfig { functions: cfg.functions, ..PopulationConfig::default() });
     net.reset_metrics(); // registration cost excluded from both sides
+    net.set_session_tracking(true); // per-session probe rows for the exporter
 
     // Mean overlay path length from peers to the central composer (peer 0):
     // the per-update transmission cost of the centralized scheme. Each
@@ -174,11 +179,17 @@ pub fn run(cfg: &OverheadConfig) -> OverheadResult {
         net.maintenance_tick();
     }
 
-    let probe_messages = net.metrics().counter(counter::PROBES);
-    let dht_messages = net.metrics().counter(counter::DHT_MESSAGES);
-    let maintenance_messages = net.metrics().counter(counter::MAINTENANCE);
-    let control_messages = net.metrics().counter(counter::CONTROL);
+    let probe_messages = net.metrics().value(counter::PROBES);
+    let dht_messages = net.metrics().value(counter::DHT_MESSAGES);
+    let maintenance_messages = net.metrics().value(counter::MAINTENANCE);
+    let control_messages = net.metrics().value(counter::CONTROL);
     let spidernet_total = probe_messages + dht_messages + maintenance_messages + control_messages;
+    let probe_handle = net.obs().counters.probes;
+    let session_probes: Vec<(u64, u64)> = net
+        .metrics()
+        .sessions()
+        .map(|(sid, _)| (sid, net.metrics().session_value(sid, probe_handle)))
+        .collect();
     let centralized_total = (centralized_state_messages(
         cfg.peers as u64,
         cfg.duration_units,
@@ -196,6 +207,7 @@ pub fn run(cfg: &OverheadConfig) -> OverheadResult {
         mean_update_hops,
         centralized_total,
         ratio: centralized_total as f64 / spidernet_total.max(1) as f64,
+        session_probes,
     }
 }
 
@@ -263,5 +275,9 @@ mod tests {
             res.probe_messages + res.dht_messages + res.maintenance_messages
                 + res.control_messages
         );
+        // Every probe was spent inside some composition session.
+        assert!(!res.session_probes.is_empty());
+        let per_session: u64 = res.session_probes.iter().map(|&(_, p)| p).sum();
+        assert_eq!(per_session, res.probe_messages);
     }
 }

@@ -23,8 +23,9 @@ use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
 use crate::paths::PathTable;
 use crate::selection::evaluate;
 use crate::state::{OverlayState, SessionAllocation};
-use spidernet_sim::metrics::{counter, Metrics};
+use spidernet_sim::metrics::Instruments;
 use spidernet_sim::time::SimDuration;
+use spidernet_sim::trace::TraceEvent;
 use spidernet_topology::Overlay;
 use spidernet_util::error::{Error, Result};
 use spidernet_util::id::{ComponentId, PeerId, SessionId};
@@ -33,6 +34,7 @@ use std::collections::BTreeMap;
 
 /// Recovery policy knobs.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct RecoveryConfig {
     /// U in Eq. 2: the configurable upper bound scale on backup count.
     pub backup_upper_bound: f64,
@@ -58,6 +60,56 @@ impl Default for RecoveryConfig {
             switch_delay_ms: 50.0,
             detection_delay_ms: 200.0,
         }
+    }
+}
+
+impl RecoveryConfig {
+    /// A builder seeded with the defaults.
+    pub fn builder() -> RecoveryConfigBuilder {
+        RecoveryConfigBuilder { cfg: RecoveryConfig::default() }
+    }
+}
+
+/// Builder for [`RecoveryConfig`].
+#[derive(Clone, Debug)]
+pub struct RecoveryConfigBuilder {
+    cfg: RecoveryConfig,
+}
+
+impl RecoveryConfigBuilder {
+    /// U in Eq. 2.
+    pub fn backup_upper_bound(mut self, u: f64) -> Self {
+        self.cfg.backup_upper_bound = u;
+        self
+    }
+
+    /// Period of backup maintenance probing.
+    pub fn maintenance_period(mut self, p: SimDuration) -> Self {
+        self.cfg.maintenance_period = p;
+        self
+    }
+
+    /// Largest component-subset size the backup selector covers.
+    pub fn max_subset_size(mut self, k: usize) -> Self {
+        self.cfg.max_subset_size = k;
+        self
+    }
+
+    /// Stream switchover time, ms.
+    pub fn switch_delay_ms(mut self, ms: f64) -> Self {
+        self.cfg.switch_delay_ms = ms;
+        self
+    }
+
+    /// Failure detection time, ms.
+    pub fn detection_delay_ms(mut self, ms: f64) -> Self {
+        self.cfg.detection_delay_ms = ms;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> RecoveryConfig {
+        self.cfg
     }
 }
 
@@ -322,7 +374,7 @@ impl SessionManager {
         &mut self,
         reg: &Registry,
         state: &OverlayState,
-        metrics: &mut Metrics,
+        obs: &mut Instruments,
     ) -> u64 {
         let mut messages = 0u64;
         for s in self.sessions.values_mut() {
@@ -347,7 +399,7 @@ impl SessionManager {
                 }
             }
         }
-        metrics.add(counter::MAINTENANCE, messages);
+        obs.metrics.add(obs.counters.maintenance, messages);
         messages
     }
 
@@ -365,6 +417,7 @@ impl SessionManager {
         paths: &mut PathTable,
         state: &mut OverlayState,
         weights: &CostWeights,
+        obs: &mut Instruments,
     ) -> Vec<(SessionId, FailureOutcome)> {
         let affected: Vec<SessionId> = self
             .sessions
@@ -374,20 +427,23 @@ impl SessionManager {
             .collect();
         let mut outcomes = Vec::with_capacity(affected.len());
         for id in affected {
-            let outcome = self.switch_to_backup(id, reg, overlay, paths, state, weights);
+            let outcome = self.switch_to_backup(id, peer, reg, overlay, paths, state, weights, obs);
             outcomes.push((id, outcome));
         }
         outcomes
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn switch_to_backup(
         &mut self,
         id: SessionId,
+        failed: PeerId,
         reg: &Registry,
         overlay: &Overlay,
         paths: &mut PathTable,
         state: &mut OverlayState,
         weights: &CostWeights,
+        obs: &mut Instruments,
     ) -> FailureOutcome {
         let s = self.sessions.get_mut(&id).expect("caller verified membership");
         // The broken primary's resources are released (dead peer entries
@@ -408,14 +464,24 @@ impl SessionManager {
                     s.primary = graph;
                     s.eval = eval;
                     s.allocation = alloc;
-                    return FailureOutcome::RecoveredByBackup {
-                        rank,
-                        // Detection precedes the switch; trying dead
-                        // backups first costs one maintenance-status check
-                        // each (they are known-dead from probing, so no
-                        // extra round trip).
-                        switch_ms: self.cfg.detection_delay_ms + self.cfg.switch_delay_ms,
-                    };
+                    // Detection precedes the switch; trying dead backups
+                    // first costs one maintenance-status check each (they
+                    // are known-dead from probing, so no extra round trip).
+                    let switch_ms = self.cfg.detection_delay_ms + self.cfg.switch_delay_ms;
+                    let new_head = s
+                        .primary
+                        .assignment
+                        .first()
+                        .map(|&c| reg.get(c).peer.raw())
+                        .unwrap_or(0);
+                    obs.metrics.observe(obs.counters.switch_ms, switch_ms);
+                    obs.trace.record(TraceEvent::BackupSwitch {
+                        session: id.raw(),
+                        from: failed.raw(),
+                        to: new_head,
+                        latency_ms: switch_ms,
+                    });
+                    return FailureOutcome::RecoveredByBackup { rank, switch_ms };
                 }
             }
             rank += 1;
@@ -717,6 +783,7 @@ mod tests {
             &mut w.paths,
             &mut w.state,
             &w.weights,
+            &mut Instruments::new(),
         );
         assert_eq!(outcomes.len(), 1);
         assert!(matches!(outcomes[0].1, FailureOutcome::RecoveredByBackup { .. }));
@@ -744,6 +811,7 @@ mod tests {
             &mut w.paths,
             &mut w.state,
             &w.weights,
+            &mut Instruments::new(),
         );
         assert_eq!(outcomes[0].1, FailureOutcome::NeedsReactive);
         // Reactive path: hand it a fresh graph.
@@ -772,6 +840,7 @@ mod tests {
             &mut w.paths,
             &mut w.state,
             &w.weights,
+            &mut Instruments::new(),
         );
         assert!(outcomes.is_empty());
         assert!(mgr.session(id).is_some());
@@ -797,10 +866,10 @@ mod tests {
             .find(|&p| !s.primary.contains_peer(p, &w.reg))
             .expect("some backup peer differs from primary");
         w.state.fail_peer(victim);
-        let mut metrics = Metrics::new();
-        let msgs = mgr.maintenance_tick(&w.reg, &w.state, &mut metrics);
+        let mut obs = Instruments::new();
+        let msgs = mgr.maintenance_tick(&w.reg, &w.state, &mut obs);
         assert!(msgs > 0);
-        assert_eq!(metrics.counter(counter::MAINTENANCE), msgs);
+        assert_eq!(obs.metrics.get(obs.counters.maintenance), msgs);
         let s = mgr.session(id).unwrap();
         assert!(
             s.backups.iter().all(|(g, _)| !g.contains_peer(victim, &w.reg)),

@@ -16,6 +16,7 @@
 //! probes that die mid-flight.
 
 use spidernet_sim::time::SimTime;
+use spidernet_sim::trace::{TraceBuffer, TraceEvent};
 use spidernet_topology::Overlay;
 use spidernet_util::error::{Error, Result};
 use spidernet_util::id::PeerId;
@@ -138,12 +139,14 @@ impl OverlayState {
     // --- soft (probe-time) reservations -------------------------------
 
     /// Attempts a soft reservation of `res` on `peer`, expiring at
-    /// `expires`. Fails if the peer is dead or lacks headroom.
+    /// `expires`. Fails if the peer is dead or lacks headroom. A
+    /// successful reservation records a [`TraceEvent::SoftAlloc`].
     pub fn soft_allocate(
         &mut self,
         peer: PeerId,
         res: ResourceVector,
         expires: SimTime,
+        trace: &mut TraceBuffer,
     ) -> Result<SoftToken> {
         if !self.alive[peer.index()] || !res.fits_within(&self.available(peer)) {
             return Err(Error::AdmissionRejected { peer: peer.raw() });
@@ -152,19 +155,22 @@ impl OverlayState {
         let token = SoftToken(self.next_token);
         self.next_token += 1;
         self.soft_allocs.insert(token, SoftAlloc { peer, res, expires });
+        trace.record(TraceEvent::SoftAlloc { peer: peer.raw() });
         Ok(token)
     }
 
-    /// Releases a soft reservation (no-op on an unknown/expired token).
-    pub fn release_soft(&mut self, token: SoftToken) {
+    /// Releases a soft reservation (no-op on an unknown/expired token),
+    /// recording a [`TraceEvent::SoftRelease`].
+    pub fn release_soft(&mut self, token: SoftToken, trace: &mut TraceBuffer) {
         if let Some(a) = self.soft_allocs.remove(&token) {
             self.soft[a.peer.index()] = self.soft[a.peer.index()].saturating_sub(&a.res);
+            trace.record(TraceEvent::SoftRelease { peer: a.peer.raw() });
         }
     }
 
     /// Drops every reservation whose deadline has passed. Returns how many
     /// expired.
-    pub fn expire_soft(&mut self, now: SimTime) -> usize {
+    pub fn expire_soft(&mut self, now: SimTime, trace: &mut TraceBuffer) -> usize {
         let expired: Vec<SoftToken> = self
             .soft_allocs
             .iter()
@@ -172,7 +178,7 @@ impl OverlayState {
             .map(|(t, _)| *t)
             .collect();
         for t in &expired {
-            self.release_soft(*t);
+            self.release_soft(*t, trace);
         }
         expired.len()
     }
@@ -300,10 +306,10 @@ mod tests {
     fn soft_allocation_reduces_availability_until_released() {
         let mut s = state();
         let p = PeerId::new(1);
-        let tok = s.soft_allocate(p, ResourceVector::new(0.4, 100.0), t(1000.0)).unwrap();
+        let tok = s.soft_allocate(p, ResourceVector::new(0.4, 100.0), t(1000.0), &mut TraceBuffer::new()).unwrap();
         let avail = s.available(p);
         assert!((avail.cpu() - 0.6).abs() < 1e-12);
-        s.release_soft(tok);
+        s.release_soft(tok, &mut TraceBuffer::new());
         assert_eq!(s.available(p), s.capacity(p));
     }
 
@@ -311,8 +317,8 @@ mod tests {
     fn soft_allocation_rejects_overcommit() {
         let mut s = state();
         let p = PeerId::new(2);
-        s.soft_allocate(p, ResourceVector::new(0.8, 10.0), t(1000.0)).unwrap();
-        let err = s.soft_allocate(p, ResourceVector::new(0.3, 10.0), t(1000.0));
+        s.soft_allocate(p, ResourceVector::new(0.8, 10.0), t(1000.0), &mut TraceBuffer::new()).unwrap();
+        let err = s.soft_allocate(p, ResourceVector::new(0.3, 10.0), t(1000.0), &mut TraceBuffer::new());
         assert_eq!(err.unwrap_err(), Error::AdmissionRejected { peer: 2 });
     }
 
@@ -323,17 +329,17 @@ mod tests {
         let mut s = state();
         let p = PeerId::new(3);
         let half = ResourceVector::new(0.6, 100.0);
-        assert!(s.soft_allocate(p, half, t(1000.0)).is_ok());
-        assert!(s.soft_allocate(p, half, t(1000.0)).is_err());
+        assert!(s.soft_allocate(p, half, t(1000.0), &mut TraceBuffer::new()).is_ok());
+        assert!(s.soft_allocate(p, half, t(1000.0), &mut TraceBuffer::new()).is_err());
     }
 
     #[test]
     fn expiry_drops_overdue_reservations() {
         let mut s = state();
         let p = PeerId::new(4);
-        s.soft_allocate(p, ResourceVector::new(0.5, 10.0), t(100.0)).unwrap();
-        s.soft_allocate(p, ResourceVector::new(0.3, 10.0), t(300.0)).unwrap();
-        assert_eq!(s.expire_soft(t(100.0)), 1);
+        s.soft_allocate(p, ResourceVector::new(0.5, 10.0), t(100.0), &mut TraceBuffer::new()).unwrap();
+        s.soft_allocate(p, ResourceVector::new(0.3, 10.0), t(300.0), &mut TraceBuffer::new()).unwrap();
+        assert_eq!(s.expire_soft(t(100.0), &mut TraceBuffer::new()), 1);
         assert_eq!(s.soft_count(), 1);
         assert!((s.available(p).cpu() - 0.7).abs() < 1e-12);
     }
@@ -342,9 +348,9 @@ mod tests {
     fn releasing_unknown_token_is_noop() {
         let mut s = state();
         let p = PeerId::new(5);
-        let tok = s.soft_allocate(p, ResourceVector::new(0.1, 1.0), t(10.0)).unwrap();
-        s.release_soft(tok);
-        s.release_soft(tok); // double release
+        let tok = s.soft_allocate(p, ResourceVector::new(0.1, 1.0), t(10.0), &mut TraceBuffer::new()).unwrap();
+        s.release_soft(tok, &mut TraceBuffer::new());
+        s.release_soft(tok, &mut TraceBuffer::new()); // double release
         assert_eq!(s.available(p), s.capacity(p));
     }
 
@@ -355,7 +361,7 @@ mod tests {
         s.fail_peer(p);
         assert!(!s.is_alive(p));
         assert_eq!(s.available(p), ResourceVector::ZERO);
-        assert!(s.soft_allocate(p, ResourceVector::new(0.1, 1.0), t(10.0)).is_err());
+        assert!(s.soft_allocate(p, ResourceVector::new(0.1, 1.0), t(10.0), &mut TraceBuffer::new()).is_err());
         s.revive_peer(p);
         assert_eq!(s.available(p), s.capacity(p));
     }

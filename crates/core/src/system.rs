@@ -5,48 +5,50 @@
 //! This is the API examples and experiment drivers program against:
 //!
 //! ```
-//! use spidernet_core::system::{SpiderNet, SpiderNetConfig};
+//! use spidernet_core::system::{CompositionOptions, SpiderNet, SpiderNetConfig};
 //! use spidernet_core::workload::{self, PopulationConfig, RequestConfig};
 //! use spidernet_core::bcp::BcpConfig;
 //! use spidernet_util::rng::rng_for;
 //!
-//! let mut net = SpiderNet::build(&SpiderNetConfig {
-//!     ip_nodes: 200,
-//!     peers: 40,
-//!     seed: 7,
-//!     ..SpiderNetConfig::default()
-//! });
+//! let mut net = SpiderNet::build(
+//!     &SpiderNetConfig::builder().ip_nodes(200).peers(40).seed(7).build(),
+//! );
 //! net.populate(&PopulationConfig { functions: 20, ..Default::default() });
 //! let mut rng = rng_for(7, "doc");
 //! let req = workload::random_request(net.overlay(), net.registry(), &RequestConfig::default(), &mut rng);
-//! match net.compose(&req, &BcpConfig::default()) {
-//!     Ok(outcome) => println!("composed over {} components", outcome.best.assignment.len()),
+//! match net.compose_with(&req, &CompositionOptions::bcp(BcpConfig::default())) {
+//!     Ok(report) => println!("composed over {} components", report.best.assignment.len()),
 //!     Err(e) => println!("not composable: {e}"),
 //! }
 //! ```
 
-use crate::baselines::{self, BaselineContext, BaselineOutcome};
-use crate::bcp::{BcpConfig, BcpEngine, CompositionOutcome};
+use crate::baselines::{self, BaselineContext};
+use crate::bcp::{BcpConfig, BcpEngine, BcpStats, CompositionOutcome};
 use crate::model::component::{Registry, ServiceComponent};
 use crate::model::request::CompositionRequest;
-use crate::model::service_graph::CostWeights;
+use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
 use crate::paths::PathTable;
 use crate::recovery::{FailureOutcome, RecoveryConfig, SessionManager};
 use crate::state::OverlayState;
 use crate::trust::{Experience, TrustManager};
 use crate::workload::{populate, PopulationConfig};
 use spidernet_dht::{PastryNetwork, ServiceDirectory, ServiceMeta};
-use spidernet_sim::metrics::{counter, Metrics};
+use spidernet_sim::metrics::{Instruments, MetricsRegistry};
 use spidernet_sim::time::{SimDuration, SimTime};
+use spidernet_sim::trace::TraceEvent;
 use spidernet_topology::inet::{generate_power_law, InetConfig};
 use spidernet_topology::overlay::{Overlay, OverlayConfig, OverlayStyle};
 use spidernet_util::error::Result;
 use spidernet_util::id::{ComponentId, PeerId, SessionId};
 use spidernet_util::res::ResourceVector;
-use spidernet_util::rng::Rng;
+use spidernet_util::rng::{rng_for, Rng};
 
 /// End-to-end construction parameters.
+///
+/// Construct via [`SpiderNetConfig::builder`]; the struct is
+/// `#[non_exhaustive]` so new knobs do not break downstream crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct SpiderNetConfig {
     /// IP-layer nodes (paper: 10,000).
     pub ip_nodes: usize,
@@ -78,6 +80,150 @@ impl Default for SpiderNetConfig {
     }
 }
 
+impl SpiderNetConfig {
+    /// A builder seeded with the defaults (paper-scale topology).
+    pub fn builder() -> SpiderNetConfigBuilder {
+        SpiderNetConfigBuilder { cfg: SpiderNetConfig::default() }
+    }
+}
+
+/// Builder for [`SpiderNetConfig`].
+#[derive(Clone, Debug)]
+pub struct SpiderNetConfigBuilder {
+    cfg: SpiderNetConfig,
+}
+
+impl SpiderNetConfigBuilder {
+    /// IP-layer nodes.
+    pub fn ip_nodes(mut self, n: usize) -> Self {
+        self.cfg.ip_nodes = n;
+        self
+    }
+
+    /// Overlay peers.
+    pub fn peers(mut self, n: usize) -> Self {
+        self.cfg.peers = n;
+        self
+    }
+
+    /// Overlay wiring.
+    pub fn style(mut self, style: OverlayStyle) -> Self {
+        self.cfg.style = style;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Uniform peer capacity.
+    pub fn peer_capacity(mut self, cap: ResourceVector) -> Self {
+        self.cfg.peer_capacity = cap;
+        self
+    }
+
+    /// ψ weights.
+    pub fn weights(mut self, w: CostWeights) -> Self {
+        self.cfg.weights = w;
+        self
+    }
+
+    /// Recovery policy.
+    pub fn recovery(mut self, r: RecoveryConfig) -> Self {
+        self.cfg.recovery = r;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> SpiderNetConfig {
+        self.cfg
+    }
+}
+
+/// Which composition algorithm [`SpiderNet::compose_with`] runs.
+#[derive(Clone, Debug)]
+pub enum CompositionStrategy {
+    /// The BCP protocol (the paper's algorithm).
+    Bcp(BcpConfig),
+    /// Exhaustive flooding; `combo_cap` bounds enumeration for tests.
+    Optimal {
+        /// Optional cap on examined combinations.
+        combo_cap: Option<u64>,
+    },
+    /// Random functionally-correct pick (uses the overlay's internal
+    /// deterministic baseline stream).
+    Random,
+    /// First registered replica per function.
+    Static,
+}
+
+/// Unified parameter object for every composition entry point.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct CompositionOptions {
+    /// The algorithm to run.
+    pub strategy: CompositionStrategy,
+    /// Capture the trace events emitted during this composition into the
+    /// returned [`ComposeReport::trace`] (empty when the `trace` cargo
+    /// feature is off).
+    pub capture_trace: bool,
+}
+
+impl CompositionOptions {
+    /// BCP with the given tuning.
+    pub fn bcp(cfg: BcpConfig) -> Self {
+        CompositionOptions { strategy: CompositionStrategy::Bcp(cfg), capture_trace: false }
+    }
+
+    /// The optimal (exhaustive flooding) baseline.
+    pub fn optimal(combo_cap: Option<u64>) -> Self {
+        CompositionOptions {
+            strategy: CompositionStrategy::Optimal { combo_cap },
+            capture_trace: false,
+        }
+    }
+
+    /// The random baseline.
+    pub fn random() -> Self {
+        CompositionOptions { strategy: CompositionStrategy::Random, capture_trace: false }
+    }
+
+    /// The static baseline.
+    pub fn static_() -> Self {
+        CompositionOptions { strategy: CompositionStrategy::Static, capture_trace: false }
+    }
+
+    /// Enables trace capture on the report.
+    pub fn with_trace(mut self) -> Self {
+        self.capture_trace = true;
+        self
+    }
+}
+
+/// What one [`SpiderNet::compose_with`] call produced: the outcome plus
+/// the observability snapshot of the run.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct ComposeReport {
+    /// Observability session id the run's metrics/trace were scoped to.
+    pub session: u64,
+    /// The selected service graph.
+    pub best: ServiceGraph,
+    /// Its evaluation.
+    pub eval: GraphEval,
+    /// Remaining qualified graphs, cost-ordered (empty for random/static).
+    pub qualified_pool: Vec<(ServiceGraph, GraphEval)>,
+    /// Full BCP accounting (None for baselines).
+    pub stats: Option<BcpStats>,
+    /// Probe-equivalent overhead, comparable across strategies.
+    pub probes: u64,
+    /// Trace events emitted during the run, when
+    /// [`CompositionOptions::capture_trace`] was set.
+    pub trace: Vec<TraceEvent>,
+}
+
 /// The assembled SpiderNet middleware over one simulated overlay.
 pub struct SpiderNet {
     overlay: Overlay,
@@ -87,11 +233,15 @@ pub struct SpiderNet {
     state: OverlayState,
     paths: PathTable,
     weights: CostWeights,
-    metrics: Metrics,
+    obs: Instruments,
     sessions: SessionManager,
     trust: TrustManager,
     now: SimTime,
     seed: u64,
+    /// Monotonic observability-session id handed to each composition.
+    compose_seq: u64,
+    /// Deterministic stream backing the Random strategy.
+    baseline_rng: Rng,
 }
 
 impl SpiderNet {
@@ -123,11 +273,13 @@ impl SpiderNet {
             state,
             paths,
             weights: cfg.weights,
-            metrics: Metrics::new(),
+            obs: Instruments::new(),
             sessions: SessionManager::new(cfg.recovery.clone()),
             trust: TrustManager::new(0.98),
             now: SimTime::ZERO,
             seed: cfg.seed,
+            compose_seq: 0,
+            baseline_rng: rng_for(cfg.seed, "baseline-random"),
         }
     }
 
@@ -161,17 +313,137 @@ impl SpiderNet {
     }
 
     fn register_meta(&mut self, name: &str, meta: ServiceMeta) {
-        let SpiderNet { pastry, directory, paths, overlay, metrics, .. } = self;
+        let SpiderNet { pastry, directory, paths, overlay, obs, .. } = self;
         let mut transport = |a: PeerId, b: PeerId| paths.delay(overlay, a, b);
-        if let Some(route) = directory.register(pastry, name, meta, &mut transport) {
-            metrics.add(counter::DHT_MESSAGES, route.hops() as u64);
+        if let Some(route) = directory.register(pastry, name, meta, &mut transport, &mut obs.trace)
+        {
+            obs.metrics.add(obs.counters.dht_messages, route.hops() as u64);
         }
     }
 
     // --- composition ---------------------------------------------------
 
-    /// Runs the BCP protocol for `req`.
+    /// Runs the BCP protocol for `req` under a fresh observability session
+    /// scope. Thin wrapper over [`SpiderNet::compose_with`] for callers
+    /// that only need the raw BCP outcome.
     pub fn compose(&mut self, req: &CompositionRequest, cfg: &BcpConfig) -> Result<CompositionOutcome> {
+        let session = self.next_compose_session();
+        self.obs.metrics.begin_session(session);
+        let out = self.run_bcp(req, cfg, session);
+        self.obs.metrics.end_session();
+        out
+    }
+
+    /// Runs the strategy selected by `opts` for `req` and returns a
+    /// [`ComposeReport`] carrying the outcome plus the run's observability
+    /// snapshot. Every composition — BCP or baseline — is scoped to its
+    /// own metrics session and records the request's DAG shape.
+    pub fn compose_with(
+        &mut self,
+        req: &CompositionRequest,
+        opts: &CompositionOptions,
+    ) -> Result<ComposeReport> {
+        let session = self.next_compose_session();
+        self.obs.metrics.begin_session(session);
+        let mark = self.obs.trace.recorded();
+        self.obs.metrics.observe(
+            self.obs.counters.graph_nodes,
+            req.function_graph.functions().len() as f64,
+        );
+        self.obs.metrics.observe(
+            self.obs.counters.graph_branches,
+            req.function_graph.branch_paths().len() as f64,
+        );
+        let result = match &opts.strategy {
+            CompositionStrategy::Bcp(cfg) => {
+                self.run_bcp(req, cfg, session).map(|out| ComposeReport {
+                    session,
+                    best: out.best,
+                    eval: out.eval,
+                    qualified_pool: out.qualified_pool,
+                    probes: out.stats.probes_sent,
+                    stats: Some(out.stats),
+                    trace: Vec::new(),
+                })
+            }
+            CompositionStrategy::Optimal { combo_cap } => {
+                let mut ctx = BaselineContext {
+                    overlay: &self.overlay,
+                    reg: &self.reg,
+                    state: &self.state,
+                    paths: &mut self.paths,
+                    weights: &self.weights,
+                };
+                baselines::optimal(&mut ctx, req, *combo_cap).map(|out| ComposeReport {
+                    session,
+                    best: out.best,
+                    eval: out.eval,
+                    qualified_pool: out.qualified_pool,
+                    stats: None,
+                    probes: out.probes,
+                    trace: Vec::new(),
+                })
+            }
+            CompositionStrategy::Random => {
+                let mut ctx = BaselineContext {
+                    overlay: &self.overlay,
+                    reg: &self.reg,
+                    state: &self.state,
+                    paths: &mut self.paths,
+                    weights: &self.weights,
+                };
+                baselines::random(&mut ctx, req, &mut self.baseline_rng).map(|out| {
+                    ComposeReport {
+                        session,
+                        best: out.best,
+                        eval: out.eval,
+                        qualified_pool: out.qualified_pool,
+                        stats: None,
+                        probes: out.probes,
+                        trace: Vec::new(),
+                    }
+                })
+            }
+            CompositionStrategy::Static => {
+                let mut ctx = BaselineContext {
+                    overlay: &self.overlay,
+                    reg: &self.reg,
+                    state: &self.state,
+                    paths: &mut self.paths,
+                    weights: &self.weights,
+                };
+                baselines::static_(&mut ctx, req).map(|out| ComposeReport {
+                    session,
+                    best: out.best,
+                    eval: out.eval,
+                    qualified_pool: out.qualified_pool,
+                    stats: None,
+                    probes: out.probes,
+                    trace: Vec::new(),
+                })
+            }
+        };
+        self.obs.metrics.end_session();
+        result.map(|mut report| {
+            if opts.capture_trace {
+                report.trace = self.obs.trace.events_since(mark);
+            }
+            report
+        })
+    }
+
+    fn next_compose_session(&mut self) -> u64 {
+        let s = self.compose_seq;
+        self.compose_seq += 1;
+        s
+    }
+
+    fn run_bcp(
+        &mut self,
+        req: &CompositionRequest,
+        cfg: &BcpConfig,
+        session: u64,
+    ) -> Result<CompositionOutcome> {
         let mut engine = BcpEngine {
             overlay: &self.overlay,
             reg: &self.reg,
@@ -180,51 +452,12 @@ impl SpiderNet {
             state: &mut self.state,
             paths: &mut self.paths,
             weights: &self.weights,
-            metrics: &mut self.metrics,
+            obs: &mut self.obs,
+            session,
             now: self.now,
             trust: Some(&self.trust),
         };
         engine.compose(req, cfg)
-    }
-
-    /// The optimal (exhaustive flooding) baseline.
-    pub fn compose_optimal(
-        &mut self,
-        req: &CompositionRequest,
-        combo_cap: Option<u64>,
-    ) -> Result<BaselineOutcome> {
-        let mut ctx = BaselineContext {
-            overlay: &self.overlay,
-            reg: &self.reg,
-            state: &self.state,
-            paths: &mut self.paths,
-            weights: &self.weights,
-        };
-        baselines::optimal(&mut ctx, req, combo_cap)
-    }
-
-    /// The random baseline.
-    pub fn compose_random(&mut self, req: &CompositionRequest, rng: &mut Rng) -> Result<BaselineOutcome> {
-        let mut ctx = BaselineContext {
-            overlay: &self.overlay,
-            reg: &self.reg,
-            state: &self.state,
-            paths: &mut self.paths,
-            weights: &self.weights,
-        };
-        baselines::random(&mut ctx, req, rng)
-    }
-
-    /// The static baseline.
-    pub fn compose_static(&mut self, req: &CompositionRequest) -> Result<BaselineOutcome> {
-        let mut ctx = BaselineContext {
-            overlay: &self.overlay,
-            reg: &self.reg,
-            state: &self.state,
-            paths: &mut self.paths,
-            weights: &self.weights,
-        };
-        baselines::static_(&mut ctx, req)
     }
 
     // --- sessions --------------------------------------------------------
@@ -249,7 +482,8 @@ impl SpiderNet {
         // The ack travels the reversed service graph: one control message
         // per component plus the final hop to the source.
         if let Some(s) = self.sessions.session(id) {
-            self.metrics.add(counter::CONTROL, s.primary.assignment.len() as u64 + 1);
+            let n = s.primary.assignment.len() as u64 + 1;
+            self.obs.metrics.add(self.obs.counters.control, n);
         }
         Ok(id)
     }
@@ -293,6 +527,7 @@ impl SpiderNet {
             &mut self.paths,
             &mut self.state,
             &self.weights,
+            &mut self.obs,
         )
     }
 
@@ -327,13 +562,13 @@ impl SpiderNet {
     /// trust tables one step).
     pub fn maintenance_tick(&mut self) -> u64 {
         self.trust.decay_all();
-        self.sessions.maintenance_tick(&self.reg, &self.state, &mut self.metrics)
+        self.sessions.maintenance_tick(&self.reg, &self.state, &mut self.obs)
     }
 
     /// Advances virtual time, expiring overdue soft reservations.
     pub fn advance(&mut self, dt: SimDuration) {
         self.now += dt;
-        self.state.expire_soft(self.now);
+        self.state.expire_soft(self.now, &mut self.obs.trace);
     }
 
     // --- accessors -------------------------------------------------------
@@ -358,14 +593,30 @@ impl SpiderNet {
         &self.state
     }
 
-    /// Protocol metrics.
-    pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+    /// Protocol metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.obs.metrics
     }
 
-    /// Resets protocol metrics (between experiment phases).
+    /// The full observability bundle (metrics + resolved handles + trace).
+    pub fn obs(&self) -> &Instruments {
+        &self.obs
+    }
+
+    /// Mutable observability bundle (exporters, session-tracking toggles).
+    pub fn obs_mut(&mut self) -> &mut Instruments {
+        &mut self.obs
+    }
+
+    /// Enables or disables per-session metric rows (off by default).
+    pub fn set_session_tracking(&mut self, on: bool) {
+        self.obs.metrics.set_session_tracking(on);
+    }
+
+    /// Resets protocol metrics and the trace ring (between experiment
+    /// phases). Interned handles stay valid.
     pub fn reset_metrics(&mut self) {
-        self.metrics.reset();
+        self.obs.reset();
     }
 
     /// The session manager.
@@ -471,6 +722,7 @@ impl SpiderNet {
 mod tests {
     use super::*;
     use crate::workload::{random_request, RequestConfig};
+    use spidernet_sim::metrics::counter;
     use spidernet_util::rng::rng_for;
 
     fn small() -> SpiderNet {
@@ -506,8 +758,8 @@ mod tests {
         let outcome = net.compose(&req, &BcpConfig::default()).unwrap();
         let id = net.establish(&req, outcome).unwrap();
         assert_eq!(net.sessions().len(), 1);
-        assert!(net.metrics().counter(counter::PROBES) > 0);
-        assert!(net.metrics().counter(counter::CONTROL) > 0);
+        assert!(net.metrics().value(counter::PROBES) > 0);
+        assert!(net.metrics().value(counter::CONTROL) > 0);
         net.teardown(id).unwrap();
         assert!(net.sessions().is_empty());
     }
@@ -515,7 +767,7 @@ mod tests {
     #[test]
     fn dht_registration_costs_messages() {
         let net = small();
-        assert!(net.metrics().counter(counter::DHT_MESSAGES) > 0);
+        assert!(net.metrics().value(counter::DHT_MESSAGES) > 0);
         assert!(net.registry().len() >= 60);
     }
 
@@ -525,7 +777,9 @@ mod tests {
         let mut rng = rng_for(18, "sys");
         for _ in 0..5 {
             let req = loose_request(&net, &mut rng);
-            let Ok(opt) = net.compose_optimal(&req, None) else { continue };
+            let Ok(opt) = net.compose_with(&req, &CompositionOptions::optimal(None)) else {
+                continue;
+            };
             let bcp = net
                 .compose(
                     &req,
@@ -606,7 +860,12 @@ mod tests {
         let mut net = small();
         let p = PeerId::new(3);
         net.state_mut()
-            .soft_allocate(p, ResourceVector::new(0.1, 1.0), SimTime::from_ms(100.0))
+            .soft_allocate(
+                p,
+                ResourceVector::new(0.1, 1.0),
+                SimTime::from_ms(100.0),
+                &mut spidernet_sim::trace::TraceBuffer::new(),
+            )
             .unwrap();
         assert_eq!(net.state().soft_count(), 1);
         net.advance(SimDuration::from_ms(200.0));
@@ -662,6 +921,60 @@ mod tests {
         let msgs = net.maintenance_tick();
         // Messages only flow if backups exist; either way the counter is
         // consistent.
-        assert_eq!(net.metrics().counter(counter::MAINTENANCE), msgs);
+        assert_eq!(net.metrics().value(counter::MAINTENANCE), msgs);
+    }
+
+    #[test]
+    fn compose_with_scopes_sessions_and_reports() {
+        let mut net = small();
+        net.set_session_tracking(true);
+        let mut rng = rng_for(31, "sys-obs");
+        let req = loose_request(&net, &mut rng);
+        let opts = CompositionOptions::bcp(BcpConfig::default()).with_trace();
+        let a = net.compose_with(&req, &opts).unwrap();
+        let b = net.compose_with(&req, &opts).unwrap();
+        assert_ne!(a.session, b.session, "session ids must be unique");
+        let stats = a.stats.as_ref().expect("BCP runs carry stats");
+        assert!(a.probes > 0);
+        assert_eq!(a.probes, stats.probes_sent);
+        // The per-session probe row matches the run's own accounting.
+        let probes = net.obs().counters.probes;
+        assert_eq!(net.metrics().session_value(a.session, probes), stats.probes_sent);
+        #[cfg(feature = "trace")]
+        {
+            let spawned = a
+                .trace
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::ProbeSpawned { .. }))
+                .count() as u64;
+            assert_eq!(spawned, stats.probes_sent, "one ProbeSpawned per probe");
+            assert!(a
+                .trace
+                .iter()
+                .all(|e| !matches!(e, TraceEvent::ProbeSpawned { session, .. } if *session != a.session)));
+        }
+        // Baselines flow through the same entry point.
+        let r = net.compose_with(&req, &CompositionOptions::random()).unwrap();
+        assert!(r.stats.is_none());
+        assert_eq!(r.probes, 1);
+        let s = net.compose_with(&req, &CompositionOptions::static_()).unwrap();
+        assert_eq!(s.probes, 1);
+    }
+
+    #[test]
+    fn random_strategy_is_deterministic_per_seed() {
+        let pick = |seed: u64| {
+            let mut net = SpiderNet::build(&SpiderNetConfig {
+                ip_nodes: 300,
+                peers: 60,
+                seed,
+                ..SpiderNetConfig::default()
+            });
+            net.populate(&PopulationConfig { functions: 12, ..Default::default() });
+            let mut rng = rng_for(seed, "sys-rand");
+            let req = loose_request(&net, &mut rng);
+            net.compose_with(&req, &CompositionOptions::random()).unwrap().best.assignment
+        };
+        assert_eq!(pick(41), pick(41), "same seed must reproduce the random pick");
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::network::{PastryNetwork, RouteOutcome};
 use crate::nodeid::NodeId;
+use spidernet_sim::trace::TraceBuffer;
 use spidernet_util::hash::function_key;
 use spidernet_util::id::{ComponentId, FunctionId, PeerId};
 use std::collections::BTreeMap;
@@ -49,16 +50,18 @@ impl ServiceDirectory {
     }
 
     /// Registers a component under `function_name`, routing from the
-    /// hosting peer to the key's replica root. Returns the route taken.
+    /// hosting peer to the key's replica root. Returns the route taken;
+    /// the routing cost is recorded into `trace`.
     pub fn register(
         &mut self,
         net: &PastryNetwork,
         function_name: &str,
         meta: ServiceMeta,
         latency: &mut dyn FnMut(PeerId, PeerId) -> f64,
+        trace: &mut TraceBuffer,
     ) -> Option<RouteOutcome> {
         let key = function_key(function_name);
-        let out = net.route(meta.peer, NodeId::new(key), latency)?;
+        let out = net.route_traced(meta.peer, NodeId::new(key), latency, trace)?;
         let root = out.destination();
         let list = self.store.entry(root).or_default().entry(key).or_default();
         if !list.iter().any(|m| m.component == meta.component) {
@@ -68,16 +71,18 @@ impl ServiceDirectory {
     }
 
     /// Looks up the replica list for `function_name` from `from`. Returns
-    /// the metadata list (empty if nothing registered) and the query route.
+    /// the metadata list (empty if nothing registered) and the query route;
+    /// the routing cost is recorded into `trace`.
     pub fn lookup(
         &self,
         net: &PastryNetwork,
         from: PeerId,
         function_name: &str,
         latency: &mut dyn FnMut(PeerId, PeerId) -> f64,
+        trace: &mut TraceBuffer,
     ) -> Option<(Vec<ServiceMeta>, RouteOutcome)> {
         let key = function_key(function_name);
-        let out = net.route(from, NodeId::new(key), latency)?;
+        let out = net.route_traced(from, NodeId::new(key), latency, trace)?;
         let list = self
             .store
             .get(&out.destination())
@@ -170,61 +175,61 @@ mod tests {
     #[test]
     fn register_then_lookup_returns_all_replicas() {
         let (net, mut dir) = setup(32);
-        dir.register(&net, "transcode", meta(1, 3, 0), &mut flat).unwrap();
-        dir.register(&net, "transcode", meta(2, 9, 0), &mut flat).unwrap();
-        dir.register(&net, "filter", meta(3, 9, 1), &mut flat).unwrap();
+        dir.register(&net, "transcode", meta(1, 3, 0), &mut flat, &mut TraceBuffer::new()).unwrap();
+        dir.register(&net, "transcode", meta(2, 9, 0), &mut flat, &mut TraceBuffer::new()).unwrap();
+        dir.register(&net, "filter", meta(3, 9, 1), &mut flat, &mut TraceBuffer::new()).unwrap();
 
-        let (list, _) = dir.lookup(&net, PeerId::new(20), "transcode", &mut flat).unwrap();
+        let (list, _) = dir.lookup(&net, PeerId::new(20), "transcode", &mut flat, &mut TraceBuffer::new()).unwrap();
         let mut comps: Vec<u64> = list.iter().map(|m| m.component.raw()).collect();
         comps.sort_unstable();
         assert_eq!(comps, vec![1, 2]);
 
-        let (list, _) = dir.lookup(&net, PeerId::new(20), "filter", &mut flat).unwrap();
+        let (list, _) = dir.lookup(&net, PeerId::new(20), "filter", &mut flat, &mut TraceBuffer::new()).unwrap();
         assert_eq!(list.len(), 1);
     }
 
     #[test]
     fn replicas_of_one_function_share_one_root() {
         let (net, mut dir) = setup(32);
-        let o1 = dir.register(&net, "scale", meta(1, 0, 0), &mut flat).unwrap();
-        let o2 = dir.register(&net, "scale", meta(2, 17, 0), &mut flat).unwrap();
+        let o1 = dir.register(&net, "scale", meta(1, 0, 0), &mut flat, &mut TraceBuffer::new()).unwrap();
+        let o2 = dir.register(&net, "scale", meta(2, 17, 0), &mut flat, &mut TraceBuffer::new()).unwrap();
         assert_eq!(o1.destination(), o2.destination());
     }
 
     #[test]
     fn duplicate_registration_is_idempotent() {
         let (net, mut dir) = setup(16);
-        dir.register(&net, "f", meta(1, 2, 0), &mut flat).unwrap();
-        dir.register(&net, "f", meta(1, 2, 0), &mut flat).unwrap();
+        dir.register(&net, "f", meta(1, 2, 0), &mut flat, &mut TraceBuffer::new()).unwrap();
+        dir.register(&net, "f", meta(1, 2, 0), &mut flat, &mut TraceBuffer::new()).unwrap();
         assert_eq!(dir.total_entries(), 1);
     }
 
     #[test]
     fn unknown_function_yields_empty_list() {
         let (net, dir) = setup(16);
-        let (list, _) = dir.lookup(&net, PeerId::new(0), "nothing", &mut flat).unwrap();
+        let (list, _) = dir.lookup(&net, PeerId::new(0), "nothing", &mut flat, &mut TraceBuffer::new()).unwrap();
         assert!(list.is_empty());
     }
 
     #[test]
     fn lookup_cost_is_logarithmic_hops() {
         let (net, mut dir) = setup(128);
-        dir.register(&net, "f", meta(1, 0, 0), &mut flat).unwrap();
-        let (_, out) = dir.lookup(&net, PeerId::new(64), "f", &mut flat).unwrap();
+        dir.register(&net, "f", meta(1, 0, 0), &mut flat, &mut TraceBuffer::new()).unwrap();
+        let (_, out) = dir.lookup(&net, PeerId::new(64), "f", &mut flat, &mut TraceBuffer::new()).unwrap();
         assert!(out.hops() <= 5, "hops {}", out.hops());
     }
 
     #[test]
     fn departure_migrates_hosted_keys() {
         let (mut net, mut dir) = setup(48);
-        dir.register(&net, "g", meta(1, 5, 0), &mut flat).unwrap();
+        dir.register(&net, "g", meta(1, 5, 0), &mut flat, &mut TraceBuffer::new()).unwrap();
         let root = net
             .route(PeerId::new(5), NodeId::new(function_key("g")), &mut flat)
             .unwrap()
             .destination();
         net.remove_node(root);
         dir.handle_departure(&net, root);
-        let (list, out) = dir.lookup(&net, PeerId::new(1), "g", &mut flat).unwrap();
+        let (list, out) = dir.lookup(&net, PeerId::new(1), "g", &mut flat, &mut TraceBuffer::new()).unwrap();
         assert_eq!(list.len(), 1, "metadata lost after root departure");
         assert_ne!(out.destination(), root);
     }
@@ -232,11 +237,11 @@ mod tests {
     #[test]
     fn departure_drops_registrations_of_dead_components() {
         let (mut net, mut dir) = setup(48);
-        dir.register(&net, "g", meta(1, 5, 0), &mut flat).unwrap();
-        dir.register(&net, "g", meta(2, 6, 0), &mut flat).unwrap();
+        dir.register(&net, "g", meta(1, 5, 0), &mut flat, &mut TraceBuffer::new()).unwrap();
+        dir.register(&net, "g", meta(2, 6, 0), &mut flat, &mut TraceBuffer::new()).unwrap();
         net.remove_node(PeerId::new(5));
         dir.handle_departure(&net, PeerId::new(5));
-        let (list, _) = dir.lookup(&net, PeerId::new(1), "g", &mut flat).unwrap();
+        let (list, _) = dir.lookup(&net, PeerId::new(1), "g", &mut flat, &mut TraceBuffer::new()).unwrap();
         assert_eq!(list.len(), 1);
         assert_eq!(list[0].peer, PeerId::new(6));
     }
@@ -244,7 +249,7 @@ mod tests {
     #[test]
     fn arrival_migrates_keys_to_new_root() {
         let (mut net, mut dir) = setup(8);
-        dir.register(&net, "h", meta(1, 2, 0), &mut flat).unwrap();
+        dir.register(&net, "h", meta(1, 2, 0), &mut flat, &mut TraceBuffer::new()).unwrap();
         // Add nodes until the root for "h" changes.
         let key = NodeId::new(function_key("h"));
         let old_root = net.responsible(key).unwrap();
@@ -255,7 +260,7 @@ mod tests {
         }
         assert_ne!(net.responsible(key).unwrap(), old_root, "root never moved");
         dir.handle_arrival(&net);
-        let (list, _) = dir.lookup(&net, PeerId::new(0), "h", &mut flat).unwrap();
+        let (list, _) = dir.lookup(&net, PeerId::new(0), "h", &mut flat, &mut TraceBuffer::new()).unwrap();
         assert_eq!(list.len(), 1, "metadata lost after arrival migration");
     }
 }

@@ -10,6 +10,7 @@
 use crate::leafset::{LeafSet, DEFAULT_SIDE};
 use crate::nodeid::NodeId;
 use crate::routing_table::RoutingTable;
+use spidernet_sim::trace::{TraceBuffer, TraceEvent};
 use spidernet_util::id::PeerId;
 use std::collections::{BTreeMap, HashMap};
 
@@ -164,6 +165,21 @@ impl PastryNetwork {
         }
         // Routing loop — should be unreachable with consistent state.
         None
+    }
+
+    /// [`PastryNetwork::route`] plus observability: records a
+    /// [`TraceEvent::DhtLookup`] with the hop count into `trace` (a no-op
+    /// when the `trace` feature is off).
+    pub fn route_traced(
+        &self,
+        start: PeerId,
+        key: NodeId,
+        latency: &mut dyn FnMut(PeerId, PeerId) -> f64,
+        trace: &mut TraceBuffer,
+    ) -> Option<RouteOutcome> {
+        let out = self.route(start, key, latency)?;
+        trace.record(TraceEvent::DhtLookup { hops: out.hops() as u32 });
+        Some(out)
     }
 
     /// Pastry's per-hop decision from the live node `peer` toward `key`:

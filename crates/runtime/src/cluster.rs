@@ -18,10 +18,11 @@ use crate::media::{Frame, MediaFunction};
 use crate::msg::{Msg, Probe, ReplicaMeta};
 use crate::wan::WanModel;
 use spidernet_dht::{NodeId, PastryNetwork};
+use spidernet_sim::trace::{TraceBuffer, TraceEvent};
 use spidernet_util::hash::function_key;
 use spidernet_util::id::PeerId;
 use spidernet_util::rng::Rng;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -209,6 +210,12 @@ struct Shared {
     scale: f64,
     probes_sent: AtomicU64,
     dht_hops: AtomicU64,
+    /// Cluster-wide event ring. Actor threads record through a mutex —
+    /// protocol events are orders of magnitude rarer than frames, and with
+    /// the `trace` feature off the buffer is a ZST no-op anyway.
+    trace: Mutex<TraceBuffer>,
+    /// Probe transmissions attributed per composition session.
+    session_probes: Mutex<BTreeMap<u64, u64>>,
     cfg: ClusterConfig,
     functions: Vec<MediaFunction>,
 }
@@ -217,6 +224,16 @@ impl Shared {
     /// Milliseconds of *model* time since the cluster epoch.
     fn now_ms(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64() * 1_000.0 / self.scale
+    }
+
+    fn record(&self, ev: TraceEvent) {
+        self.trace.lock().unwrap().record(ev);
+    }
+
+    fn count_probe(&self, session: u64, depth: u16, budget: u32) {
+        self.probes_sent.fetch_add(1, Ordering::Relaxed);
+        *self.session_probes.lock().unwrap().entry(session).or_insert(0) += 1;
+        self.record(TraceEvent::ProbeSpawned { session, depth, budget });
     }
 }
 
@@ -395,6 +412,7 @@ impl PeerActor {
             }
             _ => {
                 // This peer is the key's root.
+                self.shared.record(TraceEvent::DhtLookup { hops });
                 let metas = self.store.get(&key.0).cloned().unwrap_or_default();
                 self.send(origin, Msg::DhtReply { query, metas });
             }
@@ -527,7 +545,7 @@ impl PeerActor {
     fn spawn_probes(&mut self, probe: Probe) {
         let pos = probe.pos;
         if pos == probe.chain.len() {
-            self.shared.probes_sent.fetch_add(1, Ordering::Relaxed);
+            self.shared.count_probe(probe.request, pos as u16, probe.budget);
             let dest = probe.dest;
             self.send(dest, Msg::Probe(probe));
             return;
@@ -557,7 +575,7 @@ impl PeerActor {
             child.pos = pos + 1;
             child.path.push(meta.peer);
             child.budget = child_budget;
-            self.shared.probes_sent.fetch_add(1, Ordering::Relaxed);
+            self.shared.count_probe(probe.request, pos as u16, child_budget);
             self.send(meta.peer, Msg::Probe(child));
         }
     }
@@ -681,6 +699,8 @@ impl PeerActor {
                     // believe alive; fall back to blind order otherwise.
                     let choice =
                         job.backup_alive.iter().position(|&alive| alive).unwrap_or(0);
+                    let from = job.paths[0].first().map(|p| p.raw()).unwrap_or(0);
+                    let latency_ms = now - job.last_progress_ms;
                     job.paths.remove(0);
                     // Promote the chosen backup to the front; liveness
                     // bookkeeping mirrors the path list (paths[i+1] ↔
@@ -695,6 +715,13 @@ impl PeerActor {
                     }
                     job.switches += 1;
                     job.last_progress_ms = now;
+                    let to = job.paths[0].first().map(|p| p.raw()).unwrap_or(0);
+                    self.shared.record(TraceEvent::BackupSwitch {
+                        session,
+                        from,
+                        to,
+                        latency_ms,
+                    });
                 }
                 if job.remaining == 0 {
                     job.phase = StreamPhase::Draining;
@@ -887,6 +914,8 @@ impl Cluster {
             scale: cfg.time_scale,
             probes_sent: AtomicU64::new(0),
             dht_hops: AtomicU64::new(0),
+            trace: Mutex::new(TraceBuffer::new()),
+            session_probes: Mutex::new(BTreeMap::new()),
             cfg: cfg.clone(),
             functions,
         });
@@ -1008,6 +1037,25 @@ impl Cluster {
     /// Total DHT routing steps so far.
     pub fn dht_hops(&self) -> u64 {
         self.shared.dht_hops.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the cluster-wide trace ring, oldest event first. Empty
+    /// when the `trace` feature is compiled out.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.shared.trace.lock().unwrap().events()
+    }
+
+    /// Trace-ring statistics `(recorded, buffered, overwritten)`.
+    pub fn trace_stats(&self) -> (u64, u64, u64) {
+        let t = self.shared.trace.lock().unwrap();
+        (t.recorded(), t.len() as u64, t.overwritten())
+    }
+
+    /// Probe transmissions per composition session, ascending by session
+    /// id. Kept regardless of the `trace` feature — the figure exporters
+    /// publish these rows.
+    pub fn session_probe_counts(&self) -> Vec<(u64, u64)> {
+        self.shared.session_probes.lock().unwrap().iter().map(|(&s, &p)| (s, p)).collect()
     }
 }
 

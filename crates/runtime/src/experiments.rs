@@ -69,6 +69,13 @@ pub struct Fig10Row {
 pub struct Fig10Result {
     /// One row per function count.
     pub rows: Vec<Fig10Row>,
+    /// Probe transmissions per composition session `(session id, probes)`,
+    /// ascending — the per-session rows the `--trace-json` exporter
+    /// publishes (includes the warm-up requests).
+    pub session_probes: Vec<(u64, u64)>,
+    /// Cluster trace-ring statistics `(recorded, buffered, overwritten)`;
+    /// all zero when the `trace` feature is compiled out.
+    pub trace_stats: (u64, u64, u64),
 }
 
 impl fmt::Display for Fig10Result {
@@ -170,7 +177,11 @@ pub fn run(cfg: &Fig10Config) -> Fig10Result {
             attempts: cfg.requests_per_point,
         });
     }
-    Fig10Result { rows }
+    Fig10Result {
+        rows,
+        session_probes: cluster.session_probe_counts(),
+        trace_stats: cluster.trace_stats(),
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +217,11 @@ mod tests {
         };
         let res = run(&cfg);
         assert_eq!(res.rows.len(), 2);
+        // Every successful setup spent probes inside its own session row.
+        assert!(!res.session_probes.is_empty());
+        assert!(res.session_probes.iter().all(|&(_, p)| p > 0));
+        #[cfg(feature = "trace")]
+        assert!(res.trace_stats.0 > 0, "no events traced");
         for r in &res.rows {
             assert!(r.successes > 0, "no successful setups at k={}", r.functions);
             assert!(r.discovery_ms > 0.0);

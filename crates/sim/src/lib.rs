@@ -12,18 +12,27 @@
 //!   overlay-routed latency;
 //! * [`churn`] — random peer-failure injection ("1% of peers fail per time
 //!   unit");
-//! * [`metrics`] — counters and summaries for protocol messages.
+//! * [`metrics`] — the interned counter/histogram registry for protocol
+//!   messages, with per-session scoping and deterministic merge;
+//! * [`trace`] — the typed protocol event ring (compiled out without the
+//!   `trace` cargo feature);
+//! * [`export`] — `TRACE_<name>.json` report rendering for the figure
+//!   binaries.
 
 #![warn(missing_docs)]
 
 pub mod churn;
 pub mod event;
+pub mod export;
 pub mod metrics;
 pub mod time;
+pub mod trace;
 pub mod transport;
 
 pub use churn::ChurnModel;
 pub use event::Scheduler;
-pub use metrics::Metrics;
+pub use export::TraceReport;
+pub use metrics::{Counter, Histogram, Instruments, MetricsRegistry, ProtocolCounters};
 pub use time::SimTime;
+pub use trace::{DropReason, TraceBuffer, TraceEvent};
 pub use transport::{OverlayTransport, Transport, UniformTransport};

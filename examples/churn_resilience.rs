@@ -16,12 +16,8 @@ use spidernet::util::rng::rng_for;
 
 fn main() {
     let seed = 2026;
-    let mut net = SpiderNet::build(&SpiderNetConfig {
-        ip_nodes: 800,
-        peers: 150,
-        seed,
-        ..SpiderNetConfig::default()
-    });
+    let mut net =
+        SpiderNet::build(&SpiderNetConfig::builder().ip_nodes(800).peers(150).seed(seed).build());
     net.populate(&PopulationConfig { functions: 25, ..PopulationConfig::default() });
 
     // Standing streaming sessions with requirements tight enough that
@@ -33,7 +29,7 @@ fn main() {
         max_failure_prob: 0.12,
         ..RequestConfig::default()
     };
-    let bcp = BcpConfig { budget: 64, ..BcpConfig::default() };
+    let bcp = BcpConfig::builder().budget(64).build();
     let mut rng = rng_for(seed, "sessions");
     let mut established = 0;
     while established < 60 {

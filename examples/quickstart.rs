@@ -16,12 +16,8 @@ use spidernet::util::res::ResourceVector;
 
 fn main() {
     // A 60-peer overlay promoted from a 400-node power-law IP network.
-    let mut net = SpiderNet::build(&SpiderNetConfig {
-        ip_nodes: 400,
-        peers: 60,
-        seed: 42,
-        ..SpiderNetConfig::default()
-    });
+    let mut net =
+        SpiderNet::build(&SpiderNetConfig::builder().ip_nodes(400).peers(60).seed(42).build());
 
     // Register three replicas each of "transcode", "watermark", "scale" on
     // distinct peers — the function names are hashed into DHT keys, so
@@ -64,7 +60,7 @@ fn main() {
 
     // Bounded composition probing with a budget of 8 probes.
     let outcome = net
-        .compose(&request, &BcpConfig { budget: 8, ..BcpConfig::default() })
+        .compose(&request, &BcpConfig::builder().budget(8).build())
         .expect("composition should succeed on this population");
 
     println!("composed service graph:");

@@ -16,12 +16,8 @@ use spidernet::util::qos::{QosRequirement, QosVector};
 use spidernet::util::res::ResourceVector;
 
 fn main() {
-    let mut net = SpiderNet::build(&SpiderNetConfig {
-        ip_nodes: 500,
-        peers: 80,
-        seed: 7,
-        ..SpiderNetConfig::default()
-    });
+    let mut net =
+        SpiderNet::build(&SpiderNetConfig::builder().ip_nodes(500).peers(80).seed(7).build());
 
     // A data-analysis workflow: ingest → {filter, normalize} → aggregate.
     // Filtering and normalization commute (order is exchangeable), giving
@@ -76,7 +72,7 @@ fn main() {
     };
 
     let outcome = net
-        .compose(&request, &BcpConfig { budget: 48, ..BcpConfig::default() })
+        .compose(&request, &BcpConfig::builder().budget(48).build())
         .expect("workflow should compose");
 
     println!("\nselected service graph (pattern order may differ from the request):");

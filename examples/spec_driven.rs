@@ -37,12 +37,8 @@ const SPEC: &str = "
 ";
 
 fn main() {
-    let mut net = SpiderNet::build(&SpiderNetConfig {
-        ip_nodes: 400,
-        peers: 70,
-        seed: 99,
-        ..SpiderNetConfig::default()
-    });
+    let mut net =
+        SpiderNet::build(&SpiderNetConfig::builder().ip_nodes(400).peers(70).seed(99).build());
 
     // Provision three replicas of each named function.
     for (fi, name) in ["classify", "enrich", "passthrough", "package"].iter().enumerate() {
@@ -77,7 +73,7 @@ fn main() {
     let request = spec.into_request(PeerId::new(0), PeerId::new(1)).expect("valid request");
 
     let outcome = net
-        .compose(&request, &BcpConfig { budget: 32, ..BcpConfig::default() })
+        .compose(&request, &BcpConfig::builder().budget(32).build())
         .expect("spec-driven composition succeeds");
     println!(
         "\nparallel semantics: worst-branch delay {:.1} ms, ψ {:.4}",

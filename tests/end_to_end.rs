@@ -6,18 +6,14 @@ use spidernet::core::baselines::centralized_state_messages;
 use spidernet::core::bcp::{BcpConfig, QuotaPolicy};
 use spidernet::core::recovery::FailureOutcome;
 use spidernet::core::selection::is_qualified;
-use spidernet::core::system::{SpiderNet, SpiderNetConfig};
+use spidernet::core::system::{CompositionOptions, SpiderNet, SpiderNetConfig};
 use spidernet::core::workload::{random_request, PopulationConfig, RequestConfig};
 use spidernet::sim::metrics::counter;
 use spidernet::util::rng::rng_for;
 
 fn build(seed: u64) -> SpiderNet {
-    let mut net = SpiderNet::build(&SpiderNetConfig {
-        ip_nodes: 400,
-        peers: 80,
-        seed,
-        ..SpiderNetConfig::default()
-    });
+    let mut net =
+        SpiderNet::build(&SpiderNetConfig::builder().ip_nodes(400).peers(80).seed(seed).build());
     net.populate(&PopulationConfig { functions: 16, ..PopulationConfig::default() });
     net
 }
@@ -67,7 +63,7 @@ fn bcp_never_finds_anything_optimal_misses_entirely() {
     let mut impossible = 0;
     for mut req in loose_requests(&net, 2, 12) {
         req.qos_req = spidernet::util::qos::QosRequirement::new(vec![0.01, 0.001]).unwrap();
-        assert!(net.compose_optimal(&req, None).is_err());
+        assert!(net.compose_with(&req, &CompositionOptions::optimal(None)).is_err());
         assert!(net.compose(&req, &BcpConfig::default()).is_err());
         impossible += 1;
     }
@@ -77,13 +73,14 @@ fn bcp_never_finds_anything_optimal_misses_entirely() {
 #[test]
 fn bcp_cost_is_sandwiched_between_optimal_and_random() {
     let mut net = build(3);
-    let mut rng = rng_for(3, "e2e-rand");
     let mut compared = 0;
     for req in loose_requests(&net, 3, 12) {
-        let Ok(opt) = net.compose_optimal(&req, Some(5_000)) else { continue };
+        let Ok(opt) = net.compose_with(&req, &CompositionOptions::optimal(Some(5_000))) else {
+            continue;
+        };
         let Ok(bcp) = net.compose(
             &req,
-            &BcpConfig { budget: 64, quota: QuotaPolicy::Uniform(8), ..BcpConfig::default() },
+            &BcpConfig::builder().budget(64).quota(QuotaPolicy::Uniform(8)).build(),
         ) else {
             continue;
         };
@@ -97,7 +94,8 @@ fn bcp_cost_is_sandwiched_between_optimal_and_random() {
         // BCP's ψ. Check the mean of several draws.
         let mut rand_sum = 0.0;
         for _ in 0..5 {
-            rand_sum += net.compose_random(&req, &mut rng).unwrap().eval.cost;
+            rand_sum +=
+                net.compose_with(&req, &CompositionOptions::random()).unwrap().eval.cost;
         }
         assert!(bcp.eval.cost <= rand_sum / 5.0 + 1e-9, "BCP worse than mean random pick");
         compared += 1;
@@ -140,12 +138,8 @@ fn session_lifecycle_conserves_resources() {
 
 #[test]
 fn churn_with_recovery_keeps_sessions_alive() {
-    let mut net = SpiderNet::build(&SpiderNetConfig {
-        ip_nodes: 400,
-        peers: 80,
-        seed: 5,
-        ..SpiderNetConfig::default()
-    });
+    let mut net =
+        SpiderNet::build(&SpiderNetConfig::builder().ip_nodes(400).peers(80).seed(5).build());
     net.populate(&PopulationConfig { functions: 16, ..PopulationConfig::default() });
     // Tight-ish bounds so Eq. 2 keeps backups.
     let cfg = RequestConfig {
@@ -155,7 +149,7 @@ fn churn_with_recovery_keeps_sessions_alive() {
         max_failure_prob: 0.12,
         ..RequestConfig::default()
     };
-    let bcp = BcpConfig { budget: 64, ..BcpConfig::default() };
+    let bcp = BcpConfig::builder().budget(64).build();
     let mut rng = rng_for(5, "e2e-churn");
     let mut established = 0;
     let mut guard = 0;
@@ -221,11 +215,11 @@ fn overhead_counters_track_protocol_activity() {
     }
     net.maintenance_tick();
     let m = net.metrics();
-    assert!(m.counter(counter::PROBES) > 0);
-    assert!(m.counter(counter::DHT_MESSAGES) > 0);
-    assert!(m.counter(counter::CONTROL) as usize >= established);
+    assert!(m.value(counter::PROBES) > 0);
+    assert!(m.value(counter::DHT_MESSAGES) > 0);
+    assert!(m.value(counter::CONTROL) as usize >= established);
     // The centralized alternative would have cost far more over any
     // realistic horizon.
     let centralized = centralized_state_messages(80, 1_000, 1);
-    assert!(centralized > m.counter(counter::PROBES));
+    assert!(centralized > m.value(counter::PROBES));
 }

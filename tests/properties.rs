@@ -13,6 +13,7 @@ use spidernet::core::selection::merge_branches;
 use spidernet::core::state::OverlayState;
 use spidernet::dht::{NodeId, PastryNetwork};
 use spidernet::sim::time::SimTime;
+use spidernet::sim::trace::TraceBuffer;
 use spidernet::topology::inet::{generate_power_law, InetConfig};
 use spidernet::topology::overlay::{Overlay, OverlayConfig, OverlayStyle};
 use spidernet::topology::routing::dijkstra;
@@ -245,6 +246,7 @@ fn soft_allocations_never_overbook() {
     let mut rng = prop_rng("soft-alloc");
     for _ in 0..40 {
         let mut state = OverlayState::new(&overlay, ResourceVector::new(1.0, 100.0));
+        let mut trace = TraceBuffer::new();
         let peer = PeerId::new(0);
         let mut tokens = Vec::new();
         let n_ops = rng.gen_range(1usize..40);
@@ -257,17 +259,18 @@ fn soft_allocations_never_overbook() {
                         peer,
                         ResourceVector::new(amount, amount * 10.0),
                         SimTime::from_secs(10),
+                        &mut trace,
                     ) {
                         tokens.push(t);
                     }
                 }
                 2 => {
                     if let Some(t) = tokens.pop() {
-                        state.release_soft(t);
+                        state.release_soft(t, &mut trace);
                     }
                 }
                 _ => {
-                    state.expire_soft(SimTime::ZERO); // nothing due yet
+                    state.expire_soft(SimTime::ZERO, &mut trace); // nothing due yet
                 }
             }
             let avail = state.available(peer);
@@ -275,7 +278,7 @@ fn soft_allocations_never_overbook() {
             assert!(avail.cpu() <= 1.0 + 1e-9, "availability above capacity");
         }
         for t in tokens {
-            state.release_soft(t);
+            state.release_soft(t, &mut trace);
         }
         // Balanced allocate/release restores availability up to float
         // rounding.
@@ -406,12 +409,9 @@ fn bcp_invariants_hold_on_random_worlds() {
     for _ in 0..12 {
         let seed = case_rng.gen_range(0u64..500);
         let budget = case_rng.gen_range(1u32..40);
-        let mut net = SpiderNet::build(&SpiderNetConfig {
-            ip_nodes: 200,
-            peers: 40,
-            seed,
-            ..SpiderNetConfig::default()
-        });
+        let mut net = SpiderNet::build(
+            &SpiderNetConfig::builder().ip_nodes(200).peers(40).seed(seed).build(),
+        );
         net.populate(&PopulationConfig { functions: 8, ..PopulationConfig::default() });
         let mut rng = rng_for(seed, "prop-bcp");
         let req = random_request(
@@ -425,7 +425,7 @@ fn bcp_invariants_hold_on_random_worlds() {
             },
             &mut rng,
         );
-        let cfg = BcpConfig { budget, ..BcpConfig::default() };
+        let cfg = BcpConfig::builder().budget(budget).build();
         // Infeasible worlds (Err) are fine; invariants apply on success.
         if let Ok(out) = net.compose(&req, &cfg) {
             assert!(
