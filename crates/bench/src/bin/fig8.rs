@@ -9,14 +9,38 @@
 //! merged protocol counters and DAG-shape histograms to `TRACE_fig8.json`.
 
 use spidernet_bench::{
-    csv_requested, json_requested, paper_scale_requested, time_seq_par, trace_json_requested,
-    BenchReport,
+    csv_requested, json_requested, paper_scale_requested, quick_requested, time_seq_par,
+    trace_json_requested, BenchReport,
 };
-use spidernet_core::experiments::fig8::{run, Fig8Config};
+use spidernet_core::experiments::fig8::{optimal_phase_bench, run, Fig8Config};
+use spidernet_core::workload::{PopulationConfig, RequestConfig};
 use spidernet_sim::TraceReport;
 
+/// CI smoke configuration: a miniature grid run *uncapped*
+/// (`optimal_cap: None`), so the report's enumerator fields reflect the
+/// paper-accurate exact-optimal semantics while finishing in seconds.
+fn quick_scale() -> Fig8Config {
+    Fig8Config {
+        ip_nodes: 300,
+        peers: 60,
+        functions: 12,
+        duration_units: 10,
+        workloads: vec![3, 6],
+        population: PopulationConfig { functions: 12, ..PopulationConfig::default() },
+        request: RequestConfig { functions: (2, 3), ..RequestConfig::default() },
+        optimal_cap: None,
+        ..Fig8Config::default()
+    }
+}
+
 fn main() {
-    let base = if paper_scale_requested() { Fig8Config::paper_scale() } else { Fig8Config::default() };
+    let base = if paper_scale_requested() {
+        Fig8Config::paper_scale()
+    } else if quick_requested() {
+        quick_scale()
+    } else {
+        Fig8Config::default()
+    };
     eprintln!(
         "fig8: {} peers, {} units, workloads {:?}{}",
         base.peers,
@@ -36,7 +60,17 @@ fn main() {
             .num("speedup", seq / par)
             .num("trials_per_sec", trials as f64 / par)
             .int("probes", out.total_probes)
-            .num("probes_per_sec", out.total_probes as f64 / par);
+            .num("probes_per_sec", out.total_probes as f64 / par)
+            .num("optimal_phase_secs", out.optimal_phase_secs)
+            .int("combos_examined", out.combos_examined)
+            .int("combos_pruned", out.combos_pruned);
+        // Head-to-head optimal-phase comparison: the naive reference
+        // enumerator vs branch-and-bound over the same request stream and
+        // cap (identical considered-combination semantics).
+        let phase = optimal_phase_bench(&base, 32);
+        rep.num("optimal_naive_secs", phase.naive_secs)
+            .num("optimal_bb_secs", phase.bb_secs)
+            .num("optimal_speedup", phase.speedup);
         match rep.write() {
             Ok(p) => eprintln!("fig8: wrote {}", p.display()),
             Err(e) => eprintln!("fig8: could not write report: {e}"),

@@ -15,6 +15,7 @@ use spidernet_bench::{
 };
 use spidernet_core::experiments::fig9::{run, Fig9Config};
 use spidernet_core::workload::PopulationConfig;
+use spidernet_sim::metrics::counter;
 use spidernet_sim::TraceReport;
 
 fn main() {
@@ -41,7 +42,13 @@ fn main() {
             .num("speedup", seq / par)
             .num("trials_per_sec", 2.0 / par)
             .int("probes", out.total_probes)
-            .num("probes_per_sec", out.total_probes as f64 / par);
+            .num("probes_per_sec", out.total_probes as f64 / par)
+            // Schema parity with BENCH_fig8.json: fig9 never runs the
+            // optimal enumerator, so the phase time is zero and the
+            // counters report whatever the cells recorded (zero).
+            .num("optimal_phase_secs", 0.0)
+            .int("combos_examined", out.metrics.value(counter::COMBOS_EXAMINED))
+            .int("combos_pruned", out.metrics.value(counter::COMBOS_PRUNED));
         match rep.write() {
             Ok(p) => eprintln!("fig9: wrote {}", p.display()),
             Err(e) => eprintln!("fig9: could not write report: {e}"),

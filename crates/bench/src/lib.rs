@@ -22,6 +22,13 @@ pub fn csv_requested() -> bool {
     std::env::args().any(|a| a == "--csv")
 }
 
+/// True if the CLI was invoked with `--quick` (CI smoke configuration:
+/// a miniature grid that still exercises every field of the bench
+/// report, finishing in seconds).
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
 /// True if the CLI was invoked with `--json` (write a `BENCH_<fig>.json`
 /// harness-performance report alongside the figure output).
 pub fn json_requested() -> bool {

@@ -3,15 +3,22 @@
 //! model.
 
 use crate::model::component::Registry;
+use crate::model::function_graph::FunctionGraph;
 use crate::model::request::CompositionRequest;
 use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
 use crate::paths::PathTable;
-use crate::selection::{evaluate, is_qualified, select_best};
+use crate::selection::{
+    evaluate, evaluate_assignment, is_qualified, select_best, EvalContext, EvalScratch, LegTable,
+    PatternShape,
+};
 use crate::state::OverlayState;
 use spidernet_util::rng::SliceRandom;
 use spidernet_topology::Overlay;
 use spidernet_util::error::{Error, Result};
-use spidernet_util::id::ComponentId;
+use spidernet_util::id::{ComponentId, PeerId};
+use spidernet_util::par::par_map_with;
+use spidernet_util::qos::dim;
+use spidernet_util::res::ResourceVector;
 use spidernet_util::rng::Rng;
 
 /// Result of a baseline composition.
@@ -23,11 +30,17 @@ pub struct BaselineOutcome {
     pub eval: GraphEval,
     /// Remaining qualified graphs, cost-ordered (empty for random/static).
     pub qualified_pool: Vec<(ServiceGraph, GraphEval)>,
-    /// Probe-equivalent overhead: candidate service graphs examined. For
-    /// the optimal flooding scheme this is Π_k Z_k — the paper's "average
+    /// Probe-equivalent overhead: candidate service graphs *considered*
+    /// (fully evaluated or cut by an admissible prefix bound). For the
+    /// optimal flooding scheme this is Π_k Z_k — the paper's "average
     /// number of probes required by the optimal algorithm" (17³ = 4913 in
-    /// §6.2).
+    /// §6.2) — clipped by `combo_cap`; the value is the actual counter,
+    /// not a formula, so it is exact when enumeration exhausts early.
     pub probes: u64,
+    /// Candidate combos fully evaluated (`probes - combos_pruned`).
+    pub combos_examined: u64,
+    /// Candidate combos skipped by branch-and-bound pruning.
+    pub combos_pruned: u64,
 }
 
 /// Shared borrow bundle for baseline runs.
@@ -60,21 +73,65 @@ fn replica_sets(ctx: &BaselineContext<'_>, req: &CompositionRequest) -> Result<V
         .collect()
 }
 
+/// What the optimal enumerator must retain beyond the single best graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolPolicy {
+    /// Keep every qualified candidate (cost-ordered pool for backup
+    /// selection). Pruning is restricted to bounds that prove *no*
+    /// completion of a prefix can qualify, so the pool is exactly the
+    /// naive enumerator's.
+    Full,
+    /// Keep only the best qualified graph. Additionally prunes prefixes
+    /// whose cost lower bound already exceeds the best qualified cost so
+    /// far (`qualified_pool` comes back empty).
+    BestOnly,
+}
+
+/// Knobs of [`optimal_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct OptimalOptions {
+    /// Truncates the enumeration after this many considered combos (used
+    /// only to bound test/bench runtimes; experiments reproducing paper
+    /// numbers run uncapped).
+    pub combo_cap: Option<u64>,
+    /// Pool retention policy.
+    pub pool: PoolPolicy,
+    /// Worker threads for the per-pattern combo-space fan-out. Chunk
+    /// boundaries are independent of this value, so all results —
+    /// including prune counters — are bit-identical whatever the count.
+    pub threads: usize,
+}
+
+impl Default for OptimalOptions {
+    fn default() -> Self {
+        OptimalOptions { combo_cap: None, pool: PoolPolicy::Full, threads: 1 }
+    }
+}
+
 /// The optimal algorithm: "unbounded network flooding, which exhaustively
 /// searches all candidate service graphs to find the best qualified
-/// service graph".
-///
-/// `combo_cap`, when set, truncates the enumeration (used only to bound
-/// test/bench runtimes; experiments reproducing paper numbers run
-/// uncapped).
+/// service graph". Equivalent to
+/// [`optimal_with`]`(ctx, req, combo_cap, PoolPolicy::Full, 1 thread)`.
 pub fn optimal(
+    ctx: &mut BaselineContext<'_>,
+    req: &CompositionRequest,
+    combo_cap: Option<u64>,
+) -> Result<BaselineOutcome> {
+    optimal_with(ctx, req, &OptimalOptions { combo_cap, ..OptimalOptions::default() })
+}
+
+/// The reference enumerator: one full [`evaluate`] per cartesian-product
+/// combo, no pruning, no incremental state. Kept as the oracle the
+/// branch-and-bound rewrite is property-tested against and as the "naive"
+/// side of the bench phase comparison.
+#[doc(hidden)]
+pub fn optimal_naive(
     ctx: &mut BaselineContext<'_>,
     req: &CompositionRequest,
     combo_cap: Option<u64>,
 ) -> Result<BaselineOutcome> {
     req.validate()?;
     let mut qualified: Vec<(ServiceGraph, GraphEval)> = Vec::new();
-    let mut total_combos: u64 = 0;
     let mut examined: u64 = 0;
     // Validate that every required function has replicas before enumerating.
     replica_sets(ctx, req)?;
@@ -83,8 +140,6 @@ pub fn optimal(
         // Replica sets follow the *pattern's* node order.
         let sets: Vec<Vec<ComponentId>> =
             pattern.functions().iter().map(|&f| ctx.reg.replicas(f).to_vec()).collect();
-        let combos: u64 = sets.iter().map(|s| s.len() as u64).product();
-        total_combos += combos;
 
         // Odometer enumeration of the cartesian product.
         let n = sets.len();
@@ -123,7 +178,552 @@ pub fn optimal(
             best,
             eval,
             qualified_pool: pool,
-            probes: combo_cap.map_or(total_combos, |c| total_combos.min(c)),
+            probes: examined,
+            combos_examined: examined,
+            combos_pruned: 0,
+        }),
+        None => Err(Error::NoQualifiedComposition),
+    }
+}
+
+/// Relative float slack added to admissible bounds before pruning on
+/// them. Suffix bounds are mathematical lower bounds but their summation
+/// order differs from the leaf evaluation's; the slack guarantees a
+/// borderline candidate is *evaluated* rather than wrongly pruned (a
+/// non-pruned candidate is always evaluated exactly, so slack can only
+/// cost work, never correctness).
+const PRUNE_SLACK: f64 = 1e-9;
+
+/// Per-pattern precomputation for the branch-and-bound walk.
+struct PatternPlan {
+    pattern: FunctionGraph,
+    shape: PatternShape,
+    /// Replica sets in pattern-node order.
+    sets: Vec<Vec<ComponentId>>,
+    /// `subtree[d]` = Π_{j≥d} |sets[j]| — positions spanned by one choice
+    /// at depth `d-1`; `subtree[n] == 1`.
+    subtree: Vec<u64>,
+    combos: u64,
+    /// True when the pattern is the single chain `[0, 1, …, n-1]` *and*
+    /// all replica QoS vectors are well formed — enables the QoS/delay
+    /// suffix bounds (experiment workloads are chains by default).
+    chain: bool,
+    /// True when every replica's resource demand is non-negative —
+    /// enables the monotone partial-demand overflow prune.
+    res_nonneg: bool,
+    /// `suffix_qos[k][d]` = Σ_{j≥k} min additive QoS of function j, dim d.
+    suffix_qos: Vec<Vec<f64>>,
+    /// `suffix_delay[k]` = min delay of the legs into nodes k.. plus the
+    /// final leg to the destination (chain patterns only).
+    suffix_delay: Vec<f64>,
+    /// `suffix_cost[k]` = min end-system ψ of functions k.. plus (chain
+    /// only) min bandwidth ψ of the remaining legs.
+    suffix_cost: Vec<f64>,
+}
+
+impl PatternPlan {
+    fn build(
+        pattern: FunctionGraph,
+        reg: &Registry,
+        req: &CompositionRequest,
+        legs: &LegTable,
+        weights: &CostWeights,
+    ) -> PatternPlan {
+        let sets: Vec<Vec<ComponentId>> =
+            pattern.functions().iter().map(|&f| reg.replicas(f).to_vec()).collect();
+        let n = sets.len();
+        let m = req.qos_req.dims();
+        let mut subtree = vec![1u64; n + 1];
+        for d in (0..n).rev() {
+            subtree[d] = subtree[d + 1].saturating_mul(sets[d].len() as u64);
+        }
+        let shape = PatternShape::new(&pattern);
+        let chain = shape.branches.len() == 1
+            && shape.branches[0].iter().copied().eq(0..n)
+            && sets
+                .iter()
+                .flatten()
+                .all(|&c| reg.get(c).perf_qos.is_well_formed());
+        let res_nonneg = sets
+            .iter()
+            .flatten()
+            .all(|&c| ResourceVector::ZERO.fits_within(&reg.get(c).resources));
+
+        // Per-function minima over each replica set.
+        let min_qos: Vec<Vec<f64>> = sets
+            .iter()
+            .map(|set| {
+                (0..m)
+                    .map(|d| {
+                        set.iter()
+                            .map(|&c| reg.get(c).perf_qos.values()[d])
+                            .fold(f64::INFINITY, f64::min)
+                    })
+                    .collect()
+            })
+            .collect();
+        let min_es: Vec<f64> = sets
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .map(|&c| {
+                        let comp = reg.get(c);
+                        comp.resources
+                            .weighted_usage_ratio(legs.available(comp.peer), &weights.resource)
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+
+        let mut suffix_qos = vec![vec![0.0; m]; n + 1];
+        for k in (0..n).rev() {
+            for d in 0..m {
+                suffix_qos[k][d] = suffix_qos[k + 1][d] + min_qos[k][d];
+            }
+        }
+
+        // Chain-only leg minima: the leg *into* node j (j = 0 comes from
+        // the source) plus the final leg to the destination.
+        let (suffix_delay, bw_leg, bw_dest) = if chain {
+            let bw_term = |from: PeerId, to: PeerId, bw: f64| -> f64 {
+                if from == to || bw <= 0.0 {
+                    return 0.0;
+                }
+                let leg = legs.leg(from, to);
+                if !leg.reachable {
+                    return f64::INFINITY;
+                }
+                weights.bandwidth * if leg.avail > 0.0 { bw / leg.avail } else { f64::INFINITY }
+            };
+            let mut leg_min = vec![f64::INFINITY; n];
+            let mut bw_min = vec![f64::INFINITY; n];
+            for j in 0..n {
+                if j == 0 {
+                    for &b in &sets[0] {
+                        let to = reg.get(b).peer;
+                        leg_min[0] = leg_min[0].min(legs.delay(req.source, to));
+                        bw_min[0] = bw_min[0].min(bw_term(req.source, to, req.bandwidth_mbps));
+                    }
+                } else {
+                    for &a in &sets[j - 1] {
+                        let ca = reg.get(a);
+                        for &b in &sets[j] {
+                            let to = reg.get(b).peer;
+                            leg_min[j] = leg_min[j].min(legs.delay(ca.peer, to));
+                            bw_min[j] =
+                                bw_min[j].min(bw_term(ca.peer, to, ca.out_bandwidth_mbps));
+                        }
+                    }
+                }
+            }
+            let mut dest_delay = f64::INFINITY;
+            let mut dest_bw = f64::INFINITY;
+            for &a in &sets[n - 1] {
+                let ca = reg.get(a);
+                dest_delay = dest_delay.min(legs.delay(ca.peer, req.dest));
+                dest_bw = dest_bw.min(bw_term(ca.peer, req.dest, ca.out_bandwidth_mbps));
+            }
+            let mut suffix_delay = vec![0.0; n + 1];
+            suffix_delay[n] = dest_delay;
+            for k in (0..n).rev() {
+                suffix_delay[k] = leg_min[k] + suffix_delay[k + 1];
+            }
+            (suffix_delay, bw_min, dest_bw)
+        } else {
+            (vec![0.0; n + 1], vec![0.0; n], 0.0)
+        };
+
+        let mut suffix_cost = vec![0.0; n + 1];
+        suffix_cost[n] = bw_dest;
+        for k in (0..n).rev() {
+            // min_es is admissible because `weighted_usage_ratio` is linear
+            // in the demand vector: the leaf's aggregated end-system term
+            // equals the sum of standalone per-component ratios.
+            suffix_cost[k] = min_es[k] + bw_leg[k] + suffix_cost[k + 1];
+        }
+
+        PatternPlan {
+            pattern,
+            shape,
+            combos: subtree[0],
+            sets,
+            subtree,
+            chain,
+            res_nonneg,
+            suffix_qos,
+            suffix_delay,
+            suffix_cost,
+        }
+    }
+}
+
+/// Undo record for one pushed digit's demand aggregation.
+#[derive(Clone, Copy)]
+enum DemandUndo {
+    /// The digit's peer was new: pop the last demand slot.
+    Pushed,
+    /// The digit merged into slot `ix`: restore the saved vector.
+    Merged(usize, ResourceVector),
+}
+
+/// Mutable prefix state of the branch-and-bound walk. `push` extends the
+/// prefix by one digit and `undo` restores it exactly (saved-value
+/// restore, not arithmetic inverse — float subtraction would drift).
+struct DfsState {
+    assignment: Vec<ComponentId>,
+    peers: Vec<PeerId>,
+    /// Per-peer aggregated demand of the prefix, in first-touch order
+    /// (the same aggregation order the leaf evaluation replays).
+    demand: Vec<(PeerId, ResourceVector)>,
+    undo: Vec<DemandUndo>,
+    /// Incremental chain QoS accumulator — bit-identical to the prefix of
+    /// the leaf evaluation's branch walk.
+    qos_acc: Vec<f64>,
+    qos_saved: Vec<f64>,
+    es_partial: f64,
+    es_saved: Vec<f64>,
+    bw_partial: f64,
+    bw_saved: Vec<f64>,
+}
+
+impl DfsState {
+    fn new(n: usize, m: usize) -> DfsState {
+        DfsState {
+            assignment: vec![ComponentId::new(0); n],
+            peers: vec![PeerId::new(0); n],
+            demand: Vec::with_capacity(n),
+            undo: vec![DemandUndo::Pushed; n],
+            qos_acc: vec![0.0; m],
+            qos_saved: vec![0.0; m * n],
+            es_partial: 0.0,
+            es_saved: vec![0.0; n],
+            bw_partial: 0.0,
+            bw_saved: vec![0.0; n],
+        }
+    }
+
+    /// Extends the prefix with `comp` at depth `d`. Returns false when the
+    /// digit is infeasible on grounds every completion inherits: a dead
+    /// peer, or (when demand monotonicity holds) per-peer demand already
+    /// overflowing the peer's available resources.
+    fn push(&mut self, d: usize, comp: ComponentId, run: &ChunkRun<'_>) -> bool {
+        let plan = run.plan;
+        let reg = run.ectx.reg;
+        let legs = run.ectx.legs;
+        let c = reg.get(comp);
+        self.assignment[d] = comp;
+        self.peers[d] = c.peer;
+
+        let mut ok = legs.is_alive(c.peer);
+        let fits = match self.demand.iter().position(|&(p, _)| p == c.peer) {
+            Some(ix) => {
+                self.undo[d] = DemandUndo::Merged(ix, self.demand[ix].1);
+                self.demand[ix].1 = self.demand[ix].1.add(&c.resources);
+                self.demand[ix].1.fits_within(legs.available(c.peer))
+            }
+            None => {
+                self.undo[d] = DemandUndo::Pushed;
+                self.demand.push((c.peer, ResourceVector::ZERO.add(&c.resources)));
+                self.demand.last().expect("just pushed").1.fits_within(legs.available(c.peer))
+            }
+        };
+        if plan.res_nonneg && !fits {
+            ok = false;
+        }
+
+        self.es_saved[d] = self.es_partial;
+        self.es_partial +=
+            c.resources.weighted_usage_ratio(legs.available(c.peer), &run.ectx.weights.resource);
+
+        if plan.chain {
+            let m = self.qos_acc.len();
+            self.qos_saved[d * m..(d + 1) * m].copy_from_slice(&self.qos_acc);
+            self.bw_saved[d] = self.bw_partial;
+            let prev = if d == 0 { run.ectx.req.source } else { self.peers[d - 1] };
+            self.qos_acc[dim::DELAY_MS] += legs.delay(prev, c.peer);
+            for (a, b) in self.qos_acc.iter_mut().zip(c.perf_qos.values()) {
+                *a += b;
+            }
+            let bw = if d == 0 {
+                run.ectx.req.bandwidth_mbps
+            } else {
+                reg.get(self.assignment[d - 1]).out_bandwidth_mbps
+            };
+            if prev != c.peer && bw > 0.0 {
+                let leg = legs.leg(prev, c.peer);
+                self.bw_partial += if !leg.reachable {
+                    f64::INFINITY
+                } else {
+                    run.ectx.weights.bandwidth
+                        * if leg.avail > 0.0 { bw / leg.avail } else { f64::INFINITY }
+                };
+            }
+        }
+        ok
+    }
+
+    /// Reverts the depth-`d` push.
+    fn undo(&mut self, d: usize, plan: &PatternPlan) {
+        match self.undo[d] {
+            DemandUndo::Pushed => {
+                self.demand.pop();
+            }
+            DemandUndo::Merged(ix, saved) => self.demand[ix].1 = saved,
+        }
+        self.es_partial = self.es_saved[d];
+        if plan.chain {
+            let m = self.qos_acc.len();
+            self.qos_acc.copy_from_slice(&self.qos_saved[d * m..(d + 1) * m]);
+            self.bw_partial = self.bw_saved[d];
+        }
+    }
+}
+
+/// Read-only inputs of one chunk walk.
+struct ChunkRun<'a> {
+    plan: &'a PatternPlan,
+    ectx: EvalContext<'a>,
+    /// Per-dimension prune slack: `PRUNE_SLACK · (1 + |bound|)`.
+    qos_slack: &'a [f64],
+    lo: u64,
+    hi: u64,
+    best_only: bool,
+}
+
+/// Accumulated output of one chunk walk.
+struct ChunkOut {
+    pattern: usize,
+    qualified: Vec<(Vec<ComponentId>, GraphEval)>,
+    /// Best qualified cost in this chunk (cost-prune bound; chunks never
+    /// share bounds so results are chunk-deterministic).
+    best_cost: Option<f64>,
+    examined: u64,
+    pruned: u64,
+}
+
+impl ChunkOut {
+    fn record(&mut self, assignment: &[ComponentId], eval: GraphEval, best_only: bool) {
+        if !best_only {
+            self.qualified.push((assignment.to_vec(), eval));
+            return;
+        }
+        // Replicate `select_best` ordering: keep the earlier candidate on
+        // exact cost ties (enumeration order is position order).
+        let better = match self.qualified.first() {
+            None => true,
+            Some((ba, be)) => {
+                matches!(
+                    eval.cost
+                        .partial_cmp(&be.cost)
+                        .expect("costs are not NaN")
+                        .then_with(|| assignment.cmp(ba)),
+                    std::cmp::Ordering::Less
+                )
+            }
+        };
+        if better {
+            self.best_cost = Some(eval.cost);
+            self.qualified.clear();
+            self.qualified.push((assignment.to_vec(), eval));
+        }
+    }
+}
+
+/// The recursive branch-and-bound walk over one chunk's position window
+/// `[run.lo, run.hi)`. `first` is the global position of the first leaf
+/// under the current prefix.
+fn bb_walk(
+    run: &ChunkRun<'_>,
+    st: &mut DfsState,
+    scratch: &mut EvalScratch,
+    out: &mut ChunkOut,
+    d: usize,
+    first: u64,
+) {
+    let plan = run.plan;
+    let n = plan.sets.len();
+    let width = plan.subtree[d + 1];
+    for (i, &comp) in plan.sets[d].iter().enumerate() {
+        let child_first = first + i as u64 * width;
+        if child_first >= run.hi {
+            break;
+        }
+        let child_end = child_first + width;
+        if child_end <= run.lo {
+            continue;
+        }
+        let window = child_end.min(run.hi) - child_first.max(run.lo);
+
+        let feasible = st.push(d, comp, run);
+        let mut prune = !feasible;
+        let k = d + 1;
+        if !prune && plan.chain {
+            let bounds = run.ectx.req.qos_req.bounds();
+            for (dim_i, &bound) in bounds.iter().enumerate() {
+                let mut lb = st.qos_acc[dim_i] + plan.suffix_qos[k][dim_i];
+                if dim_i == dim::DELAY_MS {
+                    lb += plan.suffix_delay[k];
+                }
+                if lb > bound + run.qos_slack[dim_i] {
+                    prune = true;
+                    break;
+                }
+            }
+        }
+        if !prune && run.best_only {
+            if let Some(bc) = out.best_cost {
+                let lb = st.es_partial + st.bw_partial + plan.suffix_cost[k];
+                if lb > bc + PRUNE_SLACK * (1.0 + bc.abs()) {
+                    prune = true;
+                }
+            }
+        }
+
+        if prune {
+            out.pruned += window;
+        } else if k == n {
+            out.examined += 1;
+            let eval = evaluate_assignment(&run.ectx, &plan.shape, &st.assignment, scratch);
+            if is_qualified(&eval, run.ectx.req) {
+                out.record(&st.assignment, eval, run.best_only);
+            }
+        } else {
+            bb_walk(run, st, scratch, out, k, child_first);
+        }
+        st.undo(d, plan);
+    }
+}
+
+/// Split threshold: a pattern window at least this large is fanned across
+/// [`CHUNKS_PER_PATTERN`] fixed ranges (fixed, so prune counters and the
+/// qualified pool are identical whatever `threads` is).
+const CHUNK_SPLIT_MIN: u64 = 4096;
+const CHUNKS_PER_PATTERN: u64 = 8;
+
+/// Incremental branch-and-bound optimal enumerator.
+///
+/// Walks each pattern's cartesian combo space depth-first with push/undo
+/// prefix state (mirroring BCP's `probe_branch`), evaluates leaves via the
+/// bit-exact [`evaluate_assignment`] fast path against a per-request
+/// [`LegTable`] snapshot, and cuts prefixes whose admissible suffix lower
+/// bounds prove no completion can qualify (plus, under
+/// [`PoolPolicy::BestOnly`], none can beat the best qualified cost so
+/// far). Position semantics — which combos a `combo_cap` admits, in which
+/// order qualified candidates pool, and the resulting best graph — are
+/// identical to [`optimal_naive`]'s; pruned subtrees advance the
+/// considered-position counter by their clipped window so `probes` stays
+/// the exact considered count.
+pub fn optimal_with(
+    ctx: &mut BaselineContext<'_>,
+    req: &CompositionRequest,
+    opts: &OptimalOptions,
+) -> Result<BaselineOutcome> {
+    req.validate()?;
+    let sets = replica_sets(ctx, req)?;
+
+    // Per-request leg snapshot: all (source ∪ replica-peers) × (replica-
+    // peers ∪ dest) legs plus per-peer liveness/availability, built once
+    // through the mutable path cache then shared read-only by workers.
+    let mut replica_peers: Vec<PeerId> = Vec::new();
+    for set in &sets {
+        for &c in set {
+            let p = ctx.reg.get(c).peer;
+            if !replica_peers.contains(&p) {
+                replica_peers.push(p);
+            }
+        }
+    }
+    let mut froms = vec![req.source];
+    froms.extend(replica_peers.iter().copied().filter(|&p| p != req.source));
+    let mut tos = replica_peers.clone();
+    if !tos.contains(&req.dest) {
+        tos.push(req.dest);
+    }
+    let legs = LegTable::build(ctx.overlay, ctx.state, ctx.paths, &froms, &tos, &replica_peers);
+
+    let plans: Vec<PatternPlan> = req
+        .function_graph
+        .patterns()
+        .into_iter()
+        .map(|p| PatternPlan::build(p, ctx.reg, req, &legs, ctx.weights))
+        .collect();
+
+    let qos_slack: Vec<f64> =
+        req.qos_req.bounds().iter().map(|b| PRUNE_SLACK * (1.0 + b.abs())).collect();
+
+    // Chunk the capped position space. The cap admits the first
+    // `combo_cap` positions across patterns in order, exactly as the
+    // naive odometer does.
+    struct Chunk {
+        pattern: usize,
+        lo: u64,
+        hi: u64,
+    }
+    let cap = opts.combo_cap.unwrap_or(u64::MAX);
+    let mut chunks: Vec<Chunk> = Vec::new();
+    let mut start: u64 = 0;
+    for (pi, plan) in plans.iter().enumerate() {
+        let window = if start >= cap { 0 } else { plan.combos.min(cap - start) };
+        if window > 0 {
+            let parts = if window >= CHUNK_SPLIT_MIN { CHUNKS_PER_PATTERN.min(window) } else { 1 };
+            let (base, rem) = (window / parts, window % parts);
+            let mut lo = 0u64;
+            for p in 0..parts {
+                let len = base + u64::from(p < rem);
+                chunks.push(Chunk { pattern: pi, lo, hi: lo + len });
+                lo += len;
+            }
+        }
+        start = start.saturating_add(plan.combos);
+    }
+
+    let m = req.qos_req.dims();
+    let best_only = opts.pool == PoolPolicy::BestOnly;
+    let (reg, state, weights) = (ctx.reg, ctx.state, ctx.weights);
+    let outs: Vec<ChunkOut> = par_map_with(opts.threads.max(1), chunks, |_, chunk| {
+        let plan = &plans[chunk.pattern];
+        let run = ChunkRun {
+            plan,
+            ectx: EvalContext { req, reg, state, legs: &legs, weights },
+            qos_slack: &qos_slack,
+            lo: chunk.lo,
+            hi: chunk.hi,
+            best_only,
+        };
+        let mut out = ChunkOut {
+            pattern: chunk.pattern,
+            qualified: Vec::new(),
+            best_cost: None,
+            examined: 0,
+            pruned: 0,
+        };
+        let mut st = DfsState::new(plan.sets.len(), m);
+        let mut scratch = EvalScratch::default();
+        bb_walk(&run, &mut st, &mut scratch, &mut out, 0, 0);
+        out
+    });
+
+    let mut qualified: Vec<(ServiceGraph, GraphEval)> = Vec::new();
+    let (mut examined, mut pruned) = (0u64, 0u64);
+    for out in outs {
+        examined += out.examined;
+        pruned += out.pruned;
+        for (assignment, eval) in out.qualified {
+            let graph =
+                ServiceGraph::new(req.source, req.dest, plans[out.pattern].pattern.clone(), assignment);
+            qualified.push((graph, eval));
+        }
+    }
+    let probes = examined + pruned;
+
+    match select_best(qualified) {
+        Some((best, eval, pool)) => Ok(BaselineOutcome {
+            best,
+            eval,
+            qualified_pool: if best_only { Vec::new() } else { pool },
+            probes,
+            combos_examined: examined,
+            combos_pruned: pruned,
         }),
         None => Err(Error::NoQualifiedComposition),
     }
@@ -149,7 +749,14 @@ pub fn random(
     let pattern = req.function_graph.patterns().into_iter().next().expect("≥1 pattern");
     let graph = ServiceGraph::new(req.source, req.dest, pattern, assignment);
     let eval = evaluate(&graph, req, ctx.reg, ctx.overlay, ctx.state, ctx.paths, ctx.weights);
-    Ok(BaselineOutcome { best: graph, eval, qualified_pool: Vec::new(), probes: 1 })
+    Ok(BaselineOutcome {
+        best: graph,
+        eval,
+        qualified_pool: Vec::new(),
+        probes: 1,
+        combos_examined: 1,
+        combos_pruned: 0,
+    })
 }
 
 /// The static algorithm: a pre-defined component (the first registered
@@ -161,7 +768,14 @@ pub fn static_(ctx: &mut BaselineContext<'_>, req: &CompositionRequest) -> Resul
     let pattern = req.function_graph.patterns().into_iter().next().expect("≥1 pattern");
     let graph = ServiceGraph::new(req.source, req.dest, pattern, assignment);
     let eval = evaluate(&graph, req, ctx.reg, ctx.overlay, ctx.state, ctx.paths, ctx.weights);
-    Ok(BaselineOutcome { best: graph, eval, qualified_pool: Vec::new(), probes: 1 })
+    Ok(BaselineOutcome {
+        best: graph,
+        eval,
+        qualified_pool: Vec::new(),
+        probes: 1,
+        combos_examined: 1,
+        combos_pruned: 0,
+    })
 }
 
 /// Message overhead of the centralized global-view scheme over a time
@@ -359,6 +973,67 @@ mod tests {
             let r = random(&mut ctx(&mut w), &req, &mut rng).unwrap();
             assert!(opt.eval.cost <= r.eval.cost + 1e-12);
         }
+    }
+
+    fn assert_same_outcome(a: &BaselineOutcome, b: &BaselineOutcome) {
+        assert_eq!(a.best.assignment, b.best.assignment);
+        assert_eq!(a.eval.cost.to_bits(), b.eval.cost.to_bits());
+        for (x, y) in a.eval.qos.values().iter().zip(b.eval.qos.values()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.qualified_pool.len(), b.qualified_pool.len());
+        for ((ga, ea), (gb, eb)) in a.qualified_pool.iter().zip(&b.qualified_pool) {
+            assert_eq!(ga.assignment, gb.assignment);
+            assert_eq!(ea.cost.to_bits(), eb.cost.to_bits());
+        }
+        assert_eq!(a.probes, b.probes);
+    }
+
+    #[test]
+    fn branch_and_bound_matches_naive_across_threads() {
+        for cap in [None, Some(7), Some(1_000)] {
+            let mut w = world(3, 4);
+            let req = request(3);
+            let naive = optimal_naive(&mut ctx(&mut w), &req, cap).unwrap();
+            for threads in [1, 2, 4] {
+                let opts = OptimalOptions { combo_cap: cap, pool: PoolPolicy::Full, threads };
+                let bb = optimal_with(&mut ctx(&mut w), &req, &opts).unwrap();
+                assert_same_outcome(&bb, &naive);
+                assert_eq!(bb.combos_examined + bb.combos_pruned, bb.probes);
+            }
+        }
+    }
+
+    #[test]
+    fn best_only_returns_the_same_best_with_empty_pool() {
+        let mut w = world(3, 4);
+        let req = request(3);
+        let full = optimal(&mut ctx(&mut w), &req, None).unwrap();
+        for threads in [1, 3] {
+            let opts =
+                OptimalOptions { combo_cap: None, pool: PoolPolicy::BestOnly, threads };
+            let bb = optimal_with(&mut ctx(&mut w), &req, &opts).unwrap();
+            assert_eq!(bb.best.assignment, full.best.assignment);
+            assert_eq!(bb.eval.cost.to_bits(), full.eval.cost.to_bits());
+            assert!(bb.qualified_pool.is_empty());
+            assert_eq!(bb.probes, full.probes);
+        }
+    }
+
+    #[test]
+    fn tight_qos_bound_prunes_but_agrees_with_naive() {
+        let mut w = world(3, 4);
+        let mut req = request(3);
+        // Tight enough that slower replicas prune, loose enough that some
+        // combo still qualifies (replica r adds 10 + 5r ms; legs add more).
+        let naive_all = optimal_naive(&mut ctx(&mut w), &req, None).unwrap();
+        let budget = naive_all.eval.qos[spidernet_util::qos::dim::DELAY_MS] + 10.0;
+        req.qos_req = QosRequirement::new(vec![budget, 10.0]).unwrap();
+        let naive = optimal_naive(&mut ctx(&mut w), &req, None).unwrap();
+        let bb = optimal(&mut ctx(&mut w), &req, None).unwrap();
+        assert_same_outcome(&bb, &naive);
+        assert!(bb.combos_pruned > 0, "tight QoS bound must cut subtrees");
+        assert_eq!(bb.combos_examined + bb.combos_pruned, 64);
     }
 
     #[test]

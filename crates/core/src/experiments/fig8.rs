@@ -23,6 +23,7 @@ use spidernet_util::par::par_map_with;
 use spidernet_util::rng::{rng_for, Rng};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 /// One competing algorithm.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -91,7 +92,10 @@ impl Default for Fig8Config {
             session_lifetime: (10, 30),
             request: RequestConfig { functions: (2, 4), ..RequestConfig::default() },
             population: PopulationConfig { functions: 40, ..PopulationConfig::default() },
-            optimal_cap: Some(2_000),
+            // Exact optimal by default: the branch-and-bound enumerator
+            // makes the uncapped default grid affordable, so capping is now
+            // opt-in (tests pin small caps to exercise the capped path).
+            optimal_cap: None,
             algorithms: vec![
                 Algorithm::Optimal,
                 Algorithm::Probing(0.2),
@@ -140,6 +144,15 @@ pub struct Fig8Result {
     /// Protocol counters and histograms merged across every cell in
     /// (workload, algorithm) order — the `--trace-json` exporter's input.
     pub metrics: MetricsRegistry,
+    /// Wall-clock seconds spent inside the optimal enumerator across every
+    /// cell — bench accounting only, never part of the figure output.
+    pub optimal_phase_secs: f64,
+    /// Candidate combinations fully evaluated by the optimal enumerator,
+    /// summed across cells.
+    pub combos_examined: u64,
+    /// Candidate combinations skipped by admissible pruning, summed
+    /// across cells.
+    pub combos_pruned: u64,
 }
 
 impl fmt::Display for Fig8Result {
@@ -198,9 +211,10 @@ fn fraction_budget(net: &SpiderNet, req: &crate::model::request::CompositionRequ
     ((combos * fraction).round() as u32).max(1)
 }
 
-/// Runs one algorithm at one workload point; returns its success rate and
-/// the probe transmissions it spent.
-fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> (f64, u64, MetricsRegistry) {
+/// Runs one algorithm at one workload point; returns its success rate,
+/// the probe transmissions it spent, the seconds spent inside the optimal
+/// enumerator (0.0 for other algorithms), and the cell's metrics.
+fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> (f64, u64, f64, MetricsRegistry) {
     let mut net = SpiderNet::build(&SpiderNetConfig {
         ip_nodes: cfg.ip_nodes,
         peers: cfg.peers,
@@ -215,6 +229,7 @@ fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> (f64, u64, Metr
     let mut active: Vec<(u64, SessionAllocation)> = Vec::new();
     let mut successes = 0u64;
     let mut attempts = 0u64;
+    let mut optimal_secs = 0.0f64;
     // One SSSP cache for the whole trial: session-demand paths repeat the
     // same sources across requests, so rebuilding a table per session
     // would redo identical Dijkstra runs.
@@ -240,10 +255,18 @@ fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> (f64, u64, Metr
             // Each algorithm picks a graph; success = picked graph is
             // qualified AND its resources commit.
             let picked = match algo {
-                Algorithm::Optimal => net
-                    .compose_with(&req, &CompositionOptions::optimal(cfg.optimal_cap))
-                    .ok()
-                    .map(|o| (o.best, o.eval)),
+                Algorithm::Optimal => {
+                    // Only the best graph is consumed here, so the
+                    // pool-free policy applies: cost-bound pruning on, same
+                    // best graph and evaluation as the full-pool run.
+                    let started = Instant::now();
+                    let picked = net
+                        .compose_with(&req, &CompositionOptions::optimal_best_only(cfg.optimal_cap))
+                        .ok()
+                        .map(|o| (o.best, o.eval));
+                    optimal_secs += started.elapsed().as_secs_f64();
+                    picked
+                }
                 Algorithm::Probing(fraction) => {
                     let budget = fraction_budget(&net, &req, fraction);
                     let bcp = BcpConfig {
@@ -279,7 +302,7 @@ fn run_cell(cfg: &Fig8Config, algo: Algorithm, workload: u64) -> (f64, u64, Metr
         }
     }
     let rate = successes as f64 / attempts.max(1) as f64;
-    (rate, net.metrics().value(counter::PROBES), net.metrics().clone())
+    (rate, net.metrics().value(counter::PROBES), optimal_secs, net.metrics().clone())
 }
 
 /// Runs the full figure.
@@ -301,19 +324,93 @@ pub fn run(cfg: &Fig8Config) -> Fig8Result {
 
     let mut rows = Vec::with_capacity(cfg.workloads.len());
     let mut total_probes = 0u64;
+    let mut optimal_phase_secs = 0.0f64;
     let mut metrics = MetricsRegistry::new();
     let mut it = rates.into_iter();
     for &workload in &cfg.workloads {
         let mut success = BTreeMap::new();
         for &algo in &cfg.algorithms {
-            let (rate, probes, reg) = it.next().expect("one rate per cell");
+            let (rate, probes, secs, reg) = it.next().expect("one rate per cell");
             total_probes += probes;
+            optimal_phase_secs += secs;
             metrics.merge(&reg);
             success.insert(algo.label(), rate);
         }
         rows.push(Fig8Row { workload, success });
     }
-    Fig8Result { rows, total_probes, metrics }
+    let combos_examined = metrics.value(counter::COMBOS_EXAMINED);
+    let combos_pruned = metrics.value(counter::COMBOS_PRUNED);
+    Fig8Result { rows, total_probes, metrics, optimal_phase_secs, combos_examined, combos_pruned }
+}
+
+/// Wall-time comparison of the naive reference enumerator against the
+/// branch-and-bound rewrite.
+///
+/// Both sides face the identical request stream (the same one
+/// [`run`]'s cells derive from `cfg.seed`) on identically built,
+/// freshly populated networks, under the same enumeration cap — so the
+/// considered-combination semantics match: naive examines exactly the
+/// capped combination count, and branch-and-bound's `examined + pruned`
+/// equals that same count.
+#[derive(Clone, Debug)]
+pub struct OptimalPhaseBench {
+    /// Requests composed per side.
+    pub requests: u64,
+    /// Seconds the naive enumerator spent composing.
+    pub naive_secs: f64,
+    /// Seconds the branch-and-bound enumerator spent composing.
+    pub bb_secs: f64,
+    /// `naive_secs / bb_secs` (0.0 when `bb_secs` is 0).
+    pub speedup: f64,
+    /// Combinations fully evaluated by branch-and-bound.
+    pub combos_examined: u64,
+    /// Combinations skipped by admissible pruning.
+    pub combos_pruned: u64,
+}
+
+/// Runs the optimal-phase bench: `requests` compositions through the
+/// naive enumerator, then the same stream through branch-and-bound.
+pub fn optimal_phase_bench(cfg: &Fig8Config, requests: u64) -> OptimalPhaseBench {
+    let build = || {
+        let mut net = SpiderNet::build(&SpiderNetConfig {
+            ip_nodes: cfg.ip_nodes,
+            peers: cfg.peers,
+            seed: cfg.seed,
+            ..SpiderNetConfig::default()
+        });
+        net.populate(&cfg.population);
+        net
+    };
+    let reqs: Vec<_> = {
+        let net = build();
+        let mut rng: Rng = rng_for(cfg.seed, "fig8-requests");
+        (0..requests)
+            .map(|_| random_request(net.overlay(), net.registry(), &cfg.request, &mut rng))
+            .collect()
+    };
+
+    let mut net = build();
+    let started = Instant::now();
+    for req in &reqs {
+        let _ = net.compose_optimal_naive(req, cfg.optimal_cap);
+    }
+    let naive_secs = started.elapsed().as_secs_f64();
+
+    let mut net = build();
+    let started = Instant::now();
+    for req in &reqs {
+        let _ = net.compose_with(req, &CompositionOptions::optimal_best_only(cfg.optimal_cap));
+    }
+    let bb_secs = started.elapsed().as_secs_f64();
+
+    OptimalPhaseBench {
+        requests,
+        naive_secs,
+        bb_secs,
+        speedup: if bb_secs > 0.0 { naive_secs / bb_secs } else { 0.0 },
+        combos_examined: net.metrics().value(counter::COMBOS_EXAMINED),
+        combos_pruned: net.metrics().value(counter::COMBOS_PRUNED),
+    }
 }
 
 #[cfg(test)]
@@ -363,6 +460,24 @@ mod tests {
         for l in &lines[1..] {
             assert_eq!(l.split(',').count(), 6); // workload + 5 algorithms
         }
+    }
+
+    #[test]
+    fn bench_fields_are_populated_and_phase_bench_agrees_on_combos() {
+        let cfg = tiny();
+        let res = run(&cfg);
+        // Optimal ran in half the cells, so the phase timer and the
+        // enumerator counters must be live.
+        assert!(res.optimal_phase_secs > 0.0);
+        assert!(res.combos_examined > 0, "no combinations examined");
+        // The bench fields never leak into the pinned figure output.
+        assert!(!res.to_csv().contains("combos"));
+
+        let bench = optimal_phase_bench(&cfg, 8);
+        assert_eq!(bench.requests, 8);
+        assert!(bench.naive_secs > 0.0 && bench.bb_secs > 0.0);
+        assert!(bench.combos_examined > 0);
+        assert!(bench.speedup > 0.0);
     }
 
     #[test]

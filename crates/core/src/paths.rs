@@ -6,15 +6,18 @@
 //! its bottleneck capacity. This table memoizes one overlay SSSP per
 //! queried source.
 
-use spidernet_topology::routing::{dijkstra, PathResult};
+use spidernet_topology::routing::{dijkstra, PairDelayCache, PathResult};
 use spidernet_topology::Overlay;
 use spidernet_util::hash::FxHashMap;
 use spidernet_util::id::PeerId;
 
-/// Per-source shortest-path cache over the overlay graph.
+/// Per-source shortest-path cache over the overlay graph, fronted by a
+/// symmetric per-pair delay memo so hot leg lookups (baseline enumeration,
+/// BCP leg pricing) skip the tree walk entirely.
 #[derive(Default)]
 pub struct PathTable {
     cache: FxHashMap<PeerId, PathResult>,
+    pairs: PairDelayCache,
 }
 
 impl PathTable {
@@ -30,11 +33,21 @@ impl PathTable {
     }
 
     /// Overlay-routed one-way delay `from → to`, ms.
+    ///
+    /// Served from the pair memo when warm; otherwise answered by `from`'s
+    /// SSSP tree and memoized. The memo is direction-preserving — a hit
+    /// returns the exact bits the producing tree computed, never the
+    /// reverse tree's ulp-sibling.
     pub fn delay(&mut self, overlay: &Overlay, from: PeerId, to: PeerId) -> f64 {
         if from == to {
             return 0.0;
         }
-        self.sssp(overlay, from).delay_to(to.index())
+        if let Some(d) = self.pairs.get(from.index(), to.index()) {
+            return d;
+        }
+        let d = self.sssp(overlay, from).delay_to(to.index());
+        self.pairs.insert(from.index(), to.index(), d);
+        d
     }
 
     /// The overlay peer path `from → to` (inclusive of both endpoints), or
@@ -67,19 +80,35 @@ impl PathTable {
     /// mid-stream re-resolve paths per composition anyway).
     pub fn invalidate(&mut self) {
         self.cache.clear();
+        self.pairs.clear();
     }
 
     /// Drops only the cached results a departed peer can affect: the entry
     /// sourced at `peer` plus any source whose shortest-path tree routes
     /// through it. Under churn this keeps every unrelated SSSP warm where
-    /// [`PathTable::invalidate`] throws the whole cache away.
+    /// [`PathTable::invalidate`] throws the whole cache away. Pair-memo
+    /// slots fed by the dropped trees are shed with them; slots produced
+    /// by surviving trees stay valid (the overlay graph itself is static).
     pub fn invalidate_peer(&mut self, peer: PeerId) {
-        self.cache.retain(|_, res| !res.routes_via(peer.index()));
+        let mut dropped = Vec::new();
+        self.cache.retain(|&src, res| {
+            let keep = !res.routes_via(peer.index());
+            if !keep {
+                dropped.push(src.index());
+            }
+            keep
+        });
+        self.pairs.invalidate_sources(&dropped);
     }
 
     /// Number of cached sources.
     pub fn cached_sources(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Number of memoized point-to-point delay pairs.
+    pub fn cached_pairs(&self) -> usize {
+        self.pairs.len()
     }
 }
 

@@ -10,13 +10,14 @@
 use crate::model::component::Registry;
 use crate::model::function_graph::FunctionGraph;
 use crate::model::request::CompositionRequest;
-use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
+use crate::model::service_graph::{CostWeights, GraphEval, LinkEnd, ServiceGraph, ServiceLink};
 use crate::paths::PathTable;
 use crate::state::OverlayState;
 use spidernet_topology::Overlay;
 use spidernet_util::hash::FxHashMap;
-use spidernet_util::id::ComponentId;
+use spidernet_util::id::{ComponentId, PeerId};
 use spidernet_util::qos::{dim, QosVector};
+use spidernet_util::res::ResourceVector;
 
 /// Evaluates one candidate service graph against a request.
 ///
@@ -174,6 +175,304 @@ pub fn merge_branches(
         .into_iter()
         .filter_map(|p| p.into_iter().collect::<Option<Vec<ComponentId>>>())
         .collect()
+}
+
+/// The assignment-independent shape of one composition pattern: its
+/// branch paths and service-link list, computed once per pattern instead
+/// of once per candidate graph.
+///
+/// The link list replicates [`ServiceGraph::service_links`] exactly
+/// (Source→entries, deps in declaration order, exits→Dest) so evaluation
+/// against it visits overlay legs in the same order.
+#[derive(Clone, Debug)]
+pub struct PatternShape {
+    /// Entry→exit branch paths, as [`FunctionGraph::branch_paths`] yields
+    /// them.
+    pub branches: Vec<Vec<usize>>,
+    /// Service links in [`ServiceGraph::service_links`] order.
+    pub links: Vec<ServiceLink>,
+}
+
+impl PatternShape {
+    /// Precomputes the shape of `pattern`.
+    pub fn new(pattern: &FunctionGraph) -> Self {
+        let mut links = Vec::with_capacity(pattern.deps().len() + 2);
+        for e in pattern.entry_nodes() {
+            links.push(ServiceLink { from: LinkEnd::Source, to: LinkEnd::Node(e) });
+        }
+        for &(a, b) in pattern.deps() {
+            links.push(ServiceLink { from: LinkEnd::Node(a), to: LinkEnd::Node(b) });
+        }
+        for x in pattern.exit_nodes() {
+            links.push(ServiceLink { from: LinkEnd::Node(x), to: LinkEnd::Dest });
+        }
+        PatternShape { branches: pattern.branch_paths(), links }
+    }
+}
+
+/// One memoized overlay leg: reachability, path bandwidth headroom, and
+/// the normalized overlay-link keys the path crosses.
+#[derive(Clone, Debug)]
+pub struct LegPath {
+    /// False when the overlay route does not exist.
+    pub reachable: bool,
+    /// `OverlayState::path_available` of the route at snapshot time.
+    pub avail: f64,
+    /// Normalized `(lo, hi)` overlay-link keys along the route.
+    pub hops: Vec<(usize, usize)>,
+}
+
+/// Immutable per-request snapshot of every overlay leg and peer datum a
+/// candidate evaluation touches.
+///
+/// Built once per enumeration from the mutable [`PathTable`] (warming its
+/// SSSP trees and pair-delay memo), then shared read-only across worker
+/// threads: evaluating a candidate becomes pure hash lookups with no
+/// `&mut` anywhere. Values are the exact bits the live query path
+/// returns, so evaluations against the table match [`evaluate`]
+/// bit-for-bit as long as the overlay state is not mutated in between.
+#[derive(Clone, Debug, Default)]
+pub struct LegTable {
+    delays: FxHashMap<(PeerId, PeerId), f64>,
+    legs: FxHashMap<(PeerId, PeerId), LegPath>,
+    avail: FxHashMap<PeerId, ResourceVector>,
+    alive: FxHashMap<PeerId, bool>,
+}
+
+impl LegTable {
+    /// Snapshots all pairs `froms × tos` plus per-peer liveness and
+    /// available resources for `peers`.
+    pub fn build(
+        overlay: &Overlay,
+        state: &OverlayState,
+        paths: &mut PathTable,
+        froms: &[PeerId],
+        tos: &[PeerId],
+        peers: &[PeerId],
+    ) -> Self {
+        let mut table = LegTable::default();
+        for &a in froms {
+            for &b in tos {
+                if table.delays.contains_key(&(a, b)) {
+                    continue;
+                }
+                table.delays.insert((a, b), paths.delay(overlay, a, b));
+                if a == b {
+                    continue;
+                }
+                let leg = match paths.peer_path(overlay, a, b) {
+                    None => LegPath { reachable: false, avail: 0.0, hops: Vec::new() },
+                    Some(p) => LegPath {
+                        reachable: true,
+                        avail: state.path_available(&p),
+                        hops: p
+                            .windows(2)
+                            .map(|w| {
+                                if w[0].index() <= w[1].index() {
+                                    (w[0].index(), w[1].index())
+                                } else {
+                                    (w[1].index(), w[0].index())
+                                }
+                            })
+                            .collect(),
+                    },
+                };
+                table.legs.insert((a, b), leg);
+            }
+        }
+        for &p in peers {
+            table.avail.insert(p, state.available(p));
+            table.alive.insert(p, state.is_alive(p));
+        }
+        table
+    }
+
+    /// Memoized overlay delay `from → to`, ms.
+    ///
+    /// # Panics
+    /// If the pair was outside the `froms × tos` universe at build time.
+    pub fn delay(&self, from: PeerId, to: PeerId) -> f64 {
+        *self.delays.get(&(from, to)).expect("leg outside the precomputed pair universe")
+    }
+
+    /// Memoized leg data for `from → to` (`from != to`).
+    ///
+    /// # Panics
+    /// If the pair was outside the `froms × tos` universe at build time.
+    pub fn leg(&self, from: PeerId, to: PeerId) -> &LegPath {
+        self.legs.get(&(from, to)).expect("leg outside the precomputed pair universe")
+    }
+
+    /// Snapshot of `OverlayState::available` for `peer`.
+    ///
+    /// # Panics
+    /// If `peer` was not in the build-time peer set.
+    pub fn available(&self, peer: PeerId) -> &ResourceVector {
+        self.avail.get(&peer).expect("peer outside the precomputed peer set")
+    }
+
+    /// Snapshot of `OverlayState::is_alive` for `peer`.
+    ///
+    /// # Panics
+    /// If `peer` was not in the build-time peer set.
+    pub fn is_alive(&self, peer: PeerId) -> bool {
+        *self.alive.get(&peer).expect("peer outside the precomputed peer set")
+    }
+}
+
+/// Shared read-only inputs of [`evaluate_assignment`].
+#[derive(Clone, Copy)]
+pub struct EvalContext<'a> {
+    /// The composition request being served.
+    pub req: &'a CompositionRequest,
+    /// Component registry.
+    pub reg: &'a Registry,
+    /// Live overlay state (read-only; used for aggregate link feasibility).
+    pub state: &'a OverlayState,
+    /// Per-request leg snapshot.
+    pub legs: &'a LegTable,
+    /// ψ aggregation weights.
+    pub weights: &'a CostWeights,
+}
+
+/// Reusable allocation scratch for [`evaluate_assignment`].
+#[derive(Clone, Debug, Default)]
+pub struct EvalScratch {
+    qos: Vec<f64>,
+    acc: Vec<f64>,
+    demand: Vec<(PeerId, ResourceVector)>,
+    fail: Vec<(PeerId, f64)>,
+    links: FxHashMap<(usize, usize), f64>,
+}
+
+/// Evaluates one assignment of a pattern without constructing a
+/// [`ServiceGraph`] and without touching the mutable path cache.
+///
+/// Bit-for-bit equivalent to [`evaluate`] on the equivalent graph: every
+/// float reduction (branch QoS accumulation, per-peer demand aggregation,
+/// ψ terms, failure product) replays the same operations in the same
+/// order, with BTreeMap passes replaced by peer-sorted scratch vectors.
+/// This is the enumeration hot path: no per-candidate allocation beyond
+/// the returned [`GraphEval`].
+pub fn evaluate_assignment(
+    ctx: &EvalContext<'_>,
+    shape: &PatternShape,
+    assignment: &[ComponentId],
+    scratch: &mut EvalScratch,
+) -> GraphEval {
+    let m = ctx.req.qos_req.dims();
+
+    // --- QoS: worst branch of per-branch accumulation ---
+    scratch.qos.clear();
+    scratch.qos.resize(m, 0.0);
+    scratch.acc.resize(m, 0.0);
+    for branch in &shape.branches {
+        scratch.acc.fill(0.0);
+        let mut prev_peer = ctx.req.source;
+        for &node in branch {
+            let comp = ctx.reg.get(assignment[node]);
+            scratch.acc[dim::DELAY_MS] += ctx.legs.delay(prev_peer, comp.peer);
+            for (a, b) in scratch.acc.iter_mut().zip(comp.perf_qos.values()) {
+                *a += b;
+            }
+            prev_peer = comp.peer;
+        }
+        scratch.acc[dim::DELAY_MS] += ctx.legs.delay(prev_peer, ctx.req.dest);
+        for (q, a) in scratch.qos.iter_mut().zip(&scratch.acc) {
+            *q = q.max(*a);
+        }
+    }
+
+    // --- resource feasibility + ψ cost ---
+    let mut fits = true;
+    let mut cost = 0.0;
+
+    // End-system term, aggregated per peer then visited in ascending peer
+    // order (the BTreeMap order `evaluate` relies on).
+    scratch.demand.clear();
+    for &c in assignment {
+        let comp = ctx.reg.get(c);
+        match scratch.demand.iter_mut().find(|(p, _)| *p == comp.peer) {
+            Some((_, need)) => *need = need.add(&comp.resources),
+            None => scratch.demand.push((comp.peer, ResourceVector::ZERO.add(&comp.resources))),
+        }
+    }
+    scratch.demand.sort_by_key(|&(p, _)| p);
+    for (peer, need) in &scratch.demand {
+        let avail = ctx.legs.available(*peer);
+        if !need.fits_within(avail) {
+            fits = false;
+        }
+        cost += need.weighted_usage_ratio(avail, &ctx.weights.resource);
+    }
+
+    // Bandwidth term over each service link's overlay path, aggregate
+    // feasibility per overlay link.
+    scratch.links.clear();
+    for link in &shape.links {
+        let from = match link.from {
+            LinkEnd::Source => ctx.req.source,
+            LinkEnd::Dest => ctx.req.dest,
+            LinkEnd::Node(i) => ctx.reg.get(assignment[i]).peer,
+        };
+        let to = match link.to {
+            LinkEnd::Source => ctx.req.source,
+            LinkEnd::Dest => ctx.req.dest,
+            LinkEnd::Node(i) => ctx.reg.get(assignment[i]).peer,
+        };
+        let bw = match link.from {
+            LinkEnd::Source => ctx.req.bandwidth_mbps,
+            LinkEnd::Node(i) => ctx.reg.get(assignment[i]).out_bandwidth_mbps,
+            LinkEnd::Dest => 0.0,
+        };
+        if from == to || bw <= 0.0 {
+            continue;
+        }
+        let leg = ctx.legs.leg(from, to);
+        if !leg.reachable {
+            fits = false;
+            cost = f64::INFINITY;
+        } else {
+            cost += ctx.weights.bandwidth * if leg.avail > 0.0 { bw / leg.avail } else { f64::INFINITY };
+            for &key in &leg.hops {
+                *scratch.links.entry(key).or_insert(0.0) += bw;
+            }
+        }
+    }
+    for (&(a, b), &need) in &scratch.links {
+        let avail = ctx.state.link_available(a.into(), b.into());
+        if avail + 1e-12 < need {
+            fits = false;
+        }
+    }
+
+    // Dead peers disqualify outright.
+    for &c in assignment {
+        if !ctx.legs.is_alive(ctx.reg.get(c).peer) {
+            fits = false;
+            cost = f64::INFINITY;
+        }
+    }
+
+    // Failure probability: worst component per peer, product in ascending
+    // peer order (mirrors `ServiceGraph::failure_probability`).
+    scratch.fail.clear();
+    for &c in assignment {
+        let comp = ctx.reg.get(c);
+        match scratch.fail.iter_mut().find(|(p, _)| *p == comp.peer) {
+            Some((_, fp)) => *fp = fp.max(comp.failure_prob),
+            None => scratch.fail.push((comp.peer, 0.0f64.max(comp.failure_prob))),
+        }
+    }
+    scratch.fail.sort_by_key(|&(p, _)| p);
+    let failure_prob = 1.0 - scratch.fail.iter().map(|&(_, p)| 1.0 - p).product::<f64>();
+
+    GraphEval {
+        qos: QosVector::from_values(scratch.qos.clone()),
+        cost,
+        failure_prob,
+        fits_resources: fits,
+    }
 }
 
 /// A candidate with its evaluation.
@@ -405,6 +704,90 @@ mod tests {
         let branch1 = leg(0, 1) + 10.0 + leg(1, 2) + 10.0 + leg(2, 9); // 0→n0→n1→dest
         let branch2 = leg(0, 1) + 10.0 + leg(1, 3) + 10.0 + leg(3, 9); // 0→n0→n2→dest
         assert!((eval.qos[dim::DELAY_MS] - branch1.max(branch2)).abs() < 1e-9);
+    }
+
+    fn assert_bit_equal(a: &GraphEval, b: &GraphEval) {
+        assert_eq!(a.qos.values().len(), b.qos.values().len());
+        for (x, y) in a.qos.values().iter().zip(b.qos.values()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "qos dims must match bitwise");
+        }
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "cost must match bitwise");
+        assert_eq!(a.failure_prob.to_bits(), b.failure_prob.to_bits());
+        assert_eq!(a.fits_resources, b.fits_resources);
+    }
+
+    fn leg_table_for(w: &mut World, req: &CompositionRequest) -> LegTable {
+        let replicas: Vec<PeerId> = (1..=4).map(PeerId::new).collect();
+        let mut froms = vec![req.source];
+        froms.extend(&replicas);
+        let mut tos = replicas.clone();
+        tos.push(req.dest);
+        LegTable::build(&w.overlay, &w.state, &mut w.paths, &froms, &tos, &replicas)
+    }
+
+    #[test]
+    fn evaluate_assignment_matches_evaluate_bitwise() {
+        let mut w = world();
+        let req = request();
+        let legs = leg_table_for(&mut w, &req);
+        let shape = PatternShape::new(&req.function_graph);
+        let mut scratch = EvalScratch::default();
+        let weights = CostWeights::uniform();
+        // Both replicas of function 0 (components 0 and 3), so the fast
+        // path is exercised on more than one assignment.
+        for first in [0u64, 3] {
+            let mut assignment = chain_assignment();
+            assignment[0] = ComponentId::new(first);
+            let g = ServiceGraph::new(
+                req.source,
+                req.dest,
+                req.function_graph.clone(),
+                assignment.clone(),
+            );
+            let slow =
+                evaluate(&g, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &weights);
+            let ctx = EvalContext {
+                req: &req,
+                reg: &w.reg,
+                state: &w.state,
+                legs: &legs,
+                weights: &weights,
+            };
+            let fast = evaluate_assignment(&ctx, &shape, &assignment, &mut scratch);
+            assert_bit_equal(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn evaluate_assignment_matches_on_dag_and_dead_peer() {
+        let mut w = world();
+        let req = CompositionRequest {
+            function_graph: FunctionGraph::new(
+                (0..3).map(FunctionId::new).collect(),
+                vec![(0, 1), (0, 2)],
+                vec![],
+            )
+            .unwrap(),
+            ..request()
+        };
+        w.state.fail_peer(PeerId::new(2));
+        let legs = leg_table_for(&mut w, &req);
+        let shape = PatternShape::new(&req.function_graph);
+        let weights = CostWeights::uniform();
+        let assignment = chain_assignment();
+        let g = ServiceGraph::new(
+            req.source,
+            req.dest,
+            req.function_graph.clone(),
+            assignment.clone(),
+        );
+        let slow = evaluate(&g, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &weights);
+        let ctx =
+            EvalContext { req: &req, reg: &w.reg, state: &w.state, legs: &legs, weights: &weights };
+        let fast = evaluate_assignment(&ctx, &shape, &assignment, &mut EvalScratch::default());
+        assert_bit_equal(&fast, &slow);
+        assert!(!fast.fits_resources, "dead peer must disqualify");
+        assert!(fast.cost.is_infinite());
     }
 
     #[test]

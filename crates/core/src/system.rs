@@ -22,7 +22,7 @@
 //! }
 //! ```
 
-use crate::baselines::{self, BaselineContext};
+use crate::baselines::{self, BaselineContext, OptimalOptions, PoolPolicy};
 use crate::bcp::{BcpConfig, BcpEngine, BcpStats, CompositionOutcome};
 use crate::model::component::{Registry, ServiceComponent};
 use crate::model::request::CompositionRequest;
@@ -147,10 +147,17 @@ impl SpiderNetConfigBuilder {
 pub enum CompositionStrategy {
     /// The BCP protocol (the paper's algorithm).
     Bcp(BcpConfig),
-    /// Exhaustive flooding; `combo_cap` bounds enumeration for tests.
+    /// Exhaustive flooding via the branch-and-bound enumerator;
+    /// `combo_cap` bounds enumeration for tests.
     Optimal {
-        /// Optional cap on examined combinations.
+        /// Optional cap on considered combinations.
         combo_cap: Option<u64>,
+        /// Whether the full qualified pool is retained or only the best
+        /// graph (enabling cost-bound pruning).
+        pool: PoolPolicy,
+        /// Worker threads for the combo-space fan-out (results are
+        /// thread-count invariant).
+        threads: usize,
     },
     /// Random functionally-correct pick (uses the overlay's internal
     /// deterministic baseline stream).
@@ -177,12 +184,42 @@ impl CompositionOptions {
         CompositionOptions { strategy: CompositionStrategy::Bcp(cfg), capture_trace: false }
     }
 
-    /// The optimal (exhaustive flooding) baseline.
+    /// The optimal (exhaustive flooding) baseline, retaining the full
+    /// qualified pool — byte-compatible with the naive enumerator.
     pub fn optimal(combo_cap: Option<u64>) -> Self {
         CompositionOptions {
-            strategy: CompositionStrategy::Optimal { combo_cap },
+            strategy: CompositionStrategy::Optimal {
+                combo_cap,
+                pool: PoolPolicy::Full,
+                threads: 1,
+            },
             capture_trace: false,
         }
+    }
+
+    /// The optimal baseline keeping only the best graph: enables
+    /// cost-bound pruning on top of the feasibility bounds and skips pool
+    /// retention. The best graph and its evaluation are identical to
+    /// [`CompositionOptions::optimal`]'s; `qualified_pool` comes back
+    /// empty.
+    pub fn optimal_best_only(combo_cap: Option<u64>) -> Self {
+        CompositionOptions {
+            strategy: CompositionStrategy::Optimal {
+                combo_cap,
+                pool: PoolPolicy::BestOnly,
+                threads: 1,
+            },
+            capture_trace: false,
+        }
+    }
+
+    /// Sets the worker-thread count for the optimal enumerator's combo
+    /// fan-out (no-op for other strategies).
+    pub fn with_optimal_threads(mut self, n: usize) -> Self {
+        if let CompositionStrategy::Optimal { threads, .. } = &mut self.strategy {
+            *threads = n.max(1);
+        }
+        self
     }
 
     /// The random baseline.
@@ -219,6 +256,12 @@ pub struct ComposeReport {
     pub stats: Option<BcpStats>,
     /// Probe-equivalent overhead, comparable across strategies.
     pub probes: u64,
+    /// Optimal strategy only: candidate combos fully evaluated (0 for
+    /// other strategies).
+    pub combos_examined: u64,
+    /// Optimal strategy only: candidate combos cut by branch-and-bound
+    /// pruning (0 for other strategies).
+    pub combos_pruned: u64,
     /// Trace events emitted during the run, when
     /// [`CompositionOptions::capture_trace`] was set.
     pub trace: Vec<TraceEvent>,
@@ -363,25 +406,46 @@ impl SpiderNet {
                     qualified_pool: out.qualified_pool,
                     probes: out.stats.probes_sent,
                     stats: Some(out.stats),
+                    combos_examined: 0,
+                    combos_pruned: 0,
                     trace: Vec::new(),
                 })
             }
-            CompositionStrategy::Optimal { combo_cap } => {
-                let mut ctx = BaselineContext {
-                    overlay: &self.overlay,
-                    reg: &self.reg,
-                    state: &self.state,
-                    paths: &mut self.paths,
-                    weights: &self.weights,
+            CompositionStrategy::Optimal { combo_cap, pool, threads } => {
+                let opt_opts =
+                    OptimalOptions { combo_cap: *combo_cap, pool: *pool, threads: *threads };
+                let out = {
+                    let mut ctx = BaselineContext {
+                        overlay: &self.overlay,
+                        reg: &self.reg,
+                        state: &self.state,
+                        paths: &mut self.paths,
+                        weights: &self.weights,
+                    };
+                    baselines::optimal_with(&mut ctx, req, &opt_opts)
                 };
-                baselines::optimal(&mut ctx, req, *combo_cap).map(|out| ComposeReport {
-                    session,
-                    best: out.best,
-                    eval: out.eval,
-                    qualified_pool: out.qualified_pool,
-                    stats: None,
-                    probes: out.probes,
-                    trace: Vec::new(),
+                out.map(|out| {
+                    self.obs
+                        .metrics
+                        .add(self.obs.counters.combos_examined, out.combos_examined);
+                    self.obs.metrics.add(self.obs.counters.combos_pruned, out.combos_pruned);
+                    self.obs.trace.record(TraceEvent::BaselinePruned {
+                        session,
+                        considered: out.probes,
+                        examined: out.combos_examined,
+                        pruned: out.combos_pruned,
+                    });
+                    ComposeReport {
+                        session,
+                        best: out.best,
+                        eval: out.eval,
+                        qualified_pool: out.qualified_pool,
+                        stats: None,
+                        probes: out.probes,
+                        combos_examined: out.combos_examined,
+                        combos_pruned: out.combos_pruned,
+                        trace: Vec::new(),
+                    }
                 })
             }
             CompositionStrategy::Random => {
@@ -400,6 +464,8 @@ impl SpiderNet {
                         qualified_pool: out.qualified_pool,
                         stats: None,
                         probes: out.probes,
+                        combos_examined: 0,
+                        combos_pruned: 0,
                         trace: Vec::new(),
                     }
                 })
@@ -419,6 +485,8 @@ impl SpiderNet {
                     qualified_pool: out.qualified_pool,
                     stats: None,
                     probes: out.probes,
+                    combos_examined: 0,
+                    combos_pruned: 0,
                     trace: Vec::new(),
                 })
             }
@@ -430,6 +498,26 @@ impl SpiderNet {
             }
             report
         })
+    }
+
+    /// Runs the pre-branch-and-bound naive optimal enumerator. Kept only
+    /// as a wall-time / equivalence oracle for benches and tests; use
+    /// [`SpiderNet::compose_with`] with [`CompositionOptions::optimal`]
+    /// for real work.
+    #[doc(hidden)]
+    pub fn compose_optimal_naive(
+        &mut self,
+        req: &CompositionRequest,
+        combo_cap: Option<u64>,
+    ) -> Result<baselines::BaselineOutcome> {
+        let mut ctx = BaselineContext {
+            overlay: &self.overlay,
+            reg: &self.reg,
+            state: &self.state,
+            paths: &mut self.paths,
+            weights: &self.weights,
+        };
+        baselines::optimal_naive(&mut ctx, req, combo_cap)
     }
 
     fn next_compose_session(&mut self) -> u64 {

@@ -25,6 +25,10 @@ pub mod counter {
     pub const CONTROL: &str = "session.control";
     /// Periodic global-state update messages (centralized baseline).
     pub const STATE_UPDATES: &str = "centralized.state_updates";
+    /// Optimal-baseline candidate combos fully evaluated.
+    pub const COMBOS_EXAMINED: &str = "baseline.combos_examined";
+    /// Optimal-baseline candidate combos cut by branch-and-bound pruning.
+    pub const COMBOS_PRUNED: &str = "baseline.combos_pruned";
 }
 
 /// Conventional histogram names used across the experiments.
@@ -264,6 +268,10 @@ pub struct ProtocolCounters {
     pub control: Counter,
     /// Centralized-baseline state updates.
     pub state_updates: Counter,
+    /// Optimal-baseline combos fully evaluated.
+    pub combos_examined: Counter,
+    /// Optimal-baseline combos cut by branch-and-bound pruning.
+    pub combos_pruned: Counter,
     /// Backup switchover latency (ms).
     pub switch_ms: Histogram,
     /// Function-graph node count per composition.
@@ -281,6 +289,8 @@ impl ProtocolCounters {
             maintenance: reg.counter(counter::MAINTENANCE),
             control: reg.counter(counter::CONTROL),
             state_updates: reg.counter(counter::STATE_UPDATES),
+            combos_examined: reg.counter(counter::COMBOS_EXAMINED),
+            combos_pruned: reg.counter(counter::COMBOS_PRUNED),
             switch_ms: reg.histogram(hist::SWITCH_MS),
             graph_nodes: reg.histogram(hist::GRAPH_NODES),
             graph_branches: reg.histogram(hist::GRAPH_BRANCHES),

@@ -65,6 +65,19 @@ pub enum TraceEvent {
         /// Overlay routing hops the message traversed.
         hops: u32,
     },
+    /// An optimal-baseline enumeration finished, summarizing how much of
+    /// the candidate combo space branch-and-bound pruning cut away.
+    BaselinePruned {
+        /// Composition session of the run.
+        session: u64,
+        /// Candidate positions considered (`examined + pruned`; equals the
+        /// capped combo count).
+        considered: u64,
+        /// Leaves fully evaluated.
+        examined: u64,
+        /// Leaves skipped by admissible prefix pruning.
+        pruned: u64,
+    },
 }
 
 /// Default ring capacity (events). At ~40 bytes per event this is well

@@ -70,6 +70,112 @@ impl PathResult {
     }
 }
 
+/// Memoized point-to-point delays, shared across per-source SSSP trees.
+///
+/// Per-source caches ([`RoutingOracle`], the core crate's `PathTable`)
+/// answer a pair query by walking to the full tree rooted at the query's
+/// source. Composition enumerators ask for the *same handful of pairs*
+/// across thousands of candidate graphs, so this cache stores every
+/// answered pair under one symmetric `(lo, hi)` key; repeated leg lookups
+/// become a single hash probe with no tree in sight.
+///
+/// The two directions are kept in separate slots: an undirected graph has
+/// `d(a,b) == d(b,a)` mathematically, but the two trees can disagree in
+/// the last ulp (different addition order along tied paths), and callers
+/// that pin bit-exact outputs must get back exactly the value the
+/// producing tree computed. Each slot is implicitly owned by its
+/// direction's source node, which is how invalidation finds it when that
+/// source's tree is shed.
+#[derive(Clone, Debug, Default)]
+pub struct PairDelayCache {
+    map: HashMap<(NodeIndex, NodeIndex), PairSlots>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PairSlots {
+    /// Delay `lo → hi`, produced by `lo`'s SSSP tree.
+    fwd: Option<f64>,
+    /// Delay `hi → lo`, produced by `hi`'s SSSP tree.
+    rev: Option<f64>,
+}
+
+/// Entry-count bound: beyond this the cache stops inserting (lookups keep
+/// working). Values are immutable once present, so the bound can never
+/// change what a query returns — only whether it is O(1).
+pub const MAX_CACHED_PAIRS: usize = 1 << 20;
+
+impl PairDelayCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PairDelayCache::default()
+    }
+
+    /// The memoized delay `from → to`, if this exact direction was
+    /// inserted before.
+    pub fn get(&self, from: NodeIndex, to: NodeIndex) -> Option<f64> {
+        let slots = self.map.get(&Self::key(from, to))?;
+        if from <= to {
+            slots.fwd
+        } else {
+            slots.rev
+        }
+    }
+
+    /// Memoizes the delay `from → to` as computed by `from`'s SSSP tree.
+    /// No-op once [`MAX_CACHED_PAIRS`] entries exist.
+    pub fn insert(&mut self, from: NodeIndex, to: NodeIndex, delay: f64) {
+        if self.map.len() >= MAX_CACHED_PAIRS && !self.map.contains_key(&Self::key(from, to)) {
+            return;
+        }
+        let slots = self.map.entry(Self::key(from, to)).or_default();
+        if from <= to {
+            slots.fwd = Some(delay);
+        } else {
+            slots.rev = Some(delay);
+        }
+    }
+
+    /// Drops every slot whose producing source is in `sources` (the trees
+    /// a churn event invalidated). Slots fed by surviving trees stay.
+    pub fn invalidate_sources(&mut self, sources: &[NodeIndex]) {
+        if sources.is_empty() {
+            return;
+        }
+        self.map.retain(|&(lo, hi), slots| {
+            if sources.contains(&lo) {
+                slots.fwd = None;
+            }
+            if sources.contains(&hi) {
+                slots.rev = None;
+            }
+            slots.fwd.is_some() || slots.rev.is_some()
+        });
+    }
+
+    /// Number of symmetric pair entries held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    fn key(a: NodeIndex, b: NodeIndex) -> (NodeIndex, NodeIndex) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
 #[derive(PartialEq)]
 struct HeapItem {
     dist: f64,
@@ -218,6 +324,66 @@ mod tests {
         assert!(r.delay_to(iso).is_infinite());
         assert!(r.path_to(iso).is_none());
         assert!(r.bottleneck_capacity_to(&g, iso).is_none());
+    }
+
+    #[test]
+    fn routes_via_edge_cases() {
+        let mut g = diamond();
+        let iso = g.add_node();
+        let r = dijkstra(&g, 0);
+        // An unreachable node is never a waypoint of the tree.
+        assert!(!r.routes_via(iso));
+        // A tree rooted at an isolated node still anchors itself even
+        // though it reaches nothing.
+        let ri = dijkstra(&g, iso);
+        assert!(ri.routes_via(iso), "a source routes via itself");
+        assert!(!ri.routes_via(0));
+        assert_eq!(ri.source(), iso);
+    }
+
+    #[test]
+    fn bottleneck_edge_cases_from_isolated_source() {
+        let mut g = diamond();
+        let iso = g.add_node();
+        let r = dijkstra(&g, iso);
+        // Source → source is trivially unconstrained even when isolated.
+        assert!(r.bottleneck_capacity_to(&g, iso).unwrap().is_infinite());
+        // Everything else is unreachable from the isolated source.
+        assert!(r.bottleneck_capacity_to(&g, 0).is_none());
+        assert!(r.delay_to(0).is_infinite());
+    }
+
+    #[test]
+    fn pair_cache_is_direction_preserving() {
+        let mut pc = PairDelayCache::new();
+        assert!(pc.is_empty());
+        pc.insert(0, 3, 5.0);
+        assert_eq!(pc.get(0, 3), Some(5.0));
+        // The reverse direction was never produced; it must not be served.
+        assert_eq!(pc.get(3, 0), None);
+        pc.insert(3, 0, 5.0 + 1e-13); // the reverse tree's ulp-sibling
+        assert_eq!(pc.get(3, 0), Some(5.0 + 1e-13));
+        assert_eq!(pc.get(0, 3), Some(5.0));
+        assert_eq!(pc.len(), 1, "both directions share one symmetric entry");
+    }
+
+    #[test]
+    fn pair_cache_invalidation_by_producing_source() {
+        let mut pc = PairDelayCache::new();
+        pc.insert(0, 3, 5.0); // produced by source 0
+        pc.insert(3, 0, 5.0); // produced by source 3
+        pc.insert(1, 2, 1.0); // produced by source 1
+        // Shedding source 0's tree drops only the slot it produced.
+        pc.invalidate_sources(&[0]);
+        assert_eq!(pc.get(0, 3), None);
+        assert_eq!(pc.get(3, 0), Some(5.0));
+        assert_eq!(pc.get(1, 2), Some(1.0));
+        // Dropping the surviving producer removes the entry entirely.
+        pc.invalidate_sources(&[3]);
+        assert_eq!(pc.get(3, 0), None);
+        assert_eq!(pc.len(), 1);
+        pc.clear();
+        assert!(pc.is_empty());
     }
 
     #[test]

@@ -25,6 +25,9 @@ fn render(ev: &TraceEvent) -> String {
         TraceEvent::SoftRelease { peer } => format!("release p{peer}"),
         TraceEvent::BackupSwitch { from, to, .. } => format!("switch {from}->{to}"),
         TraceEvent::DhtLookup { hops } => format!("dht h{hops}"),
+        TraceEvent::BaselinePruned { examined, pruned, .. } => {
+            format!("baseline e{examined} p{pruned}")
+        }
     }
 }
 
