@@ -43,6 +43,38 @@ pub fn trace_json_requested() -> bool {
     std::env::args().any(|a| a == "--trace-json")
 }
 
+/// True if the CLI was invoked with `--churn-sweep` (fig10: sweep crash
+/// rates through the deterministic fault lab instead of the threaded
+/// setup-time experiment).
+pub fn churn_sweep_requested() -> bool {
+    std::env::args().any(|a| a == "--churn-sweep")
+}
+
+/// The value of `--<flag> <value>` or `--<flag>=<value>` on the CLI, if
+/// present (e.g. `arg_value("--faults")`).
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    arg_value_in(&args, flag)
+}
+
+/// [`arg_value`] over an explicit argument list (separated out for
+/// testing). Matches only the exact flag or `flag=`; `--faultsX` does
+/// not match `--faults`.
+pub fn arg_value_in(args: &[String], flag: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it.next().cloned();
+        }
+        if let Some(rest) = a.strip_prefix(flag) {
+            if let Some(v) = rest.strip_prefix('=') {
+                return Some(v.to_owned());
+            }
+        }
+    }
+    None
+}
+
 /// Times one figure driver sequentially (1 worker thread) and again at the
 /// environment's thread count; returns
 /// `(sequential_secs, parallel_secs, threads, parallel_result)`.
@@ -149,6 +181,21 @@ mod tests {
         assert!(json.contains("\"figure\": \"figX\""));
         assert!(json.contains("\"trials\": 10,"));
         assert!(json.contains("\"parallel_secs\": 1.2500\n"));
+    }
+
+    #[test]
+    fn arg_value_matches_both_spellings_and_nothing_else() {
+        let args: Vec<String> = ["fig10", "--faults", "storm:rate=0.1", "--seed=7", "--faultsy=x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value_in(&args, "--faults").as_deref(), Some("storm:rate=0.1"));
+        assert_eq!(arg_value_in(&args, "--seed").as_deref(), Some("7"));
+        assert_eq!(arg_value_in(&args, "--rates"), None);
+        assert_eq!(arg_value_in(&args, "--faultsy").as_deref(), Some("x"));
+        // A flag with no following value yields None, not a panic.
+        let dangling: Vec<String> = vec!["fig10".into(), "--faults".into()];
+        assert_eq!(arg_value_in(&dangling, "--faults"), None);
     }
 
     #[test]

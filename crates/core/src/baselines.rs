@@ -513,10 +513,7 @@ impl ChunkOut {
             None => true,
             Some((ba, be)) => {
                 matches!(
-                    eval.cost
-                        .partial_cmp(&be.cost)
-                        .expect("costs are not NaN")
-                        .then_with(|| assignment.cmp(ba)),
+                    eval.cost.total_cmp(&be.cost).then_with(|| assignment.cmp(ba)),
                     std::cmp::Ordering::Less
                 )
             }

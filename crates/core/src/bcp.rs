@@ -594,9 +594,8 @@ impl BcpEngine<'_> {
             let norm_delay = if max_delay > 0.0 { s.0 / max_delay } else { 0.0 };
             s.1 += cfg.w_delay * norm_delay + cfg.w_load * load;
         }
-        scored.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1).expect("scores are finite").then_with(|| a.2.cmp(&b.2))
-        });
+        // `total_cmp` ranks a NaN score worst instead of panicking.
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.2.cmp(&b.2)));
 
         let alpha = cfg.quota.quota(pool.raw_len);
         let i_k = (budget.min(alpha) as usize).min(scored.len());

@@ -1,0 +1,657 @@
+//! Deterministic fault-injection lab driving the proactive recovery path.
+//!
+//! A [`FaultDriver`] establishes a population of standing sessions, then
+//! replays a seeded [`FaultPlan`] unit by unit against the sim clock:
+//! crashes and revives flow through [`SpiderNet::fail_peers`] /
+//! [`SpiderNet::revive_peer`] (exercising
+//! `SessionManager::handle_peer_failure` and reactive BCP), soft-state
+//! expiry storms stress the `OverlayState` sweep, and every unit ends
+//! with a maintenance tick plus a clock advance. The driver is steppable
+//! so tests can assert the recovery invariants *between* units
+//! ([`FaultDriver::verify_invariants`]), and entirely sequential per
+//! plan — replaying the same plan against the same config is
+//! byte-identical whatever `SPIDERNET_THREADS` says. The
+//! [`churn_sweep`] harness fans whole plans out per churn rate with the
+//! PR1 parallel contract (per-cell derived seeds, results written back
+//! by cell index).
+
+use crate::bcp::BcpConfig;
+use crate::recovery::{FailureOutcome, RecoveryConfig};
+use crate::system::{SpiderNet, SpiderNetConfig};
+use crate::workload::{random_request, PopulationConfig, RequestConfig};
+use spidernet_sim::fault::{FaultAction, FaultPlan};
+use spidernet_sim::metrics::MetricsRegistry;
+use spidernet_sim::time::SimDuration;
+use spidernet_sim::trace::{TraceBuffer, TraceEvent};
+use spidernet_util::id::PeerId;
+use spidernet_util::par::par_map_with;
+use spidernet_util::res::ResourceVector;
+use spidernet_util::rng::{derive_seed, rng_for, Rng};
+use std::fmt;
+
+/// World and workload parameters of the fault lab.
+#[derive(Clone, Debug)]
+pub struct FaultLabConfig {
+    /// IP-layer nodes.
+    pub ip_nodes: usize,
+    /// Overlay peers.
+    pub peers: usize,
+    /// Master seed (world construction + request stream).
+    pub seed: u64,
+    /// Standing sessions established before the plan starts.
+    pub sessions: usize,
+    /// Sim-time length of one plan unit.
+    pub unit: SimDuration,
+    /// Backup bound U (Eq. 2).
+    pub backup_upper_bound: f64,
+    /// Component population.
+    pub population: PopulationConfig,
+    /// Request shape for the standing sessions.
+    pub request: RequestConfig,
+    /// BCP configuration for setup and reactive recovery.
+    pub bcp: BcpConfig,
+    /// Worker threads for [`churn_sweep`]'s per-rate fan-out (`None` =
+    /// environment; results are identical for any value).
+    pub threads: Option<usize>,
+}
+
+impl Default for FaultLabConfig {
+    fn default() -> Self {
+        FaultLabConfig {
+            ip_nodes: 600,
+            peers: 120,
+            seed: 10,
+            sessions: 40,
+            unit: SimDuration::from_secs(1),
+            backup_upper_bound: 4.0,
+            population: PopulationConfig { functions: 20, ..PopulationConfig::default() },
+            request: RequestConfig {
+                functions: (2, 4),
+                delay_bound_ms: (350.0, 600.0),
+                loss_bound: (0.03, 0.06),
+                max_failure_prob: 0.12,
+                ..RequestConfig::default()
+            },
+            bcp: BcpConfig { budget: 128, merge_cap: 256, ..BcpConfig::default() },
+            threads: None,
+        }
+    }
+}
+
+/// Per-unit accounting of one plan replay.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UnitRow {
+    /// Plan time unit.
+    pub unit: u64,
+    /// Peers crashed this unit.
+    pub crashes: u64,
+    /// Peers revived this unit.
+    pub revives: u64,
+    /// Sessions whose primary graph lost a peer.
+    pub hits: u64,
+    /// Hits recovered by switching to a maintained backup.
+    pub switches: u64,
+    /// Hits that fell through to reactive BCP.
+    pub reactive: u64,
+    /// Reactive re-compositions that re-placed the session.
+    pub saved: u64,
+    /// Sessions lost (reactive BCP found nothing).
+    pub lost: u64,
+    /// Soft-storm reservations granted this unit.
+    pub soft_granted: u64,
+    /// Soft reservations reclaimed by this unit's expiry sweep.
+    pub soft_expired: u64,
+}
+
+/// The finished replay: per-unit rows plus end-state summary.
+#[derive(Clone, Debug)]
+pub struct FaultReport {
+    /// Per-unit accounting, one row per plan unit.
+    pub rows: Vec<UnitRow>,
+    /// Sessions established before the plan started.
+    pub established: usize,
+    /// Sessions still active after the final unit.
+    pub surviving: usize,
+    /// Mean backup-switch latency (ms) across all switches (0 if none).
+    pub mean_switch_ms: f64,
+    /// The world's protocol counters after the replay.
+    pub metrics: MetricsRegistry,
+}
+
+impl FaultReport {
+    fn total(&self, f: impl Fn(&UnitRow) -> u64) -> u64 {
+        self.rows.iter().map(f).sum()
+    }
+
+    /// Total peers crashed.
+    pub fn crashes(&self) -> u64 {
+        self.total(|r| r.crashes)
+    }
+
+    /// Total peers revived.
+    pub fn revives(&self) -> u64 {
+        self.total(|r| r.revives)
+    }
+
+    /// Total primary-graph hits.
+    pub fn hits(&self) -> u64 {
+        self.total(|r| r.hits)
+    }
+
+    /// Total backup switches.
+    pub fn switches(&self) -> u64 {
+        self.total(|r| r.switches)
+    }
+
+    /// Total reactive-BCP fallbacks.
+    pub fn reactive(&self) -> u64 {
+        self.total(|r| r.reactive)
+    }
+
+    /// Total sessions re-placed by reactive BCP.
+    pub fn saved(&self) -> u64 {
+        self.total(|r| r.saved)
+    }
+
+    /// Total sessions lost outright.
+    pub fn lost(&self) -> u64 {
+        self.total(|r| r.lost)
+    }
+
+    /// Total soft reservations reclaimed by expiry sweeps.
+    pub fn soft_expired(&self) -> u64 {
+        self.total(|r| r.soft_expired)
+    }
+
+    /// Fraction of hits recovered *proactively* (by a maintained backup,
+    /// no reactive BCP). 1.0 when nothing was hit.
+    pub fn recovery_success_rate(&self) -> f64 {
+        let hits = self.hits();
+        if hits == 0 {
+            1.0
+        } else {
+            self.switches() as f64 / hits as f64
+        }
+    }
+
+    /// CSV rendering, one row per unit — the byte-identity artifact for
+    /// the determinism contract.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "unit,crashes,revives,hits,switches,reactive,saved,lost,soft_granted,soft_expired\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                r.unit,
+                r.crashes,
+                r.revives,
+                r.hits,
+                r.switches,
+                r.reactive,
+                r.saved,
+                r.lost,
+                r.soft_granted,
+                r.soft_expired
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# Fault-injection replay — {} units", self.rows.len())?;
+        writeln!(
+            f,
+            "{:>6} {:>8} {:>8} {:>6} {:>9} {:>9} {:>6} {:>6}",
+            "unit", "crashes", "revives", "hits", "switches", "reactive", "saved", "lost"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6} {:>8} {:>8} {:>6} {:>9} {:>9} {:>6} {:>6}",
+                r.unit, r.crashes, r.revives, r.hits, r.switches, r.reactive, r.saved, r.lost
+            )?;
+        }
+        writeln!(f, "sessions: {} established, {} surviving", self.established, self.surviving)?;
+        writeln!(f, "recovery success rate: {:.3}", self.recovery_success_rate())?;
+        writeln!(f, "mean switch latency: {:.1} ms", self.mean_switch_ms)
+    }
+}
+
+/// Steppable replay of one [`FaultPlan`] against a freshly built world.
+pub struct FaultDriver {
+    net: SpiderNet,
+    plan: FaultPlan,
+    cfg: FaultLabConfig,
+    unit: u64,
+    /// Driver-side randomness (soft-storm target picks), seeded from the
+    /// *plan* so the same plan replays identically under any config seed
+    /// reuse.
+    storm_rng: Rng,
+    rows: Vec<UnitRow>,
+    established: usize,
+}
+
+impl FaultDriver {
+    /// Builds the world, establishes the standing sessions, and arms
+    /// `plan`. Entirely deterministic in `(cfg, plan)`.
+    pub fn new(cfg: &FaultLabConfig, plan: FaultPlan) -> FaultDriver {
+        let mut net = SpiderNet::build(&SpiderNetConfig {
+            ip_nodes: cfg.ip_nodes,
+            peers: cfg.peers,
+            seed: cfg.seed,
+            recovery: RecoveryConfig {
+                backup_upper_bound: cfg.backup_upper_bound,
+                ..RecoveryConfig::default()
+            },
+            ..SpiderNetConfig::default()
+        });
+        net.populate(&cfg.population);
+        let mut req_rng = rng_for(cfg.seed, "faultlab-requests");
+        let mut established = 0usize;
+        let mut guard = 0;
+        while established < cfg.sessions && guard < cfg.sessions * 20 {
+            guard += 1;
+            let req = random_request(net.overlay(), net.registry(), &cfg.request, &mut req_rng);
+            if let Ok(outcome) = net.compose(&req, &cfg.bcp) {
+                if net.establish(&req, outcome).is_ok() {
+                    established += 1;
+                }
+            }
+        }
+        let storm_rng = rng_for(plan.seed(), "faultlab-storm");
+        FaultDriver { net, plan, cfg: cfg.clone(), unit: 0, storm_rng, rows: Vec::new(), established }
+    }
+
+    /// The world under test (sessions, state, metrics).
+    pub fn net(&self) -> &SpiderNet {
+        &self.net
+    }
+
+    /// The plan being replayed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Units already replayed.
+    pub fn unit(&self) -> u64 {
+        self.unit
+    }
+
+    /// Replays one plan unit: revive/crash/storm actions in plan order,
+    /// then a maintenance tick, then the clock advance (which sweeps
+    /// expired soft state). Returns `false` once the plan horizon is
+    /// reached (nothing is replayed then).
+    pub fn step(&mut self) -> bool {
+        if self.unit >= self.plan.horizon() {
+            return false;
+        }
+        let mut row = UnitRow { unit: self.unit, ..UnitRow::default() };
+        let actions = self.plan.actions_at(self.unit).to_vec();
+        for action in actions {
+            match action {
+                FaultAction::Crash { peer } => self.apply_crashes(&[peer], &mut row),
+                FaultAction::CrashCorrelated { peers } => self.apply_crashes(&peers, &mut row),
+                FaultAction::Revive { peer } => {
+                    let p = PeerId::new(peer);
+                    if peer < self.cfg.peers as u64 && !self.net.state().is_alive(p) {
+                        self.net.revive_peer(p);
+                        self.record_fault(peer, false);
+                        row.revives += 1;
+                    }
+                }
+                FaultAction::SoftStorm { allocs } => self.apply_soft_storm(allocs, &mut row),
+            }
+        }
+        self.net.maintenance_tick();
+        row.soft_expired = self.net.advance(self.cfg.unit) as u64;
+        self.rows.push(row);
+        self.unit += 1;
+        true
+    }
+
+    /// Replays the remaining plan to its horizon.
+    pub fn run_to_end(&mut self) {
+        while self.step() {}
+    }
+
+    fn record_fault(&mut self, peer: u64, crash: bool) {
+        let obs = self.net.obs_mut();
+        obs.metrics.incr(obs.counters.faults_injected);
+        obs.trace.record(TraceEvent::FaultInjected { unit: self.unit, peer, crash });
+    }
+
+    fn apply_crashes(&mut self, peers: &[u64], row: &mut UnitRow) {
+        let victims: Vec<PeerId> = peers
+            .iter()
+            .copied()
+            .filter(|&p| p < self.cfg.peers as u64)
+            .map(PeerId::new)
+            .filter(|&p| self.net.state().is_alive(p))
+            .collect();
+        if victims.is_empty() {
+            return;
+        }
+        for v in &victims {
+            self.record_fault(v.raw(), true);
+        }
+        row.crashes += victims.len() as u64;
+        let outcomes = self.net.fail_peers(&victims);
+        for (sid, outcome) in outcomes {
+            row.hits += 1;
+            match outcome {
+                FailureOutcome::RecoveredByBackup { .. } => row.switches += 1,
+                FailureOutcome::NeedsReactive => {
+                    row.reactive += 1;
+                    if self.net.reactive_recover(sid, &self.cfg.bcp) {
+                        row.saved += 1;
+                    } else {
+                        row.lost += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_soft_storm(&mut self, allocs: u32, row: &mut UnitRow) {
+        // Short-TTL reservations expiring exactly at the end of this unit —
+        // the sweep's inclusive `expires <= now` boundary reclaims them in
+        // this same step's advance.
+        let expires = self.net.now() + self.cfg.unit;
+        let demand = ResourceVector::new(0.05, 4.0);
+        // soft_allocate wants a trace buffer alongside `&mut state`; record
+        // into a scratch buffer and merge once we're done borrowing.
+        let mut scratch = TraceBuffer::with_capacity(allocs as usize);
+        for _ in 0..allocs {
+            let live = self.net.state().live_peers();
+            if live.is_empty() {
+                break;
+            }
+            let peer = live[(self.storm_rng.gen::<u64>() % live.len() as u64) as usize];
+            if self.net.state_mut().soft_allocate(peer, demand, expires, &mut scratch).is_ok() {
+                row.soft_granted += 1;
+            }
+        }
+    }
+
+    /// Checks the recovery-path invariants the paper's robustness story
+    /// rests on; call between [`FaultDriver::step`]s. Returns the first
+    /// violation as an error string.
+    ///
+    /// * no dead peer inside any session's *primary* (served) graph;
+    /// * no dead peer inside any maintained *backup* graph (maintenance
+    ///   ran at the end of the step);
+    /// * per-peer committed load equals the sum of the live sessions'
+    ///   allocations — no double-release, no leak — and never exceeds
+    ///   capacity.
+    pub fn verify_invariants(&self) -> std::result::Result<(), String> {
+        let net = &self.net;
+        let reg = net.registry();
+        let state = net.state();
+        for s in net.sessions().sessions() {
+            for &c in s.primary.components() {
+                let p = reg.get(c).peer;
+                if !state.is_alive(p) {
+                    return Err(format!(
+                        "session {:?}: dead peer {p} in served primary graph",
+                        s.id
+                    ));
+                }
+            }
+            for (bi, (g, _)) in s.backups.iter().enumerate() {
+                for &c in g.components() {
+                    let p = reg.get(c).peer;
+                    if !state.is_alive(p) {
+                        return Err(format!(
+                            "session {:?}: dead peer {p} in backup #{bi}",
+                            s.id
+                        ));
+                    }
+                }
+            }
+        }
+        // Accounting: fold every live session's allocation per peer and
+        // compare against the state's committed ledger.
+        let mut expected = vec![ResourceVector::ZERO; self.cfg.peers];
+        for s in net.sessions().sessions() {
+            for &(p, res) in &s.allocation.peers {
+                expected[p.index()] = expected[p.index()].add(&res);
+            }
+        }
+        for (i, want) in expected.iter().enumerate() {
+            let p = PeerId::new(i as u64);
+            let got = state.committed_load(p);
+            if (got.cpu() - want.cpu()).abs() > 1e-6
+                || (got.memory() - want.memory()).abs() > 1e-6
+            {
+                return Err(format!(
+                    "peer {p}: committed ledger {got:?} != session sum {want:?}"
+                ));
+            }
+            let cap = state.capacity(p);
+            if got.cpu() > cap.cpu() + 1e-9 || got.memory() > cap.memory() + 1e-9 {
+                return Err(format!("peer {p}: committed {got:?} exceeds capacity {cap:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the replay summary (consumes nothing; callable any time).
+    pub fn report(&self) -> FaultReport {
+        let mean_switch_ms = self
+            .net
+            .metrics()
+            .summary(self.net.obs().counters.switch_ms)
+            .map(|s| s.mean())
+            .unwrap_or(0.0);
+        FaultReport {
+            rows: self.rows.clone(),
+            established: self.established,
+            surviving: self.net.sessions().len(),
+            mean_switch_ms,
+            metrics: self.net.metrics().clone(),
+        }
+    }
+}
+
+/// Replays `plan` to its horizon and returns the report.
+pub fn run(cfg: &FaultLabConfig, plan: FaultPlan) -> FaultReport {
+    let mut driver = FaultDriver::new(cfg, plan);
+    driver.run_to_end();
+    driver.report()
+}
+
+/// Churn-sweep parameters: one crash-storm replay per rate.
+#[derive(Clone, Debug)]
+pub struct ChurnSweepConfig {
+    /// The world/workload every cell shares.
+    pub base: FaultLabConfig,
+    /// Crash rates swept (fraction of live peers per unit).
+    pub rates: Vec<f64>,
+    /// Storm length in units.
+    pub units: u64,
+    /// Revive delay for storm victims (`None` = permanent).
+    pub revive_after: Option<u64>,
+}
+
+impl Default for ChurnSweepConfig {
+    fn default() -> Self {
+        ChurnSweepConfig {
+            base: FaultLabConfig::default(),
+            rates: vec![0.01, 0.02, 0.05, 0.10],
+            units: 30,
+            revive_after: Some(5),
+        }
+    }
+}
+
+/// One swept rate's aggregate outcome.
+#[derive(Clone, Debug)]
+pub struct ChurnSweepRow {
+    /// Crash rate of the cell.
+    pub rate: f64,
+    /// Total crashes injected.
+    pub crashes: u64,
+    /// Primary-graph hits.
+    pub hits: u64,
+    /// Backup switches.
+    pub switches: u64,
+    /// Reactive-BCP fallbacks.
+    pub reactive: u64,
+    /// Sessions re-placed reactively.
+    pub saved: u64,
+    /// Sessions lost.
+    pub lost: u64,
+    /// switches / hits (1.0 when nothing was hit).
+    pub recovery_success_rate: f64,
+    /// Mean switch latency, ms.
+    pub mean_switch_ms: f64,
+}
+
+/// The swept figure.
+#[derive(Clone, Debug)]
+pub struct ChurnSweepResult {
+    /// One row per swept rate, in input order.
+    pub rows: Vec<ChurnSweepRow>,
+}
+
+impl ChurnSweepResult {
+    /// CSV rendering (the byte-identity artifact across thread counts).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "rate,crashes,hits,switches,reactive,saved,lost,recovery_success_rate,mean_switch_ms\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:.3},{},{},{},{},{},{},{:.4},{:.2}\n",
+                r.rate,
+                r.crashes,
+                r.hits,
+                r.switches,
+                r.reactive,
+                r.saved,
+                r.lost,
+                r.recovery_success_rate,
+                r.mean_switch_ms
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ChurnSweepResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# Churn sweep — recovery under crash storms")?;
+        writeln!(
+            f,
+            "{:>6} {:>8} {:>6} {:>9} {:>9} {:>8} {:>10}",
+            "rate", "crashes", "hits", "switches", "reactive", "success", "switch_ms"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6.3} {:>8} {:>6} {:>9} {:>9} {:>8.3} {:>10.1}",
+                r.rate, r.crashes, r.hits, r.switches, r.reactive, r.recovery_success_rate,
+                r.mean_switch_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps crash rates in parallel: each cell derives its own storm seed
+/// from the base seed and the cell index, replays sequentially, and
+/// writes back by index — bit-identical output for any thread count.
+pub fn churn_sweep(cfg: &ChurnSweepConfig) -> ChurnSweepResult {
+    let cells: Vec<(usize, f64)> = cfg.rates.iter().copied().enumerate().collect();
+    let rows = par_map_with(
+        super::resolve_threads(cfg.base.threads),
+        cells,
+        |_, (i, rate)| {
+            let plan_seed = derive_seed(cfg.base.seed, &format!("churn-sweep-{i}"));
+            let plan = FaultPlan::crash_storm(
+                plan_seed,
+                cfg.base.peers as u64,
+                rate,
+                cfg.units,
+                cfg.revive_after,
+            );
+            let rep = run(&cfg.base, plan);
+            ChurnSweepRow {
+                rate,
+                crashes: rep.crashes(),
+                hits: rep.hits(),
+                switches: rep.switches(),
+                reactive: rep.reactive(),
+                saved: rep.saved(),
+                lost: rep.lost(),
+                recovery_success_rate: rep.recovery_success_rate(),
+                mean_switch_ms: rep.mean_switch_ms,
+            }
+        },
+    );
+    ChurnSweepResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FaultLabConfig {
+        FaultLabConfig {
+            ip_nodes: 300,
+            peers: 60,
+            seed: 13,
+            sessions: 8,
+            population: PopulationConfig { functions: 10, ..PopulationConfig::default() },
+            ..FaultLabConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_a_noop_replay() {
+        let cfg = tiny();
+        let mut d = FaultDriver::new(&cfg, FaultPlan::new(1).with_horizon(3));
+        assert!(!d.net().sessions().is_empty());
+        let before = d.net().sessions().len();
+        d.run_to_end();
+        assert_eq!(d.unit(), 3);
+        let rep = d.report();
+        assert_eq!(rep.rows.len(), 3);
+        assert_eq!(rep.crashes(), 0);
+        assert_eq!(rep.surviving, before);
+        d.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_and_soft_storm_replay_accounts_consistently() {
+        let cfg = tiny();
+        let plan = FaultPlan::new(2)
+            .soft_storm(0, 12)
+            .crash(1, 3)
+            .crash(1, 7)
+            .revive(4, 3)
+            .with_horizon(6);
+        let mut d = FaultDriver::new(&cfg, plan);
+        while d.step() {
+            d.verify_invariants().unwrap();
+        }
+        let rep = d.report();
+        assert_eq!(rep.crashes(), 2);
+        assert_eq!(rep.revives(), 1);
+        assert_eq!(rep.rows[0].soft_granted, rep.rows[0].soft_expired, "storm must expire in-unit");
+        assert!(rep.rows[0].soft_granted > 0);
+        assert_eq!(d.net().state().soft_count(), 0);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let cfg = tiny();
+        let plan = FaultPlan::crash_storm(5, cfg.peers as u64, 0.08, 8, Some(3));
+        let a = run(&cfg, plan.clone()).to_csv();
+        let b = run(&cfg, plan).to_csv();
+        assert_eq!(a, b);
+    }
+}

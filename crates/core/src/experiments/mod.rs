@@ -34,6 +34,7 @@ pub mod fig11;
 pub mod latency;
 pub mod fig8;
 pub mod fig9;
+pub mod faults;
 pub mod overhead;
 
 /// Resolves a config's optional thread override against the environment

@@ -113,6 +113,21 @@ impl RecoveryConfigBuilder {
     }
 }
 
+/// Rejects evaluations carrying NaN/infinite cost or failure probability
+/// before they are committed as a session's quality — a poisoned replica
+/// (e.g. a registration with NaN cost) must surface as a recoverable
+/// error, not corrupt Eq. 2 or panic a sort downstream.
+fn check_eval_finite(eval: &GraphEval) -> Result<()> {
+    if eval.cost.is_finite() && eval.failure_prob.is_finite() {
+        Ok(())
+    } else {
+        Err(Error::InvalidRequirement(format!(
+            "non-finite graph evaluation (cost {}, failure prob {})",
+            eval.cost, eval.failure_prob
+        )))
+    }
+}
+
 /// Eq. 2: the adaptive number of backup service graphs.
 ///
 /// `c_total` is C, the total number of qualified graphs found at setup
@@ -147,12 +162,14 @@ pub fn select_backups(
     }
     // Bottleneck-first: primary components ordered by failure probability,
     // highest first.
+    // `total_cmp` keeps this panic-free on NaN inputs: a component whose
+    // failure probability is unknown (NaN sorts above every finite value)
+    // is treated as the worst bottleneck rather than poisoning the sort.
     let mut comps: Vec<ComponentId> = primary.components().to_vec();
     comps.sort_by(|a, b| {
         reg.get(*b)
             .failure_prob
-            .partial_cmp(&reg.get(*a).failure_prob)
-            .expect("failure probs are finite")
+            .total_cmp(&reg.get(*a).failure_prob)
             .then_with(|| a.cmp(b))
     });
 
@@ -336,6 +353,7 @@ impl SessionManager {
         paths: &mut PathTable,
         state: &mut OverlayState,
     ) -> Result<SessionId> {
+        check_eval_finite(&eval)?;
         let (peers, links) = session_demands(&primary, &request, reg, overlay, paths);
         let allocation = state.commit(&peers, &links)?;
         let c_total = 1 + pool.len();
@@ -451,6 +469,14 @@ impl SessionManager {
         state.release(&s.allocation);
         s.allocation = SessionAllocation::default();
 
+        // The failed peer may host components of *other* functions too, so
+        // it can sit inside a backup graph that excludes the broken primary
+        // component. Prune such backups before qualifying candidates: the
+        // overlay's liveness view can lag the failure notification, and the
+        // per-component alive check below would then wave the dead peer
+        // through.
+        s.backups.retain(|(g, _)| !g.contains_peer(failed, reg));
+
         let mut rank = 0usize;
         while !s.backups.is_empty() {
             let (graph, _) = s.backups.remove(0);
@@ -464,6 +490,39 @@ impl SessionManager {
                     s.primary = graph;
                     s.eval = eval;
                     s.allocation = alloc;
+                    // Re-cover the *new* primary: the surviving backups were
+                    // selected to exclude the old primary's components, so a
+                    // follow-up failure of a peer both graphs share would
+                    // find no backup avoiding it and fall back to reactive
+                    // BCP. Merge backups and pool, and re-run Eq. 2 + §5.2
+                    // against the graph now streaming; graphs holding dead
+                    // peers stay in the pool (they qualify again on revive)
+                    // but are never promoted to maintained backups.
+                    let mut merged = std::mem::take(&mut s.backups);
+                    merged.append(&mut s.pool);
+                    merged.sort_by(|a, b| a.1.cost.total_cmp(&b.1.cost));
+                    let (live, dead): (Vec<_>, Vec<_>) =
+                        merged.into_iter().partition(|(g, _)| {
+                            g.components().iter().all(|&c| state.is_alive(reg.get(c).peer))
+                        });
+                    let gamma = backup_count(
+                        &s.eval,
+                        &s.request,
+                        self.cfg.backup_upper_bound,
+                        1 + live.len(),
+                    );
+                    let chosen =
+                        select_backups(&s.primary, &live, gamma, reg, self.cfg.max_subset_size);
+                    let mut rest = Vec::new();
+                    for (i, entry) in live.into_iter().enumerate() {
+                        if chosen.contains(&i) {
+                            s.backups.push(entry);
+                        } else {
+                            rest.push(entry);
+                        }
+                    }
+                    rest.extend(dead);
+                    s.pool = rest;
                     // Detection precedes the switch; trying dead backups
                     // first costs one maintenance-status check each (they
                     // are known-dead from probing, so no extra round trip).
@@ -475,17 +534,29 @@ impl SessionManager {
                         .map(|&c| reg.get(c).peer.raw())
                         .unwrap_or(0);
                     obs.metrics.observe(obs.counters.switch_ms, switch_ms);
+                    obs.metrics.incr(obs.counters.recovery_switches);
                     obs.trace.record(TraceEvent::BackupSwitch {
                         session: id.raw(),
                         from: failed.raw(),
                         to: new_head,
                         latency_ms: switch_ms,
                     });
+                    obs.trace.record(TraceEvent::RecoverySwitch {
+                        session: id.raw(),
+                        rank: rank as u32,
+                        reactive: false,
+                    });
                     return FailureOutcome::RecoveredByBackup { rank, switch_ms };
                 }
             }
             rank += 1;
         }
+        obs.metrics.incr(obs.counters.recovery_reactive);
+        obs.trace.record(TraceEvent::RecoverySwitch {
+            session: id.raw(),
+            rank: rank as u32,
+            reactive: true,
+        });
         FailureOutcome::NeedsReactive
     }
 
@@ -502,6 +573,7 @@ impl SessionManager {
         paths: &mut PathTable,
         state: &mut OverlayState,
     ) -> Result<()> {
+        check_eval_finite(&eval)?;
         let s = self.sessions.get_mut(&id).ok_or(Error::UnknownSession(id.raw()))?;
         state.release(&s.allocation);
         let (peers, links) = session_demands(&primary, &s.request, reg, overlay, paths);
@@ -640,7 +712,7 @@ mod tests {
                 out.push((g, e));
             }
         }
-        out.sort_by(|x, y| x.1.cost.partial_cmp(&y.1.cost).unwrap());
+        out.sort_by(|x, y| x.1.cost.total_cmp(&y.1.cost));
         out
     }
 
@@ -685,8 +757,7 @@ mod tests {
                 w.reg
                     .get(**b)
                     .failure_prob
-                    .partial_cmp(&w.reg.get(**a).failure_prob)
-                    .unwrap()
+                    .total_cmp(&w.reg.get(**a).failure_prob)
                     .then_with(|| a.cmp(b))
             })
             .unwrap();
@@ -896,5 +967,202 @@ mod tests {
         let (id, _) = establish_one(&mut w, &mut mgr);
         mgr.abandon(id);
         assert!(mgr.session(id).is_none());
+    }
+
+    /// A registry where one function's replica sits on a chosen peer and
+    /// with chosen failure probabilities: `spec` lists `(peer, function,
+    /// failure_prob)` per component, ids assigned in order.
+    fn custom_registry(spec: &[(u64, u64, f64)]) -> Registry {
+        let mut catalog = FunctionCatalog::new();
+        catalog.intern("fn-0");
+        catalog.intern("fn-1");
+        let mut reg = Registry::new(catalog);
+        for &(peer, function, failure_prob) in spec {
+            reg.add(ServiceComponent {
+                id: ComponentId::new(0),
+                peer: PeerId::new(peer),
+                function: FunctionId::new(function),
+                perf_qos: QosVector::from_values(vec![10.0, 0.01]),
+                resources: ResourceVector::new(0.2, 32.0),
+                out_bandwidth_mbps: 1.0,
+                failure_prob,
+            });
+        }
+        reg
+    }
+
+    fn graph_of(req: &CompositionRequest, comps: &[u64]) -> ServiceGraph {
+        ServiceGraph::new(
+            req.source,
+            req.dest,
+            FunctionGraph::linear(2),
+            comps.iter().map(|&c| ComponentId::new(c)).collect(),
+        )
+    }
+
+    fn dummy_eval(cost: f64, failure_prob: f64) -> GraphEval {
+        GraphEval {
+            qos: QosVector::from_values(vec![50.0, 0.02]),
+            cost,
+            failure_prob,
+            fits_resources: true,
+        }
+    }
+
+    #[test]
+    fn nan_failure_prob_does_not_panic_and_ranks_as_bottleneck() {
+        // Regression: `select_backups` used `partial_cmp().expect(...)` on
+        // failure probabilities and panicked on a NaN replica. With
+        // `total_cmp`, the NaN component sorts as the worst bottleneck and
+        // selection proceeds.
+        let req = request();
+        let reg = custom_registry(&[
+            (2, 0, f64::NAN), // c0: poisoned replica
+            (3, 0, 0.02),     // c1
+            (4, 1, 0.01),     // c2
+            (5, 1, 0.03),     // c3
+        ]);
+        let primary = graph_of(&req, &[0, 2]);
+        let pool = vec![
+            (graph_of(&req, &[1, 2]), dummy_eval(1.0, 0.03)), // excludes c0
+            (graph_of(&req, &[0, 3]), dummy_eval(1.1, f64::NAN)), // still has c0
+            (graph_of(&req, &[1, 3]), dummy_eval(1.2, 0.05)), // excludes c0
+        ];
+        let selected = select_backups(&primary, &pool, 2, &reg, 3);
+        assert!(!selected.is_empty());
+        // The NaN component is the first bottleneck covered, so the first
+        // backup must exclude it.
+        assert!(!pool[selected[0]].0.contains_component(ComponentId::new(0)));
+    }
+
+    #[test]
+    fn nan_cost_eval_is_a_recoverable_error() {
+        let mut w = world();
+        let mut mgr = SessionManager::new(RecoveryConfig::default());
+        let req = request();
+        let mut cands = all_candidates(&mut w, &req);
+        let (primary, _) = cands.remove(0);
+        let poisoned = dummy_eval(f64::NAN, 0.02);
+        let err = mgr.establish(
+            req,
+            primary,
+            poisoned,
+            cands,
+            &w.reg,
+            &w.overlay,
+            &mut w.paths,
+            &mut w.state,
+        );
+        assert!(matches!(err, Err(Error::InvalidRequirement(_))), "got {err:?}");
+        assert!(mgr.is_empty(), "poisoned session was registered");
+        // A NaN-cost candidate in a cost-ordered list sorts last under
+        // total_cmp — it can never displace a finite best.
+        let mut costs = vec![3.0, f64::NAN, 1.0];
+        costs.sort_by(f64::total_cmp);
+        assert_eq!(costs[0], 1.0);
+        assert!(costs[2].is_nan());
+    }
+
+    #[test]
+    fn backup_count_edge_cases() {
+        let req = request(); // bounds: delay 400ms, loss 0.05, failure 0.08
+        let eval = GraphEval {
+            qos: QosVector::from_values(vec![200.0, 0.025]), // usage 1.0
+            cost: 1.0,
+            failure_prob: 0.04, // term 0.5 → terms total 1.5
+            fits_resources: true,
+        };
+        // γ capped by U: floor(U · 1.5).
+        assert_eq!(backup_count(&eval, &req, 1.0, 100), 1);
+        assert_eq!(backup_count(&eval, &req, 0.5, 100), 0);
+        assert_eq!(backup_count(&eval, &req, 10.0, 100), 15);
+        // γ capped by C−1, including the degenerate pools.
+        assert_eq!(backup_count(&eval, &req, 10.0, 4), 3);
+        assert_eq!(backup_count(&eval, &req, 10.0, 1), 0); // pool empty: C = 1
+        assert_eq!(backup_count(&eval, &req, 10.0, 0), 0); // no qualified graphs
+        // Zero pool selects nothing regardless of γ.
+        let reg = custom_registry(&[(2, 0, 0.01), (4, 1, 0.01)]);
+        let primary = graph_of(&req, &[0, 1]);
+        assert!(select_backups(&primary, &[], 5, &reg, 3).is_empty());
+    }
+
+    #[test]
+    fn bottleneck_ties_break_toward_lower_component_id() {
+        // Primary components c0 and c2 tie on failure probability; the
+        // selector's deterministic tie-break covers the lower id first, so
+        // with γ = 1 the single backup must exclude c0 (not c2).
+        let req = request();
+        let reg = custom_registry(&[
+            (2, 0, 0.05), // c0
+            (3, 0, 0.01), // c1
+            (4, 1, 0.05), // c2 — ties with c0
+            (5, 1, 0.01), // c3
+        ]);
+        let primary = graph_of(&req, &[0, 2]);
+        let pool = vec![
+            (graph_of(&req, &[1, 2]), dummy_eval(1.0, 0.06)), // excludes c0
+            (graph_of(&req, &[0, 3]), dummy_eval(1.1, 0.06)), // excludes c2
+        ];
+        let selected = select_backups(&primary, &pool, 1, &reg, 3);
+        assert_eq!(selected, vec![0], "tie must cover the lower component id first");
+    }
+
+    #[test]
+    fn switch_never_lands_on_backup_containing_the_failed_peer() {
+        // Regression: peer 2 hosts components of *both* functions (c0 for
+        // fn-0 and c2 for fn-1). A backup that excludes the broken primary
+        // component c0 can still ride on peer 2 via c2. If the overlay's
+        // liveness view lags the failure notification (state not yet
+        // updated — exactly what happens with asynchronous detection), the
+        // per-component alive check passes and the session would switch
+        // onto a graph containing the dead peer.
+        let mut w = world();
+        let reg = custom_registry(&[
+            (2, 0, 0.01), // c0 on peer 2
+            (4, 0, 0.01), // c1
+            (2, 1, 0.01), // c2 on peer 2 as well
+            (5, 1, 0.05), // c3 — bottleneck
+        ]);
+        let req = request();
+        let primary = graph_of(&req, &[0, 3]);
+        let eval =
+            evaluate(&primary, &req, &reg, &w.overlay, &w.state, &mut w.paths, &w.weights);
+        let pool: Vec<(ServiceGraph, GraphEval)> = [vec![1u64, 2], vec![1, 3]]
+            .iter()
+            .map(|comps| {
+                let g = graph_of(&req, comps);
+                let e = evaluate(&g, &req, &reg, &w.overlay, &w.state, &mut w.paths, &w.weights);
+                (g, e)
+            })
+            .collect();
+        let mut mgr = SessionManager::new(RecoveryConfig {
+            backup_upper_bound: 50.0, // γ caps at C−1 = 2: both pool graphs become backups
+            ..RecoveryConfig::default()
+        });
+        let id = mgr
+            .establish(req, primary, eval, pool, &reg, &w.overlay, &mut w.paths, &mut w.state)
+            .unwrap();
+        // Bottleneck-first selection puts the peer-2-carrying backup
+        // [c1, c2] at rank 0 — the trap is armed.
+        let s = mgr.session(id).unwrap();
+        assert_eq!(s.backups.len(), 2);
+        assert!(s.backups[0].0.contains_peer(PeerId::new(2), &reg));
+        // Peer 2 dies, but the state's liveness view lags (no fail_peer).
+        let outcomes = mgr.handle_peer_failure(
+            PeerId::new(2),
+            &reg,
+            &w.overlay,
+            &mut w.paths,
+            &mut w.state,
+            &w.weights,
+            &mut Instruments::new(),
+        );
+        assert_eq!(outcomes.len(), 1);
+        assert!(matches!(outcomes[0].1, FailureOutcome::RecoveredByBackup { .. }));
+        let s = mgr.session(id).unwrap();
+        assert!(
+            !s.primary.contains_peer(PeerId::new(2), &reg),
+            "switched onto a graph containing the dead peer"
+        );
     }
 }

@@ -486,11 +486,10 @@ pub fn select_best(
     if qualified.is_empty() {
         return None;
     }
+    // `total_cmp` sorts a NaN-cost graph last: it can never displace a
+    // finite best, and the sort cannot panic on a poisoned evaluation.
     qualified.sort_by(|a, b| {
-        a.1.cost
-            .partial_cmp(&b.1.cost)
-            .expect("costs are not NaN")
-            .then_with(|| a.0.assignment.cmp(&b.0.assignment))
+        a.1.cost.total_cmp(&b.1.cost).then_with(|| a.0.assignment.cmp(&b.0.assignment))
     });
     let (best, eval) = qualified.remove(0);
     Some((best, eval, qualified))

@@ -159,12 +159,19 @@ impl OverlayState {
         Ok(token)
     }
 
-    /// Releases a soft reservation (no-op on an unknown/expired token),
-    /// recording a [`TraceEvent::SoftRelease`].
-    pub fn release_soft(&mut self, token: SoftToken, trace: &mut TraceBuffer) {
+    /// Releases a soft reservation, recording a
+    /// [`TraceEvent::SoftRelease`]. Idempotent against the expiry sweep:
+    /// once [`OverlayState::expire_soft`] has reclaimed a token, a late
+    /// `release_soft` on the same token returns `false` and credits
+    /// nothing — the token is consumed by whichever path releases it
+    /// first, so availability can never be double-credited.
+    pub fn release_soft(&mut self, token: SoftToken, trace: &mut TraceBuffer) -> bool {
         if let Some(a) = self.soft_allocs.remove(&token) {
             self.soft[a.peer.index()] = self.soft[a.peer.index()].saturating_sub(&a.res);
             trace.record(TraceEvent::SoftRelease { peer: a.peer.raw() });
+            true
+        } else {
+            false
         }
     }
 
@@ -186,6 +193,16 @@ impl OverlayState {
     /// Number of outstanding soft reservations.
     pub fn soft_count(&self) -> usize {
         self.soft_allocs.len()
+    }
+
+    /// A peer's total soft-reserved load (invariant checks).
+    pub fn soft_load(&self, peer: PeerId) -> ResourceVector {
+        self.soft[peer.index()]
+    }
+
+    /// A peer's total committed (session-time) load (invariant checks).
+    pub fn committed_load(&self, peer: PeerId) -> ResourceVector {
+        self.committed[peer.index()]
     }
 
     // --- link bandwidth ------------------------------------------------
@@ -349,9 +366,48 @@ mod tests {
         let mut s = state();
         let p = PeerId::new(5);
         let tok = s.soft_allocate(p, ResourceVector::new(0.1, 1.0), t(10.0), &mut TraceBuffer::new()).unwrap();
-        s.release_soft(tok, &mut TraceBuffer::new());
-        s.release_soft(tok, &mut TraceBuffer::new()); // double release
+        assert!(s.release_soft(tok, &mut TraceBuffer::new()));
+        assert!(!s.release_soft(tok, &mut TraceBuffer::new())); // double release
         assert_eq!(s.available(p), s.capacity(p));
+    }
+
+    #[test]
+    fn expiry_boundary_is_inclusive() {
+        // `expire_soft` uses `expires <= now`: a token expiring exactly at
+        // `now` is swept, one microsecond later survives.
+        let mut s = state();
+        let p = PeerId::new(7);
+        s.soft_allocate(p, ResourceVector::new(0.2, 8.0), t(100.0), &mut TraceBuffer::new())
+            .unwrap();
+        s.soft_allocate(p, ResourceVector::new(0.3, 8.0), t(100.001), &mut TraceBuffer::new())
+            .unwrap();
+        assert_eq!(s.expire_soft(t(100.0), &mut TraceBuffer::new()), 1);
+        assert_eq!(s.soft_count(), 1);
+        assert!((s.soft_load(p).cpu() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_release_after_expiry_sweep_does_not_double_credit() {
+        // A probe releases its reservation *after* the expiry clock already
+        // reclaimed it (the `expires == now` boundary case). The second
+        // release must consume nothing: with two tokens on the same peer,
+        // double-crediting the first would zero the soft load and make the
+        // peer look emptier than it is.
+        let mut s = state();
+        let p = PeerId::new(8);
+        let early = s
+            .soft_allocate(p, ResourceVector::new(0.3, 16.0), t(50.0), &mut TraceBuffer::new())
+            .unwrap();
+        let _late = s
+            .soft_allocate(p, ResourceVector::new(0.4, 16.0), t(500.0), &mut TraceBuffer::new())
+            .unwrap();
+        assert_eq!(s.expire_soft(t(50.0), &mut TraceBuffer::new()), 1);
+        assert!((s.soft_load(p).cpu() - 0.4).abs() < 1e-12);
+        // Late release of the already-expired token: no-op, no credit.
+        assert!(!s.release_soft(early, &mut TraceBuffer::new()));
+        assert!((s.soft_load(p).cpu() - 0.4).abs() < 1e-12, "double-credited availability");
+        assert!((s.available(p).cpu() - 0.6).abs() < 1e-12);
+        assert_eq!(s.soft_count(), 1);
     }
 
     #[test]

@@ -592,6 +592,38 @@ impl SpiderNet {
     /// and active sessions all react. Returns per-session outcomes for
     /// sessions whose primary was hit.
     pub fn fail_peer(&mut self, peer: PeerId) -> Vec<(SessionId, FailureOutcome)> {
+        self.fail_peers(std::slice::from_ref(&peer))
+    }
+
+    /// Fails several peers as one correlated event: every peer is marked
+    /// dead (state, path cache, DHT, trust) *before* any session recovery
+    /// runs, so a session hit by the first peer can never switch onto a
+    /// backup containing the second. Outcomes are reported in listed peer
+    /// order; a single-element slice behaves exactly like
+    /// [`SpiderNet::fail_peer`].
+    pub fn fail_peers(&mut self, peers: &[PeerId]) -> Vec<(SessionId, FailureOutcome)> {
+        for &peer in peers {
+            self.mark_peer_failed(peer);
+        }
+        let mut outcomes = Vec::new();
+        for &peer in peers {
+            outcomes.extend(self.sessions.handle_peer_failure(
+                peer,
+                &self.reg,
+                &self.overlay,
+                &mut self.paths,
+                &mut self.state,
+                &self.weights,
+                &mut self.obs,
+            ));
+        }
+        outcomes
+    }
+
+    /// Propagates a peer's death to every subsystem except session
+    /// recovery (which [`SpiderNet::fail_peers`] runs once all peers of a
+    /// correlated event are marked).
+    fn mark_peer_failed(&mut self, peer: PeerId) {
         self.state.fail_peer(peer);
         // Shed only the shortest-path trees the departed peer participates
         // in; unrelated cached SSSPs stay warm through churn.
@@ -608,15 +640,6 @@ impl SpiderNet {
         for o in observers {
             self.trust.record(o, peer, Experience::Negative);
         }
-        self.sessions.handle_peer_failure(
-            peer,
-            &self.reg,
-            &self.overlay,
-            &mut self.paths,
-            &mut self.state,
-            &self.weights,
-            &mut self.obs,
-        )
     }
 
     /// Revives a failed peer: rejoins the ring and re-registers its
@@ -653,10 +676,11 @@ impl SpiderNet {
         self.sessions.maintenance_tick(&self.reg, &self.state, &mut self.obs)
     }
 
-    /// Advances virtual time, expiring overdue soft reservations.
-    pub fn advance(&mut self, dt: SimDuration) {
+    /// Advances virtual time, expiring overdue soft reservations. Returns
+    /// how many reservations the sweep reclaimed.
+    pub fn advance(&mut self, dt: SimDuration) -> usize {
         self.now += dt;
-        self.state.expire_soft(self.now, &mut self.obs.trace);
+        self.state.expire_soft(self.now, &mut self.obs.trace)
     }
 
     // --- accessors -------------------------------------------------------
@@ -916,6 +940,40 @@ mod tests {
                 } else {
                     assert!(net.sessions().session(id).is_none());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_failure_marks_all_peers_before_recovery() {
+        let mut net = small();
+        let mut rng = rng_for(29, "sys-corr");
+        let req = loose_request(&net, &mut rng);
+        let outcome = net.compose(&req, &BcpConfig::default()).unwrap();
+        let id = net.establish(&req, outcome).unwrap();
+        // Kill a primary peer together with a peer carrying backup state:
+        // recovery must not switch onto anything containing either.
+        let (victim, buddy) = {
+            let s = net.sessions().session(id).unwrap();
+            let victim = net.registry().get(s.primary.assignment[0]).peer;
+            let buddy = s
+                .backups
+                .iter()
+                .flat_map(|(g, _)| g.components().iter())
+                .map(|&c| net.registry().get(c).peer)
+                .find(|&p| p != victim)
+                .unwrap_or(victim);
+            (victim, buddy)
+        };
+        let outcomes = net.fail_peers(&[victim, buddy]);
+        assert!(!outcomes.is_empty());
+        assert!(!net.state().is_alive(victim));
+        assert!(!net.state().is_alive(buddy));
+        for (sid, outcome) in &outcomes {
+            if matches!(outcome, FailureOutcome::RecoveredByBackup { .. }) {
+                let s = net.sessions().session(*sid).unwrap();
+                assert!(!s.primary.contains_peer(victim, net.registry()));
+                assert!(!s.primary.contains_peer(buddy, net.registry()));
             }
         }
     }

@@ -24,6 +24,6 @@ pub mod media;
 pub mod msg;
 pub mod wan;
 
-pub use cluster::{Cluster, ClusterConfig, SetupResult, StreamReport};
+pub use cluster::{Cluster, ClusterConfig, NetFaultConfig, SetupResult, StreamReport};
 pub use media::{Frame, MediaFunction};
 pub use wan::{Region, WanModel};

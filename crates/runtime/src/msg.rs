@@ -190,3 +190,25 @@ pub enum Msg {
     /// Stop the peer thread.
     Halt,
 }
+
+impl Msg {
+    /// Whether the fault injector may drop or jitter this message. Only
+    /// genuine wire traffic is droppable — the protocol tolerates losing
+    /// probes, lookups, acks, and frames (timeouts and retries cover
+    /// them). Driver commands, self-scheduled timers, and `Halt` are
+    /// control-plane bookkeeping: dropping one would wedge the harness,
+    /// not exercise the protocol.
+    pub fn droppable(&self) -> bool {
+        matches!(
+            self,
+            Msg::DhtLookup { .. }
+                | Msg::DhtReply { .. }
+                | Msg::Probe(_)
+                | Msg::SetupAck { .. }
+                | Msg::StreamFrame { .. }
+                | Msg::FrameAck { .. }
+                | Msg::PathProbe { .. }
+                | Msg::PathProbeAck { .. }
+        )
+    }
+}

@@ -12,6 +12,8 @@
 //!   overlay-routed latency;
 //! * [`churn`] — random peer-failure injection ("1% of peers fail per time
 //!   unit");
+//! * [`fault`] — seeded, replayable fault-injection plans (crash/revive
+//!   schedules, correlated failures, soft-state expiry storms);
 //! * [`metrics`] — the interned counter/histogram registry for protocol
 //!   messages, with per-session scoping and deterministic merge;
 //! * [`trace`] — the typed protocol event ring (compiled out without the
@@ -24,6 +26,7 @@
 pub mod churn;
 pub mod event;
 pub mod export;
+pub mod fault;
 pub mod metrics;
 pub mod time;
 pub mod trace;
@@ -32,6 +35,7 @@ pub mod transport;
 pub use churn::ChurnModel;
 pub use event::Scheduler;
 pub use export::TraceReport;
+pub use fault::{FaultAction, FaultPlan};
 pub use metrics::{Counter, Histogram, Instruments, MetricsRegistry, ProtocolCounters};
 pub use time::SimTime;
 pub use trace::{DropReason, TraceBuffer, TraceEvent};

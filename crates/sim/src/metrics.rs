@@ -29,6 +29,12 @@ pub mod counter {
     pub const COMBOS_EXAMINED: &str = "baseline.combos_examined";
     /// Optimal-baseline candidate combos cut by branch-and-bound pruning.
     pub const COMBOS_PRUNED: &str = "baseline.combos_pruned";
+    /// Fault-injection actions applied (crashes + revives).
+    pub const FAULTS_INJECTED: &str = "fault.injected";
+    /// Sessions recovered by switching to a maintained backup graph.
+    pub const RECOVERY_SWITCHES: &str = "recovery.switches";
+    /// Sessions that exhausted their backups and needed reactive BCP.
+    pub const RECOVERY_REACTIVE: &str = "recovery.reactive";
 }
 
 /// Conventional histogram names used across the experiments.
@@ -272,6 +278,12 @@ pub struct ProtocolCounters {
     pub combos_examined: Counter,
     /// Optimal-baseline combos cut by branch-and-bound pruning.
     pub combos_pruned: Counter,
+    /// Fault-injection actions applied.
+    pub faults_injected: Counter,
+    /// Sessions recovered via a maintained backup.
+    pub recovery_switches: Counter,
+    /// Sessions that fell through to reactive BCP.
+    pub recovery_reactive: Counter,
     /// Backup switchover latency (ms).
     pub switch_ms: Histogram,
     /// Function-graph node count per composition.
@@ -291,6 +303,9 @@ impl ProtocolCounters {
             state_updates: reg.counter(counter::STATE_UPDATES),
             combos_examined: reg.counter(counter::COMBOS_EXAMINED),
             combos_pruned: reg.counter(counter::COMBOS_PRUNED),
+            faults_injected: reg.counter(counter::FAULTS_INJECTED),
+            recovery_switches: reg.counter(counter::RECOVERY_SWITCHES),
+            recovery_reactive: reg.counter(counter::RECOVERY_REACTIVE),
             switch_ms: reg.histogram(hist::SWITCH_MS),
             graph_nodes: reg.histogram(hist::GRAPH_NODES),
             graph_branches: reg.histogram(hist::GRAPH_BRANCHES),

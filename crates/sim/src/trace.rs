@@ -65,6 +65,27 @@ pub enum TraceEvent {
         /// Overlay routing hops the message traversed.
         hops: u32,
     },
+    /// A fault-injection plan changed a peer's liveness.
+    FaultInjected {
+        /// Plan time unit the action fired at.
+        unit: u64,
+        /// The affected peer.
+        peer: u64,
+        /// `true` for a crash, `false` for a revive.
+        crash: bool,
+    },
+    /// The recovery layer resolved a primary-graph failure: either it
+    /// switched to the backup at `rank` (`reactive` = false) or it
+    /// exhausted `rank` backups and fell through to reactive BCP
+    /// (`reactive` = true).
+    RecoverySwitch {
+        /// The affected session.
+        session: u64,
+        /// Backup rank promoted, or — when `reactive` — backups tried.
+        rank: u32,
+        /// True if the session needed a reactive re-composition.
+        reactive: bool,
+    },
     /// An optimal-baseline enumeration finished, summarizing how much of
     /// the candidate combo space branch-and-bound pruning cut away.
     BaselinePruned {

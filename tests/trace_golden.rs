@@ -25,6 +25,12 @@ fn render(ev: &TraceEvent) -> String {
         TraceEvent::SoftRelease { peer } => format!("release p{peer}"),
         TraceEvent::BackupSwitch { from, to, .. } => format!("switch {from}->{to}"),
         TraceEvent::DhtLookup { hops } => format!("dht h{hops}"),
+        TraceEvent::FaultInjected { unit, peer, crash } => {
+            format!("fault u{unit} p{peer} {}", if *crash { "crash" } else { "revive" })
+        }
+        TraceEvent::RecoverySwitch { rank, reactive, .. } => {
+            format!("rswitch r{rank} reactive={reactive}")
+        }
         TraceEvent::BaselinePruned { examined, pruned, .. } => {
             format!("baseline e{examined} p{pruned}")
         }
