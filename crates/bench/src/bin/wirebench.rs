@@ -1,0 +1,163 @@
+//! Wire-codec throughput bench: encode/decode rates for the message
+//! shapes that dominate a live deployment (BCP probes, media frames,
+//! DHT replies), plus the streaming `FrameDecoder` fed in small chunks
+//! the way a TCP read loop does.
+//!
+//! ```text
+//! cargo run --release --bin wirebench [--csv]
+//! ```
+
+use spidernet_bench::csv_requested;
+use spidernet_util::qos::QosVector;
+use spidernet_wire::{
+    encode_to_vec, FrameDecoder, WireMsg, WirePixels, WireProbe, WireReplica,
+};
+use std::time::Instant;
+
+fn probe_msg() -> WireMsg {
+    WireMsg::Probe(WireProbe {
+        request: 42,
+        source: 1,
+        dest: 77,
+        chain: vec![0, 1, 2, 3],
+        replica_lists: (0..4)
+            .map(|f| (0..6).map(|p| WireReplica { peer: p * 17, function: f }).collect())
+            .collect(),
+        pos: 2,
+        path: vec![5, 9],
+        budget: 8,
+        acc_qos: QosVector::delay_loss(123.5, 0.01),
+        at_ms: 456.789,
+    })
+}
+
+fn frame_msg(side: u32) -> WireMsg {
+    let n = (side * side) as usize;
+    WireMsg::StreamFrame {
+        session: 42,
+        path: vec![3, 5, 9],
+        functions: vec![0, 1, 2],
+        idx: 1,
+        dest: 77,
+        source: 1,
+        orig_w: side,
+        orig_h: side,
+        frame: WirePixels {
+            width: side,
+            height: side,
+            seq: 7,
+            pixels: (0..n).map(|i| (i * 31 % 251) as u8).collect(),
+        },
+        at_ms: 99.5,
+    }
+}
+
+fn reply_msg() -> WireMsg {
+    WireMsg::DhtReply {
+        query: 9,
+        metas: (0..8).map(|p| WireReplica { peer: p, function: (p % 6) as u8 }).collect(),
+        at_ms: 12.25,
+    }
+}
+
+struct Row {
+    name: &'static str,
+    bytes_per_msg: usize,
+    encode_mps: f64,
+    decode_mps: f64,
+    encode_mbs: f64,
+    decode_mbs: f64,
+}
+
+fn bench(name: &'static str, msg: WireMsg, iters: u32) -> Row {
+    let frame = encode_to_vec(&msg);
+    let bytes_per_msg = frame.len();
+
+    let mut buf = Vec::with_capacity(bytes_per_msg);
+    let t = Instant::now();
+    for _ in 0..iters {
+        buf.clear();
+        spidernet_wire::encode(&msg, &mut buf);
+        std::hint::black_box(&buf);
+    }
+    let enc = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        let (decoded, used) = spidernet_wire::decode(&frame).expect("self-encoded frame");
+        std::hint::black_box((&decoded, used));
+    }
+    let dec = t.elapsed().as_secs_f64();
+
+    let mb = bytes_per_msg as f64 * iters as f64 / 1e6;
+    Row {
+        name,
+        bytes_per_msg,
+        encode_mps: iters as f64 / enc / 1e6,
+        decode_mps: iters as f64 / dec / 1e6,
+        encode_mbs: mb / enc,
+        decode_mbs: mb / dec,
+    }
+}
+
+/// Streams a batch of frames through [`FrameDecoder`] in TCP-sized
+/// chunks, returning (frames/s, MB/s).
+fn bench_stream_decoder(msg: &WireMsg, frames: u32, chunk: usize) -> (f64, f64) {
+    let one = encode_to_vec(msg);
+    let mut wire = Vec::with_capacity(one.len() * frames as usize);
+    for _ in 0..frames {
+        wire.extend_from_slice(&one);
+    }
+    let t = Instant::now();
+    let mut dec = FrameDecoder::new();
+    let mut got = 0u32;
+    for piece in wire.chunks(chunk) {
+        dec.extend(piece);
+        while let Ok(Some(frame)) = dec.next_frame() {
+            std::hint::black_box(&frame);
+            got += 1;
+        }
+    }
+    assert_eq!(got, frames, "stream decoder lost frames");
+    let secs = t.elapsed().as_secs_f64();
+    (frames as f64 / secs, wire.len() as f64 / 1e6 / secs)
+}
+
+fn main() {
+    let csv = csv_requested();
+    let rows = vec![
+        bench("dht_reply", reply_msg(), 400_000),
+        bench("bcp_probe", probe_msg(), 200_000),
+        bench("frame_8x8", frame_msg(8), 200_000),
+        bench("frame_64x64", frame_msg(64), 50_000),
+        bench("frame_256x256", frame_msg(256), 5_000),
+    ];
+    if csv {
+        println!("msg,bytes,encode_mmsgs_s,decode_mmsgs_s,encode_mb_s,decode_mb_s");
+        for r in &rows {
+            println!(
+                "{},{},{:.3},{:.3},{:.1},{:.1}",
+                r.name, r.bytes_per_msg, r.encode_mps, r.decode_mps, r.encode_mbs, r.decode_mbs
+            );
+        }
+    } else {
+        println!("wire codec throughput (single core)");
+        println!(
+            "{:<14} {:>7} {:>12} {:>12} {:>10} {:>10}",
+            "message", "bytes", "enc Mmsg/s", "dec Mmsg/s", "enc MB/s", "dec MB/s"
+        );
+        for r in &rows {
+            println!(
+                "{:<14} {:>7} {:>12.3} {:>12.3} {:>10.1} {:>10.1}",
+                r.name, r.bytes_per_msg, r.encode_mps, r.decode_mps, r.encode_mbs, r.decode_mbs
+            );
+        }
+    }
+    let (fps, mbs) = bench_stream_decoder(&frame_msg(64), 100_000, 16 * 1024);
+    if csv {
+        println!("stream_decoder_64x64,,,,{mbs:.1},");
+        let _ = fps;
+    } else {
+        println!("\nFrameDecoder over 16 KiB chunks (64x64 frames): {fps:.0} frames/s, {mbs:.1} MB/s");
+    }
+}

@@ -1057,7 +1057,7 @@ mod tests {
         assert!(mgr.is_empty(), "poisoned session was registered");
         // A NaN-cost candidate in a cost-ordered list sorts last under
         // total_cmp — it can never displace a finite best.
-        let mut costs = vec![3.0, f64::NAN, 1.0];
+        let mut costs = [3.0, f64::NAN, 1.0];
         costs.sort_by(f64::total_cmp);
         assert_eq!(costs[0], 1.0);
         assert!(costs[2].is_nan());

@@ -1,0 +1,171 @@
+//! The SpiderNet node daemon and loopback deploy orchestrator.
+//!
+//! ```text
+//! spidernet-node serve  --index 0 --peers 8 --seed 0 --ports 7000,7001,...
+//! spidernet-node deploy --peers 8 --kill-primary
+//! ```
+//!
+//! `serve` runs one peer as an OS process: it joins the overlay, registers
+//! its service component in the DHT, and speaks the `spidernet-wire`
+//! protocol over TCP until a `CtrlShutdown` control frame arrives.
+//!
+//! `deploy` spawns an N-process loopback cluster of `serve` daemons,
+//! drives one composition and one streaming session end-to-end
+//! (optionally killing the primary path's first component mid-stream to
+//! exercise proactive backup switchover), prints a JSON summary, and
+//! tears the cluster down.
+
+use spidernet_runtime::net::{deploy, run_node, DeployConfig, NodeConfig};
+use spidernet_runtime::{ClusterConfig, NetFaultConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         spidernet-node serve --index I --peers N --ports P0,P1,... [--seed S] \
+         [--jitter J] [--time-scale T] [--collect-window-ms W] [--quota Q] \
+         [--failover-timeout-ms F] [--maintenance-period-ms M] \
+         [--drop-prob D] [--extra-delay-ms E]\n  \
+         spidernet-node deploy [--peers N] [--seed S] [--frames F] \
+         [--interval-ms I] [--budget B] [--time-scale T] [--timeout-secs T] \
+         [--drop-prob D] [--extra-delay-ms E] [--kill-primary]"
+    );
+    std::process::exit(2)
+}
+
+/// Splits `args` into valued flags (`--key value`) and bare switches.
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut values = HashMap::new();
+    let mut switches = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            eprintln!("unexpected argument: {arg}");
+            usage()
+        };
+        match it.peek() {
+            Some(next) if !next.starts_with("--") => {
+                values.insert(key.to_string(), it.next().expect("peeked").clone());
+            }
+            _ => switches.push(key.to_string()),
+        }
+    }
+    (values, switches)
+}
+
+fn get<T: std::str::FromStr>(values: &HashMap<String, String>, key: &str, default: T) -> T {
+    match values.get(key) {
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --{key}: {raw}");
+            usage()
+        }),
+        None => default,
+    }
+}
+
+fn require<T: std::str::FromStr>(values: &HashMap<String, String>, key: &str) -> T {
+    match values.get(key) {
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --{key}: {raw}");
+            usage()
+        }),
+        None => {
+            eprintln!("missing required flag --{key}");
+            usage()
+        }
+    }
+}
+
+fn cluster_config(values: &HashMap<String, String>, peers: usize) -> ClusterConfig {
+    let defaults = ClusterConfig::default();
+    ClusterConfig {
+        peers,
+        jitter: get(values, "jitter", defaults.jitter),
+        seed: get(values, "seed", 0),
+        time_scale: get(values, "time-scale", 0.05),
+        collect_window_ms: get(values, "collect-window-ms", defaults.collect_window_ms),
+        quota: get(values, "quota", defaults.quota),
+        failover_timeout_ms: get(values, "failover-timeout-ms", defaults.failover_timeout_ms),
+        maintenance_period_ms: get(
+            values,
+            "maintenance-period-ms",
+            defaults.maintenance_period_ms,
+        ),
+        faults: NetFaultConfig {
+            drop_prob: get(values, "drop-prob", 0.0),
+            extra_delay_ms: get(values, "extra-delay-ms", 0.0),
+        },
+    }
+}
+
+fn serve(args: &[String]) {
+    let (values, _switches) = parse_flags(args);
+    let index: usize = require(&values, "index");
+    let peers: usize = require(&values, "peers");
+    let ports_raw: String = require(&values, "ports");
+    let ports: Vec<u16> = ports_raw
+        .split(',')
+        .map(|p| {
+            p.trim().parse().unwrap_or_else(|_| {
+                eprintln!("invalid port in --ports: {p}");
+                usage()
+            })
+        })
+        .collect();
+    if ports.len() != peers || index >= peers {
+        eprintln!("--ports must list one port per peer and --index must be in range");
+        usage()
+    }
+    let cfg = NodeConfig { index, cluster: cluster_config(&values, peers), ports };
+    if let Err(e) = run_node(cfg) {
+        eprintln!("spidernet-node[{index}]: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run_deploy(args: &[String]) {
+    let (values, switches) = parse_flags(args);
+    let peers: usize = get(&values, "peers", 8);
+    let seed: u64 = get(&values, "seed", 0);
+    let node_exe = std::env::current_exe().expect("own executable path");
+    let mut cfg = DeployConfig::standard(peers, seed, node_exe);
+    cfg.cluster.time_scale = get(&values, "time-scale", cfg.cluster.time_scale);
+    cfg.cluster.faults = NetFaultConfig {
+        drop_prob: get(&values, "drop-prob", 0.0),
+        extra_delay_ms: get(&values, "extra-delay-ms", 0.0),
+    };
+    cfg.frames = get(&values, "frames", cfg.frames);
+    cfg.interval_ms = get(&values, "interval-ms", cfg.interval_ms);
+    cfg.budget = get(&values, "budget", cfg.budget);
+    cfg.timeout = Duration::from_secs(get(&values, "timeout-secs", 45));
+    cfg.kill_primary = switches.iter().any(|s| s == "kill-primary");
+    let kill = cfg.kill_primary;
+
+    match deploy(cfg) {
+        Ok(outcome) => {
+            println!("{}", outcome.to_json());
+            if kill && outcome.report.switches == 0 {
+                eprintln!("deploy: primary killed but no backup switch happened");
+                std::process::exit(1);
+            }
+            if outcome.report.delivered == 0 || !outcome.report.all_valid {
+                eprintln!("deploy: stream did not deliver valid frames");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("deploy failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("deploy") => run_deploy(&args[1..]),
+        _ => usage(),
+    }
+}

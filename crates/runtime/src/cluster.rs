@@ -1,138 +1,36 @@
-//! The threaded peer cluster: one actor thread per peer, one network
-//! thread injecting WAN delays.
+//! The in-process channel transport: one actor thread per peer, one
+//! network thread injecting WAN delays.
 //!
-//! Every protocol step of the prototype travels through real channels:
-//! DHT lookups route hop by hop along Pastry next-hops, BCP probes walk
-//! candidate component chains, the destination collects probes for a
-//! window and acknowledges the selected composition back along the
-//! reversed path, and media frames stream through the composed components
-//! (each applying its transform). Peer failure is modeled by the network
-//! dropping all traffic to the dead peer; streaming sources detect the
-//! resulting ack gap and fail over to a backup path — the proactive
-//! recovery data path of §5, exercised with real threads.
+//! All protocol logic lives in [`crate::node::PeerNode`]; this module
+//! only moves messages. Each peer actor drains an mpsc inbox and feeds
+//! the engine through a [`ChannelOutbox`] whose `wire` goes into the
+//! delay-queue network thread (converting model delay to compressed wall
+//! time) and whose driver results resolve the caller's reply channels.
+//! The socket transport ([`crate::net`]) drives the *same* engine over
+//! TCP — a deployment built from the same [`ClusterConfig`] and seed
+//! behaves identically in model time.
+//!
+//! Peer failure is modeled by the network dropping all traffic to the
+//! dead peer; streaming sources detect the resulting ack gap and fail
+//! over to a backup path — the proactive recovery data path of §5,
+//! exercised with real threads.
 //!
 //! Wall-clock time is compressed by `time_scale` (wall = model × scale);
 //! all reported times are model milliseconds.
 
-use crate::media::{Frame, MediaFunction};
-use crate::msg::{Msg, Probe, ReplicaMeta};
-use crate::wan::WanModel;
-use spidernet_dht::{NodeId, PastryNetwork};
-use spidernet_sim::trace::{TraceBuffer, TraceEvent};
-use spidernet_util::hash::function_key;
+use crate::media::MediaFunction;
+use crate::msg::Msg;
+use crate::node::{Outbox, PeerNode, World};
+use spidernet_sim::trace::TraceEvent;
 use spidernet_util::id::PeerId;
-use spidernet_util::rng::{rng_for, Rng};
-use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use spidernet_util::rng::rng_for;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Message-level fault injection applied by the network thread.
-///
-/// Only wire traffic ([`Msg::droppable`]) is affected; driver commands
-/// and self-timers always deliver. Each droppable message is considered
-/// exactly once: survivors of the drop roll are re-queued with their
-/// extra jitter and marked so they are not rolled again.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct NetFaultConfig {
-    /// Probability a droppable message is silently lost.
-    pub drop_prob: f64,
-    /// Upper bound of uniformly-sampled extra delivery delay, model ms.
-    pub extra_delay_ms: f64,
-}
-
-impl NetFaultConfig {
-    /// True when either knob is set.
-    pub fn is_active(&self) -> bool {
-        self.drop_prob > 0.0 || self.extra_delay_ms > 0.0
-    }
-}
-
-/// Cluster construction parameters.
-#[derive(Clone, Debug)]
-pub struct ClusterConfig {
-    /// Number of peers (paper: 102 PlanetLab hosts).
-    pub peers: usize,
-    /// WAN jitter bound (multiplicative).
-    pub jitter: f64,
-    /// Master seed.
-    pub seed: u64,
-    /// Wall seconds per model second (0.02 = 50× compression).
-    pub time_scale: f64,
-    /// Destination-side probe collection window, model ms.
-    pub collect_window_ms: f64,
-    /// Per-hop probe fan-out quota.
-    pub quota: u32,
-    /// A streaming source fails over when no delivery ack has arrived for
-    /// this long (model ms). Must exceed the path round-trip time, or
-    /// frames legitimately in flight look like loss.
-    pub failover_timeout_ms: f64,
-    /// Period of backup-path maintenance probing, model ms (0 disables).
-    pub maintenance_period_ms: f64,
-    /// Message-level loss and delay injection (off by default).
-    pub faults: NetFaultConfig,
-}
-
-impl Default for ClusterConfig {
-    fn default() -> Self {
-        ClusterConfig {
-            peers: 102,
-            jitter: 0.3,
-            seed: 0,
-            time_scale: 0.02,
-            collect_window_ms: 200.0,
-            quota: 3,
-            failover_timeout_ms: 400.0,
-            maintenance_period_ms: 120.0,
-            faults: NetFaultConfig::default(),
-        }
-    }
-}
-
-/// Result of one session setup (all times in model ms).
-#[derive(Clone, Debug)]
-pub struct SetupResult {
-    /// Request id (doubles as the session id).
-    pub request: u64,
-    /// Whether a composition was established.
-    pub ok: bool,
-    /// The application receiver.
-    pub dest: PeerId,
-    /// Selected component path (composition order).
-    pub path: Vec<PeerId>,
-    /// Functions along the path.
-    pub functions: Vec<MediaFunction>,
-    /// Alternative complete paths found by probing (failover backups).
-    pub backups: Vec<Vec<PeerId>>,
-    /// Decentralized service discovery time.
-    pub discovery_ms: f64,
-    /// Probing + destination selection time.
-    pub probing_ms: f64,
-    /// Session initialization (reverse-ack) time.
-    pub init_ms: f64,
-    /// End-to-end setup time.
-    pub total_ms: f64,
-}
-
-/// Final report of one streaming session.
-#[derive(Clone, Debug)]
-pub struct StreamReport {
-    /// Session id.
-    pub session: u64,
-    /// Frames emitted by the source.
-    pub sent: u64,
-    /// Frames acknowledged by the destination.
-    pub delivered: u64,
-    /// Whether every delivered frame matched the expected transform chain.
-    pub all_valid: bool,
-    /// Path failovers performed.
-    pub switches: u32,
-    /// Low-rate maintenance probes sent along backup paths.
-    pub maintenance_probes: u64,
-    /// The path in use when the stream ended.
-    pub final_path: Vec<PeerId>,
-}
+pub use crate::node::{ClusterConfig, NetFaultConfig, SetupResult, StreamReport};
 
 // ---------------------------------------------------------------------
 // Network thread: a delay queue delivering messages at their due time.
@@ -201,9 +99,15 @@ impl Net {
     }
 }
 
-fn network_thread(inner: Arc<NetInner>, peers: Vec<Sender<Msg>>, shared: Arc<Shared>) {
-    let faults = shared.cfg.faults;
-    let mut rng = rng_for(shared.cfg.seed, "net-faults");
+fn network_thread(
+    inner: Arc<NetInner>,
+    peers: Vec<Sender<Msg>>,
+    world: Arc<World>,
+    dead: Arc<Vec<AtomicBool>>,
+) {
+    let faults = world.cfg.faults;
+    let mut rng = rng_for(world.cfg.seed, "net-faults");
+    let scale = world.cfg.time_scale;
     loop {
         let mut q = inner.queue.lock().unwrap();
         if q.shutdown {
@@ -214,20 +118,19 @@ fn network_thread(inner: Arc<NetInner>, peers: Vec<Sender<Msg>>, shared: Arc<Sha
             Some(e) if e.due <= now => {
                 let e = q.heap.pop().expect("peeked");
                 drop(q);
-                if shared.dead[e.to.index()].load(Ordering::Relaxed) {
+                if dead[e.to.index()].load(Ordering::Relaxed) {
                     continue;
                 }
                 if faults.is_active() && !e.delayed && e.msg.droppable() {
                     if faults.drop_prob > 0.0 && rng.gen::<f64>() < faults.drop_prob {
-                        shared.msgs_dropped.fetch_add(1, Ordering::Relaxed);
+                        world.msgs_dropped.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     if faults.extra_delay_ms > 0.0 {
                         // Re-queue once with the extra jitter, marked so the
                         // message is not rolled again on redelivery.
                         let extra = rng.gen::<f64>() * faults.extra_delay_ms;
-                        let wall =
-                            Duration::from_secs_f64(extra * shared.scale / 1_000.0);
+                        let wall = Duration::from_secs_f64(extra * scale / 1_000.0);
                         let mut q = inner.queue.lock().unwrap();
                         let seq = q.seq;
                         q.seq += 1;
@@ -254,136 +157,74 @@ fn network_thread(inner: Arc<NetInner>, peers: Vec<Sender<Msg>>, shared: Arc<Sha
 }
 
 // ---------------------------------------------------------------------
-// Shared immutable state.
+// Per-peer actor: inbox pump + channel-backed Outbox.
 // ---------------------------------------------------------------------
 
-struct Shared {
-    wan: WanModel,
-    pastry: PastryNetwork,
-    dead: Arc<Vec<AtomicBool>>,
+/// The engine's effects, routed through the in-process transport:
+/// `wire` and `timer` go into the delay-queue network, driver results
+/// resolve the pending reply channels.
+struct ChannelOutbox<'a> {
+    me: PeerId,
+    net: &'a Net,
     epoch: Instant,
     scale: f64,
-    probes_sent: AtomicU64,
-    dht_hops: AtomicU64,
-    /// Droppable messages lost to fault injection.
-    msgs_dropped: AtomicU64,
-    /// Cluster-wide event ring. Actor threads record through a mutex —
-    /// protocol events are orders of magnitude rarer than frames, and with
-    /// the `trace` feature off the buffer is a ZST no-op anyway.
-    trace: Mutex<TraceBuffer>,
-    /// Probe transmissions attributed per composition session.
-    session_probes: Mutex<BTreeMap<u64, u64>>,
-    cfg: ClusterConfig,
-    functions: Vec<MediaFunction>,
+    pending_setups: &'a mut HashMap<u64, SyncSender<SetupResult>>,
+    pending_reports: &'a mut HashMap<u64, SyncSender<StreamReport>>,
 }
 
-impl Shared {
-    /// Milliseconds of *model* time since the cluster epoch.
+impl Outbox for ChannelOutbox<'_> {
+    fn wire(&mut self, to: PeerId, msg: Msg, delay_ms: f64) {
+        self.net.send(to, msg, delay_ms);
+    }
+
+    fn timer(&mut self, msg: Msg, delay_ms: f64) {
+        self.net.send(self.me, msg, delay_ms);
+    }
+
     fn now_ms(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64() * 1_000.0 / self.scale
     }
 
-    fn record(&self, ev: TraceEvent) {
-        self.trace.lock().unwrap().record(ev);
+    fn setup_result(&mut self, result: SetupResult) {
+        if let Some(reply) = self.pending_setups.remove(&result.request) {
+            let _ = reply.send(result);
+        }
     }
 
-    fn count_probe(&self, session: u64, depth: u16, budget: u32) {
-        self.probes_sent.fetch_add(1, Ordering::Relaxed);
-        *self.session_probes.lock().unwrap().entry(session).or_insert(0) += 1;
-        self.record(TraceEvent::ProbeSpawned { session, depth, budget });
+    fn stream_report(&mut self, report: StreamReport) {
+        if let Some(reply) = self.pending_reports.remove(&report.session) {
+            let _ = reply.send(report);
+        }
     }
-}
-
-// ---------------------------------------------------------------------
-// Per-peer actor.
-// ---------------------------------------------------------------------
-
-struct ComposeJob {
-    dest: PeerId,
-    chain: Vec<MediaFunction>,
-    budget: u32,
-    reply: SyncSender<SetupResult>,
-    replica_lists: Vec<Option<Vec<ReplicaMeta>>>,
-    t0_ms: f64,
-    discovery_done_ms: Option<f64>,
-}
-
-struct DestJob {
-    source: PeerId,
-    chain: Vec<MediaFunction>,
-    probes: Vec<(f64, Probe)>,
-    timer_armed: bool,
-}
-
-enum StreamPhase {
-    Sending,
-    Draining,
-}
-
-struct StreamJob {
-    /// paths[0] is the active path; the rest are backups in preference
-    /// order. `backup_alive[i]` mirrors paths[i+1]'s last maintenance
-    /// verdict (true until proven dead).
-    paths: Vec<Vec<PeerId>>,
-    backup_alive: Vec<bool>,
-    /// Maintenance round counter; an ack for round r-1 arriving late still
-    /// counts (liveness, not freshness).
-    maintenance_pending: Vec<bool>,
-    maintenance_messages: u64,
-    functions: Vec<MediaFunction>,
-    dest: PeerId,
-    remaining: u64,
-    interval_ms: f64,
-    dims: (usize, usize),
-    reply: SyncSender<StreamReport>,
-    seq: u64,
-    delivered: u64,
-    all_valid: bool,
-    /// Model ms of the last sign of progress (stream start, delivery ack,
-    /// or failover) — the failover detector's baseline.
-    last_progress_ms: f64,
-    switches: u32,
-    phase: StreamPhase,
 }
 
 struct PeerActor {
     me: PeerId,
     inbox: Receiver<Msg>,
     net: Net,
-    shared: Arc<Shared>,
-    store: HashMap<u128, Vec<ReplicaMeta>>,
-    rng: Rng,
-    compose_jobs: HashMap<u64, ComposeJob>,
-    dest_jobs: HashMap<u64, DestJob>,
-    done_requests: HashSet<u64>,
-    stream_jobs: HashMap<u64, StreamJob>,
+    epoch: Instant,
+    scale: f64,
+    node: PeerNode,
+    pending_setups: HashMap<u64, SyncSender<SetupResult>>,
+    pending_reports: HashMap<u64, SyncSender<StreamReport>>,
 }
 
 impl PeerActor {
-    fn send(&mut self, to: PeerId, msg: Msg) {
-        let d = self.shared.wan.sample_ms(self.me, to, &mut self.rng);
-        self.net.send(to, msg, d);
-    }
-
     fn run(mut self) {
         while let Ok(msg) = self.inbox.recv() {
+            let mut out = ChannelOutbox {
+                me: self.me,
+                net: &self.net,
+                epoch: self.epoch,
+                scale: self.scale,
+                pending_setups: &mut self.pending_setups,
+                pending_reports: &mut self.pending_reports,
+            };
             match msg {
                 Msg::Halt => return,
                 Msg::Compose { request, dest, chain, budget, reply } => {
-                    self.on_compose(request, dest, chain, budget, reply)
-                }
-                Msg::DhtLookup { query, key, origin, hops } => {
-                    self.route_dht(query, key, origin, hops)
-                }
-                Msg::DhtReply { query, metas } => self.on_dht_reply(query, metas),
-                Msg::Probe(p) => self.on_probe(p),
-                Msg::TimerCollect { request } => self.on_collect(request),
-                Msg::SetupAck { session, path, functions, idx, source, backups, selected_ms } => {
-                    if idx == usize::MAX {
-                        self.on_compose_completion(session, path, functions, backups, selected_ms)
-                    } else {
-                        self.on_setup_ack(session, path, functions, idx, source, backups, selected_ms)
-                    }
+                    out.pending_setups.insert(request, reply);
+                    self.node.compose(request, dest, chain, budget, &mut out);
                 }
                 Msg::StartStream {
                     session,
@@ -396,528 +237,22 @@ impl PeerActor {
                     dims,
                     reply,
                 } => {
-                    let mut paths = vec![path];
-                    paths.extend(backups);
-                    let n_backups = paths.len() - 1;
-                    self.stream_jobs.insert(
-                        session,
-                        StreamJob {
-                            paths,
-                            backup_alive: vec![true; n_backups],
-                            maintenance_pending: vec![false; n_backups],
-                            maintenance_messages: 0,
-                            functions,
-                            dest,
-                            remaining: frames,
-                            interval_ms,
-                            dims,
-                            reply,
-                            seq: 0,
-                            delivered: 0,
-                            all_valid: true,
-                            last_progress_ms: self.shared.now_ms(),
-                            switches: 0,
-                            phase: StreamPhase::Sending,
-                        },
-                    );
-                    self.net.send(self.me, Msg::TimerStream { session }, 0.0);
-                    if self.shared.cfg.maintenance_period_ms > 0.0 {
-                        self.net.send(
-                            self.me,
-                            Msg::TimerMaintenance { session },
-                            self.shared.cfg.maintenance_period_ms,
-                        );
-                    }
-                }
-                Msg::TimerStream { session } => self.on_stream_timer(session),
-                Msg::TimerMaintenance { session } => self.on_maintenance_timer(session),
-                Msg::PathProbe { session, path, idx, origin, backup_idx } => {
-                    self.on_path_probe(session, path, idx, origin, backup_idx)
-                }
-                Msg::PathProbeAck { session, backup_idx } => {
-                    if let Some(job) = self.stream_jobs.get_mut(&session) {
-                        if let Some(alive) = job.backup_alive.get_mut(backup_idx) {
-                            *alive = true;
-                        }
-                        if let Some(p) = job.maintenance_pending.get_mut(backup_idx) {
-                            *p = false;
-                        }
-                    }
-                }
-                Msg::StreamFrame { session, path, functions, idx, dest, source, orig_dims, frame } => {
-                    self.on_frame(session, path, functions, idx, dest, source, orig_dims, frame)
-                }
-                Msg::FrameAck { session, seq: _, valid } => {
-                    let now = self.shared.now_ms();
-                    if let Some(job) = self.stream_jobs.get_mut(&session) {
-                        job.delivered += 1;
-                        job.all_valid &= valid;
-                        job.last_progress_ms = now;
-                    }
-                }
-            }
-        }
-    }
-
-    // --- discovery --------------------------------------------------
-
-    fn route_dht(&mut self, query: u64, key: NodeId, origin: PeerId, hops: u32) {
-        self.shared.dht_hops.fetch_add(1, Ordering::Relaxed);
-        match self.shared.pastry.next_hop_from(self.me, key) {
-            Some(Some(next)) => {
-                self.send(next, Msg::DhtLookup { query, key, origin, hops: hops + 1 });
-            }
-            _ => {
-                // This peer is the key's root.
-                self.shared.record(TraceEvent::DhtLookup { hops });
-                let metas = self.store.get(&key.0).cloned().unwrap_or_default();
-                self.send(origin, Msg::DhtReply { query, metas });
-            }
-        }
-    }
-
-    fn on_dht_reply(&mut self, query: u64, metas: Vec<ReplicaMeta>) {
-        let request = query / 64;
-        let pos = (query % 64) as usize;
-        let Some(job) = self.compose_jobs.get_mut(&request) else { return };
-        if pos >= job.replica_lists.len() {
-            return;
-        }
-        if job.replica_lists[pos].is_none() {
-            job.replica_lists[pos] = Some(metas);
-            if job.replica_lists.iter().all(Option::is_some) {
-                self.start_probing(request);
-            }
-        }
-    }
-
-    // --- composition (source side) ----------------------------------
-
-    fn on_compose(
-        &mut self,
-        request: u64,
-        dest: PeerId,
-        chain: Vec<MediaFunction>,
-        budget: u32,
-        reply: SyncSender<SetupResult>,
-    ) {
-        let t0_ms = self.shared.now_ms();
-        let n = chain.len();
-        assert!(n < 63, "query encoding supports chains up to 62 functions");
-        self.compose_jobs.insert(
-            request,
-            ComposeJob {
-                dest,
-                chain: chain.clone(),
-                budget,
-                reply,
-                replica_lists: vec![None; n],
-                t0_ms,
-                discovery_done_ms: None,
-            },
-        );
-        // Parallel DHT lookups, one per function; query ids encode the
-        // chain position. Routing starts at this peer.
-        for (pos, f) in chain.iter().enumerate() {
-            let key = NodeId::new(function_key(f.name()));
-            self.route_dht(request * 64 + pos as u64, key, self.me, 0);
-        }
-    }
-
-    fn start_probing(&mut self, request: u64) {
-        let now = self.shared.now_ms();
-        let (dest, chain, lists, budget, failed) = {
-            let job = self.compose_jobs.get_mut(&request).expect("caller holds the job");
-            job.discovery_done_ms = Some(now);
-            let lists: Vec<Vec<ReplicaMeta>> =
-                job.replica_lists.iter().map(|l| l.clone().expect("all present")).collect();
-            let failed = lists.iter().any(Vec::is_empty);
-            (job.dest, job.chain.clone(), lists, job.budget, failed)
-        };
-        if failed {
-            self.finish_failure(request);
-            return;
-        }
-        self.spawn_probes(Probe {
-            request,
-            source: self.me,
-            dest,
-            chain,
-            replica_lists: lists,
-            pos: 0,
-            path: Vec::new(),
-            budget,
-            started_ms: now,
-        });
-    }
-
-    fn finish_failure(&mut self, request: u64) {
-        if let Some(job) = self.compose_jobs.remove(&request) {
-            let now = self.shared.now_ms();
-            let _ = job.reply.send(SetupResult {
-                request,
-                ok: false,
-                dest: job.dest,
-                path: Vec::new(),
-                functions: job.chain,
-                backups: Vec::new(),
-                discovery_ms: job.discovery_done_ms.unwrap_or(now) - job.t0_ms,
-                probing_ms: 0.0,
-                init_ms: 0.0,
-                total_ms: now - job.t0_ms,
-            });
-        }
-    }
-
-    fn on_compose_completion(
-        &mut self,
-        session: u64,
-        path: Vec<PeerId>,
-        functions: Vec<MediaFunction>,
-        backups: Vec<Vec<PeerId>>,
-        selected_ms: f64,
-    ) {
-        let Some(job) = self.compose_jobs.remove(&session) else { return };
-        let now = self.shared.now_ms();
-        let discovery_end = job.discovery_done_ms.unwrap_or(job.t0_ms);
-        let ok = !path.is_empty();
-        let _ = job.reply.send(SetupResult {
-            request: session,
-            ok,
-            dest: job.dest,
-            path,
-            functions,
-            backups,
-            discovery_ms: discovery_end - job.t0_ms,
-            probing_ms: selected_ms - discovery_end,
-            init_ms: if ok { now - selected_ms } else { 0.0 },
-            total_ms: now - job.t0_ms,
-        });
-    }
-
-    // --- probing (all peers) ----------------------------------------
-
-    /// Fans a probe out to the next chain position's candidates, or ships
-    /// a completed probe to the destination.
-    fn spawn_probes(&mut self, probe: Probe) {
-        let pos = probe.pos;
-        if pos == probe.chain.len() {
-            self.shared.count_probe(probe.request, pos as u16, probe.budget);
-            let dest = probe.dest;
-            self.send(dest, Msg::Probe(probe));
-            return;
-        }
-        let mut candidates: Vec<ReplicaMeta> = probe.replica_lists[pos]
-            .iter()
-            .copied()
-            .filter(|m| !probe.path.contains(&m.peer) && m.peer != probe.dest)
-            .collect();
-        // Composite next-hop metric, runtime flavour: nearest first.
-        let me = self.me;
-        // total_cmp: a non-finite delay (impossible today, but NaN-safe by
-        // construction) sorts last instead of panicking.
-        candidates.sort_by(|a, b| {
-            self.shared
-                .wan
-                .base_ms(me, a.peer)
-                .total_cmp(&self.shared.wan.base_ms(me, b.peer))
-                .then_with(|| a.peer.cmp(&b.peer))
-        });
-        let k = (probe.budget.min(self.shared.cfg.quota) as usize).min(candidates.len());
-        if k == 0 {
-            return; // probe dies; the destination window handles silence
-        }
-        let child_budget = (probe.budget / k as u32).max(1);
-        for meta in candidates.into_iter().take(k) {
-            let mut child = probe.clone();
-            child.pos = pos + 1;
-            child.path.push(meta.peer);
-            child.budget = child_budget;
-            self.shared.count_probe(probe.request, pos as u16, child_budget);
-            self.send(meta.peer, Msg::Probe(child));
-        }
-    }
-
-    fn on_probe(&mut self, probe: Probe) {
-        if probe.pos == probe.chain.len() && probe.dest == self.me {
-            if self.done_requests.contains(&probe.request) {
-                return; // stragglers after selection
-            }
-            let now = self.shared.now_ms();
-            let request = probe.request;
-            let window = self.shared.cfg.collect_window_ms;
-            let job = self.dest_jobs.entry(request).or_insert_with(|| DestJob {
-                source: probe.source,
-                chain: probe.chain.clone(),
-                probes: Vec::new(),
-                timer_armed: false,
-            });
-            job.probes.push((now, probe));
-            if !job.timer_armed {
-                job.timer_armed = true;
-                self.net.send(self.me, Msg::TimerCollect { request }, window);
-            }
-            return;
-        }
-        self.spawn_probes(probe);
-    }
-
-    fn on_collect(&mut self, request: u64) {
-        let Some(job) = self.dest_jobs.remove(&request) else { return };
-        self.done_requests.insert(request);
-        let now = self.shared.now_ms();
-        if job.probes.is_empty() {
-            self.send(
-                job.source,
-                Msg::SetupAck {
-                    session: request,
-                    path: Vec::new(),
-                    functions: job.chain,
-                    idx: usize::MAX,
-                    source: job.source,
-                    backups: Vec::new(),
-                    selected_ms: now,
-                },
-            );
-            return;
-        }
-        // Earliest arrival = lowest-latency candidate path.
-        let mut probes = job.probes;
-        probes.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let best = probes[0].1.clone();
-        let mut backups: Vec<Vec<PeerId>> = Vec::new();
-        for (_, p) in probes.iter().skip(1) {
-            if p.path != best.path && !backups.contains(&p.path) {
-                backups.push(p.path.clone());
-            }
-        }
-        let last = best.path.len() - 1;
-        let to = best.path[last];
-        self.send(
-            to,
-            Msg::SetupAck {
-                session: request,
-                path: best.path,
-                functions: best.chain,
-                idx: last,
-                source: best.source,
-                backups,
-                selected_ms: now,
-            },
-        );
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn on_setup_ack(
-        &mut self,
-        session: u64,
-        path: Vec<PeerId>,
-        functions: Vec<MediaFunction>,
-        idx: usize,
-        source: PeerId,
-        backups: Vec<Vec<PeerId>>,
-        selected_ms: f64,
-    ) {
-        // Initialize the local component for this session (soft state made
-        // firm), then keep walking toward the head of the path.
-        let (to, next_idx) = if idx == 0 { (source, usize::MAX) } else { (path[idx - 1], idx - 1) };
-        self.send(
-            to,
-            Msg::SetupAck { session, path, functions, idx: next_idx, source, backups, selected_ms },
-        );
-    }
-
-    // --- streaming ---------------------------------------------------
-
-    fn on_stream_timer(&mut self, session: u64) {
-        let Some(job) = self.stream_jobs.get_mut(&session) else { return };
-        match job.phase {
-            StreamPhase::Draining => {
-                let job = self.stream_jobs.remove(&session).expect("present");
-                let _ = job.reply.send(StreamReport {
-                    session,
-                    sent: job.seq,
-                    delivered: job.delivered,
-                    all_valid: job.all_valid,
-                    switches: job.switches,
-                    maintenance_probes: job.maintenance_messages,
-                    final_path: job.paths.first().cloned().unwrap_or_default(),
-                });
-            }
-            StreamPhase::Sending => {
-                // Failover: no delivery ack for longer than the timeout
-                // while a backup exists. The baseline resets on switch so
-                // one broken path triggers one switch, not a cascade.
-                let now = self.shared.now_ms();
-                if job.seq > 0
-                    && now - job.last_progress_ms > self.shared.cfg.failover_timeout_ms
-                    && job.paths.len() > 1
-                {
-                    // Prefer the first backup the maintenance probes still
-                    // believe alive; fall back to blind order otherwise.
-                    let choice =
-                        job.backup_alive.iter().position(|&alive| alive).unwrap_or(0);
-                    let from = job.paths[0].first().map(|p| p.raw()).unwrap_or(0);
-                    let latency_ms = now - job.last_progress_ms;
-                    job.paths.remove(0);
-                    // Promote the chosen backup to the front; liveness
-                    // bookkeeping mirrors the path list (paths[i+1] ↔
-                    // backup_alive[i]).
-                    if choice > 0 && choice < job.paths.len() {
-                        let chosen = job.paths.remove(choice);
-                        job.paths.insert(0, chosen);
-                    }
-                    if choice < job.backup_alive.len() {
-                        job.backup_alive.remove(choice);
-                        job.maintenance_pending.remove(choice);
-                    }
-                    job.switches += 1;
-                    job.last_progress_ms = now;
-                    let to = job.paths[0].first().map(|p| p.raw()).unwrap_or(0);
-                    self.shared.record(TraceEvent::BackupSwitch {
-                        session,
-                        from,
-                        to,
-                        latency_ms,
-                    });
-                }
-                if job.remaining == 0 {
-                    job.phase = StreamPhase::Draining;
-                    let drain = job.interval_ms * 4.0 + 800.0;
-                    self.net.send(self.me, Msg::TimerStream { session }, drain);
-                    return;
-                }
-                job.remaining -= 1;
-                job.seq += 1;
-                let seq = job.seq;
-                let frame = Frame::synthetic(job.dims.0, job.dims.1, seq);
-                let path = job.paths[0].clone();
-                let functions = job.functions.clone();
-                let dest = job.dest;
-                let dims = job.dims;
-                let interval = job.interval_ms;
-                let first = path[0];
-                let me = self.me;
-                self.send(
-                    first,
-                    Msg::StreamFrame {
+                    out.pending_reports.insert(session, reply);
+                    self.node.start_stream(
                         session,
                         path,
                         functions,
-                        idx: 0,
+                        backups,
                         dest,
-                        source: me,
-                        orig_dims: dims,
-                        frame,
-                    },
-                );
-                self.net.send(self.me, Msg::TimerStream { session }, interval);
+                        frames,
+                        interval_ms,
+                        dims,
+                        &mut out,
+                    );
+                }
+                other => self.node.handle(other, &mut out),
             }
         }
-    }
-
-    /// One maintenance round at the streaming source: probe every backup
-    /// path; a backup whose previous probe never returned is marked dead.
-    fn on_maintenance_timer(&mut self, session: u64) {
-        let period = self.shared.cfg.maintenance_period_ms;
-        let Some(job) = self.stream_jobs.get_mut(&session) else { return };
-        if matches!(job.phase, StreamPhase::Draining) {
-            return; // stream ending: stop maintaining
-        }
-        let me = self.me;
-        let mut sends: Vec<(PeerId, Msg)> = Vec::new();
-        for (bi, path) in job.paths.iter().skip(1).enumerate() {
-            if bi >= job.maintenance_pending.len() {
-                break;
-            }
-            if job.maintenance_pending[bi] {
-                // Last round's probe never came back: declare dead until a
-                // late ack revives it.
-                job.backup_alive[bi] = false;
-            }
-            job.maintenance_pending[bi] = true;
-            job.maintenance_messages += 1;
-            if let Some(&first) = path.first() {
-                sends.push((
-                    first,
-                    Msg::PathProbe {
-                        session,
-                        path: path.clone(),
-                        idx: 0,
-                        origin: me,
-                        backup_idx: bi,
-                    },
-                ));
-            }
-        }
-        for (to, msg) in sends {
-            self.send(to, msg);
-        }
-        self.net.send(self.me, Msg::TimerMaintenance { session }, period);
-    }
-
-    /// Forwards a maintenance probe along a backup path; the last hop
-    /// returns the ack straight to the origin.
-    fn on_path_probe(
-        &mut self,
-        session: u64,
-        path: Vec<PeerId>,
-        idx: usize,
-        origin: PeerId,
-        backup_idx: usize,
-    ) {
-        let next = idx + 1;
-        if next >= path.len() {
-            self.send(origin, Msg::PathProbeAck { session, backup_idx });
-        } else {
-            let to = path[next];
-            self.send(to, Msg::PathProbe { session, path, idx: next, origin, backup_idx });
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn on_frame(
-        &mut self,
-        session: u64,
-        path: Vec<PeerId>,
-        functions: Vec<MediaFunction>,
-        idx: usize,
-        dest: PeerId,
-        source: PeerId,
-        orig_dims: (usize, usize),
-        frame: Frame,
-    ) {
-        if idx >= path.len() {
-            // Delivery: verify against the expected transform chain.
-            let expected = functions
-                .iter()
-                .fold(Frame::synthetic(orig_dims.0, orig_dims.1, frame.seq), |f, func| {
-                    func.apply(&f)
-                });
-            let valid = expected == frame;
-            let seq = frame.seq;
-            self.send(source, Msg::FrameAck { session, seq, valid });
-            return;
-        }
-        // Apply this hop's transform and forward. `functions[idx]` is the
-        // function of `path[idx]`; backup paths host the same function
-        // sequence by construction.
-        let out = functions[idx].apply(&frame);
-        let next_idx = idx + 1;
-        let to = if next_idx >= path.len() { dest } else { path[next_idx] };
-        self.send(
-            to,
-            Msg::StreamFrame {
-                session,
-                path,
-                functions,
-                idx: next_idx,
-                dest,
-                source,
-                orig_dims,
-                frame: out,
-            },
-        );
     }
 }
 
@@ -927,9 +262,9 @@ impl PeerActor {
 
 /// A running cluster of peer threads.
 pub struct Cluster {
-    cfg: ClusterConfig,
+    world: Arc<World>,
     senders: Vec<Sender<Msg>>,
-    shared: Arc<Shared>,
+    dead: Arc<Vec<AtomicBool>>,
     net: Net,
     handles: Vec<std::thread::JoinHandle<()>>,
     net_handle: Option<std::thread::JoinHandle<()>>,
@@ -943,44 +278,16 @@ impl Cluster {
     /// shards, and spawns the actor threads.
     pub fn start(cfg: ClusterConfig) -> Cluster {
         assert!(cfg.peers >= 8, "the runtime needs a handful of peers");
-        let peers: Vec<PeerId> = (0..cfg.peers as u64).map(PeerId::new).collect();
-        let wan = WanModel::new(cfg.peers, cfg.jitter, cfg.seed);
-        let mut prox = |a: PeerId, b: PeerId| wan.base_ms(a, b);
-        let pastry = PastryNetwork::build(&peers, &mut prox);
-
-        // Component assignment + startup registration into DHT shards
-        // (run-time lookups go over the network hop by hop).
-        let functions: Vec<MediaFunction> =
-            (0..cfg.peers).map(|i| MediaFunction::ALL[i % MediaFunction::ALL.len()]).collect();
-        let mut stores: Vec<HashMap<u128, Vec<ReplicaMeta>>> = vec![HashMap::new(); cfg.peers];
-        for (i, &f) in functions.iter().enumerate() {
-            let key = function_key(f.name());
-            let root = pastry.responsible(NodeId::new(key)).expect("non-empty ring");
-            stores[root.index()]
-                .entry(key)
-                .or_default()
-                .push(ReplicaMeta { peer: PeerId::from(i), function: f });
-        }
+        let world = Arc::new(World::build(cfg));
+        let cfg = &world.cfg;
+        let mut stores = world.seeded_stores();
 
         let dead: Arc<Vec<AtomicBool>> =
             Arc::new((0..cfg.peers).map(|_| AtomicBool::new(false)).collect());
-        let shared = Arc::new(Shared {
-            wan,
-            pastry,
-            dead: dead.clone(),
-            epoch: Instant::now(),
-            scale: cfg.time_scale,
-            probes_sent: AtomicU64::new(0),
-            dht_hops: AtomicU64::new(0),
-            msgs_dropped: AtomicU64::new(0),
-            trace: Mutex::new(TraceBuffer::new()),
-            session_probes: Mutex::new(BTreeMap::new()),
-            cfg: cfg.clone(),
-            functions,
-        });
-
-        let inner = Arc::new(NetInner { queue: Mutex::new(NetQueue::default()), cond: Condvar::new() });
+        let inner =
+            Arc::new(NetInner { queue: Mutex::new(NetQueue::default()), cond: Condvar::new() });
         let net = Net { inner: inner.clone(), scale: cfg.time_scale };
+        let epoch = Instant::now();
 
         let mut senders = Vec::with_capacity(cfg.peers);
         let mut receivers = Vec::with_capacity(cfg.peers);
@@ -991,29 +298,29 @@ impl Cluster {
         }
         let net_handle = {
             let senders = senders.clone();
-            let shared = shared.clone();
-            std::thread::spawn(move || network_thread(inner, senders, shared))
+            let world = world.clone();
+            let dead = dead.clone();
+            std::thread::spawn(move || network_thread(inner, senders, world, dead))
         };
+        let scale = cfg.time_scale;
         let mut handles = Vec::with_capacity(cfg.peers);
         for (i, inbox) in receivers.into_iter().enumerate() {
             let actor = PeerActor {
                 me: PeerId::from(i),
                 inbox,
                 net: net.clone(),
-                shared: shared.clone(),
-                store: std::mem::take(&mut stores[i]),
-                rng: shared.wan.rng_for_peer(PeerId::from(i)),
-                compose_jobs: HashMap::new(),
-                dest_jobs: HashMap::new(),
-                done_requests: HashSet::new(),
-                stream_jobs: HashMap::new(),
+                epoch,
+                scale,
+                node: PeerNode::new(PeerId::from(i), world.clone(), std::mem::take(&mut stores[i])),
+                pending_setups: HashMap::new(),
+                pending_reports: HashMap::new(),
             };
             handles.push(std::thread::spawn(move || actor.run()));
         }
         Cluster {
-            cfg,
+            world,
             senders,
-            shared,
+            dead,
             net,
             handles,
             net_handle: Some(net_handle),
@@ -1023,17 +330,17 @@ impl Cluster {
 
     /// Number of peers.
     pub fn peers(&self) -> usize {
-        self.cfg.peers
+        self.world.cfg.peers
     }
 
     /// The media function hosted by a peer.
     pub fn function_of(&self, p: PeerId) -> MediaFunction {
-        self.shared.functions[p.index()]
+        self.world.functions[p.index()]
     }
 
     /// Replicas deployed for one function.
     pub fn replica_count(&self, f: MediaFunction) -> usize {
-        self.shared.functions.iter().filter(|&&g| g == f).count()
+        self.world.functions.iter().filter(|&&g| g == f).count()
     }
 
     /// Composes a session from `source` to `dest` over `chain`. Blocks up
@@ -1085,40 +392,40 @@ impl Cluster {
 
     /// Kills a peer: the network drops everything addressed to it.
     pub fn kill(&self, peer: PeerId) {
-        self.shared.dead[peer.index()].store(true, Ordering::Relaxed);
+        self.dead[peer.index()].store(true, Ordering::Relaxed);
     }
 
     /// Revives a killed peer: the network delivers to it again. Messages
     /// dropped while it was dead are gone — state the peer accumulated
     /// before the kill is still there (the actor thread never stopped).
     pub fn revive(&self, peer: PeerId) {
-        self.shared.dead[peer.index()].store(false, Ordering::Relaxed);
+        self.dead[peer.index()].store(false, Ordering::Relaxed);
     }
 
     /// Droppable messages lost to fault injection so far.
     pub fn messages_dropped(&self) -> u64 {
-        self.shared.msgs_dropped.load(Ordering::Relaxed)
+        self.world.msgs_dropped.load(Ordering::Relaxed)
     }
 
     /// Total probe transmissions so far.
     pub fn probes_sent(&self) -> u64 {
-        self.shared.probes_sent.load(Ordering::Relaxed)
+        self.world.probes_sent.load(Ordering::Relaxed)
     }
 
     /// Total DHT routing steps so far.
     pub fn dht_hops(&self) -> u64 {
-        self.shared.dht_hops.load(Ordering::Relaxed)
+        self.world.dht_hops.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the cluster-wide trace ring, oldest event first. Empty
     /// when the `trace` feature is compiled out.
     pub fn trace_events(&self) -> Vec<TraceEvent> {
-        self.shared.trace.lock().unwrap().events()
+        self.world.trace.lock().unwrap().events()
     }
 
     /// Trace-ring statistics `(recorded, buffered, overwritten)`.
     pub fn trace_stats(&self) -> (u64, u64, u64) {
-        let t = self.shared.trace.lock().unwrap();
+        let t = self.world.trace.lock().unwrap();
         (t.recorded(), t.len() as u64, t.overwritten())
     }
 
@@ -1126,14 +433,14 @@ impl Cluster {
     /// id. Kept regardless of the `trace` feature — the figure exporters
     /// publish these rows.
     pub fn session_probe_counts(&self) -> Vec<(u64, u64)> {
-        self.shared.session_probes.lock().unwrap().iter().map(|(&s, &p)| (s, p)).collect()
+        self.world.session_probes.lock().unwrap().iter().map(|(&s, &p)| (s, p)).collect()
     }
 }
 
 impl Drop for Cluster {
     fn drop(&mut self) {
         for (i, s) in self.senders.iter().enumerate() {
-            self.shared.dead[i].store(false, Ordering::Relaxed);
+            self.dead[i].store(false, Ordering::Relaxed);
             let _ = s.send(Msg::Halt);
         }
         for h in self.handles.drain(..) {
@@ -1149,6 +456,7 @@ impl Drop for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::media::MediaFunction;
 
     fn fast_cfg(peers: usize, seed: u64) -> ClusterConfig {
         ClusterConfig {
@@ -1194,6 +502,32 @@ mod tests {
     }
 
     #[test]
+    fn setup_metrics_are_deterministic_across_runs() {
+        // Model-time metrics are pure functions of message content: two
+        // clusters with the same seed must report bit-identical setup
+        // phases regardless of thread scheduling.
+        let run = || {
+            let cluster = Cluster::start(fast_cfg(24, 42));
+            let chain = vec![
+                MediaFunction::StockTicker,
+                MediaFunction::DownScale,
+                MediaFunction::Requantize,
+            ];
+            cluster
+                .compose(PeerId::new(0), PeerId::new(7), chain, 8, TIMEOUT)
+                .expect("driver timeout")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.path, b.path, "selected paths differ across runs");
+        assert_eq!(a.backups, b.backups, "backup sets differ across runs");
+        assert_eq!(a.discovery_ms.to_bits(), b.discovery_ms.to_bits());
+        assert_eq!(a.probing_ms.to_bits(), b.probing_ms.to_bits());
+        assert_eq!(a.init_ms.to_bits(), b.init_ms.to_bits());
+        assert_eq!(a.total_ms.to_bits(), b.total_ms.to_bits());
+    }
+
+    #[test]
     fn probing_respects_budget_scaling() {
         let cluster = Cluster::start(fast_cfg(24, 2));
         let chain = vec![MediaFunction::UpScale, MediaFunction::DownScale];
@@ -1221,6 +555,7 @@ mod tests {
         assert!(report.delivered >= 18, "only {} of 20 delivered", report.delivered);
         assert!(report.all_valid, "a delivered frame failed transform verification");
         assert_eq!(report.switches, 0);
+        assert_ne!(report.delivery_digest, 0, "delivered frames left no digest");
     }
 
     #[test]

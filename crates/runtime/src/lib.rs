@@ -3,16 +3,25 @@
 //! The paper's prototype is multi-threaded node software deployed on 102
 //! PlanetLab hosts across the US and Europe, populated with six multimedia
 //! service components and driven by a customizable video-streaming
-//! application (§6.2). This crate reproduces that system in-process:
+//! application (§6.2). This crate reproduces that system twice over one
+//! shared protocol engine — in-process (threads + channels) and as real
+//! networked OS processes (TCP + the `spidernet-wire` codec):
 //!
 //! * [`wan`] — a measured-RTT-scale wide-area delay model (regions, jitter);
 //! * [`media`] — the six multimedia components as real byte transforms over
 //!   synthetic video frames;
-//! * [`msg`] — the wire protocol between peers;
-//! * [`cluster`] — one actor thread per peer plus a delay-queue network
-//!   thread; DHT lookups, BCP probes, session setup acks, heartbeats, and
-//!   media frames all travel hop by hop through real channels with injected
-//!   WAN latencies;
+//! * [`msg`] — the runtime message set, with conversions to/from the
+//!   `spidernet-wire` frame forms;
+//! * [`node`] — the transport-agnostic protocol engine ([`node::PeerNode`]
+//!   behind the [`node::Outbox`] trait) and the shared deterministic
+//!   environment ([`node::World`]);
+//! * [`cluster`] — the in-process (channel) transport: one actor thread per
+//!   peer plus a delay-queue network thread; DHT lookups, BCP probes,
+//!   session setup acks, heartbeats, and media frames all travel hop by hop
+//!   through real channels with injected WAN latencies;
+//! * [`net`] — the socket transport: TCP connection management for the
+//!   `spidernet-node` daemon (one OS process per peer) and the loopback
+//!   `deploy` orchestrator;
 //! * [`experiments`] — the Fig. 10 driver (session setup time vs function
 //!   number, decomposed into discovery / probing / session-init phases).
 
@@ -22,8 +31,11 @@ pub mod cluster;
 pub mod experiments;
 pub mod media;
 pub mod msg;
+pub mod net;
+pub mod node;
 pub mod wan;
 
-pub use cluster::{Cluster, ClusterConfig, NetFaultConfig, SetupResult, StreamReport};
+pub use cluster::Cluster;
 pub use media::{Frame, MediaFunction};
+pub use node::{ClusterConfig, NetFaultConfig, Outbox, PeerNode, SetupResult, StreamReport, World};
 pub use wan::{Region, WanModel};

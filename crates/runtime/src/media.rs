@@ -45,6 +45,21 @@ impl Frame {
     pub fn byte_len(&self) -> usize {
         self.pixels.len()
     }
+
+    /// Content digest over dimensions, sequence number, and every pixel —
+    /// the per-frame fingerprint carried in delivery acks so two
+    /// transports can prove they delivered identical bytes.
+    pub fn digest(&self) -> u64 {
+        use spidernet_util::rng::splitmix64;
+        let mut h = splitmix64(0x4652414d45 ^ (self.width as u64) << 32 ^ self.height as u64);
+        h = splitmix64(h ^ self.seq);
+        for chunk in self.pixels.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            h = splitmix64(h ^ u64::from_le_bytes(word));
+        }
+        h
+    }
 }
 
 /// The six media functions of the prototype deployment.
@@ -93,6 +108,16 @@ impl MediaFunction {
     /// Looks a function up by its registration name.
     pub fn by_name(name: &str) -> Option<MediaFunction> {
         MediaFunction::ALL.iter().copied().find(|f| f.name() == name)
+    }
+
+    /// Dense wire code (index into [`MediaFunction::ALL`]).
+    pub fn code(&self) -> u8 {
+        MediaFunction::ALL.iter().position(|f| f == self).expect("ALL is exhaustive") as u8
+    }
+
+    /// Looks a function up by its wire code.
+    pub fn from_code(code: u8) -> Option<MediaFunction> {
+        MediaFunction::ALL.get(code as usize).copied()
     }
 
     /// Output bandwidth relative to input (scaling transforms change the
@@ -276,6 +301,23 @@ mod tests {
             assert_eq!(MediaFunction::by_name(f.name()), Some(f));
         }
         assert_eq!(MediaFunction::by_name("nope"), None);
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for f in MediaFunction::ALL {
+            assert_eq!(MediaFunction::from_code(f.code()), Some(f));
+        }
+        assert_eq!(MediaFunction::from_code(6), None);
+    }
+
+    #[test]
+    fn frame_digest_is_content_sensitive() {
+        let f = frame();
+        assert_eq!(f.digest(), frame().digest());
+        assert_ne!(f.digest(), Frame::synthetic(32, 24, 8).digest());
+        assert_ne!(f.digest(), Frame::synthetic(24, 32, 7).digest());
+        assert_ne!(f.digest(), MediaFunction::Requantize.apply(&f).digest());
     }
 
     #[test]

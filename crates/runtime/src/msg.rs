@@ -1,14 +1,28 @@
-//! Wire protocol between runtime peers.
+//! The runtime message set, shared by both transports.
 //!
-//! Everything a peer learns arrives as one of these messages through its
-//! inbox channel; the network thread injects WAN-scale delays between send
-//! and delivery. Driver commands (compose, stream) carry reply channels.
+//! Everything a peer learns arrives as one of these messages: through its
+//! inbox channel in the in-process cluster, or decoded off a TCP
+//! connection in the socket daemon. Driver commands (compose, stream)
+//! carry reply channels and exist only in-process; every other variant
+//! has a wire form ([`Msg::to_wire`] / [`Msg::from_wire`]).
+//!
+//! Wire variants carry an `at_ms` model timestamp accumulated hop by hop:
+//! each send adds its content-keyed WAN delay
+//! ([`crate::wan::WanModel::delay_keyed`]). Session-setup metrics are
+//! computed from these accumulated timestamps, making them pure functions
+//! of message content — identical across transports, runs, and thread
+//! schedules for a fixed seed.
 
 use crate::cluster::{SetupResult, StreamReport};
 use crate::media::{Frame, MediaFunction};
 use spidernet_dht::NodeId;
-use std::sync::mpsc::SyncSender;
 use spidernet_util::id::PeerId;
+use spidernet_util::qos::QosVector;
+use spidernet_util::res::ResourceVector;
+use spidernet_util::rng::splitmix64;
+use spidernet_wire::{WireMsg, WirePixels, WireProbe, WireReplica};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
 
 /// A discovered replica: which peer provides which function.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,8 +53,11 @@ pub struct Probe {
     pub path: Vec<PeerId>,
     /// Remaining probing budget.
     pub budget: u32,
-    /// Wall timestamp (ms since cluster epoch) when probing started.
-    pub started_ms: f64,
+    /// Accumulated per-dimension QoS along the partial path (paper §4.2's
+    /// additive QoS accumulation, carried on the wire).
+    pub acc_qos: QosVector,
+    /// Accumulated model-time timestamp, ms since the request started.
+    pub at_ms: f64,
 }
 
 /// Messages between peers (and from the driver).
@@ -56,6 +73,8 @@ pub enum Msg {
         origin: PeerId,
         /// Hops taken so far.
         hops: u32,
+        /// Accumulated model-time timestamp, ms.
+        at_ms: f64,
     },
     /// Reply from the key's root back to the querying peer.
     DhtReply {
@@ -63,6 +82,24 @@ pub enum Msg {
         query: u64,
         /// The stored replica list (possibly empty).
         metas: Vec<ReplicaMeta>,
+        /// Accumulated model-time timestamp, ms.
+        at_ms: f64,
+    },
+    /// Metadata registration routed hop-by-hop to the key's root, where
+    /// the advertisement lands in that node's DHT shard. The in-process
+    /// cluster pre-seeds its shards at startup; socket daemons register
+    /// over the wire during bootstrap.
+    Register {
+        /// Target key.
+        key: NodeId,
+        /// The replica being advertised.
+        replica: ReplicaMeta,
+        /// Advertised per-component QoS (e.g. processing delay).
+        qos: QosVector,
+        /// Advertised end-system resource availability.
+        res: ResourceVector,
+        /// Hops taken so far.
+        hops: u32,
     },
     /// A BCP probe.
     Probe(Probe),
@@ -85,6 +122,8 @@ pub enum Msg {
         backups: Vec<Vec<PeerId>>,
         /// Model ms when the destination selected the composition.
         selected_ms: f64,
+        /// Accumulated model-time timestamp, ms.
+        at_ms: f64,
     },
     /// A media frame in flight along a composed session.
     StreamFrame {
@@ -105,6 +144,8 @@ pub enum Msg {
         orig_dims: (usize, usize),
         /// The frame payload.
         frame: Frame,
+        /// Accumulated model-time timestamp, ms.
+        at_ms: f64,
     },
     /// Destination → source delivery acknowledgement.
     FrameAck {
@@ -115,6 +156,12 @@ pub enum Msg {
         /// Whether the delivered frame matched the expected transform
         /// output.
         valid: bool,
+        /// Digest of the delivered frame's pixels (see
+        /// [`Frame::digest`]) — lets the source prove byte-identical
+        /// delivery across transports.
+        digest: u64,
+        /// Accumulated model-time timestamp, ms.
+        at_ms: f64,
     },
     /// Driver command: compose a session.
     Compose {
@@ -191,18 +238,32 @@ pub enum Msg {
     Halt,
 }
 
+/// Folds one value into a content hash (used for delay salts).
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    splitmix64(h ^ v)
+}
+
+fn mix_path(mut h: u64, path: &[PeerId]) -> u64 {
+    for p in path {
+        h = mix(h, p.raw());
+    }
+    h
+}
+
 impl Msg {
     /// Whether the fault injector may drop or jitter this message. Only
     /// genuine wire traffic is droppable — the protocol tolerates losing
-    /// probes, lookups, acks, and frames (timeouts and retries cover
-    /// them). Driver commands, self-scheduled timers, and `Halt` are
-    /// control-plane bookkeeping: dropping one would wedge the harness,
-    /// not exercise the protocol.
+    /// probes, lookups, registrations, acks, and frames (timeouts and
+    /// retries cover them). Driver commands, self-scheduled timers, and
+    /// `Halt` are control-plane bookkeeping: dropping one would wedge the
+    /// harness, not exercise the protocol.
     pub fn droppable(&self) -> bool {
         matches!(
             self,
             Msg::DhtLookup { .. }
                 | Msg::DhtReply { .. }
+                | Msg::Register { .. }
                 | Msg::Probe(_)
                 | Msg::SetupAck { .. }
                 | Msg::StreamFrame { .. }
@@ -210,5 +271,302 @@ impl Msg {
                 | Msg::PathProbe { .. }
                 | Msg::PathProbeAck { .. }
         )
+    }
+
+    /// The accumulated model-time timestamp, when this variant carries
+    /// one. The sender adds its sampled WAN delay before the message goes
+    /// out, so the receiver reads "model time at delivery".
+    pub fn at_ms_mut(&mut self) -> Option<&mut f64> {
+        match self {
+            Msg::DhtLookup { at_ms, .. }
+            | Msg::DhtReply { at_ms, .. }
+            | Msg::SetupAck { at_ms, .. }
+            | Msg::StreamFrame { at_ms, .. }
+            | Msg::FrameAck { at_ms, .. } => Some(at_ms),
+            Msg::Probe(p) => Some(&mut p.at_ms),
+            _ => None,
+        }
+    }
+
+    /// Content hash used to key the deterministic WAN jitter for this
+    /// message. Excludes `at_ms` (the timestamp depends on the sampled
+    /// delay) and bulk payloads; includes enough identity that distinct
+    /// messages between the same pair draw distinct jitter.
+    pub fn delay_salt(&self) -> u64 {
+        match self {
+            Msg::DhtLookup { query, hops, .. } => mix(mix(1, *query), *hops as u64),
+            Msg::DhtReply { query, .. } => mix(2, *query),
+            Msg::Register { key, hops, .. } => mix(mix(3, key.0 as u64), *hops as u64),
+            Msg::Probe(p) => mix_path(mix(mix(4, p.request), p.pos as u64), &p.path),
+            Msg::SetupAck { session, idx, .. } => mix(mix(5, *session), *idx as u64),
+            Msg::StreamFrame { session, idx, frame, .. } => {
+                mix(mix(mix(6, *session), frame.seq), *idx as u64)
+            }
+            Msg::FrameAck { session, seq, .. } => mix(mix(7, *session), *seq),
+            Msg::PathProbe { session, idx, backup_idx, .. } => {
+                mix(mix(mix(8, *session), *idx as u64), *backup_idx as u64)
+            }
+            Msg::PathProbeAck { session, backup_idx } => {
+                mix(mix(9, *session), *backup_idx as u64)
+            }
+            _ => 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire conversions
+// ---------------------------------------------------------------------
+
+fn idx_to_wire(idx: usize) -> u32 {
+    if idx == usize::MAX {
+        u32::MAX
+    } else {
+        idx as u32
+    }
+}
+
+fn idx_from_wire(idx: u32) -> usize {
+    if idx == u32::MAX {
+        usize::MAX
+    } else {
+        idx as usize
+    }
+}
+
+fn replica_to_wire(m: &ReplicaMeta) -> WireReplica {
+    WireReplica { peer: m.peer.raw(), function: m.function.code() }
+}
+
+fn replica_from_wire(m: &WireReplica) -> Option<ReplicaMeta> {
+    Some(ReplicaMeta { peer: PeerId::new(m.peer), function: MediaFunction::from_code(m.function)? })
+}
+
+fn peers_to_wire(path: &[PeerId]) -> Vec<u64> {
+    path.iter().map(|p| p.raw()).collect()
+}
+
+fn peers_from_wire(path: &[u64]) -> Vec<PeerId> {
+    path.iter().map(|&p| PeerId::new(p)).collect()
+}
+
+fn fns_to_wire(fns: &[MediaFunction]) -> Vec<u8> {
+    fns.iter().map(|f| f.code()).collect()
+}
+
+fn fns_from_wire(codes: &[u8]) -> Option<Vec<MediaFunction>> {
+    codes.iter().map(|&c| MediaFunction::from_code(c)).collect()
+}
+
+impl Msg {
+    /// The wire form of this message, or `None` for in-process-only
+    /// variants (driver commands carrying reply channels, self-timers,
+    /// `Halt`) — exactly the variants a socket transport never ships.
+    pub fn to_wire(&self) -> Option<WireMsg> {
+        Some(match self {
+            Msg::DhtLookup { query, key, origin, hops, at_ms } => WireMsg::DhtLookup {
+                query: *query,
+                key: key.0,
+                origin: origin.raw(),
+                hops: *hops,
+                at_ms: *at_ms,
+            },
+            Msg::DhtReply { query, metas, at_ms } => WireMsg::DhtReply {
+                query: *query,
+                metas: metas.iter().map(replica_to_wire).collect(),
+                at_ms: *at_ms,
+            },
+            Msg::Register { key, replica, qos, res, hops } => WireMsg::Register {
+                key: key.0,
+                replica: replica_to_wire(replica),
+                qos: qos.clone(),
+                res: *res,
+                hops: *hops,
+            },
+            Msg::Probe(p) => WireMsg::Probe(WireProbe {
+                request: p.request,
+                source: p.source.raw(),
+                dest: p.dest.raw(),
+                chain: fns_to_wire(&p.chain),
+                replica_lists: p
+                    .replica_lists
+                    .iter()
+                    .map(|l| l.iter().map(replica_to_wire).collect())
+                    .collect(),
+                pos: p.pos as u32,
+                path: peers_to_wire(&p.path),
+                budget: p.budget,
+                acc_qos: p.acc_qos.clone(),
+                at_ms: p.at_ms,
+            }),
+            Msg::SetupAck { session, path, functions, idx, source, backups, selected_ms, at_ms } => {
+                WireMsg::SetupAck {
+                    session: *session,
+                    path: peers_to_wire(path),
+                    functions: fns_to_wire(functions),
+                    idx: idx_to_wire(*idx),
+                    source: source.raw(),
+                    backups: backups.iter().map(|b| peers_to_wire(b)).collect(),
+                    selected_ms: *selected_ms,
+                    at_ms: *at_ms,
+                }
+            }
+            Msg::StreamFrame { session, path, functions, idx, dest, source, orig_dims, frame, at_ms } => {
+                WireMsg::StreamFrame {
+                    session: *session,
+                    path: peers_to_wire(path),
+                    functions: fns_to_wire(functions),
+                    idx: idx_to_wire(*idx),
+                    dest: dest.raw(),
+                    source: source.raw(),
+                    orig_w: orig_dims.0 as u32,
+                    orig_h: orig_dims.1 as u32,
+                    frame: WirePixels {
+                        width: frame.width as u32,
+                        height: frame.height as u32,
+                        seq: frame.seq,
+                        pixels: frame.pixels.to_vec(),
+                    },
+                    at_ms: *at_ms,
+                }
+            }
+            Msg::FrameAck { session, seq, valid, digest, at_ms } => WireMsg::FrameAck {
+                session: *session,
+                seq: *seq,
+                valid: *valid,
+                digest: *digest,
+                at_ms: *at_ms,
+            },
+            Msg::PathProbe { session, path, idx, origin, backup_idx } => WireMsg::PathProbe {
+                session: *session,
+                path: peers_to_wire(path),
+                idx: idx_to_wire(*idx),
+                origin: origin.raw(),
+                backup_idx: *backup_idx as u32,
+            },
+            Msg::PathProbeAck { session, backup_idx } => {
+                WireMsg::PathProbeAck { session: *session, backup_idx: *backup_idx as u32 }
+            }
+            Msg::Compose { .. }
+            | Msg::StartStream { .. }
+            | Msg::TimerMaintenance { .. }
+            | Msg::TimerCollect { .. }
+            | Msg::TimerStream { .. }
+            | Msg::Halt => return None,
+        })
+    }
+
+    /// Reconstructs a runtime message from its wire form. `None` for
+    /// control-plane frames (handshakes, Ctrl*) and for frames carrying
+    /// unknown function codes — a daemon treats both as "not peer
+    /// protocol traffic".
+    pub fn from_wire(w: &WireMsg) -> Option<Msg> {
+        Some(match w {
+            WireMsg::DhtLookup { query, key, origin, hops, at_ms } => Msg::DhtLookup {
+                query: *query,
+                key: NodeId::new(*key),
+                origin: PeerId::new(*origin),
+                hops: *hops,
+                at_ms: *at_ms,
+            },
+            WireMsg::DhtReply { query, metas, at_ms } => Msg::DhtReply {
+                query: *query,
+                metas: metas.iter().map(replica_from_wire).collect::<Option<_>>()?,
+                at_ms: *at_ms,
+            },
+            WireMsg::Register { key, replica, qos, res, hops } => Msg::Register {
+                key: NodeId::new(*key),
+                replica: replica_from_wire(replica)?,
+                qos: qos.clone(),
+                res: *res,
+                hops: *hops,
+            },
+            WireMsg::Probe(p) => Msg::Probe(Probe {
+                request: p.request,
+                source: PeerId::new(p.source),
+                dest: PeerId::new(p.dest),
+                chain: fns_from_wire(&p.chain)?,
+                replica_lists: p
+                    .replica_lists
+                    .iter()
+                    .map(|l| l.iter().map(replica_from_wire).collect::<Option<_>>())
+                    .collect::<Option<_>>()?,
+                pos: p.pos as usize,
+                path: peers_from_wire(&p.path),
+                budget: p.budget,
+                acc_qos: p.acc_qos.clone(),
+                at_ms: p.at_ms,
+            }),
+            WireMsg::SetupAck { session, path, functions, idx, source, backups, selected_ms, at_ms } => {
+                Msg::SetupAck {
+                    session: *session,
+                    path: peers_from_wire(path),
+                    functions: fns_from_wire(functions)?,
+                    idx: idx_from_wire(*idx),
+                    source: PeerId::new(*source),
+                    backups: backups.iter().map(|b| peers_from_wire(b)).collect(),
+                    selected_ms: *selected_ms,
+                    at_ms: *at_ms,
+                }
+            }
+            WireMsg::StreamFrame {
+                session,
+                path,
+                functions,
+                idx,
+                dest,
+                source,
+                orig_w,
+                orig_h,
+                frame,
+                at_ms,
+            } => {
+                if frame.pixels.len() != frame.width as usize * frame.height as usize {
+                    return None;
+                }
+                Msg::StreamFrame {
+                    session: *session,
+                    path: peers_from_wire(path),
+                    functions: fns_from_wire(functions)?,
+                    idx: idx_from_wire(*idx),
+                    dest: PeerId::new(*dest),
+                    source: PeerId::new(*source),
+                    orig_dims: (*orig_w as usize, *orig_h as usize),
+                    frame: Frame {
+                        width: frame.width as usize,
+                        height: frame.height as usize,
+                        pixels: Arc::from(frame.pixels.as_slice()),
+                        seq: frame.seq,
+                    },
+                    at_ms: *at_ms,
+                }
+            }
+            WireMsg::FrameAck { session, seq, valid, digest, at_ms } => Msg::FrameAck {
+                session: *session,
+                seq: *seq,
+                valid: *valid,
+                digest: *digest,
+                at_ms: *at_ms,
+            },
+            WireMsg::PathProbe { session, path, idx, origin, backup_idx } => Msg::PathProbe {
+                session: *session,
+                path: peers_from_wire(path),
+                idx: idx_from_wire(*idx),
+                origin: PeerId::new(*origin),
+                backup_idx: *backup_idx as usize,
+            },
+            WireMsg::PathProbeAck { session, backup_idx } => {
+                Msg::PathProbeAck { session: *session, backup_idx: *backup_idx as usize }
+            }
+            WireMsg::Hello { .. }
+            | WireMsg::HelloAck { .. }
+            | WireMsg::CtrlCompose { .. }
+            | WireMsg::CtrlComposeResult(_)
+            | WireMsg::CtrlStream { .. }
+            | WireMsg::CtrlStreamReport(_)
+            | WireMsg::CtrlStatsRequest
+            | WireMsg::CtrlStatsReply(_)
+            | WireMsg::CtrlShutdown => return None,
+        })
     }
 }

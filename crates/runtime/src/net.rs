@@ -1,0 +1,1152 @@
+//! The socket transport: TCP connection management, the `spidernet-node`
+//! daemon runtime, and the loopback `deploy` orchestrator.
+//!
+//! One OS process per peer. Each daemon rebuilds the shared [`World`]
+//! deterministically from `(config, seed)`, runs the same
+//! [`PeerNode`] engine as the in-process cluster, and exchanges
+//! [`spidernet_wire`] frames over per-pair TCP connections
+//! (thread-per-connection, `std::net` — no async runtime, so
+//! deterministic tests never depend on an executor's scheduling).
+//!
+//! ## Connection lifecycle
+//!
+//! Connections are directional: a peer dials on demand when it first
+//! sends to a neighbor (outbound connections are write-only after the
+//! handshake) and accepts inbound connections for receiving. Every
+//! connection opens with a `Hello` carrying the speaker's identity and
+//! supported protocol range; the acceptor answers `HelloAck` with the
+//! negotiated version ([`spidernet_wire::negotiate`]). Dial failures
+//! retry with capped exponential backoff; a peer that stays unreachable
+//! is treated as dead — its traffic is dropped, exactly like the
+//! in-process network's dead-peer rule.
+//!
+//! ## Fault injection
+//!
+//! [`NetFaultConfig`] is honored at the *sender's* network layer, before
+//! bytes reach a socket: droppable frames ([`Msg::droppable`]) roll the
+//! drop probability once and survivors may be re-queued with extra
+//! delay — the same two-step rule as the in-process delay queue, so a
+//! fault config means the same thing in both deployments.
+//!
+//! ## Model time
+//!
+//! The content-keyed WAN delay of every message is served by a wall
+//! delay queue before transmission (model ms × `time_scale`), and the
+//! accumulated `at_ms` timestamps make all reported setup metrics pure
+//! functions of message content — a socket deployment reports the same
+//! numbers as the in-process cluster for the same seed.
+
+use crate::media::MediaFunction;
+use crate::msg::Msg;
+use crate::node::{ClusterConfig, Outbox, PeerNode, SetupResult, StreamReport, World};
+use spidernet_sim::trace::TraceEvent;
+use spidernet_util::id::PeerId;
+use spidernet_util::rng::{rng_for_indexed, splitmix64, Rng};
+use spidernet_wire::{
+    encode_to_vec, negotiate, FrameDecoder, WireMsg, WireSetup, WireStats, WireStreamReport,
+    CONTROL_PEER, PROTO_VERSION,
+};
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Conversions between engine results and their control-frame forms.
+// ---------------------------------------------------------------------
+
+/// The control-frame form of a setup result.
+pub fn setup_to_wire(s: &SetupResult) -> WireSetup {
+    WireSetup {
+        request: s.request,
+        ok: s.ok,
+        dest: s.dest.raw(),
+        path: s.path.iter().map(|p| p.raw()).collect(),
+        functions: s.functions.iter().map(|f| f.code()).collect(),
+        backups: s.backups.iter().map(|b| b.iter().map(|p| p.raw()).collect()).collect(),
+        discovery_ms: s.discovery_ms,
+        probing_ms: s.probing_ms,
+        init_ms: s.init_ms,
+        total_ms: s.total_ms,
+    }
+}
+
+/// Reconstructs a setup result from its control frame (`None` on unknown
+/// function codes).
+pub fn setup_from_wire(w: &WireSetup) -> Option<SetupResult> {
+    Some(SetupResult {
+        request: w.request,
+        ok: w.ok,
+        dest: PeerId::new(w.dest),
+        path: w.path.iter().map(|&p| PeerId::new(p)).collect(),
+        functions: w.functions.iter().map(|&c| MediaFunction::from_code(c)).collect::<Option<_>>()?,
+        backups: w
+            .backups
+            .iter()
+            .map(|b| b.iter().map(|&p| PeerId::new(p)).collect())
+            .collect(),
+        discovery_ms: w.discovery_ms,
+        probing_ms: w.probing_ms,
+        init_ms: w.init_ms,
+        total_ms: w.total_ms,
+    })
+}
+
+/// The control-frame form of a stream report.
+pub fn report_to_wire(r: &StreamReport) -> WireStreamReport {
+    WireStreamReport {
+        session: r.session,
+        sent: r.sent,
+        delivered: r.delivered,
+        all_valid: r.all_valid,
+        switches: r.switches,
+        maintenance_probes: r.maintenance_probes,
+        final_path: r.final_path.iter().map(|p| p.raw()).collect(),
+        delivery_digest: r.delivery_digest,
+    }
+}
+
+/// Reconstructs a stream report from its control frame.
+pub fn report_from_wire(w: &WireStreamReport) -> StreamReport {
+    StreamReport {
+        session: w.session,
+        sent: w.sent,
+        delivered: w.delivered,
+        all_valid: w.all_valid,
+        switches: w.switches,
+        maintenance_probes: w.maintenance_probes,
+        final_path: w.final_path.iter().map(|&p| PeerId::new(p)).collect(),
+        delivery_digest: w.delivery_digest,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-daemon transport counters.
+// ---------------------------------------------------------------------
+
+/// Socket-layer counters, reported via `CtrlStatsReply`.
+#[derive(Default)]
+pub struct NetStats {
+    /// Wire frames encoded and handed to a connection.
+    pub frames_tx: AtomicU64,
+    /// Wire frames decoded off connections.
+    pub frames_rx: AtomicU64,
+    /// Bytes written (headers + payloads).
+    pub bytes_tx: AtomicU64,
+    /// Bytes read.
+    pub bytes_rx: AtomicU64,
+    /// Outbound connections successfully established.
+    pub conns_opened: AtomicU64,
+    /// Failed outbound dial attempts.
+    pub conn_retries: AtomicU64,
+    /// Frames rejected by the decoder.
+    pub decode_errors: AtomicU64,
+}
+
+// ---------------------------------------------------------------------
+// Wall delay queue (model delay × time_scale before an item fires).
+// ---------------------------------------------------------------------
+
+struct DqEntry<T> {
+    due: Instant,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for DqEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for DqEntry<T> {}
+impl<T> Ord for DqEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for DqEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct DqState<T> {
+    heap: BinaryHeap<DqEntry<T>>,
+    seq: u64,
+    shutdown: bool,
+}
+
+struct DqInner<T> {
+    state: Mutex<DqState<T>>,
+    cond: Condvar,
+}
+
+/// A wall-time delay queue with a dedicated pump thread. The handler may
+/// re-queue an item (fault-injected extra delay) by returning
+/// `Some((item, extra))`.
+struct DelayQueue<T> {
+    inner: Arc<DqInner<T>>,
+}
+
+impl<T> Clone for DelayQueue<T> {
+    fn clone(&self) -> Self {
+        DelayQueue { inner: self.inner.clone() }
+    }
+}
+
+impl<T: Send + 'static> DelayQueue<T> {
+    fn start<F>(mut handle: F) -> DelayQueue<T>
+    where
+        F: FnMut(T) -> Option<(T, Duration)> + Send + 'static,
+    {
+        let inner = Arc::new(DqInner {
+            state: Mutex::new(DqState { heap: BinaryHeap::new(), seq: 0, shutdown: false }),
+            cond: Condvar::new(),
+        });
+        let pump = inner.clone();
+        std::thread::spawn(move || loop {
+            let mut q = pump.state.lock().unwrap();
+            if q.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            let wait = match q.heap.peek() {
+                Some(e) if e.due <= now => {
+                    let e = q.heap.pop().expect("peeked");
+                    drop(q);
+                    if let Some((item, extra)) = handle(e.item) {
+                        let mut q = pump.state.lock().unwrap();
+                        let seq = q.seq;
+                        q.seq += 1;
+                        q.heap.push(DqEntry { due: Instant::now() + extra, seq, item });
+                        pump.cond.notify_one();
+                    }
+                    continue;
+                }
+                Some(e) => e.due - now,
+                None => Duration::from_millis(50),
+            };
+            let _ = pump.cond.wait_timeout(q, wait).unwrap();
+        });
+        DelayQueue { inner }
+    }
+
+    fn push(&self, item: T, wall: Duration) {
+        let mut q = self.inner.state.lock().unwrap();
+        let seq = q.seq;
+        q.seq += 1;
+        q.heap.push(DqEntry { due: Instant::now() + wall, seq, item });
+        self.inner.cond.notify_one();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Outbound connections: dial-on-demand, per-peer writer threads.
+// ---------------------------------------------------------------------
+
+/// How long a peer stays blacklisted after its dial budget is exhausted.
+/// Traffic queued toward it during the blackout is dropped — the socket
+/// equivalent of the in-process network's dead-peer rule.
+const PEER_DOWN_COOLDOWN: Duration = Duration::from_millis(500);
+
+struct Writers {
+    me: PeerId,
+    ports: Arc<Vec<u16>>,
+    stats: Arc<NetStats>,
+    world: Arc<World>,
+    senders: Mutex<HashMap<PeerId, Sender<Vec<u8>>>>,
+}
+
+impl Writers {
+    fn send(self: &Arc<Self>, to: PeerId, frame: Vec<u8>) {
+        let mut senders = self.senders.lock().unwrap();
+        let tx = senders.entry(to).or_insert_with(|| {
+            let (tx, rx) = channel::<Vec<u8>>();
+            let w = self.clone();
+            std::thread::spawn(move || w.writer_loop(to, rx));
+            tx
+        });
+        let _ = tx.send(frame);
+    }
+
+    /// Dials `to` with capped exponential backoff and performs the
+    /// client-side handshake. `None` after the attempt budget — the peer
+    /// is presumed dead for now.
+    fn dial(&self, to: PeerId) -> Option<TcpStream> {
+        let addr = SocketAddr::from(([127, 0, 0, 1], self.ports[to.index()]));
+        let mut backoff = Duration::from_millis(20);
+        for attempt in 0u32..5 {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(200));
+            }
+            let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(250))
+            else {
+                self.stats.conn_retries.fetch_add(1, Ordering::Relaxed);
+                self.world.record(TraceEvent::ConnRetry { peer: to.raw(), attempt });
+                continue;
+            };
+            let _ = stream.set_nodelay(true);
+            let hello = encode_to_vec(&WireMsg::Hello {
+                peer: self.me.raw(),
+                node_id: 0,
+                proto_min: PROTO_VERSION,
+                proto_max: PROTO_VERSION,
+                listen_port: self.ports[self.me.index()],
+            });
+            if stream.write_all(&hello).is_err() {
+                self.stats.conn_retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.stats.bytes_tx.fetch_add(hello.len() as u64, Ordering::Relaxed);
+            self.stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+            // Wait for the HelloAck so a half-open acceptor can't swallow
+            // protocol frames.
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let mut dec = FrameDecoder::new();
+            let mut buf = [0u8; 256];
+            let ack = loop {
+                match dec.next_frame() {
+                    Ok(Some(frame)) => break Some(frame),
+                    Ok(None) => match stream.read(&mut buf) {
+                        Ok(0) | Err(_) => break None,
+                        Ok(n) => {
+                            self.stats.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+                            dec.extend(&buf[..n]);
+                        }
+                    },
+                    Err(_) => {
+                        self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        break None;
+                    }
+                }
+            };
+            match ack {
+                Some(WireMsg::HelloAck { proto, .. }) if proto == PROTO_VERSION => {
+                    let _ = stream.set_read_timeout(None);
+                    self.stats.conns_opened.fetch_add(1, Ordering::Relaxed);
+                    self.world.record(TraceEvent::ConnOpened { peer: to.raw() });
+                    return Some(stream);
+                }
+                _ => {
+                    self.stats.conn_retries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        None
+    }
+
+    fn writer_loop(&self, to: PeerId, rx: Receiver<Vec<u8>>) {
+        let mut conn: Option<TcpStream> = None;
+        let mut down_until: Option<Instant> = None;
+        for frame in rx {
+            if let Some(t) = down_until {
+                if Instant::now() < t {
+                    continue; // peer presumed dead: drop its traffic
+                }
+                down_until = None;
+            }
+            if conn.is_none() {
+                conn = self.dial(to);
+                if conn.is_none() {
+                    self.world.record(TraceEvent::ConnClosed { peer: to.raw() });
+                    down_until = Some(Instant::now() + PEER_DOWN_COOLDOWN);
+                    continue;
+                }
+            }
+            let stream = conn.as_mut().expect("just dialed");
+            if stream.write_all(&frame).is_err() {
+                // One reconnect attempt for the frame in hand, then give up
+                // on it (the protocol tolerates wire loss).
+                conn = self.dial(to);
+                let rewritten = match conn.as_mut() {
+                    Some(stream) => stream.write_all(&frame).is_ok(),
+                    None => false,
+                };
+                if !rewritten {
+                    conn = None;
+                    self.world.record(TraceEvent::ConnClosed { peer: to.raw() });
+                    down_until = Some(Instant::now() + PEER_DOWN_COOLDOWN);
+                    continue;
+                }
+            }
+            self.stats.bytes_tx.fetch_add(frame.len() as u64, Ordering::Relaxed);
+            self.stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The daemon: engine thread + listener + delay queues.
+// ---------------------------------------------------------------------
+
+/// Everything a `spidernet-node` process needs to join a deployment.
+pub struct NodeConfig {
+    /// This peer's index (also its position in `ports`).
+    pub index: usize,
+    /// The shared deployment config; every node of a deployment must be
+    /// started with identical values.
+    pub cluster: ClusterConfig,
+    /// Loopback listen port of every peer, by index.
+    pub ports: Vec<u16>,
+}
+
+enum EngineInput {
+    /// A protocol message, from the wire or a local timer.
+    Deliver(Msg),
+    /// A control frame plus the reply sink of its connection.
+    Ctrl(WireMsg, Sender<WireMsg>),
+    /// Periodic soft-state refresh: re-advertise this node's component.
+    Announce,
+}
+
+struct SocketOutbox {
+    epoch: Instant,
+    scale: f64,
+    outbound: DelayQueue<OutFrame>,
+    timers: DelayQueue<Msg>,
+    pending_setups: HashMap<u64, Sender<WireMsg>>,
+    pending_reports: HashMap<u64, Sender<WireMsg>>,
+}
+
+struct OutFrame {
+    to: PeerId,
+    msg: Msg,
+    /// Already fault-injected (re-queued with extra jitter); never rolled
+    /// twice.
+    delayed: bool,
+}
+
+impl Outbox for SocketOutbox {
+    fn wire(&mut self, to: PeerId, msg: Msg, delay_ms: f64) {
+        let wall = Duration::from_secs_f64((delay_ms * self.scale / 1_000.0).max(0.0));
+        self.outbound.push(OutFrame { to, msg, delayed: false }, wall);
+    }
+
+    fn timer(&mut self, msg: Msg, delay_ms: f64) {
+        let wall = Duration::from_secs_f64((delay_ms * self.scale / 1_000.0).max(0.0));
+        self.timers.push(msg, wall);
+    }
+
+    fn now_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1_000.0 / self.scale
+    }
+
+    fn setup_result(&mut self, result: SetupResult) {
+        if let Some(sink) = self.pending_setups.remove(&result.request) {
+            let _ = sink.send(WireMsg::CtrlComposeResult(setup_to_wire(&result)));
+        }
+    }
+
+    fn stream_report(&mut self, report: StreamReport) {
+        if let Some(sink) = self.pending_reports.remove(&report.session) {
+            let _ = sink.send(WireMsg::CtrlStreamReport(report_to_wire(&report)));
+        }
+    }
+}
+
+fn spawn_ctrl_writer(stream: TcpStream, stats: Arc<NetStats>) -> Sender<WireMsg> {
+    let (tx, rx) = channel::<WireMsg>();
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        for msg in rx {
+            let frame = encode_to_vec(&msg);
+            if stream.write_all(&frame).is_err() {
+                return;
+            }
+            stats.bytes_tx.fetch_add(frame.len() as u64, Ordering::Relaxed);
+            stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    tx
+}
+
+/// Pumps decoded frames off `stream` into `on_frame` until EOF, error, or
+/// `on_frame` returns `false`.
+fn read_frames(
+    stream: &mut TcpStream,
+    stats: &NetStats,
+    mut on_frame: impl FnMut(WireMsg) -> bool,
+) {
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        match dec.next_frame() {
+            Ok(Some(frame)) => {
+                stats.frames_rx.fetch_add(1, Ordering::Relaxed);
+                if !on_frame(frame) {
+                    return;
+                }
+            }
+            Ok(None) => match stream.read(&mut buf) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => {
+                    stats.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+                    dec.extend(&buf[..n]);
+                }
+            },
+            Err(_) => {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, engine: Sender<EngineInput>, stats: Arc<NetStats>) {
+    let _ = stream.set_nodelay(true);
+    // First frame must be a Hello; negotiate and ack.
+    let mut hello: Option<(u64, u16)> = None;
+    {
+        let mut dec = FrameDecoder::new();
+        let mut buf = [0u8; 4096];
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        loop {
+            match dec.next_frame() {
+                Ok(Some(WireMsg::Hello { peer, proto_min, proto_max, .. })) => {
+                    if let Some(v) =
+                        negotiate((PROTO_VERSION, PROTO_VERSION), (proto_min, proto_max))
+                    {
+                        hello = Some((peer, v));
+                    }
+                    // Hand leftover bytes after the Hello back? The frame
+                    // decoder is drained below on a fresh one; peers never
+                    // pipeline frames before the ack, so nothing is lost.
+                    break;
+                }
+                Ok(Some(_)) | Err(_) => {
+                    stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Ok(None) => match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => {
+                        stats.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+                        dec.extend(&buf[..n]);
+                    }
+                },
+            }
+        }
+        let _ = stream.set_read_timeout(None);
+    }
+    let Some((peer, proto)) = hello else { return };
+
+    if peer == CONTROL_PEER {
+        // Control client: replies multiplex over a writer thread whose
+        // sender doubles as the engine's reply sink.
+        let Ok(write_half) = stream.try_clone() else { return };
+        let sink = spawn_ctrl_writer(write_half, stats.clone());
+        let _ = sink.send(WireMsg::HelloAck { peer: u64::MAX, proto });
+        read_frames(&mut stream, &stats, |frame| {
+            engine.send(EngineInput::Ctrl(frame, sink.clone())).is_ok()
+        });
+    } else {
+        // Peer connection: ack directly (the connection is read-only
+        // afterwards), then pump protocol frames into the engine.
+        let ack = encode_to_vec(&WireMsg::HelloAck { peer: u64::MAX, proto });
+        if stream.write_all(&ack).is_err() {
+            return;
+        }
+        stats.bytes_tx.fetch_add(ack.len() as u64, Ordering::Relaxed);
+        stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+        read_frames(&mut stream, &stats, |frame| match Msg::from_wire(&frame) {
+            Some(msg) => engine.send(EngineInput::Deliver(msg)).is_ok(),
+            None => true, // not peer traffic; ignore
+        });
+    }
+}
+
+/// Runs one peer daemon until a `CtrlShutdown` arrives. Blocks the
+/// calling thread (the engine loop runs here).
+pub fn run_node(cfg: NodeConfig) -> std::io::Result<()> {
+    let me = PeerId::from(cfg.index);
+    let world = Arc::new(World::build(cfg.cluster.clone()));
+    let scale = world.cfg.time_scale;
+    let stats = Arc::new(NetStats::default());
+    let ports = Arc::new(cfg.ports.clone());
+    let epoch = Instant::now();
+
+    let listener = TcpListener::bind(("127.0.0.1", cfg.ports[cfg.index]))?;
+
+    let (engine_tx, engine_rx) = channel::<EngineInput>();
+
+    // Timers: local bookkeeping, no faults, straight into the engine.
+    let timers = {
+        let engine = engine_tx.clone();
+        DelayQueue::start(move |msg: Msg| {
+            let _ = engine.send(EngineInput::Deliver(msg));
+            None
+        })
+    };
+
+    // Outbound: WAN delay already waited out by the queue; apply
+    // sender-side fault injection, then hand survivors to the per-peer
+    // writer (or straight to our own inbox for self-sends).
+    let writers = Arc::new(Writers {
+        me,
+        ports,
+        stats: stats.clone(),
+        world: world.clone(),
+        senders: Mutex::new(HashMap::new()),
+    });
+    let outbound = {
+        let engine = engine_tx.clone();
+        let writers = writers.clone();
+        let world_for_faults = world.clone();
+        let faults = world.cfg.faults;
+        let mut rng: Rng = rng_for_indexed(world.cfg.seed, "net-faults", cfg.index as u64);
+        DelayQueue::start(move |f: OutFrame| {
+            if faults.is_active() && !f.delayed && f.msg.droppable() {
+                if faults.drop_prob > 0.0 && rng.gen::<f64>() < faults.drop_prob {
+                    world_for_faults.msgs_dropped.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                if faults.extra_delay_ms > 0.0 {
+                    let extra = rng.gen::<f64>() * faults.extra_delay_ms;
+                    let wall = Duration::from_secs_f64(extra * scale / 1_000.0);
+                    return Some((OutFrame { delayed: true, ..f }, wall));
+                }
+            }
+            if f.to == me {
+                let _ = engine.send(EngineInput::Deliver(f.msg));
+            } else if let Some(wire) = f.msg.to_wire() {
+                writers.send(f.to, encode_to_vec(&wire));
+            }
+            None
+        })
+    };
+
+    // Acceptor.
+    {
+        let engine = engine_tx.clone();
+        let stats = stats.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let engine = engine.clone();
+                let stats = stats.clone();
+                std::thread::spawn(move || serve_connection(stream, engine, stats));
+            }
+        });
+    }
+
+    // Soft-state refresh: registrations are droppable wire traffic, so
+    // re-announce periodically (the shard dedups) until shutdown.
+    {
+        let engine = engine_tx.clone();
+        std::thread::spawn(move || loop {
+            if engine.send(EngineInput::Announce).is_err() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(250));
+        });
+    }
+
+    // The engine loop: sole owner of the protocol state.
+    let mut node = PeerNode::new(me, world.clone(), HashMap::new());
+    let mut out = SocketOutbox {
+        epoch,
+        scale,
+        outbound,
+        timers,
+        pending_setups: HashMap::new(),
+        pending_reports: HashMap::new(),
+    };
+    node.announce(&mut out);
+    for input in engine_rx {
+        match input {
+            EngineInput::Deliver(msg) => node.handle(msg, &mut out),
+            EngineInput::Announce => node.announce(&mut out),
+            EngineInput::Ctrl(frame, sink) => match frame {
+                WireMsg::CtrlCompose { request, dest, chain, budget } => {
+                    let Some(chain) = chain
+                        .iter()
+                        .map(|&c| MediaFunction::from_code(c))
+                        .collect::<Option<Vec<_>>>()
+                    else {
+                        continue;
+                    };
+                    out.pending_setups.insert(request, sink);
+                    node.compose(request, PeerId::new(dest), chain, budget, &mut out);
+                }
+                WireMsg::CtrlStream {
+                    session,
+                    path,
+                    functions,
+                    backups,
+                    dest,
+                    frames,
+                    interval_ms,
+                    width,
+                    height,
+                } => {
+                    let Some(functions) = functions
+                        .iter()
+                        .map(|&c| MediaFunction::from_code(c))
+                        .collect::<Option<Vec<_>>>()
+                    else {
+                        continue;
+                    };
+                    out.pending_reports.insert(session, sink);
+                    node.start_stream(
+                        session,
+                        path.iter().map(|&p| PeerId::new(p)).collect(),
+                        functions,
+                        backups
+                            .iter()
+                            .map(|b| b.iter().map(|&p| PeerId::new(p)).collect())
+                            .collect(),
+                        PeerId::new(dest),
+                        frames,
+                        interval_ms,
+                        (width as usize, height as usize),
+                        &mut out,
+                    );
+                }
+                WireMsg::CtrlStatsRequest => {
+                    let _ = sink.send(WireMsg::CtrlStatsReply(WireStats {
+                        peer: me.raw(),
+                        probes_sent: world.probes_sent.load(Ordering::Relaxed),
+                        dht_hops: world.dht_hops.load(Ordering::Relaxed),
+                        msgs_dropped: world.msgs_dropped.load(Ordering::Relaxed),
+                        store_entries: node.store_entries(),
+                        frames_tx: stats.frames_tx.load(Ordering::Relaxed),
+                        frames_rx: stats.frames_rx.load(Ordering::Relaxed),
+                        bytes_tx: stats.bytes_tx.load(Ordering::Relaxed),
+                        bytes_rx: stats.bytes_rx.load(Ordering::Relaxed),
+                        conns_opened: stats.conns_opened.load(Ordering::Relaxed),
+                        conn_retries: stats.conn_retries.load(Ordering::Relaxed),
+                        decode_errors: stats.decode_errors.load(Ordering::Relaxed),
+                    }));
+                }
+                WireMsg::CtrlShutdown => return Ok(()),
+                _ => {}
+            },
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Control client (used by the deploy orchestrator and tests).
+// ---------------------------------------------------------------------
+
+/// A control connection to one daemon.
+pub struct CtrlClient {
+    stream: TcpStream,
+    dec: FrameDecoder,
+}
+
+impl CtrlClient {
+    /// Dials a daemon's control port, retrying while the process boots.
+    pub fn connect(port: u16, timeout: Duration) -> std::io::Result<CtrlClient> {
+        let addr = SocketAddr::from(([127, 0, 0, 1], port));
+        let deadline = Instant::now() + timeout;
+        let stream = loop {
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+                Ok(s) => break s,
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let mut client = CtrlClient { stream, dec: FrameDecoder::new() };
+        client.send(&WireMsg::Hello {
+            peer: CONTROL_PEER,
+            node_id: 0,
+            proto_min: PROTO_VERSION,
+            proto_max: PROTO_VERSION,
+            listen_port: 0,
+        })?;
+        match client.recv(Duration::from_secs(5))? {
+            WireMsg::HelloAck { proto, .. } if proto == PROTO_VERSION => Ok(client),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("handshake failed: {other:?}"),
+            )),
+        }
+    }
+
+    /// Sends one control frame.
+    pub fn send(&mut self, msg: &WireMsg) -> std::io::Result<()> {
+        self.stream.write_all(&encode_to_vec(msg))
+    }
+
+    /// Receives the next frame, waiting up to `timeout`.
+    pub fn recv(&mut self, timeout: Duration) -> std::io::Result<WireMsg> {
+        let deadline = Instant::now() + timeout;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.dec.next_frame() {
+                Ok(Some(frame)) => return Ok(frame),
+                Ok(None) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(std::io::ErrorKind::TimedOut.into());
+                    }
+                    self.stream.set_read_timeout(Some(deadline - now))?;
+                    match self.stream.read(&mut buf) {
+                        Ok(0) => return Err(std::io::ErrorKind::UnexpectedEof.into()),
+                        Ok(n) => self.dec.extend(&buf[..n]),
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            return Err(std::io::ErrorKind::TimedOut.into())
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Receives frames until one matches `want` (skipping others, e.g. a
+    /// stats reply racing a stream report).
+    pub fn recv_matching(
+        &mut self,
+        timeout: Duration,
+        mut want: impl FnMut(&WireMsg) -> bool,
+    ) -> std::io::Result<WireMsg> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(std::io::ErrorKind::TimedOut.into());
+            }
+            let frame = self.recv(deadline - now)?;
+            if want(&frame) {
+                return Ok(frame);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The deploy orchestrator.
+// ---------------------------------------------------------------------
+
+/// Parameters of one multi-process loopback deployment.
+pub struct DeployConfig {
+    /// The shared cluster config every daemon is started with.
+    pub cluster: ClusterConfig,
+    /// Path to the `spidernet-node` executable.
+    pub node_exe: std::path::PathBuf,
+    /// Function chain to compose (codes must be valid for the registry).
+    pub chain: Vec<MediaFunction>,
+    /// Composing peer.
+    pub source: PeerId,
+    /// Receiving peer.
+    pub dest: PeerId,
+    /// Probing budget β.
+    pub budget: u32,
+    /// Frames to stream.
+    pub frames: u64,
+    /// Model ms between frames.
+    pub interval_ms: f64,
+    /// Frame dimensions.
+    pub dims: (u32, u32),
+    /// Kill the primary path's first component mid-stream and require a
+    /// backup switchover.
+    pub kill_primary: bool,
+    /// Overall wall-clock budget.
+    pub timeout: Duration,
+}
+
+impl DeployConfig {
+    /// The standard loopback scenario: chain of the first two registry
+    /// functions, source/dest on peers hosting other functions — valid
+    /// for any `peers >= 8` (every function keeps ≥1 replica and the
+    /// two-function chain keeps ≥2, so kill-primary has a backup).
+    pub fn standard(peers: usize, seed: u64, node_exe: std::path::PathBuf) -> DeployConfig {
+        DeployConfig {
+            cluster: ClusterConfig {
+                peers,
+                seed,
+                time_scale: 0.05,
+                collect_window_ms: 250.0,
+                failover_timeout_ms: 400.0,
+                ..ClusterConfig::default()
+            },
+            node_exe,
+            chain: vec![MediaFunction::ALL[0], MediaFunction::ALL[1]],
+            source: PeerId::new(2),
+            dest: PeerId::new(3),
+            budget: 8,
+            frames: 200,
+            interval_ms: 25.0,
+            dims: (8, 8),
+            kill_primary: false,
+            timeout: Duration::from_secs(45),
+        }
+    }
+}
+
+/// What a deployment produced.
+pub struct DeployOutcome {
+    /// The composition result.
+    pub setup: WireSetup,
+    /// The streaming report.
+    pub report: WireStreamReport,
+    /// Per-node counter snapshots (killed nodes report zeros).
+    pub stats: Vec<WireStats>,
+    /// Order-independent digest of the deterministic outcome (selected
+    /// path, backups, model-time metrics, delivered pixels) — equal
+    /// across runs with the same seed when no faults/kills perturb
+    /// wall-clock behaviour.
+    pub fingerprint: u64,
+}
+
+impl DeployOutcome {
+    /// A small hand-rolled JSON rendering (the repo has no serde).
+    pub fn to_json(&self) -> String {
+        let path: Vec<String> = self.setup.path.iter().map(|p| p.to_string()).collect();
+        let final_path: Vec<String> = self.report.final_path.iter().map(|p| p.to_string()).collect();
+        let dropped: u64 = self.stats.iter().map(|s| s.msgs_dropped).sum();
+        format!(
+            concat!(
+                "{{\"ok\":{},\"path\":[{}],\"backups\":{},",
+                "\"discovery_ms\":{:.3},\"probing_ms\":{:.3},\"init_ms\":{:.3},\"total_ms\":{:.3},",
+                "\"sent\":{},\"delivered\":{},\"all_valid\":{},\"switches\":{},",
+                "\"maintenance_probes\":{},\"final_path\":[{}],\"delivery_digest\":{},",
+                "\"msgs_dropped\":{},\"recompositions\":0,\"fingerprint\":{}}}"
+            ),
+            self.setup.ok,
+            path.join(","),
+            self.setup.backups.len(),
+            self.setup.discovery_ms,
+            self.setup.probing_ms,
+            self.setup.init_ms,
+            self.setup.total_ms,
+            self.report.sent,
+            self.report.delivered,
+            self.report.all_valid,
+            self.report.switches,
+            self.report.maintenance_probes,
+            final_path.join(","),
+            self.report.delivery_digest,
+            dropped,
+            self.fingerprint,
+        )
+    }
+}
+
+fn err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::other(msg.into())
+}
+
+/// Grabs `n` currently-free loopback ports by binding ephemeral
+/// listeners. There is a small close-to-rebind window; daemons that lose
+/// the race fail to bind and the deploy errors out rather than hanging.
+fn free_ports(n: usize) -> std::io::Result<Vec<u16>> {
+    let mut holders = Vec::with_capacity(n);
+    let mut ports = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = TcpListener::bind(("127.0.0.1", 0))?;
+        ports.push(l.local_addr()?.port());
+        holders.push(l);
+    }
+    drop(holders);
+    Ok(ports)
+}
+
+fn fold(h: u64, v: u64) -> u64 {
+    splitmix64(h ^ v)
+}
+
+fn fingerprint(setup: &WireSetup, report: &WireStreamReport) -> u64 {
+    let mut h = fold(0x5350494445524e45, setup.ok as u64); // "SPIDERNE"
+    for &p in &setup.path {
+        h = fold(h, p);
+    }
+    for b in &setup.backups {
+        h = fold(h, b.len() as u64);
+        for &p in b {
+            h = fold(h, p);
+        }
+    }
+    for bits in [
+        setup.discovery_ms.to_bits(),
+        setup.probing_ms.to_bits(),
+        setup.init_ms.to_bits(),
+        setup.total_ms.to_bits(),
+    ] {
+        h = fold(h, bits);
+    }
+    h = fold(h, report.sent);
+    h = fold(h, report.delivered);
+    h = fold(h, report.all_valid as u64);
+    fold(h, report.delivery_digest)
+}
+
+/// Spawns an N-process loopback deployment, drives one composition and
+/// one streaming session end-to-end (optionally killing the primary
+/// path's head mid-stream), gathers stats, and tears everything down.
+pub fn deploy(cfg: DeployConfig) -> std::io::Result<DeployOutcome> {
+    assert!(cfg.cluster.peers >= 8, "a deployment needs a handful of peers");
+    let peers = cfg.cluster.peers;
+    let ports = free_ports(peers)?;
+    let ports_arg =
+        ports.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(",");
+
+    let mut children: Vec<Child> = Vec::with_capacity(peers);
+    let spawn_result: std::io::Result<()> = (|| {
+        for i in 0..peers {
+            let c = &cfg.cluster;
+            children.push(
+                Command::new(&cfg.node_exe)
+                    .arg("serve")
+                    .args(["--index", &i.to_string()])
+                    .args(["--peers", &peers.to_string()])
+                    .args(["--seed", &c.seed.to_string()])
+                    .args(["--ports", &ports_arg])
+                    .args(["--jitter", &c.jitter.to_string()])
+                    .args(["--time-scale", &c.time_scale.to_string()])
+                    .args(["--collect-window-ms", &c.collect_window_ms.to_string()])
+                    .args(["--quota", &c.quota.to_string()])
+                    .args(["--failover-timeout-ms", &c.failover_timeout_ms.to_string()])
+                    .args(["--maintenance-period-ms", &c.maintenance_period_ms.to_string()])
+                    .args(["--drop-prob", &c.faults.drop_prob.to_string()])
+                    .args(["--extra-delay-ms", &c.faults.extra_delay_ms.to_string()])
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::inherit())
+                    .spawn()?,
+            );
+        }
+        Ok(())
+    })();
+
+    // Everything from here on must kill the children on the way out.
+    let result = spawn_result.and_then(|()| drive_deployment(&cfg, &ports, &mut children));
+    for child in &mut children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    result
+}
+
+fn drive_deployment(
+    cfg: &DeployConfig,
+    ports: &[u16],
+    children: &mut [Child],
+) -> std::io::Result<DeployOutcome> {
+    let peers = cfg.cluster.peers;
+    let deadline = Instant::now() + cfg.timeout;
+    let mut clients: Vec<CtrlClient> = Vec::with_capacity(peers);
+    for &port in ports {
+        clients.push(CtrlClient::connect(port, Duration::from_secs(10))?);
+    }
+
+    // Readiness: every component registered into the DHT (the sum of all
+    // shard entries reaches the peer count).
+    loop {
+        let mut total = 0u64;
+        for client in clients.iter_mut() {
+            client.send(&WireMsg::CtrlStatsRequest)?;
+            match client.recv_matching(Duration::from_secs(5), |f| {
+                matches!(f, WireMsg::CtrlStatsReply(_))
+            })? {
+                WireMsg::CtrlStatsReply(s) => total += s.store_entries,
+                _ => unreachable!("matched above"),
+            }
+        }
+        if total >= peers as u64 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(err(format!(
+                "bootstrap registration incomplete: {total}/{peers} entries"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Compose from the source node.
+    let source_client = cfg.source.index();
+    clients[source_client].send(&WireMsg::CtrlCompose {
+        request: 1,
+        dest: cfg.dest.raw(),
+        chain: cfg.chain.iter().map(|f| f.code()).collect(),
+        budget: cfg.budget,
+    })?;
+    let setup = match clients[source_client].recv_matching(cfg.timeout, |f| {
+        matches!(f, WireMsg::CtrlComposeResult(_))
+    })? {
+        WireMsg::CtrlComposeResult(s) => s,
+        _ => unreachable!("matched above"),
+    };
+    if !setup.ok {
+        return Err(err("composition failed"));
+    }
+    if cfg.kill_primary && setup.backups.is_empty() {
+        return Err(err("kill-primary requested but probing found no backup path"));
+    }
+
+    // Stream; optionally kill the primary head partway through.
+    clients[source_client].send(&WireMsg::CtrlStream {
+        session: setup.request,
+        path: setup.path.clone(),
+        functions: setup.functions.clone(),
+        backups: setup.backups.clone(),
+        dest: setup.dest,
+        frames: cfg.frames,
+        interval_ms: cfg.interval_ms,
+        width: cfg.dims.0,
+        height: cfg.dims.1,
+    })?;
+    if cfg.kill_primary {
+        // Let roughly a quarter of the stream flow, then fail the head.
+        let quarter =
+            cfg.frames as f64 * cfg.interval_ms * cfg.cluster.time_scale / 1_000.0 * 0.25;
+        std::thread::sleep(Duration::from_secs_f64(quarter.max(0.05)));
+        let head = setup.path[0] as usize;
+        children[head].kill()?;
+        children[head].wait()?;
+    }
+    let report = match clients[source_client]
+        .recv_matching(cfg.timeout, |f| matches!(f, WireMsg::CtrlStreamReport(_)))?
+    {
+        WireMsg::CtrlStreamReport(r) => r,
+        _ => unreachable!("matched above"),
+    };
+
+    // Final stats sweep (killed nodes report zeros).
+    let killed: Option<usize> = cfg.kill_primary.then(|| setup.path[0] as usize);
+    let mut stats = Vec::with_capacity(peers);
+    for (i, client) in clients.iter_mut().enumerate() {
+        if Some(i) == killed {
+            stats.push(WireStats { peer: i as u64, ..WireStats::default() });
+            continue;
+        }
+        let snap = client.send(&WireMsg::CtrlStatsRequest).and_then(|()| {
+            client.recv_matching(Duration::from_secs(5), |f| {
+                matches!(f, WireMsg::CtrlStatsReply(_))
+            })
+        });
+        match snap {
+            Ok(WireMsg::CtrlStatsReply(s)) => stats.push(s),
+            _ => stats.push(WireStats { peer: i as u64, ..WireStats::default() }),
+        }
+    }
+
+    // Graceful shutdown for whoever is still alive (the caller reaps).
+    for (i, client) in clients.iter_mut().enumerate() {
+        if Some(i) != killed {
+            let _ = client.send(&WireMsg::CtrlShutdown);
+        }
+    }
+
+    let fingerprint = fingerprint(&setup, &report);
+    Ok(DeployOutcome { setup, report, stats, fingerprint })
+}

@@ -1,0 +1,974 @@
+//! The transport-agnostic SpiderNet protocol engine.
+//!
+//! [`PeerNode`] holds one peer's complete protocol state — DHT shard,
+//! composition jobs, destination-side probe collection, streaming
+//! sessions with proactive failure recovery — and is driven entirely
+//! through [`PeerNode::handle`]. It never touches a channel or a socket:
+//! every outbound effect goes through the [`Outbox`] trait, implemented
+//! by the in-process channel transport ([`crate::cluster`]) and the
+//! socket daemon ([`crate::net`]). Protocol logic exists exactly once.
+//!
+//! ## Deterministic model time
+//!
+//! WAN delays are *content-keyed* ([`WanModel::delay_keyed`]): the jitter
+//! of each message is a pure function of `(seed, from, to, salt)`.
+//! Messages carry an `at_ms` model timestamp accumulated hop by hop, and
+//! every session-setup metric (discovery, probing, init, total) is
+//! computed from these timestamps — never from the wall clock. For a
+//! fixed seed the reported metrics are bit-identical across transports,
+//! runs, and thread schedules. Wall time (via [`Outbox::now_ms`]) is used
+//! only where the protocol genuinely reacts to real elapsed time: the
+//! streaming failover detector.
+//!
+//! The destination filters collected probes to a *model* sub-window
+//! (half the collect window) before selecting, so a probe's membership in
+//! the selection set depends on its deterministic model arrival, not on
+//! how close to the wall deadline the transport delivered it.
+
+use crate::media::{Frame, MediaFunction};
+use crate::msg::{Msg, Probe, ReplicaMeta};
+use crate::wan::WanModel;
+use spidernet_dht::{NodeId, PastryNetwork};
+use spidernet_sim::trace::{TraceBuffer, TraceEvent};
+use spidernet_util::hash::function_key;
+use spidernet_util::id::PeerId;
+use spidernet_util::qos::QosVector;
+use spidernet_util::res::ResourceVector;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Message-level fault injection applied by the transport's network
+/// layer, at the sender side.
+///
+/// Only wire traffic ([`Msg::droppable`]) is affected; driver commands
+/// and self-timers always deliver. Each droppable message is considered
+/// exactly once: survivors of the drop roll are delivered with their
+/// extra jitter and never rolled again.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetFaultConfig {
+    /// Probability a droppable message is silently lost.
+    pub drop_prob: f64,
+    /// Upper bound of uniformly-sampled extra delivery delay, model ms.
+    pub extra_delay_ms: f64,
+}
+
+impl NetFaultConfig {
+    /// True when either knob is set.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0 || self.extra_delay_ms > 0.0
+    }
+}
+
+/// Cluster construction parameters, shared verbatim by both transports —
+/// a socket deployment built from the same config and seed reproduces the
+/// in-process cluster's topology, component placement, and model-time
+/// behaviour exactly.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of peers (paper: 102 PlanetLab hosts).
+    pub peers: usize,
+    /// WAN jitter bound (multiplicative).
+    pub jitter: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Wall seconds per model second (0.02 = 50× compression).
+    pub time_scale: f64,
+    /// Destination-side probe collection window, model ms.
+    pub collect_window_ms: f64,
+    /// Per-hop probe fan-out quota.
+    pub quota: u32,
+    /// A streaming source fails over when no delivery ack has arrived for
+    /// this long (model ms). Must exceed the path round-trip time, or
+    /// frames legitimately in flight look like loss.
+    pub failover_timeout_ms: f64,
+    /// Period of backup-path maintenance probing, model ms (0 disables).
+    pub maintenance_period_ms: f64,
+    /// Message-level loss and delay injection (off by default).
+    pub faults: NetFaultConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            peers: 102,
+            jitter: 0.3,
+            seed: 0,
+            time_scale: 0.02,
+            collect_window_ms: 200.0,
+            quota: 3,
+            failover_timeout_ms: 400.0,
+            maintenance_period_ms: 120.0,
+            faults: NetFaultConfig::default(),
+        }
+    }
+}
+
+/// Result of one session setup (all times in model ms, derived from
+/// accumulated message timestamps — deterministic for a fixed seed).
+#[derive(Clone, Debug)]
+pub struct SetupResult {
+    /// Request id (doubles as the session id).
+    pub request: u64,
+    /// Whether a composition was established.
+    pub ok: bool,
+    /// The application receiver.
+    pub dest: PeerId,
+    /// Selected component path (composition order).
+    pub path: Vec<PeerId>,
+    /// Functions along the path.
+    pub functions: Vec<MediaFunction>,
+    /// Alternative complete paths found by probing (failover backups).
+    pub backups: Vec<Vec<PeerId>>,
+    /// Decentralized service discovery time.
+    pub discovery_ms: f64,
+    /// Probing + destination selection time.
+    pub probing_ms: f64,
+    /// Session initialization (reverse-ack) time.
+    pub init_ms: f64,
+    /// End-to-end setup time.
+    pub total_ms: f64,
+}
+
+/// Final report of one streaming session.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Session id.
+    pub session: u64,
+    /// Frames emitted by the source.
+    pub sent: u64,
+    /// Frames acknowledged by the destination.
+    pub delivered: u64,
+    /// Whether every delivered frame matched the expected transform chain.
+    pub all_valid: bool,
+    /// Path failovers performed.
+    pub switches: u32,
+    /// Low-rate maintenance probes sent along backup paths.
+    pub maintenance_probes: u64,
+    /// The path in use when the stream ended.
+    pub final_path: Vec<PeerId>,
+    /// Order-independent digest over all delivered frame pixels (sum of
+    /// per-frame digests) — equal across transports when the same frames
+    /// arrive.
+    pub delivery_digest: u64,
+}
+
+/// Everything all peers of one deployment agree on: the latency model,
+/// the Pastry overlay, component placement, configuration, and the shared
+/// counters/trace. Built deterministically from a [`ClusterConfig`] —
+/// every process of a socket deployment reconstructs an identical World
+/// from the same config.
+pub struct World {
+    /// The wide-area latency model.
+    pub wan: WanModel,
+    /// The structured overlay used for discovery routing.
+    pub pastry: PastryNetwork,
+    /// Deployment configuration.
+    pub cfg: ClusterConfig,
+    /// Media component hosted by each peer (index = peer).
+    pub functions: Vec<MediaFunction>,
+    /// Total BCP probe transmissions.
+    pub probes_sent: AtomicU64,
+    /// Total DHT routing steps.
+    pub dht_hops: AtomicU64,
+    /// Droppable messages lost to fault injection.
+    pub msgs_dropped: AtomicU64,
+    /// Deployment-wide event ring. Recorded through a mutex — protocol
+    /// events are orders of magnitude rarer than frames, and with the
+    /// `trace` feature off the buffer is a ZST no-op anyway.
+    pub trace: Mutex<TraceBuffer>,
+    /// Probe transmissions attributed per composition session.
+    pub session_probes: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl World {
+    /// Builds the deployment environment: WAN model, Pastry overlay over
+    /// it, and round-robin component placement (at 102 peers that is the
+    /// paper's ≈17 replicas per function).
+    pub fn build(cfg: ClusterConfig) -> World {
+        let peers: Vec<PeerId> = (0..cfg.peers as u64).map(PeerId::new).collect();
+        let wan = WanModel::new(cfg.peers, cfg.jitter, cfg.seed);
+        let mut prox = |a: PeerId, b: PeerId| wan.base_ms(a, b);
+        let pastry = PastryNetwork::build(&peers, &mut prox);
+        let functions: Vec<MediaFunction> =
+            (0..cfg.peers).map(|i| MediaFunction::ALL[i % MediaFunction::ALL.len()]).collect();
+        World {
+            wan,
+            pastry,
+            cfg,
+            functions,
+            probes_sent: AtomicU64::new(0),
+            dht_hops: AtomicU64::new(0),
+            msgs_dropped: AtomicU64::new(0),
+            trace: Mutex::new(TraceBuffer::new()),
+            session_probes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Startup DHT shards with every component pre-registered at its
+    /// key's root — the in-process cluster's shortcut past the wire
+    /// bootstrap (socket daemons instead register via [`Msg::Register`]).
+    pub fn seeded_stores(&self) -> Vec<HashMap<u128, Vec<ReplicaMeta>>> {
+        let mut stores: Vec<HashMap<u128, Vec<ReplicaMeta>>> =
+            vec![HashMap::new(); self.cfg.peers];
+        for (i, &f) in self.functions.iter().enumerate() {
+            let key = function_key(f.name());
+            let root = self.pastry.responsible(NodeId::new(key)).expect("non-empty ring");
+            stores[root.index()]
+                .entry(key)
+                .or_default()
+                .push(ReplicaMeta { peer: PeerId::from(i), function: f });
+        }
+        stores
+    }
+
+    /// Records one trace event.
+    pub fn record(&self, ev: TraceEvent) {
+        self.trace.lock().unwrap().record(ev);
+    }
+
+    fn count_probe(&self, session: u64, depth: u16, budget: u32) {
+        self.probes_sent.fetch_add(1, Ordering::Relaxed);
+        *self.session_probes.lock().unwrap().entry(session).or_insert(0) += 1;
+        self.record(TraceEvent::ProbeSpawned { session, depth, budget });
+    }
+}
+
+/// The engine's view of a transport: where outbound messages, timers, and
+/// driver results go. Implementations decide what "wire" means (an
+/// in-process delay queue, or a fault-injecting sender queue feeding TCP
+/// connections).
+pub trait Outbox {
+    /// Ships `msg` to peer `to`; the transport must deliver it after
+    /// `delay_ms` of model time (the content-keyed WAN delay, already
+    /// accumulated into the message's `at_ms`).
+    fn wire(&mut self, to: PeerId, msg: Msg, delay_ms: f64);
+    /// Schedules `msg` back into this same peer after `delay_ms` of model
+    /// time. Timers are local bookkeeping: never dropped, never jittered.
+    fn timer(&mut self, msg: Msg, delay_ms: f64);
+    /// Wall-derived model time, ms since the deployment epoch. Used only
+    /// by the streaming failover detector.
+    fn now_ms(&self) -> f64;
+    /// Delivers a finished setup result to whoever asked (driver channel
+    /// or control connection).
+    fn setup_result(&mut self, result: SetupResult);
+    /// Delivers a finished stream report likewise.
+    fn stream_report(&mut self, report: StreamReport);
+}
+
+struct ComposeJob {
+    dest: PeerId,
+    chain: Vec<MediaFunction>,
+    budget: u32,
+    /// Per-position replica list and the model time its reply arrived.
+    replica_lists: Vec<Option<(Vec<ReplicaMeta>, f64)>>,
+    /// Model time discovery finished (latest reply), once all are in.
+    discovery_done_ms: Option<f64>,
+}
+
+struct DestJob {
+    source: PeerId,
+    chain: Vec<MediaFunction>,
+    /// Collected complete probes, keyed by model arrival time.
+    probes: Vec<(f64, Probe)>,
+    timer_armed: bool,
+}
+
+enum StreamPhase {
+    Sending,
+    Draining,
+}
+
+struct StreamJob {
+    /// paths[0] is the active path; the rest are backups in preference
+    /// order. `backup_alive[i]` mirrors paths[i+1]'s last maintenance
+    /// verdict (true until proven dead).
+    paths: Vec<Vec<PeerId>>,
+    backup_alive: Vec<bool>,
+    /// Maintenance round bookkeeping; an ack for round r-1 arriving late
+    /// still counts (liveness, not freshness).
+    maintenance_pending: Vec<bool>,
+    maintenance_messages: u64,
+    functions: Vec<MediaFunction>,
+    dest: PeerId,
+    remaining: u64,
+    interval_ms: f64,
+    dims: (usize, usize),
+    seq: u64,
+    delivered: u64,
+    all_valid: bool,
+    delivery_digest: u64,
+    /// Model ms (wall-derived) of the last sign of progress — the
+    /// failover detector's baseline.
+    last_progress_ms: f64,
+    switches: u32,
+    phase: StreamPhase,
+}
+
+/// One peer's protocol state, transport-agnostic.
+pub struct PeerNode {
+    /// This peer.
+    pub me: PeerId,
+    /// The shared deployment environment.
+    pub world: Arc<World>,
+    /// This peer's DHT shard: key → advertised replicas.
+    pub store: HashMap<u128, Vec<ReplicaMeta>>,
+    compose_jobs: HashMap<u64, ComposeJob>,
+    dest_jobs: HashMap<u64, DestJob>,
+    done_requests: HashSet<u64>,
+    stream_jobs: HashMap<u64, StreamJob>,
+}
+
+impl PeerNode {
+    /// A peer with the given starting DHT shard (empty for socket daemons,
+    /// pre-seeded for the in-process cluster).
+    pub fn new(me: PeerId, world: Arc<World>, store: HashMap<u128, Vec<ReplicaMeta>>) -> PeerNode {
+        PeerNode {
+            me,
+            world,
+            store,
+            compose_jobs: HashMap::new(),
+            dest_jobs: HashMap::new(),
+            done_requests: HashSet::new(),
+            stream_jobs: HashMap::new(),
+        }
+    }
+
+    /// Entries currently stored in this peer's DHT shard.
+    pub fn store_entries(&self) -> u64 {
+        self.store.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Sends `msg` to `to` with the content-keyed WAN delay, accumulating
+    /// the delay into the message's model timestamp.
+    fn send(&mut self, to: PeerId, mut msg: Msg, out: &mut impl Outbox) {
+        let d = self.world.wan.delay_keyed(self.me, to, msg.delay_salt());
+        if let Some(at) = msg.at_ms_mut() {
+            *at += d;
+        }
+        out.wire(to, msg, d);
+    }
+
+    /// Advertises this peer's own component into the DHT over the wire —
+    /// the socket daemon's bootstrap registration. The in-process cluster
+    /// doesn't call this (its shards are pre-seeded).
+    pub fn announce(&mut self, out: &mut impl Outbox) {
+        let f = self.world.functions[self.me.index()];
+        let key = NodeId::new(function_key(f.name()));
+        let replica = ReplicaMeta { peer: self.me, function: f };
+        let qos = QosVector::delay_loss(f.processing_ms(), 0.0);
+        let res = ResourceVector::new(1.0, 1.0);
+        self.route_register(key, replica, qos, res, 0, out);
+    }
+
+    /// Drives the engine with one delivered message. Driver commands and
+    /// `Halt` are transport concerns and must not reach this point.
+    pub fn handle(&mut self, msg: Msg, out: &mut impl Outbox) {
+        match msg {
+            Msg::DhtLookup { query, key, origin, hops, at_ms } => {
+                self.route_dht(query, key, origin, hops, at_ms, out)
+            }
+            Msg::DhtReply { query, metas, at_ms } => self.on_dht_reply(query, metas, at_ms, out),
+            Msg::Register { key, replica, qos, res, hops } => {
+                self.route_register(key, replica, qos, res, hops, out)
+            }
+            Msg::Probe(p) => self.on_probe(p, out),
+            Msg::TimerCollect { request } => self.on_collect(request, out),
+            Msg::SetupAck { session, path, functions, idx, source, backups, selected_ms, at_ms } => {
+                if idx == usize::MAX {
+                    self.on_compose_completion(session, path, functions, backups, selected_ms, at_ms, out)
+                } else {
+                    self.on_setup_ack(session, path, functions, idx, source, backups, selected_ms, at_ms, out)
+                }
+            }
+            Msg::TimerStream { session } => self.on_stream_timer(session, out),
+            Msg::TimerMaintenance { session } => self.on_maintenance_timer(session, out),
+            Msg::PathProbe { session, path, idx, origin, backup_idx } => {
+                self.on_path_probe(session, path, idx, origin, backup_idx, out)
+            }
+            Msg::PathProbeAck { session, backup_idx } => {
+                if let Some(job) = self.stream_jobs.get_mut(&session) {
+                    if let Some(alive) = job.backup_alive.get_mut(backup_idx) {
+                        *alive = true;
+                    }
+                    if let Some(p) = job.maintenance_pending.get_mut(backup_idx) {
+                        *p = false;
+                    }
+                }
+            }
+            Msg::StreamFrame { session, path, functions, idx, dest, source, orig_dims, frame, at_ms } => {
+                self.on_frame(session, path, functions, idx, dest, source, orig_dims, frame, at_ms, out)
+            }
+            Msg::FrameAck { session, seq: _, valid, digest, at_ms: _ } => {
+                let now = out.now_ms();
+                if let Some(job) = self.stream_jobs.get_mut(&session) {
+                    job.delivered += 1;
+                    job.all_valid &= valid;
+                    job.delivery_digest = job.delivery_digest.wrapping_add(digest);
+                    job.last_progress_ms = now;
+                }
+            }
+            Msg::Compose { .. } | Msg::StartStream { .. } | Msg::Halt => {
+                debug_assert!(false, "driver commands are handled by the transport");
+            }
+        }
+    }
+
+    // --- discovery --------------------------------------------------
+
+    fn route_dht(
+        &mut self,
+        query: u64,
+        key: NodeId,
+        origin: PeerId,
+        hops: u32,
+        at_ms: f64,
+        out: &mut impl Outbox,
+    ) {
+        self.world.dht_hops.fetch_add(1, Ordering::Relaxed);
+        match self.world.pastry.next_hop_from(self.me, key) {
+            Some(Some(next)) => {
+                self.send(next, Msg::DhtLookup { query, key, origin, hops: hops + 1, at_ms }, out);
+            }
+            _ => {
+                // This peer is the key's root.
+                self.world.record(TraceEvent::DhtLookup { hops });
+                let metas = self.store.get(&key.0).cloned().unwrap_or_default();
+                self.send(origin, Msg::DhtReply { query, metas, at_ms }, out);
+            }
+        }
+    }
+
+    /// Routes a metadata registration toward the key's root; the root
+    /// stores the advertisement in its shard.
+    fn route_register(
+        &mut self,
+        key: NodeId,
+        replica: ReplicaMeta,
+        qos: QosVector,
+        res: ResourceVector,
+        hops: u32,
+        out: &mut impl Outbox,
+    ) {
+        self.world.dht_hops.fetch_add(1, Ordering::Relaxed);
+        match self.world.pastry.next_hop_from(self.me, key) {
+            Some(Some(next)) => {
+                self.send(next, Msg::Register { key, replica, qos, res, hops: hops + 1 }, out);
+            }
+            _ => {
+                let list = self.store.entry(key.0).or_default();
+                if !list.contains(&replica) {
+                    list.push(replica);
+                    // Keep shard order deterministic regardless of the
+                    // order registrations arrived over the wire.
+                    list.sort_by_key(|m| m.peer);
+                }
+            }
+        }
+    }
+
+    fn on_dht_reply(&mut self, query: u64, metas: Vec<ReplicaMeta>, at_ms: f64, out: &mut impl Outbox) {
+        let request = query / 64;
+        let pos = (query % 64) as usize;
+        let Some(job) = self.compose_jobs.get_mut(&request) else { return };
+        if pos >= job.replica_lists.len() {
+            return;
+        }
+        if job.replica_lists[pos].is_none() {
+            job.replica_lists[pos] = Some((metas, at_ms));
+            if job.replica_lists.iter().all(Option::is_some) {
+                self.start_probing(request, out);
+            }
+        }
+    }
+
+    // --- composition (source side) ----------------------------------
+
+    /// Starts a composition request: parallel DHT lookups, one per chain
+    /// function; query ids encode the chain position. Model time for this
+    /// request starts at 0 here.
+    pub fn compose(
+        &mut self,
+        request: u64,
+        dest: PeerId,
+        chain: Vec<MediaFunction>,
+        budget: u32,
+        out: &mut impl Outbox,
+    ) {
+        let n = chain.len();
+        assert!(n < 63, "query encoding supports chains up to 62 functions");
+        self.compose_jobs.insert(
+            request,
+            ComposeJob { dest, chain: chain.clone(), budget, replica_lists: vec![None; n], discovery_done_ms: None },
+        );
+        for (pos, f) in chain.iter().enumerate() {
+            let key = NodeId::new(function_key(f.name()));
+            self.route_dht(request * 64 + pos as u64, key, self.me, 0, 0.0, out);
+        }
+    }
+
+    fn start_probing(&mut self, request: u64, out: &mut impl Outbox) {
+        let (dest, chain, lists, budget, failed, discovery_done) = {
+            let job = self.compose_jobs.get_mut(&request).expect("caller holds the job");
+            // Discovery finishes when the slowest reply lands (model time).
+            let discovery_done = job
+                .replica_lists
+                .iter()
+                .map(|l| l.as_ref().expect("all present").1)
+                .fold(0.0f64, f64::max);
+            job.discovery_done_ms = Some(discovery_done);
+            let lists: Vec<Vec<ReplicaMeta>> = job
+                .replica_lists
+                .iter()
+                .map(|l| l.as_ref().expect("all present").0.clone())
+                .collect();
+            let failed = lists.iter().any(Vec::is_empty);
+            (job.dest, job.chain.clone(), lists, job.budget, failed, discovery_done)
+        };
+        if failed {
+            self.finish_failure(request, out);
+            return;
+        }
+        self.spawn_probes(
+            Probe {
+                request,
+                source: self.me,
+                dest,
+                chain,
+                replica_lists: lists,
+                pos: 0,
+                path: Vec::new(),
+                budget,
+                acc_qos: QosVector::zeros(2),
+                at_ms: discovery_done,
+            },
+            out,
+        );
+    }
+
+    fn finish_failure(&mut self, request: u64, out: &mut impl Outbox) {
+        if let Some(job) = self.compose_jobs.remove(&request) {
+            let discovery = job.discovery_done_ms.unwrap_or(0.0);
+            out.setup_result(SetupResult {
+                request,
+                ok: false,
+                dest: job.dest,
+                path: Vec::new(),
+                functions: job.chain,
+                backups: Vec::new(),
+                discovery_ms: discovery,
+                probing_ms: 0.0,
+                init_ms: 0.0,
+                total_ms: discovery,
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_compose_completion(
+        &mut self,
+        session: u64,
+        path: Vec<PeerId>,
+        functions: Vec<MediaFunction>,
+        backups: Vec<Vec<PeerId>>,
+        selected_ms: f64,
+        at_ms: f64,
+        out: &mut impl Outbox,
+    ) {
+        let Some(job) = self.compose_jobs.remove(&session) else { return };
+        let discovery_end = job.discovery_done_ms.unwrap_or(0.0);
+        let ok = !path.is_empty();
+        out.setup_result(SetupResult {
+            request: session,
+            ok,
+            dest: job.dest,
+            path,
+            functions,
+            backups,
+            discovery_ms: discovery_end,
+            probing_ms: if ok { selected_ms - discovery_end } else { 0.0 },
+            init_ms: if ok { at_ms - selected_ms } else { 0.0 },
+            total_ms: if ok { at_ms } else { discovery_end },
+        });
+    }
+
+    // --- probing (all peers) ----------------------------------------
+
+    /// Fans a probe out to the next chain position's candidates, or ships
+    /// a completed probe to the destination.
+    fn spawn_probes(&mut self, probe: Probe, out: &mut impl Outbox) {
+        let pos = probe.pos;
+        if pos == probe.chain.len() {
+            self.world.count_probe(probe.request, pos as u16, probe.budget);
+            let dest = probe.dest;
+            self.send(dest, Msg::Probe(probe), out);
+            return;
+        }
+        let mut candidates: Vec<ReplicaMeta> = probe.replica_lists[pos]
+            .iter()
+            .copied()
+            .filter(|m| !probe.path.contains(&m.peer) && m.peer != probe.dest)
+            .collect();
+        // Composite next-hop metric, runtime flavour: nearest first.
+        let me = self.me;
+        // total_cmp: a non-finite delay (impossible today, but NaN-safe by
+        // construction) sorts last instead of panicking.
+        candidates.sort_by(|a, b| {
+            self.world
+                .wan
+                .base_ms(me, a.peer)
+                .total_cmp(&self.world.wan.base_ms(me, b.peer))
+                .then_with(|| a.peer.cmp(&b.peer))
+        });
+        let k = (probe.budget.min(self.world.cfg.quota) as usize).min(candidates.len());
+        if k == 0 {
+            return; // probe dies; the destination window handles silence
+        }
+        let child_budget = (probe.budget / k as u32).max(1);
+        for meta in candidates.into_iter().take(k) {
+            let mut child = probe.clone();
+            child.pos = pos + 1;
+            child.path.push(meta.peer);
+            child.budget = child_budget;
+            child.acc_qos.accumulate(&QosVector::delay_loss(meta.function.processing_ms(), 0.0));
+            self.world.count_probe(probe.request, pos as u16, child_budget);
+            self.send(meta.peer, Msg::Probe(child), out);
+        }
+    }
+
+    fn on_probe(&mut self, probe: Probe, out: &mut impl Outbox) {
+        if probe.pos == probe.chain.len() && probe.dest == self.me {
+            if self.done_requests.contains(&probe.request) {
+                return; // stragglers after selection
+            }
+            let request = probe.request;
+            let window = self.world.cfg.collect_window_ms;
+            let job = self.dest_jobs.entry(request).or_insert_with(|| DestJob {
+                source: probe.source,
+                chain: probe.chain.clone(),
+                probes: Vec::new(),
+                timer_armed: false,
+            });
+            job.probes.push((probe.at_ms, probe));
+            if !job.timer_armed {
+                job.timer_armed = true;
+                out.timer(Msg::TimerCollect { request }, window);
+            }
+            return;
+        }
+        self.spawn_probes(probe, out);
+    }
+
+    fn on_collect(&mut self, request: u64, out: &mut impl Outbox) {
+        let Some(job) = self.dest_jobs.remove(&request) else { return };
+        self.done_requests.insert(request);
+        if job.probes.is_empty() {
+            self.send(
+                job.source,
+                Msg::SetupAck {
+                    session: request,
+                    path: Vec::new(),
+                    functions: job.chain,
+                    idx: usize::MAX,
+                    source: job.source,
+                    backups: Vec::new(),
+                    selected_ms: 0.0,
+                    at_ms: 0.0,
+                },
+                out,
+            );
+            return;
+        }
+        // Selection is a pure function of the collected probes' model
+        // arrival times: keep only probes within half the collect window
+        // of the earliest (probes past that margin may or may not have
+        // crossed the wall deadline, depending on transport noise — so
+        // they never count), then pick the earliest, tie-broken by path.
+        let mut probes = job.probes;
+        let min_at = probes.iter().map(|(at, _)| *at).fold(f64::INFINITY, f64::min);
+        let window = self.world.cfg.collect_window_ms;
+        probes.retain(|(at, _)| *at <= min_at + window * 0.5);
+        probes.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.path.cmp(&b.1.path)));
+        let best = probes[0].1.clone();
+        let mut backups: Vec<Vec<PeerId>> = Vec::new();
+        for (_, p) in probes.iter().skip(1) {
+            if p.path != best.path && !backups.contains(&p.path) {
+                backups.push(p.path.clone());
+            }
+        }
+        // The selection instant, in model time: the full collect window
+        // after the first probe landed.
+        let selected_ms = min_at + window;
+        let last = best.path.len() - 1;
+        let to = best.path[last];
+        self.send(
+            to,
+            Msg::SetupAck {
+                session: request,
+                path: best.path,
+                functions: best.chain,
+                idx: last,
+                source: best.source,
+                backups,
+                selected_ms,
+                at_ms: selected_ms,
+            },
+            out,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_setup_ack(
+        &mut self,
+        session: u64,
+        path: Vec<PeerId>,
+        functions: Vec<MediaFunction>,
+        idx: usize,
+        source: PeerId,
+        backups: Vec<Vec<PeerId>>,
+        selected_ms: f64,
+        at_ms: f64,
+        out: &mut impl Outbox,
+    ) {
+        // Initialize the local component for this session (soft state made
+        // firm), then keep walking toward the head of the path.
+        let (to, next_idx) = if idx == 0 { (source, usize::MAX) } else { (path[idx - 1], idx - 1) };
+        self.send(
+            to,
+            Msg::SetupAck { session, path, functions, idx: next_idx, source, backups, selected_ms, at_ms },
+            out,
+        );
+    }
+
+    // --- streaming ---------------------------------------------------
+
+    /// Starts a streaming session over an established composition.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_stream(
+        &mut self,
+        session: u64,
+        path: Vec<PeerId>,
+        functions: Vec<MediaFunction>,
+        backups: Vec<Vec<PeerId>>,
+        dest: PeerId,
+        frames: u64,
+        interval_ms: f64,
+        dims: (usize, usize),
+        out: &mut impl Outbox,
+    ) {
+        let mut paths = vec![path];
+        paths.extend(backups);
+        let n_backups = paths.len() - 1;
+        self.stream_jobs.insert(
+            session,
+            StreamJob {
+                paths,
+                backup_alive: vec![true; n_backups],
+                maintenance_pending: vec![false; n_backups],
+                maintenance_messages: 0,
+                functions,
+                dest,
+                remaining: frames,
+                interval_ms,
+                dims,
+                seq: 0,
+                delivered: 0,
+                all_valid: true,
+                delivery_digest: 0,
+                last_progress_ms: out.now_ms(),
+                switches: 0,
+                phase: StreamPhase::Sending,
+            },
+        );
+        out.timer(Msg::TimerStream { session }, 0.0);
+        if self.world.cfg.maintenance_period_ms > 0.0 {
+            out.timer(Msg::TimerMaintenance { session }, self.world.cfg.maintenance_period_ms);
+        }
+    }
+
+    fn on_stream_timer(&mut self, session: u64, out: &mut impl Outbox) {
+        let Some(job) = self.stream_jobs.get_mut(&session) else { return };
+        match job.phase {
+            StreamPhase::Draining => {
+                let job = self.stream_jobs.remove(&session).expect("present");
+                out.stream_report(StreamReport {
+                    session,
+                    sent: job.seq,
+                    delivered: job.delivered,
+                    all_valid: job.all_valid,
+                    switches: job.switches,
+                    maintenance_probes: job.maintenance_messages,
+                    final_path: job.paths.first().cloned().unwrap_or_default(),
+                    delivery_digest: job.delivery_digest,
+                });
+            }
+            StreamPhase::Sending => {
+                // Failover: no delivery ack for longer than the timeout
+                // while a backup exists. The baseline resets on switch so
+                // one broken path triggers one switch, not a cascade.
+                let now = out.now_ms();
+                if job.seq > 0
+                    && now - job.last_progress_ms > self.world.cfg.failover_timeout_ms
+                    && job.paths.len() > 1
+                {
+                    // Prefer the first backup the maintenance probes still
+                    // believe alive; fall back to blind order otherwise.
+                    let choice = job.backup_alive.iter().position(|&alive| alive).unwrap_or(0);
+                    let from = job.paths[0].first().map(|p| p.raw()).unwrap_or(0);
+                    let latency_ms = now - job.last_progress_ms;
+                    job.paths.remove(0);
+                    // Promote the chosen backup to the front; liveness
+                    // bookkeeping mirrors the path list (paths[i+1] ↔
+                    // backup_alive[i]).
+                    if choice > 0 && choice < job.paths.len() {
+                        let chosen = job.paths.remove(choice);
+                        job.paths.insert(0, chosen);
+                    }
+                    if choice < job.backup_alive.len() {
+                        job.backup_alive.remove(choice);
+                        job.maintenance_pending.remove(choice);
+                    }
+                    job.switches += 1;
+                    job.last_progress_ms = now;
+                    let to = job.paths[0].first().map(|p| p.raw()).unwrap_or(0);
+                    self.world.record(TraceEvent::BackupSwitch { session, from, to, latency_ms });
+                }
+                if job.remaining == 0 {
+                    job.phase = StreamPhase::Draining;
+                    let drain = job.interval_ms * 4.0 + 800.0;
+                    out.timer(Msg::TimerStream { session }, drain);
+                    return;
+                }
+                job.remaining -= 1;
+                job.seq += 1;
+                let seq = job.seq;
+                let frame = Frame::synthetic(job.dims.0, job.dims.1, seq);
+                let path = job.paths[0].clone();
+                let functions = job.functions.clone();
+                let dest = job.dest;
+                let dims = job.dims;
+                let interval = job.interval_ms;
+                let first = path[0];
+                let me = self.me;
+                self.send(
+                    first,
+                    Msg::StreamFrame {
+                        session,
+                        path,
+                        functions,
+                        idx: 0,
+                        dest,
+                        source: me,
+                        orig_dims: dims,
+                        frame,
+                        at_ms: 0.0,
+                    },
+                    out,
+                );
+                out.timer(Msg::TimerStream { session }, interval);
+            }
+        }
+    }
+
+    /// One maintenance round at the streaming source: probe every backup
+    /// path; a backup whose previous probe never returned is marked dead.
+    fn on_maintenance_timer(&mut self, session: u64, out: &mut impl Outbox) {
+        let period = self.world.cfg.maintenance_period_ms;
+        let Some(job) = self.stream_jobs.get_mut(&session) else { return };
+        if matches!(job.phase, StreamPhase::Draining) {
+            return; // stream ending: stop maintaining
+        }
+        let me = self.me;
+        let mut sends: Vec<(PeerId, Msg)> = Vec::new();
+        for (bi, path) in job.paths.iter().skip(1).enumerate() {
+            if bi >= job.maintenance_pending.len() {
+                break;
+            }
+            if job.maintenance_pending[bi] {
+                // Last round's probe never came back: declare dead until a
+                // late ack revives it.
+                job.backup_alive[bi] = false;
+            }
+            job.maintenance_pending[bi] = true;
+            job.maintenance_messages += 1;
+            if let Some(&first) = path.first() {
+                sends.push((
+                    first,
+                    Msg::PathProbe { session, path: path.clone(), idx: 0, origin: me, backup_idx: bi },
+                ));
+            }
+        }
+        for (to, msg) in sends {
+            self.send(to, msg, out);
+        }
+        out.timer(Msg::TimerMaintenance { session }, period);
+    }
+
+    /// Forwards a maintenance probe along a backup path; the last hop
+    /// returns the ack straight to the origin.
+    fn on_path_probe(
+        &mut self,
+        session: u64,
+        path: Vec<PeerId>,
+        idx: usize,
+        origin: PeerId,
+        backup_idx: usize,
+        out: &mut impl Outbox,
+    ) {
+        let next = idx + 1;
+        if next >= path.len() {
+            self.send(origin, Msg::PathProbeAck { session, backup_idx }, out);
+        } else {
+            let to = path[next];
+            self.send(to, Msg::PathProbe { session, path, idx: next, origin, backup_idx }, out);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_frame(
+        &mut self,
+        session: u64,
+        path: Vec<PeerId>,
+        functions: Vec<MediaFunction>,
+        idx: usize,
+        dest: PeerId,
+        source: PeerId,
+        orig_dims: (usize, usize),
+        frame: Frame,
+        at_ms: f64,
+        out: &mut impl Outbox,
+    ) {
+        if idx >= path.len() {
+            // Delivery: verify against the expected transform chain.
+            let expected = functions
+                .iter()
+                .fold(Frame::synthetic(orig_dims.0, orig_dims.1, frame.seq), |f, func| func.apply(&f));
+            let valid = expected == frame;
+            let seq = frame.seq;
+            let digest = frame.digest();
+            self.send(source, Msg::FrameAck { session, seq, valid, digest, at_ms }, out);
+            return;
+        }
+        // Apply this hop's transform and forward. `functions[idx]` is the
+        // function of `path[idx]`; backup paths host the same function
+        // sequence by construction.
+        let out_frame = functions[idx].apply(&frame);
+        let next_idx = idx + 1;
+        let to = if next_idx >= path.len() { dest } else { path[next_idx] };
+        self.send(
+            to,
+            Msg::StreamFrame {
+                session,
+                path,
+                functions,
+                idx: next_idx,
+                dest,
+                source,
+                orig_dims,
+                frame: out_frame,
+                at_ms,
+            },
+            out,
+        );
+    }
+}

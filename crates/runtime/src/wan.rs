@@ -9,7 +9,7 @@
 //! model-time numbers.
 
 use spidernet_util::id::PeerId;
-use spidernet_util::rng::{rng_for_indexed, Rng};
+use spidernet_util::rng::{rng_for_indexed, splitmix64, Rng};
 
 /// Deployment region of a peer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +89,25 @@ impl WanModel {
         base * (1.0 + rng.gen::<f64>() * self.jitter)
     }
 
+    /// Content-keyed message delay `a → b`, ms: the jitter factor is a
+    /// pure function of `(seed, a, b, salt)` rather than a draw from a
+    /// stateful stream. Two transports (or two runs) delivering the same
+    /// message between the same pair compute the same delay regardless of
+    /// scheduling order — the foundation of cross-transport determinism.
+    pub fn delay_keyed(&self, a: PeerId, b: PeerId, salt: u64) -> f64 {
+        let base = self.base_ms(a, b);
+        if base == 0.0 {
+            return 0.0;
+        }
+        let mut h = splitmix64(self.seed ^ 0x57414e5f44454c59); // "WAN_DELY"
+        h = splitmix64(h ^ a.raw());
+        h = splitmix64(h ^ b.raw().rotate_left(32));
+        h = splitmix64(h ^ salt);
+        // Top 53 bits → uniform in [0, 1), same construction as Rng's f64.
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        base * (1.0 + unit * self.jitter)
+    }
+
     /// A deterministic RNG for one peer's message stream.
     pub fn rng_for_peer(&self, p: PeerId) -> Rng {
         rng_for_indexed(self.seed, "wan", p.raw())
@@ -136,6 +155,24 @@ mod tests {
         let m = WanModel::new(4, 0.5, 3);
         let mut rng = m.rng_for_peer(PeerId::new(1));
         assert_eq!(m.sample_ms(PeerId::new(1), PeerId::new(1), &mut rng), 0.0);
+    }
+
+    #[test]
+    fn keyed_delays_are_pure_and_bounded() {
+        let m = WanModel::new(6, 0.4, 11);
+        let (a, b) = (PeerId::new(0), PeerId::new(1));
+        let base = m.base_ms(a, b);
+        for salt in 0..200u64 {
+            let d = m.delay_keyed(a, b, salt);
+            assert!(d >= base && d <= base * 1.4 + 1e-9);
+            // Pure: same inputs, same output.
+            assert_eq!(d, m.delay_keyed(a, b, salt));
+        }
+        // Different salts actually vary the jitter.
+        assert_ne!(m.delay_keyed(a, b, 1), m.delay_keyed(a, b, 2));
+        // Direction matters (one-way paths jitter independently).
+        assert_ne!(m.delay_keyed(a, b, 1), m.delay_keyed(b, a, 1));
+        assert_eq!(m.delay_keyed(a, a, 9), 0.0);
     }
 
     #[test]

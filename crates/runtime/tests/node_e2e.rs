@@ -1,0 +1,203 @@
+//! End-to-end tests of the socket transport: real `spidernet-node`
+//! processes on loopback TCP, compared against the in-process cluster.
+
+use spidernet_runtime::msg::{Msg, Probe, ReplicaMeta};
+use spidernet_runtime::net::{deploy, DeployConfig};
+use spidernet_runtime::{Cluster, MediaFunction};
+use spidernet_dht::NodeId;
+use spidernet_util::id::PeerId;
+use spidernet_util::qos::QosVector;
+use spidernet_util::res::ResourceVector;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn node_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_spidernet-node"))
+}
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+/// The headline smoke test: an 8-process loopback deployment produces the
+/// same composition (path, backups, model-time metrics bit-for-bit) and
+/// the same delivered pixels (order-independent digest) as the in-process
+/// cluster built from the identical config and seed.
+#[test]
+fn socket_deploy_matches_in_process_cluster() {
+    let cfg = DeployConfig::standard(8, 42, node_exe());
+    let cluster_cfg = cfg.cluster.clone();
+    let (source, dest) = (cfg.source, cfg.dest);
+    let (chain, budget) = (cfg.chain.clone(), cfg.budget);
+    let (frames, interval_ms, dims) = (cfg.frames, cfg.interval_ms, cfg.dims);
+
+    let outcome = deploy(cfg).expect("loopback deployment completes");
+    assert!(outcome.setup.ok, "socket composition succeeds");
+    assert_eq!(outcome.report.sent, frames);
+    assert_eq!(outcome.report.delivered, frames, "no faults: every frame lands");
+    assert!(outcome.report.all_valid, "delivered frames match the transform chain");
+
+    let cluster = Cluster::start(cluster_cfg);
+    let setup = cluster
+        .compose(source, dest, chain, budget, TIMEOUT)
+        .expect("in-process composition completes");
+    assert!(setup.ok);
+
+    // The composition outcome is a pure function of message content, so
+    // both transports agree exactly — including the f64 metric bits.
+    let path: Vec<u64> = setup.path.iter().map(|p| p.raw()).collect();
+    assert_eq!(outcome.setup.path, path, "selected path matches");
+    let backups: Vec<Vec<u64>> =
+        setup.backups.iter().map(|b| b.iter().map(|p| p.raw()).collect()).collect();
+    assert_eq!(outcome.setup.backups, backups, "backup paths match");
+    for (name, socket, inproc) in [
+        ("discovery", outcome.setup.discovery_ms, setup.discovery_ms),
+        ("probing", outcome.setup.probing_ms, setup.probing_ms),
+        ("init", outcome.setup.init_ms, setup.init_ms),
+        ("total", outcome.setup.total_ms, setup.total_ms),
+    ] {
+        assert_eq!(
+            socket.to_bits(),
+            inproc.to_bits(),
+            "{name} metric differs: socket {socket} vs in-process {inproc}"
+        );
+    }
+
+    let report = cluster
+        .stream(source, &setup, frames, interval_ms, (dims.0 as usize, dims.1 as usize), TIMEOUT)
+        .expect("in-process stream completes");
+    assert_eq!(report.delivered, frames);
+    assert!(report.all_valid);
+    assert_eq!(
+        outcome.report.delivery_digest, report.delivery_digest,
+        "delivered frame pixels are byte-identical across transports"
+    );
+}
+
+/// Killing the primary path's head mid-stream forces a proactive switch
+/// to a probed backup path — no reactive recomposition.
+#[test]
+fn kill_primary_switches_to_backup() {
+    let mut cfg = DeployConfig::standard(8, 7, node_exe());
+    cfg.kill_primary = true;
+    let outcome = deploy(cfg).expect("deployment survives the kill");
+    assert!(outcome.setup.ok);
+    assert!(outcome.report.switches >= 1, "backup switchover happened");
+    assert!(outcome.report.delivered > 0, "frames kept flowing after the kill");
+    assert!(outcome.report.all_valid, "post-switch frames still transform correctly");
+    assert_ne!(
+        outcome.report.final_path.first(),
+        outcome.setup.path.first(),
+        "the final path no longer starts at the killed peer"
+    );
+}
+
+/// Two deployments with the same seed report the same fingerprint: the
+/// selected path, backups, model-time metrics, and delivered pixels are
+/// all reproducible even though wall-clock scheduling differs.
+#[test]
+fn deploy_fingerprint_is_deterministic() {
+    let a = deploy(DeployConfig::standard(8, 1234, node_exe())).expect("first run");
+    let b = deploy(DeployConfig::standard(8, 1234, node_exe())).expect("second run");
+    assert_eq!(a.fingerprint, b.fingerprint, "same seed, same outcome");
+}
+
+/// `NetFaultConfig` means the same thing in both deployments: the socket
+/// transport drops droppable traffic at the sender's network layer, the
+/// protocol rides out the loss, and the drop counters move in both.
+#[test]
+fn fault_injection_applies_in_both_transports() {
+    // Message loss sits on the composition critical path (a dropped DHT
+    // reply fails that setup, by design — see the in-process
+    // `lossy_network_degrades_without_wedging`), so any individual
+    // deployment may legitimately fail to compose. Retry across seeds;
+    // what must hold is that a lossy deployment can still complete and
+    // that the drop counters move in BOTH transports.
+    let mut outcome = None;
+    let mut cluster_cfg = None;
+    for seed in [5u64, 105, 205, 305] {
+        let mut cfg = DeployConfig::standard(8, seed, node_exe());
+        cfg.cluster.faults.drop_prob = 0.04;
+        cfg.cluster.faults.extra_delay_ms = 30.0;
+        cluster_cfg = Some(cfg.cluster.clone());
+        if let Ok(o) = deploy(cfg) {
+            outcome = Some(o);
+            break;
+        }
+    }
+    let outcome = outcome.expect("a lossy deployment completed within four attempts");
+    assert!(outcome.setup.ok, "composition succeeds despite loss");
+    assert!(outcome.report.delivered > 0);
+    let socket_dropped: u64 = outcome.stats.iter().map(|s| s.msgs_dropped).sum();
+    assert!(socket_dropped > 0, "socket transport dropped droppable traffic");
+
+    // Same fault config in the in-process transport: setups may fail, but
+    // the injector must fire on the same message classes.
+    let cluster = Cluster::start(cluster_cfg.expect("at least one attempt ran"));
+    let chain = vec![MediaFunction::ALL[0], MediaFunction::ALL[1]];
+    for _ in 0..3 {
+        let _ = cluster.compose(PeerId::new(2), PeerId::new(3), chain.clone(), 8, TIMEOUT);
+        if cluster.messages_dropped() > 0 {
+            break;
+        }
+    }
+    assert!(cluster.messages_dropped() > 0, "in-process transport dropped traffic too");
+}
+
+/// Every wire-expressible runtime message keeps its fault-injection class
+/// through the conversion: `Msg::droppable` and `WireMsg::droppable`
+/// agree, so a fault config selects the same traffic in both transports.
+#[test]
+fn droppable_class_survives_wire_conversion() {
+    let meta = ReplicaMeta { peer: PeerId::new(3), function: MediaFunction::ALL[0] };
+    let msgs = vec![
+        Msg::DhtLookup { query: 9, key: NodeId::new(7), origin: PeerId::new(1), hops: 2, at_ms: 10.0 },
+        Msg::DhtReply { query: 9, metas: vec![meta], at_ms: 20.0 },
+        Msg::Register {
+            key: NodeId::new(7),
+            replica: meta,
+            qos: QosVector::delay_loss(5.0, 0.0),
+            res: ResourceVector::new(1.0, 1.0),
+            hops: 0,
+        },
+        Msg::Probe(Probe {
+            request: 1,
+            source: PeerId::new(0),
+            dest: PeerId::new(3),
+            chain: vec![MediaFunction::ALL[0]],
+            replica_lists: vec![vec![meta]],
+            pos: 0,
+            path: vec![],
+            budget: 4,
+            acc_qos: QosVector::zeros(2),
+            at_ms: 1.0,
+        }),
+        Msg::SetupAck {
+            session: 1,
+            path: vec![PeerId::new(2)],
+            functions: vec![MediaFunction::ALL[0]],
+            idx: 0,
+            source: PeerId::new(0),
+            backups: vec![],
+            selected_ms: 50.0,
+            at_ms: 60.0,
+        },
+        Msg::FrameAck { session: 1, seq: 3, valid: true, digest: 99, at_ms: 70.0 },
+        Msg::PathProbe {
+            session: 1,
+            path: vec![PeerId::new(4)],
+            idx: 0,
+            origin: PeerId::new(0),
+            backup_idx: 0,
+        },
+        Msg::PathProbeAck { session: 1, backup_idx: 0 },
+    ];
+    for msg in msgs {
+        let wire = msg.to_wire().expect("wire-expressible variant");
+        assert_eq!(
+            msg.droppable(),
+            wire.droppable(),
+            "droppable class must survive conversion: {wire:?}"
+        );
+        let back = Msg::from_wire(&wire).expect("round-trips");
+        assert_eq!(back.droppable(), msg.droppable());
+    }
+}

@@ -86,6 +86,25 @@ pub enum TraceEvent {
         /// True if the session needed a reactive re-composition.
         reactive: bool,
     },
+    /// A transport connection to a peer was established (socket
+    /// deployments: outbound TCP dial + handshake completed).
+    ConnOpened {
+        /// The remote peer.
+        peer: u64,
+    },
+    /// A transport connection was torn down (write failure, EOF, or the
+    /// peer was declared unreachable).
+    ConnClosed {
+        /// The remote peer.
+        peer: u64,
+    },
+    /// A dial attempt to a peer failed and will be retried with backoff.
+    ConnRetry {
+        /// The remote peer.
+        peer: u64,
+        /// Zero-based attempt number that failed.
+        attempt: u32,
+    },
     /// An optimal-baseline enumeration finished, summarizing how much of
     /// the candidate combo space branch-and-bound pruning cut away.
     BaselinePruned {

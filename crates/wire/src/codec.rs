@@ -1,0 +1,297 @@
+//! Primitive little-endian readers/writers plus wire forms for the
+//! shared util value types (ids, QoS vectors, resource vectors).
+//!
+//! Every multi-byte integer travels little-endian; `f64`s travel as their
+//! IEEE-754 bit pattern so values round-trip bit-exactly. Collections are
+//! length-prefixed (`u32`) and bounded — a decoder never trusts a length
+//! prefix further than [`MAX_ELEMS`] elements or the frame's own payload.
+
+use crate::error::WireError;
+use spidernet_util::qos::QosVector;
+use spidernet_util::res::{ResourceKind, ResourceVector};
+
+/// Ceiling on any single length-prefixed collection (replica lists,
+/// paths, pixel buffers use their own [`MAX_PIXEL_BYTES`]).
+pub const MAX_ELEMS: u32 = 1 << 20;
+
+/// Ceiling on one frame's pixel payload (16 MiB ≈ a 4096×4096 frame).
+pub const MAX_PIXEL_BYTES: u32 = 1 << 24;
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Append-only payload writer over a caller-owned buffer.
+pub struct Writer<'a> {
+    buf: &'a mut Vec<u8>,
+}
+
+impl<'a> Writer<'a> {
+    /// Wraps `buf`; written bytes are appended.
+    pub fn new(buf: &'a mut Vec<u8>) -> Self {
+        Writer { buf }
+    }
+
+    /// Bytes written so far (including anything already in the buffer).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u128`.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// IEEE-754 bit pattern, little-endian.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Canonical bool byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Raw bytes with a `u32` length prefix.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// `u32` length prefix followed by one `u64` per element.
+    pub fn u64s(&mut self, v: &[u64]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    /// A QoS vector: `u32` dimension count + per-dimension `f64`s.
+    pub fn qos(&mut self, q: &QosVector) {
+        self.u32(q.dims() as u32);
+        for &v in q.values() {
+            self.f64(v);
+        }
+    }
+
+    /// A resource vector: fixed [`ResourceKind::COUNT`] `f64`s (no prefix
+    /// — the shape is a protocol constant).
+    pub fn res(&mut self, r: &ResourceVector) {
+        for kind in ResourceKind::ALL {
+            self.f64(r[kind]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// Bounds-checked payload reader.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Unconsumed bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Malformed("payload overrun"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, WireError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// IEEE-754 bit pattern, little-endian.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Canonical bool byte; anything but 0/1 is malformed.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("non-canonical bool")),
+        }
+    }
+
+    /// A `u32` collection length, validated against [`MAX_ELEMS`] and
+    /// against the bytes actually remaining (`min_elem_size` bytes per
+    /// element at minimum).
+    pub fn elems(&mut self, min_elem_size: usize) -> Result<usize, WireError> {
+        let n = self.u32()?;
+        if n > MAX_ELEMS {
+            return Err(WireError::Malformed("collection length over limit"));
+        }
+        let n = n as usize;
+        if n.saturating_mul(min_elem_size.max(1)) > self.remaining() {
+            return Err(WireError::Malformed("collection length exceeds payload"));
+        }
+        Ok(n)
+    }
+
+    /// Length-prefixed raw bytes (pixel buffers), capped by
+    /// [`MAX_PIXEL_BYTES`].
+    pub fn pixel_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()?;
+        if n > MAX_PIXEL_BYTES {
+            return Err(WireError::Malformed("pixel buffer over limit"));
+        }
+        Ok(self.take(n as usize)?.to_vec())
+    }
+
+    /// Length-prefixed `u64` list.
+    pub fn u64s(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.elems(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    /// A QoS vector (see [`Writer::qos`]).
+    pub fn qos(&mut self) -> Result<QosVector, WireError> {
+        let n = self.elems(8)?;
+        let mut vals = Vec::with_capacity(n);
+        for _ in 0..n {
+            vals.push(self.f64()?);
+        }
+        Ok(QosVector::from_values(vals))
+    }
+
+    /// A resource vector (see [`Writer::res`]).
+    pub fn res(&mut self) -> Result<ResourceVector, WireError> {
+        let cpu = self.f64()?;
+        let mem = self.f64()?;
+        Ok(ResourceVector::new(cpu, mem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.u128(u128::MAX / 3);
+        w.f64(-1234.5e-9);
+        w.bool(true);
+        w.u64s(&[1, 2, 3]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.f64().unwrap(), -1234.5e-9);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u64s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn qos_and_res_round_trip() {
+        let q = QosVector::from_values(vec![12.5, 0.03, 7.0]);
+        let res = ResourceVector::new(4.0, 512.0);
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        w.qos(&q);
+        w.res(&res);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.qos().unwrap(), q);
+        assert_eq!(r.res().unwrap(), res);
+    }
+
+    #[test]
+    fn overrun_is_malformed_not_panic() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u64().unwrap_err(), WireError::Malformed("payload overrun"));
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected() {
+        // A length prefix claiming 2^30 elements over a 4-byte payload.
+        let mut buf = Vec::new();
+        Writer::new(&mut buf).u32(1 << 30);
+        assert!(Reader::new(&buf).u64s().is_err());
+        // Over MAX_ELEMS even if bytes were present.
+        let mut buf = Vec::new();
+        Writer::new(&mut buf).u32(MAX_ELEMS + 1);
+        assert!(Reader::new(&buf).elems(0).is_err());
+    }
+
+    #[test]
+    fn non_canonical_bool_rejected() {
+        let mut r = Reader::new(&[2]);
+        assert_eq!(r.bool().unwrap_err(), WireError::Malformed("non-canonical bool"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Typed decode failures.
+//!
+//! The decoder never panics on adversarial input: every malformed byte
+//! stream maps to one of these variants so transports can decide between
+//! "wait for more bytes" ([`WireError::Truncated`]) and "poison the
+//! connection" (everything else).
+
+use std::fmt;
+
+/// Why a byte stream failed to decode into a [`crate::WireMsg`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame did not start with the `SPDR` magic.
+    BadMagic([u8; 4]),
+    /// The frame's protocol version is not one this build speaks.
+    UnsupportedVersion(u16),
+    /// The frame-type byte names no known message.
+    UnknownFrameType(u8),
+    /// The buffer ends before the frame does; at least `needed` more
+    /// bytes are required. Recoverable: feed more bytes and retry.
+    Truncated {
+        /// Additional bytes required before a decode can succeed.
+        needed: usize,
+    },
+    /// The length prefix exceeds the protocol's payload ceiling.
+    Oversized {
+        /// Claimed payload length.
+        len: u64,
+        /// Maximum the protocol permits.
+        max: u64,
+    },
+    /// The payload parsed but left unconsumed bytes behind.
+    TrailingBytes {
+        /// Unconsumed payload bytes.
+        extra: usize,
+    },
+    /// The payload violated a structural invariant (bad bool byte,
+    /// element count over limit, inner overrun, …).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownFrameType(k) => write!(f, "unknown frame type {k}"),
+            WireError::Truncated { needed } => {
+                write!(f, "truncated frame: need >= {needed} more bytes")
+            }
+            WireError::Oversized { len, max } => {
+                write!(f, "oversized frame: payload {len} exceeds {max}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "frame payload has {extra} trailing bytes")
+            }
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// True when feeding more bytes could turn the failure into a
+    /// successful decode (the stream itself is not poisoned).
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, WireError::Truncated { .. })
+    }
+}

@@ -1,0 +1,29 @@
+//! SpiderNet's wire protocol: a versioned, length-prefixed binary codec
+//! for the full peer-to-peer message set — DHT lookup/reply/register,
+//! BCP composition probes, session setup acks, maintenance keepalives,
+//! media frames, and the control plane the deploy orchestrator speaks.
+//!
+//! The crate is transport-agnostic and dependency-free: it maps
+//! [`WireMsg`] values to byte frames and back, nothing more. The socket
+//! daemon in `spidernet-runtime` layers TCP connections on top; the
+//! in-process cluster bypasses it entirely (its channel "wire" carries
+//! the runtime `Msg` type directly). Conversions between the two message
+//! types live in the runtime, keeping this crate free of `SyncSender`
+//! handles and `Arc` frames that can never serialize.
+//!
+//! See `DESIGN.md` §12 for the frame layout and version-negotiation
+//! rules in one table.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod msg;
+
+pub use codec::{Reader, Writer, MAX_ELEMS, MAX_PIXEL_BYTES};
+pub use error::WireError;
+pub use msg::{
+    decode, encode, encode_to_vec, negotiate, FrameDecoder, WireMsg, WirePixels, WireProbe,
+    WireReplica, WireSetup, WireStats, WireStreamReport, CONTROL_PEER, HEADER_LEN, MAGIC,
+    MAX_PAYLOAD, PROTO_VERSION,
+};

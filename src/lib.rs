@@ -16,3 +16,4 @@ pub use spidernet_runtime as runtime;
 pub use spidernet_sim as sim;
 pub use spidernet_topology as topology;
 pub use spidernet_util as util;
+pub use spidernet_wire as wire;

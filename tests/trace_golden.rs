@@ -34,6 +34,9 @@ fn render(ev: &TraceEvent) -> String {
         TraceEvent::BaselinePruned { examined, pruned, .. } => {
             format!("baseline e{examined} p{pruned}")
         }
+        TraceEvent::ConnOpened { peer } => format!("conn+ p{peer}"),
+        TraceEvent::ConnClosed { peer } => format!("conn- p{peer}"),
+        TraceEvent::ConnRetry { peer, attempt } => format!("connr p{peer} a{attempt}"),
     }
 }
 
