@@ -4,10 +4,13 @@
 //! the way a TCP read loop does.
 //!
 //! ```text
-//! cargo run --release --bin wirebench [--csv]
+//! cargo run --release --bin wirebench [--csv] [--json]
 //! ```
+//!
+//! `--json` additionally writes `BENCH_wire.json` with per-shape
+//! encode/decode MB/s for regression tracking.
 
-use spidernet_bench::csv_requested;
+use spidernet_bench::{csv_requested, json_requested, BenchBlock, BenchReport};
 use spidernet_util::qos::QosVector;
 use spidernet_wire::{
     encode_to_vec, FrameDecoder, WireMsg, WirePixels, WireProbe, WireReplica,
@@ -159,5 +162,23 @@ fn main() {
         let _ = fps;
     } else {
         println!("\nFrameDecoder over 16 KiB chunks (64x64 frames): {fps:.0} frames/s, {mbs:.1} MB/s");
+    }
+
+    if json_requested() {
+        let mut rep = BenchReport::new("wire");
+        for r in &rows {
+            let mut b = BenchBlock::new();
+            b.int("bytes_per_msg", r.bytes_per_msg as u64)
+                .num("encode_mmsgs_per_sec", r.encode_mps)
+                .num("decode_mmsgs_per_sec", r.decode_mps)
+                .num("encode_mb_per_sec", r.encode_mbs)
+                .num("decode_mb_per_sec", r.decode_mbs);
+            rep.nested(r.name, &b);
+        }
+        let mut stream = BenchBlock::new();
+        stream.num("frames_per_sec", fps).num("decode_mb_per_sec", mbs);
+        rep.nested("stream_decoder_64x64", &stream);
+        let path = rep.write().expect("write BENCH_wire.json");
+        println!("wirebench: wrote {}", path.display());
     }
 }

@@ -92,6 +92,58 @@ pub fn time_seq_par<T>(mut run_with_threads: impl FnMut(usize) -> T) -> (f64, f6
     (sequential, parallel, threads, out)
 }
 
+/// Peak resident set size of this process in bytes (Linux `VmHWM` from
+/// `/proc/self/status`), or `None` where that interface is unavailable.
+/// VmHWM is the high-water mark, so sampling once at the end of a run
+/// captures the run's true memory footprint.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// An insertion-ordered JSON object nested one level inside a
+/// [`BenchReport`] (e.g. the `scale` block in `BENCH_fig8.json`).
+#[derive(Default)]
+pub struct BenchBlock {
+    fields: Vec<(String, String)>,
+}
+
+impl BenchBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, v: u64) -> &mut Self {
+        self.fields.push((key.to_owned(), v.to_string()));
+        self
+    }
+
+    /// Adds a float field, rendered with four decimal places.
+    pub fn num(&mut self, key: &str, v: f64) -> &mut Self {
+        self.fields.push((key.to_owned(), format!("{v:.4}")));
+        self
+    }
+
+    /// Renders the block as a JSON object whose closing brace sits at the
+    /// parent report's two-space field indent.
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            s.push_str("    \"");
+            s.push_str(k);
+            s.push_str("\": ");
+            s.push_str(v);
+            s.push_str(if i + 1 == self.fields.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("  }");
+        s
+    }
+}
+
 /// An insertion-ordered flat JSON report written as `BENCH_<fig>.json`.
 pub struct BenchReport {
     name: String,
@@ -115,6 +167,13 @@ impl BenchReport {
     /// Adds a float field, rendered with four decimal places.
     pub fn num(&mut self, key: &str, v: f64) -> &mut Self {
         self.fields.push((key.to_owned(), format!("{v:.4}")));
+        self
+    }
+
+    /// Adds a nested object field (rendered inline at the key's
+    /// insertion-order position).
+    pub fn nested(&mut self, key: &str, block: &BenchBlock) -> &mut Self {
+        self.fields.push((key.to_owned(), block.to_json()));
         self
     }
 
@@ -181,6 +240,24 @@ mod tests {
         assert!(json.contains("\"figure\": \"figX\""));
         assert!(json.contains("\"trials\": 10,"));
         assert!(json.contains("\"parallel_secs\": 1.2500\n"));
+    }
+
+    #[test]
+    fn nested_block_renders_inside_the_report() {
+        let mut scale = BenchBlock::new();
+        scale.int("peers", 100_000).num("probes_per_sec", 123.5);
+        let mut rep = BenchReport::new("fig8");
+        rep.int("trials", 2).nested("scale", &scale);
+        let json = rep.to_json();
+        assert!(json.contains("\"scale\": {\n"));
+        assert!(json.contains("    \"peers\": 100000,\n"));
+        assert!(json.contains("    \"probes_per_sec\": 123.5000\n  }"));
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        let rss = peak_rss_bytes().expect("VmHWM available on Linux");
+        assert!(rss > 1024 * 1024, "peak RSS implausibly small: {rss}");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::model::component::Registry;
 use crate::model::request::CompositionRequest;
 use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
 use crate::paths::PathTable;
-use crate::selection::{evaluate, is_qualified, merge_branches, select_best};
+use crate::selection::{evaluate_with, is_qualified, merge_branches, select_best, GraphEvalScratch};
 use crate::state::{OverlayState, SoftToken};
 use crate::trust::TrustManager;
 use spidernet_dht::{PastryNetwork, ServiceDirectory};
@@ -337,11 +337,12 @@ impl BcpEngine<'_> {
             if replica_lists.contains_key(&f) {
                 continue;
             }
-            let name = self.reg.catalog().name(f).to_owned();
+            let reg = self.reg;
+            let name = reg.catalog().name(f);
             let mut transport = |a: PeerId, b: PeerId| self.paths.delay(self.overlay, a, b);
             let (metas, route) = self
                 .directory
-                .lookup(self.pastry, req.source, &name, &mut transport, &mut self.obs.trace)
+                .lookup(self.pastry, req.source, name, &mut transport, &mut self.obs.trace)
                 .ok_or_else(|| Error::Network("source is not a DHT member".into()))?;
             stats.dht_lookups += 1;
             stats.dht_messages += route.hops() as u64 + 1; // query hops + reply
@@ -351,7 +352,7 @@ impl BcpEngine<'_> {
             discovery_ms = discovery_ms.max(2.0 * route.latency_ms);
             let list: Vec<ComponentId> = metas.iter().map(|m| m.component).collect();
             if list.is_empty() {
-                return Err(Error::UnknownFunction(name));
+                return Err(Error::UnknownFunction(name.to_owned()));
             }
             replica_lists.insert(f, list);
         }
@@ -389,6 +390,10 @@ impl BcpEngine<'_> {
         let patterns = req.function_graph.patterns();
         let per_pattern_budget = (cfg.budget / patterns.len() as u32).max(1);
         let mut candidates: Vec<(ServiceGraph, GraphEval)> = Vec::new();
+        // One evaluation scratch for the whole compose: the merged-candidate
+        // loop is the hot spot, and per-candidate map/Vec churn there costs
+        // more than the evaluation arithmetic itself.
+        let mut eval_scratch = GraphEvalScratch::new();
 
         for pattern in &patterns {
             let branch_paths = pattern.branch_paths();
@@ -431,19 +436,23 @@ impl BcpEngine<'_> {
                 self.state.release_soft(t, &mut self.obs.trace);
             }
 
+            eval_scratch.set_pattern(pattern);
             for assignment in merged {
-                let graph =
-                    ServiceGraph::new(req.source, req.dest, pattern.clone(), assignment);
-                let eval = evaluate(
-                    &graph,
+                let eval = evaluate_with(
+                    req.source,
+                    req.dest,
+                    &assignment,
                     req,
                     self.reg,
                     self.overlay,
                     self.state,
                     self.paths,
                     self.weights,
+                    &mut eval_scratch,
                 );
                 if is_qualified(&eval, req) {
+                    let graph =
+                        ServiceGraph::new(req.source, req.dest, pattern.clone(), assignment);
                     candidates.push((graph, eval));
                 }
             }
@@ -560,10 +569,11 @@ impl BcpEngine<'_> {
         // Per-hop DHT lookup mode: pay the lookup from the current peer.
         let mut lookup_latency = 0.0;
         if cfg.lookup == LookupMode::PerHop && pos > 0 {
-            let name = self.reg.catalog().name(function).to_owned();
+            let reg = self.reg;
+            let name = reg.catalog().name(function);
             let mut transport = |a: PeerId, b: PeerId| self.paths.delay(self.overlay, a, b);
             if let Some((_, route)) =
-                self.directory.lookup(self.pastry, at_peer, &name, &mut transport, &mut self.obs.trace)
+                self.directory.lookup(self.pastry, at_peer, name, &mut transport, &mut self.obs.trace)
             {
                 stats.dht_lookups += 1;
                 stats.dht_messages += route.hops() as u64 + 1;

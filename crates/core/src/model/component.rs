@@ -102,8 +102,11 @@ impl FunctionCatalog {
 #[derive(Clone, Debug, Default)]
 pub struct Registry {
     components: Vec<ServiceComponent>,
-    by_function: HashMap<FunctionId, Vec<ComponentId>>,
-    by_peer: HashMap<PeerId, Vec<ComponentId>>,
+    // Dense indices keyed by FunctionId / PeerId raw value; rows append in
+    // add() order, so slices read back exactly as the old hash-map variant
+    // populated them.
+    by_function: Vec<Vec<ComponentId>>,
+    by_peer: Vec<Vec<ComponentId>>,
     catalog: FunctionCatalog,
 }
 
@@ -128,8 +131,16 @@ impl Registry {
     pub fn add(&mut self, mut proto: ServiceComponent) -> ComponentId {
         let id = ComponentId::from(self.components.len());
         proto.id = id;
-        self.by_function.entry(proto.function).or_default().push(id);
-        self.by_peer.entry(proto.peer).or_default().push(id);
+        let fi = proto.function.index();
+        if fi >= self.by_function.len() {
+            self.by_function.resize_with(fi + 1, Vec::new);
+        }
+        self.by_function[fi].push(id);
+        let pi = proto.peer.index();
+        if pi >= self.by_peer.len() {
+            self.by_peer.resize_with(pi + 1, Vec::new);
+        }
+        self.by_peer[pi].push(id);
         self.components.push(proto);
         id
     }
@@ -143,12 +154,12 @@ impl Registry {
     /// All functionally duplicated components providing `f` — the paper's
     /// Z_k replicas.
     pub fn replicas(&self, f: FunctionId) -> &[ComponentId] {
-        self.by_function.get(&f).map(Vec::as_slice).unwrap_or(&[])
+        self.by_function.get(f.index()).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Components hosted on `peer`.
     pub fn on_peer(&self, peer: PeerId) -> &[ComponentId] {
-        self.by_peer.get(&peer).map(Vec::as_slice).unwrap_or(&[])
+        self.by_peer.get(peer.index()).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Total number of components.

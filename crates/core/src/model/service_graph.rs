@@ -136,17 +136,7 @@ impl ServiceGraph {
     /// All service links: source → entry nodes, dependency edges, exit
     /// nodes → destination.
     pub fn service_links(&self) -> Vec<ServiceLink> {
-        let mut links = Vec::with_capacity(self.pattern.deps().len() + 2);
-        for e in self.pattern.entry_nodes() {
-            links.push(ServiceLink { from: LinkEnd::Source, to: LinkEnd::Node(e) });
-        }
-        for &(a, b) in self.pattern.deps() {
-            links.push(ServiceLink { from: LinkEnd::Node(a), to: LinkEnd::Node(b) });
-        }
-        for x in self.pattern.exit_nodes() {
-            links.push(ServiceLink { from: LinkEnd::Node(x), to: LinkEnd::Dest });
-        }
-        links
+        pattern_service_links(&self.pattern)
     }
 
     /// Resolves a link end to its peer.
@@ -198,6 +188,25 @@ impl ServiceGraph {
         }
         1.0 - per_peer.values().map(|p| 1.0 - p).product::<f64>()
     }
+}
+
+/// The service links induced by a pattern alone: source → entry nodes,
+/// dependency edges, exit nodes → destination. Equal to
+/// [`ServiceGraph::service_links`] for any graph over the pattern, which
+/// lets hot evaluation loops compute the link set once per pattern rather
+/// than once per candidate assignment.
+pub fn pattern_service_links(pattern: &FunctionGraph) -> Vec<ServiceLink> {
+    let mut links = Vec::with_capacity(pattern.deps().len() + 2);
+    for e in pattern.entry_nodes() {
+        links.push(ServiceLink { from: LinkEnd::Source, to: LinkEnd::Node(e) });
+    }
+    for &(a, b) in pattern.deps() {
+        links.push(ServiceLink { from: LinkEnd::Node(a), to: LinkEnd::Node(b) });
+    }
+    for x in pattern.exit_nodes() {
+        links.push(ServiceLink { from: LinkEnd::Node(x), to: LinkEnd::Dest });
+    }
+    links
 }
 
 #[cfg(test)]

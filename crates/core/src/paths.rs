@@ -14,7 +14,11 @@ use spidernet_util::id::PeerId;
 /// Per-source shortest-path cache over the overlay graph, fronted by a
 /// symmetric per-pair delay memo so hot leg lookups (baseline enumeration,
 /// BCP leg pricing) skip the tree walk entirely.
-#[derive(Default)]
+///
+/// In the geometric (scale) overlay mode every query is answered in O(1)
+/// from coordinates — no SSSP tree or pair memo is ever built, which is
+/// what lets one machine hold 10^5–10^6 peers.
+#[derive(Clone, Debug, Default)]
 pub struct PathTable {
     cache: FxHashMap<PeerId, PathResult>,
     pairs: PairDelayCache,
@@ -42,6 +46,9 @@ impl PathTable {
         if from == to {
             return 0.0;
         }
+        if let Some(d) = overlay.direct_delay(from, to) {
+            return d;
+        }
         if let Some(d) = self.pairs.get(from.index(), to.index()) {
             return d;
         }
@@ -56,15 +63,60 @@ impl PathTable {
         if from == to {
             return Some(vec![from]);
         }
+        if overlay.is_geo() {
+            // Geo paths are direct: every pair is one overlay hop, and
+            // bandwidth for that hop is charged at the endpoints' access
+            // links by the state layer.
+            return Some(vec![from, to]);
+        }
         self.sssp(overlay, from)
             .path_to(to.index())
             .map(|p| p.into_iter().map(PeerId::from).collect())
+    }
+
+    /// Writes the overlay peer path `from → to` (inclusive of both
+    /// endpoints) into `buf`, clearing it first; returns `false` if the
+    /// pair is disconnected. Hop-for-hop identical to
+    /// [`PathTable::peer_path`] without the per-call allocations — the hot
+    /// candidate-evaluation loop calls this once per service link.
+    pub fn peer_path_into(
+        &mut self,
+        overlay: &Overlay,
+        from: PeerId,
+        to: PeerId,
+        buf: &mut Vec<PeerId>,
+    ) -> bool {
+        buf.clear();
+        if from == to {
+            buf.push(from);
+            return true;
+        }
+        if overlay.is_geo() {
+            buf.push(from);
+            buf.push(to);
+            return true;
+        }
+        let res = self.sssp(overlay, from);
+        if res.delay_to(to.index()).is_infinite() {
+            return false;
+        }
+        let mut cur = to.index();
+        buf.push(to);
+        while let Some(p) = res.prev_of(cur) {
+            buf.push(PeerId::from(p));
+            cur = p;
+        }
+        buf.reverse();
+        true
     }
 
     /// Static bottleneck capacity of the path `from → to`, Mbit/s.
     pub fn bottleneck(&mut self, overlay: &Overlay, from: PeerId, to: PeerId) -> Option<f64> {
         if from == to {
             return Some(f64::INFINITY);
+        }
+        if overlay.is_geo() {
+            return overlay.route_bottleneck(from, to);
         }
         // Borrow dance: compute the path first, then inspect edges.
         let path = self.peer_path(overlay, from, to)?;
@@ -109,6 +161,13 @@ impl PathTable {
     /// Number of memoized point-to-point delay pairs.
     pub fn cached_pairs(&self) -> usize {
         self.pairs.len()
+    }
+
+    /// Pair-memo inserts refused because the memo was at capacity. Feeds
+    /// the `topology.pair_cache_evictions` counter so a saturated memo
+    /// (silent until now) is visible in exported metrics.
+    pub fn pair_rejections(&self) -> u64 {
+        self.pairs.rejected()
     }
 }
 
@@ -233,5 +292,21 @@ mod tests {
         let mut pt = PathTable::new();
         let p = PeerId::new(9);
         assert_eq!(pt.peer_path(&ov, p, p).unwrap(), vec![p]);
+    }
+
+    #[test]
+    fn geo_mode_answers_without_building_trees() {
+        use spidernet_topology::overlay::GeoConfig;
+        let ov = Overlay::build_geo(&GeoConfig { peers: 64, ..GeoConfig::default() }, 11);
+        let mut pt = PathTable::new();
+        let (a, b) = (PeerId::new(4), PeerId::new(40));
+        let d = pt.delay(&ov, a, b);
+        assert!((d - ov.route_delay(a, b)).abs() < 1e-12);
+        assert_eq!(pt.peer_path(&ov, a, b).unwrap(), vec![a, b]);
+        let cap = pt.bottleneck(&ov, a, b).unwrap();
+        let expect = ov.access_capacity(a).unwrap().min(ov.access_capacity(b).unwrap());
+        assert!((cap - expect).abs() < 1e-12);
+        assert_eq!(pt.cached_sources(), 0, "geo queries must not build SSSP trees");
+        assert_eq!(pt.cached_pairs(), 0, "geo queries must not fill the pair memo");
     }
 }

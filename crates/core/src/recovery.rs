@@ -286,7 +286,7 @@ pub fn session_demands(
 }
 
 /// One active composed service session.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Session {
     /// Session id.
     pub id: SessionId,
@@ -322,6 +322,7 @@ pub enum FailureOutcome {
 }
 
 /// Owns all active sessions and implements the recovery policy.
+#[derive(Clone, Debug)]
 pub struct SessionManager {
     cfg: RecoveryConfig,
     sessions: BTreeMap<SessionId, Session>,

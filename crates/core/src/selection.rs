@@ -9,6 +9,7 @@
 
 use crate::model::component::Registry;
 use crate::model::function_graph::FunctionGraph;
+use crate::model::service_graph::pattern_service_links;
 use crate::model::request::CompositionRequest;
 use crate::model::service_graph::{CostWeights, GraphEval, LinkEnd, ServiceGraph, ServiceLink};
 use crate::paths::PathTable;
@@ -18,6 +19,48 @@ use spidernet_util::hash::FxHashMap;
 use spidernet_util::id::{ComponentId, PeerId};
 use spidernet_util::qos::{dim, QosVector};
 use spidernet_util::res::ResourceVector;
+
+/// Reusable buffers for [`evaluate_with`].
+///
+/// Evaluating a candidate needs the pattern's branch paths and service
+/// links plus several small per-candidate aggregation maps; in the BCP
+/// destination-side merge those were rebuilt for every candidate of every
+/// request and dominated composition time. One scratch, reused across the
+/// candidates of a pattern, removes all of that heap churn. Results are
+/// bit-identical to a fresh evaluation.
+#[derive(Default)]
+pub struct GraphEvalScratch {
+    /// Branch paths of the current pattern ([`GraphEvalScratch::set_pattern`]).
+    branches: Vec<Vec<usize>>,
+    /// Service links of the current pattern.
+    links: Vec<ServiceLink>,
+    /// Per-branch QoS accumulator.
+    acc: QosVector,
+    /// Per-peer end-system demand, aggregated in assignment order.
+    demand: Vec<(PeerId, ResourceVector)>,
+    /// Per-peer worst failure probability.
+    failure: Vec<(PeerId, f64)>,
+    /// Per-overlay-link aggregate bandwidth demand.
+    shared_bw: Vec<((usize, usize), f64)>,
+    /// Overlay path buffer for [`PathTable::peer_path_into`].
+    path: Vec<PeerId>,
+}
+
+impl GraphEvalScratch {
+    /// Fresh scratch; call [`GraphEvalScratch::set_pattern`] before evaluating.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caches `pattern`'s branch paths and service links. Call whenever
+    /// the pattern changes between [`evaluate_with`] calls — candidates
+    /// over one pattern share the shape, so the per-candidate loop pays
+    /// for it once.
+    pub fn set_pattern(&mut self, pattern: &FunctionGraph) {
+        self.branches = pattern.branch_paths();
+        self.links = pattern_service_links(pattern);
+    }
+}
 
 /// Evaluates one candidate service graph against a request.
 ///
@@ -34,23 +77,66 @@ pub fn evaluate(
     paths: &mut PathTable,
     weights: &CostWeights,
 ) -> GraphEval {
+    let mut scratch = GraphEvalScratch::new();
+    scratch.set_pattern(&graph.pattern);
+    evaluate_with(
+        graph.source,
+        graph.dest,
+        graph.components(),
+        req,
+        reg,
+        overlay,
+        state,
+        paths,
+        weights,
+        &mut scratch,
+    )
+}
+
+/// [`evaluate`] against caller-owned scratch whose pattern shape was set
+/// via [`GraphEvalScratch::set_pattern`], taking the assignment directly so
+/// the hot merge loop prices every merged candidate *before* paying for a
+/// [`ServiceGraph`] (pattern clone + assignment move) — only qualified
+/// candidates get one. Bit-identical results; no per-call allocation
+/// beyond the returned QoS vector.
+///
+/// Every float aggregation that was map-ordered in the original
+/// formulation keeps its order here: per-peer sums accumulate in
+/// assignment order and fold in ascending-peer order (the former
+/// `BTreeMap` walk), and per-link bandwidth sums follow service-link
+/// order.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_with(
+    source: PeerId,
+    dest: PeerId,
+    assignment: &[ComponentId],
+    req: &CompositionRequest,
+    reg: &Registry,
+    overlay: &Overlay,
+    state: &OverlayState,
+    paths: &mut PathTable,
+    weights: &CostWeights,
+    scratch: &mut GraphEvalScratch,
+) -> GraphEval {
     let m = req.qos_req.dims();
 
     // --- QoS: worst branch of per-branch accumulation ---
     let mut qos = QosVector::zeros(m);
-    let mut acc = QosVector::zeros(m);
-    for branch in graph.pattern.branch_paths() {
-        acc.values_mut().fill(0.0);
-        let mut prev_peer = graph.source;
-        for &node in &branch {
-            let comp = reg.get(graph.component_at(node));
-            acc.values_mut()[dim::DELAY_MS] += paths.delay(overlay, prev_peer, comp.peer);
-            acc.accumulate(&comp.perf_qos);
+    if scratch.acc.values().len() != m {
+        scratch.acc = QosVector::zeros(m);
+    }
+    for branch in &scratch.branches {
+        scratch.acc.values_mut().fill(0.0);
+        let mut prev_peer = source;
+        for &node in branch {
+            let comp = reg.get(assignment[node]);
+            scratch.acc.values_mut()[dim::DELAY_MS] += paths.delay(overlay, prev_peer, comp.peer);
+            scratch.acc.accumulate(&comp.perf_qos);
             prev_peer = comp.peer;
         }
-        acc.values_mut()[dim::DELAY_MS] += paths.delay(overlay, prev_peer, graph.dest);
+        scratch.acc.values_mut()[dim::DELAY_MS] += paths.delay(overlay, prev_peer, dest);
         // Element-wise max across branches.
-        for (q, a) in qos.values_mut().iter_mut().zip(acc.values()) {
+        for (q, a) in qos.values_mut().iter_mut().zip(scratch.acc.values()) {
             *q = q.max(*a);
         }
     }
@@ -59,9 +145,18 @@ pub fn evaluate(
     let mut fits = true;
     let mut cost = 0.0;
 
-    // End-system term: Σ_j Σ_i w_i · r_i^{s_j} / ra_i^{v_j}.
-    let demand = graph.per_peer_demand(reg);
-    for (&peer, need) in &demand {
+    // End-system term: Σ_j Σ_i w_i · r_i^{s_j} / ra_i^{v_j}. Aggregated in
+    // assignment order per peer, folded in ascending-peer order.
+    scratch.demand.clear();
+    for &c in assignment {
+        let comp = reg.get(c);
+        match scratch.demand.iter_mut().find(|(p, _)| *p == comp.peer) {
+            Some((_, need)) => *need = need.add(&comp.resources),
+            None => scratch.demand.push((comp.peer, ResourceVector::ZERO.add(&comp.resources))),
+        }
+    }
+    scratch.demand.sort_unstable_by_key(|&(p, _)| p);
+    for &(peer, ref need) in scratch.demand.iter() {
         let avail = state.available(peer);
         if !need.fits_within(&avail) {
             fits = false;
@@ -72,34 +167,43 @@ pub fn evaluate(
     // Bandwidth term: Σ_links w_{n+1} · b_ℓ / ba_℘ over each service
     // link's overlay path, with feasibility on *aggregate* per-overlay-link
     // demand (branches can share overlay links).
-    let mut per_overlay_link: FxHashMap<(usize, usize), f64> = FxHashMap::default();
-    for link in graph.service_links() {
-        let from = graph.peer_of_end(link.from, reg);
-        let to = graph.peer_of_end(link.to, reg);
-        let bw = graph.link_bandwidth(&link, reg, req.bandwidth_mbps);
+    scratch.shared_bw.clear();
+    for link in scratch.links.iter() {
+        let peer_of = |end: LinkEnd| match end {
+            LinkEnd::Source => source,
+            LinkEnd::Dest => dest,
+            LinkEnd::Node(i) => reg.get(assignment[i]).peer,
+        };
+        let from = peer_of(link.from);
+        let to = peer_of(link.to);
+        let bw = match link.from {
+            LinkEnd::Source => req.bandwidth_mbps,
+            LinkEnd::Node(i) => reg.get(assignment[i]).out_bandwidth_mbps,
+            LinkEnd::Dest => 0.0,
+        };
         if from == to || bw <= 0.0 {
             continue;
         }
-        match paths.peer_path(overlay, from, to) {
-            None => {
-                fits = false;
-                cost = f64::INFINITY;
-            }
-            Some(path) => {
-                let avail = state.path_available(&path);
-                cost += weights.bandwidth * if avail > 0.0 { bw / avail } else { f64::INFINITY };
-                for w in path.windows(2) {
-                    let key = if w[0].index() <= w[1].index() {
-                        (w[0].index(), w[1].index())
-                    } else {
-                        (w[1].index(), w[0].index())
-                    };
-                    *per_overlay_link.entry(key).or_insert(0.0) += bw;
+        if !paths.peer_path_into(overlay, from, to, &mut scratch.path) {
+            fits = false;
+            cost = f64::INFINITY;
+        } else {
+            let avail = state.path_available(&scratch.path);
+            cost += weights.bandwidth * if avail > 0.0 { bw / avail } else { f64::INFINITY };
+            for w in scratch.path.windows(2) {
+                let key = if w[0].index() <= w[1].index() {
+                    (w[0].index(), w[1].index())
+                } else {
+                    (w[1].index(), w[0].index())
+                };
+                match scratch.shared_bw.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, b)) => *b += bw,
+                    None => scratch.shared_bw.push((key, bw)),
                 }
             }
         }
     }
-    for (&(a, b), &need) in &per_overlay_link {
+    for &((a, b), need) in scratch.shared_bw.iter() {
         let avail = state.link_available(a.into(), b.into());
         if avail + 1e-12 < need {
             fits = false;
@@ -107,14 +211,27 @@ pub fn evaluate(
     }
 
     // Dead peers disqualify outright.
-    for &c in graph.components() {
+    for &c in assignment {
         if !state.is_alive(reg.get(c).peer) {
             fits = false;
             cost = f64::INFINITY;
         }
     }
 
-    let failure_prob = graph.failure_probability(reg);
+    // Failure probability: worst component per peer, independence product
+    // in ascending-peer order (matches ServiceGraph::failure_probability's
+    // BTreeMap walk bit for bit).
+    scratch.failure.clear();
+    for &c in assignment {
+        let comp = reg.get(c);
+        match scratch.failure.iter_mut().find(|(p, _)| *p == comp.peer) {
+            Some((_, fp)) => *fp = fp.max(comp.failure_prob),
+            None => scratch.failure.push((comp.peer, 0.0f64.max(comp.failure_prob))),
+        }
+    }
+    scratch.failure.sort_unstable_by_key(|&(p, _)| p);
+    let failure_prob = 1.0 - scratch.failure.iter().map(|&(_, p)| 1.0 - p).product::<f64>();
+
     GraphEval { qos, cost, failure_prob, fits_resources: fits }
 }
 

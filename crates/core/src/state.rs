@@ -18,12 +18,18 @@
 use spidernet_sim::time::SimTime;
 use spidernet_sim::trace::{TraceBuffer, TraceEvent};
 use spidernet_topology::Overlay;
+use spidernet_util::arena::{SlotArena, SlotKey};
 use spidernet_util::error::{Error, Result};
 use spidernet_util::id::PeerId;
 use spidernet_util::res::ResourceVector;
-use std::collections::{BTreeMap, HashMap};
+use spidernet_util::hash::FxHashMap;
+use std::collections::BTreeMap;
 
 /// Token identifying one soft reservation.
+///
+/// Packs a generational [`SlotKey`] into the soft-allocation arena, so a
+/// token released (or expired) and whose slot was recycled by a later
+/// reservation goes stale instead of aliasing the new holder.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SoftToken(u64);
 
@@ -37,25 +43,39 @@ pub struct SessionAllocation {
     pub links: Vec<((usize, usize), f64)>,
 }
 
+#[derive(Clone)]
 struct SoftAlloc {
     peer: PeerId,
     res: ResourceVector,
     expires: SimTime,
+    // Allocation sequence number. Slot order is recycling order, not
+    // allocation order, so expiry sweeps sort on this to release in the
+    // same order the old token-ordered ledger did (the released amounts
+    // fold into per-peer float accumulators).
+    seq: u64,
+}
+
+/// Per-peer access-link bandwidth, used by the geometric (scale) overlay
+/// mode where paths are direct and bandwidth is charged at the two
+/// endpoints' access links instead of per overlay hop.
+#[derive(Clone)]
+struct AccessLinks {
+    capacity: Vec<f64>,
+    committed: Vec<f64>,
 }
 
 /// The overlay's live resource state.
+#[derive(Clone)]
 pub struct OverlayState {
     capacity: Vec<ResourceVector>,
     soft: Vec<ResourceVector>,
     committed: Vec<ResourceVector>,
     alive: Vec<bool>,
-    link_capacity: HashMap<(usize, usize), f64>,
-    link_committed: HashMap<(usize, usize), f64>,
-    // Ordered by token (= allocation order) so expiry sweeps release in a
-    // fixed order; the released amounts fold into per-peer float
-    // accumulators.
-    soft_allocs: BTreeMap<SoftToken, SoftAlloc>,
-    next_token: u64,
+    link_capacity: FxHashMap<(usize, usize), f64>,
+    link_committed: FxHashMap<(usize, usize), f64>,
+    access: Option<AccessLinks>,
+    soft_allocs: SlotArena<SoftAlloc>,
+    next_seq: u64,
 }
 
 fn link_key(a: PeerId, b: PeerId) -> (usize, usize) {
@@ -72,19 +92,26 @@ impl OverlayState {
     /// `peer_capacity`, every overlay link its topology capacity.
     pub fn new(overlay: &Overlay, peer_capacity: ResourceVector) -> Self {
         let n = overlay.peer_count();
-        let mut link_capacity = HashMap::new();
+        let mut link_capacity = FxHashMap::default();
         for (a, b, e) in overlay.graph().edges() {
             link_capacity.insert((a, b), e.capacity_mbps);
         }
+        let access = overlay.is_geo().then(|| AccessLinks {
+            capacity: (0..n)
+                .map(|i| overlay.access_capacity(PeerId::from(i)).unwrap_or(0.0))
+                .collect(),
+            committed: vec![0.0; n],
+        });
         OverlayState {
             capacity: vec![peer_capacity; n],
             soft: vec![ResourceVector::ZERO; n],
             committed: vec![ResourceVector::ZERO; n],
             alive: vec![true; n],
             link_capacity,
-            link_committed: HashMap::new(),
-            soft_allocs: BTreeMap::new(),
-            next_token: 0,
+            link_committed: FxHashMap::default(),
+            access,
+            soft_allocs: SlotArena::new(),
+            next_seq: 0,
         }
     }
 
@@ -152,11 +179,11 @@ impl OverlayState {
             return Err(Error::AdmissionRejected { peer: peer.raw() });
         }
         self.soft[peer.index()] = self.soft[peer.index()].add(&res);
-        let token = SoftToken(self.next_token);
-        self.next_token += 1;
-        self.soft_allocs.insert(token, SoftAlloc { peer, res, expires });
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = self.soft_allocs.insert(SoftAlloc { peer, res, expires, seq });
         trace.record(TraceEvent::SoftAlloc { peer: peer.raw() });
-        Ok(token)
+        Ok(SoftToken(key.to_raw()))
     }
 
     /// Releases a soft reservation, recording a
@@ -166,7 +193,7 @@ impl OverlayState {
     /// nothing — the token is consumed by whichever path releases it
     /// first, so availability can never be double-credited.
     pub fn release_soft(&mut self, token: SoftToken, trace: &mut TraceBuffer) -> bool {
-        if let Some(a) = self.soft_allocs.remove(&token) {
+        if let Some(a) = self.soft_allocs.remove(SlotKey::from_raw(token.0)) {
             self.soft[a.peer.index()] = self.soft[a.peer.index()].saturating_sub(&a.res);
             trace.record(TraceEvent::SoftRelease { peer: a.peer.raw() });
             true
@@ -176,16 +203,19 @@ impl OverlayState {
     }
 
     /// Drops every reservation whose deadline has passed. Returns how many
-    /// expired.
+    /// expired. Releases run in allocation (`seq`) order — the same order
+    /// the token-ordered ledger used — so the per-peer float accumulators
+    /// fold identically.
     pub fn expire_soft(&mut self, now: SimTime, trace: &mut TraceBuffer) -> usize {
-        let expired: Vec<SoftToken> = self
+        let mut expired: Vec<(u64, SlotKey)> = self
             .soft_allocs
             .iter()
             .filter(|(_, a)| a.expires <= now)
-            .map(|(t, _)| *t)
+            .map(|(k, a)| (a.seq, k))
             .collect();
-        for t in &expired {
-            self.release_soft(*t, trace);
+        expired.sort_unstable_by_key(|&(seq, _)| seq);
+        for &(_, k) in &expired {
+            self.release_soft(SoftToken(k.to_raw()), trace);
         }
         expired.len()
     }
@@ -208,10 +238,17 @@ impl OverlayState {
     // --- link bandwidth ------------------------------------------------
 
     /// Available bandwidth on the direct overlay link `{a, b}`, Mbit/s.
-    /// Zero if the link does not exist or either endpoint is dead.
+    /// Zero if the link does not exist or either endpoint is dead. In geo
+    /// mode every pair is "linked" and the figure is the tighter of the
+    /// two endpoints' free access-link bandwidth.
     pub fn link_available(&self, a: PeerId, b: PeerId) -> f64 {
         if !self.alive[a.index()] || !self.alive[b.index()] {
             return 0.0;
+        }
+        if let Some(acc) = &self.access {
+            let fa = (acc.capacity[a.index()] - acc.committed[a.index()]).max(0.0);
+            let fb = (acc.capacity[b.index()] - acc.committed[b.index()]).max(0.0);
+            return fa.min(fb);
         }
         let key = link_key(a, b);
         let cap = self.link_capacity.get(&key).copied().unwrap_or(0.0);
@@ -244,21 +281,44 @@ impl OverlayState {
                 return Err(Error::AdmissionRejected { peer: p.raw() });
             }
         }
-        // Aggregate per-link bandwidth (paths may share links).
-        let mut per_link: HashMap<(usize, usize), f64> = HashMap::new();
+        // Aggregate per-link bandwidth (paths may share links). Key-ordered
+        // so the allocation's link list and the committed-bandwidth float
+        // folds are independent of hash order.
+        let mut per_link: BTreeMap<(usize, usize), f64> = BTreeMap::new();
         for (path, bw) in link_demand {
             for w in path.windows(2) {
                 *per_link.entry(link_key(w[0], w[1])).or_insert(0.0) += bw;
             }
         }
-        for (&key, &need) in &per_link {
-            let cap = self.link_capacity.get(&key).copied().unwrap_or(0.0);
-            let used = self.link_committed.get(&key).copied().unwrap_or(0.0);
-            if cap - used < need - 1e-12 {
-                return Err(Error::Network(format!(
-                    "link {key:?} lacks {need} Mbps ({} free)",
-                    cap - used
-                )));
+        if let Some(acc) = &self.access {
+            // Geo mode: each link charges both endpoints' access links, so
+            // feasibility needs per-endpoint aggregation (two links sharing
+            // an endpoint draw from the same access pipe).
+            let mut per_peer: BTreeMap<usize, f64> = BTreeMap::new();
+            for (&(a, b), &need) in &per_link {
+                *per_peer.entry(a).or_insert(0.0) += need;
+                if b != a {
+                    *per_peer.entry(b).or_insert(0.0) += need;
+                }
+            }
+            for (&i, &need) in &per_peer {
+                let free = acc.capacity[i] - acc.committed[i];
+                if free < need - 1e-12 {
+                    return Err(Error::Network(format!(
+                        "access link of peer {i} lacks {need} Mbps ({free} free)"
+                    )));
+                }
+            }
+        } else {
+            for (&key, &need) in &per_link {
+                let cap = self.link_capacity.get(&key).copied().unwrap_or(0.0);
+                let used = self.link_committed.get(&key).copied().unwrap_or(0.0);
+                if cap - used < need - 1e-12 {
+                    return Err(Error::Network(format!(
+                        "link {key:?} lacks {need} Mbps ({} free)",
+                        cap - used
+                    )));
+                }
             }
         }
         // Take everything.
@@ -268,7 +328,14 @@ impl OverlayState {
             alloc.peers.push((p, res));
         }
         for (key, need) in per_link {
-            *self.link_committed.entry(key).or_insert(0.0) += need;
+            if let Some(acc) = &mut self.access {
+                acc.committed[key.0] += need;
+                if key.1 != key.0 {
+                    acc.committed[key.1] += need;
+                }
+            } else {
+                *self.link_committed.entry(key).or_insert(0.0) += need;
+            }
             alloc.links.push((key, need));
         }
         Ok(alloc)
@@ -280,7 +347,12 @@ impl OverlayState {
             self.committed[p.index()] = self.committed[p.index()].saturating_sub(&res);
         }
         for &(key, bw) in &alloc.links {
-            if let Some(used) = self.link_committed.get_mut(&key) {
+            if let Some(acc) = &mut self.access {
+                acc.committed[key.0] = (acc.committed[key.0] - bw).max(0.0);
+                if key.1 != key.0 {
+                    acc.committed[key.1] = (acc.committed[key.1] - bw).max(0.0);
+                }
+            } else if let Some(used) = self.link_committed.get_mut(&key) {
                 *used = (*used - bw).max(0.0);
             }
         }
@@ -495,6 +567,52 @@ mod tests {
         let (a, b, e) = ov.graph().edges().next().unwrap();
         let got = s.path_available(&[PeerId::from(a), PeerId::from(b)]);
         assert!((got - e.capacity_mbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recycled_token_slot_does_not_alias_new_reservation() {
+        // Crash→revive churn: a reservation freed by revive_peer has its
+        // slot recycled by a later reservation. The stale token must not
+        // release (or double-credit) the new holder's reservation.
+        let mut s = state();
+        let (pa, pb) = (PeerId::new(9), PeerId::new(10));
+        let stale = s
+            .soft_allocate(pa, ResourceVector::new(0.5, 32.0), t(1000.0), &mut TraceBuffer::new())
+            .unwrap();
+        s.fail_peer(pa);
+        s.revive_peer(pa); // frees pa's ledger entries → slot goes back to the pool
+        let fresh = s
+            .soft_allocate(pb, ResourceVector::new(0.25, 16.0), t(1000.0), &mut TraceBuffer::new())
+            .unwrap();
+        assert_ne!(stale, fresh, "recycled slot must mint a different token");
+        assert!(!s.release_soft(stale, &mut TraceBuffer::new()), "stale token must be inert");
+        assert!((s.soft_load(pb).cpu() - 0.25).abs() < 1e-12);
+        assert!(s.release_soft(fresh, &mut TraceBuffer::new()));
+        assert_eq!(s.soft_count(), 0);
+    }
+
+    #[test]
+    fn geo_mode_charges_access_links_at_endpoints() {
+        use spidernet_topology::overlay::GeoConfig;
+        let ov = Overlay::build_geo(&GeoConfig { peers: 16, ..GeoConfig::default() }, 5);
+        let mut s = OverlayState::new(&ov, ResourceVector::new(1.0, 256.0));
+        let (pa, pb, pc) = (PeerId::new(0), PeerId::new(1), PeerId::new(2));
+        let free_a = s.link_available(pa, pb).max(s.link_available(pa, pc));
+        assert!(free_a > 0.0, "geo mode links every pair through access capacity");
+        // Two sessions through pa draw from the same access pipe.
+        let bw = 4.0;
+        let alloc = s.commit(&[], &[(vec![pa, pb], bw), (vec![pa, pc], bw)]).unwrap();
+        let after = s.link_available(pa, pb);
+        let expected = (ov.access_capacity(pa).unwrap() - 2.0 * bw)
+            .min(ov.access_capacity(pb).unwrap() - bw);
+        assert!((after - expected.max(0.0)).abs() < 1e-9);
+        // Saturating the access link is rejected atomically.
+        let huge = ov.access_capacity(pa).unwrap() + 1.0;
+        assert!(s.commit(&[], &[(vec![pa, pb], huge)]).is_err());
+        s.release(&alloc);
+        let restored = s.link_available(pa, pb);
+        let cap = ov.access_capacity(pa).unwrap().min(ov.access_capacity(pb).unwrap());
+        assert!((restored - cap).abs() < 1e-9);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use spidernet_sim::metrics::{Instruments, MetricsRegistry};
 use spidernet_sim::time::{SimDuration, SimTime};
 use spidernet_sim::trace::TraceEvent;
 use spidernet_topology::inet::{generate_power_law, InetConfig};
-use spidernet_topology::overlay::{Overlay, OverlayConfig, OverlayStyle};
+use spidernet_topology::overlay::{GeoConfig, Overlay, OverlayConfig, OverlayStyle};
 use spidernet_util::error::Result;
 use spidernet_util::id::{ComponentId, PeerId, SessionId};
 use spidernet_util::res::ResourceVector;
@@ -64,6 +64,14 @@ pub struct SpiderNetConfig {
     pub weights: CostWeights,
     /// Recovery policy.
     pub recovery: RecoveryConfig,
+    /// When set, the overlay is the geometric scale model (coordinates in
+    /// the unit square, O(1) delays, per-peer access links) instead of a
+    /// generated IP topology — the mode that holds 10^5–10^6 peers.
+    /// `peers` above remains the peer-count authority.
+    pub geo: Option<GeoConfig>,
+    /// Worker threads for world construction (Pastry tables fan out
+    /// per-node in geo mode; results are thread-count invariant).
+    pub build_threads: usize,
 }
 
 impl Default for SpiderNetConfig {
@@ -76,6 +84,8 @@ impl Default for SpiderNetConfig {
             peer_capacity: ResourceVector::new(1.0, 256.0),
             weights: CostWeights::uniform(),
             recovery: RecoveryConfig::default(),
+            geo: None,
+            build_threads: 1,
         }
     }
 }
@@ -133,6 +143,18 @@ impl SpiderNetConfigBuilder {
     /// Recovery policy.
     pub fn recovery(mut self, r: RecoveryConfig) -> Self {
         self.cfg.recovery = r;
+        self
+    }
+
+    /// Switches construction to the geometric scale overlay.
+    pub fn geo(mut self, g: GeoConfig) -> Self {
+        self.cfg.geo = Some(g);
+        self
+    }
+
+    /// Worker threads for world construction.
+    pub fn build_threads(mut self, n: usize) -> Self {
+        self.cfg.build_threads = n.max(1);
         self
     }
 
@@ -268,6 +290,12 @@ pub struct ComposeReport {
 }
 
 /// The assembled SpiderNet middleware over one simulated overlay.
+///
+/// `Clone` duplicates the entire world — overlay, Pastry tables, resource
+/// state, caches, RNG streams — bit-for-bit. Experiment drivers exploit
+/// this to build a world once and clone it per trial cell instead of
+/// re-running construction.
+#[derive(Clone)]
 pub struct SpiderNet {
     overlay: Overlay,
     reg: Registry,
@@ -285,6 +313,8 @@ pub struct SpiderNet {
     compose_seq: u64,
     /// Deterministic stream backing the Random strategy.
     baseline_rng: Rng,
+    /// Pair-memo rejections already folded into the metrics counter.
+    pair_rejects_reported: u64,
 }
 
 impl SpiderNet {
@@ -292,6 +322,10 @@ impl SpiderNet {
     /// and wires everything up. Component population is a separate step
     /// ([`SpiderNet::populate`] or [`SpiderNet::add_component`]).
     pub fn build(cfg: &SpiderNetConfig) -> SpiderNet {
+        if let Some(geo) = &cfg.geo {
+            let geo = GeoConfig { peers: cfg.peers, ..geo.clone() };
+            return SpiderNet::from_overlay(Overlay::build_geo(&geo, cfg.seed), cfg);
+        }
         let ip = generate_power_law(
             &InetConfig { nodes: cfg.ip_nodes, ..InetConfig::default() },
             cfg.seed,
@@ -305,8 +339,16 @@ impl SpiderNet {
     pub fn from_overlay(overlay: Overlay, cfg: &SpiderNetConfig) -> SpiderNet {
         let peers: Vec<PeerId> = overlay.peers().collect();
         let mut paths = PathTable::new();
-        let mut prox = |a: PeerId, b: PeerId| paths.delay(&overlay, a, b);
-        let pastry = PastryNetwork::build(&peers, &mut prox);
+        let pastry = if overlay.is_geo() {
+            // O(1) coordinate delays: no SSSP warming, and node tables can
+            // fan out across build threads (results thread-invariant).
+            let prox =
+                |a: PeerId, b: PeerId| overlay.direct_delay(a, b).expect("geo overlay pair");
+            PastryNetwork::build_parallel(&peers, &prox, cfg.build_threads.max(1))
+        } else {
+            let mut prox = |a: PeerId, b: PeerId| paths.delay(&overlay, a, b);
+            PastryNetwork::build(&peers, &mut prox)
+        };
         let state = OverlayState::new(&overlay, cfg.peer_capacity);
         SpiderNet {
             overlay,
@@ -323,6 +365,7 @@ impl SpiderNet {
             seed: cfg.seed,
             compose_seq: 0,
             baseline_rng: rng_for(cfg.seed, "baseline-random"),
+            pair_rejects_reported: 0,
         }
     }
 
@@ -492,12 +535,29 @@ impl SpiderNet {
             }
         };
         self.obs.metrics.end_session();
+        self.sync_pair_cache_stats();
         result.map(|mut report| {
             if opts.capture_trace {
                 report.trace = self.obs.trace.events_since(mark);
             }
             report
         })
+    }
+
+    /// Folds pair-memo insert rejections into the
+    /// `topology.pair_cache_evictions` counter and records a
+    /// [`TraceEvent::PairCacheSaturated`] when new rejections appeared. A
+    /// saturated memo silently degrades delay queries to tree walks;
+    /// without this the slowdown is invisible in exported metrics.
+    fn sync_pair_cache_stats(&mut self) {
+        let rejected = self.paths.pair_rejections();
+        if rejected > self.pair_rejects_reported {
+            let delta = rejected - self.pair_rejects_reported;
+            self.pair_rejects_reported = rejected;
+            let c = self.obs.metrics.counter("topology.pair_cache_evictions");
+            self.obs.metrics.add(c, delta);
+            self.obs.trace.record(TraceEvent::PairCacheSaturated { rejected });
+        }
     }
 
     /// Runs the pre-branch-and-bound naive optimal enumerator. Kept only

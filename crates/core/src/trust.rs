@@ -23,7 +23,6 @@
 //! observer argument.
 
 use spidernet_util::id::PeerId;
-use std::collections::BTreeMap;
 
 /// Outcome of one interaction with a peer's component.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,12 +47,23 @@ impl Record {
 }
 
 /// Beta-reputation trust tables, sharded by observing peer.
-#[derive(Debug, Default)]
+///
+/// Stored as a structure-of-arrays keyed by dense peer index: each
+/// observer's records live in a subject-sorted `Vec`, and a per-subject
+/// index lists (in ascending observer order) exactly the observers holding
+/// a record on that subject. [`TrustManager::aggregate_trust`] therefore
+/// walks only the recording observers — O(#records on subject), not
+/// O(population) — while summing in the same ascending-observer order the
+/// old map-of-maps layout used. Float addition is not associative, and the
+/// aggregate feeds BCP's candidate ranking, so that order is part of the
+/// behavior contract.
+#[derive(Clone, Debug, Default)]
 pub struct TrustManager {
-    /// observer → (subject → record). Ordered so [`TrustManager::aggregate_trust`]
-    /// sums observer scores in a fixed order — float addition is not
-    /// associative, and the aggregate feeds BCP's candidate ranking.
-    tables: BTreeMap<PeerId, BTreeMap<PeerId, Record>>,
+    /// `tables[observer.index()]` = subject-sorted records.
+    tables: Vec<Vec<(PeerId, Record)>>,
+    /// `by_subject[subject.index()]` = ascending observer indices holding a
+    /// record on the subject.
+    by_subject: Vec<Vec<u32>>,
     /// Multiplicative decay applied to both counters by [`TrustManager::decay_all`].
     decay: f64,
 }
@@ -63,12 +73,30 @@ impl TrustManager {
     /// disables decay.
     pub fn new(decay: f64) -> Self {
         assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
-        TrustManager { tables: BTreeMap::new(), decay }
+        TrustManager { tables: Vec::new(), by_subject: Vec::new(), decay }
     }
 
     /// Records one experience `observer` had with `subject`.
     pub fn record(&mut self, observer: PeerId, subject: PeerId, exp: Experience) {
-        let rec = self.tables.entry(observer).or_default().entry(subject).or_default();
+        let oi = observer.index();
+        if oi >= self.tables.len() {
+            self.tables.resize_with(oi + 1, Vec::new);
+        }
+        let row = &mut self.tables[oi];
+        let rec = match row.binary_search_by_key(&subject, |&(s, _)| s) {
+            Ok(pos) => &mut row[pos].1,
+            Err(pos) => {
+                row.insert(pos, (subject, Record::default()));
+                let si = subject.index();
+                if si >= self.by_subject.len() {
+                    self.by_subject.resize_with(si + 1, Vec::new);
+                }
+                let observers = &mut self.by_subject[si];
+                let at = observers.partition_point(|&o| (o as usize) < oi);
+                observers.insert(at, oi as u32);
+                &mut row[pos].1
+            }
+        };
         match exp {
             Experience::Positive => rec.alpha += 1.0,
             Experience::Negative => rec.beta += 1.0,
@@ -79,9 +107,12 @@ impl TrustManager {
     /// history gets the neutral prior 0.5.
     pub fn trust(&self, observer: PeerId, subject: PeerId) -> f64 {
         self.tables
-            .get(&observer)
-            .and_then(|t| t.get(&subject))
-            .map(Record::trust)
+            .get(observer.index())
+            .and_then(|row| {
+                row.binary_search_by_key(&subject, |&(s, _)| s)
+                    .ok()
+                    .map(|pos| row[pos].1.trust())
+            })
             .unwrap_or(0.5)
     }
 
@@ -90,19 +121,21 @@ impl TrustManager {
     /// This is the value the composition engine uses, standing in for a
     /// gossip/aggregation protocol.
     pub fn aggregate_trust(&self, subject: PeerId) -> f64 {
+        let Some(observers) = self.by_subject.get(subject.index()) else {
+            return 0.5;
+        };
+        if observers.is_empty() {
+            return 0.5;
+        }
         let mut sum = 0.0;
-        let mut n = 0u32;
-        for table in self.tables.values() {
-            if let Some(rec) = table.get(&subject) {
-                sum += rec.trust();
-                n += 1;
-            }
+        for &oi in observers {
+            let row = &self.tables[oi as usize];
+            let pos = row
+                .binary_search_by_key(&subject, |&(s, _)| s)
+                .expect("by_subject index out of sync with tables");
+            sum += row[pos].1.trust();
         }
-        if n == 0 {
-            0.5
-        } else {
-            sum / f64::from(n)
-        }
+        sum / observers.len() as f64
     }
 
     /// Applies one round of decay to every record (call once per time
@@ -111,8 +144,8 @@ impl TrustManager {
         if self.decay >= 1.0 {
             return;
         }
-        for table in self.tables.values_mut() {
-            for rec in table.values_mut() {
+        for row in &mut self.tables {
+            for (_, rec) in row.iter_mut() {
                 rec.alpha *= self.decay;
                 rec.beta *= self.decay;
             }
@@ -134,7 +167,7 @@ impl TrustManager {
 
     /// Number of (observer, subject) records held.
     pub fn record_count(&self) -> usize {
-        self.tables.values().map(BTreeMap::len).sum()
+        self.tables.iter().map(Vec::len).sum()
     }
 }
 
@@ -234,5 +267,45 @@ mod tests {
     #[should_panic(expected = "decay must be in")]
     fn zero_decay_rejected() {
         TrustManager::new(0.0);
+    }
+
+    #[test]
+    fn aggregate_matches_observer_ordered_reference_sum() {
+        // Records arrive in scrambled observer/subject order; the dense
+        // by-subject index must still sum in ascending-observer order,
+        // bit-identical to the old map-of-maps walk.
+        use std::collections::BTreeMap;
+        let mut tm = TrustManager::new(1.0);
+        let mut reference: BTreeMap<PeerId, BTreeMap<PeerId, (f64, f64)>> = BTreeMap::new();
+        let events = [
+            (7u64, 3u64, Experience::Positive),
+            (2, 3, Experience::Negative),
+            (9, 3, Experience::Positive),
+            (2, 3, Experience::Positive),
+            (0, 5, Experience::Negative),
+            (7, 3, Experience::Negative),
+            (4, 3, Experience::Positive),
+        ];
+        for &(o, s, exp) in &events {
+            tm.record(p(o), p(s), exp);
+            let e = reference.entry(p(o)).or_default().entry(p(s)).or_default();
+            match exp {
+                Experience::Positive => e.0 += 1.0,
+                Experience::Negative => e.1 += 1.0,
+            }
+        }
+        for subject in [3u64, 5, 8] {
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            for table in reference.values() {
+                if let Some(&(a, b)) = table.get(&p(subject)) {
+                    sum += (a + 1.0) / (a + b + 2.0);
+                    n += 1;
+                }
+            }
+            let want = if n == 0 { 0.5 } else { sum / f64::from(n) };
+            let got = tm.aggregate_trust(p(subject));
+            assert!(got.to_bits() == want.to_bits(), "subject {subject}: {got} vs {want}");
+        }
     }
 }

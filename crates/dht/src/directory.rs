@@ -11,7 +11,6 @@ use crate::nodeid::NodeId;
 use spidernet_sim::trace::TraceBuffer;
 use spidernet_util::hash::function_key;
 use spidernet_util::id::{ComponentId, FunctionId, PeerId};
-use std::collections::BTreeMap;
 
 /// Static metadata registered for one service component.
 ///
@@ -34,19 +33,45 @@ pub struct ServiceMeta {
 /// Storage is held per responsible peer, exactly as a deployment would
 /// shard it; every operation routes through the Pastry network and reports
 /// the hops/latency it cost, which the Fig. 10 experiment accounts as
-/// "service discovery time". Ordered maps keep churn-time re-homing
-/// iteration (and therefore replica-list order) identical across
-/// processes.
-#[derive(Default)]
+/// "service discovery time".
+///
+/// Layout is dense: the outer table is a `Vec` indexed by the responsible
+/// peer's dense id (an empty row means "holds nothing", replacing the old
+/// map's absent key), and each row is a key-sorted `Vec`. Ascending-index
+/// iteration over the outer `Vec` is ascending-`PeerId` iteration, and the
+/// sorted rows iterate in ascending key order — the exact orders the old
+/// `BTreeMap`-of-`BTreeMap` walked during churn-time re-homing, so
+/// replica-list order is unchanged and identical across processes.
+#[derive(Clone, Debug, Default)]
 pub struct ServiceDirectory {
-    /// responsible peer → (key → replica metadata list)
-    store: BTreeMap<PeerId, BTreeMap<u128, Vec<ServiceMeta>>>,
+    /// `store[peer.index()]` = key-sorted replica metadata lists.
+    store: Vec<Vec<(u128, Vec<ServiceMeta>)>>,
+}
+
+/// The replica list for `key` in one peer's row, inserting an empty list
+/// at the sorted position if the key is new.
+fn list_mut(row: &mut Vec<(u128, Vec<ServiceMeta>)>, key: u128) -> &mut Vec<ServiceMeta> {
+    match row.binary_search_by_key(&key, |&(k, _)| k) {
+        Ok(pos) => &mut row[pos].1,
+        Err(pos) => {
+            row.insert(pos, (key, Vec::new()));
+            &mut row[pos].1
+        }
+    }
 }
 
 impl ServiceDirectory {
     /// An empty directory.
     pub fn new() -> Self {
-        ServiceDirectory { store: BTreeMap::new() }
+        ServiceDirectory { store: Vec::new() }
+    }
+
+    fn row_mut(&mut self, peer: PeerId) -> &mut Vec<(u128, Vec<ServiceMeta>)> {
+        let i = peer.index();
+        if i >= self.store.len() {
+            self.store.resize_with(i + 1, Vec::new);
+        }
+        &mut self.store[i]
     }
 
     /// Registers a component under `function_name`, routing from the
@@ -63,7 +88,7 @@ impl ServiceDirectory {
         let key = function_key(function_name);
         let out = net.route_traced(meta.peer, NodeId::new(key), latency, trace)?;
         let root = out.destination();
-        let list = self.store.entry(root).or_default().entry(key).or_default();
+        let list = list_mut(self.row_mut(root), key);
         if !list.iter().any(|m| m.component == meta.component) {
             list.push(meta);
         }
@@ -85,9 +110,10 @@ impl ServiceDirectory {
         let out = net.route_traced(from, NodeId::new(key), latency, trace)?;
         let list = self
             .store
-            .get(&out.destination())
-            .and_then(|m| m.get(&key))
-            .cloned()
+            .get(out.destination().index())
+            .and_then(|row| {
+                row.binary_search_by_key(&key, |&(k, _)| k).ok().map(|pos| row[pos].1.clone())
+            })
             .unwrap_or_default();
         Some((list, out))
     }
@@ -100,20 +126,24 @@ impl ServiceDirectory {
     ///
     /// Call after [`PastryNetwork::remove_node`].
     pub fn handle_departure(&mut self, net: &PastryNetwork, departed: PeerId) {
-        if let Some(hosted) = self.store.remove(&departed) {
-            for (key, list) in hosted {
-                if let Some(new_root) = net.responsible(NodeId::new(key)) {
-                    let dst = self.store.entry(new_root).or_default().entry(key).or_default();
-                    for m in list {
-                        if m.peer != departed && !dst.iter().any(|e| e.component == m.component) {
-                            dst.push(m);
-                        }
+        let di = departed.index();
+        let hosted = if di < self.store.len() {
+            std::mem::take(&mut self.store[di])
+        } else {
+            Vec::new()
+        };
+        for (key, list) in hosted {
+            if let Some(new_root) = net.responsible(NodeId::new(key)) {
+                let dst = list_mut(self.row_mut(new_root), key);
+                for m in list {
+                    if m.peer != departed && !dst.iter().any(|e| e.component == m.component) {
+                        dst.push(m);
                     }
                 }
             }
         }
-        for per_key in self.store.values_mut() {
-            for list in per_key.values_mut() {
+        for row in &mut self.store {
+            for (_, list) in row.iter_mut() {
                 list.retain(|m| m.peer != departed);
             }
         }
@@ -123,8 +153,9 @@ impl ServiceDirectory {
     /// to the new node. Call after [`PastryNetwork::add_node`].
     pub fn handle_arrival(&mut self, net: &PastryNetwork) {
         let mut moves: Vec<(PeerId, u128, Vec<ServiceMeta>)> = Vec::new();
-        for (&holder, per_key) in &self.store {
-            for (&key, list) in per_key {
+        for (hi, row) in self.store.iter().enumerate() {
+            let holder = PeerId::from(hi);
+            for &(key, ref list) in row {
                 let root = net.responsible(NodeId::new(key)).expect("non-empty network");
                 if root != holder {
                     moves.push((holder, key, list.clone()));
@@ -132,11 +163,13 @@ impl ServiceDirectory {
             }
         }
         for (holder, key, list) in moves {
-            if let Some(per_key) = self.store.get_mut(&holder) {
-                per_key.remove(&key);
+            if let Some(row) = self.store.get_mut(holder.index()) {
+                if let Ok(pos) = row.binary_search_by_key(&key, |&(k, _)| k) {
+                    row.remove(pos);
+                }
             }
             let root = net.responsible(NodeId::new(key)).expect("non-empty network");
-            let dst = self.store.entry(root).or_default().entry(key).or_default();
+            let dst = list_mut(self.row_mut(root), key);
             for m in list {
                 if !dst.iter().any(|e| e.component == m.component) {
                     dst.push(m);
@@ -147,7 +180,7 @@ impl ServiceDirectory {
 
     /// Total registrations held (diagnostics).
     pub fn total_entries(&self) -> usize {
-        self.store.values().flat_map(|m| m.values()).map(Vec::len).sum()
+        self.store.iter().flat_map(|row| row.iter()).map(|(_, l)| l.len()).sum()
     }
 }
 

@@ -8,10 +8,11 @@
 //! and per-hop latencies faithfully reflect a decentralized deployment.
 
 use crate::leafset::{LeafSet, DEFAULT_SIDE};
-use crate::nodeid::NodeId;
+use crate::nodeid::{NodeId, DIGIT_BASE, NUM_DIGITS};
 use crate::routing_table::RoutingTable;
 use spidernet_sim::trace::{TraceBuffer, TraceEvent};
 use spidernet_util::id::PeerId;
+use spidernet_util::par::par_map_with;
 use std::collections::{BTreeMap, HashMap};
 
 /// Per-node Pastry state.
@@ -58,6 +59,7 @@ impl RouteOutcome {
 }
 
 /// A complete Pastry network over a set of overlay peers.
+#[derive(Clone, Debug)]
 pub struct PastryNetwork {
     nodes: HashMap<PeerId, PastryNode>,
     ring: BTreeMap<NodeId, PeerId>,
@@ -77,17 +79,55 @@ impl PastryNetwork {
             net.ring.insert(id, p);
         }
         let membership: Vec<(NodeId, PeerId)> = net.ring.iter().map(|(k, v)| (*k, *v)).collect();
-        for &(id, peer) in &membership {
-            let mut table = RoutingTable::new(id);
-            let mut leaves = LeafSet::new(id, net.leaf_side);
-            for &(oid, opeer) in &membership {
-                if oid == id {
-                    continue;
+        if membership.len() <= INCREMENTAL_BUILD_THRESHOLD {
+            for &(id, peer) in &membership {
+                let mut table = RoutingTable::new(id);
+                let mut leaves = LeafSet::new(id, net.leaf_side);
+                for &(oid, opeer) in &membership {
+                    if oid == id {
+                        continue;
+                    }
+                    table.insert(oid, opeer, proximity(peer, opeer));
+                    leaves.insert(oid, opeer);
                 }
-                table.insert(oid, opeer, proximity(peer, opeer));
-                leaves.insert(oid, opeer);
+                net.nodes.insert(peer, PastryNode { id, peer, table, leaves });
             }
-            net.nodes.insert(peer, PastryNode { id, peer, table, leaves });
+        } else {
+            for i in 0..membership.len() {
+                let node = build_node_incremental(&membership, i, net.leaf_side, &mut |a, b| {
+                    proximity(a, b)
+                });
+                net.nodes.insert(node.peer, node);
+            }
+        }
+        net
+    }
+
+    /// [`PastryNetwork::build`] with per-node construction sharded across
+    /// `threads` workers. Requires a shareable proximity function (pure,
+    /// e.g. a coordinate-space delay); every node's state is a pure
+    /// function of the sorted membership, so the result is identical for
+    /// any thread count. Always uses the incremental O(n·log n)
+    /// construction, whatever the network size.
+    pub fn build_parallel(
+        peers: &[PeerId],
+        proximity: &(dyn Fn(PeerId, PeerId) -> f64 + Sync),
+        threads: usize,
+    ) -> Self {
+        let mut net =
+            PastryNetwork { nodes: HashMap::new(), ring: BTreeMap::new(), leaf_side: DEFAULT_SIDE };
+        for &p in peers {
+            let id = NodeId::from_peer_index(p.raw());
+            net.ring.insert(id, p);
+        }
+        let membership: Vec<(NodeId, PeerId)> = net.ring.iter().map(|(k, v)| (*k, *v)).collect();
+        let leaf_side = net.leaf_side;
+        let membership_ref = &membership;
+        let built = par_map_with(threads, (0..membership.len()).collect(), |_, i| {
+            build_node_incremental(membership_ref, i, leaf_side, &mut |a, b| proximity(a, b))
+        });
+        for node in built {
+            net.nodes.insert(node.peer, node);
         }
         net
     }
@@ -269,6 +309,105 @@ impl PastryNetwork {
     }
 }
 
+/// Above this membership size, [`PastryNetwork::build`] switches from the
+/// omniscient O(n²) construction to the incremental O(n·log n) one. Below
+/// it the two differ only in cost, but the omniscient path is kept so that
+/// paper-scale worlds reproduce the seed state cell-for-cell (the golden
+/// trace tests pin its hop counts).
+pub const INCREMENTAL_BUILD_THRESHOLD: usize = 4096;
+
+/// Candidates sampled per routing-table cell by the incremental build.
+/// The full candidate set for a cell is a contiguous range of the sorted
+/// ring (every id with the cell's prefix); sampling a bounded, evenly
+/// spaced subset keeps construction O(n·log n) while still letting the
+/// proximity heuristic pick a close entry. Routing correctness never
+/// depends on the choice — delivery terminates through the leaf set.
+const CELL_CANDIDATE_SAMPLES: usize = 6;
+
+/// Builds one node's routing state from the sorted ring membership:
+/// leaf sets from the `leaf_side` ring-window neighbors on each side
+/// (identical to the omniscient construction, which also keeps exactly
+/// the nearest `side` per direction), and routing-table cells from
+/// binary-searched prefix ranges with bounded candidate sampling.
+fn build_node_incremental(
+    membership: &[(NodeId, PeerId)],
+    i: usize,
+    leaf_side: usize,
+    proximity: &mut dyn FnMut(PeerId, PeerId) -> f64,
+) -> PastryNode {
+    let n = membership.len();
+    let (id, peer) = membership[i];
+    let mut leaves = LeafSet::new(id, leaf_side);
+    // Ring-window neighbors: sorted order == clockwise order, so the
+    // `leaf_side` successors/predecessors are exactly the converged set.
+    for step in 1..=leaf_side.min(n.saturating_sub(1)) {
+        let (sid, speer) = membership[(i + step) % n];
+        if sid != id {
+            leaves.insert(sid, speer);
+        }
+        let (pid, ppeer) = membership[(i + n - step) % n];
+        if pid != id {
+            leaves.insert(pid, ppeer);
+        }
+    }
+
+    let mut table = RoutingTable::new(id);
+    for row in 0..NUM_DIGITS {
+        // Row `row` candidates share digits [0, row) with the owner. Once
+        // that prefix range holds nobody but the owner, every deeper row
+        // is empty — stop. With random ids this bounds the loop at
+        // ~log₁₆(n) + O(1) rows.
+        if row > 0 {
+            let (lo, hi) = prefix_range(id, row - 1, id.digit(row - 1));
+            let start = membership.partition_point(|&(m, _)| m.0 < lo);
+            let end = membership.partition_point(|&(m, _)| m.0 <= hi);
+            if end - start <= 1 {
+                break;
+            }
+        }
+        let own_digit = id.digit(row);
+        for digit in 0..DIGIT_BASE {
+            if digit == own_digit {
+                continue;
+            }
+            let (lo, hi) = prefix_range(id, row, digit);
+            // Sorted-ring slice of ids in [lo, hi].
+            let start = membership.partition_point(|&(m, _)| m.0 < lo);
+            let end = membership.partition_point(|&(m, _)| m.0 <= hi);
+            if start == end {
+                continue;
+            }
+            // Evenly spaced deterministic sample; closest by proximity
+            // wins, first-seen on ties (matching RoutingTable::insert).
+            let len = end - start;
+            let samples = CELL_CANDIDATE_SAMPLES.min(len);
+            let mut best: Option<(f64, NodeId, PeerId)> = None;
+            for s in 0..samples {
+                let idx = start + s * len / samples;
+                let (cid, cpeer) = membership[idx];
+                let d = proximity(peer, cpeer);
+                if best.is_none_or(|(bd, _, _)| d < bd) {
+                    best = Some((d, cid, cpeer));
+                }
+            }
+            if let Some((d, cid, cpeer)) = best {
+                table.insert(cid, cpeer, d);
+            }
+        }
+    }
+    PastryNode { id, peer, table, leaves }
+}
+
+/// Inclusive `u128` value range of ids whose digits match `id` on
+/// `[0, row)` and have `digit` at position `row`.
+fn prefix_range(id: NodeId, row: usize, digit: usize) -> (u128, u128) {
+    let shift = 128 - 4 * (row + 1);
+    let keep_mask: u128 = if row == 0 { 0 } else { u128::MAX << (128 - 4 * row) };
+    let lo = (id.0 & keep_mask) | ((digit as u128) << shift);
+    let span: u128 = if shift == 0 { 0 } else { (1u128 << shift) - 1 };
+    (lo, lo | span)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +539,68 @@ mod tests {
             assert_eq!(cur, net.responsible(key).unwrap(), "probe {probe}");
         }
         assert!(net.next_hop_from(PeerId::new(999), NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn incremental_build_routes_to_responsible() {
+        let peers: Vec<PeerId> = (0..500).map(PeerId::new).collect();
+        let net = PastryNetwork::build_parallel(&peers, &|_, _| 1.0, 1);
+        assert_eq!(net.len(), 500);
+        for probe in 0..200u64 {
+            let key = NodeId::from_peer_index(31_000 + probe);
+            let start = PeerId::new(probe % 500);
+            let out = net.route(start, key, &mut flat_latency).expect("no loop");
+            assert_eq!(out.destination(), net.responsible(key).unwrap(), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn incremental_hop_counts_stay_logarithmic() {
+        let peers: Vec<PeerId> = (0..2000).map(PeerId::new).collect();
+        let net = PastryNetwork::build_parallel(&peers, &|_, _| 1.0, 1);
+        let mut worst = 0;
+        for probe in 0..100u64 {
+            let key = NodeId::from_peer_index(77_000 + probe);
+            let out = net.route(PeerId::new(probe % 2000), key, &mut flat_latency).unwrap();
+            worst = worst.max(out.hops());
+        }
+        // ceil(log_16 2000) = 3; sampled tables may add leaf-set detours.
+        assert!(worst <= 7, "worst-case hops {worst}");
+    }
+
+    #[test]
+    fn parallel_build_is_thread_invariant() {
+        let peers: Vec<PeerId> = (0..300).map(PeerId::new).collect();
+        // A proximity with real structure, so cell choices matter.
+        let prox = |a: PeerId, b: PeerId| ((a.raw() * 31 + b.raw() * 17) % 97) as f64;
+        let reference = PastryNetwork::build_parallel(&peers, &prox, 1);
+        for threads in [2usize, 8] {
+            let net = PastryNetwork::build_parallel(&peers, &prox, threads);
+            for &p in &peers {
+                let a = reference.node(p).unwrap();
+                let b = net.node(p).unwrap();
+                let cells_a: Vec<(NodeId, PeerId)> = a.table.cells().map(|c| (c.id, c.peer)).collect();
+                let cells_b: Vec<(NodeId, PeerId)> = b.table.cells().map(|c| (c.id, c.peer)).collect();
+                assert_eq!(cells_a, cells_b, "tables diverged at {threads} threads for {p}");
+                let leaves_a: Vec<(NodeId, PeerId)> = a.leaves.members().collect();
+                let leaves_b: Vec<(NodeId, PeerId)> = b.leaves.members().collect();
+                assert_eq!(leaves_a, leaves_b, "leaves diverged at {threads} threads for {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_leaf_sets_match_omniscient_construction() {
+        let peers: Vec<PeerId> = (0..300).map(PeerId::new).collect();
+        let omniscient = PastryNetwork::build(&peers, &mut flat_latency);
+        let incremental = PastryNetwork::build_parallel(&peers, &|_, _| 1.0, 1);
+        for &p in &peers {
+            let a: Vec<(NodeId, PeerId)> =
+                omniscient.node(p).unwrap().leaves.members().collect();
+            let b: Vec<(NodeId, PeerId)> =
+                incremental.node(p).unwrap().leaves.members().collect();
+            assert_eq!(a, b, "leaf set diverged for {p}");
+        }
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub struct Cell {
 }
 
 /// A node's routing table.
+///
+/// Rows are allocated lazily: with random ids only the top
+/// `~log₁₆(nodes) + O(1)` rows ever hold an entry, and an eagerly
+/// allocated `NUM_DIGITS × DIGIT_BASE` grid costs ~20 KB per node —
+/// gigabytes at 10^5–10^6 peers. A row beyond `rows.len()` is
+/// indistinguishable from an allocated all-`None` row.
 #[derive(Clone, Debug)]
 pub struct RoutingTable {
     owner: NodeId,
@@ -30,7 +36,7 @@ pub struct RoutingTable {
 impl RoutingTable {
     /// An empty table for `owner`.
     pub fn new(owner: NodeId) -> Self {
-        RoutingTable { owner, rows: vec![[None; DIGIT_BASE]; NUM_DIGITS] }
+        RoutingTable { owner, rows: Vec::new() }
     }
 
     /// The table owner's id.
@@ -49,6 +55,9 @@ impl RoutingTable {
         debug_assert!(row < NUM_DIGITS);
         let col = id.digit(row);
         debug_assert_ne!(col, self.owner.digit(row), "cell digit equals owner digit");
+        if row >= self.rows.len() {
+            self.rows.resize(row + 1, [None; DIGIT_BASE]);
+        }
         let cell = &mut self.rows[row][col];
         match cell {
             Some(existing) if existing.proximity <= proximity && existing.id != id => {}
@@ -73,7 +82,7 @@ impl RoutingTable {
     /// over).
     pub fn lookup(&self, key: NodeId) -> Option<Cell> {
         let row = self.owner.shared_prefix_len(&key);
-        if row >= NUM_DIGITS {
+        if row >= self.rows.len() {
             return None;
         }
         self.rows[row][key.digit(row)]
@@ -164,6 +173,18 @@ mod tests {
         rt.insert(deep, PeerId::new(2), 1.0);
         assert_eq!(rt.lookup(nid(&[0x1, 0xF])).unwrap().id, shallow);
         assert_eq!(rt.lookup(nid(&[0xA, 0xB, 0xD, 0x9])).unwrap().id, deep);
+    }
+
+    #[test]
+    fn rows_allocate_lazily() {
+        let owner = nid(&[0xA, 0xB, 0xC]);
+        let mut rt = RoutingTable::new(owner);
+        assert_eq!(rt.rows.len(), 0, "fresh table holds no rows");
+        rt.insert(nid(&[0xA, 0xB, 0xD]), PeerId::new(1), 1.0); // row 2
+        assert_eq!(rt.rows.len(), 3, "rows grow only to the deepest insert");
+        // Lookups beyond the allocated depth behave like empty rows.
+        assert!(rt.lookup(nid(&[0xA, 0xB, 0xC, 0x5])).is_none());
+        assert_eq!(rt.lookup(nid(&[0xA, 0xB, 0xD])).unwrap().peer, PeerId::new(1));
     }
 
     #[test]

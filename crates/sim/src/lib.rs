@@ -8,6 +8,8 @@
 //! * [`time`] — virtual time as integer microseconds (total order, no
 //!   floating-point tie ambiguity);
 //! * [`event`] — the scheduler: a priority queue with FIFO tie-breaking;
+//! * [`event_core`] — the indexed, allocation-free event core the scale
+//!   path uses (u32 handler ids, cancel-by-generation);
 //! * [`transport`] — pluggable peer-to-peer latency models, including
 //!   overlay-routed latency;
 //! * [`churn`] — random peer-failure injection ("1% of peers fail per time
@@ -25,6 +27,7 @@
 
 pub mod churn;
 pub mod event;
+pub mod event_core;
 pub mod export;
 pub mod fault;
 pub mod metrics;
@@ -34,6 +37,7 @@ pub mod transport;
 
 pub use churn::ChurnModel;
 pub use event::Scheduler;
+pub use event_core::{EventCore, EventKey, HandlerId};
 pub use export::TraceReport;
 pub use fault::{FaultAction, FaultPlan};
 pub use metrics::{Counter, Histogram, Instruments, MetricsRegistry, ProtocolCounters};

@@ -57,11 +57,63 @@ impl Default for OverlayConfig {
     }
 }
 
+/// Parameters for the coordinate-space overlay used at 10^5–10^6 peers.
+///
+/// At that scale the IP substrate + per-peer Dijkstra construction is the
+/// bottleneck (O(peers · ip_nodes · log ip_nodes) time, O(peers ·
+/// ip_nodes) memory for the SSSP trees). The geometric model instead
+/// embeds every peer at a deterministic point in the unit square and
+/// derives pairwise delay from Euclidean distance (the Vivaldi/GNP
+/// observation that internet latency is well approximated by a low-
+/// dimensional embedding), making every delay query O(1) with O(peers)
+/// memory and no pairwise state at all.
+#[derive(Clone, Debug)]
+pub struct GeoConfig {
+    /// Number of peers.
+    pub peers: usize,
+    /// Fixed per-path overhead, ms (last-mile + processing).
+    pub base_ms: f64,
+    /// Delay per unit of coordinate distance, ms (the unit square's
+    /// diagonal maps to `base + stretch·√2`).
+    pub stretch_ms: f64,
+    /// Per-peer access-link capacity range, Mbit/s (uniform).
+    pub access_mbps: (f64, f64),
+}
+
+impl Default for GeoConfig {
+    fn default() -> Self {
+        GeoConfig {
+            peers: 100_000,
+            base_ms: 5.0,
+            stretch_ms: 100.0,
+            access_mbps: (20.0, 110.0),
+        }
+    }
+}
+
+/// Coordinate-space peer embedding backing a geometric overlay.
+#[derive(Clone, Debug)]
+pub struct GeoModel {
+    coords: Vec<(f64, f64)>,
+    base_ms: f64,
+    stretch_ms: f64,
+    access_mbps: Vec<f64>,
+}
+
 /// A constructed P2P service overlay.
+///
+/// Two internal models share this interface: the graph model (peers
+/// placed on an IP substrate, overlay links with routed delays) and the
+/// geometric model ([`Overlay::build_geo`]) where delay is a pure
+/// function of peer coordinates and no link state exists. Graph-only
+/// accessors ([`Overlay::neighbors`], [`Overlay::link`]) return empty
+/// results on a geometric overlay; scale-aware callers check
+/// [`Overlay::direct_delay`] first.
 #[derive(Clone, Debug)]
 pub struct Overlay {
     graph: Graph,
     ip_hosts: Vec<NodeIndex>,
+    geo: Option<GeoModel>,
 }
 
 impl Overlay {
@@ -154,7 +206,65 @@ impl Overlay {
             }
         }
 
-        Overlay { graph, ip_hosts }
+        Overlay { graph, ip_hosts, geo: None }
+    }
+
+    /// Builds a geometric (coordinate-space) overlay: every peer gets a
+    /// deterministic position in the unit square seeded by
+    /// `(seed, "geo-overlay")`, and delay between any two peers is
+    /// `base_ms + stretch_ms · euclidean_distance` — O(1) per query, no
+    /// link or SSSP state. Node index `i` is peer `i` (the identity host
+    /// mapping), so path keys double as peer indices downstream.
+    pub fn build_geo(cfg: &GeoConfig, seed: u64) -> Overlay {
+        assert!(cfg.peers >= 2, "an overlay needs at least two peers");
+        let mut rng = rng_for(seed, "geo-overlay");
+        let mut coords = Vec::with_capacity(cfg.peers);
+        let mut access_mbps = Vec::with_capacity(cfg.peers);
+        let (lo, hi) = cfg.access_mbps;
+        for _ in 0..cfg.peers {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let y: f64 = rng.gen_range(0.0..1.0);
+            coords.push((x, y));
+            access_mbps.push(lo + (hi - lo) * rng.gen_range(0.0..1.0));
+        }
+        Overlay {
+            graph: Graph::with_nodes(cfg.peers),
+            ip_hosts: (0..cfg.peers).collect(),
+            geo: Some(GeoModel {
+                coords,
+                base_ms: cfg.base_ms,
+                stretch_ms: cfg.stretch_ms,
+                access_mbps,
+            }),
+        }
+    }
+
+    /// True if this overlay uses the geometric model.
+    pub fn is_geo(&self) -> bool {
+        self.geo.is_some()
+    }
+
+    /// O(1) coordinate-space delay between two peers — `Some` only on a
+    /// geometric overlay. The scale fast path: `PathTable` checks this
+    /// before falling back to SSSP trees.
+    #[inline]
+    pub fn direct_delay(&self, a: PeerId, b: PeerId) -> Option<f64> {
+        let geo = self.geo.as_ref()?;
+        if a == b {
+            return Some(0.0);
+        }
+        let (ax, ay) = geo.coords[a.index()];
+        let (bx, by) = geo.coords[b.index()];
+        let dist = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        Some(geo.base_ms + geo.stretch_ms * dist)
+    }
+
+    /// A peer's access-link capacity, Mbit/s — `Some` only on a
+    /// geometric overlay, where bandwidth is constrained at the two
+    /// endpoints' access links instead of per overlay link.
+    #[inline]
+    pub fn access_capacity(&self, p: PeerId) -> Option<f64> {
+        self.geo.as_ref().map(|g| g.access_mbps[p.index()])
     }
 
     /// Number of peers.
@@ -193,16 +303,26 @@ impl Overlay {
         RoutingOracle::new(&self.graph)
     }
 
-    /// Overlay-routed delay between two peers (shortest overlay path).
+    /// Overlay-routed delay between two peers (shortest overlay path; on
+    /// a geometric overlay, the O(1) coordinate delay).
     /// Convenience wrapper; for bulk queries use [`Overlay::routing`].
     pub fn route_delay(&self, a: PeerId, b: PeerId) -> f64 {
+        if let Some(d) = self.direct_delay(a, b) {
+            return d;
+        }
         dijkstra(&self.graph, a.index()).delay_to(b.index())
     }
 
     /// Bottleneck capacity of the overlay path `a → b`: the paper's
     /// `ba_{℘_j}` term, the bandwidth available on the underlying overlay
-    /// network path. `None` if no overlay path exists.
+    /// network path. `None` if no overlay path exists. On a geometric
+    /// overlay the bottleneck is the tighter of the two access links.
     pub fn route_bottleneck(&self, a: PeerId, b: PeerId) -> Option<f64> {
+        if self.is_geo() {
+            let ca = self.access_capacity(a)?;
+            let cb = self.access_capacity(b)?;
+            return Some(ca.min(cb));
+        }
         dijkstra(&self.graph, a.index()).bottleneck_capacity_to(&self.graph, b.index())
     }
 }
@@ -293,6 +413,56 @@ mod tests {
             a.graph().edges().map(|(x, y, _)| (x, y)).collect::<Vec<_>>(),
             b.graph().edges().map(|(x, y, _)| (x, y)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn geo_overlay_delay_is_symmetric_and_bounded() {
+        let cfg = GeoConfig { peers: 500, ..GeoConfig::default() };
+        let o = Overlay::build_geo(&cfg, 42);
+        assert!(o.is_geo());
+        assert_eq!(o.peer_count(), 500);
+        for (a, b) in [(0u64, 1), (7, 450), (123, 123)] {
+            let (pa, pb) = (PeerId::new(a), PeerId::new(b));
+            let d = o.direct_delay(pa, pb).unwrap();
+            assert_eq!(o.direct_delay(pb, pa).unwrap().to_bits(), d.to_bits());
+            if a == b {
+                assert_eq!(d, 0.0);
+            } else {
+                assert!(d >= cfg.base_ms && d <= cfg.base_ms + cfg.stretch_ms * 1.5);
+            }
+            assert_eq!(o.route_delay(pa, pb).to_bits(), d.to_bits());
+        }
+        let cap = o.route_bottleneck(PeerId::new(0), PeerId::new(1)).unwrap();
+        let (lo, hi) = cfg.access_mbps;
+        assert!(cap >= lo && cap <= hi);
+        assert_eq!(
+            cap,
+            o.access_capacity(PeerId::new(0))
+                .unwrap()
+                .min(o.access_capacity(PeerId::new(1)).unwrap())
+        );
+    }
+
+    #[test]
+    fn geo_overlay_is_deterministic_in_seed() {
+        let cfg = GeoConfig { peers: 100, ..GeoConfig::default() };
+        let a = Overlay::build_geo(&cfg, 5);
+        let b = Overlay::build_geo(&cfg, 5);
+        for p in 0..100u64 {
+            let (x, y) = (PeerId::new(p), PeerId::new((p + 37) % 100));
+            assert_eq!(
+                a.direct_delay(x, y).unwrap().to_bits(),
+                b.direct_delay(x, y).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn graph_overlay_has_no_direct_delay() {
+        let o = build(OverlayStyle::Mesh { neighbors: 3 });
+        assert!(!o.is_geo());
+        assert!(o.direct_delay(PeerId::new(0), PeerId::new(1)).is_none());
+        assert!(o.access_capacity(PeerId::new(0)).is_none());
     }
 
     #[test]

@@ -8,8 +8,9 @@
 
 use crate::graph::{Graph, NodeIndex};
 use std::cmp::Ordering;
+use spidernet_util::hash::FxHashMap;
 use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Result of a single-source Dijkstra run.
 #[derive(Clone, Debug)]
@@ -46,6 +47,14 @@ impl PathResult {
         path.reverse();
         debug_assert_eq!(path[0], self.source);
         Some(path)
+    }
+
+    /// Predecessor of `v` on its shortest path from the source, or `None`
+    /// for the source itself (and for unreachable nodes). Lets callers
+    /// walk a path into a reused buffer instead of allocating via
+    /// [`PathResult::path_to`].
+    pub fn prev_of(&self, v: NodeIndex) -> Option<NodeIndex> {
+        self.prev[v]
     }
 
     /// True if `v` participates in this SSSP tree as a routing waypoint:
@@ -88,7 +97,12 @@ impl PathResult {
 /// source's tree is shed.
 #[derive(Clone, Debug, Default)]
 pub struct PairDelayCache {
-    map: HashMap<(NodeIndex, NodeIndex), PairSlots>,
+    map: FxHashMap<(NodeIndex, NodeIndex), PairSlots>,
+    /// Inserts refused because the cache was at [`MAX_CACHED_PAIRS`].
+    /// At 10^5-peer scale the pair space dwarfs the bound, and silent
+    /// saturation turns every post-cap leg lookup back into a tree walk —
+    /// the counter makes that perf cliff observable.
+    rejected: u64,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -125,6 +139,7 @@ impl PairDelayCache {
     /// No-op once [`MAX_CACHED_PAIRS`] entries exist.
     pub fn insert(&mut self, from: NodeIndex, to: NodeIndex, delay: f64) {
         if self.map.len() >= MAX_CACHED_PAIRS && !self.map.contains_key(&Self::key(from, to)) {
+            self.rejected += 1;
             return;
         }
         let slots = self.map.entry(Self::key(from, to)).or_default();
@@ -155,6 +170,12 @@ impl PairDelayCache {
     /// Number of symmetric pair entries held.
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Inserts refused because the cache was full — the
+    /// `topology.pair_cache_evictions` counter's source of truth.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// True if nothing is cached.
@@ -227,13 +248,13 @@ pub fn dijkstra(g: &Graph, source: NodeIndex) -> PathResult {
 /// destination lookups follow.
 pub struct RoutingOracle<'g> {
     graph: &'g Graph,
-    cache: HashMap<NodeIndex, PathResult>,
+    cache: FxHashMap<NodeIndex, PathResult>,
 }
 
 impl<'g> RoutingOracle<'g> {
     /// Creates an oracle over `graph`.
     pub fn new(graph: &'g Graph) -> Self {
-        RoutingOracle { graph, cache: HashMap::new() }
+        RoutingOracle { graph, cache: FxHashMap::default() }
     }
 
     /// The underlying graph.
@@ -384,6 +405,26 @@ mod tests {
         assert_eq!(pc.len(), 1);
         pc.clear();
         assert!(pc.is_empty());
+    }
+
+    #[test]
+    fn pair_cache_counts_rejected_inserts_at_cap() {
+        let mut pc = PairDelayCache::new();
+        assert_eq!(pc.rejected(), 0);
+        // Fill to the cap (symmetric keys: (0, 1..=MAX)).
+        for i in 0..MAX_CACHED_PAIRS {
+            pc.insert(0, i + 1, i as f64);
+        }
+        assert_eq!(pc.len(), MAX_CACHED_PAIRS);
+        assert_eq!(pc.rejected(), 0);
+        // New pairs are refused and counted; existing pairs still update.
+        pc.insert(1, 2, 9.0);
+        pc.insert(2, 3, 9.0);
+        assert_eq!(pc.rejected(), 2);
+        assert_eq!(pc.get(1, 2), None);
+        pc.insert(MAX_CACHED_PAIRS, 0, 7.0); // reverse slot of an existing pair
+        assert_eq!(pc.rejected(), 2, "existing symmetric entry must still accept");
+        assert_eq!(pc.get(MAX_CACHED_PAIRS, 0), Some(7.0));
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! crate speaks: identifiers ([`id`]), the DHT key hash ([`hash`]),
 //! application-level QoS vectors ([`qos`]), end-system resource vectors
 //! ([`res`]), deterministic randomness plumbing ([`rng`]), deterministic
-//! parallel fan-out ([`par`]), summary statistics ([`stats`]), and the
+//! parallel fan-out ([`par`]), summary statistics ([`stats`]), the
+//! generational slot arena backing dense world state ([`arena`]), and the
 //! workspace error type ([`error`]).
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod error;
 pub mod hash;
 pub mod id;
@@ -18,6 +20,7 @@ pub mod res;
 pub mod rng;
 pub mod stats;
 
+pub use arena::{SlotArena, SlotKey};
 pub use error::{Error, Result};
 pub use id::{ComponentId, FunctionId, PeerId, SessionId};
 pub use qos::{QosRequirement, QosVector};

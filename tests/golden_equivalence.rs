@@ -1,0 +1,39 @@
+//! Scale-refactor equivalence suite: the default fig. 8 and fig. 9 runs
+//! must render byte-identical CSV to the goldens captured from the
+//! pre-refactor (BTreeMap world state, build-per-cell) representation —
+//! and must stay identical across worker-thread counts.
+//!
+//! These goldens pin the figure *outputs*, so any arena/SoA or
+//! clone-per-cell change that perturbs float accumulation order, RNG
+//! stream consumption, or cell fan-out ordering fails here. Re-capture
+//! only when the protocol itself changes on purpose:
+//! `cargo run --release -p spidernet-bench --bin fig8 -- --csv`.
+
+use spidernet::core::experiments::{fig8, fig9};
+
+const FIG8_GOLDEN: &str = include_str!("golden/fig8_default.csv");
+const FIG9_GOLDEN: &str = include_str!("golden/fig9_default.csv");
+
+#[test]
+fn fig8_default_matches_pre_refactor_golden_across_thread_counts() {
+    for threads in [1usize, 4, 8] {
+        let cfg = fig8::Fig8Config { threads: Some(threads), ..fig8::Fig8Config::default() };
+        let csv = fig8::run(&cfg).to_csv();
+        assert_eq!(
+            csv, FIG8_GOLDEN,
+            "fig8 default CSV drifted from the seed representation at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn fig9_default_matches_pre_refactor_golden_across_thread_counts() {
+    for threads in [1usize, 4, 8] {
+        let cfg = fig9::Fig9Config { threads: Some(threads), ..fig9::Fig9Config::default() };
+        let csv = fig9::run(&cfg).to_csv();
+        assert_eq!(
+            csv, FIG9_GOLDEN,
+            "fig9 default CSV drifted from the seed representation at {threads} thread(s)"
+        );
+    }
+}

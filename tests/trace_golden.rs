@@ -37,6 +37,7 @@ fn render(ev: &TraceEvent) -> String {
         TraceEvent::ConnOpened { peer } => format!("conn+ p{peer}"),
         TraceEvent::ConnClosed { peer } => format!("conn- p{peer}"),
         TraceEvent::ConnRetry { peer, attempt } => format!("connr p{peer} a{attempt}"),
+        TraceEvent::PairCacheSaturated { rejected } => format!("paircache r{rejected}"),
     }
 }
 
