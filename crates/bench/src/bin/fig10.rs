@@ -1,7 +1,7 @@
 //! Regenerates Fig. 10: wide-area session setup time vs function number on
 //! the threaded PlanetLab stand-in (102 peers).
 //!
-//! `cargo run --release -p spidernet-bench --bin fig10 [--paper] [--csv] [--trace-json]`
+//! `cargo run --release -p spidernet-bench --bin fig10 [--paper] [--csv] [--json [path]] [--trace-json]`
 //!
 //! `--trace-json` writes `TRACE_fig10.json`: probe transmissions per
 //! composition session plus cluster trace-ring statistics.
@@ -16,11 +16,11 @@
 //! * `--churn-sweep` replays one crash storm per churn rate
 //!   (`--rates 0.01,0.05` overrides the default grid).
 //!
-//! Both honor `--csv` / `--json` (`BENCH_fig10.json` gains recovery
-//! fields: success rate, switch latency, reactive-BCP count).
+//! Both honor `--csv` / `--json [path]` (`BENCH_fig10.json` gains
+//! recovery fields: success rate, switch latency, reactive-BCP count).
 
 use spidernet_bench::{
-    arg_value, churn_sweep_requested, csv_requested, json_requested, paper_scale_requested,
+    arg_value, churn_sweep_requested, csv_requested, json_spec, paper_scale_requested,
     trace_json_requested, BenchReport,
 };
 use spidernet_core::experiments::faults::{self, ChurnSweepConfig, FaultLabConfig};
@@ -55,7 +55,7 @@ fn run_fault_plan(spec: &str) {
         plan.horizon()
     );
     let rep = faults::run(&cfg, plan);
-    if json_requested() {
+    if let Some(json_path) = json_spec() {
         let mut b = BenchReport::new("fig10");
         b.int("crashes", rep.crashes())
             .int("revives", rep.revives())
@@ -66,7 +66,7 @@ fn run_fault_plan(spec: &str) {
             .int("sessions_surviving", rep.surviving as u64)
             .num("recovery_success_rate", rep.recovery_success_rate())
             .num("mean_switch_ms", rep.mean_switch_ms);
-        match b.write() {
+        match b.write_spec(&json_path) {
             Ok(p) => eprintln!("fig10: wrote {}", p.display()),
             Err(e) => eprintln!("fig10: could not write bench report: {e}"),
         }
@@ -94,7 +94,7 @@ fn run_churn_sweep() {
         cfg.rates, cfg.units, cfg.base.peers
     );
     let res = faults::churn_sweep(&cfg);
-    if json_requested() {
+    if let Some(json_path) = json_spec() {
         let crashes: u64 = res.rows.iter().map(|r| r.crashes).sum();
         let hits: u64 = res.rows.iter().map(|r| r.hits).sum();
         let switches: u64 = res.rows.iter().map(|r| r.switches).sum();
@@ -112,7 +112,7 @@ fn run_churn_sweep() {
             .int("reactive_bcp", reactive)
             .num("recovery_success_rate", success)
             .num("mean_switch_ms", mean_switch_ms);
-        match b.write() {
+        match b.write_spec(&json_path) {
             Ok(p) => eprintln!("fig10: wrote {}", p.display()),
             Err(e) => eprintln!("fig10: could not write bench report: {e}"),
         }
@@ -142,6 +142,23 @@ fn main() {
         cfg.cluster.peers, cfg.requests_per_point
     );
     let res = run(&cfg);
+    if let Some(json_path) = json_spec() {
+        let successes: u64 = res.rows.iter().map(|r| r.successes as u64).sum();
+        let attempts: u64 = res.rows.iter().map(|r| r.attempts as u64).sum();
+        let probes: u64 = res.session_probes.iter().map(|&(_, p)| p).sum();
+        let mut b = BenchReport::new("fig10");
+        b.int("points", res.rows.len() as u64)
+            .int("attempts", attempts)
+            .int("successes", successes)
+            .int("probes", probes);
+        if let Some(last) = res.rows.last() {
+            b.num("max_chain_total_ms", last.total_ms);
+        }
+        match b.write_spec(&json_path) {
+            Ok(p) => eprintln!("fig10: wrote {}", p.display()),
+            Err(e) => eprintln!("fig10: could not write bench report: {e}"),
+        }
+    }
     if trace_json_requested() {
         let mut rep = TraceReport::new("fig10");
         let total: u64 = res.session_probes.iter().map(|&(_, p)| p).sum();

@@ -1,9 +1,9 @@
 //! Regenerates Fig. 8: composition success rate vs workload for optimal,
 //! probing-0.2, probing-0.1, random, and static.
 //!
-//! `cargo run --release -p spidernet-bench --bin fig8 [--paper] [--csv] [--json] [--trace-json] [--peers N]`
+//! `cargo run --release -p spidernet-bench --bin fig8 [--paper] [--csv] [--json [path]] [--trace-json] [--peers N]`
 //!
-//! `--json` additionally times the harness sequentially and in parallel
+//! `--json [path]` additionally times the harness sequentially and in parallel
 //! (the outputs are bit-identical either way) and writes the wall-time /
 //! throughput record to `BENCH_fig8.json`. `--trace-json` writes the
 //! merged protocol counters and DAG-shape histograms to `TRACE_fig8.json`.
@@ -14,7 +14,7 @@
 //! `scale` block (peers, probes/sec, peak RSS).
 
 use spidernet_bench::{
-    arg_value, csv_requested, json_requested, paper_scale_requested, peak_rss_bytes,
+    arg_value, csv_requested, json_requested, json_spec, paper_scale_requested, peak_rss_bytes,
     quick_requested, time_seq_par, trace_json_requested, BenchBlock, BenchReport,
 };
 use spidernet_core::experiments::fig8::{
@@ -88,7 +88,7 @@ fn main() {
         base.workloads,
         if paper_scale_requested() { " (paper scale)" } else { " (scaled down; pass --paper for full size)" }
     );
-    let res = if json_requested() {
+    let res = if let Some(json_path) = json_spec() {
         let trials = (base.workloads.len() * base.algorithms.len()) as u64;
         let (seq, par, threads, out) =
             time_seq_par(|t| run(&Fig8Config { threads: Some(t), ..base.clone() }));
@@ -131,7 +131,7 @@ fn main() {
                 .int("peak_rss_bytes", peak_rss_bytes().unwrap_or(0));
             rep.nested("scale", &block);
         }
-        match rep.write() {
+        match rep.write_spec(&json_path) {
             Ok(p) => eprintln!("fig8: wrote {}", p.display()),
             Err(e) => eprintln!("fig8: could not write report: {e}"),
         }

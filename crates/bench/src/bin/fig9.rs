@@ -1,16 +1,16 @@
 //! Regenerates Fig. 9: failure frequency over time with and without
 //! proactive recovery under 1%-per-unit churn.
 //!
-//! `cargo run --release -p spidernet-bench --bin fig9 [--paper] [--csv] [--json] [--trace-json]`
+//! `cargo run --release -p spidernet-bench --bin fig9 [--paper] [--csv] [--json [path]] [--trace-json]`
 //!
-//! `--json` additionally times the harness sequentially and in parallel
+//! `--json [path]` additionally times the harness sequentially and in parallel
 //! (the outputs are bit-identical either way) and writes the wall-time /
 //! throughput record to `BENCH_fig9.json`. `--trace-json` writes the
 //! merged protocol counters (probes, maintenance, switch latencies) to
 //! `TRACE_fig9.json`.
 
 use spidernet_bench::{
-    csv_requested, json_requested, paper_scale_requested, time_seq_par, trace_json_requested,
+    csv_requested, json_spec, paper_scale_requested, time_seq_par, trace_json_requested,
     BenchReport,
 };
 use spidernet_core::experiments::fig9::{run, Fig9Config};
@@ -31,7 +31,7 @@ fn main() {
         Fig9Config::default()
     };
     eprintln!("fig9: {} peers, {} sessions, {} units", base.peers, base.sessions, base.duration_units);
-    let res = if json_requested() {
+    let res = if let Some(json_path) = json_spec() {
         let (seq, par, threads, out) =
             time_seq_par(|t| run(&Fig9Config { threads: Some(t), ..base.clone() }));
         let mut rep = BenchReport::new("fig9");
@@ -49,7 +49,7 @@ fn main() {
             .num("optimal_phase_secs", 0.0)
             .int("combos_examined", out.metrics.value(counter::COMBOS_EXAMINED))
             .int("combos_pruned", out.metrics.value(counter::COMBOS_PRUNED));
-        match rep.write() {
+        match rep.write_spec(&json_path) {
             Ok(p) => eprintln!("fig9: wrote {}", p.display()),
             Err(e) => eprintln!("fig9: could not write report: {e}"),
         }

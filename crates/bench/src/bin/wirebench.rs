@@ -4,16 +4,20 @@
 //! the way a TCP read loop does.
 //!
 //! ```text
-//! cargo run --release --bin wirebench [--csv] [--json]
+//! cargo run --release --bin wirebench [--csv] [--json [path]]
 //! ```
 //!
-//! `--json` additionally writes `BENCH_wire.json` with per-shape
-//! encode/decode MB/s for regression tracking.
+//! `--json [path]` additionally writes `BENCH_wire.json` (or the given
+//! path) with per-shape encode/decode MB/s for regression tracking.
+//! Each shape reports three encode rates: `encode` (one reused buffer —
+//! codec ceiling), `encode_alloc` (fresh `Vec` per frame — what the
+//! transports did before the pooled API), and `encode_pooled`
+//! ([`BufPool`] get/encode_into/put — what they do now).
 
-use spidernet_bench::{csv_requested, json_requested, BenchBlock, BenchReport};
+use spidernet_bench::{csv_requested, json_spec, BenchBlock, BenchReport};
 use spidernet_util::qos::QosVector;
 use spidernet_wire::{
-    encode_to_vec, FrameDecoder, WireMsg, WirePixels, WireProbe, WireReplica,
+    encode_to_vec, BufPool, FrameDecoder, WireMsg, WirePixels, WireProbe, WireReplica,
 };
 use std::time::Instant;
 
@@ -67,6 +71,8 @@ struct Row {
     name: &'static str,
     bytes_per_msg: usize,
     encode_mps: f64,
+    encode_alloc_mps: f64,
+    encode_pooled_mps: f64,
     decode_mps: f64,
     encode_mbs: f64,
     decode_mbs: f64,
@@ -85,6 +91,25 @@ fn bench(name: &'static str, msg: WireMsg, iters: u32) -> Row {
     }
     let enc = t.elapsed().as_secs_f64();
 
+    // Fresh allocation per frame: what the transports did before the
+    // pooled encode path.
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(encode_to_vec(&msg));
+    }
+    let enc_alloc = t.elapsed().as_secs_f64();
+
+    // The pooled transport path: each frame borrows a recycled buffer
+    // and hands it back after the (simulated) write.
+    let pool = BufPool::default();
+    let t = Instant::now();
+    for _ in 0..iters {
+        let b = pool.encode(&msg);
+        std::hint::black_box(&b);
+        pool.put(b);
+    }
+    let enc_pooled = t.elapsed().as_secs_f64();
+
     let t = Instant::now();
     for _ in 0..iters {
         let (decoded, used) = spidernet_wire::decode(&frame).expect("self-encoded frame");
@@ -97,6 +122,8 @@ fn bench(name: &'static str, msg: WireMsg, iters: u32) -> Row {
         name,
         bytes_per_msg,
         encode_mps: iters as f64 / enc / 1e6,
+        encode_alloc_mps: iters as f64 / enc_alloc / 1e6,
+        encode_pooled_mps: iters as f64 / enc_pooled / 1e6,
         decode_mps: iters as f64 / dec / 1e6,
         encode_mbs: mb / enc,
         decode_mbs: mb / dec,
@@ -136,23 +163,38 @@ fn main() {
         bench("frame_256x256", frame_msg(256), 5_000),
     ];
     if csv {
-        println!("msg,bytes,encode_mmsgs_s,decode_mmsgs_s,encode_mb_s,decode_mb_s");
+        println!("msg,bytes,encode_mmsgs_s,encode_alloc_mmsgs_s,encode_pooled_mmsgs_s,decode_mmsgs_s,encode_mb_s,decode_mb_s");
         for r in &rows {
             println!(
-                "{},{},{:.3},{:.3},{:.1},{:.1}",
-                r.name, r.bytes_per_msg, r.encode_mps, r.decode_mps, r.encode_mbs, r.decode_mbs
+                "{},{},{:.3},{:.3},{:.3},{:.3},{:.1},{:.1}",
+                r.name,
+                r.bytes_per_msg,
+                r.encode_mps,
+                r.encode_alloc_mps,
+                r.encode_pooled_mps,
+                r.decode_mps,
+                r.encode_mbs,
+                r.decode_mbs
             );
         }
     } else {
         println!("wire codec throughput (single core)");
         println!(
-            "{:<14} {:>7} {:>12} {:>12} {:>10} {:>10}",
-            "message", "bytes", "enc Mmsg/s", "dec Mmsg/s", "enc MB/s", "dec MB/s"
+            "{:<14} {:>7} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+            "message", "bytes", "enc Mmsg/s", "alloc Mmsg/s", "pool Mmsg/s", "dec Mmsg/s",
+            "enc MB/s", "dec MB/s"
         );
         for r in &rows {
             println!(
-                "{:<14} {:>7} {:>12.3} {:>12.3} {:>10.1} {:>10.1}",
-                r.name, r.bytes_per_msg, r.encode_mps, r.decode_mps, r.encode_mbs, r.decode_mbs
+                "{:<14} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>10.1} {:>10.1}",
+                r.name,
+                r.bytes_per_msg,
+                r.encode_mps,
+                r.encode_alloc_mps,
+                r.encode_pooled_mps,
+                r.decode_mps,
+                r.encode_mbs,
+                r.decode_mbs
             );
         }
     }
@@ -164,12 +206,14 @@ fn main() {
         println!("\nFrameDecoder over 16 KiB chunks (64x64 frames): {fps:.0} frames/s, {mbs:.1} MB/s");
     }
 
-    if json_requested() {
+    if let Some(json_path) = json_spec() {
         let mut rep = BenchReport::new("wire");
         for r in &rows {
             let mut b = BenchBlock::new();
             b.int("bytes_per_msg", r.bytes_per_msg as u64)
                 .num("encode_mmsgs_per_sec", r.encode_mps)
+                .num("encode_alloc_mmsgs_per_sec", r.encode_alloc_mps)
+                .num("encode_pooled_mmsgs_per_sec", r.encode_pooled_mps)
                 .num("decode_mmsgs_per_sec", r.decode_mps)
                 .num("encode_mb_per_sec", r.encode_mbs)
                 .num("decode_mb_per_sec", r.decode_mbs);
@@ -178,7 +222,7 @@ fn main() {
         let mut stream = BenchBlock::new();
         stream.num("frames_per_sec", fps).num("decode_mb_per_sec", mbs);
         rep.nested("stream_decoder_64x64", &stream);
-        let path = rep.write().expect("write BENCH_wire.json");
+        let path = rep.write_spec(&json_path).expect("write BENCH_wire.json");
         println!("wirebench: wrote {}", path.display());
     }
 }

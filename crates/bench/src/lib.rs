@@ -5,6 +5,12 @@
 //! the criterion benches in `benches/` time miniaturized versions of the
 //! same drivers plus ablations of the design choices called out in
 //! DESIGN.md.
+//!
+//! The report/CLI vocabulary ([`BenchReport`], [`BenchBlock`],
+//! [`peak_rss_bytes`], [`arg_value`], [`json_spec`]) lives in
+//! `spidernet-util` so non-bench binaries (`spidernet-node deploy`) can
+//! emit `BENCH_<name>.json` through the same API; it is re-exported here
+//! for existing call sites.
 
 #![warn(missing_docs)]
 
@@ -12,27 +18,32 @@ use spidernet_core::bcp::BcpConfig;
 use spidernet_core::system::{SpiderNet, SpiderNetConfig};
 use spidernet_core::workload::{PopulationConfig, RequestConfig};
 
+pub use spidernet_util::bench::{peak_rss_bytes, peak_rss_bytes_for, BenchBlock, BenchReport};
+pub use spidernet_util::cli::{arg_value, arg_value_in, flag_present, json_spec, json_spec_in};
+
 /// True if the CLI was invoked with `--paper` (full-scale experiment).
 pub fn paper_scale_requested() -> bool {
-    std::env::args().any(|a| a == "--paper")
+    flag_present("--paper")
 }
 
 /// True if the CLI was invoked with `--csv` (machine-readable output).
 pub fn csv_requested() -> bool {
-    std::env::args().any(|a| a == "--csv")
+    flag_present("--csv")
 }
 
 /// True if the CLI was invoked with `--quick` (CI smoke configuration:
 /// a miniature grid that still exercises every field of the bench
 /// report, finishing in seconds).
 pub fn quick_requested() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    flag_present("--quick")
 }
 
-/// True if the CLI was invoked with `--json` (write a `BENCH_<fig>.json`
-/// harness-performance report alongside the figure output).
+/// True if the CLI was invoked with `--json` in any spelling, bare or
+/// pathed. Prefer [`json_spec`] + `BenchReport::write_spec`, which also
+/// honor an explicit output path; this remains for call sites that only
+/// gate work on the flag's presence.
 pub fn json_requested() -> bool {
-    std::env::args().any(|a| a == "--json")
+    json_spec().is_some()
 }
 
 /// True if the CLI was invoked with `--trace-json` (write a
@@ -40,39 +51,14 @@ pub fn json_requested() -> bool {
 /// DAG-shape histograms, and per-session probe rows — alongside the
 /// figure output).
 pub fn trace_json_requested() -> bool {
-    std::env::args().any(|a| a == "--trace-json")
+    flag_present("--trace-json")
 }
 
 /// True if the CLI was invoked with `--churn-sweep` (fig10: sweep crash
 /// rates through the deterministic fault lab instead of the threaded
 /// setup-time experiment).
 pub fn churn_sweep_requested() -> bool {
-    std::env::args().any(|a| a == "--churn-sweep")
-}
-
-/// The value of `--<flag> <value>` or `--<flag>=<value>` on the CLI, if
-/// present (e.g. `arg_value("--faults")`).
-pub fn arg_value(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    arg_value_in(&args, flag)
-}
-
-/// [`arg_value`] over an explicit argument list (separated out for
-/// testing). Matches only the exact flag or `flag=`; `--faultsX` does
-/// not match `--faults`.
-pub fn arg_value_in(args: &[String], flag: &str) -> Option<String> {
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == flag {
-            return it.next().cloned();
-        }
-        if let Some(rest) = a.strip_prefix(flag) {
-            if let Some(v) = rest.strip_prefix('=') {
-                return Some(v.to_owned());
-            }
-        }
-    }
-    None
+    flag_present("--churn-sweep")
 }
 
 /// Times one figure driver sequentially (1 worker thread) and again at the
@@ -90,114 +76,6 @@ pub fn time_seq_par<T>(mut run_with_threads: impl FnMut(usize) -> T) -> (f64, f6
     let out = run_with_threads(threads);
     let parallel = t1.elapsed().as_secs_f64();
     (sequential, parallel, threads, out)
-}
-
-/// Peak resident set size of this process in bytes (Linux `VmHWM` from
-/// `/proc/self/status`), or `None` where that interface is unavailable.
-/// VmHWM is the high-water mark, so sampling once at the end of a run
-/// captures the run's true memory footprint.
-pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
-}
-
-/// An insertion-ordered JSON object nested one level inside a
-/// [`BenchReport`] (e.g. the `scale` block in `BENCH_fig8.json`).
-#[derive(Default)]
-pub struct BenchBlock {
-    fields: Vec<(String, String)>,
-}
-
-impl BenchBlock {
-    /// An empty block.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds an integer field.
-    pub fn int(&mut self, key: &str, v: u64) -> &mut Self {
-        self.fields.push((key.to_owned(), v.to_string()));
-        self
-    }
-
-    /// Adds a float field, rendered with four decimal places.
-    pub fn num(&mut self, key: &str, v: f64) -> &mut Self {
-        self.fields.push((key.to_owned(), format!("{v:.4}")));
-        self
-    }
-
-    /// Renders the block as a JSON object whose closing brace sits at the
-    /// parent report's two-space field indent.
-    fn to_json(&self) -> String {
-        let mut s = String::from("{\n");
-        for (i, (k, v)) in self.fields.iter().enumerate() {
-            s.push_str("    \"");
-            s.push_str(k);
-            s.push_str("\": ");
-            s.push_str(v);
-            s.push_str(if i + 1 == self.fields.len() { "\n" } else { ",\n" });
-        }
-        s.push_str("  }");
-        s
-    }
-}
-
-/// An insertion-ordered flat JSON report written as `BENCH_<fig>.json`.
-pub struct BenchReport {
-    name: String,
-    fields: Vec<(String, String)>,
-}
-
-impl BenchReport {
-    /// A report for figure `name` (e.g. `"fig8"`).
-    pub fn new(name: &str) -> Self {
-        let mut r = BenchReport { name: name.to_owned(), fields: Vec::new() };
-        r.fields.push(("figure".into(), format!("\"{name}\"")));
-        r
-    }
-
-    /// Adds an integer field.
-    pub fn int(&mut self, key: &str, v: u64) -> &mut Self {
-        self.fields.push((key.to_owned(), v.to_string()));
-        self
-    }
-
-    /// Adds a float field, rendered with four decimal places.
-    pub fn num(&mut self, key: &str, v: f64) -> &mut Self {
-        self.fields.push((key.to_owned(), format!("{v:.4}")));
-        self
-    }
-
-    /// Adds a nested object field (rendered inline at the key's
-    /// insertion-order position).
-    pub fn nested(&mut self, key: &str, block: &BenchBlock) -> &mut Self {
-        self.fields.push((key.to_owned(), block.to_json()));
-        self
-    }
-
-    /// Renders the report as a flat JSON object.
-    pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n");
-        for (i, (k, v)) in self.fields.iter().enumerate() {
-            s.push_str("  \"");
-            s.push_str(k);
-            s.push_str("\": ");
-            s.push_str(v);
-            s.push_str(if i + 1 == self.fields.len() { "\n" } else { ",\n" });
-        }
-        s.push_str("}\n");
-        s
-    }
-
-    /// Writes `BENCH_<fig>.json` into the current directory and returns
-    /// the path.
-    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
-        let path = std::path::PathBuf::from(format!("BENCH_{}.json", self.name));
-        std::fs::write(&path, self.to_json())?;
-        Ok(path)
-    }
 }
 
 /// A small, fast world shared by micro-benchmarks: 60 peers over a
@@ -231,48 +109,16 @@ mod tests {
     use spidernet_util::rng::rng_for;
 
     #[test]
-    fn bench_report_renders_valid_flat_json() {
-        let mut rep = BenchReport::new("figX");
-        rep.int("trials", 10).num("parallel_secs", 1.25);
-        let json = rep.to_json();
-        assert!(json.starts_with("{\n"));
-        assert!(json.ends_with("}\n"));
-        assert!(json.contains("\"figure\": \"figX\""));
-        assert!(json.contains("\"trials\": 10,"));
-        assert!(json.contains("\"parallel_secs\": 1.2500\n"));
-    }
-
-    #[test]
-    fn nested_block_renders_inside_the_report() {
-        let mut scale = BenchBlock::new();
-        scale.int("peers", 100_000).num("probes_per_sec", 123.5);
-        let mut rep = BenchReport::new("fig8");
-        rep.int("trials", 2).nested("scale", &scale);
-        let json = rep.to_json();
-        assert!(json.contains("\"scale\": {\n"));
-        assert!(json.contains("    \"peers\": 100000,\n"));
-        assert!(json.contains("    \"probes_per_sec\": 123.5000\n  }"));
-    }
-
-    #[test]
-    fn peak_rss_is_reported_on_linux() {
-        let rss = peak_rss_bytes().expect("VmHWM available on Linux");
-        assert!(rss > 1024 * 1024, "peak RSS implausibly small: {rss}");
-    }
-
-    #[test]
-    fn arg_value_matches_both_spellings_and_nothing_else() {
-        let args: Vec<String> = ["fig10", "--faults", "storm:rate=0.1", "--seed=7", "--faultsy=x"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(arg_value_in(&args, "--faults").as_deref(), Some("storm:rate=0.1"));
+    fn report_api_is_reexported_from_util() {
+        // The canonical definitions moved to spidernet-util; this pins the
+        // re-export so existing `spidernet_bench::BenchReport` call sites
+        // keep compiling.
+        let mut rep = BenchReport::new("reexport");
+        rep.int("x", 1);
+        assert!(rep.to_json().contains("\"figure\": \"reexport\""));
+        assert!(peak_rss_bytes().is_some());
+        let args = vec!["fig8".to_string(), "--seed=7".to_string()];
         assert_eq!(arg_value_in(&args, "--seed").as_deref(), Some("7"));
-        assert_eq!(arg_value_in(&args, "--rates"), None);
-        assert_eq!(arg_value_in(&args, "--faultsy").as_deref(), Some("x"));
-        // A flag with no following value yields None, not a panic.
-        let dangling: Vec<String> = vec!["fig10".into(), "--faults".into()];
-        assert_eq!(arg_value_in(&dangling, "--faults"), None);
     }
 
     #[test]

@@ -15,8 +15,12 @@
 //! exercise proactive backup switchover), prints a JSON summary, and
 //! tears the cluster down.
 
-use spidernet_runtime::net::{deploy, run_node, DeployConfig, NodeConfig};
-use spidernet_runtime::{ClusterConfig, NetFaultConfig};
+use spidernet_runtime::net::{
+    deploy, deploy_many, run_node, setup_fingerprint, setup_to_wire, DeployConfig, NodeConfig,
+    TransportKind,
+};
+use spidernet_runtime::{Cluster, ClusterConfig, NetFaultConfig};
+use spidernet_util::{BenchBlock, BenchReport};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -26,10 +30,13 @@ fn usage() -> ! {
          spidernet-node serve --index I --peers N --ports P0,P1,... [--seed S] \
          [--jitter J] [--time-scale T] [--collect-window-ms W] [--quota Q] \
          [--failover-timeout-ms F] [--maintenance-period-ms M] \
-         [--drop-prob D] [--extra-delay-ms E]\n  \
+         [--drop-prob D] [--extra-delay-ms E] [--transport event|blocking]\n  \
          spidernet-node deploy [--peers N] [--seed S] [--frames F] \
          [--interval-ms I] [--budget B] [--time-scale T] [--timeout-secs T] \
-         [--drop-prob D] [--extra-delay-ms E] [--kill-primary]"
+         [--drop-prob D] [--extra-delay-ms E] [--transport event|blocking] \
+         [--kill-primary]\n  \
+         spidernet-node deploy --sessions N [--verify-inprocess] \
+         [--json [path]] [...same flags as deploy]"
     );
     std::process::exit(2)
 }
@@ -92,10 +99,10 @@ fn cluster_config(values: &HashMap<String, String>, peers: usize) -> ClusterConf
             "maintenance-period-ms",
             defaults.maintenance_period_ms,
         ),
-        faults: NetFaultConfig {
-            drop_prob: get(values, "drop-prob", 0.0),
-            extra_delay_ms: get(values, "extra-delay-ms", 0.0),
-        },
+        faults: NetFaultConfig::builder()
+            .drop_prob(get(values, "drop-prob", 0.0))
+            .extra_delay_ms(get(values, "extra-delay-ms", 0.0))
+            .build(),
     }
 }
 
@@ -117,7 +124,12 @@ fn serve(args: &[String]) {
         eprintln!("--ports must list one port per peer and --index must be in range");
         usage()
     }
-    let cfg = NodeConfig { index, cluster: cluster_config(&values, peers), ports };
+    let cfg = NodeConfig {
+        index,
+        cluster: cluster_config(&values, peers),
+        ports,
+        transport: get(&values, "transport", TransportKind::default()),
+    };
     if let Err(e) = run_node(cfg) {
         eprintln!("spidernet-node[{index}]: {e}");
         std::process::exit(1);
@@ -131,13 +143,28 @@ fn run_deploy(args: &[String]) {
     let node_exe = std::env::current_exe().expect("own executable path");
     let mut cfg = DeployConfig::standard(peers, seed, node_exe);
     cfg.cluster.time_scale = get(&values, "time-scale", cfg.cluster.time_scale);
-    cfg.cluster.faults = NetFaultConfig {
-        drop_prob: get(&values, "drop-prob", 0.0),
-        extra_delay_ms: get(&values, "extra-delay-ms", 0.0),
-    };
-    cfg.frames = get(&values, "frames", cfg.frames);
+    cfg.cluster.faults = NetFaultConfig::builder()
+        .drop_prob(get(&values, "drop-prob", 0.0))
+        .extra_delay_ms(get(&values, "extra-delay-ms", 0.0))
+        .build();
     cfg.interval_ms = get(&values, "interval-ms", cfg.interval_ms);
     cfg.budget = get(&values, "budget", cfg.budget);
+    cfg.transport = get(&values, "transport", TransportKind::default());
+
+    if values.contains_key("sessions") {
+        let sessions: u64 = require(&values, "sessions");
+        // Many short sessions: a lighter per-session stream at a pace
+        // whose aggregate demand the loopback path can actually carry
+        // (1k sessions at the single-session 25 ms cadence just measures
+        // the shed policy), and a wider wall budget.
+        cfg.frames = get(&values, "frames", 20);
+        cfg.interval_ms = get(&values, "interval-ms", 200.0);
+        cfg.timeout = Duration::from_secs(get(&values, "timeout-secs", 180));
+        run_deploy_many(cfg, sessions, &values, &switches);
+        return;
+    }
+
+    cfg.frames = get(&values, "frames", cfg.frames);
     cfg.timeout = Duration::from_secs(get(&values, "timeout-secs", 45));
     cfg.kill_primary = switches.iter().any(|s| s == "kill-primary");
     let kill = cfg.kill_primary;
@@ -158,6 +185,181 @@ fn run_deploy(args: &[String]) {
             eprintln!("deploy failed: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `deploy --sessions N`: N concurrent composition + streaming sessions
+/// through one loopback deployment, reporting per-session setup-latency
+/// percentiles, aggregate frames/sec, connection counts, and peak child
+/// RSS — as text and (with `--json [path]`) as BENCH_daemon.json.
+fn run_deploy_many(
+    cfg: DeployConfig,
+    sessions: u64,
+    values: &HashMap<String, String>,
+    switches: &[String],
+) {
+    // `--json` bare writes the default BENCH_daemon.json; with a value it
+    // writes there (mirroring the bench binaries' `--json [path]`).
+    let json_spec: Option<Option<String>> = match values.get("json") {
+        Some(path) => Some(Some(path.clone())),
+        None => switches.iter().any(|s| s == "json").then_some(None),
+    };
+    let verify = switches.iter().any(|s| s == "verify-inprocess");
+    if switches.iter().any(|s| s == "kill-primary") {
+        eprintln!("--kill-primary applies to single-session deploys");
+        usage()
+    }
+    let peers = cfg.cluster.peers;
+    let transport = cfg.transport;
+    let faults_active = cfg.cluster.faults.is_active();
+    let cluster_cfg = cfg.cluster.clone();
+    let (source, dest) = (cfg.source, cfg.dest);
+    let (chain, budget) = (cfg.chain.clone(), cfg.budget);
+    let per_compose_timeout = cfg.timeout;
+
+    let outcome = match deploy_many(cfg, sessions) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("deploy --sessions {sessions} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // The same N compositions, sequentially, in-process: request ids and
+    // message content match, so the setup fingerprints must be bit-equal.
+    let fingerprint_match = verify.then(|| {
+        let cluster = Cluster::start(cluster_cfg);
+        let mut wires = Vec::with_capacity(sessions as usize);
+        for request in 1..=sessions {
+            match cluster.compose(source, dest, chain.clone(), budget, per_compose_timeout) {
+                Some(setup) => wires.push(setup_to_wire(&setup)),
+                None => {
+                    eprintln!("verify: in-process composition {request} timed out");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let matched = setup_fingerprint(&wires) == outcome.setup_fingerprint;
+        if !matched {
+            // Aggregate fingerprints disagree: name the diverging
+            // sessions so the report is actionable.
+            for (inproc, socket) in wires.iter().zip(outcome.setups.iter()) {
+                let metrics = |s: &spidernet_wire::WireSetup| {
+                    [s.discovery_ms, s.probing_ms, s.init_ms, s.total_ms].map(f64::to_bits)
+                };
+                if inproc.path != socket.path
+                    || inproc.backups != socket.backups
+                    || metrics(inproc) != metrics(socket)
+                    || inproc.ok != socket.ok
+                {
+                    eprintln!(
+                        "verify: request {} diverges:\n  in-process ok={} path={:?} backups={:?} \
+                         disc/probe/init/total = {}/{}/{}/{}\n  socket     ok={} path={:?} \
+                         backups={:?} disc/probe/init/total = {}/{}/{}/{}",
+                        socket.request,
+                        inproc.ok,
+                        inproc.path,
+                        inproc.backups,
+                        inproc.discovery_ms,
+                        inproc.probing_ms,
+                        inproc.init_ms,
+                        inproc.total_ms,
+                        socket.ok,
+                        socket.path,
+                        socket.backups,
+                        socket.discovery_ms,
+                        socket.probing_ms,
+                        socket.init_ms,
+                        socket.total_ms,
+                    );
+                }
+            }
+        }
+        matched
+    });
+
+    let (p50, p90, p99) = (
+        outcome.setup_percentile_ms(0.50),
+        outcome.setup_percentile_ms(0.90),
+        outcome.setup_percentile_ms(0.99),
+    );
+    let mean = outcome.setup_wall_ms.iter().sum::<f64>() / outcome.setup_wall_ms.len() as f64;
+    let max = outcome.setup_wall_ms.iter().cloned().fold(0.0, f64::max);
+    let frames_per_sec = outcome.frames_delivered as f64 / outcome.stream_secs.max(1e-9);
+    let conns_opened: u64 = outcome.stats.iter().map(|s| s.conns_opened).sum();
+    let conn_retries: u64 = outcome.stats.iter().map(|s| s.conn_retries).sum();
+    let decode_errors: u64 = outcome.stats.iter().map(|s| s.decode_errors).sum();
+    let wire_frames_tx: u64 = outcome.stats.iter().map(|s| s.frames_tx).sum();
+    let wire_bytes_tx: u64 = outcome.stats.iter().map(|s| s.bytes_tx).sum();
+
+    println!(
+        "deploy: {}/{} sessions composed over {peers} peers ({transport}), \
+         setup p50/p90/p99 = {p50:.1}/{p90:.1}/{p99:.1} ms, \
+         {}/{} frames delivered ({frames_per_sec:.0} frames/s), \
+         {conns_opened} conns, peak child RSS {:.1} MB",
+        outcome.setups_ok,
+        outcome.sessions,
+        outcome.frames_delivered,
+        outcome.frames_sent,
+        outcome.peak_child_rss_bytes as f64 / 1e6,
+    );
+    if let Some(ok) = fingerprint_match {
+        println!(
+            "verify: concurrent socket setups {} the in-process cluster (fingerprint {:#018x})",
+            if ok { "match" } else { "DIVERGE from" },
+            outcome.setup_fingerprint,
+        );
+    }
+
+    if let Some(json_path) = &json_spec {
+        let mut rep = BenchReport::new("daemon");
+        rep.int("sessions", outcome.sessions)
+            .int("setups_ok", outcome.setups_ok)
+            .int("peers", peers as u64)
+            .str("transport", &transport.to_string())
+            .num("compose_secs", outcome.compose_secs)
+            .num("stream_secs", outcome.stream_secs)
+            .int("frames_sent", outcome.frames_sent)
+            .int("frames_delivered", outcome.frames_delivered)
+            .bool("all_valid", outcome.all_valid)
+            .num("frames_per_sec", frames_per_sec)
+            .int("conns_opened", conns_opened)
+            .int("conn_retries", conn_retries)
+            .int("decode_errors", decode_errors)
+            .int("wire_frames_tx", wire_frames_tx)
+            .int("wire_bytes_tx", wire_bytes_tx)
+            .int("peak_child_rss_bytes", outcome.peak_child_rss_bytes)
+            .int("setup_fingerprint", outcome.setup_fingerprint);
+        let mut lat = BenchBlock::new();
+        lat.num("p50_ms", p50)
+            .num("p90_ms", p90)
+            .num("p99_ms", p99)
+            .num("mean_ms", mean)
+            .num("max_ms", max);
+        rep.nested("setup_latency", &lat);
+        if let Some(ok) = fingerprint_match {
+            rep.bool("fingerprint_match", ok);
+        }
+        match rep.write_spec(json_path) {
+            Ok(p) => eprintln!("deploy: wrote {}", p.display()),
+            Err(e) => {
+                eprintln!("deploy: could not write report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !faults_active && outcome.setups_ok != outcome.sessions {
+        eprintln!("deploy: {} sessions failed to compose without faults", outcome.sessions - outcome.setups_ok);
+        std::process::exit(1);
+    }
+    if outcome.frames_delivered == 0 || !outcome.all_valid {
+        eprintln!("deploy: streams did not deliver valid frames");
+        std::process::exit(1);
+    }
+    if fingerprint_match == Some(false) {
+        eprintln!("deploy: socket and in-process setup fingerprints diverge");
+        std::process::exit(1);
     }
 }
 

@@ -627,7 +627,7 @@ mod tests {
     #[test]
     fn lossy_network_degrades_without_wedging() {
         let cluster = Cluster::start(ClusterConfig {
-            faults: NetFaultConfig { drop_prob: 0.25, extra_delay_ms: 0.0 },
+            faults: NetFaultConfig::builder().drop_prob(0.25).build(),
             ..fast_cfg(24, 8)
         });
         let chain = vec![MediaFunction::DownScale, MediaFunction::StockTicker];
@@ -675,7 +675,7 @@ mod tests {
     #[test]
     fn delay_jitter_preserves_stream_validity() {
         let cluster = Cluster::start(ClusterConfig {
-            faults: NetFaultConfig { drop_prob: 0.0, extra_delay_ms: 60.0 },
+            faults: NetFaultConfig::builder().extra_delay_ms(60.0).build(),
             ..fast_cfg(24, 10)
         });
         let chain = vec![MediaFunction::Requantize, MediaFunction::WeatherTicker];

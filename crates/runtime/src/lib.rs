@@ -28,14 +28,21 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+#[cfg(target_os = "linux")]
+pub(crate) mod evnet;
 pub mod experiments;
 pub mod media;
 pub mod msg;
 pub mod net;
 pub mod node;
+#[cfg(target_os = "linux")]
+pub(crate) mod poll;
 pub mod wan;
 
 pub use cluster::Cluster;
 pub use media::{Frame, MediaFunction};
-pub use node::{ClusterConfig, NetFaultConfig, Outbox, PeerNode, SetupResult, StreamReport, World};
+pub use node::{
+    ClusterConfig, NetFaultConfig, NetFaultConfigBuilder, Outbox, PeerNode, SetupResult,
+    StreamReport, World,
+};
 pub use wan::{Region, WanModel};

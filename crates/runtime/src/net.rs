@@ -251,7 +251,81 @@ impl<T: Send + 'static> DelayQueue<T> {
 /// How long a peer stays blacklisted after its dial budget is exhausted.
 /// Traffic queued toward it during the blackout is dropped — the socket
 /// equivalent of the in-process network's dead-peer rule.
-const PEER_DOWN_COOLDOWN: Duration = Duration::from_millis(500);
+pub(crate) const PEER_DOWN_COOLDOWN: Duration = Duration::from_millis(500);
+
+/// Dials `to` with capped exponential backoff and performs the
+/// client-side handshake (`Hello` out, `HelloAck` back). `None` after the
+/// attempt budget — the peer is presumed dead for now. Shared by the
+/// blocking writer threads and the event transport's dial helpers; the
+/// connection returned is in blocking mode.
+pub(crate) fn dial_peer(
+    me: PeerId,
+    ports: &[u16],
+    to: PeerId,
+    stats: &NetStats,
+    world: &World,
+) -> Option<TcpStream> {
+    let addr = SocketAddr::from(([127, 0, 0, 1], ports[to.index()]));
+    let mut backoff = Duration::from_millis(20);
+    for attempt in 0u32..5 {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(200));
+        }
+        let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(250)) else {
+            stats.conn_retries.fetch_add(1, Ordering::Relaxed);
+            world.record(TraceEvent::ConnRetry { peer: to.raw(), attempt });
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        let hello = encode_to_vec(&WireMsg::Hello {
+            peer: me.raw(),
+            node_id: 0,
+            proto_min: PROTO_VERSION,
+            proto_max: PROTO_VERSION,
+            listen_port: ports[me.index()],
+        });
+        if stream.write_all(&hello).is_err() {
+            stats.conn_retries.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        stats.bytes_tx.fetch_add(hello.len() as u64, Ordering::Relaxed);
+        stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+        // Wait for the HelloAck so a half-open acceptor can't swallow
+        // protocol frames.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let mut dec = FrameDecoder::new();
+        let mut buf = [0u8; 256];
+        let ack = loop {
+            match dec.next_frame() {
+                Ok(Some(frame)) => break Some(frame),
+                Ok(None) => match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => break None,
+                    Ok(n) => {
+                        stats.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+                        dec.extend(&buf[..n]);
+                    }
+                },
+                Err(_) => {
+                    stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    break None;
+                }
+            }
+        };
+        match ack {
+            Some(WireMsg::HelloAck { proto, .. }) if proto == PROTO_VERSION => {
+                let _ = stream.set_read_timeout(None);
+                stats.conns_opened.fetch_add(1, Ordering::Relaxed);
+                world.record(TraceEvent::ConnOpened { peer: to.raw() });
+                return Some(stream);
+            }
+            _ => {
+                stats.conn_retries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    None
+}
 
 struct Writers {
     me: PeerId,
@@ -277,67 +351,7 @@ impl Writers {
     /// client-side handshake. `None` after the attempt budget — the peer
     /// is presumed dead for now.
     fn dial(&self, to: PeerId) -> Option<TcpStream> {
-        let addr = SocketAddr::from(([127, 0, 0, 1], self.ports[to.index()]));
-        let mut backoff = Duration::from_millis(20);
-        for attempt in 0u32..5 {
-            if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_millis(200));
-            }
-            let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(250))
-            else {
-                self.stats.conn_retries.fetch_add(1, Ordering::Relaxed);
-                self.world.record(TraceEvent::ConnRetry { peer: to.raw(), attempt });
-                continue;
-            };
-            let _ = stream.set_nodelay(true);
-            let hello = encode_to_vec(&WireMsg::Hello {
-                peer: self.me.raw(),
-                node_id: 0,
-                proto_min: PROTO_VERSION,
-                proto_max: PROTO_VERSION,
-                listen_port: self.ports[self.me.index()],
-            });
-            if stream.write_all(&hello).is_err() {
-                self.stats.conn_retries.fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
-            self.stats.bytes_tx.fetch_add(hello.len() as u64, Ordering::Relaxed);
-            self.stats.frames_tx.fetch_add(1, Ordering::Relaxed);
-            // Wait for the HelloAck so a half-open acceptor can't swallow
-            // protocol frames.
-            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-            let mut dec = FrameDecoder::new();
-            let mut buf = [0u8; 256];
-            let ack = loop {
-                match dec.next_frame() {
-                    Ok(Some(frame)) => break Some(frame),
-                    Ok(None) => match stream.read(&mut buf) {
-                        Ok(0) | Err(_) => break None,
-                        Ok(n) => {
-                            self.stats.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
-                            dec.extend(&buf[..n]);
-                        }
-                    },
-                    Err(_) => {
-                        self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                        break None;
-                    }
-                }
-            };
-            match ack {
-                Some(WireMsg::HelloAck { proto, .. }) if proto == PROTO_VERSION => {
-                    let _ = stream.set_read_timeout(None);
-                    self.stats.conns_opened.fetch_add(1, Ordering::Relaxed);
-                    self.world.record(TraceEvent::ConnOpened { peer: to.raw() });
-                    return Some(stream);
-                }
-                _ => {
-                    self.stats.conn_retries.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-        None
+        dial_peer(self.me, &self.ports, to, &self.stats, &self.world)
     }
 
     fn writer_loop(&self, to: PeerId, rx: Receiver<Vec<u8>>) {
@@ -384,6 +398,46 @@ impl Writers {
 // The daemon: engine thread + listener + delay queues.
 // ---------------------------------------------------------------------
 
+/// Which connection machinery a daemon runs under its engine.
+///
+/// Both transports speak the identical wire protocol, honor the same
+/// fault-injection rules at the same layer, and produce bit-identical
+/// deployment fingerprints — the choice only affects threads vs
+/// readiness polling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Single-poller event loop (`epoll`): multiplexed connections,
+    /// bounded per-peer outbound queues with media-frame shedding,
+    /// batched vectored writes, pooled frame buffers. The default; on
+    /// non-Linux hosts it silently falls back to [`Self::Blocking`].
+    #[default]
+    Event,
+    /// The original thread-per-connection blocking transport. Kept for
+    /// one release as an escape hatch (`--transport blocking`).
+    Blocking,
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TransportKind, String> {
+        match s {
+            "event" => Ok(TransportKind::Event),
+            "blocking" => Ok(TransportKind::Blocking),
+            other => Err(format!("unknown transport {other:?} (want event|blocking)")),
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TransportKind::Event => "event",
+            TransportKind::Blocking => "blocking",
+        })
+    }
+}
+
 /// Everything a `spidernet-node` process needs to join a deployment.
 pub struct NodeConfig {
     /// This peer's index (also its position in `ports`).
@@ -393,13 +447,20 @@ pub struct NodeConfig {
     pub cluster: ClusterConfig,
     /// Loopback listen port of every peer, by index.
     pub ports: Vec<u16>,
+    /// Connection machinery (event-driven by default).
+    pub transport: TransportKind,
 }
 
-enum EngineInput {
+/// Where a control connection's replies go. The blocking transport wraps
+/// a writer thread's channel; the event transport wraps a command back
+/// into its poller loop. Either way the engine neither knows nor cares.
+pub(crate) type ReplySink = Arc<dyn Fn(WireMsg) + Send + Sync>;
+
+pub(crate) enum EngineInput {
     /// A protocol message, from the wire or a local timer.
     Deliver(Msg),
     /// A control frame plus the reply sink of its connection.
-    Ctrl(WireMsg, Sender<WireMsg>),
+    Ctrl(WireMsg, ReplySink),
     /// Periodic soft-state refresh: re-advertise this node's component.
     Announce,
 }
@@ -409,8 +470,8 @@ struct SocketOutbox {
     scale: f64,
     outbound: DelayQueue<OutFrame>,
     timers: DelayQueue<Msg>,
-    pending_setups: HashMap<u64, Sender<WireMsg>>,
-    pending_reports: HashMap<u64, Sender<WireMsg>>,
+    pending_setups: HashMap<u64, ReplySink>,
+    pending_reports: HashMap<u64, ReplySink>,
 }
 
 struct OutFrame {
@@ -438,13 +499,13 @@ impl Outbox for SocketOutbox {
 
     fn setup_result(&mut self, result: SetupResult) {
         if let Some(sink) = self.pending_setups.remove(&result.request) {
-            let _ = sink.send(WireMsg::CtrlComposeResult(setup_to_wire(&result)));
+            sink(WireMsg::CtrlComposeResult(setup_to_wire(&result)));
         }
     }
 
     fn stream_report(&mut self, report: StreamReport) {
         if let Some(sink) = self.pending_reports.remove(&report.session) {
-            let _ = sink.send(WireMsg::CtrlStreamReport(report_to_wire(&report)));
+            sink(WireMsg::CtrlStreamReport(report_to_wire(&report)));
         }
     }
 }
@@ -539,8 +600,11 @@ fn serve_connection(mut stream: TcpStream, engine: Sender<EngineInput>, stats: A
         // Control client: replies multiplex over a writer thread whose
         // sender doubles as the engine's reply sink.
         let Ok(write_half) = stream.try_clone() else { return };
-        let sink = spawn_ctrl_writer(write_half, stats.clone());
-        let _ = sink.send(WireMsg::HelloAck { peer: u64::MAX, proto });
+        let tx = spawn_ctrl_writer(write_half, stats.clone());
+        let _ = tx.send(WireMsg::HelloAck { peer: u64::MAX, proto });
+        let sink: ReplySink = Arc::new(move |msg| {
+            let _ = tx.send(msg);
+        });
         read_frames(&mut stream, &stats, |frame| {
             engine.send(EngineInput::Ctrl(frame, sink.clone())).is_ok()
         });
@@ -558,6 +622,50 @@ fn serve_connection(mut stream: TcpStream, engine: Sender<EngineInput>, stats: A
             None => true, // not peer traffic; ignore
         });
     }
+}
+
+/// The outbound half of whichever transport a daemon runs: encode-and-send
+/// one wire message toward a peer.
+enum FrameSender {
+    Writers(Arc<Writers>),
+    #[cfg(target_os = "linux")]
+    Event(crate::evnet::EventNet),
+}
+
+impl FrameSender {
+    fn send(&self, to: PeerId, wire: WireMsg) {
+        match self {
+            FrameSender::Writers(w) => w.send(to, encode_to_vec(&wire)),
+            #[cfg(target_os = "linux")]
+            FrameSender::Event(net) => net.send(to, wire),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn start_event_transport(
+    listener: TcpListener,
+    me: PeerId,
+    ports: Arc<Vec<u16>>,
+    stats: Arc<NetStats>,
+    world: Arc<World>,
+    engine: Sender<EngineInput>,
+) -> std::io::Result<FrameSender> {
+    Ok(FrameSender::Event(crate::evnet::EventNet::start(
+        listener, me, ports, stats, world, engine,
+    )?))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn start_event_transport(
+    _listener: TcpListener,
+    _me: PeerId,
+    _ports: Arc<Vec<u16>>,
+    _stats: Arc<NetStats>,
+    _world: Arc<World>,
+    _engine: Sender<EngineInput>,
+) -> std::io::Result<FrameSender> {
+    unreachable!("the event transport is Linux-only; run_node falls back to Blocking")
 }
 
 /// Runs one peer daemon until a `CtrlShutdown` arrives. Blocks the
@@ -583,19 +691,46 @@ pub fn run_node(cfg: NodeConfig) -> std::io::Result<()> {
         })
     };
 
+    // The connection machinery behind the fault-injection layer: either
+    // the event poller (owns the listener and every socket) or the
+    // blocking per-peer writer threads plus a thread-per-connection
+    // acceptor. Both expose "hand me a wire message for a peer".
+    let use_event = cfg.transport == TransportKind::Event && cfg!(target_os = "linux");
+    let sender = if use_event {
+        start_event_transport(
+            listener,
+            me,
+            ports,
+            stats.clone(),
+            world.clone(),
+            engine_tx.clone(),
+        )?
+    } else {
+        let writers = Arc::new(Writers {
+            me,
+            ports,
+            stats: stats.clone(),
+            world: world.clone(),
+            senders: Mutex::new(HashMap::new()),
+        });
+        let engine = engine_tx.clone();
+        let stats = stats.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let engine = engine.clone();
+                let stats = stats.clone();
+                std::thread::spawn(move || serve_connection(stream, engine, stats));
+            }
+        });
+        FrameSender::Writers(writers)
+    };
+
     // Outbound: WAN delay already waited out by the queue; apply
-    // sender-side fault injection, then hand survivors to the per-peer
-    // writer (or straight to our own inbox for self-sends).
-    let writers = Arc::new(Writers {
-        me,
-        ports,
-        stats: stats.clone(),
-        world: world.clone(),
-        senders: Mutex::new(HashMap::new()),
-    });
+    // sender-side fault injection, then hand survivors to the transport
+    // (or straight to our own inbox for self-sends).
     let outbound = {
         let engine = engine_tx.clone();
-        let writers = writers.clone();
         let world_for_faults = world.clone();
         let faults = world.cfg.faults;
         let mut rng: Rng = rng_for_indexed(world.cfg.seed, "net-faults", cfg.index as u64);
@@ -614,25 +749,11 @@ pub fn run_node(cfg: NodeConfig) -> std::io::Result<()> {
             if f.to == me {
                 let _ = engine.send(EngineInput::Deliver(f.msg));
             } else if let Some(wire) = f.msg.to_wire() {
-                writers.send(f.to, encode_to_vec(&wire));
+                sender.send(f.to, wire);
             }
             None
         })
     };
-
-    // Acceptor.
-    {
-        let engine = engine_tx.clone();
-        let stats = stats.clone();
-        std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                let Ok(stream) = stream else { continue };
-                let engine = engine.clone();
-                let stats = stats.clone();
-                std::thread::spawn(move || serve_connection(stream, engine, stats));
-            }
-        });
-    }
 
     // Soft-state refresh: registrations are droppable wire traffic, so
     // re-announce periodically (the shard dedups) until shutdown.
@@ -708,7 +829,7 @@ pub fn run_node(cfg: NodeConfig) -> std::io::Result<()> {
                     );
                 }
                 WireMsg::CtrlStatsRequest => {
-                    let _ = sink.send(WireMsg::CtrlStatsReply(WireStats {
+                    sink(WireMsg::CtrlStatsReply(WireStats {
                         peer: me.raw(),
                         probes_sent: world.probes_sent.load(Ordering::Relaxed),
                         dht_hops: world.dht_hops.load(Ordering::Relaxed),
@@ -861,6 +982,9 @@ pub struct DeployConfig {
     pub kill_primary: bool,
     /// Overall wall-clock budget.
     pub timeout: Duration,
+    /// Connection machinery every daemon runs (forwarded as
+    /// `--transport`).
+    pub transport: TransportKind,
 }
 
 impl DeployConfig {
@@ -888,6 +1012,7 @@ impl DeployConfig {
             dims: (8, 8),
             kill_primary: false,
             timeout: Duration::from_secs(45),
+            transport: TransportKind::default(),
         }
     }
 }
@@ -964,8 +1089,8 @@ fn fold(h: u64, v: u64) -> u64 {
     splitmix64(h ^ v)
 }
 
-fn fingerprint(setup: &WireSetup, report: &WireStreamReport) -> u64 {
-    let mut h = fold(0x5350494445524e45, setup.ok as u64); // "SPIDERNE"
+fn fold_setup(mut h: u64, setup: &WireSetup) -> u64 {
+    h = fold(h, setup.ok as u64);
     for &p in &setup.path {
         h = fold(h, p);
     }
@@ -983,73 +1108,88 @@ fn fingerprint(setup: &WireSetup, report: &WireStreamReport) -> u64 {
     ] {
         h = fold(h, bits);
     }
+    h
+}
+
+fn fingerprint(setup: &WireSetup, report: &WireStreamReport) -> u64 {
+    let mut h = fold_setup(0x5350494445524e45, setup); // "SPIDERNE"
     h = fold(h, report.sent);
     h = fold(h, report.delivered);
     h = fold(h, report.all_valid as u64);
     fold(h, report.delivery_digest)
 }
 
-/// Spawns an N-process loopback deployment, drives one composition and
-/// one streaming session end-to-end (optionally killing the primary
-/// path's head mid-stream), gathers stats, and tears everything down.
-pub fn deploy(cfg: DeployConfig) -> std::io::Result<DeployOutcome> {
-    assert!(cfg.cluster.peers >= 8, "a deployment needs a handful of peers");
-    let peers = cfg.cluster.peers;
-    let ports = free_ports(peers)?;
-    let ports_arg =
-        ports.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(",");
-
-    let mut children: Vec<Child> = Vec::with_capacity(peers);
-    let spawn_result: std::io::Result<()> = (|| {
-        for i in 0..peers {
-            let c = &cfg.cluster;
-            children.push(
-                Command::new(&cfg.node_exe)
-                    .arg("serve")
-                    .args(["--index", &i.to_string()])
-                    .args(["--peers", &peers.to_string()])
-                    .args(["--seed", &c.seed.to_string()])
-                    .args(["--ports", &ports_arg])
-                    .args(["--jitter", &c.jitter.to_string()])
-                    .args(["--time-scale", &c.time_scale.to_string()])
-                    .args(["--collect-window-ms", &c.collect_window_ms.to_string()])
-                    .args(["--quota", &c.quota.to_string()])
-                    .args(["--failover-timeout-ms", &c.failover_timeout_ms.to_string()])
-                    .args(["--maintenance-period-ms", &c.maintenance_period_ms.to_string()])
-                    .args(["--drop-prob", &c.faults.drop_prob.to_string()])
-                    .args(["--extra-delay-ms", &c.faults.extra_delay_ms.to_string()])
-                    .stdin(Stdio::null())
-                    .stdout(Stdio::null())
-                    .stderr(Stdio::inherit())
-                    .spawn()?,
-            );
-        }
-        Ok(())
-    })();
-
-    // Everything from here on must kill the children on the way out.
-    let result = spawn_result.and_then(|()| drive_deployment(&cfg, &ports, &mut children));
-    for child in &mut children {
-        let _ = child.kill();
-        let _ = child.wait();
+/// Order-independent digest of a batch of composition outcomes (sorted by
+/// request id, then paths, backups, and f64 metric bits folded in). Pure
+/// model-time content — the same value regardless of transport, wall
+/// clock, or session concurrency, which is what lets `deploy --sessions N
+/// --verify-inprocess` compare a concurrent socket deployment against N
+/// sequential in-process compositions.
+pub fn setup_fingerprint(setups: &[WireSetup]) -> u64 {
+    let mut ordered: Vec<&WireSetup> = setups.iter().collect();
+    ordered.sort_by_key(|s| s.request);
+    let mut h = fold(0x5350494445524e45, setups.len() as u64);
+    for s in ordered {
+        h = fold(h, s.request);
+        h = fold_setup(h, s);
     }
-    result
+    h
 }
 
-fn drive_deployment(
+/// Spawns one `serve` child per peer with the deployment's shared
+/// config. The caller owns teardown.
+fn spawn_children(cfg: &DeployConfig, ports: &[u16]) -> std::io::Result<Vec<Child>> {
+    let peers = cfg.cluster.peers;
+    let ports_arg = ports.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(",");
+    let mut children: Vec<Child> = Vec::with_capacity(peers);
+    for i in 0..peers {
+        let c = &cfg.cluster;
+        let child = Command::new(&cfg.node_exe)
+            .arg("serve")
+            .args(["--index", &i.to_string()])
+            .args(["--peers", &peers.to_string()])
+            .args(["--seed", &c.seed.to_string()])
+            .args(["--ports", &ports_arg])
+            .args(["--jitter", &c.jitter.to_string()])
+            .args(["--time-scale", &c.time_scale.to_string()])
+            .args(["--collect-window-ms", &c.collect_window_ms.to_string()])
+            .args(["--quota", &c.quota.to_string()])
+            .args(["--failover-timeout-ms", &c.failover_timeout_ms.to_string()])
+            .args(["--maintenance-period-ms", &c.maintenance_period_ms.to_string()])
+            .args(["--drop-prob", &c.faults.drop_prob.to_string()])
+            .args(["--extra-delay-ms", &c.faults.extra_delay_ms.to_string()])
+            .args(["--transport", &cfg.transport.to_string()])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn();
+        match child {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(children)
+}
+
+/// Connects a control client to every daemon and waits until every
+/// component registered into the DHT (the sum of all shard entries
+/// reaches the peer count).
+fn connect_and_bootstrap(
     cfg: &DeployConfig,
     ports: &[u16],
-    children: &mut [Child],
-) -> std::io::Result<DeployOutcome> {
+    deadline: Instant,
+) -> std::io::Result<Vec<CtrlClient>> {
     let peers = cfg.cluster.peers;
-    let deadline = Instant::now() + cfg.timeout;
     let mut clients: Vec<CtrlClient> = Vec::with_capacity(peers);
     for &port in ports {
         clients.push(CtrlClient::connect(port, Duration::from_secs(10))?);
     }
-
-    // Readiness: every component registered into the DHT (the sum of all
-    // shard entries reaches the peer count).
     loop {
         let mut total = 0u64;
         for client in clients.iter_mut() {
@@ -1062,7 +1202,7 @@ fn drive_deployment(
             }
         }
         if total >= peers as u64 {
-            break;
+            return Ok(clients);
         }
         if Instant::now() >= deadline {
             return Err(err(format!(
@@ -1071,6 +1211,32 @@ fn drive_deployment(
         }
         std::thread::sleep(Duration::from_millis(100));
     }
+}
+
+/// Spawns an N-process loopback deployment, drives one composition and
+/// one streaming session end-to-end (optionally killing the primary
+/// path's head mid-stream), gathers stats, and tears everything down.
+pub fn deploy(cfg: DeployConfig) -> std::io::Result<DeployOutcome> {
+    assert!(cfg.cluster.peers >= 8, "a deployment needs a handful of peers");
+    let ports = free_ports(cfg.cluster.peers)?;
+    let mut children = spawn_children(&cfg, &ports)?;
+
+    // Everything from here on must kill the children on the way out.
+    let result = drive_deployment(&cfg, &ports, &mut children);
+    for child in &mut children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    result
+}
+
+fn drive_deployment(
+    cfg: &DeployConfig,
+    ports: &[u16],
+    children: &mut [Child],
+) -> std::io::Result<DeployOutcome> {
+    let deadline = Instant::now() + cfg.timeout;
+    let mut clients = connect_and_bootstrap(cfg, ports, deadline)?;
 
     // Compose from the source node.
     let source_client = cfg.source.index();
@@ -1123,7 +1289,7 @@ fn drive_deployment(
 
     // Final stats sweep (killed nodes report zeros).
     let killed: Option<usize> = cfg.kill_primary.then(|| setup.path[0] as usize);
-    let mut stats = Vec::with_capacity(peers);
+    let mut stats = Vec::with_capacity(clients.len());
     for (i, client) in clients.iter_mut().enumerate() {
         if Some(i) == killed {
             stats.push(WireStats { peer: i as u64, ..WireStats::default() });
@@ -1149,4 +1315,198 @@ fn drive_deployment(
 
     let fingerprint = fingerprint(&setup, &report);
     Ok(DeployOutcome { setup, report, stats, fingerprint })
+}
+
+// ---------------------------------------------------------------------
+// The many-session deployment benchmark (`deploy --sessions N`).
+// ---------------------------------------------------------------------
+
+/// What a many-session deployment produced (`deploy --sessions N`): the
+/// raw material for BENCH_daemon.json.
+pub struct MultiDeployOutcome {
+    /// Sessions requested (= composed; request ids `1..=N`).
+    pub sessions: u64,
+    /// Sessions whose composition succeeded (and then streamed).
+    pub setups_ok: u64,
+    /// Per-session compose wall latency in ms, indexed by `request - 1`
+    /// (send of `CtrlCompose` → arrival of its result, sessions running
+    /// concurrently).
+    pub setup_wall_ms: Vec<f64>,
+    /// Wall seconds for the whole concurrent compose phase.
+    pub compose_secs: f64,
+    /// Wall seconds for the whole concurrent stream phase.
+    pub stream_secs: f64,
+    /// Media frames sent across all sessions.
+    pub frames_sent: u64,
+    /// Media frames delivered and validated across all sessions.
+    pub frames_delivered: u64,
+    /// Every delivered frame matched its transform chain.
+    pub all_valid: bool,
+    /// Per-node counter snapshots after the stream phase.
+    pub stats: Vec<WireStats>,
+    /// Largest peak RSS (`VmHWM`) among the daemon processes, bytes.
+    pub peak_child_rss_bytes: u64,
+    /// [`setup_fingerprint`] over all N compositions — compare against
+    /// the in-process cluster run with the same seed.
+    pub setup_fingerprint: u64,
+    /// The N compositions themselves, indexed by `request - 1` — for
+    /// per-session inspection (e.g. diffing against an in-process run
+    /// when the aggregate fingerprints disagree).
+    pub setups: Vec<WireSetup>,
+}
+
+impl MultiDeployOutcome {
+    /// The q-th percentile (0..=1) of the per-session setup latencies.
+    pub fn setup_percentile_ms(&self, q: f64) -> f64 {
+        let mut sorted = self.setup_wall_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// Spawns a loopback deployment and drives `sessions` concurrent
+/// composition + streaming sessions through it (request ids `1..=N`, all
+/// from `cfg.source` to `cfg.dest`), measuring per-session setup latency
+/// and aggregate streaming throughput. `cfg.kill_primary` is not
+/// supported here — fault runs belong to [`deploy`].
+pub fn deploy_many(cfg: DeployConfig, sessions: u64) -> std::io::Result<MultiDeployOutcome> {
+    assert!(cfg.cluster.peers >= 8, "a deployment needs a handful of peers");
+    assert!(!cfg.kill_primary, "kill-primary applies to single-session deploys");
+    assert!(sessions >= 1, "at least one session");
+    let ports = free_ports(cfg.cluster.peers)?;
+    let mut children = spawn_children(&cfg, &ports)?;
+    let result = drive_many(&cfg, sessions, &ports, &children);
+    for child in &mut children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    result
+}
+
+fn drive_many(
+    cfg: &DeployConfig,
+    sessions: u64,
+    ports: &[u16],
+    children: &[Child],
+) -> std::io::Result<MultiDeployOutcome> {
+    let deadline = Instant::now() + cfg.timeout;
+    let remaining = |deadline: Instant| {
+        deadline.checked_duration_since(Instant::now()).ok_or_else(|| {
+            std::io::Error::from(std::io::ErrorKind::TimedOut)
+        })
+    };
+    let mut clients = connect_and_bootstrap(cfg, ports, deadline)?;
+    let src = cfg.source.index();
+    let n = sessions as usize;
+
+    // Compose phase: fire all N requests, then collect all N results
+    // (they multiplex over the source daemon's control connection in
+    // completion order).
+    let chain: Vec<u8> = cfg.chain.iter().map(|f| f.code()).collect();
+    let compose_start = Instant::now();
+    let mut sent_at: Vec<Instant> = Vec::with_capacity(n);
+    for request in 1..=sessions {
+        sent_at.push(Instant::now());
+        clients[src].send(&WireMsg::CtrlCompose {
+            request,
+            dest: cfg.dest.raw(),
+            chain: chain.clone(),
+            budget: cfg.budget,
+        })?;
+    }
+    let mut setups: Vec<Option<WireSetup>> = (0..n).map(|_| None).collect();
+    let mut setup_wall_ms = vec![0.0f64; n];
+    for _ in 0..n {
+        let frame = clients[src].recv_matching(remaining(deadline)?, |f| {
+            matches!(f, WireMsg::CtrlComposeResult(_))
+        })?;
+        let WireMsg::CtrlComposeResult(s) = frame else { unreachable!("matched above") };
+        let arrived = Instant::now();
+        let idx = (s.request as usize)
+            .checked_sub(1)
+            .filter(|&i| i < n)
+            .ok_or_else(|| err(format!("result for unknown request {}", s.request)))?;
+        setup_wall_ms[idx] = (arrived - sent_at[idx]).as_secs_f64() * 1_000.0;
+        setups[idx] = Some(s);
+    }
+    let compose_secs = compose_start.elapsed().as_secs_f64();
+    let setups: Vec<WireSetup> = setups
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.ok_or_else(|| err(format!("request {} never resolved", i + 1))))
+        .collect::<std::io::Result<_>>()?;
+    let setups_ok = setups.iter().filter(|s| s.ok).count() as u64;
+
+    // Stream phase: every successful session streams concurrently.
+    let stream_start = Instant::now();
+    let mut streaming = 0usize;
+    for s in setups.iter().filter(|s| s.ok) {
+        clients[src].send(&WireMsg::CtrlStream {
+            session: s.request,
+            path: s.path.clone(),
+            functions: s.functions.clone(),
+            backups: s.backups.clone(),
+            dest: s.dest,
+            frames: cfg.frames,
+            interval_ms: cfg.interval_ms,
+            width: cfg.dims.0,
+            height: cfg.dims.1,
+        })?;
+        streaming += 1;
+    }
+    let (mut frames_sent, mut frames_delivered, mut all_valid) = (0u64, 0u64, true);
+    for _ in 0..streaming {
+        let frame = clients[src].recv_matching(remaining(deadline)?, |f| {
+            matches!(f, WireMsg::CtrlStreamReport(_))
+        })?;
+        let WireMsg::CtrlStreamReport(r) = frame else { unreachable!("matched above") };
+        frames_sent += r.sent;
+        frames_delivered += r.delivered;
+        all_valid &= r.all_valid;
+    }
+    let stream_secs = stream_start.elapsed().as_secs_f64();
+
+    // Peak RSS while the children are still alive (VmHWM survives until
+    // process exit, not after).
+    let peak_child_rss_bytes = children
+        .iter()
+        .filter_map(|c| spidernet_util::bench::peak_rss_bytes_for(c.id()))
+        .max()
+        .unwrap_or(0);
+
+    // Stats sweep, then graceful shutdown.
+    let mut stats = Vec::with_capacity(clients.len());
+    for (i, client) in clients.iter_mut().enumerate() {
+        let snap = client.send(&WireMsg::CtrlStatsRequest).and_then(|()| {
+            client.recv_matching(Duration::from_secs(5), |f| {
+                matches!(f, WireMsg::CtrlStatsReply(_))
+            })
+        });
+        match snap {
+            Ok(WireMsg::CtrlStatsReply(s)) => stats.push(s),
+            _ => stats.push(WireStats { peer: i as u64, ..WireStats::default() }),
+        }
+    }
+    for client in clients.iter_mut() {
+        let _ = client.send(&WireMsg::CtrlShutdown);
+    }
+
+    Ok(MultiDeployOutcome {
+        sessions,
+        setups_ok,
+        setup_wall_ms,
+        compose_secs,
+        stream_secs,
+        frames_sent,
+        frames_delivered,
+        all_valid,
+        stats,
+        peak_child_rss_bytes,
+        setup_fingerprint: setup_fingerprint(&setups),
+        setups,
+    })
 }

@@ -46,6 +46,7 @@ use std::sync::{Arc, Mutex};
 /// exactly once: survivors of the drop roll are delivered with their
 /// extra jitter and never rolled again.
 #[derive(Clone, Copy, Debug, Default)]
+#[non_exhaustive]
 pub struct NetFaultConfig {
     /// Probability a droppable message is silently lost.
     pub drop_prob: f64,
@@ -54,9 +55,42 @@ pub struct NetFaultConfig {
 }
 
 impl NetFaultConfig {
+    /// A builder seeded with the defaults (no faults).
+    pub fn builder() -> NetFaultConfigBuilder {
+        NetFaultConfigBuilder { cfg: NetFaultConfig::default() }
+    }
+
     /// True when either knob is set.
     pub fn is_active(&self) -> bool {
         self.drop_prob > 0.0 || self.extra_delay_ms > 0.0
+    }
+}
+
+/// Builder for [`NetFaultConfig`] (the struct is `#[non_exhaustive]`, so
+/// out-of-crate construction goes through here; both the in-process
+/// cluster and the socket transports consume the resulting config
+/// unchanged).
+#[derive(Clone, Debug)]
+pub struct NetFaultConfigBuilder {
+    cfg: NetFaultConfig,
+}
+
+impl NetFaultConfigBuilder {
+    /// Probability a droppable message is silently lost.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        self.cfg.drop_prob = p;
+        self
+    }
+
+    /// Upper bound of uniformly-sampled extra delivery delay, model ms.
+    pub fn extra_delay_ms(mut self, ms: f64) -> Self {
+        self.cfg.extra_delay_ms = ms;
+        self
+    }
+
+    /// Finalizes the config.
+    pub fn build(self) -> NetFaultConfig {
+        self.cfg
     }
 }
 
@@ -636,6 +670,12 @@ impl PeerNode {
         }
     }
 
+    /// Wall-deadline slack for probe collection, as a multiple of the
+    /// model collect window. Purely a liveness knob — it never changes
+    /// which probes count (the model-time filter in `on_collect` does
+    /// that), only how long the destination waits for them to land.
+    const COLLECT_DEADLINE_SLACK: f64 = 3.0;
+
     fn on_probe(&mut self, probe: Probe, out: &mut impl Outbox) {
         if probe.pos == probe.chain.len() && probe.dest == self.me {
             if self.done_requests.contains(&probe.request) {
@@ -652,7 +692,16 @@ impl PeerNode {
             job.probes.push((probe.at_ms, probe));
             if !job.timer_armed {
                 job.timer_armed = true;
-                out.timer(Msg::TimerCollect { request }, window);
+                // Selection content is a pure function of the *eligible*
+                // probes (model arrival within half a window of the
+                // earliest — see `on_collect`), so the wall deadline is
+                // free to fire late: it only has to fire after every
+                // eligible probe has physically arrived. Arm it with
+                // slack — under hundreds of concurrent composes,
+                // transport queueing pushes wall arrivals well past the
+                // scaled model timestamp, and a tight deadline would
+                // make the collected set scheduling-dependent.
+                out.timer(Msg::TimerCollect { request }, window * Self::COLLECT_DEADLINE_SLACK);
             }
             return;
         }

@@ -2,7 +2,7 @@
 //! processes on loopback TCP, compared against the in-process cluster.
 
 use spidernet_runtime::msg::{Msg, Probe, ReplicaMeta};
-use spidernet_runtime::net::{deploy, DeployConfig};
+use spidernet_runtime::net::{deploy, DeployConfig, TransportKind};
 use spidernet_runtime::{Cluster, MediaFunction};
 use spidernet_dht::NodeId;
 use spidernet_util::id::PeerId;
@@ -98,6 +98,36 @@ fn deploy_fingerprint_is_deterministic() {
     let a = deploy(DeployConfig::standard(8, 1234, node_exe())).expect("first run");
     let b = deploy(DeployConfig::standard(8, 1234, node_exe())).expect("second run");
     assert_eq!(a.fingerprint, b.fingerprint, "same seed, same outcome");
+}
+
+/// The event transport (default) and the legacy blocking transport
+/// produce bit-identical deployment fingerprints for the same seed —
+/// readiness polling, bounded queues, and pooled encoding change no
+/// observable outcome, including under a mid-stream primary kill.
+#[test]
+fn event_and_blocking_transports_agree() {
+    for kill in [false, true] {
+        let mut ev = DeployConfig::standard(8, 77, node_exe());
+        ev.transport = TransportKind::Event;
+        ev.kill_primary = kill;
+        let mut bl = DeployConfig::standard(8, 77, node_exe());
+        bl.transport = TransportKind::Blocking;
+        bl.kill_primary = kill;
+        let ev = deploy(ev).expect("event deployment completes");
+        let bl = deploy(bl).expect("blocking deployment completes");
+        assert_eq!(ev.setup.path, bl.setup.path, "kill={kill}: same path");
+        assert_eq!(ev.setup.backups, bl.setup.backups, "kill={kill}: same backups");
+        assert_eq!(
+            ev.setup.total_ms.to_bits(),
+            bl.setup.total_ms.to_bits(),
+            "kill={kill}: setup metrics agree bit-for-bit"
+        );
+        if !kill {
+            // A kill perturbs wall-clock delivery counts; the fault-free
+            // runs must agree on everything the fingerprint folds.
+            assert_eq!(ev.fingerprint, bl.fingerprint, "transports agree on the outcome");
+        }
+    }
 }
 
 /// `NetFaultConfig` means the same thing in both deployments: the socket

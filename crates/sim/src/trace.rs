@@ -105,6 +105,22 @@ pub enum TraceEvent {
         /// Zero-based attempt number that failed.
         attempt: u32,
     },
+    /// The event transport's bounded outbound queue for a peer was full
+    /// and shed a droppable media frame rather than queueing it.
+    ConnBackpressure {
+        /// The congested remote peer.
+        peer: u64,
+        /// Encoded size of the frame that was shed, bytes.
+        shed_bytes: u64,
+    },
+    /// A peer's outbound queue depth crossed its high-water mark (half
+    /// the shed threshold) — early warning that backpressure is close.
+    QueueDepth {
+        /// The remote peer.
+        peer: u64,
+        /// Bytes currently queued toward the peer.
+        queued_bytes: u64,
+    },
     /// The pair-delay memo hit its capacity cap and refused inserts since
     /// the last report — delay queries beyond the cap silently fall back
     /// to full tree walks, which this event makes visible.

@@ -1,0 +1,207 @@
+//! The shared benchmark-report vocabulary: insertion-ordered JSON
+//! reports (`BENCH_<name>.json`) and peak-RSS sampling.
+//!
+//! This lives in `spidernet-util` (not `spidernet-bench`) so that the
+//! runtime's `spidernet-node` binary can emit `BENCH_daemon.json`
+//! through the same API as the figure drivers — `spidernet-bench`
+//! depends on the runtime, so hosting the report type there would make
+//! the dependency circular. `spidernet-bench` re-exports everything
+//! here for existing call sites.
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM` from
+/// `/proc/self/status`), or `None` where that interface is unavailable.
+/// VmHWM is the high-water mark, so sampling once at the end of a run
+/// captures the run's true memory footprint.
+pub fn peak_rss_bytes() -> Option<u64> {
+    peak_rss_bytes_for("self")
+}
+
+/// Peak resident set size of an arbitrary process (`VmHWM` from
+/// `/proc/<pid>/status`). The deploy orchestrator uses this to sample
+/// child daemons before shutting them down; `pid` also accepts the
+/// literal `"self"`.
+pub fn peak_rss_bytes_for(pid: impl std::fmt::Display) -> Option<u64> {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// An insertion-ordered JSON object nested one level inside a
+/// [`BenchReport`] (e.g. the `scale` block in `BENCH_fig8.json`).
+#[derive(Default)]
+pub struct BenchBlock {
+    fields: Vec<(String, String)>,
+}
+
+impl BenchBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, v: u64) -> &mut Self {
+        self.fields.push((key.to_owned(), v.to_string()));
+        self
+    }
+
+    /// Adds a float field, rendered with four decimal places.
+    pub fn num(&mut self, key: &str, v: f64) -> &mut Self {
+        self.fields.push((key.to_owned(), format!("{v:.4}")));
+        self
+    }
+
+    /// Renders the block as a JSON object whose closing brace sits at the
+    /// parent report's two-space field indent.
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            s.push_str("    \"");
+            s.push_str(k);
+            s.push_str("\": ");
+            s.push_str(v);
+            s.push_str(if i + 1 == self.fields.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("  }");
+        s
+    }
+}
+
+/// An insertion-ordered flat JSON report written as `BENCH_<name>.json`.
+pub struct BenchReport {
+    name: String,
+    fields: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// A report for figure or subsystem `name` (e.g. `"fig8"`,
+    /// `"daemon"`).
+    pub fn new(name: &str) -> Self {
+        let mut r = BenchReport { name: name.to_owned(), fields: Vec::new() };
+        r.fields.push(("figure".into(), format!("\"{name}\"")));
+        r
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, v: u64) -> &mut Self {
+        self.fields.push((key.to_owned(), v.to_string()));
+        self
+    }
+
+    /// Adds a float field, rendered with four decimal places.
+    pub fn num(&mut self, key: &str, v: f64) -> &mut Self {
+        self.fields.push((key.to_owned(), format!("{v:.4}")));
+        self
+    }
+
+    /// Adds a string field (quoted; assumes no embedded quotes).
+    pub fn str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.fields.push((key.to_owned(), format!("\"{v}\"")));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, v: bool) -> &mut Self {
+        self.fields.push((key.to_owned(), v.to_string()));
+        self
+    }
+
+    /// Adds a nested object field (rendered inline at the key's
+    /// insertion-order position).
+    pub fn nested(&mut self, key: &str, block: &BenchBlock) -> &mut Self {
+        self.fields.push((key.to_owned(), block.to_json()));
+        self
+    }
+
+    /// Renders the report as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            s.push_str("  \"");
+            s.push_str(k);
+            s.push_str("\": ");
+            s.push_str(v);
+            s.push_str(if i + 1 == self.fields.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// The default output path, `BENCH_<name>.json` in the current
+    /// directory.
+    pub fn default_path(&self) -> std::path::PathBuf {
+        std::path::PathBuf::from(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Writes `BENCH_<name>.json` into the current directory and returns
+    /// the path.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let path = self.default_path();
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Writes the report where a `--json [path]` spec asks: the explicit
+    /// path when one was given, [`BenchReport::default_path`] otherwise.
+    /// Returns the path written. See [`crate::cli::json_spec`].
+    pub fn write_spec(&self, explicit: &Option<String>) -> std::io::Result<std::path::PathBuf> {
+        let path = match explicit {
+            Some(p) => std::path::PathBuf::from(p),
+            None => self.default_path(),
+        };
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_report_renders_valid_flat_json() {
+        let mut rep = BenchReport::new("figX");
+        rep.int("trials", 10).num("parallel_secs", 1.25).str("mode", "quick").bool("ok", true);
+        let json = rep.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"figure\": \"figX\""));
+        assert!(json.contains("\"trials\": 10,"));
+        assert!(json.contains("\"parallel_secs\": 1.2500,"));
+        assert!(json.contains("\"mode\": \"quick\","));
+        assert!(json.contains("\"ok\": true\n"));
+    }
+
+    #[test]
+    fn nested_block_renders_inside_the_report() {
+        let mut scale = BenchBlock::new();
+        scale.int("peers", 100_000).num("probes_per_sec", 123.5);
+        let mut rep = BenchReport::new("fig8");
+        rep.int("trials", 2).nested("scale", &scale);
+        let json = rep.to_json();
+        assert!(json.contains("\"scale\": {\n"));
+        assert!(json.contains("    \"peers\": 100000,\n"));
+        assert!(json.contains("    \"probes_per_sec\": 123.5000\n  }"));
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        let rss = peak_rss_bytes().expect("VmHWM available on Linux");
+        assert!(rss > 1024 * 1024, "peak RSS implausibly small: {rss}");
+        assert_eq!(peak_rss_bytes_for(std::process::id()), Some(rss));
+    }
+
+    #[test]
+    fn write_spec_honors_an_explicit_path() {
+        let dir = std::env::temp_dir().join(format!("spidernet-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("out.json");
+        let mut rep = BenchReport::new("spec");
+        rep.int("x", 1);
+        let written = rep.write_spec(&Some(target.to_string_lossy().into_owned())).unwrap();
+        assert_eq!(written, target);
+        assert!(std::fs::read_to_string(&target).unwrap().contains("\"figure\": \"spec\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,101 @@
+//! Minimal CLI argument helpers shared by every SpiderNet binary.
+//!
+//! The workspace has no argument-parsing dependency; each binary reads
+//! `std::env::args()` through these helpers so flag spellings stay
+//! uniform: bare switches (`--quick`), valued flags (`--seed 7` or
+//! `--seed=7`), and the output convention `--json [path]` — bare for the
+//! default `BENCH_<name>.json`, or with an explicit destination.
+
+/// True if `flag` appears as a bare switch on the CLI.
+pub fn flag_present(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// The value of `--<flag> <value>` or `--<flag>=<value>` on the CLI, if
+/// present (e.g. `arg_value("--faults")`).
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    arg_value_in(&args, flag)
+}
+
+/// [`arg_value`] over an explicit argument list (separated out for
+/// testing). Matches only the exact flag or `flag=`; `--faultsX` does
+/// not match `--faults`.
+pub fn arg_value_in(args: &[String], flag: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it.next().cloned();
+        }
+        if let Some(rest) = a.strip_prefix(flag) {
+            if let Some(v) = rest.strip_prefix('=') {
+                return Some(v.to_owned());
+            }
+        }
+    }
+    None
+}
+
+/// Parses the unified `--json [path]` output spec from the CLI.
+///
+/// Returns `None` when `--json` is absent, `Some(None)` for a bare
+/// `--json` (write to the report's default `BENCH_<name>.json`), and
+/// `Some(Some(path))` for `--json <path>` / `--json=<path>`. Feed the
+/// inner value to `BenchReport::write_spec`.
+pub fn json_spec() -> Option<Option<String>> {
+    let args: Vec<String> = std::env::args().collect();
+    json_spec_in(&args)
+}
+
+/// [`json_spec`] over an explicit argument list (separated out for
+/// testing). A following argument that starts with `--` is another flag,
+/// not a path, so `--json --quick` is a bare `--json`.
+pub fn json_spec_in(args: &[String]) -> Option<Option<String>> {
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            let path = it.peek().filter(|v| !v.starts_with("--")).map(|v| v.to_string());
+            return Some(path);
+        }
+        if let Some(v) = a.strip_prefix("--json=") {
+            return Some(Some(v.to_owned()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_value_matches_both_spellings_and_nothing_else() {
+        let args = argv(&["fig10", "--faults", "storm:rate=0.1", "--seed=7", "--faultsy=x"]);
+        assert_eq!(arg_value_in(&args, "--faults").as_deref(), Some("storm:rate=0.1"));
+        assert_eq!(arg_value_in(&args, "--seed").as_deref(), Some("7"));
+        assert_eq!(arg_value_in(&args, "--rates"), None);
+        assert_eq!(arg_value_in(&args, "--faultsy").as_deref(), Some("x"));
+        // A flag with no following value yields None, not a panic.
+        let dangling = argv(&["fig10", "--faults"]);
+        assert_eq!(arg_value_in(&dangling, "--faults"), None);
+    }
+
+    #[test]
+    fn json_spec_distinguishes_bare_pathed_and_absent() {
+        assert_eq!(json_spec_in(&argv(&["fig8"])), None);
+        assert_eq!(json_spec_in(&argv(&["fig8", "--json"])), Some(None));
+        assert_eq!(json_spec_in(&argv(&["fig8", "--json", "--quick"])), Some(None));
+        assert_eq!(
+            json_spec_in(&argv(&["fig8", "--json", "out/b.json"])),
+            Some(Some("out/b.json".into()))
+        );
+        assert_eq!(
+            json_spec_in(&argv(&["fig8", "--json=out/b.json"])),
+            Some(Some("out/b.json".into()))
+        );
+    }
+}

@@ -11,6 +11,8 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod bench;
+pub mod cli;
 pub mod error;
 pub mod hash;
 pub mod id;
@@ -21,6 +23,7 @@ pub mod rng;
 pub mod stats;
 
 pub use arena::{SlotArena, SlotKey};
+pub use bench::{BenchBlock, BenchReport};
 pub use error::{Error, Result};
 pub use id::{ComponentId, FunctionId, PeerId, SessionId};
 pub use qos::{QosRequirement, QosVector};

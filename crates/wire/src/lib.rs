@@ -19,9 +19,11 @@
 pub mod codec;
 pub mod error;
 pub mod msg;
+pub mod pool;
 
 pub use codec::{Reader, Writer, MAX_ELEMS, MAX_PIXEL_BYTES};
 pub use error::WireError;
+pub use pool::BufPool;
 pub use msg::{
     decode, encode, encode_to_vec, negotiate, FrameDecoder, WireMsg, WirePixels, WireProbe,
     WireReplica, WireSetup, WireStats, WireStreamReport, CONTROL_PEER, HEADER_LEN, MAGIC,

@@ -392,6 +392,94 @@ impl WireMsg {
         }
     }
 
+    /// Exact payload size [`WireMsg::encode_into`] will write, in bytes.
+    /// Kept in lockstep with `write_payload` (pinned by the codec tests:
+    /// every golden and fuzzed message asserts predicted == written).
+    fn payload_len(&self) -> usize {
+        match self {
+            WireMsg::Hello { .. } => 8 + 16 + 2 + 2 + 2,
+            WireMsg::HelloAck { .. } => 8 + 2,
+            WireMsg::DhtLookup { .. } => 8 + 16 + 8 + 4 + 8,
+            WireMsg::DhtReply { metas, .. } => 8 + replicas_len(metas) + 8,
+            WireMsg::Register { qos, .. } => 16 + 9 + qos_len(qos) + res_len() + 4,
+            WireMsg::Probe(p) => {
+                8 + 8
+                    + 8
+                    + bytes_len(&p.chain)
+                    + 4
+                    + p.replica_lists.iter().map(|l| replicas_len(l)).sum::<usize>()
+                    + 4
+                    + u64s_len(&p.path)
+                    + 4
+                    + qos_len(&p.acc_qos)
+                    + 8
+            }
+            WireMsg::SetupAck { path, functions, backups, .. } => {
+                8 + u64s_len(path) + bytes_len(functions) + 4 + 8 + paths_len(backups) + 8 + 8
+            }
+            WireMsg::StreamFrame { path, functions, frame, .. } => {
+                8 + u64s_len(path)
+                    + bytes_len(functions)
+                    + 4
+                    + 8
+                    + 8
+                    + 4
+                    + 4
+                    + (4 + 4 + 8 + bytes_len(&frame.pixels))
+                    + 8
+            }
+            WireMsg::FrameAck { .. } => 8 + 8 + 1 + 8 + 8,
+            WireMsg::PathProbe { path, .. } => 8 + u64s_len(path) + 4 + 8 + 4,
+            WireMsg::PathProbeAck { .. } => 8 + 4,
+            WireMsg::CtrlCompose { chain, .. } => 8 + 8 + bytes_len(chain) + 4,
+            WireMsg::CtrlComposeResult(s) => {
+                8 + 1
+                    + 8
+                    + u64s_len(&s.path)
+                    + bytes_len(&s.functions)
+                    + paths_len(&s.backups)
+                    + 8 * 4
+            }
+            WireMsg::CtrlStream { path, functions, backups, .. } => {
+                8 + u64s_len(path) + bytes_len(functions) + paths_len(backups) + 8 + 8 + 8 + 4 + 4
+            }
+            WireMsg::CtrlStreamReport(r) => 8 + 8 + 8 + 1 + 4 + 8 + u64s_len(&r.final_path) + 8,
+            WireMsg::CtrlStatsRequest | WireMsg::CtrlShutdown => 0,
+            WireMsg::CtrlStatsReply(_) => 8 * 12,
+        }
+    }
+
+    /// Exact number of bytes one encoded frame of this message occupies
+    /// (header + payload). Lets a sender reserve once — pooled buffers
+    /// never reallocate mid-encode.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload_len()
+    }
+
+    /// Appends one complete frame (header + payload) onto `out` without
+    /// intermediate allocation: the payload length is computed up front
+    /// ([`WireMsg::encoded_len`]) and written with the header, and exactly
+    /// the missing capacity is reserved. Byte-identical to the historical
+    /// patch-up encoder (the golden pins prove it).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let payload = self.payload_len();
+        debug_assert!(payload as u64 <= MAX_PAYLOAD as u64);
+        out.reserve(HEADER_LEN + payload);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+        out.push(self.kind());
+        out.push(0); // flags
+        out.extend_from_slice(&(payload as u32).to_le_bytes());
+        let start = out.len();
+        write_payload(self, &mut Writer::new(out));
+        debug_assert_eq!(
+            out.len() - start,
+            payload,
+            "payload_len out of sync with write_payload for kind {}",
+            self.kind()
+        );
+    }
+
     /// Whether a fault injector may drop or jitter this frame. Mirrors
     /// the runtime's `Msg::droppable`: genuine wire traffic only —
     /// handshakes and control-plane frames always deliver.
@@ -414,6 +502,42 @@ impl WireMsg {
 // ---------------------------------------------------------------------
 // Encode
 // ---------------------------------------------------------------------
+
+/// Encoded size of a `u32`-length-prefixed byte slice.
+#[inline]
+fn bytes_len(v: &[u8]) -> usize {
+    4 + v.len()
+}
+
+/// Encoded size of a `u32`-length-prefixed `u64` list.
+#[inline]
+fn u64s_len(v: &[u64]) -> usize {
+    4 + 8 * v.len()
+}
+
+/// Encoded size of a QoS vector (`u32` dims + per-dimension `f64`).
+#[inline]
+fn qos_len(q: &QosVector) -> usize {
+    4 + 8 * q.dims()
+}
+
+/// Encoded size of a resource vector (fixed-shape `f64`s, no prefix).
+#[inline]
+fn res_len() -> usize {
+    8 * spidernet_util::res::ResourceKind::ALL.len()
+}
+
+/// Encoded size of a length-prefixed replica list.
+#[inline]
+fn replicas_len(ms: &[WireReplica]) -> usize {
+    4 + 9 * ms.len()
+}
+
+/// Encoded size of a length-prefixed list of paths.
+#[inline]
+fn paths_len(paths: &[Vec<u64>]) -> usize {
+    4 + paths.iter().map(|p| u64s_len(p)).sum::<usize>()
+}
 
 fn write_replica(w: &mut Writer<'_>, m: &WireReplica) {
     w.u64(m.peer);
@@ -603,24 +727,15 @@ fn write_payload(msg: &WireMsg, w: &mut Writer<'_>) {
 }
 
 /// Appends one complete frame (header + payload) for `msg` onto `out`.
+/// Thin wrapper over [`WireMsg::encode_into`].
 pub fn encode(msg: &WireMsg, out: &mut Vec<u8>) {
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&PROTO_VERSION.to_le_bytes());
-    out.push(msg.kind());
-    out.push(0); // flags
-    let len_at = out.len();
-    out.extend_from_slice(&0u32.to_le_bytes());
-    let payload_start = out.len();
-    write_payload(msg, &mut Writer::new(out));
-    let len = (out.len() - payload_start) as u32;
-    debug_assert!(len <= MAX_PAYLOAD);
-    out[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+    msg.encode_into(out);
 }
 
-/// Encodes one frame into a fresh buffer.
+/// Encodes one frame into a fresh, exactly-sized buffer.
 pub fn encode_to_vec(msg: &WireMsg) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
-    encode(msg, &mut out);
+    let mut out = Vec::with_capacity(msg.encoded_len());
+    msg.encode_into(&mut out);
     out
 }
 

@@ -1,0 +1,114 @@
+//! A small free-list of frame buffers shared between the encoding side
+//! (protocol engine / sender queues) and the transport that eventually
+//! writes the bytes out.
+//!
+//! The hot loop of a busy daemon encodes thousands of frames per second;
+//! allocating a fresh `Vec<u8>` per frame shows up directly in
+//! `wirebench`. A [`BufPool`] recycles the backing allocations instead:
+//! [`BufPool::encode`] pops a cleared buffer (or allocates one on a cold
+//! pool), reserves the frame's exact [`WireMsg::encoded_len`], and
+//! encodes with [`WireMsg::encode_into`] — zero reallocation per frame
+//! once the pool is warm. The writer returns drained buffers with
+//! [`BufPool::put`].
+//!
+//! The pool is bounded: buffers beyond `max_buffers` (and buffers whose
+//! capacity outgrew `max_buf_capacity`, e.g. one-off jumbo media frames)
+//! are dropped rather than hoarded.
+
+use crate::msg::WireMsg;
+use std::sync::Mutex;
+
+/// Default ceiling on pooled buffers.
+pub const DEFAULT_MAX_BUFFERS: usize = 256;
+
+/// Default ceiling on one pooled buffer's capacity (64 KiB — a jumbo
+/// media frame's allocation is not worth keeping around).
+pub const DEFAULT_MAX_BUF_CAPACITY: usize = 64 * 1024;
+
+/// A bounded, mutex-guarded free-list of frame buffers.
+///
+/// Contention is negligible: `get`/`put` are two pointer moves under the
+/// lock, and the encode itself happens outside it.
+pub struct BufPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    max_buffers: usize,
+    max_buf_capacity: usize,
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        BufPool::new(DEFAULT_MAX_BUFFERS, DEFAULT_MAX_BUF_CAPACITY)
+    }
+}
+
+impl BufPool {
+    /// A pool keeping at most `max_buffers` buffers of at most
+    /// `max_buf_capacity` bytes capacity each.
+    pub fn new(max_buffers: usize, max_buf_capacity: usize) -> BufPool {
+        BufPool { free: Mutex::new(Vec::new()), max_buffers, max_buf_capacity }
+    }
+
+    /// Pops a cleared buffer, or allocates an empty one on a cold pool.
+    pub fn get(&self) -> Vec<u8> {
+        self.free.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    /// Returns a drained buffer to the pool (cleared here; dropped if the
+    /// pool is full or the buffer outgrew the capacity ceiling).
+    pub fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > self.max_buf_capacity {
+            return;
+        }
+        buf.clear();
+        let mut free = self.free.lock().unwrap();
+        if free.len() < self.max_buffers {
+            free.push(buf);
+        }
+    }
+
+    /// Encodes one frame into a pooled buffer: exact-size reserve, no
+    /// per-frame allocation once the pool is warm.
+    pub fn encode(&self, msg: &WireMsg) -> Vec<u8> {
+        let mut buf = self.get();
+        msg.encode_into(&mut buf);
+        buf
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::WireMsg;
+
+    #[test]
+    fn pooled_encode_matches_fresh_encode_and_recycles() {
+        let pool = BufPool::default();
+        let msg = WireMsg::HelloAck { peer: 7, proto: 1 };
+        let a = pool.encode(&msg);
+        assert_eq!(a, crate::encode_to_vec(&msg));
+        let cap = a.capacity();
+        let ptr = a.as_ptr();
+        pool.put(a);
+        assert_eq!(pool.pooled(), 1);
+        let b = pool.encode(&msg);
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(b.as_ptr(), ptr, "the same backing allocation is reused");
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn pool_bounds_are_enforced() {
+        let pool = BufPool::new(2, 16);
+        pool.put(Vec::with_capacity(8));
+        pool.put(Vec::with_capacity(8));
+        pool.put(Vec::with_capacity(8)); // over max_buffers: dropped
+        assert_eq!(pool.pooled(), 2);
+        pool.put(Vec::with_capacity(1024)); // over capacity ceiling: dropped
+        assert_eq!(pool.pooled(), 2);
+    }
+}

@@ -401,6 +401,52 @@ fn arbitrary_messages_round_trip() {
 }
 
 #[test]
+fn encoded_len_is_exact_and_encode_into_is_byte_identical() {
+    let mut rng = rng_for_indexed(0xC0DEC, "wire-len", 0);
+    let mut msgs = fixtures();
+    msgs.extend((0..500).map(|_| arb_msg(&mut rng)));
+    let pool = spidernet_wire::BufPool::default();
+    for msg in &msgs {
+        let bytes = encode_to_vec(msg);
+        assert_eq!(msg.encoded_len(), bytes.len(), "encoded_len drifted for {:?}", msg.kind());
+        // encode_into appends after existing content and matches encode().
+        let mut buf = vec![0xAA, 0xBB];
+        msg.encode_into(&mut buf);
+        assert_eq!(&buf[..2], &[0xAA, 0xBB]);
+        assert_eq!(&buf[2..], &bytes[..]);
+        // The pooled path produces the same bytes.
+        let pooled = pool.encode(msg);
+        assert_eq!(pooled, bytes);
+        pool.put(pooled);
+    }
+}
+
+#[test]
+fn stream_decoder_handles_a_split_at_every_byte_boundary() {
+    // Vectored/partial writes can cut a frame anywhere, including inside
+    // the header. Feed [frame_a | frame_b] split at every position k and
+    // require the exact two-message sequence back each time.
+    let mut rng = rng_for_indexed(0xC0DEC, "wire-split", 0);
+    let a = arb_msg(&mut rng);
+    let b = arb_msg(&mut rng);
+    let mut wire = Vec::new();
+    spidernet_wire::encode(&a, &mut wire);
+    spidernet_wire::encode(&b, &mut wire);
+    for k in 0..=wire.len() {
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for chunk in [&wire[..k], &wire[k..]] {
+            dec.extend(chunk);
+            while let Some(m) = dec.next_frame().expect("clean stream never poisons") {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, vec![a.clone(), b.clone()], "split at byte {k} corrupted the stream");
+        assert_eq!(dec.pending(), 0, "split at byte {k} left pending bytes");
+    }
+}
+
+#[test]
 fn stream_decoder_reassembles_byte_by_byte() {
     let mut rng = rng_for_indexed(0xC0DEC, "wire-stream", 0);
     let msgs: Vec<WireMsg> = (0..40).map(|_| arb_msg(&mut rng)).collect();

@@ -38,6 +38,10 @@ fn render(ev: &TraceEvent) -> String {
         TraceEvent::ConnClosed { peer } => format!("conn- p{peer}"),
         TraceEvent::ConnRetry { peer, attempt } => format!("connr p{peer} a{attempt}"),
         TraceEvent::PairCacheSaturated { rejected } => format!("paircache r{rejected}"),
+        TraceEvent::ConnBackpressure { peer, shed_bytes } => {
+            format!("connbp p{peer} shed{shed_bytes}")
+        }
+        TraceEvent::QueueDepth { peer, queued_bytes } => format!("connq p{peer} q{queued_bytes}"),
     }
 }
 
