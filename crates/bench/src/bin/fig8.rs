@@ -21,6 +21,7 @@ use spidernet_core::experiments::fig8::{
     optimal_phase_bench, run, run_scale, Fig8Config, ScaleConfig, ScaleResult,
 };
 use spidernet_core::workload::{PopulationConfig, RequestConfig};
+use spidernet_sim::metrics::counter;
 use spidernet_sim::TraceReport;
 
 /// CI smoke configuration: a miniature grid run *uncapped*
@@ -110,7 +111,14 @@ fn main() {
             .num("probing_phase_secs", out.probing_phase_secs)
             .num("optimal_phase_secs", out.optimal_phase_secs)
             .int("combos_examined", out.combos_examined)
-            .int("combos_pruned", out.combos_pruned);
+            .int("combos_pruned", out.combos_pruned)
+            // Pairwise-delay cache effectiveness: hits replay a memoized
+            // SSSP distance, misses pay a fresh computation, evictions
+            // count insert rejections once the memo saturates (queries
+            // silently degrade to tree walks).
+            .int("pair_cache_hits", out.metrics.value(counter::PAIR_CACHE_HITS))
+            .int("pair_cache_misses", out.metrics.value(counter::PAIR_CACHE_MISSES))
+            .int("pair_cache_evictions", out.metrics.value(counter::PAIR_CACHE_EVICTIONS));
         // Head-to-head optimal-phase comparison: the naive reference
         // enumerator vs branch-and-bound over the same request stream and
         // cap (identical considered-combination semantics).

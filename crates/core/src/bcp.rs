@@ -28,8 +28,8 @@ use crate::paths::PathTable;
 use crate::selection::{evaluate_with, is_qualified, merge_branches, select_best, GraphEvalScratch};
 use crate::state::{OverlayState, SoftToken};
 use crate::trust::TrustManager;
-use spidernet_dht::{PastryNetwork, ServiceDirectory};
-use spidernet_sim::metrics::Instruments;
+use spidernet_dht::{PastryNetwork, ServiceDirectory, ServiceMeta};
+use spidernet_sim::metrics::{counter, Instruments};
 use spidernet_sim::time::{SimDuration, SimTime};
 use spidernet_sim::trace::{DropReason, TraceEvent};
 use spidernet_topology::Overlay;
@@ -37,6 +37,7 @@ use spidernet_util::error::{Error, Result};
 use spidernet_util::hash::{FxHashMap, FxHashSet};
 use spidernet_util::id::{ComponentId, FunctionId, PeerId};
 use spidernet_util::qos::{dim, QosVector};
+use std::sync::Arc;
 
 /// How probing quota α_k is assigned per function.
 #[derive(Clone, Copy, Debug)]
@@ -106,6 +107,21 @@ pub struct BcpConfig {
     /// Disabling is an ablation: concurrent probes may then jointly
     /// over-admit and the final commit can fail.
     pub soft_allocation: bool,
+    /// Destination wall-deadline slack for probe collection in the
+    /// deployed runtime, as a multiple of the model collect window. A
+    /// liveness knob only — it never changes which probes count — but a
+    /// value below 1.0 would cut the deadline under the window itself and
+    /// make the collected set scheduling-dependent, so
+    /// [`BcpConfigBuilder::try_build`] rejects it.
+    pub collect_deadline_slack: f64,
+    /// Per-peer load-shedding threshold ψ on CPU utilization
+    /// (committed + soft, as a fraction of capacity). Replicas on peers
+    /// at or above the threshold are dropped from the qualified pool
+    /// before any probe is spent on them; a function whose entire pool is
+    /// shed rejects the request with [`Error::AdmissionRejected`] instead
+    /// of probing doomed candidates. `1.0` (the default) disables
+    /// shedding entirely.
+    pub shed_utilization: f64,
 }
 
 impl Default for BcpConfig {
@@ -123,6 +139,8 @@ impl Default for BcpConfig {
             w_trust: 0.0,
             min_trust: 0.0,
             soft_allocation: true,
+            collect_deadline_slack: 3.0,
+            shed_utilization: 1.0,
         }
     }
 }
@@ -198,14 +216,53 @@ impl BcpConfigBuilder {
         self
     }
 
-    /// Finishes the configuration.
+    /// Destination probe-collection deadline slack (runtime daemon), as a
+    /// multiple of the model collect window.
+    pub fn collect_deadline_slack(mut self, slack: f64) -> Self {
+        self.cfg.collect_deadline_slack = slack;
+        self
+    }
+
+    /// Per-peer ψ load-shedding threshold (`1.0` disables).
+    pub fn shed_utilization(mut self, psi: f64) -> Self {
+        self.cfg.shed_utilization = psi;
+        self
+    }
+
+    /// Finishes the configuration, validating knobs whose bad values
+    /// would silently corrupt protocol behaviour rather than merely
+    /// perform badly.
+    pub fn try_build(self) -> Result<BcpConfig> {
+        if !self.cfg.collect_deadline_slack.is_finite() || self.cfg.collect_deadline_slack < 1.0 {
+            return Err(Error::InvalidConfig(format!(
+                "collect_deadline_slack must be ≥ 1.0 (a wall deadline tighter than the \
+                 model collect window makes the collected probe set scheduling-dependent), \
+                 got {}",
+                self.cfg.collect_deadline_slack
+            )));
+        }
+        if !self.cfg.shed_utilization.is_finite()
+            || self.cfg.shed_utilization <= 0.0
+            || self.cfg.shed_utilization > 1.0
+        {
+            return Err(Error::InvalidConfig(format!(
+                "shed_utilization must be in (0, 1], got {}",
+                self.cfg.shed_utilization
+            )));
+        }
+        Ok(self.cfg)
+    }
+
+    /// Finishes the configuration, panicking on invalid knobs — the
+    /// ergonomic path for literals known good at the call site; use
+    /// [`BcpConfigBuilder::try_build`] for values from user input.
     pub fn build(self) -> BcpConfig {
-        self.cfg
+        self.try_build().expect("invalid BcpConfig")
     }
 }
 
 /// Counters and timings of one BCP run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct BcpStats {
     /// Probe transmissions (per-hop messages).
     pub probes_sent: u64,
@@ -219,6 +276,9 @@ pub struct BcpStats {
     pub dropped_qos: u64,
     /// Probes dropped by soft-allocation admission.
     pub dropped_admission: u64,
+    /// Replicas excluded from qualified pools by ψ load shedding (never
+    /// probed at all, unlike `dropped_admission`).
+    pub shed_candidates: u64,
     /// Complete candidate service graphs examined at the destination.
     pub candidates_examined: u64,
     /// Wall-clock (virtual) time of the discovery phase, ms.
@@ -251,6 +311,7 @@ struct BranchProbe {
 /// One live, trust-admitted replica of a function, prefiltered once per
 /// [`BcpEngine::compose`] so per-hop ranking recomputes only what actually
 /// varies with the probe's position: distance and load.
+#[derive(Clone)]
 struct PoolEntry {
     cid: ComponentId,
     peer: PeerId,
@@ -260,11 +321,157 @@ struct PoolEntry {
 }
 
 /// The qualified-replica pool of one function.
+#[derive(Clone)]
 struct FunctionPool {
     /// Directory list length, dead replicas included — quota α_k follows
     /// the advertised replication degree Z_k, not momentary liveness.
     raw_len: usize,
     entries: Vec<PoolEntry>,
+    /// Replicas dropped by ψ load shedding when the pool was built.
+    shed: u64,
+    /// First shed peer — the rejecting peer named by
+    /// [`Error::AdmissionRejected`] when shedding empties the pool.
+    shed_peer: Option<PeerId>,
+}
+
+/// One function's memoized discovery result: the qualified pool plus the
+/// DHT cost the lookup originally paid, replayed on every hit so setup
+/// accounting stays bit-identical with the uncached path.
+#[derive(Clone)]
+struct CachedLookup {
+    /// DHT routing messages the lookup cost (query hops + reply).
+    messages: u64,
+    /// Lookup round-trip, ms (discovery runs lookups in parallel, so the
+    /// phase lasts as long as the slowest round trip).
+    rtt_ms: f64,
+}
+
+/// Epoch-invalidated memo of per-function DHT lookups and
+/// qualified-replica pools, shared by every compose against a standing
+/// world (enable via `SpiderNet::set_compose_caching`).
+///
+/// Validity is keyed on a *world epoch* (churn, component registration,
+/// ψ-watermark crossings of the resource state), a *trust epoch*
+/// (consulted only when the active config admits by trust — the default
+/// config does not, so routine trust feedback never flushes the memo),
+/// and the config knobs baked into pool entries. Any mismatch flushes
+/// the whole memo and counts one invalidation.
+#[derive(Clone)]
+pub struct ComposeCache {
+    epoch: u64,
+    trust_epoch: u64,
+    /// Bit patterns of (w_failure, w_trust, min_trust, shed_utilization):
+    /// the knobs that shape pool membership and static scores.
+    fingerprint: [u64; 4],
+    /// Qualified-replica pools, keyed by function alone — pool membership
+    /// (liveness, trust admission, ψ shedding, static scores) does not
+    /// depend on who is asking.
+    pools: FxHashMap<FunctionId, Arc<FunctionPool>>,
+    /// Recorded DHT lookup costs, keyed by (requesting peer, function) —
+    /// the route and therefore the hop count and round trip DO depend on
+    /// the source, so replaying another peer's cost would skew the
+    /// per-request discovery latency.
+    lookups: FxHashMap<(PeerId, FunctionId), CachedLookup>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl Default for ComposeCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ComposeCache {
+    /// An empty cache at epoch zero.
+    pub fn new() -> Self {
+        ComposeCache {
+            epoch: 0,
+            trust_epoch: 0,
+            fingerprint: [0; 4],
+            pools: FxHashMap::default(),
+            lookups: FxHashMap::default(),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    fn config_fingerprint(cfg: &BcpConfig) -> [u64; 4] {
+        [
+            cfg.w_failure.to_bits(),
+            cfg.w_trust.to_bits(),
+            cfg.min_trust.to_bits(),
+            cfg.shed_utilization.to_bits(),
+        ]
+    }
+
+    /// Flushes the memo if the world moved under it: epoch or config
+    /// mismatch, or — when `cfg` admits by trust — a trust-table change.
+    /// Call once per compose, before the engine runs.
+    pub fn ensure_current(&mut self, epoch: u64, trust_epoch: u64, cfg: &BcpConfig) {
+        let uses_trust = cfg.w_trust > 0.0 || cfg.min_trust > 0.0;
+        let fingerprint = Self::config_fingerprint(cfg);
+        let stale = epoch != self.epoch
+            || fingerprint != self.fingerprint
+            || (uses_trust && trust_epoch != self.trust_epoch);
+        if stale {
+            if !self.pools.is_empty() || !self.lookups.is_empty() {
+                self.invalidations += 1;
+            }
+            self.pools.clear();
+            self.lookups.clear();
+            self.epoch = epoch;
+            self.trust_epoch = trust_epoch;
+            self.fingerprint = fingerprint;
+        }
+    }
+
+    /// Lookups served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that went to the DHT (and populated the memo).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Whole-memo flushes caused by epoch/config drift.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Functions whose qualified pools are currently memoized.
+    pub fn len(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pools.is_empty()
+    }
+}
+
+/// Reusable per-worker scratch for the compose hot path: the graph
+/// evaluation workspace plus the probe walk's assignment/undo/ranking
+/// buffers. A standing world serving thousands of requests hands the same
+/// scratch to every compose so the steady state allocates nothing.
+#[derive(Default)]
+pub struct ComposeScratch {
+    eval: GraphEvalScratch,
+    assign: Vec<(usize, ComponentId)>,
+    qos_undo: Vec<f64>,
+    depth: Vec<Vec<(f64, f64, ComponentId, PeerId)>>,
+}
+
+impl Clone for ComposeScratch {
+    /// Scratch content is transient garbage between composes; cloning a
+    /// world starts the copy with fresh (empty) buffers.
+    fn clone(&self) -> Self {
+        ComposeScratch::default()
+    }
 }
 
 /// In-place state of one branch probe walk. Each hop pushes its
@@ -312,6 +519,51 @@ pub struct BcpEngine<'a> {
     pub now: SimTime,
     /// Trust tables, when the trust extension is active.
     pub trust: Option<&'a TrustManager>,
+    /// Per-function discovery/pool memo. The caller is responsible for
+    /// epoch validation ([`ComposeCache::ensure_current`]) before the
+    /// engine runs; `None` composes full price.
+    pub cache: Option<&'a mut ComposeCache>,
+    /// Reusable compose scratch; `None` allocates a private one per call.
+    pub scratch: Option<&'a mut ComposeScratch>,
+}
+
+/// Prefilters one function's directory list into its qualified pool:
+/// liveness, trust admission, and — when ψ shedding is active — load.
+/// Quota α_k still follows the raw (advertised) replication degree Z_k,
+/// so the pool remembers the list length it was built from. (A free
+/// function rather than a method so the engine can build pools while its
+/// compose cache is mutably borrowed.)
+fn build_pool(
+    reg: &Registry,
+    state: &OverlayState,
+    trust: Option<&TrustManager>,
+    metas: &[ServiceMeta],
+    cfg: &BcpConfig,
+) -> FunctionPool {
+    let mut shed = 0u64;
+    let mut shed_peer = None;
+    let entries = metas
+        .iter()
+        .filter_map(|m| {
+            let comp = reg.get(m.component);
+            if !state.is_alive(comp.peer) {
+                return None;
+            }
+            let trust = trust.map(|t| t.aggregate_trust(comp.peer)).unwrap_or(0.5);
+            if trust < cfg.min_trust {
+                return None; // distrusted hosts are not even probed
+            }
+            if cfg.shed_utilization < 1.0 && state.cpu_utilization(comp.peer) >= cfg.shed_utilization
+            {
+                shed += 1;
+                shed_peer.get_or_insert(comp.peer);
+                return None; // ψ-saturated hosts are shed, not probed
+            }
+            let static_score = cfg.w_failure * comp.failure_prob + cfg.w_trust * (1.0 - trust);
+            Some(PoolEntry { cid: m.component, peer: comp.peer, static_score })
+        })
+        .collect();
+    FunctionPool { raw_len: metas.len(), entries, shed, shed_peer }
 }
 
 impl BcpEngine<'_> {
@@ -330,70 +582,119 @@ impl BcpEngine<'_> {
         let mut stats = BcpStats::default();
         let mut tokens: Vec<SoftToken> = Vec::new();
 
-        // --- Discovery phase: resolve replica lists --------------------
-        let mut replica_lists: FxHashMap<FunctionId, Vec<ComponentId>> = FxHashMap::default();
+        // --- Discovery phase: resolve replica lists into pools ---------
+        // Each distinct function costs one DHT lookup plus one pool
+        // prefilter pass (liveness, trust admission, ψ shedding — none of
+        // which change mid-compose, so the per-hop ranking loop recomputes
+        // only distance and load). With a cache attached, both are
+        // memoized across composes; hits replay the recorded DHT cost so
+        // the per-request stats cannot tell the modes apart.
+        let mut pools: FxHashMap<FunctionId, Arc<FunctionPool>> = FxHashMap::default();
         let mut discovery_ms: f64 = 0.0;
         for &f in req.function_graph.functions() {
-            if replica_lists.contains_key(&f) {
+            if pools.contains_key(&f) {
                 continue;
             }
-            let reg = self.reg;
-            let name = reg.catalog().name(f);
-            let mut transport = |a: PeerId, b: PeerId| self.paths.delay(self.overlay, a, b);
-            let (metas, route) = self
-                .directory
-                .lookup(self.pastry, req.source, name, &mut transport, &mut self.obs.trace)
-                .ok_or_else(|| Error::Network("source is not a DHT member".into()))?;
-            stats.dht_lookups += 1;
-            stats.dht_messages += route.hops() as u64 + 1; // query hops + reply
-            self.obs.metrics.add(self.obs.counters.dht_messages, route.hops() as u64 + 1);
-            // Lookups run in parallel; the phase lasts as long as the
-            // slowest round trip.
-            discovery_ms = discovery_ms.max(2.0 * route.latency_ms);
-            let list: Vec<ComponentId> = metas.iter().map(|m| m.component).collect();
-            if list.is_empty() {
-                return Err(Error::UnknownFunction(name.to_owned()));
+            // A full hit needs the pool AND this source's recorded lookup
+            // cost: pools are source-agnostic, but the DHT route (hops,
+            // round trip) depends on who is asking, so another peer's cost
+            // must not be replayed into this request's discovery latency.
+            let mut cached: Option<Arc<FunctionPool>> = None;
+            if let Some(cache) = self.cache.as_deref_mut() {
+                if let Some(cost) = cache.lookups.get(&(req.source, f)) {
+                    let pool = cache
+                        .pools
+                        .get(&f)
+                        .expect("a recorded lookup implies a memoized pool");
+                    cache.hits += 1;
+                    stats.dht_lookups += 1;
+                    stats.dht_messages += cost.messages;
+                    self.obs.metrics.add(self.obs.counters.dht_messages, cost.messages);
+                    discovery_ms = discovery_ms.max(cost.rtt_ms);
+                    cached = Some(Arc::clone(pool));
+                } else {
+                    cache.misses += 1;
+                }
             }
-            replica_lists.insert(f, list);
+            let pool = match cached {
+                Some(pool) => pool,
+                None => {
+                    let reg = self.reg;
+                    let name = reg.catalog().name(f);
+                    let mut transport =
+                        |a: PeerId, b: PeerId| self.paths.delay(self.overlay, a, b);
+                    let (metas, route) = self
+                        .directory
+                        .lookup(self.pastry, req.source, name, &mut transport, &mut self.obs.trace)
+                        .ok_or_else(|| Error::Network("source is not a DHT member".into()))?;
+                    let messages = route.hops() as u64 + 1; // query hops + reply
+                    stats.dht_lookups += 1;
+                    stats.dht_messages += messages;
+                    self.obs.metrics.add(self.obs.counters.dht_messages, messages);
+                    // Lookups run in parallel; the phase lasts as long as
+                    // the slowest round trip.
+                    let rtt = 2.0 * route.latency_ms;
+                    discovery_ms = discovery_ms.max(rtt);
+                    if metas.is_empty() {
+                        return Err(Error::UnknownFunction(name.to_owned()));
+                    }
+                    let pool = match self.cache.as_deref_mut() {
+                        Some(cache) => {
+                            cache.lookups.insert(
+                                (req.source, f),
+                                CachedLookup { messages, rtt_ms: rtt },
+                            );
+                            // A second source missing on its lookup cost
+                            // still reuses the function's memoized pool —
+                            // `build_pool` is the O(replicas) part.
+                            match cache.pools.get(&f) {
+                                Some(pool) => Arc::clone(pool),
+                                None => {
+                                    let pool = Arc::new(build_pool(
+                                        self.reg, self.state, self.trust, &metas, cfg,
+                                    ));
+                                    cache.pools.insert(f, Arc::clone(&pool));
+                                    pool
+                                }
+                            }
+                        }
+                        None => {
+                            Arc::new(build_pool(self.reg, self.state, self.trust, &metas, cfg))
+                        }
+                    };
+                    pool
+                }
+            };
+            if pool.shed > 0 {
+                stats.shed_candidates += pool.shed;
+                let c = self.obs.metrics.counter(counter::LOAD_SHED);
+                self.obs.metrics.add(c, pool.shed);
+            }
+            if pool.entries.is_empty() && pool.shed > 0 {
+                // Every surviving replica of this function sits at or
+                // above ψ: reject up front rather than probing doomed
+                // candidates.
+                let peer = pool.shed_peer.expect("shed pool has a shed peer");
+                return Err(Error::AdmissionRejected { peer: peer.raw() });
+            }
+            pools.insert(f, pool);
         }
         stats.discovery_ms = discovery_ms;
-
-        // Prefilter each function's replica list once per composition:
-        // liveness and trust admission cannot change mid-compose, so the
-        // per-hop ranking loop recomputes only distance and load. Quota
-        // α_k still follows the raw (advertised) replication degree Z_k.
-        let pools: FxHashMap<FunctionId, FunctionPool> = replica_lists
-            .iter()
-            .map(|(&f, list)| {
-                let entries = list
-                    .iter()
-                    .filter_map(|&cid| {
-                        let comp = self.reg.get(cid);
-                        if !self.state.is_alive(comp.peer) {
-                            return None;
-                        }
-                        let trust =
-                            self.trust.map(|t| t.aggregate_trust(comp.peer)).unwrap_or(0.5);
-                        if trust < cfg.min_trust {
-                            return None; // distrusted hosts are not even probed
-                        }
-                        let static_score =
-                            cfg.w_failure * comp.failure_prob + cfg.w_trust * (1.0 - trust);
-                        Some(PoolEntry { cid, peer: comp.peer, static_score })
-                    })
-                    .collect();
-                (f, FunctionPool { raw_len: list.len(), entries })
-            })
-            .collect();
 
         // --- Probing phase ---------------------------------------------
         let patterns = req.function_graph.patterns();
         let per_pattern_budget = (cfg.budget / patterns.len() as u32).max(1);
         let mut candidates: Vec<(ServiceGraph, GraphEval)> = Vec::new();
-        // One evaluation scratch for the whole compose: the merged-candidate
-        // loop is the hot spot, and per-candidate map/Vec churn there costs
-        // more than the evaluation arithmetic itself.
-        let mut eval_scratch = GraphEvalScratch::new();
+        // One scratch bundle for the whole compose (reused across composes
+        // when the caller supplies one): the merged-candidate loop is the
+        // hot spot, and per-candidate map/Vec churn there costs more than
+        // the evaluation arithmetic itself.
+        let mut fallback = ComposeScratch::default();
+        let mut arena_opt = self.scratch.take();
+        let arena: &mut ComposeScratch = match arena_opt.as_deref_mut() {
+            Some(a) => a,
+            None => &mut fallback,
+        };
 
         for pattern in &patterns {
             let branch_paths = pattern.branch_paths();
@@ -416,6 +717,7 @@ impl BcpEngine<'_> {
                     &mut stats,
                     &mut tokens,
                     &mut reserved,
+                    &mut *arena,
                 );
                 for p in &probes {
                     probing_ms = probing_ms.max(p.latency_ms);
@@ -436,7 +738,7 @@ impl BcpEngine<'_> {
                 self.state.release_soft(t, &mut self.obs.trace);
             }
 
-            eval_scratch.set_pattern(pattern);
+            arena.eval.set_pattern(pattern);
             for assignment in merged {
                 let eval = evaluate_with(
                     req.source,
@@ -448,7 +750,7 @@ impl BcpEngine<'_> {
                     self.state,
                     self.paths,
                     self.weights,
-                    &mut eval_scratch,
+                    &mut arena.eval,
                 );
                 if is_qualified(&eval, req) {
                     let graph =
@@ -463,6 +765,7 @@ impl BcpEngine<'_> {
         for t in tokens.drain(..) {
             self.state.release_soft(t, &mut self.obs.trace);
         }
+        self.scratch = arena_opt;
 
         match select_best(candidates) {
             Some((best, eval, pool)) => Ok(CompositionOutcome {
@@ -487,18 +790,25 @@ impl BcpEngine<'_> {
         pattern: &crate::model::function_graph::FunctionGraph,
         branch: &[usize],
         budget: u32,
-        pools: &FxHashMap<FunctionId, FunctionPool>,
+        pools: &FxHashMap<FunctionId, Arc<FunctionPool>>,
         stats: &mut BcpStats,
         tokens: &mut Vec<SoftToken>,
         reserved: &mut FxHashSet<ComponentId>,
+        arena: &mut ComposeScratch,
     ) -> Vec<BranchProbe> {
+        let mut depth = std::mem::take(&mut arena.depth);
+        while depth.len() < branch.len() {
+            depth.push(Vec::new());
+        }
         let mut st = ProbeState {
-            assign: Vec::with_capacity(branch.len()),
+            assign: std::mem::take(&mut arena.assign),
             qos: QosVector::zeros(req.qos_req.dims()),
-            qos_undo: Vec::new(),
-            scratch: (0..branch.len()).map(|_| Vec::new()).collect(),
+            qos_undo: std::mem::take(&mut arena.qos_undo),
+            scratch: depth,
             complete: Vec::new(),
         };
+        st.assign.clear();
+        st.qos_undo.clear();
         self.probe_step(
             req, cfg, pattern, branch, pools, stats, tokens, reserved, &mut st, req.source, 0,
             budget, 0.0,
@@ -511,7 +821,11 @@ impl BcpEngine<'_> {
             st.qos.values().iter().all(|&v| v == 0.0),
             "probe QoS accumulator not restored"
         );
-        st.complete
+        let ProbeState { assign, qos_undo, scratch, complete, .. } = st;
+        arena.assign = assign;
+        arena.qos_undo = qos_undo;
+        arena.depth = scratch;
+        complete
     }
 
     /// One hop of the depth-first branch walk: at `at_peer` having assigned
@@ -523,7 +837,7 @@ impl BcpEngine<'_> {
         cfg: &BcpConfig,
         pattern: &crate::model::function_graph::FunctionGraph,
         branch: &[usize],
-        pools: &FxHashMap<FunctionId, FunctionPool>,
+        pools: &FxHashMap<FunctionId, Arc<FunctionPool>>,
         stats: &mut BcpStats,
         tokens: &mut Vec<SoftToken>,
         reserved: &mut FxHashSet<ComponentId>,
@@ -604,12 +918,23 @@ impl BcpEngine<'_> {
             let norm_delay = if max_delay > 0.0 { s.0 / max_delay } else { 0.0 };
             s.1 += cfg.w_delay * norm_delay + cfg.w_load * load;
         }
-        // `total_cmp` ranks a NaN score worst instead of panicking.
-        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.2.cmp(&b.2)));
-
+        // Only the top I_k = min(β_k, α_k) candidates spawn probes, so a
+        // full sort is wasted work when I_k ≪ Z: partition the top I_k
+        // with select_nth, then sort just that prefix. The comparator is
+        // a strict total order (`total_cmp` ranks a NaN score worst
+        // instead of panicking; ties break on the unique component id),
+        // so the selected set and its order are identical to a full
+        // sort's.
+        let cmp = |a: &(f64, f64, ComponentId, PeerId), b: &(f64, f64, ComponentId, PeerId)| {
+            a.1.total_cmp(&b.1).then_with(|| a.2.cmp(&b.2))
+        };
         let alpha = cfg.quota.quota(pool.raw_len);
         let i_k = (budget.min(alpha) as usize).min(scored.len());
         if i_k > 0 {
+            if i_k < scored.len() {
+                scored.select_nth_unstable_by(i_k - 1, cmp);
+            }
+            scored[..i_k].sort_by(cmp);
             let child_budget = (budget / i_k as u32).max(1);
             for &(link_delay, _, cid, peer) in scored.iter().take(i_k) {
                 let comp = self.reg.get(cid);
@@ -785,6 +1110,8 @@ mod tests {
             session: 0,
             now: SimTime::ZERO,
             trust: None,
+            cache: None,
+            scratch: None,
         }
     }
 
@@ -1057,7 +1384,7 @@ mod tests {
 
             {
                 let mut e = engine(&mut w);
-                let pools: FxHashMap<FunctionId, FunctionPool> = lists
+                let pools: FxHashMap<FunctionId, Arc<FunctionPool>> = lists
                     .iter()
                     .map(|(&f, list)| {
                         let entries = list
@@ -1071,7 +1398,9 @@ mod tests {
                                 Some(PoolEntry { cid, peer: comp.peer, static_score })
                             })
                             .collect();
-                        (f, FunctionPool { raw_len: list.len(), entries })
+                        let pool =
+                            FunctionPool { raw_len: list.len(), entries, shed: 0, shed_peer: None };
+                        (f, Arc::new(pool))
                     })
                     .collect();
                 let pattern = req.function_graph.patterns().remove(0);
@@ -1079,12 +1408,13 @@ mod tests {
                 let mut stats = BcpStats::default();
                 let mut tokens = Vec::new();
                 let mut reserved = FxHashSet::default();
+                let mut arena = ComposeScratch::default();
                 // probe_branch's debug_asserts check ProbeState restoration
                 // (assignment stack, undo stack, QoS accumulator) on every
                 // exit path, including QoS and admission drops.
                 let _ = e.probe_branch(
                     &req, &cfg, &pattern, &branch, cfg.budget, &pools, &mut stats, &mut tokens,
-                    &mut reserved,
+                    &mut reserved, &mut arena,
                 );
                 // Releasing the walk's reservations must restore resource
                 // state exactly.
@@ -1118,5 +1448,181 @@ mod tests {
         if let Some((_, e)) = out.qualified_pool.first() {
             assert!(out.eval.cost <= e.cost);
         }
+    }
+
+    #[test]
+    fn too_tight_collect_slack_is_rejected_at_build() {
+        let err = BcpConfig::builder().collect_deadline_slack(0.5).try_build();
+        assert!(matches!(err, Err(Error::InvalidConfig(_))));
+        let err = BcpConfig::builder().collect_deadline_slack(f64::NAN).try_build();
+        assert!(matches!(err, Err(Error::InvalidConfig(_))));
+        // The floor itself and anything looser is fine.
+        assert!(BcpConfig::builder().collect_deadline_slack(1.0).try_build().is_ok());
+        let cfg = BcpConfig::builder().collect_deadline_slack(5.0).build();
+        assert_eq!(cfg.collect_deadline_slack, 5.0);
+        assert_eq!(BcpConfig::default().collect_deadline_slack, 3.0);
+    }
+
+    #[test]
+    fn shed_threshold_out_of_domain_is_rejected_at_build() {
+        assert!(matches!(
+            BcpConfig::builder().shed_utilization(0.0).try_build(),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            BcpConfig::builder().shed_utilization(1.5).try_build(),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(BcpConfig::builder().shed_utilization(0.5).try_build().is_ok());
+    }
+
+    /// Loads `peer` to ~`frac` CPU utilization with a long-lived soft
+    /// reservation (capacity in these worlds is 1.0 CPU).
+    fn load_peer(w: &mut World, peer: PeerId, frac: f64) {
+        w.state
+            .soft_allocate(
+                peer,
+                ResourceVector::new(frac, 1.0),
+                SimTime::from_secs(1_000_000),
+                &mut w.obs.trace,
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn saturated_peers_are_shed_before_probing() {
+        // world(1, 2): replicas of the single function live on peers 2, 3.
+        let cfg = BcpConfig { shed_utilization: 0.5, ..BcpConfig::default() };
+        // One saturated host: composition avoids it without spending
+        // probes on it.
+        let mut w = world(1, 2);
+        load_peer(&mut w, PeerId::new(2), 0.6);
+        let out = engine(&mut w).compose(&request(1), &cfg).unwrap();
+        assert!(!out.best.contains_peer(PeerId::new(2), &w.reg));
+        assert_eq!(out.stats.shed_candidates, 1);
+        assert_eq!(w.obs.metrics.value(counter::LOAD_SHED), 1);
+
+        // Every host saturated: rejected up front, zero probes sent.
+        let mut w = world(1, 2);
+        load_peer(&mut w, PeerId::new(2), 0.6);
+        load_peer(&mut w, PeerId::new(3), 0.6);
+        let err = engine(&mut w).compose(&request(1), &cfg);
+        assert!(matches!(err, Err(Error::AdmissionRejected { .. })));
+        assert_eq!(w.obs.metrics.value(spidernet_sim::metrics::counter::PROBES), 0);
+
+        // Shedding disabled (the default): the loaded hosts are still
+        // probed and the request composes.
+        let mut w = world(1, 2);
+        load_peer(&mut w, PeerId::new(2), 0.6);
+        load_peer(&mut w, PeerId::new(3), 0.6);
+        let out = engine(&mut w).compose(&request(1), &BcpConfig::default()).unwrap();
+        assert_eq!(out.stats.shed_candidates, 0);
+    }
+
+    fn stats_key(s: &BcpStats) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64) {
+        (
+            s.probes_sent,
+            s.dht_lookups,
+            s.dht_messages,
+            s.complete_probes,
+            s.dropped_qos,
+            s.dropped_admission,
+            s.shed_candidates,
+            s.candidates_examined,
+            s.discovery_ms.to_bits(),
+            s.probing_ms.to_bits(),
+        )
+    }
+
+    #[test]
+    fn compose_cache_hits_replay_identical_stats() {
+        let cfg = BcpConfig::default();
+        let req = request(3);
+
+        // Uncached reference run.
+        let mut w = world(3, 3);
+        let reference = engine(&mut w).compose(&req, &cfg).unwrap();
+
+        // Same world, cache attached: a cold run populates the memo, a
+        // warm run serves every function from it. All three must produce
+        // identical outcomes and per-request accounting.
+        let mut w = world(3, 3);
+        let mut cache = ComposeCache::new();
+        cache.ensure_current(0, 0, &cfg);
+        let cold = {
+            let mut e = engine(&mut w);
+            e.cache = Some(&mut cache);
+            e.compose(&req, &cfg).unwrap()
+        };
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 3);
+        let warm = {
+            let mut e = engine(&mut w);
+            e.cache = Some(&mut cache);
+            e.compose(&req, &cfg).unwrap()
+        };
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 3);
+
+        assert_eq!(stats_key(&reference.stats), stats_key(&cold.stats));
+        assert_eq!(stats_key(&reference.stats), stats_key(&warm.stats));
+        assert_eq!(reference.best.assignment, cold.best.assignment);
+        assert_eq!(reference.best.assignment, warm.best.assignment);
+        assert_eq!(reference.eval.cost.to_bits(), warm.eval.cost.to_bits());
+    }
+
+    #[test]
+    fn compose_cache_flushes_on_epoch_or_config_drift() {
+        let cfg = BcpConfig::default();
+        let req = request(2);
+        let mut w = world(2, 2);
+        let mut cache = ComposeCache::new();
+        cache.ensure_current(0, 0, &cfg);
+        {
+            let mut e = engine(&mut w);
+            e.cache = Some(&mut cache);
+            e.compose(&req, &cfg).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+
+        // Same epoch: nothing flushed.
+        cache.ensure_current(0, 0, &cfg);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.invalidations(), 0);
+
+        // Trust feedback alone must NOT flush under a config that ignores
+        // trust (the default) — session teardowns would otherwise empty
+        // the memo constantly.
+        cache.ensure_current(0, 7, &cfg);
+        assert_eq!(cache.len(), 2);
+
+        // World epoch moved (churn / registration / watermark crossing).
+        cache.ensure_current(1, 7, &cfg);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.invalidations(), 1);
+
+        // Repopulate, then drift the config fingerprint.
+        {
+            let mut e = engine(&mut w);
+            e.cache = Some(&mut cache);
+            e.compose(&req, &cfg).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        let shed_cfg = BcpConfig { shed_utilization: 0.5, ..BcpConfig::default() };
+        cache.ensure_current(1, 7, &shed_cfg);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.invalidations(), 2);
+
+        // A trust-admitting config does key on the trust epoch.
+        let trust_cfg = BcpConfig { min_trust: 0.1, ..BcpConfig::default() };
+        cache.ensure_current(1, 7, &trust_cfg);
+        {
+            let mut e = engine(&mut w);
+            e.cache = Some(&mut cache);
+            e.compose(&req, &trust_cfg).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        cache.ensure_current(1, 8, &trust_cfg);
+        assert_eq!(cache.len(), 0);
     }
 }

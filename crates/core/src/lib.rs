@@ -17,6 +17,9 @@
 //!   (unbounded flooding), random, static, and the centralized
 //!   global-state scheme;
 //! * [`workload`] — the simulation study's workload generators (§6.1);
+//! * [`loadgen`] — the open-loop workload engine: Poisson/diurnal/flash
+//!   arrivals, Zipf-skewed function popularity, and standing-world load
+//!   cells with admission control and churn;
 //! * [`system`] — the `SpiderNet` facade tying overlay, DHT discovery,
 //!   state, and protocol together;
 //! * [`experiments`] — drivers regenerating the paper's figures;
@@ -33,6 +36,7 @@ pub mod baselines;
 pub mod bcp;
 pub mod conditional;
 pub mod experiments;
+pub mod loadgen;
 pub mod model;
 pub mod paths;
 pub mod recovery;

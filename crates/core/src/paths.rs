@@ -169,6 +169,18 @@ impl PathTable {
     pub fn pair_rejections(&self) -> u64 {
         self.pairs.rejected()
     }
+
+    /// Pair-memo lookups served without a tree walk (feeds the
+    /// `topology.pair_cache_hits` counter).
+    pub fn pair_hits(&self) -> u64 {
+        self.pairs.hits()
+    }
+
+    /// Pair-memo lookups that fell through to an SSSP tree (feeds the
+    /// `topology.pair_cache_misses` counter).
+    pub fn pair_misses(&self) -> u64 {
+        self.pairs.misses()
+    }
 }
 
 #[cfg(test)]

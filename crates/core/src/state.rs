@@ -76,6 +76,14 @@ pub struct OverlayState {
     access: Option<AccessLinks>,
     soft_allocs: SlotArena<SoftAlloc>,
     next_seq: u64,
+    // Load-shedding watermark ψ (fraction of CPU capacity). Non-finite
+    // (the default `INFINITY`) disables crossing tracking entirely.
+    shed_watermark: f64,
+    // How many times any peer's CPU utilization crossed the watermark in
+    // either direction. Folded into the compose-cache epoch so cached
+    // qualified-replica pools are invalidated exactly when a peer's
+    // shed/no-shed classification may have changed.
+    watermark_crossings: u64,
 }
 
 fn link_key(a: PeerId, b: PeerId) -> (usize, usize) {
@@ -112,6 +120,44 @@ impl OverlayState {
             access,
             soft_allocs: SlotArena::new(),
             next_seq: 0,
+            shed_watermark: f64::INFINITY,
+            watermark_crossings: 0,
+        }
+    }
+
+    /// Sets the load-shedding watermark ψ used for crossing tracking.
+    /// Pass `f64::INFINITY` (the default) to disable tracking.
+    pub fn set_shed_watermark(&mut self, psi: f64) {
+        self.shed_watermark = psi;
+    }
+
+    /// How many times any peer's CPU utilization crossed the watermark
+    /// (in either direction) since construction. Monotone; meaningful
+    /// only while a finite watermark is set.
+    pub fn watermark_crossings(&self) -> u64 {
+        self.watermark_crossings
+    }
+
+    /// Fraction of a peer's CPU capacity held by soft + committed
+    /// allocations. Dead peers and zero-capacity peers report 1.0.
+    pub fn cpu_utilization(&self, peer: PeerId) -> f64 {
+        let i = peer.index();
+        let cap = self.capacity[i].cpu();
+        if !self.alive[i] || cap <= 0.0 {
+            return 1.0;
+        }
+        (self.soft[i].cpu() + self.committed[i].cpu()) / cap
+    }
+
+    // Records a watermark crossing if `peer`'s utilization moved from one
+    // side of ψ to the other. `before` is the pre-mutation utilization.
+    fn note_watermark(&mut self, peer: PeerId, before: f64) {
+        if !self.shed_watermark.is_finite() {
+            return;
+        }
+        let after = self.cpu_utilization(peer);
+        if (before >= self.shed_watermark) != (after >= self.shed_watermark) {
+            self.watermark_crossings += 1;
         }
     }
 
@@ -178,7 +224,9 @@ impl OverlayState {
         if !self.alive[peer.index()] || !res.fits_within(&self.available(peer)) {
             return Err(Error::AdmissionRejected { peer: peer.raw() });
         }
+        let before = self.cpu_utilization(peer);
         self.soft[peer.index()] = self.soft[peer.index()].add(&res);
+        self.note_watermark(peer, before);
         let seq = self.next_seq;
         self.next_seq += 1;
         let key = self.soft_allocs.insert(SoftAlloc { peer, res, expires, seq });
@@ -194,7 +242,9 @@ impl OverlayState {
     /// first, so availability can never be double-credited.
     pub fn release_soft(&mut self, token: SoftToken, trace: &mut TraceBuffer) -> bool {
         if let Some(a) = self.soft_allocs.remove(SlotKey::from_raw(token.0)) {
+            let before = self.cpu_utilization(a.peer);
             self.soft[a.peer.index()] = self.soft[a.peer.index()].saturating_sub(&a.res);
+            self.note_watermark(a.peer, before);
             trace.record(TraceEvent::SoftRelease { peer: a.peer.raw() });
             true
         } else {
@@ -324,7 +374,9 @@ impl OverlayState {
         // Take everything.
         let mut alloc = SessionAllocation::default();
         for &(p, res) in peer_demand {
+            let before = self.cpu_utilization(p);
             self.committed[p.index()] = self.committed[p.index()].add(&res);
+            self.note_watermark(p, before);
             alloc.peers.push((p, res));
         }
         for (key, need) in per_link {
@@ -344,7 +396,9 @@ impl OverlayState {
     /// Releases a committed allocation at session teardown.
     pub fn release(&mut self, alloc: &SessionAllocation) {
         for &(p, res) in &alloc.peers {
+            let before = self.cpu_utilization(p);
             self.committed[p.index()] = self.committed[p.index()].saturating_sub(&res);
+            self.note_watermark(p, before);
         }
         for &(key, bw) in &alloc.links {
             if let Some(acc) = &mut self.access {
@@ -613,6 +667,44 @@ mod tests {
         let restored = s.link_available(pa, pb);
         let cap = ov.access_capacity(pa).unwrap().min(ov.access_capacity(pb).unwrap());
         assert!((restored - cap).abs() < 1e-9);
+    }
+
+    #[test]
+    fn watermark_crossings_count_both_directions() {
+        let mut s = state();
+        let p = PeerId::new(11);
+        assert_eq!(s.watermark_crossings(), 0);
+        // No finite watermark → no tracking.
+        let tok = s
+            .soft_allocate(p, ResourceVector::new(0.6, 8.0), t(1000.0), &mut TraceBuffer::new())
+            .unwrap();
+        assert_eq!(s.watermark_crossings(), 0);
+        s.release_soft(tok, &mut TraceBuffer::new());
+        s.set_shed_watermark(0.5);
+        assert!((s.cpu_utilization(p) - 0.0).abs() < 1e-12);
+        // 0.0 → 0.6 crosses ψ=0.5 upward; releasing crosses back down.
+        let tok = s
+            .soft_allocate(p, ResourceVector::new(0.6, 8.0), t(1000.0), &mut TraceBuffer::new())
+            .unwrap();
+        assert_eq!(s.watermark_crossings(), 1);
+        assert!((s.cpu_utilization(p) - 0.6).abs() < 1e-12);
+        s.release_soft(tok, &mut TraceBuffer::new());
+        assert_eq!(s.watermark_crossings(), 2);
+        // Small moves that stay on one side do not count.
+        let tok = s
+            .soft_allocate(p, ResourceVector::new(0.2, 8.0), t(1000.0), &mut TraceBuffer::new())
+            .unwrap();
+        assert_eq!(s.watermark_crossings(), 2);
+        s.release_soft(tok, &mut TraceBuffer::new());
+        assert_eq!(s.watermark_crossings(), 2);
+        // Committed load counts toward utilization too.
+        let alloc = s.commit(&[(p, ResourceVector::new(0.7, 8.0))], &[]).unwrap();
+        assert_eq!(s.watermark_crossings(), 3);
+        s.release(&alloc);
+        assert_eq!(s.watermark_crossings(), 4);
+        // Dead peers report full utilization.
+        s.fail_peer(p);
+        assert_eq!(s.cpu_utilization(p), 1.0);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! ```
 
 use crate::baselines::{self, BaselineContext, OptimalOptions, PoolPolicy};
-use crate::bcp::{BcpConfig, BcpEngine, BcpStats, CompositionOutcome};
+use crate::bcp::{BcpConfig, BcpEngine, BcpStats, ComposeCache, ComposeScratch, CompositionOutcome};
 use crate::model::component::{Registry, ServiceComponent};
 use crate::model::request::CompositionRequest;
 use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
@@ -33,7 +33,7 @@ use crate::state::OverlayState;
 use crate::trust::{Experience, TrustManager};
 use crate::workload::{populate, PopulationConfig};
 use spidernet_dht::{PastryNetwork, ServiceDirectory, ServiceMeta};
-use spidernet_sim::metrics::{Instruments, MetricsRegistry};
+use spidernet_sim::metrics::{counter, Instruments, MetricsRegistry};
 use spidernet_sim::time::{SimDuration, SimTime};
 use spidernet_sim::trace::TraceEvent;
 use spidernet_topology::inet::{generate_power_law, InetConfig};
@@ -315,6 +315,26 @@ pub struct SpiderNet {
     baseline_rng: Rng,
     /// Pair-memo rejections already folded into the metrics counter.
     pair_rejects_reported: u64,
+    /// Structural world version: bumped whenever directory contents or
+    /// peer membership change (registration, failure, revival). Combined
+    /// with [`OverlayState::watermark_crossings`] it keys the compose
+    /// cache.
+    world_epoch: u64,
+    /// Trust-table version: bumped whenever trust scores may have moved
+    /// (session outcomes, failures, decay, direct mutation). Consulted by
+    /// the compose cache only under trust-sensitive configs.
+    trust_epoch: u64,
+    /// Epoch-invalidated per-function lookup/pool memo. `None` (the
+    /// default) composes full-price; enable via
+    /// [`SpiderNet::set_compose_caching`].
+    compose_cache: Option<ComposeCache>,
+    /// Reusable probe arenas handed to every BCP run.
+    compose_scratch: ComposeScratch,
+    /// Compose-cache (hits, misses, invalidations) already folded into
+    /// the metrics registry.
+    compose_cache_reported: (u64, u64, u64),
+    /// Pair-delay (hits, misses) already folded into the metrics registry.
+    pair_lookups_reported: (u64, u64),
 }
 
 impl SpiderNet {
@@ -366,6 +386,12 @@ impl SpiderNet {
             compose_seq: 0,
             baseline_rng: rng_for(cfg.seed, "baseline-random"),
             pair_rejects_reported: 0,
+            world_epoch: 0,
+            trust_epoch: 0,
+            compose_cache: None,
+            compose_scratch: ComposeScratch::default(),
+            compose_cache_reported: (0, 0, 0),
+            pair_lookups_reported: (0, 0),
         }
     }
 
@@ -399,6 +425,7 @@ impl SpiderNet {
     }
 
     fn register_meta(&mut self, name: &str, meta: ServiceMeta) {
+        self.world_epoch += 1;
         let SpiderNet { pastry, directory, paths, overlay, obs, .. } = self;
         let mut transport = |a: PeerId, b: PeerId| paths.delay(overlay, a, b);
         if let Some(route) = directory.register(pastry, name, meta, &mut transport, &mut obs.trace)
@@ -554,10 +581,43 @@ impl SpiderNet {
         if rejected > self.pair_rejects_reported {
             let delta = rejected - self.pair_rejects_reported;
             self.pair_rejects_reported = rejected;
-            let c = self.obs.metrics.counter("topology.pair_cache_evictions");
+            let c = self.obs.metrics.counter(counter::PAIR_CACHE_EVICTIONS);
             self.obs.metrics.add(c, delta);
             self.obs.trace.record(TraceEvent::PairCacheSaturated { rejected });
         }
+        let (hits, misses) = (self.paths.pair_hits(), self.paths.pair_misses());
+        let (h0, m0) = self.pair_lookups_reported;
+        if hits > h0 {
+            let c = self.obs.metrics.counter(counter::PAIR_CACHE_HITS);
+            self.obs.metrics.add(c, hits - h0);
+        }
+        if misses > m0 {
+            let c = self.obs.metrics.counter(counter::PAIR_CACHE_MISSES);
+            self.obs.metrics.add(c, misses - m0);
+        }
+        self.pair_lookups_reported = (hits, misses);
+    }
+
+    /// Folds compose-cache deltas into the metrics registry. Counters are
+    /// interned lazily and only nonzero deltas are added, so worlds that
+    /// never enable the cache export nothing new.
+    fn sync_compose_cache_stats(&mut self) {
+        let Some(cache) = self.compose_cache.as_ref() else { return };
+        let (hits, misses, inv) = (cache.hits(), cache.misses(), cache.invalidations());
+        let (h0, m0, i0) = self.compose_cache_reported;
+        if hits > h0 {
+            let c = self.obs.metrics.counter(counter::COMPOSE_CACHE_HITS);
+            self.obs.metrics.add(c, hits - h0);
+        }
+        if misses > m0 {
+            let c = self.obs.metrics.counter(counter::COMPOSE_CACHE_MISSES);
+            self.obs.metrics.add(c, misses - m0);
+        }
+        if inv > i0 {
+            let c = self.obs.metrics.counter(counter::COMPOSE_CACHE_INVALIDATIONS);
+            self.obs.metrics.add(c, inv - i0);
+        }
+        self.compose_cache_reported = (hits, misses, inv);
     }
 
     /// Runs the pre-branch-and-bound naive optimal enumerator. Kept only
@@ -592,6 +652,13 @@ impl SpiderNet {
         cfg: &BcpConfig,
         session: u64,
     ) -> Result<CompositionOutcome> {
+        if let Some(cache) = self.compose_cache.as_mut() {
+            // Soft-alloc watermark crossings fold into the structural epoch
+            // so cached pools go stale exactly when a peer's shed
+            // classification may have flipped.
+            let epoch = self.world_epoch + self.state.watermark_crossings();
+            cache.ensure_current(epoch, self.trust_epoch, cfg);
+        }
         let mut engine = BcpEngine {
             overlay: &self.overlay,
             reg: &self.reg,
@@ -604,8 +671,12 @@ impl SpiderNet {
             session,
             now: self.now,
             trust: Some(&self.trust),
+            cache: self.compose_cache.as_mut(),
+            scratch: Some(&mut self.compose_scratch),
         };
-        engine.compose(req, cfg)
+        let out = engine.compose(req, cfg);
+        self.sync_compose_cache_stats();
+        out
     }
 
     // --- sessions --------------------------------------------------------
@@ -644,6 +715,7 @@ impl SpiderNet {
             let hosts: Vec<PeerId> =
                 s.primary.components().iter().map(|&c| self.reg.get(c).peer).collect();
             self.trust.record_session_outcome(observer, hosts, Experience::Positive);
+            self.trust_epoch += 1;
         }
         self.sessions.teardown(id, &mut self.state)
     }
@@ -684,6 +756,8 @@ impl SpiderNet {
     /// recovery (which [`SpiderNet::fail_peers`] runs once all peers of a
     /// correlated event are marked).
     fn mark_peer_failed(&mut self, peer: PeerId) {
+        self.world_epoch += 1;
+        self.trust_epoch += 1;
         self.state.fail_peer(peer);
         // Shed only the shortest-path trees the departed peer participates
         // in; unrelated cached SSSPs stay warm through churn.
@@ -705,6 +779,7 @@ impl SpiderNet {
     /// Revives a failed peer: rejoins the ring and re-registers its
     /// components.
     pub fn revive_peer(&mut self, peer: PeerId) {
+        self.world_epoch += 1;
         self.state.revive_peer(peer);
         {
             let SpiderNet { pastry, paths, overlay, .. } = self;
@@ -732,6 +807,7 @@ impl SpiderNet {
     /// One backup-maintenance round across all sessions (also decays the
     /// trust tables one step).
     pub fn maintenance_tick(&mut self) -> u64 {
+        self.trust_epoch += 1;
         self.trust.decay_all();
         self.sessions.maintenance_tick(&self.reg, &self.state, &mut self.obs)
     }
@@ -785,6 +861,36 @@ impl SpiderNet {
         self.obs.metrics.set_session_tracking(on);
     }
 
+    /// Enables or disables the epoch-invalidated compose cache (off by
+    /// default). Enabling starts cold; disabling drops the cache and its
+    /// counters (deltas already folded into metrics are kept).
+    pub fn set_compose_caching(&mut self, on: bool) {
+        if on {
+            if self.compose_cache.is_none() {
+                self.compose_cache = Some(ComposeCache::new());
+                self.compose_cache_reported = (0, 0, 0);
+            }
+        } else {
+            self.sync_compose_cache_stats();
+            self.compose_cache = None;
+        }
+    }
+
+    /// Compose-cache lifetime totals `(hits, misses, invalidations)`;
+    /// zeros while caching is disabled.
+    pub fn compose_cache_stats(&self) -> (u64, u64, u64) {
+        self.compose_cache
+            .as_ref()
+            .map(|c| (c.hits(), c.misses(), c.invalidations()))
+            .unwrap_or((0, 0, 0))
+    }
+
+    /// Structural world epoch (diagnostics; includes soft-alloc watermark
+    /// crossings when a finite watermark is set on the state).
+    pub fn world_epoch(&self) -> u64 {
+        self.world_epoch + self.state.watermark_crossings()
+    }
+
     /// Resets protocol metrics and the trace ring (between experiment
     /// phases). Interned handles stay valid.
     pub fn reset_metrics(&mut self) {
@@ -812,7 +918,9 @@ impl SpiderNet {
     }
 
     /// Mutable trust tables (experiments inject adversarial histories).
+    /// Conservatively counts as a trust mutation for cache epochs.
     pub fn trust_mut(&mut self) -> &mut TrustManager {
+        self.trust_epoch += 1;
         &mut self.trust
     }
 

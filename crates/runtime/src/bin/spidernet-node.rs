@@ -99,6 +99,11 @@ fn cluster_config(values: &HashMap<String, String>, peers: usize) -> ClusterConf
             "maintenance-period-ms",
             defaults.maintenance_period_ms,
         ),
+        collect_deadline_slack: get(
+            values,
+            "collect-deadline-slack",
+            defaults.collect_deadline_slack,
+        ),
         faults: NetFaultConfig::builder()
             .drop_prob(get(values, "drop-prob", 0.0))
             .extra_delay_ms(get(values, "extra-delay-ms", 0.0))

@@ -1156,6 +1156,7 @@ fn spawn_children(cfg: &DeployConfig, ports: &[u16]) -> std::io::Result<Vec<Chil
             .args(["--quota", &c.quota.to_string()])
             .args(["--failover-timeout-ms", &c.failover_timeout_ms.to_string()])
             .args(["--maintenance-period-ms", &c.maintenance_period_ms.to_string()])
+            .args(["--collect-deadline-slack", &c.collect_deadline_slack.to_string()])
             .args(["--drop-prob", &c.faults.drop_prob.to_string()])
             .args(["--extra-delay-ms", &c.faults.extra_delay_ms.to_string()])
             .args(["--transport", &cfg.transport.to_string()])

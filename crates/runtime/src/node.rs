@@ -118,6 +118,13 @@ pub struct ClusterConfig {
     pub failover_timeout_ms: f64,
     /// Period of backup-path maintenance probing, model ms (0 disables).
     pub maintenance_period_ms: f64,
+    /// Wall-deadline slack for destination probe collection, as a
+    /// multiple of `collect_window_ms`. Purely a liveness knob — the
+    /// model-time filter decides which probes count; this only bounds how
+    /// long the destination waits for them to physically land. Must be
+    /// ≥ 1.0 (validated by [`spidernet_core::bcp::BcpConfigBuilder`] on
+    /// the protocol side; the cluster trusts its caller).
+    pub collect_deadline_slack: f64,
     /// Message-level loss and delay injection (off by default).
     pub faults: NetFaultConfig,
 }
@@ -133,6 +140,7 @@ impl Default for ClusterConfig {
             quota: 3,
             failover_timeout_ms: 400.0,
             maintenance_period_ms: 120.0,
+            collect_deadline_slack: 3.0,
             faults: NetFaultConfig::default(),
         }
     }
@@ -670,12 +678,6 @@ impl PeerNode {
         }
     }
 
-    /// Wall-deadline slack for probe collection, as a multiple of the
-    /// model collect window. Purely a liveness knob — it never changes
-    /// which probes count (the model-time filter in `on_collect` does
-    /// that), only how long the destination waits for them to land.
-    const COLLECT_DEADLINE_SLACK: f64 = 3.0;
-
     fn on_probe(&mut self, probe: Probe, out: &mut impl Outbox) {
         if probe.pos == probe.chain.len() && probe.dest == self.me {
             if self.done_requests.contains(&probe.request) {
@@ -701,7 +703,7 @@ impl PeerNode {
                 // transport queueing pushes wall arrivals well past the
                 // scaled model timestamp, and a tight deadline would
                 // make the collected set scheduling-dependent.
-                out.timer(Msg::TimerCollect { request }, window * Self::COLLECT_DEADLINE_SLACK);
+                out.timer(Msg::TimerCollect { request }, window * self.world.cfg.collect_deadline_slack);
             }
             return;
         }

@@ -35,6 +35,22 @@ pub mod counter {
     pub const RECOVERY_SWITCHES: &str = "recovery.switches";
     /// Sessions that exhausted their backups and needed reactive BCP.
     pub const RECOVERY_REACTIVE: &str = "recovery.reactive";
+    /// Candidate replicas dropped pre-probe because the host peer's CPU
+    /// utilization sat at or above the shedding watermark ψ.
+    pub const LOAD_SHED: &str = "bcp.load_shed";
+    /// Compose-cache hits (per-function lookup + qualified pool reused).
+    pub const COMPOSE_CACHE_HITS: &str = "bcp.compose_cache_hits";
+    /// Compose-cache misses (full DHT lookup + pool build performed).
+    pub const COMPOSE_CACHE_MISSES: &str = "bcp.compose_cache_misses";
+    /// Compose-cache flushes forced by epoch or config drift.
+    pub const COMPOSE_CACHE_INVALIDATIONS: &str = "bcp.compose_cache_invalidations";
+    /// Pairwise-delay cache hits (memoized SSSP distance reused).
+    pub const PAIR_CACHE_HITS: &str = "topology.pair_cache_hits";
+    /// Pairwise-delay cache misses (fresh SSSP distance computed).
+    pub const PAIR_CACHE_MISSES: &str = "topology.pair_cache_misses";
+    /// Pairwise-delay memo insert rejections (memo at capacity; the
+    /// query fell back to an uncached tree walk).
+    pub const PAIR_CACHE_EVICTIONS: &str = "topology.pair_cache_evictions";
 }
 
 /// Conventional histogram names used across the experiments.

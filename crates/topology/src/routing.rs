@@ -103,6 +103,10 @@ pub struct PairDelayCache {
     /// saturation turns every post-cap leg lookup back into a tree walk —
     /// the counter makes that perf cliff observable.
     rejected: u64,
+    /// Lookups answered from a memoized slot.
+    hits: u64,
+    /// Lookups that fell through to the producing SSSP tree.
+    misses: u64,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -125,14 +129,21 @@ impl PairDelayCache {
     }
 
     /// The memoized delay `from → to`, if this exact direction was
-    /// inserted before.
-    pub fn get(&self, from: NodeIndex, to: NodeIndex) -> Option<f64> {
-        let slots = self.map.get(&Self::key(from, to))?;
-        if from <= to {
-            slots.fwd
+    /// inserted before. Counts the probe as a hit or miss.
+    pub fn get(&mut self, from: NodeIndex, to: NodeIndex) -> Option<f64> {
+        let found = self.map.get(&Self::key(from, to)).and_then(|slots| {
+            if from <= to {
+                slots.fwd
+            } else {
+                slots.rev
+            }
+        });
+        if found.is_some() {
+            self.hits += 1;
         } else {
-            slots.rev
+            self.misses += 1;
         }
+        found
     }
 
     /// Memoizes the delay `from → to` as computed by `from`'s SSSP tree.
@@ -176,6 +187,18 @@ impl PairDelayCache {
     /// `topology.pair_cache_evictions` counter's source of truth.
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Lookups answered from a memoized slot (feeds the
+    /// `topology.pair_cache_hits` counter).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed and fell through to a tree walk (feeds the
+    /// `topology.pair_cache_misses` counter).
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 
     /// True if nothing is cached.

@@ -80,6 +80,11 @@ impl BenchReport {
     pub fn new(name: &str) -> Self {
         let mut r = BenchReport { name: name.to_owned(), fields: Vec::new() };
         r.fields.push(("figure".into(), format!("\"{name}\"")));
+        // Every report self-documents the host's parallelism so a
+        // speedup ≈ 1.0 row from a 1-CPU CI runner is not mistaken for a
+        // harness regression.
+        let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        r.fields.push(("host_cpus".into(), cpus.to_string()));
         r
     }
 
@@ -167,6 +172,7 @@ mod tests {
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"figure\": \"figX\""));
+        assert!(json.contains("\"host_cpus\": "), "reports must self-document parallelism");
         assert!(json.contains("\"trials\": 10,"));
         assert!(json.contains("\"parallel_secs\": 1.2500,"));
         assert!(json.contains("\"mode\": \"quick\","));
