@@ -435,6 +435,10 @@ impl FaultDriver {
                 return Err(format!("peer {p}: committed {got:?} exceeds capacity {cap:?}"));
             }
         }
+        // Soft (probe-time) books: every peer's soft ledger must equal
+        // the sum of its live reservations — shared with the model
+        // checker's soft-ledger scenario.
+        state.verify_soft_accounting()?;
         Ok(())
     }
 

@@ -275,6 +275,36 @@ impl OverlayState {
         self.soft_allocs.len()
     }
 
+    /// Verifies the soft-allocation books: for every peer, the sum of its
+    /// live [`SoftAlloc`] entries must equal the per-peer soft ledger (to
+    /// float tolerance). The fault lab and the model checker call this
+    /// after every step — a double release, a missed expiry, or a leaked
+    /// reservation shows up here as a ledger mismatch. (A dead peer may
+    /// still hold unexpired entries: [`OverlayState::fail_peer`] leaves
+    /// the books alone and [`OverlayState::revive_peer`] clears entries
+    /// and ledger together, so the equality holds through churn too.)
+    pub fn verify_soft_accounting(&self) -> std::result::Result<(), String> {
+        let mut sums = vec![ResourceVector::ZERO; self.soft.len()];
+        let mut counts = vec![0usize; self.soft.len()];
+        for (_, a) in self.soft_allocs.iter() {
+            sums[a.peer.index()] = sums[a.peer.index()].add(&a.res);
+            counts[a.peer.index()] += 1;
+        }
+        for i in 0..self.soft.len() {
+            let ledger = &self.soft[i];
+            let sum = &sums[i];
+            if (ledger.cpu() - sum.cpu()).abs() > 1e-6
+                || (ledger.memory() - sum.memory()).abs() > 1e-6
+            {
+                return Err(format!(
+                    "peer {i}: soft ledger {:?} != sum of {} live reservations {:?}",
+                    ledger, counts[i], sum
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// A peer's total soft-reserved load (invariant checks).
     pub fn soft_load(&self, peer: PeerId) -> ResourceVector {
         self.soft[peer.index()]
@@ -534,6 +564,54 @@ mod tests {
         assert!((s.soft_load(p).cpu() - 0.4).abs() < 1e-12, "double-credited availability");
         assert!((s.available(p).cpu() - 0.6).abs() < 1e-12);
         assert_eq!(s.soft_count(), 1);
+    }
+
+    #[test]
+    fn release_before_expiry_sweep_at_boundary_does_not_double_credit() {
+        // The reversed ordering of the case above: the probe's explicit
+        // release lands *first*, then the expiry clock sweeps the exact
+        // `expires == now` boundary. The sweep must find the token gone
+        // and reclaim nothing — releasing it a second time would credit
+        // the peer twice from the other direction.
+        let mut s = state();
+        let p = PeerId::new(8);
+        let early = s
+            .soft_allocate(p, ResourceVector::new(0.3, 16.0), t(50.0), &mut TraceBuffer::new())
+            .unwrap();
+        let _late = s
+            .soft_allocate(p, ResourceVector::new(0.4, 16.0), t(500.0), &mut TraceBuffer::new())
+            .unwrap();
+        assert!(s.release_soft(early, &mut TraceBuffer::new()));
+        assert!((s.soft_load(p).cpu() - 0.4).abs() < 1e-12);
+        // The sweep at the released token's exact deadline: nothing left
+        // to expire at t=50, the unexpired token is untouched.
+        assert_eq!(s.expire_soft(t(50.0), &mut TraceBuffer::new()), 0);
+        assert!((s.soft_load(p).cpu() - 0.4).abs() < 1e-12, "double-credited availability");
+        assert!((s.available(p).cpu() - 0.6).abs() < 1e-12);
+        assert_eq!(s.soft_count(), 1);
+        s.verify_soft_accounting().unwrap();
+    }
+
+    #[test]
+    fn soft_accounting_stays_exact_through_churn() {
+        // The ledger-vs-arena invariant the fault lab and model checker
+        // lean on: sum of live reservations == per-peer soft ledger,
+        // through allocate / release / expire / fail / revive.
+        let mut s = state();
+        let (pa, pb) = (PeerId::new(12), PeerId::new(13));
+        let mut tr = TraceBuffer::new();
+        let a = s.soft_allocate(pa, ResourceVector::new(0.2, 8.0), t(100.0), &mut tr).unwrap();
+        let _b = s.soft_allocate(pa, ResourceVector::new(0.3, 8.0), t(200.0), &mut tr).unwrap();
+        let _c = s.soft_allocate(pb, ResourceVector::new(0.5, 8.0), t(150.0), &mut tr).unwrap();
+        s.verify_soft_accounting().unwrap();
+        s.release_soft(a, &mut tr);
+        s.verify_soft_accounting().unwrap();
+        s.expire_soft(t(160.0), &mut tr);
+        s.verify_soft_accounting().unwrap();
+        s.fail_peer(pa);
+        s.revive_peer(pa); // drops pa's entries and zeroes its ledger together
+        s.verify_soft_accounting().unwrap();
+        assert_eq!(s.soft_count(), 0);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   peer plus a delay-queue network thread; DHT lookups, BCP probes,
 //!   session setup acks, heartbeats, and media frames all travel hop by hop
 //!   through real channels with injected WAN latencies;
+//! * [`mc`] — the model-checker adapter: `PeerNode`s behind a virtual
+//!   [`mc::ModelOutbox`], exposing every delivery interleaving (plus
+//!   drop/duplicate/crash faults) to the `spidernet-sim` explorer;
 //! * [`net`] — the socket transport: TCP connection management for the
 //!   `spidernet-node` daemon (one OS process per peer) and the loopback
 //!   `deploy` orchestrator;
@@ -31,6 +34,7 @@ pub mod cluster;
 #[cfg(target_os = "linux")]
 pub(crate) mod evnet;
 pub mod experiments;
+pub mod mc;
 pub mod media;
 pub mod msg;
 pub mod net;
@@ -40,6 +44,7 @@ pub(crate) mod poll;
 pub mod wan;
 
 pub use cluster::Cluster;
+pub use mc::{CheckedWorld, McAction, McScenario, ModelOutbox, NetModel};
 pub use media::{Frame, MediaFunction};
 pub use node::{
     ClusterConfig, NetFaultConfig, NetFaultConfigBuilder, Outbox, PeerNode, SetupResult,

@@ -238,9 +238,10 @@ pub enum Msg {
     Halt,
 }
 
-/// Folds one value into a content hash (used for delay salts).
+/// Folds one value into a content hash (used for delay salts and the
+/// model checker's state digests).
 #[inline]
-fn mix(h: u64, v: u64) -> u64 {
+pub(crate) fn mix(h: u64, v: u64) -> u64 {
     splitmix64(h ^ v)
 }
 

@@ -26,7 +26,7 @@
 //! how close to the wall deadline the transport delivered it.
 
 use crate::media::{Frame, MediaFunction};
-use crate::msg::{Msg, Probe, ReplicaMeta};
+use crate::msg::{mix, Msg, Probe, ReplicaMeta};
 use crate::wan::WanModel;
 use spidernet_dht::{NodeId, PastryNetwork};
 use spidernet_sim::trace::{TraceBuffer, TraceEvent};
@@ -195,6 +195,30 @@ pub struct StreamReport {
     pub delivery_digest: u64,
 }
 
+/// Read-only view of one streaming session's failover state, exposed for
+/// external checkers (the model checker's ghost invariants inspect the
+/// slot table around every switchover).
+#[derive(Clone, Debug)]
+pub struct StreamSnapshot {
+    /// The stable slot table: slot 0 the original primary, slots 1.. the
+    /// backups in preference order.
+    pub paths: Vec<Vec<PeerId>>,
+    /// Slot currently serving frames.
+    pub active: usize,
+    /// Slots abandoned by failover.
+    pub consumed: Vec<bool>,
+    /// Per-backup maintenance verdict (`backup_alive[i]` ↔ slot `i+1`).
+    pub backup_alive: Vec<bool>,
+    /// Failovers performed so far.
+    pub switches: u32,
+    /// Frames emitted so far.
+    pub sent: u64,
+    /// Frames acknowledged so far.
+    pub delivered: u64,
+    /// True once the source stopped emitting and is draining acks.
+    pub draining: bool,
+}
+
 /// Everything all peers of one deployment agree on: the latency model,
 /// the Pastry overlay, component placement, configuration, and the shared
 /// counters/trace. Built deterministically from a [`ClusterConfig`] —
@@ -298,6 +322,7 @@ pub trait Outbox {
     fn stream_report(&mut self, report: StreamReport);
 }
 
+#[derive(Clone)]
 struct ComposeJob {
     dest: PeerId,
     chain: Vec<MediaFunction>,
@@ -308,6 +333,7 @@ struct ComposeJob {
     discovery_done_ms: Option<f64>,
 }
 
+#[derive(Clone)]
 struct DestJob {
     source: PeerId,
     chain: Vec<MediaFunction>,
@@ -316,16 +342,29 @@ struct DestJob {
     timer_armed: bool,
 }
 
+#[derive(Clone)]
 enum StreamPhase {
     Sending,
     Draining,
 }
 
+#[derive(Clone)]
 struct StreamJob {
-    /// paths[0] is the active path; the rest are backups in preference
-    /// order. `backup_alive[i]` mirrors paths[i+1]'s last maintenance
-    /// verdict (true until proven dead).
+    /// Every path known for the session in one *stable* slot list:
+    /// slot 0 is the original primary, slots 1.. the backups in
+    /// preference order. Slots never move or disappear — maintenance
+    /// probes and their acks identify a backup by `backup_idx` (slot
+    /// `backup_idx + 1`), so an ack that raced a failover must still
+    /// resolve to the path it actually walked. Failover switches
+    /// `active` and marks the abandoned slot `consumed` instead of
+    /// reshuffling the list.
     paths: Vec<Vec<PeerId>>,
+    /// Slot currently serving frames.
+    active: usize,
+    /// Slots abandoned by a failover; never served or probed again.
+    consumed: Vec<bool>,
+    /// `backup_alive[i]` mirrors slot `i+1`'s last maintenance verdict
+    /// (true until proven dead).
     backup_alive: Vec<bool>,
     /// Maintenance round bookkeeping; an ack for round r-1 arriving late
     /// still counts (liveness, not freshness).
@@ -338,6 +377,11 @@ struct StreamJob {
     dims: (usize, usize),
     seq: u64,
     delivered: u64,
+    /// Frame seqs already credited by a delivery ack. A duplicated or
+    /// replayed `FrameAck` (transport retry, model-checker duplication)
+    /// must count once, or `delivered` overruns `sent` and the delivery
+    /// digest double-folds.
+    acked: HashSet<u64>,
     all_valid: bool,
     delivery_digest: u64,
     /// Model ms (wall-derived) of the last sign of progress — the
@@ -347,7 +391,10 @@ struct StreamJob {
     phase: StreamPhase,
 }
 
-/// One peer's protocol state, transport-agnostic.
+/// One peer's protocol state, transport-agnostic. `Clone` exists for the
+/// model checker ([`crate::mc`]), which forks a peer's state at every
+/// explored branch; the shared [`World`] stays one `Arc`.
+#[derive(Clone)]
 pub struct PeerNode {
     /// This peer.
     pub me: PeerId,
@@ -430,23 +477,34 @@ impl PeerNode {
             }
             Msg::PathProbeAck { session, backup_idx } => {
                 if let Some(job) = self.stream_jobs.get_mut(&session) {
-                    if let Some(alive) = job.backup_alive.get_mut(backup_idx) {
-                        *alive = true;
-                    }
-                    if let Some(p) = job.maintenance_pending.get_mut(backup_idx) {
-                        *p = false;
+                    // Slots are stable, so `backup_idx` always names the
+                    // path the probe actually walked. Acks for a consumed
+                    // slot (the probe raced a failover) or the now-active
+                    // slot carry no maintenance information — crediting
+                    // them would mark the wrong path alive.
+                    let slot = backup_idx + 1;
+                    if slot < job.paths.len() && !job.consumed[slot] && slot != job.active {
+                        job.backup_alive[backup_idx] = true;
+                        job.maintenance_pending[backup_idx] = false;
                     }
                 }
             }
             Msg::StreamFrame { session, path, functions, idx, dest, source, orig_dims, frame, at_ms } => {
                 self.on_frame(session, path, functions, idx, dest, source, orig_dims, frame, at_ms, out)
             }
-            Msg::FrameAck { session, seq: _, valid, digest, at_ms: _ } => {
+            Msg::FrameAck { session, seq, valid, digest, at_ms: _ } => {
                 let now = out.now_ms();
                 if let Some(job) = self.stream_jobs.get_mut(&session) {
-                    job.delivered += 1;
-                    job.all_valid &= valid;
-                    job.delivery_digest = job.delivery_digest.wrapping_add(digest);
+                    // Credit each frame seq exactly once: a duplicated ack
+                    // must not push `delivered` past `sent` or double-fold
+                    // the delivery digest. Any ack — even a duplicate —
+                    // still counts as path progress for the failover
+                    // detector.
+                    if seq > 0 && seq <= job.seq && job.acked.insert(seq) {
+                        job.delivered += 1;
+                        job.all_valid &= valid;
+                        job.delivery_digest = job.delivery_digest.wrapping_add(digest);
+                    }
                     job.last_progress_ms = now;
                 }
             }
@@ -543,6 +601,13 @@ impl PeerNode {
             request,
             ComposeJob { dest, chain: chain.clone(), budget, replica_lists: vec![None; n], discovery_done_ms: None },
         );
+        if n == 0 {
+            // A zero-function chain sends no lookups, so no reply would
+            // ever call `start_probing` — the job would wedge forever.
+            // There is nothing to compose; fail it immediately.
+            self.finish_failure(request, out);
+            return;
+        }
         for (pos, f) in chain.iter().enumerate() {
             let key = NodeId::new(function_key(f.name()));
             self.route_dht(request * 64 + pos as u64, key, self.me, 0, 0.0, out);
@@ -750,6 +815,27 @@ impl PeerNode {
         // The selection instant, in model time: the full collect window
         // after the first probe landed.
         let selected_ms = min_at + window;
+        if best.path.is_empty() {
+            // A zero-function probe (only constructible over the wire —
+            // `compose` rejects empty chains) selects an empty path:
+            // nothing to initialize, so complete straight back to the
+            // source instead of indexing path[len-1] of nothing.
+            self.send(
+                best.source,
+                Msg::SetupAck {
+                    session: request,
+                    path: Vec::new(),
+                    functions: best.chain,
+                    idx: usize::MAX,
+                    source: best.source,
+                    backups: Vec::new(),
+                    selected_ms,
+                    at_ms: selected_ms,
+                },
+                out,
+            );
+            return;
+        }
         let last = best.path.len() - 1;
         let to = best.path[last];
         self.send(
@@ -813,7 +899,9 @@ impl PeerNode {
         self.stream_jobs.insert(
             session,
             StreamJob {
+                consumed: vec![false; paths.len()],
                 paths,
+                active: 0,
                 backup_alive: vec![true; n_backups],
                 maintenance_pending: vec![false; n_backups],
                 maintenance_messages: 0,
@@ -824,6 +912,7 @@ impl PeerNode {
                 dims,
                 seq: 0,
                 delivered: 0,
+                acked: HashSet::new(),
                 all_valid: true,
                 delivery_digest: 0,
                 last_progress_ms: out.now_ms(),
@@ -849,7 +938,7 @@ impl PeerNode {
                     all_valid: job.all_valid,
                     switches: job.switches,
                     maintenance_probes: job.maintenance_messages,
-                    final_path: job.paths.first().cloned().unwrap_or_default(),
+                    final_path: job.paths.get(job.active).cloned().unwrap_or_default(),
                     delivery_digest: job.delivery_digest,
                 });
             }
@@ -858,30 +947,29 @@ impl PeerNode {
                 // while a backup exists. The baseline resets on switch so
                 // one broken path triggers one switch, not a cascade.
                 let now = out.now_ms();
+                let candidates: Vec<usize> = (0..job.paths.len())
+                    .filter(|&s| s != job.active && !job.consumed[s])
+                    .collect();
                 if job.seq > 0
                     && now - job.last_progress_ms > self.world.cfg.failover_timeout_ms
-                    && job.paths.len() > 1
+                    && !candidates.is_empty()
                 {
-                    // Prefer the first backup the maintenance probes still
-                    // believe alive; fall back to blind order otherwise.
-                    let choice = job.backup_alive.iter().position(|&alive| alive).unwrap_or(0);
-                    let from = job.paths[0].first().map(|p| p.raw()).unwrap_or(0);
+                    // Prefer the first backup slot the maintenance probes
+                    // still believe alive; fall back to blind preference
+                    // order otherwise. Slots are stable, so
+                    // `backup_alive[s-1]` always describes `paths[s]`.
+                    let choice = candidates
+                        .iter()
+                        .copied()
+                        .find(|&s| s >= 1 && job.backup_alive[s - 1])
+                        .unwrap_or(candidates[0]);
+                    let from = job.paths[job.active].first().map(|p| p.raw()).unwrap_or(0);
                     let latency_ms = now - job.last_progress_ms;
-                    job.paths.remove(0);
-                    // Promote the chosen backup to the front; liveness
-                    // bookkeeping mirrors the path list (paths[i+1] ↔
-                    // backup_alive[i]).
-                    if choice > 0 && choice < job.paths.len() {
-                        let chosen = job.paths.remove(choice);
-                        job.paths.insert(0, chosen);
-                    }
-                    if choice < job.backup_alive.len() {
-                        job.backup_alive.remove(choice);
-                        job.maintenance_pending.remove(choice);
-                    }
+                    job.consumed[job.active] = true;
+                    job.active = choice;
                     job.switches += 1;
                     job.last_progress_ms = now;
-                    let to = job.paths[0].first().map(|p| p.raw()).unwrap_or(0);
+                    let to = job.paths[job.active].first().map(|p| p.raw()).unwrap_or(0);
                     self.world.record(TraceEvent::BackupSwitch { session, from, to, latency_ms });
                 }
                 if job.remaining == 0 {
@@ -894,7 +982,7 @@ impl PeerNode {
                 job.seq += 1;
                 let seq = job.seq;
                 let frame = Frame::synthetic(job.dims.0, job.dims.1, seq);
-                let path = job.paths[0].clone();
+                let path = job.paths[job.active].clone();
                 let functions = job.functions.clone();
                 let dest = job.dest;
                 let dims = job.dims;
@@ -931,9 +1019,12 @@ impl PeerNode {
         }
         let me = self.me;
         let mut sends: Vec<(PeerId, Msg)> = Vec::new();
-        for (bi, path) in job.paths.iter().skip(1).enumerate() {
-            if bi >= job.maintenance_pending.len() {
-                break;
+        for bi in 0..job.backup_alive.len() {
+            let slot = bi + 1;
+            // Probe only slots still held in reserve: the active slot is
+            // monitored by its own frame acks, consumed slots are gone.
+            if slot == job.active || job.consumed[slot] {
+                continue;
             }
             if job.maintenance_pending[bi] {
                 // Last round's probe never came back: declare dead until a
@@ -942,6 +1033,7 @@ impl PeerNode {
             }
             job.maintenance_pending[bi] = true;
             job.maintenance_messages += 1;
+            let path = &job.paths[slot];
             if let Some(&first) = path.first() {
                 sends.push((
                     first,
@@ -1022,4 +1114,201 @@ impl PeerNode {
             out,
         );
     }
+
+    // --- model-checker seams ------------------------------------------
+
+    /// Sessions this peer is currently streaming (sorted).
+    pub fn stream_sessions(&self) -> Vec<u64> {
+        let mut s: Vec<u64> = self.stream_jobs.keys().copied().collect();
+        s.sort_unstable();
+        s
+    }
+
+    /// Snapshot of one streaming session's failover state, or `None` when
+    /// this peer isn't sourcing `session`.
+    pub fn stream_snapshot(&self, session: u64) -> Option<StreamSnapshot> {
+        self.stream_jobs.get(&session).map(|job| StreamSnapshot {
+            paths: job.paths.clone(),
+            active: job.active,
+            consumed: job.consumed.clone(),
+            backup_alive: job.backup_alive.clone(),
+            switches: job.switches,
+            sent: job.seq,
+            delivered: job.delivered,
+            draining: matches!(job.phase, StreamPhase::Draining),
+        })
+    }
+
+    /// Structural invariants over this peer's own state, checked by the
+    /// model checker after every transition. These are safety properties
+    /// no interleaving — reorder, drop, duplication, crash — may break.
+    pub fn local_invariants(&self) -> Result<(), String> {
+        for (&session, job) in &self.stream_jobs {
+            let slots = job.paths.len();
+            if slots == 0 {
+                return Err(format!("session {session}: stream job with zero paths"));
+            }
+            if job.active >= slots {
+                return Err(format!("session {session}: active slot {} of {slots}", job.active));
+            }
+            if job.consumed.len() != slots
+                || job.backup_alive.len() != slots - 1
+                || job.maintenance_pending.len() != slots - 1
+            {
+                return Err(format!("session {session}: slot bookkeeping out of sync"));
+            }
+            if job.consumed[job.active] {
+                return Err(format!("session {session}: serving a consumed slot"));
+            }
+            if job.delivered > job.seq {
+                return Err(format!(
+                    "session {session}: delivered {} exceeds sent {}",
+                    job.delivered, job.seq
+                ));
+            }
+            if job.acked.len() as u64 != job.delivered {
+                return Err(format!(
+                    "session {session}: {} acked seqs vs delivered {}",
+                    job.acked.len(),
+                    job.delivered
+                ));
+            }
+            if let Some(&bad) = job.acked.iter().find(|&&s| s == 0 || s > job.seq) {
+                return Err(format!("session {session}: ack for unsent frame seq {bad}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical digest of this peer's complete protocol state. Every
+    /// collection folds in sorted order, f64s fold as bits — stable
+    /// across runs, platforms, and thread counts. The model checker's
+    /// state-dedup key is built from these.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = mix(0x5049_4545_524e_4f44, self.me.raw());
+        let mut keys: Vec<u128> = self.store.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            h = mix(h, k as u64);
+            h = mix(h, (k >> 64) as u64);
+            for m in &self.store[&k] {
+                h = mix(h, m.peer.raw());
+                h = mix(h, m.function.code() as u64);
+            }
+        }
+        let mut reqs: Vec<u64> = self.compose_jobs.keys().copied().collect();
+        reqs.sort_unstable();
+        for r in reqs {
+            let job = &self.compose_jobs[&r];
+            h = mix(h, r);
+            h = mix(h, job.dest.raw());
+            for f in &job.chain {
+                h = mix(h, f.code() as u64);
+            }
+            h = mix(h, job.budget as u64);
+            for l in &job.replica_lists {
+                match l {
+                    None => h = mix(h, 0),
+                    Some((metas, at)) => {
+                        h = mix(h, 1 + metas.len() as u64);
+                        for m in metas {
+                            h = mix(h, m.peer.raw());
+                        }
+                        h = mix(h, at.to_bits());
+                    }
+                }
+            }
+            h = mix(h, job.discovery_done_ms.map(f64::to_bits).unwrap_or(1));
+        }
+        let mut reqs: Vec<u64> = self.dest_jobs.keys().copied().collect();
+        reqs.sort_unstable();
+        for r in reqs {
+            let job = &self.dest_jobs[&r];
+            h = mix(h, r);
+            h = mix(h, job.source.raw());
+            for f in &job.chain {
+                h = mix(h, f.code() as u64);
+            }
+            h = mix(h, job.timer_armed as u64);
+            for (at, p) in &job.probes {
+                h = mix(h, at.to_bits());
+                h = probe_digest(h, p);
+            }
+        }
+        let mut done: Vec<u64> = self.done_requests.iter().copied().collect();
+        done.sort_unstable();
+        for r in done {
+            h = mix(h, r);
+        }
+        let mut sessions: Vec<u64> = self.stream_jobs.keys().copied().collect();
+        sessions.sort_unstable();
+        for s in sessions {
+            let job = &self.stream_jobs[&s];
+            h = mix(h, s);
+            for p in &job.paths {
+                h = mix(h, p.len() as u64);
+                for peer in p {
+                    h = mix(h, peer.raw());
+                }
+            }
+            h = mix(h, job.active as u64);
+            for &b in &job.consumed {
+                h = mix(h, b as u64);
+            }
+            for &b in &job.backup_alive {
+                h = mix(h, b as u64);
+            }
+            for &b in &job.maintenance_pending {
+                h = mix(h, b as u64);
+            }
+            h = mix(h, job.maintenance_messages);
+            for f in &job.functions {
+                h = mix(h, f.code() as u64);
+            }
+            h = mix(h, job.dest.raw());
+            h = mix(h, job.remaining);
+            h = mix(h, job.interval_ms.to_bits());
+            h = mix(h, job.dims.0 as u64);
+            h = mix(h, job.dims.1 as u64);
+            h = mix(h, job.seq);
+            h = mix(h, job.delivered);
+            let mut acked: Vec<u64> = job.acked.iter().copied().collect();
+            acked.sort_unstable();
+            for a in acked {
+                h = mix(h, a);
+            }
+            h = mix(h, job.all_valid as u64);
+            h = mix(h, job.delivery_digest);
+            h = mix(h, job.last_progress_ms.to_bits());
+            h = mix(h, job.switches as u64);
+            h = mix(h, matches!(job.phase, StreamPhase::Draining) as u64);
+        }
+        h
+    }
+}
+
+/// Folds a probe's full content into a digest.
+pub(crate) fn probe_digest(mut h: u64, p: &Probe) -> u64 {
+    h = mix(h, p.request);
+    h = mix(h, p.source.raw());
+    h = mix(h, p.dest.raw());
+    for f in &p.chain {
+        h = mix(h, f.code() as u64);
+    }
+    for l in &p.replica_lists {
+        h = mix(h, l.len() as u64);
+        for m in l {
+            h = mix(h, m.peer.raw());
+            h = mix(h, m.function.code() as u64);
+        }
+    }
+    h = mix(h, p.pos as u64);
+    for peer in &p.path {
+        h = mix(h, peer.raw());
+    }
+    h = mix(h, p.budget as u64);
+    for &q in p.acc_qos.values() {
+        h = mix(h, q.to_bits());
+    }
+    mix(h, p.at_ms.to_bits())
 }

@@ -16,6 +16,9 @@
 //!   unit");
 //! * [`fault`] — seeded, replayable fault-injection plans (crash/revive
 //!   schedules, correlated failures, soft-state expiry storms);
+//! * [`mc`] — the message-passing model checker core: bounded BFS and
+//!   seeded random walks over any [`mc::ModelSystem`], with state-hash
+//!   dedup and minimized counterexample schedules;
 //! * [`metrics`] — the interned counter/histogram registry for protocol
 //!   messages, with per-session scoping and deterministic merge;
 //! * [`trace`] — the typed protocol event ring (compiled out without the
@@ -30,6 +33,7 @@ pub mod event;
 pub mod event_core;
 pub mod export;
 pub mod fault;
+pub mod mc;
 pub mod metrics;
 pub mod time;
 pub mod trace;
@@ -40,6 +44,7 @@ pub use event::Scheduler;
 pub use event_core::{EventCore, EventKey, HandlerId};
 pub use export::TraceReport;
 pub use fault::{FaultAction, FaultPlan};
+pub use mc::{McConfig, McReport, McStats, McViolation, ModelSystem};
 pub use metrics::{Counter, Histogram, Instruments, MetricsRegistry, ProtocolCounters};
 pub use time::SimTime;
 pub use trace::{DropReason, TraceBuffer, TraceEvent};

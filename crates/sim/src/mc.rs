@@ -1,0 +1,548 @@
+//! Message-passing model checker core.
+//!
+//! A dslab-`mp`-style explorer over any [`ModelSystem`]: a deterministic
+//! state machine whose transitions are discrete *actions* (deliver this
+//! in-flight message, fire that timer, drop, duplicate, crash). The
+//! engine knows nothing about SpiderNet — the runtime crate adapts its
+//! `PeerNode`/`Outbox` seam onto this trait, and `spidernet-bench`'s
+//! `mcheck` binary drives both.
+//!
+//! Two exploration strategies share one report vocabulary:
+//!
+//! * [`explore`] — bounded breadth-first search over every delivery
+//!   interleaving up to a depth, with state-hash dedup. The frontier
+//!   stores action *paths*, not cloned worlds: each expansion replays its
+//!   path from the initial state, which keeps memory proportional to the
+//!   frontier's schedule lengths instead of full state clones.
+//! * [`random_walks`] — seeded deep random walks (restarting at terminal
+//!   states) that reach schedules far past any tractable BFS depth.
+//!   Walks fan out across the worker pool but merge their digests in
+//!   walk-index order, so every statistic is identical across
+//!   `SPIDERNET_THREADS` settings.
+//!
+//! A violated invariant yields a *minimized* replayable schedule: a
+//! ddmin-style chunk shrink followed by greedy single-action removal.
+//! This is DPOR-lite in effect — any delivery that commutes with the
+//! violation is removable without losing it, so commuting actions drop
+//! out and the pinned schedule contains only the ordering that matters.
+
+use spidernet_util::hash::FxHashSet;
+use spidernet_util::par::{configured_threads, par_map_with};
+use spidernet_util::rng::rng_for_indexed;
+use std::collections::{BTreeSet, VecDeque};
+
+/// A checkable system: deterministic state, discrete actions, a canonical
+/// state digest, and safety invariants.
+///
+/// Determinism contract: `enabled()` must be a pure function of state
+/// (the engine sorts it, so order is free), `apply()` must be
+/// deterministic, and `digest()` must be stable across runs and
+/// platforms — it is the dedup key.
+pub trait ModelSystem: Clone {
+    /// One transition: delivering a message, firing a timer, injecting a
+    /// fault. `Ord` gives the engine a canonical expansion order.
+    type Action: Clone + Ord + std::fmt::Debug;
+
+    /// Actions enabled in the current state (empty = terminal).
+    fn enabled(&self) -> Vec<Self::Action>;
+
+    /// Applies one action. Returns `false` when the action is stale —
+    /// not currently enabled (a minimized schedule replayed after a fix
+    /// may reference messages that no longer exist); stale actions are
+    /// skipped, not errors.
+    fn apply(&mut self, action: &Self::Action) -> bool;
+
+    /// Canonical digest of the full state (peer states, in-flight
+    /// messages, timers, fault budgets). Equal digests are assumed to be
+    /// equal states.
+    fn digest(&self) -> u64;
+
+    /// Checks every safety invariant; `Err` carries the violation text.
+    fn check(&self) -> Result<(), String>;
+
+    /// Extra invariants that only hold once no action remains (e.g.
+    /// "the setup result was delivered"): liveness folded into safety at
+    /// quiescence. Default: nothing.
+    fn check_terminal(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Digest of the externally observable outcome (driver results), for
+    /// cross-schedule determinism checks. Default: no observation.
+    fn outcome(&self) -> u64 {
+        0
+    }
+
+    /// Stable, replayable encoding of an action (the schedule JSON and
+    /// pinned regression tests store these).
+    fn encode(&self, action: &Self::Action) -> String;
+}
+
+/// Exploration bounds shared by BFS and random walks.
+#[derive(Clone, Debug)]
+pub struct McConfig {
+    /// BFS depth bound (schedule length).
+    pub depth: usize,
+    /// BFS stops expanding after this many deduped states.
+    pub max_states: u64,
+    /// Number of independent random walks.
+    pub walks: u64,
+    /// Steps per random walk (terminal states restart the walk).
+    pub walk_steps: u64,
+    /// Master seed; walk `i` draws from `rng_for_indexed(seed, "mc-walk", i)`.
+    pub seed: u64,
+    /// Stop after this many distinct violations.
+    pub max_violations: usize,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig { depth: 8, max_states: 200_000, walks: 8, walk_steps: 10_000, seed: 42, max_violations: 8 }
+    }
+}
+
+/// Exploration counters.
+#[derive(Clone, Debug, Default)]
+pub struct McStats {
+    /// Distinct states visited (after dedup), including the initial one.
+    pub states_explored: u64,
+    /// Transitions applied.
+    pub transitions: u64,
+    /// Transitions that landed on an already-seen state.
+    pub dedup_hits: u64,
+    /// Terminal states reached (no enabled action).
+    pub terminal_states: u64,
+    /// True when BFS hit `max_states` before exhausting the depth bound.
+    pub truncated: bool,
+}
+
+impl McStats {
+    /// Fraction of transitions that were dedup hits.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.transitions == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.transitions as f64
+        }
+    }
+
+    /// Folds another phase's counters into this one (`truncated` ors).
+    pub fn merge(&mut self, other: &McStats) {
+        self.states_explored += other.states_explored;
+        self.transitions += other.transitions;
+        self.dedup_hits += other.dedup_hits;
+        self.terminal_states += other.terminal_states;
+        self.truncated |= other.truncated;
+    }
+}
+
+/// One invariant violation with its minimized replayable schedule.
+#[derive(Clone, Debug)]
+pub struct McViolation {
+    /// The invariant error text (from the minimized replay).
+    pub error: String,
+    /// Schedule length before minimization.
+    pub raw_len: usize,
+    /// Minimized schedule, encoded per [`ModelSystem::encode`].
+    pub schedule: Vec<String>,
+}
+
+/// Result of one exploration phase.
+#[derive(Clone, Debug, Default)]
+pub struct McReport {
+    /// Counters.
+    pub stats: McStats,
+    /// Violations found (deduped by violating-state digest, capped by
+    /// [`McConfig::max_violations`]).
+    pub violations: Vec<McViolation>,
+    /// Sorted distinct outcome digests observed at terminal states.
+    pub terminal_outcomes: Vec<u64>,
+}
+
+/// Replays `schedule` from a fresh system, checking invariants after
+/// every applied action. Returns the first violation text, if any.
+/// Stale actions (no longer enabled) are skipped.
+pub fn replay_violates<S: ModelSystem>(mk: &impl Fn() -> S, schedule: &[S::Action]) -> Option<String> {
+    let mut sys = mk();
+    if let Err(e) = sys.check() {
+        return Some(e);
+    }
+    for a in schedule {
+        if !sys.apply(a) {
+            continue;
+        }
+        if let Err(e) = sys.check() {
+            return Some(e);
+        }
+    }
+    None
+}
+
+/// Shrinks a violating schedule while it still violates *some* invariant:
+/// ddmin-style chunk removal halving down to single-action greedy
+/// removal. Commuting deliveries (DPOR-lite) fall out as removable.
+pub fn minimize<S: ModelSystem>(mk: &impl Fn() -> S, schedule: Vec<S::Action>) -> Vec<S::Action> {
+    let mut cur = schedule;
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < cur.len() {
+            let mut cand = cur.clone();
+            let end = (i + chunk).min(cand.len());
+            cand.drain(i..end);
+            if replay_violates(mk, &cand).is_some() {
+                cur = cand; // removed chunk was irrelevant; stay at i
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    cur
+}
+
+fn record_violation<S: ModelSystem>(
+    mk: &impl Fn() -> S,
+    raw: Vec<S::Action>,
+    fallback_error: String,
+    out: &mut Vec<McViolation>,
+) {
+    let raw_len = raw.len();
+    let minimized = minimize(mk, raw);
+    let error = replay_violates(mk, &minimized).unwrap_or(fallback_error);
+    // Encode against a replay so `encode` can describe the state each
+    // action acts on.
+    let mut sys = mk();
+    let mut schedule = Vec::with_capacity(minimized.len());
+    for a in &minimized {
+        schedule.push(sys.encode(a));
+        sys.apply(a);
+    }
+    out.push(McViolation { error, raw_len, schedule });
+}
+
+/// Bounded breadth-first exploration of every interleaving up to
+/// `cfg.depth`, deduping states by digest.
+pub fn explore<S: ModelSystem>(mk: impl Fn() -> S, cfg: &McConfig) -> McReport {
+    let mut report = McReport::default();
+    let mut visited: FxHashSet<u64> = FxHashSet::default();
+    let root = mk();
+    visited.insert(root.digest());
+    report.stats.states_explored = 1;
+    if let Err(e) = root.check() {
+        record_violation(&mk, Vec::new(), e, &mut report.violations);
+        return report;
+    }
+    let mut outcomes: BTreeSet<u64> = BTreeSet::new();
+    let mut frontier: VecDeque<Vec<S::Action>> = VecDeque::new();
+    frontier.push_back(Vec::new());
+    'outer: while let Some(path) = frontier.pop_front() {
+        // Rebuild this state by replaying its path from the root.
+        let mut sys = mk();
+        for a in &path {
+            sys.apply(a);
+        }
+        let mut actions = sys.enabled();
+        actions.sort();
+        if actions.is_empty() {
+            report.stats.terminal_states += 1;
+            outcomes.insert(sys.outcome());
+            if let Err(e) = sys.check_terminal() {
+                record_violation(&mk, path.clone(), e, &mut report.violations);
+                if report.violations.len() >= cfg.max_violations {
+                    break 'outer;
+                }
+            }
+            continue;
+        }
+        for action in actions {
+            if report.stats.states_explored >= cfg.max_states {
+                report.stats.truncated = true;
+                break 'outer;
+            }
+            let mut child = sys.clone();
+            if !child.apply(&action) {
+                continue;
+            }
+            report.stats.transitions += 1;
+            if !visited.insert(child.digest()) {
+                report.stats.dedup_hits += 1;
+                continue;
+            }
+            report.stats.states_explored += 1;
+            let mut child_path = path.clone();
+            child_path.push(action);
+            if let Err(e) = child.check() {
+                record_violation(&mk, child_path, e, &mut report.violations);
+                if report.violations.len() >= cfg.max_violations {
+                    break 'outer;
+                }
+                continue; // don't expand a violating state
+            }
+            if child_path.len() < cfg.depth {
+                frontier.push_back(child_path);
+            } else if child.enabled().is_empty() {
+                // Depth-bound leaf that happens to be quiescent: a
+                // genuine terminal state, so the terminal checks apply.
+                report.stats.terminal_states += 1;
+                outcomes.insert(child.outcome());
+                if let Err(e) = child.check_terminal() {
+                    record_violation(&mk, child_path, e, &mut report.violations);
+                    if report.violations.len() >= cfg.max_violations {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    report.terminal_outcomes = outcomes.into_iter().collect();
+    report
+}
+
+struct WalkResult<A> {
+    /// First-visit digests, in visit order (walk-local dedup).
+    digests: Vec<u64>,
+    /// Walk-local revisits.
+    local_hits: u64,
+    transitions: u64,
+    terminal_states: u64,
+    outcomes: BTreeSet<u64>,
+    violation: Option<(Vec<A>, String)>,
+}
+
+/// Seeded random walks. Walk `i` is a pure function of `(seed, i)`;
+/// results merge in walk order, so the report is identical for any
+/// worker-pool size.
+pub fn random_walks<S>(mk: impl Fn() -> S + Sync, cfg: &McConfig) -> McReport
+where
+    S: ModelSystem,
+    S::Action: Send,
+{
+    let walk = |i: u64| -> WalkResult<S::Action> {
+        let mut rng = rng_for_indexed(cfg.seed, "mc-walk", i);
+        let mut res = WalkResult {
+            digests: Vec::new(),
+            local_hits: 0,
+            transitions: 0,
+            terminal_states: 0,
+            outcomes: BTreeSet::new(),
+            violation: None,
+        };
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        let mut sys = mk();
+        let mut path: Vec<S::Action> = Vec::new();
+        let d0 = sys.digest();
+        seen.insert(d0);
+        res.digests.push(d0);
+        for _ in 0..cfg.walk_steps {
+            let mut actions = sys.enabled();
+            if actions.is_empty() {
+                res.terminal_states += 1;
+                res.outcomes.insert(sys.outcome());
+                if let Err(e) = sys.check_terminal() {
+                    res.violation = Some((path.clone(), e));
+                    return res;
+                }
+                sys = mk();
+                path.clear();
+                continue;
+            }
+            actions.sort();
+            let a = actions[rng.gen_range(0..actions.len())].clone();
+            sys.apply(&a);
+            path.push(a);
+            res.transitions += 1;
+            let d = sys.digest();
+            if seen.insert(d) {
+                res.digests.push(d);
+            } else {
+                res.local_hits += 1;
+            }
+            if let Err(e) = sys.check() {
+                res.violation = Some((path.clone(), e));
+                return res;
+            }
+        }
+        res
+    };
+
+    let results = par_map_with(configured_threads(), (0..cfg.walks).collect(), |_, i| walk(i));
+
+    // Deterministic merge, in walk order.
+    let mut report = McReport::default();
+    let mut global: FxHashSet<u64> = FxHashSet::default();
+    let mut outcomes: BTreeSet<u64> = BTreeSet::new();
+    for res in results {
+        for d in res.digests {
+            if global.insert(d) {
+                report.stats.states_explored += 1;
+            } else {
+                report.stats.dedup_hits += 1;
+            }
+        }
+        report.stats.dedup_hits += res.local_hits;
+        report.stats.transitions += res.transitions;
+        report.stats.terminal_states += res.terminal_states;
+        outcomes.extend(res.outcomes);
+        if let Some((raw, e)) = res.violation {
+            if report.violations.len() < cfg.max_violations {
+                record_violation(&mk, raw, e, &mut report.violations);
+            }
+        }
+    }
+    report.terminal_outcomes = outcomes.into_iter().collect();
+    report
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a model's violations as a standalone JSON document (the
+/// `MC_VIOLATIONS.json` artifact `mcheck` writes and regression tests
+/// replay from).
+pub fn violations_to_json(model: &str, violations: &[McViolation]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"model\": \"{}\",\n", json_escape(model)));
+    s.push_str("  \"violations\": [\n");
+    for (i, v) in violations.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"error\": \"{}\",\n", json_escape(&v.error)));
+        s.push_str(&format!("      \"raw_len\": {},\n", v.raw_len));
+        s.push_str("      \"schedule\": [");
+        for (j, a) in v.schedule.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\"", json_escape(a)));
+        }
+        s.push_str("]\n");
+        s.push_str(if i + 1 == violations.len() { "    }\n" } else { "    },\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy token-ring: N counters, actions increment one counter by
+    /// one; invariant: no counter exceeds `limit`.
+    #[derive(Clone)]
+    struct Counters {
+        vals: Vec<u64>,
+        limit: u64,
+        budget: u64,
+    }
+
+    impl ModelSystem for Counters {
+        type Action = usize;
+
+        fn enabled(&self) -> Vec<usize> {
+            if self.budget == 0 {
+                return Vec::new();
+            }
+            (0..self.vals.len()).collect()
+        }
+
+        fn apply(&mut self, action: &usize) -> bool {
+            if self.budget == 0 || *action >= self.vals.len() {
+                return false;
+            }
+            self.vals[*action] += 1;
+            self.budget -= 1;
+            true
+        }
+
+        fn digest(&self) -> u64 {
+            let mut h = 0xcbf29ce484222325u64;
+            for &v in &self.vals {
+                h = h.wrapping_mul(0x100000001b3).wrapping_add(v);
+            }
+            h.wrapping_mul(0x100000001b3).wrapping_add(self.budget)
+        }
+
+        fn check(&self) -> Result<(), String> {
+            for (i, &v) in self.vals.iter().enumerate() {
+                if v > self.limit {
+                    return Err(format!("counter {i} exceeded limit: {v}"));
+                }
+            }
+            Ok(())
+        }
+
+        fn outcome(&self) -> u64 {
+            self.vals.iter().sum()
+        }
+
+        fn encode(&self, action: &usize) -> String {
+            format!("inc:{action}")
+        }
+    }
+
+    #[test]
+    fn bfs_dedups_commuting_increments() {
+        // 3 counters, depth 4: increments commute, so states are
+        // multisets — far fewer than 3^4 sequences.
+        let mk = || Counters { vals: vec![0; 3], limit: 100, budget: 10 };
+        let rep = explore(mk, &McConfig { depth: 4, ..Default::default() });
+        assert!(rep.violations.is_empty());
+        assert!(rep.stats.dedup_hits > 0, "commuting actions must dedup");
+        // Distinct states = multisets of ≤4 increments over 3 slots:
+        // C(3,0..4 with repetition) = 1+3+6+10+15 = 35.
+        assert_eq!(rep.stats.states_explored, 35);
+    }
+
+    #[test]
+    fn bfs_finds_and_minimizes_a_violation() {
+        // Limit 2 with a single counter: the third increment violates.
+        let mk = || Counters { vals: vec![0; 2], limit: 2, budget: 8 };
+        let rep = explore(mk, &McConfig { depth: 8, ..Default::default() });
+        assert!(!rep.violations.is_empty());
+        let v = &rep.violations[0];
+        // Minimization strips everything but the three offending
+        // increments of one counter.
+        assert_eq!(v.schedule.len(), 3, "minimized schedule: {:?}", v.schedule);
+        assert!(v.error.contains("exceeded limit"));
+    }
+
+    #[test]
+    fn walks_are_deterministic_and_outcomes_merge() {
+        let mk = || Counters { vals: vec![0; 3], limit: 100, budget: 6 };
+        let cfg = McConfig { walks: 4, walk_steps: 100, seed: 7, ..Default::default() };
+        let a = random_walks(mk, &cfg);
+        let b = random_walks(mk, &cfg);
+        assert_eq!(a.stats.states_explored, b.stats.states_explored);
+        assert_eq!(a.stats.dedup_hits, b.stats.dedup_hits);
+        assert_eq!(a.terminal_outcomes, b.terminal_outcomes);
+        // All terminal outcomes are "spent the whole budget": sum == 6.
+        assert_eq!(a.terminal_outcomes, vec![6]);
+    }
+
+    #[test]
+    fn violations_render_as_json() {
+        let v = McViolation {
+            error: "bad \"thing\"".into(),
+            raw_len: 5,
+            schedule: vec!["inc:0".into(), "inc:0".into()],
+        };
+        let json = violations_to_json("toy", &[v]);
+        assert!(json.contains("\"model\": \"toy\""));
+        assert!(json.contains("bad \\\"thing\\\""));
+        assert!(json.contains("[\"inc:0\", \"inc:0\"]"));
+    }
+}

@@ -566,3 +566,112 @@ fn version_negotiation_picks_highest_common() {
     let _ = PROTO_VERSION;
     assert_eq!(&MAGIC, b"SPDR");
 }
+
+#[test]
+fn stream_decoder_accepts_duplicated_and_reordered_frames() {
+    // A retransmitting or misbehaving peer may send the same frame twice,
+    // or interleave frames in an order the application never produced.
+    // Framing is stateless across frames: the decoder must hand every
+    // well-formed frame up in feed order and let the protocol layer dedup.
+    let msgs = fixtures();
+    let frames: Vec<Vec<u8>> = msgs.iter().map(encode_to_vec).collect();
+
+    // Duplication: every fixture frame sent twice back to back.
+    let mut dec = FrameDecoder::new();
+    for f in &frames {
+        dec.extend(f);
+        dec.extend(f);
+    }
+    let mut out = Vec::new();
+    while let Some(m) = dec.next_frame().expect("duplicated frames never poison") {
+        out.push(m);
+    }
+    let expect: Vec<WireMsg> = msgs.iter().flat_map(|m| [m.clone(), m.clone()]).collect();
+    assert_eq!(out, expect);
+    assert_eq!(dec.pending(), 0);
+
+    // Reordering: the same frames in seeded shuffled order, fed in ragged
+    // chunks so duplicates may straddle a chunk boundary.
+    let mut rng = rng_for_indexed(0xC0DEC, "wire-reorder", 0);
+    let mut order: Vec<usize> = (0..frames.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..(i + 1) as u32) as usize;
+        order.swap(i, j);
+    }
+    let mut wire = Vec::new();
+    for &i in &order {
+        wire.extend_from_slice(&frames[i]);
+        wire.extend_from_slice(&frames[i]); // duplicate in the new order too
+    }
+    let mut dec = FrameDecoder::new();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < wire.len() {
+        let n = (rng.gen_range(1..9u32) as usize).min(wire.len() - pos);
+        dec.extend(&wire[pos..pos + n]);
+        pos += n;
+        while let Some(m) = dec.next_frame().expect("reordered frames never poison") {
+            out.push(m);
+        }
+    }
+    let expect: Vec<WireMsg> =
+        order.iter().flat_map(|&i| [msgs[i].clone(), msgs[i].clone()]).collect();
+    assert_eq!(out, expect);
+    assert_eq!(dec.pending(), 0);
+}
+
+#[test]
+fn stream_decoder_poisons_on_corruption_between_duplicates() {
+    // Valid frames before a corrupt one must still come out; the corrupt
+    // frame must surface as its exact typed error; and the stream must
+    // stay poisoned afterwards (no resync past garbage).
+    let good = encode_to_vec(&WireMsg::HelloAck { peer: 5, proto: 1 });
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    let mut bad_type = good.clone();
+    bad_type[6] = 200;
+
+    for (bad, want) in [
+        (&bad_magic, WireError::BadMagic(*b"XPDR")),
+        (&bad_type, WireError::UnknownFrameType(200)),
+    ] {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&good);
+        dec.extend(&good); // duplicate
+        dec.extend(bad);
+        dec.extend(&good); // a frame the poisoned stream must never yield
+        for _ in 0..2 {
+            assert_eq!(
+                dec.next_frame().expect("valid prefix decodes"),
+                Some(WireMsg::HelloAck { peer: 5, proto: 1 })
+            );
+        }
+        assert_eq!(dec.next_frame().unwrap_err(), want);
+        // Poisoned: subsequent polls keep failing instead of resyncing.
+        assert!(dec.next_frame().is_err(), "decoder resynced past corruption");
+    }
+}
+
+#[test]
+fn version_negotiation_matrix() {
+    // Exhaustive over all (min, max) range pairs with bounds <= 4:
+    // negotiate is symmetric, picks the highest mutually supported
+    // version, and returns None exactly when the ranges are disjoint
+    // (or a range is itself empty, min > max).
+    for a_lo in 0..=4u16 {
+        for a_hi in 0..=4u16 {
+            for b_lo in 0..=4u16 {
+                for b_hi in 0..=4u16 {
+                    let a = (a_lo, a_hi);
+                    let b = (b_lo, b_hi);
+                    let got = negotiate(a, b);
+                    assert_eq!(got, negotiate(b, a), "negotiate not symmetric for {a:?} {b:?}");
+                    let common: Vec<u16> = (0..=4)
+                        .filter(|v| a_lo <= *v && *v <= a_hi && b_lo <= *v && *v <= b_hi)
+                        .collect();
+                    assert_eq!(got, common.last().copied(), "wrong pick for {a:?} {b:?}");
+                }
+            }
+        }
+    }
+}
