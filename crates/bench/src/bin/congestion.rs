@@ -1,0 +1,160 @@
+//! Congestion bench: QoS-violation rate and goodput vs offered load under
+//! the shared-bandwidth flow model, four selection policies head-to-head.
+//!
+//! `cargo run --release -p spidernet-bench --bin congestion -- \
+//!    [--peers N] [--seed S] [--loads n1,n2,...] [--quick] [--csv] \
+//!    [--json [path]] [--results-json path]`
+//!
+//! Two outputs:
+//!
+//! * `BENCH_congestion.json` (`--json`) — the full grid: per
+//!   (policy, load) cell the admitted/rejected split, QoS-violation rate,
+//!   delivered goodput vs offered Mbps, mean delivered fraction, and the
+//!   rate-recalc event count, plus the headline marketplace-vs-paper
+//!   comparison at peak load.
+//! * `--results-json <path>` — the same cells (every field is model-time
+//!   deterministic), byte-identical across `SPIDERNET_THREADS` and across
+//!   processes for a fixed seed; CI `cmp`s a 1-thread and a 4-thread run.
+//!
+//! `--csv` prints the deterministic per-cell rows to stdout.
+
+use spidernet_bench::{csv_requested, json_spec, quick_requested, BenchBlock, BenchReport};
+use spidernet_core::experiments::congestion::{
+    policy_name, run, CongestionCell, CongestionConfig, CongestionResult, POLICIES,
+};
+use spidernet_util::cli::arg_value;
+use spidernet_util::par::configured_threads;
+
+struct Cli {
+    peers: usize,
+    seed: u64,
+    loads: Vec<usize>,
+    results_json: Option<String>,
+}
+
+fn cli() -> Cli {
+    let quick = quick_requested();
+    let peers = arg_value("--peers").and_then(|v| v.parse().ok()).unwrap_or(if quick {
+        60
+    } else {
+        120
+    });
+    let seed = arg_value("--seed").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let loads = match arg_value("--loads") {
+        Some(spec) => match spec.split(',').map(str::parse::<usize>).collect() {
+            Ok(l) => l,
+            Err(_) => {
+                eprintln!("congestion: bad --loads list {spec:?}");
+                std::process::exit(2);
+            }
+        },
+        None if quick => vec![40, 160],
+        None => vec![30, 60, 120, 240],
+    };
+    Cli { peers, seed, loads, results_json: arg_value("--results-json") }
+}
+
+fn config(cli: &Cli) -> CongestionConfig {
+    let mut cfg = CongestionConfig {
+        ip_nodes: cli.peers * 5,
+        peers: cli.peers,
+        seed: cli.seed,
+        loads: cli.loads.clone(),
+        ..CongestionConfig::default()
+    };
+    // Keep the driver's bandwidth shaping; only shrink the catalog for CI.
+    if quick_requested() {
+        cfg.population.functions = 8;
+    }
+    cfg
+}
+
+fn cell_block(c: &CongestionCell) -> BenchBlock {
+    let mut b = BenchBlock::new();
+    b.int("offered_sessions", c.offered_sessions as u64)
+        .int("admitted", c.admitted)
+        .int("rejected", c.rejected)
+        .int("violations", c.violations)
+        .num("violation_rate", c.violation_rate)
+        .num("goodput_mbps", c.goodput_mbps)
+        .num("offered_mbps", c.offered_mbps)
+        .num("mean_delivered", c.mean_delivered)
+        .int("recalc_events", c.recalc_events);
+    b
+}
+
+fn report(name: &str, cli: &Cli, res: &CongestionResult, threads: Option<usize>) -> BenchReport {
+    let mut rep = BenchReport::new(name);
+    rep.int("peers", cli.peers as u64)
+        .int("seed", cli.seed)
+        .num("frac_floor", res.frac_floor)
+        .str("policies", "paper,marketplace,random,greedy");
+    if let Some(t) = threads {
+        rep.int("threads", t as u64);
+    }
+    let last = res.loads.len() - 1;
+    let paper = res.cell(0, last);
+    let market = res.cell(1, last);
+    rep.num("paper_peak_violation_rate", paper.violation_rate)
+        .num("marketplace_peak_violation_rate", market.violation_rate)
+        .int(
+            "marketplace_no_worse_than_paper",
+            (market.violation_rate <= paper.violation_rate + 1e-12) as u64,
+        );
+    for (i, &p) in POLICIES.iter().enumerate() {
+        for (j, &l) in res.loads.iter().enumerate() {
+            let key = format!("cell_{}_{}", policy_name(p), l);
+            rep.nested(&key, &cell_block(res.cell(i, j)));
+        }
+    }
+    rep
+}
+
+fn main() {
+    let cli = cli();
+    let threads = configured_threads();
+    eprintln!(
+        "congestion: {} peers, loads {:?}, seed {}, {} worker threads",
+        cli.peers, cli.loads, cli.seed, threads
+    );
+
+    let res = run(&config(&cli));
+    eprint!("{res}");
+
+    let last = res.loads.len() - 1;
+    let paper = res.cell(0, last);
+    let market = res.cell(1, last);
+    eprintln!(
+        "congestion: peak load {}: marketplace violation rate {:.4} vs paper {:.4} ({})",
+        res.loads[last],
+        market.violation_rate,
+        paper.violation_rate,
+        if market.violation_rate <= paper.violation_rate + 1e-12 {
+            "marketplace no worse"
+        } else {
+            "PAPER WINS — unexpected"
+        }
+    );
+
+    if let Some(json_path) = json_spec() {
+        let rep = report("congestion", &cli, &res, Some(threads));
+        match rep.write_spec(&json_path) {
+            Ok(p) => eprintln!("congestion: wrote {}", p.display()),
+            Err(e) => eprintln!("congestion: could not write bench report: {e}"),
+        }
+    }
+
+    if let Some(path) = &cli.results_json {
+        // Every cell field is model-time deterministic; only the thread
+        // count is excluded so 1-thread and 4-thread runs byte-match.
+        let rep = report("congestion_results", &cli, &res, None);
+        match rep.write_spec(&Some(path.clone())) {
+            Ok(p) => eprintln!("congestion: wrote {}", p.display()),
+            Err(e) => eprintln!("congestion: could not write results json: {e}"),
+        }
+    }
+
+    if csv_requested() {
+        print!("{}", res.to_csv());
+    }
+}

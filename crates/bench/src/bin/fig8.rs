@@ -115,10 +115,13 @@ fn main() {
             // Pairwise-delay cache effectiveness: hits replay a memoized
             // SSSP distance, misses pay a fresh computation, evictions
             // count insert rejections once the memo saturates (queries
-            // silently degrade to tree walks).
+            // silently degrade to tree walks), bypasses are deliberate
+            // contention-aware queries that skip the memo because it only
+            // stores uncongested delays.
             .int("pair_cache_hits", out.metrics.value(counter::PAIR_CACHE_HITS))
             .int("pair_cache_misses", out.metrics.value(counter::PAIR_CACHE_MISSES))
-            .int("pair_cache_evictions", out.metrics.value(counter::PAIR_CACHE_EVICTIONS));
+            .int("pair_cache_evictions", out.metrics.value(counter::PAIR_CACHE_EVICTIONS))
+            .int("pair_cache_bypasses", out.metrics.value(counter::PAIR_CACHE_BYPASSES));
         // Head-to-head optimal-phase comparison: the naive reference
         // enumerator vs branch-and-bound over the same request stream and
         // cap (identical considered-combination semantics).

@@ -6,7 +6,7 @@
 //!    [--peers N] [--depth D] [--walks W] [--seed S] [--json [path]] \
 //!    [--timing]`
 //!
-//! Five phases, all deterministic for a fixed seed:
+//! Six phases, all deterministic for a fixed seed:
 //!
 //! 1. `setup_reorder` — bounded BFS over session composition with
 //!    arbitrary message reordering (no loss). Every terminal state must
@@ -20,7 +20,11 @@
 //! 4. `soft_ledger` — BFS over `OverlayState` soft reservations
 //!    (allocate / release / expiry sweep / crash / revive) checking
 //!    exact ledger-vs-reservation accounting after every step.
-//! 5. `negotiate` — the exhaustive version-negotiation matrix
+//! 5. `flow_order` — BFS over stream commit/release orderings in the
+//!    shared-bandwidth flow model, re-checking the fair-share
+//!    invariants and the soft ledger after every step; all terminals
+//!    must agree on one bitwise fair-share outcome.
+//! 6. `negotiate` — the exhaustive version-negotiation matrix
 //!    (symmetry, highest-common pick, `None` iff disjoint).
 //!
 //! `BENCH_mc.json` (`--json`) carries per-phase counters and the
@@ -304,6 +308,253 @@ impl ModelSystem for SoftLedger {
 }
 
 // ---------------------------------------------------------------------
+// Flow-order model: fair-share bookkeeping under commit/release orderings
+// ---------------------------------------------------------------------
+
+/// Per-stream CPU+memory demand (small enough that every commit fits).
+const FLOW_RES: ResourceVector = ResourceVector::new(0.1, 4.0);
+/// Per-stream bandwidth demand, Mbps — sized so two streams sharing an
+/// access pipe (20–110 Mbps) usually contend.
+const FLOW_BW: f64 = 30.0;
+
+/// Stream menu: `(source, dest)` routes over the geo overlay. Streams 0
+/// and 1 share peer 0's access pipe; stream 2 shares peer 1 with stream
+/// 0's sink. Stream 0 is torn down again before a terminal state.
+const FLOW_STREAMS: [(u64, u64); 3] = [(0, 1), (0, 2), (1, 3)];
+/// Which streams the adversary must release again (by index).
+const FLOW_RELEASES: [bool; 3] = [true, false, false];
+
+/// The shared-bandwidth flow model as a [`ModelSystem`]: a small geo
+/// overlay in flow mode, every interleaving of stream commits and
+/// releases (plus soft-reservation noise), with the soft ledger and the
+/// fair-share invariants (rates within demand, links within capacity)
+/// re-checked after every action. Every terminal state holds the same
+/// live stream set, so a single terminal outcome digest pins the
+/// fair-share computation as add/remove-order independent.
+#[derive(Clone)]
+struct FlowOrder {
+    state: OverlayState,
+    now: SimTime,
+    committed: Vec<Option<spidernet_core::state::SessionAllocation>>,
+    released: Vec<bool>,
+    /// Bitwise delivered fraction per live stream, refreshed after every
+    /// action (digest/outcome are `&self`, the lazy rates need `&mut`).
+    delivered: Vec<u64>,
+    soft: Vec<(SoftToken, bool)>,
+    soft_left: u32,
+    violation: Option<String>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum FlowAction {
+    /// Commit stream #i (its flows join the fair-share computation).
+    Commit(usize),
+    /// Release committed stream #i (its flows leave).
+    Release(usize),
+    /// Soft-allocate probe state on peer 0.
+    SoftAlloc,
+    /// Release soft token #i.
+    SoftFree(usize),
+}
+
+impl FlowOrder {
+    fn new(seed: u64) -> FlowOrder {
+        let ov = Overlay::build_geo(&GeoConfig { peers: 4, ..GeoConfig::default() }, seed);
+        let mut state = OverlayState::new(&ov, ResourceVector::new(1.0, 256.0));
+        state.enable_flow_model();
+        FlowOrder {
+            state,
+            now: SimTime::ZERO,
+            committed: vec![None; FLOW_STREAMS.len()],
+            released: vec![false; FLOW_STREAMS.len()],
+            delivered: vec![u64::MAX; FLOW_STREAMS.len()],
+            soft: Vec::new(),
+            soft_left: 2,
+            violation: None,
+        }
+    }
+
+    /// Refreshes cached delivered fractions and re-checks the fair-share
+    /// invariants (called after every action while `&mut` is available).
+    fn settle(&mut self) {
+        if let Err(e) = self.state.verify_flow_invariants() {
+            self.violation.get_or_insert(format!("flow invariants: {e}"));
+        }
+        for (i, alloc) in self.committed.iter().enumerate() {
+            self.delivered[i] = match alloc {
+                Some(a) if !self.released[i] => {
+                    let f = self.state.delivered_fraction(a);
+                    if !(0.0..=1.0).contains(&f) {
+                        self.violation
+                            .get_or_insert(format!("stream {i} delivered fraction {f} out of range"));
+                    }
+                    f.to_bits()
+                }
+                _ => u64::MAX,
+            };
+        }
+        let live_flows: usize = self
+            .committed
+            .iter()
+            .zip(&self.released)
+            .filter_map(|(a, &r)| a.as_ref().filter(|_| !r))
+            .map(|a| a.flows.len())
+            .sum();
+        if live_flows != self.state.flow_count() {
+            self.violation.get_or_insert(format!(
+                "flow book holds {} flows, model says {live_flows} are live",
+                self.state.flow_count()
+            ));
+        }
+    }
+}
+
+impl ModelSystem for FlowOrder {
+    type Action = FlowAction;
+
+    fn enabled(&self) -> Vec<FlowAction> {
+        let mut acts = Vec::new();
+        for (i, &must_release) in FLOW_RELEASES.iter().enumerate() {
+            if self.committed[i].is_none() {
+                acts.push(FlowAction::Commit(i));
+            } else if must_release && !self.released[i] {
+                acts.push(FlowAction::Release(i));
+            }
+        }
+        if self.soft_left > 0 {
+            acts.push(FlowAction::SoftAlloc);
+        }
+        for (i, &(_, live)) in self.soft.iter().enumerate() {
+            if live {
+                acts.push(FlowAction::SoftFree(i));
+            }
+        }
+        acts
+    }
+
+    fn apply(&mut self, action: &FlowAction) -> bool {
+        let mut trace = TraceBuffer::new();
+        let ok = match *action {
+            FlowAction::Commit(i) => {
+                if self.committed[i].is_some() {
+                    return false;
+                }
+                let (s, d) = FLOW_STREAMS[i];
+                let route = vec![PeerId::new(s), PeerId::new(d)];
+                match self
+                    .state
+                    .commit(&[(PeerId::new(d), FLOW_RES)], &[(route, FLOW_BW)])
+                {
+                    Ok(alloc) => {
+                        self.committed[i] = Some(alloc);
+                        true
+                    }
+                    Err(e) => {
+                        // Flow mode never gates on bandwidth and the CPU
+                        // budget always fits; a rejection is a model bug.
+                        self.violation.get_or_insert(format!("commit of stream {i} failed: {e}"));
+                        true
+                    }
+                }
+            }
+            FlowAction::Release(i) => {
+                let Some(alloc) = self.committed[i].clone() else { return false };
+                if self.released[i] || !FLOW_RELEASES[i] {
+                    return false;
+                }
+                self.state.release(&alloc);
+                self.released[i] = true;
+                true
+            }
+            FlowAction::SoftAlloc => {
+                if self.soft_left == 0 {
+                    return false;
+                }
+                self.soft_left -= 1;
+                let expires = self.now + spidernet_sim::time::SimDuration::from_ms(1_000.0);
+                match self.state.soft_allocate(PeerId::new(0), LEDGER_RES, expires, &mut trace) {
+                    Ok(t) => {
+                        self.soft.push((t, true));
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            FlowAction::SoftFree(i) => {
+                let Some(&(t, live)) = self.soft.get(i) else { return false };
+                if !live {
+                    return false;
+                }
+                if !self.state.release_soft(t, &mut trace) {
+                    self.violation
+                        .get_or_insert(format!("release of live soft token #{i} credited nothing"));
+                }
+                self.soft[i].1 = false;
+                true
+            }
+        };
+        if ok {
+            self.settle();
+        }
+        ok
+    }
+
+    fn digest(&self) -> u64 {
+        let mut h = mix(0xF10D, self.soft_left.into());
+        for (i, alloc) in self.committed.iter().enumerate() {
+            h = mix(h, u64::from(alloc.is_some()));
+            h = mix(h, u64::from(self.released[i]));
+            h = mix(h, self.delivered[i]);
+        }
+        for &(_, live) in &self.soft {
+            h = mix(h, u64::from(live));
+        }
+        mix(h, u64::from(self.violation.is_some()))
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if let Some(v) = &self.violation {
+            return Err(v.clone());
+        }
+        self.state.verify_soft_accounting()
+    }
+
+    fn check_terminal(&self) -> Result<(), String> {
+        // Terminal: all streams committed, flagged releases done, soft
+        // tokens drained. The flow book must hold exactly the survivors.
+        let live: usize = FLOW_RELEASES.iter().filter(|&&r| !r).count();
+        if self.state.flow_count() != live {
+            return Err(format!(
+                "terminal flow book holds {} flows, expected {live}",
+                self.state.flow_count()
+            ));
+        }
+        Ok(())
+    }
+
+    fn outcome(&self) -> u64 {
+        // Digest the survivors' delivered fractions bit-for-bit: every
+        // commit/release interleaving must land on this exact value.
+        let mut h = 0xFA1E_u64;
+        for (i, &bits) in self.delivered.iter().enumerate() {
+            if self.committed[i].is_some() && !self.released[i] {
+                h = mix(h, bits);
+            }
+        }
+        h
+    }
+
+    fn encode(&self, action: &FlowAction) -> String {
+        match *action {
+            FlowAction::Commit(i) => format!("commit:s{i}"),
+            FlowAction::Release(i) => format!("release:s{i}"),
+            FlowAction::SoftAlloc => "soft-alloc".to_owned(),
+            FlowAction::SoftFree(i) => format!("soft-free:#{i}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
@@ -454,7 +705,18 @@ fn main() {
         &mut outcome_sets,
     );
 
-    // Phase 5: the negotiation lattice, exhaustively.
+    // Phase 5: commit/release orderings under the shared-bandwidth model.
+    let root = FlowOrder::new(cli.seed);
+    phase(
+        "flow_order",
+        explore(|| root.clone(), &cfg),
+        &mut report,
+        &mut totals,
+        &mut violations,
+        &mut outcome_sets,
+    );
+
+    // Phase 6: the negotiation lattice, exhaustively.
     let mut pairs = 0u64;
     let mut negotiate_bad = 0u64;
     for a_lo in 0..=4u16 {
@@ -487,6 +749,18 @@ fn main() {
         .unwrap_or(0);
     if setup_outcomes > 1 {
         eprintln!("  WARNING: setup_reorder observed {setup_outcomes} distinct outcomes");
+        violations += 1;
+    }
+
+    // Order-independence pin: every commit/release interleaving must
+    // settle on bit-identical fair shares.
+    let flow_outcomes = outcome_sets
+        .iter()
+        .find(|(n, _)| n == "flow_order")
+        .map(|&(_, c)| c)
+        .unwrap_or(0);
+    if flow_outcomes > 1 {
+        eprintln!("  WARNING: flow_order observed {flow_outcomes} distinct outcomes");
         violations += 1;
     }
 

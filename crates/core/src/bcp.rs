@@ -25,9 +25,12 @@ use crate::model::component::Registry;
 use crate::model::request::CompositionRequest;
 use crate::model::service_graph::{CostWeights, GraphEval, ServiceGraph};
 use crate::paths::PathTable;
-use crate::selection::{evaluate_with, is_qualified, merge_branches, select_best, GraphEvalScratch};
+use crate::selection::{
+    evaluate_with, is_qualified, merge_branches, select_best, select_best_by, GraphEvalScratch,
+    SelectionPolicy,
+};
 use crate::state::{OverlayState, SoftToken};
-use crate::trust::TrustManager;
+use crate::trust::{Marketplace, TrustManager};
 use spidernet_dht::{PastryNetwork, ServiceDirectory, ServiceMeta};
 use spidernet_sim::metrics::{counter, Instruments};
 use spidernet_sim::time::{SimDuration, SimTime};
@@ -122,6 +125,10 @@ pub struct BcpConfig {
     /// of probing doomed candidates. `1.0` (the default) disables
     /// shedding entirely.
     pub shed_utilization: f64,
+    /// How the qualified candidate pool is ranked at selection time
+    /// (paper ψ, marketplace bids, deterministic random, or greedy
+    /// delay). Probing and qualification are identical across policies.
+    pub selection_policy: SelectionPolicy,
 }
 
 impl Default for BcpConfig {
@@ -141,6 +148,7 @@ impl Default for BcpConfig {
             soft_allocation: true,
             collect_deadline_slack: 3.0,
             shed_utilization: 1.0,
+            selection_policy: SelectionPolicy::Paper,
         }
     }
 }
@@ -226,6 +234,12 @@ impl BcpConfigBuilder {
     /// Per-peer ψ load-shedding threshold (`1.0` disables).
     pub fn shed_utilization(mut self, psi: f64) -> Self {
         self.cfg.shed_utilization = psi;
+        self
+    }
+
+    /// Selection-time ranking policy for the qualified pool.
+    pub fn selection_policy(mut self, policy: SelectionPolicy) -> Self {
+        self.cfg.selection_policy = policy;
         self
     }
 
@@ -767,7 +781,50 @@ impl BcpEngine<'_> {
         }
         self.scratch = arena_opt;
 
-        match select_best(candidates) {
+        let selected = match cfg.selection_policy {
+            SelectionPolicy::Paper => select_best(candidates),
+            SelectionPolicy::Greedy => {
+                select_best_by(candidates, |_, e| e.qos[dim::DELAY_MS])
+            }
+            SelectionPolicy::Random => {
+                // Content-hashed score: deterministic for a given request
+                // and candidate set, uncorrelated with any quality signal.
+                let seed = spidernet_util::rng::splitmix64(
+                    req.source.raw() ^ req.dest.raw().rotate_left(32),
+                );
+                select_best_by(candidates, move |g, _| {
+                    let mut h = seed;
+                    for &c in &g.assignment {
+                        h = spidernet_util::rng::splitmix64(h ^ c.raw());
+                    }
+                    (h >> 11) as f64 / (1u64 << 53) as f64
+                })
+            }
+            SelectionPolicy::Marketplace => {
+                // Each hosting peer bids latency × residual capacity ×
+                // delivery reputation; a graph is priced by its *worst*
+                // seller (one congested or lying host sinks the whole
+                // composition). Negated so lower score = higher bid.
+                let fallback = Marketplace::default();
+                let market = self.trust.map(|t| t.market()).unwrap_or(&fallback);
+                let state = &mut *self.state;
+                let reg = self.reg;
+                select_best_by(candidates, move |g, e| {
+                    let delay = e.qos[dim::DELAY_MS];
+                    let mut bid = f64::INFINITY;
+                    for &c in &g.assignment {
+                        let peer = reg.get(c).peer;
+                        let headroom = state.peer_headroom(peer);
+                        bid = bid.min(market.bid(peer, delay, headroom));
+                    }
+                    if !bid.is_finite() {
+                        bid = 0.0;
+                    }
+                    -bid
+                })
+            }
+        };
+        match selected {
             Some((best, eval, pool)) => Ok(CompositionOutcome {
                 best,
                 eval,

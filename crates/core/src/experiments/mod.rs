@@ -8,6 +8,7 @@
 //! | [`fig9`] | Fig. 9 — failure frequency over time with/without proactive recovery |
 //! | [`fig11`] | Fig. 11 — average end-to-end delay vs probing budget |
 //! | [`overhead`] | §6.1 claim — BCP vs centralized global-state message overhead |
+//! | [`congestion`] | beyond the paper — QoS violations & goodput vs offered load under shared bandwidth |
 //!
 //! Fig. 10 (wide-area session setup time) runs on the threaded runtime and
 //! lives in `spidernet-runtime::experiments`. [`ablation`] adds quality
@@ -30,6 +31,7 @@
 //! [`rng_for_trial`]: spidernet_util::rng::rng_for_trial
 
 pub mod ablation;
+pub mod congestion;
 pub mod fig11;
 pub mod latency;
 pub mod fig8;

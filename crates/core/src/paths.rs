@@ -110,6 +110,45 @@ impl PathTable {
         true
     }
 
+    /// Contention-aware one-way delay `from → to`, ms: the static
+    /// per-hop delays inflated by `stress`, the caller's view of each
+    /// hop's current load (`ρ ∈ [0, 1]`, e.g.
+    /// `OverlayState::link_stress`). Each hop contributes
+    /// `delay × (1 + ρ)` — an uncontended hop costs its static delay, a
+    /// saturated one twice that.
+    ///
+    /// Deliberately **bypasses the pair-delay memo**: the memo caches
+    /// *uncongested* shortest-path delays, and serving those while flows
+    /// load the route would report stale QoS (the same staleness class
+    /// the PR8 compose-cache watermark fixed). Bypasses are counted
+    /// ([`PathTable::pair_bypasses`]) so the extra tree walks stay
+    /// visible next to the memo's hits/misses.
+    pub fn contended_delay(
+        &mut self,
+        overlay: &Overlay,
+        from: PeerId,
+        to: PeerId,
+        mut stress: impl FnMut(PeerId, PeerId) -> f64,
+    ) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        self.pairs.note_bypass();
+        if overlay.is_geo() {
+            let base = overlay.direct_delay(from, to).unwrap_or(f64::INFINITY);
+            return base * (1.0 + stress(from, to).clamp(0.0, 1.0));
+        }
+        let Some(path) = self.peer_path(overlay, from, to) else {
+            return f64::INFINITY;
+        };
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            let hop = overlay.link(w[0], w[1]).map(|l| l.delay_ms).unwrap_or(0.0);
+            total += hop * (1.0 + stress(w[0], w[1]).clamp(0.0, 1.0));
+        }
+        total
+    }
+
     /// Static bottleneck capacity of the path `from → to`, Mbit/s.
     pub fn bottleneck(&mut self, overlay: &Overlay, from: PeerId, to: PeerId) -> Option<f64> {
         if from == to {
@@ -180,6 +219,12 @@ impl PathTable {
     /// `topology.pair_cache_misses` counter).
     pub fn pair_misses(&self) -> u64 {
         self.pairs.misses()
+    }
+
+    /// Lookups that skipped the memo for contention-aware delays (feeds
+    /// the `topology.pair_cache_bypasses` counter).
+    pub fn pair_bypasses(&self) -> u64 {
+        self.pairs.bypasses()
     }
 }
 
@@ -296,6 +341,22 @@ mod tests {
             pt.invalidate_peer(leaf);
             assert_eq!(pt.cached_sources(), 1, "leaf invalidation must keep the tree");
         }
+    }
+
+    #[test]
+    fn contended_delay_bypasses_the_pair_memo() {
+        let ov = overlay();
+        let mut pt = PathTable::new();
+        let (a, b) = (PeerId::new(0), PeerId::new(17));
+        let base = pt.delay(&ov, a, b);
+        // Zero stress reproduces the static path delay.
+        let calm = pt.contended_delay(&ov, a, b, |_, _| 0.0);
+        assert!((calm - base).abs() < 1e-9);
+        // Saturated hops cost double.
+        let hot = pt.contended_delay(&ov, a, b, |_, _| 1.0);
+        assert!((hot - 2.0 * base).abs() < 1e-9);
+        assert_eq!(pt.pair_bypasses(), 2, "every contended query bypasses the memo");
+        assert_eq!(pt.contended_delay(&ov, a, a, |_, _| 1.0), 0.0);
     }
 
     #[test]

@@ -595,6 +595,28 @@ pub fn evaluate_assignment(
 /// A candidate with its evaluation.
 pub type Candidate = (ServiceGraph, GraphEval);
 
+/// Which score ranks the qualified candidate pool at selection time.
+///
+/// Every policy selects among the *same* qualified pool (functional
+/// correctness, QoS bounds, and resource admission are identical); only
+/// the ranking differs. The non-paper policies exist for the congestion
+/// experiments: under the shared-bandwidth flow model the paper's static
+/// ψ cannot see contention, while [`SelectionPolicy::Marketplace`] prices
+/// candidates by live residual capacity and delivery reputation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// The paper's ψ composite cost (static metric).
+    #[default]
+    Paper,
+    /// ICN-style bids: latency × residual capacity × delivery reputation
+    /// ([`crate::trust::Marketplace`]); highest aggregate bid wins.
+    Marketplace,
+    /// Deterministic pseudo-random pick (content-hashed, seed-free).
+    Random,
+    /// Lowest end-to-end delay, ignoring load and failure risk.
+    Greedy,
+}
+
 /// Ranks qualified graphs by ψ and returns `(best, best's eval, others)` —
 /// the others, still cost-ordered, feed backup selection (paper §5).
 pub fn select_best(
@@ -610,6 +632,28 @@ pub fn select_best(
     });
     let (best, eval) = qualified.remove(0);
     Some((best, eval, qualified))
+}
+
+/// Like [`select_best`] but ranks by an arbitrary score (lower is
+/// better) instead of ψ. The runner-up pool is returned in score order
+/// so backup selection degrades gracefully under the same policy.
+/// NaN scores sort last via `total_cmp`; exact ties break on the
+/// assignment, keeping every policy deterministic.
+pub fn select_best_by(
+    mut qualified: Vec<Candidate>,
+    mut score: impl FnMut(&ServiceGraph, &GraphEval) -> f64,
+) -> Option<(ServiceGraph, GraphEval, Vec<Candidate>)> {
+    if qualified.is_empty() {
+        return None;
+    }
+    let mut scored: Vec<(f64, Candidate)> =
+        qualified.drain(..).map(|c| (score(&c.0, &c.1), c)).collect();
+    scored.sort_by(|a, b| {
+        a.0.total_cmp(&b.0).then_with(|| a.1 .0.assignment.cmp(&b.1 .0.assignment))
+    });
+    let mut it = scored.into_iter().map(|(_, c)| c);
+    let (best, eval) = it.next().expect("non-empty");
+    Some((best, eval, it.collect()))
 }
 
 #[cfg(test)]
@@ -922,5 +966,36 @@ mod tests {
         assert_eq!(best.assignment, expect_first.assignment);
         assert_eq!(rest.len(), 1);
         assert!(select_best(vec![]).is_none());
+    }
+
+    #[test]
+    fn select_best_by_ranks_on_the_given_score() {
+        let mut w = world();
+        let req = request();
+        let g1 = ServiceGraph::new(req.source, req.dest, FunctionGraph::linear(3), chain_assignment());
+        let mut a2 = chain_assignment();
+        a2[0] = ComponentId::new(3);
+        let g2 = ServiceGraph::new(req.source, req.dest, FunctionGraph::linear(3), a2);
+        let weights = CostWeights::uniform();
+        let e1 = evaluate(&g1, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &weights);
+        let e2 = evaluate(&g2, &req, &w.reg, &w.overlay, &w.state, &mut w.paths, &weights);
+        // Scoring by ψ reproduces select_best exactly.
+        let (a, _, _) = select_best(vec![(g1.clone(), e1.clone()), (g2.clone(), e2.clone())]).unwrap();
+        let (b, _, _) = select_best_by(
+            vec![(g1.clone(), e1.clone()), (g2.clone(), e2.clone())],
+            |_, e| e.cost,
+        )
+        .unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        // An inverted score flips the winner; a NaN score loses to any
+        // finite one instead of panicking or winning by accident.
+        let (c, _, rest) = select_best_by(
+            vec![(g1.clone(), e1.clone()), (g2.clone(), e2.clone())],
+            |g, e| if g.assignment == a.assignment { f64::NAN } else { e.cost },
+        )
+        .unwrap();
+        assert_ne!(c.assignment, a.assignment);
+        assert_eq!(rest.len(), 1);
+        assert!(select_best_by(vec![], |_, e| e.cost).is_none());
     }
 }

@@ -17,6 +17,7 @@
 
 use spidernet_sim::time::SimTime;
 use spidernet_sim::trace::{TraceBuffer, TraceEvent};
+use spidernet_topology::flow::{FlowKey, FlowNet, LinkId};
 use spidernet_topology::Overlay;
 use spidernet_util::arena::{SlotArena, SlotKey};
 use spidernet_util::error::{Error, Result};
@@ -39,8 +40,13 @@ pub struct SoftToken(u64);
 pub struct SessionAllocation {
     /// Per-peer end-system resources held.
     pub peers: Vec<(PeerId, ResourceVector)>,
-    /// Per-overlay-link bandwidth held (canonical link keys).
+    /// Per-overlay-link bandwidth held (canonical link keys). Empty in
+    /// flow mode, where streams share links elastically instead of
+    /// reserving hard bandwidth.
     pub links: Vec<((usize, usize), f64)>,
+    /// Flow handles, one per stream, when the shared-bandwidth flow
+    /// model is enabled ([`OverlayState::enable_flow_model`]).
+    pub flows: Vec<FlowKey>,
 }
 
 #[derive(Clone)]
@@ -64,6 +70,16 @@ struct AccessLinks {
     committed: Vec<f64>,
 }
 
+/// Shared-bandwidth (flow) mode books: the [`FlowNet`] plus the mapping
+/// from canonical overlay-link keys (geo: `(i, i)` access links) to flow
+/// links, and per-peer incident-link lists for headroom queries.
+#[derive(Clone)]
+struct FlowBook {
+    net: FlowNet,
+    link_ids: FxHashMap<(usize, usize), LinkId>,
+    incident: Vec<Vec<LinkId>>,
+}
+
 /// The overlay's live resource state.
 #[derive(Clone)]
 pub struct OverlayState {
@@ -74,6 +90,9 @@ pub struct OverlayState {
     link_capacity: FxHashMap<(usize, usize), f64>,
     link_committed: FxHashMap<(usize, usize), f64>,
     access: Option<AccessLinks>,
+    // `Some` once `enable_flow_model` switches bandwidth to elastic
+    // max-min fair sharing; `None` keeps the paper's hard reservations.
+    flows: Option<FlowBook>,
     soft_allocs: SlotArena<SoftAlloc>,
     next_seq: u64,
     // Load-shedding watermark ψ (fraction of CPU capacity). Non-finite
@@ -118,6 +137,7 @@ impl OverlayState {
             link_capacity,
             link_committed: FxHashMap::default(),
             access,
+            flows: None,
             soft_allocs: SlotArena::new(),
             next_seq: 0,
             shed_watermark: f64::INFINITY,
@@ -325,6 +345,15 @@ impl OverlayState {
         if !self.alive[a.index()] || !self.alive[b.index()] {
             return 0.0;
         }
+        if self.flows.is_some() {
+            // Flow mode: streams are elastic, so bandwidth never gates
+            // admission or evaluation — report the static capacity and
+            // let contention show up in delivered rate instead.
+            if let Some(acc) = &self.access {
+                return acc.capacity[a.index()].min(acc.capacity[b.index()]).max(0.0);
+            }
+            return self.link_capacity.get(&link_key(a, b)).copied().unwrap_or(0.0);
+        }
         if let Some(acc) = &self.access {
             let fa = (acc.capacity[a.index()] - acc.committed[a.index()]).max(0.0);
             let fb = (acc.capacity[b.index()] - acc.committed[b.index()]).max(0.0);
@@ -345,6 +374,156 @@ impl OverlayState {
         path.windows(2).map(|w| self.link_available(w[0], w[1])).fold(f64::INFINITY, f64::min)
     }
 
+    // --- shared-bandwidth (flow) mode -----------------------------------
+
+    /// Switches bandwidth accounting from hard per-link reservations to
+    /// the shared-bandwidth flow model: committed streams become flows
+    /// over their route's links with max-min fair-share rates
+    /// ([`spidernet_topology::flow::FlowNet`]). Admission stops gating on
+    /// bandwidth (CPU admission and ψ shedding are untouched); instead
+    /// the *delivered* rate of each session degrades under contention
+    /// ([`OverlayState::delivered_fraction`]). Idempotent; there is no
+    /// way back because released hard reservations and live flows would
+    /// not reconcile.
+    pub fn enable_flow_model(&mut self) {
+        if self.flows.is_some() {
+            return;
+        }
+        let n = self.capacity.len();
+        let mut net = FlowNet::new();
+        let mut link_ids = FxHashMap::default();
+        let mut incident = vec![Vec::new(); n];
+        if let Some(acc) = &self.access {
+            // Geo mode: one flow link per peer access pipe, keyed (i, i).
+            for (i, links) in incident.iter_mut().enumerate() {
+                let id = net.add_link(acc.capacity[i].max(0.0));
+                link_ids.insert((i, i), id);
+                links.push(id);
+            }
+        } else {
+            // Sorted key order so the link-id assignment (and therefore
+            // every downstream float fold) is hash-order independent.
+            let mut keys: Vec<(usize, usize)> = self.link_capacity.keys().copied().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let id = net.add_link(self.link_capacity[&key]);
+                link_ids.insert(key, id);
+                incident[key.0].push(id);
+                if key.1 != key.0 {
+                    incident[key.1].push(id);
+                }
+            }
+        }
+        self.flows = Some(FlowBook { net, link_ids, incident });
+    }
+
+    /// Whether the shared-bandwidth flow model is active.
+    pub fn flow_model_enabled(&self) -> bool {
+        self.flows.is_some()
+    }
+
+    /// Live flows in the flow model (0 when disabled).
+    pub fn flow_count(&self) -> usize {
+        self.flows.as_ref().map(|b| b.net.flow_count()).unwrap_or(0)
+    }
+
+    /// `(epoch, recalcs)` of the flow model: mutations seen and lazy
+    /// rate recomputes actually run. `(0, 0)` when disabled.
+    pub fn flow_stats(&self) -> (u64, u64) {
+        self.flows.as_ref().map(|b| (b.net.epoch(), b.net.recalcs())).unwrap_or((0, 0))
+    }
+
+    /// Fraction of a session's demanded stream bandwidth actually
+    /// delivered under max-min fair sharing: the minimum over its flows
+    /// of `rate / demand`. 1.0 when the flow model is off or the session
+    /// crosses no network links.
+    pub fn delivered_fraction(&mut self, alloc: &SessionAllocation) -> f64 {
+        let Some(book) = &mut self.flows else { return 1.0 };
+        let mut frac = 1.0f64;
+        for &k in &alloc.flows {
+            if let (Some(rate), Some(demand)) = (book.net.rate(k), book.net.demand(k)) {
+                if demand > 0.0 {
+                    frac = frac.min((rate / demand).clamp(0.0, 1.0));
+                }
+            }
+        }
+        frac
+    }
+
+    /// Sum of a session's fair-share flow rates in Mbps (its delivered
+    /// network goodput). Equals the demanded total when uncontended;
+    /// 0.0 when the flow model is off or the session crosses no links.
+    pub fn session_goodput(&mut self, alloc: &SessionAllocation) -> f64 {
+        let Some(book) = &mut self.flows else { return 0.0 };
+        alloc.flows.iter().filter_map(|&k| book.net.rate(k)).sum()
+    }
+
+    /// Sum of a session's demanded flow bandwidth in Mbps (0.0 with the
+    /// flow model off).
+    pub fn session_demand_mbps(&self, alloc: &SessionAllocation) -> f64 {
+        let Some(book) = &self.flows else { return 0.0 };
+        alloc.flows.iter().filter_map(|&k| book.net.demand(k)).sum()
+    }
+
+    /// Utilization ρ ∈ [0, 1] of the flow link(s) behind overlay hop
+    /// `{a, b}` (geo: the worse of the two endpoints' access pipes).
+    /// 0 when the flow model is off or the hop is unknown. Feeds
+    /// contention-aware delay queries (`PathTable::contended_delay`).
+    pub fn link_stress(&mut self, a: PeerId, b: PeerId) -> f64 {
+        let geo = self.access.is_some();
+        let Some(book) = &mut self.flows else { return 0.0 };
+        let keys: [(usize, usize); 2] = if geo {
+            [(a.index(), a.index()), (b.index(), b.index())]
+        } else {
+            let k = link_key(a, b);
+            [k, k]
+        };
+        let mut stress = 0.0f64;
+        for key in keys {
+            if let Some(&id) = book.link_ids.get(&key) {
+                stress = stress.max(1.0 - book.net.link_headroom(id));
+            }
+        }
+        stress
+    }
+
+    /// A peer's residual bandwidth headroom in [0, 1]: the minimum
+    /// `1 − ρ` over its incident flow links (dead peers report 0). With
+    /// the flow model off this falls back to the peer's free CPU
+    /// fraction — the best congestion proxy hard reservations offer.
+    /// This is the residual-capacity factor of marketplace bids.
+    pub fn peer_headroom(&mut self, peer: PeerId) -> f64 {
+        let i = peer.index();
+        if !self.alive[i] {
+            return 0.0;
+        }
+        match &mut self.flows {
+            Some(book) => {
+                let mut h = 1.0f64;
+                for &id in &book.incident[i] {
+                    h = h.min(book.net.link_headroom(id));
+                }
+                h
+            }
+            None => {
+                let cap = self.capacity[i].cpu();
+                if cap <= 0.0 {
+                    return 0.0;
+                }
+                (self.available(peer).cpu() / cap).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Checks the flow model's fair-share safety invariants (rates within
+    /// demand, per-link totals within capacity). `Ok` when disabled.
+    pub fn verify_flow_invariants(&mut self) -> std::result::Result<(), String> {
+        match &mut self.flows {
+            Some(book) => book.net.verify_invariants(),
+            None => Ok(()),
+        }
+    }
+
     // --- committed (session-time) allocations ---------------------------
 
     /// Atomically commits a session's demand: per-peer resources and
@@ -360,6 +539,47 @@ impl OverlayState {
             if !self.alive[p.index()] || !res.fits_within(&self.available(p)) {
                 return Err(Error::AdmissionRejected { peer: p.raw() });
             }
+        }
+        if self.flows.is_some() {
+            // Flow mode: streams are elastic — no link feasibility gate
+            // and no hard bandwidth bookkeeping. Each demanded path
+            // becomes one flow over its links; contention shows up as a
+            // delivered fraction below 1, not as a rejection.
+            let mut alloc = SessionAllocation::default();
+            for &(p, res) in peer_demand {
+                let before = self.cpu_utilization(p);
+                self.committed[p.index()] = self.committed[p.index()].add(&res);
+                self.note_watermark(p, before);
+                alloc.peers.push((p, res));
+            }
+            let geo = self.access.is_some();
+            let book = self.flows.as_mut().expect("checked above");
+            let mut links: Vec<LinkId> = Vec::new();
+            for (path, bw) in link_demand {
+                if path.len() < 2 {
+                    continue; // same-peer stream: no network links
+                }
+                links.clear();
+                if geo {
+                    let (s, d) = (path[0].index(), path[path.len() - 1].index());
+                    if let Some(&id) = book.link_ids.get(&(s, s)) {
+                        links.push(id);
+                    }
+                    if d != s {
+                        if let Some(&id) = book.link_ids.get(&(d, d)) {
+                            links.push(id);
+                        }
+                    }
+                } else {
+                    for w in path.windows(2) {
+                        if let Some(&id) = book.link_ids.get(&link_key(w[0], w[1])) {
+                            links.push(id);
+                        }
+                    }
+                }
+                alloc.flows.push(book.net.add_flow(&links, *bw));
+            }
+            return Ok(alloc);
         }
         // Aggregate per-link bandwidth (paths may share links). Key-ordered
         // so the allocation's link list and the committed-bandwidth float
@@ -438,6 +658,11 @@ impl OverlayState {
                 }
             } else if let Some(used) = self.link_committed.get_mut(&key) {
                 *used = (*used - bw).max(0.0);
+            }
+        }
+        if let Some(book) = &mut self.flows {
+            for &k in &alloc.flows {
+                book.net.remove_flow(k);
             }
         }
     }
@@ -674,6 +899,60 @@ mod tests {
         let err = s.commit(&[], &[(vec![pa, pb], e.capacity_mbps + 1.0)]);
         assert!(err.is_err());
         assert!((s.link_available(pa, pb) - e.capacity_mbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_mode_admits_elastically_and_degrades_delivery() {
+        let ov = overlay();
+        let mut s = OverlayState::new(&ov, ResourceVector::new(1.0, 256.0));
+        s.enable_flow_model();
+        assert!(s.flow_model_enabled());
+        let (a, b, e) = ov.graph().edges().next().unwrap();
+        let (pa, pb) = (PeerId::from(a), PeerId::from(b));
+        // Two streams that together exceed the link are both admitted —
+        // hard reservations would reject the second one...
+        let big = e.capacity_mbps * 0.8;
+        let s1 = s.commit(&[], &[(vec![pa, pb], big)]).unwrap();
+        let s2 = s.commit(&[], &[(vec![pa, pb], big)]).unwrap();
+        assert!(s1.links.is_empty(), "flow mode holds no hard link reservations");
+        assert_eq!(s.flow_count(), 2);
+        // ...but each only receives its max-min fair share.
+        let f1 = s.delivered_fraction(&s1);
+        assert!((f1 - 0.5 / 0.8).abs() < 1e-9, "fair share fraction: {f1}");
+        assert!(s.link_stress(pa, pb) > 1.0 - 1e-9, "saturated link must read ρ≈1");
+        assert!(s.verify_flow_invariants().is_ok());
+        // Evaluation still sees static capacity: admission never gates.
+        assert!((s.link_available(pa, pb) - e.capacity_mbps).abs() < 1e-9);
+        s.release(&s2);
+        assert!((s.delivered_fraction(&s1) - 1.0).abs() < 1e-12);
+        assert_eq!(s.flow_count(), 1);
+        s.release(&s1);
+        assert_eq!(s.flow_count(), 0);
+        assert!(s.peer_headroom(pa) > 1.0 - 1e-9);
+        let (epoch, recalcs) = s.flow_stats();
+        assert_eq!(epoch, 4, "two adds + two removes");
+        assert!(recalcs >= 1);
+    }
+
+    #[test]
+    fn flow_mode_geo_squeezes_shared_access_pipes() {
+        use spidernet_topology::overlay::GeoConfig;
+        let ov = Overlay::build_geo(&GeoConfig { peers: 16, ..GeoConfig::default() }, 5);
+        let mut s = OverlayState::new(&ov, ResourceVector::new(1.0, 256.0));
+        s.enable_flow_model();
+        let (pa, pb, pc) = (PeerId::new(0), PeerId::new(1), PeerId::new(2));
+        let cap_a = ov.access_capacity(pa).unwrap();
+        // Two full-pipe streams out of pa share its access link.
+        let a1 = s.commit(&[], &[(vec![pa, pb], cap_a)]).unwrap();
+        let a2 = s.commit(&[], &[(vec![pa, pc], cap_a)]).unwrap();
+        let f = s.delivered_fraction(&a1);
+        assert!(f < 1.0 - 1e-9, "shared access pipe must degrade delivery: {f}");
+        assert!(s.verify_flow_invariants().is_ok());
+        assert!(s.peer_headroom(pa) < 1e-6, "pa's pipe is saturated");
+        s.release(&a1);
+        s.release(&a2);
+        assert!((s.delivered_fraction(&a1) - 1.0).abs() < 1e-12, "stale keys are inert");
+        assert_eq!(s.flow_count(), 0);
     }
 
     #[test]

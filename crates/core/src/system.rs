@@ -335,6 +335,8 @@ pub struct SpiderNet {
     compose_cache_reported: (u64, u64, u64),
     /// Pair-delay (hits, misses) already folded into the metrics registry.
     pair_lookups_reported: (u64, u64),
+    /// Pair-delay memo bypasses already folded into the metrics registry.
+    pair_bypasses_reported: u64,
 }
 
 impl SpiderNet {
@@ -392,6 +394,7 @@ impl SpiderNet {
             compose_scratch: ComposeScratch::default(),
             compose_cache_reported: (0, 0, 0),
             pair_lookups_reported: (0, 0),
+            pair_bypasses_reported: 0,
         }
     }
 
@@ -596,6 +599,12 @@ impl SpiderNet {
             self.obs.metrics.add(c, misses - m0);
         }
         self.pair_lookups_reported = (hits, misses);
+        let bypasses = self.paths.pair_bypasses();
+        if bypasses > self.pair_bypasses_reported {
+            let c = self.obs.metrics.counter(counter::PAIR_CACHE_BYPASSES);
+            self.obs.metrics.add(c, bypasses - self.pair_bypasses_reported);
+            self.pair_bypasses_reported = bypasses;
+        }
     }
 
     /// Folds compose-cache deltas into the metrics registry. Counters are
@@ -817,6 +826,77 @@ impl SpiderNet {
     pub fn advance(&mut self, dt: SimDuration) -> usize {
         self.now += dt;
         self.state.expire_soft(self.now, &mut self.obs.trace)
+    }
+
+    // --- shared-bandwidth flow model --------------------------------------
+
+    /// Switches the overlay onto the shared-bandwidth flow model: link
+    /// bandwidth stops gating admission and every committed stream becomes
+    /// an elastic flow whose delivered rate is the max-min fair share of
+    /// its route. Idempotent; bumps the world epoch because availability
+    /// semantics change under any compose cache.
+    pub fn enable_flow_model(&mut self) {
+        if self.state.flow_model_enabled() {
+            return;
+        }
+        self.world_epoch += 1;
+        self.state.enable_flow_model();
+    }
+
+    /// Delivered fraction of a live session's demanded frame rate under
+    /// the flow model (1.0 when the model is off or the session is gone).
+    pub fn session_delivered_fraction(&mut self, id: SessionId) -> Option<f64> {
+        let SpiderNet { sessions, state, .. } = self;
+        sessions.session(id).map(|s| state.delivered_fraction(&s.allocation))
+    }
+
+    /// Delivered network goodput of a live session in Mbps (sum of its
+    /// flows' fair-share rates; 0.0 with the flow model off).
+    pub fn session_goodput(&mut self, id: SessionId) -> Option<f64> {
+        let SpiderNet { sessions, state, .. } = self;
+        sessions.session(id).map(|s| state.session_goodput(&s.allocation))
+    }
+
+    /// End-to-end delay of a live session's primary graph with every hop
+    /// inflated by current link stress (queueing under contention). Walks
+    /// source → hosts → dest and sums contention-aware hop delays; these
+    /// queries deliberately bypass the pair-delay memo, which only stores
+    /// uncongested values.
+    pub fn contended_session_delay(&mut self, id: SessionId) -> Option<f64> {
+        let SpiderNet { sessions, state, paths, overlay, reg, .. } = self;
+        let s = sessions.session(id)?;
+        let mut route: Vec<PeerId> = Vec::with_capacity(s.primary.assignment.len() + 2);
+        route.push(s.request.source);
+        route.extend(s.primary.components().iter().map(|&c| reg.get(c).peer));
+        route.push(s.request.dest);
+        let mut total = 0.0;
+        for w in route.windows(2) {
+            total += paths.contended_delay(overlay, w[0], w[1], |a, b| state.link_stress(a, b));
+        }
+        Some(total)
+    }
+
+    /// Feeds every live session's delivered fraction into the marketplace
+    /// reputation of its hosting peers (sessions visited in id order, so
+    /// EWMA updates are deterministic). Returns the number of sessions
+    /// observed. No-op unless the flow model is enabled.
+    pub fn observe_session_deliveries(&mut self) -> usize {
+        if !self.state.flow_model_enabled() {
+            return 0;
+        }
+        let mut observed = 0;
+        let SpiderNet { sessions, state, trust, reg, .. } = self;
+        for s in sessions.sessions() {
+            let frac = state.delivered_fraction(&s.allocation);
+            for &c in s.primary.components() {
+                trust.market_mut().observe(reg.get(c).peer, frac);
+            }
+            observed += 1;
+        }
+        if observed > 0 {
+            self.trust_epoch += 1;
+        }
+        observed
     }
 
     // --- accessors -------------------------------------------------------

@@ -66,6 +66,8 @@ pub struct TrustManager {
     by_subject: Vec<Vec<u32>>,
     /// Multiplicative decay applied to both counters by [`TrustManager::decay_all`].
     decay: f64,
+    /// Marketplace delivery reputations (observed vs promised rates).
+    market: Marketplace,
 }
 
 impl TrustManager {
@@ -73,7 +75,24 @@ impl TrustManager {
     /// disables decay.
     pub fn new(decay: f64) -> Self {
         assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
-        TrustManager { tables: Vec::new(), by_subject: Vec::new(), decay }
+        TrustManager {
+            tables: Vec::new(),
+            by_subject: Vec::new(),
+            decay,
+            market: Marketplace::default(),
+        }
+    }
+
+    /// The marketplace delivery reputations.
+    pub fn market(&self) -> &Marketplace {
+        &self.market
+    }
+
+    /// Mutable marketplace reputations (delivery observations, decay,
+    /// pruning). Callers owning a compose cache must count this as a
+    /// trust mutation.
+    pub fn market_mut(&mut self) -> &mut Marketplace {
+        &mut self.market
     }
 
     /// Records one experience `observer` had with `subject`.
@@ -168,6 +187,113 @@ impl TrustManager {
     /// Number of (observer, subject) records held.
     pub fn record_count(&self) -> usize {
         self.tables.iter().map(Vec::len).sum()
+    }
+}
+
+/// Optimistic prior for peers with no delivery history: new sellers bid
+/// at full reputation so the market explores them.
+const MARKET_PRIOR: f64 = 1.0;
+/// EWMA gain for delivery observations.
+const MARKET_GAIN: f64 = 0.3;
+
+#[derive(Clone, Copy, Debug)]
+struct RepEntry {
+    score: f64,
+    observations: u64,
+}
+
+/// ICN-style marketplace delivery reputation (planetary-mesh bidding:
+/// latency × residual capacity × reputation).
+///
+/// Each hosting peer is a "seller" whose reputation is an EWMA of
+/// *observed vs promised* delivery — the fraction of a session's demanded
+/// stream bandwidth its flows actually received
+/// ([`crate::state::OverlayState::delivered_fraction`]). A seller that
+/// keeps promising bandwidth it cannot deliver under contention sees its
+/// bids discounted, steering the marketplace policy off congested
+/// hotspots that the paper's static metric cannot see.
+#[derive(Clone, Debug, Default)]
+pub struct Marketplace {
+    /// Dense per-peer entries; absent ⇒ the optimistic prior.
+    rep: Vec<RepEntry>,
+}
+
+impl Marketplace {
+    /// Folds one observed delivery fraction (`delivered / promised`,
+    /// clamped to [0, 1]) into `peer`'s reputation. NaN observations are
+    /// ignored — a reputation must never be poisoned into unorderable
+    /// territory by one bad measurement.
+    pub fn observe(&mut self, peer: PeerId, delivered_fraction: f64) {
+        if delivered_fraction.is_nan() {
+            return;
+        }
+        let i = peer.index();
+        if i >= self.rep.len() {
+            self.rep.resize(i + 1, RepEntry { score: MARKET_PRIOR, observations: 0 });
+        }
+        let e = &mut self.rep[i];
+        let obs = delivered_fraction.clamp(0.0, 1.0);
+        e.score += MARKET_GAIN * (obs - e.score);
+        e.observations += 1;
+    }
+
+    /// `peer`'s delivery reputation in [0, 1]; the optimistic prior 1.0
+    /// with zero observations.
+    pub fn reputation(&self, peer: PeerId) -> f64 {
+        self.rep
+            .get(peer.index())
+            .filter(|e| e.observations > 0)
+            .map(|e| e.score)
+            .unwrap_or(MARKET_PRIOR)
+    }
+
+    /// How many deliveries have been observed for `peer`.
+    pub fn observations(&self, peer: PeerId) -> u64 {
+        self.rep.get(peer.index()).map(|e| e.observations).unwrap_or(0)
+    }
+
+    /// Relaxes every reputation toward the prior by `factor ∈ (0, 1]`:
+    /// `score ← prior + (score − prior) · factor`. A factor of exactly
+    /// 1.0 is a bitwise no-op (the boundary the unit tests pin) — stale
+    /// verdicts only fade when the caller opts in.
+    pub fn decay(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor <= 1.0, "decay factor must be in (0, 1]");
+        if factor >= 1.0 {
+            return;
+        }
+        for e in &mut self.rep {
+            e.score = MARKET_PRIOR + (e.score - MARKET_PRIOR) * factor;
+        }
+    }
+
+    /// Resets dead peers to the prior with zero observations (a revived
+    /// peer restarts its components; stale delivery verdicts against the
+    /// old incarnation would misprice the new one). Returns how many
+    /// entries were pruned.
+    pub fn prune_dead(&mut self, mut is_alive: impl FnMut(PeerId) -> bool) -> usize {
+        let mut pruned = 0;
+        for (i, e) in self.rep.iter_mut().enumerate() {
+            if e.observations > 0 && !is_alive(PeerId::from(i)) {
+                *e = RepEntry { score: MARKET_PRIOR, observations: 0 };
+                pruned += 1;
+            }
+        }
+        pruned
+    }
+
+    /// The marketplace bid for hosting on `peer`: higher is better.
+    ///
+    /// `bid = reputation × residual-headroom / (1 + delay_ms)` — the
+    /// ICN latency × capacity × reputation form with latency inverted so
+    /// all three factors point the same way. Non-finite delay or NaN
+    /// headroom yield a zero bid (never NaN), so bid lists stay totally
+    /// ordered under `f64::total_cmp`.
+    pub fn bid(&self, peer: PeerId, delay_ms: f64, headroom: f64) -> f64 {
+        if !delay_ms.is_finite() {
+            return 0.0;
+        }
+        let h = if headroom.is_nan() { 0.0 } else { headroom.clamp(0.0, 1.0) };
+        self.reputation(peer) * h / (1.0 + delay_ms.max(0.0))
     }
 }
 
@@ -267,6 +393,99 @@ mod tests {
     #[should_panic(expected = "decay must be in")]
     fn zero_decay_rejected() {
         TrustManager::new(0.0);
+    }
+
+    #[test]
+    fn market_zero_observations_yield_the_optimistic_prior() {
+        let m = Marketplace::default();
+        assert_eq!(m.reputation(p(7)), 1.0, "unseen peers bid at full reputation");
+        assert_eq!(m.observations(p(7)), 0);
+        let mut m = m;
+        // An entry allocated by a neighbor's observation still reports
+        // the prior until the peer itself is observed.
+        m.observe(p(9), 0.5);
+        assert_eq!(m.reputation(p(7)), 1.0);
+        assert_eq!(m.observations(p(9)), 1);
+        assert!(m.reputation(p(9)) < 1.0);
+    }
+
+    #[test]
+    fn market_nan_observations_are_ignored_and_bids_stay_orderable() {
+        let mut m = Marketplace::default();
+        m.observe(p(1), 0.25);
+        let before = m.reputation(p(1));
+        m.observe(p(1), f64::NAN);
+        assert_eq!(m.reputation(p(1)).to_bits(), before.to_bits(), "NaN must not poison");
+        assert_eq!(m.observations(p(1)), 1, "NaN is not an observation");
+        // Bids from pathological inputs are 0, never NaN, so a candidate
+        // list sorts deterministically under total_cmp.
+        let mut bids = [
+            m.bid(p(1), f64::INFINITY, 1.0),
+            m.bid(p(1), 10.0, f64::NAN),
+            m.bid(p(1), 10.0, 0.5),
+            m.bid(p(2), 0.0, 1.0),
+        ];
+        assert!(bids.iter().all(|b| !b.is_nan()));
+        bids.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(bids[0], 0.0);
+        assert_eq!(bids[1], 0.0);
+        assert!(bids[3] > bids[2]);
+    }
+
+    #[test]
+    fn market_decay_at_the_boundary_is_a_bitwise_noop() {
+        let mut m = Marketplace::default();
+        m.observe(p(3), 0.1);
+        m.observe(p(3), 0.4);
+        let before = m.reputation(p(3));
+        m.decay(1.0);
+        assert_eq!(m.reputation(p(3)).to_bits(), before.to_bits(), "factor 1.0 must not drift");
+        // A real decay relaxes toward the prior from below.
+        m.decay(0.5);
+        let after = m.reputation(p(3));
+        assert!(after > before && after < 1.0, "{before} → {after}");
+        for _ in 0..200 {
+            m.decay(0.5);
+        }
+        assert!((m.reputation(p(3)) - 1.0).abs() < 1e-9, "long decay approaches the prior");
+    }
+
+    #[test]
+    fn market_prunes_dead_peers_back_to_the_prior() {
+        let mut m = Marketplace::default();
+        m.observe(p(0), 0.2);
+        m.observe(p(2), 0.9);
+        let alive = [true, true, false];
+        assert_eq!(m.prune_dead(|peer| alive[peer.index()]), 1);
+        assert_eq!(m.reputation(p(2)), 1.0, "dead peer's verdicts are dropped");
+        assert_eq!(m.observations(p(2)), 0);
+        assert!(m.reputation(p(0)) < 1.0, "live peers keep their history");
+        // Idempotent: nothing left to prune.
+        assert_eq!(m.prune_dead(|peer| alive[peer.index()]), 0);
+    }
+
+    #[test]
+    fn market_bid_combines_latency_capacity_and_reputation() {
+        let mut m = Marketplace::default();
+        m.observe(p(1), 1.0); // perfect deliverer
+        for _ in 0..20 {
+            m.observe(p(2), 0.1); // chronic under-deliverer
+        }
+        // Same latency and headroom: reputation decides.
+        assert!(m.bid(p(1), 5.0, 0.8) > m.bid(p(2), 5.0, 0.8));
+        // Same peer: closer and emptier wins.
+        assert!(m.bid(p(1), 1.0, 0.8) > m.bid(p(1), 5.0, 0.8));
+        assert!(m.bid(p(1), 5.0, 0.9) > m.bid(p(1), 5.0, 0.2));
+        // Headroom is clamped into [0, 1].
+        assert_eq!(m.bid(p(1), 5.0, 7.0).to_bits(), m.bid(p(1), 5.0, 1.0).to_bits());
+    }
+
+    #[test]
+    fn trust_manager_embeds_the_marketplace() {
+        let mut tm = TrustManager::new(0.98);
+        assert_eq!(tm.market().reputation(p(4)), 1.0);
+        tm.market_mut().observe(p(4), 0.0);
+        assert!(tm.market().reputation(p(4)) < 1.0);
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub mod counter {
     /// Pairwise-delay memo insert rejections (memo at capacity; the
     /// query fell back to an uncached tree walk).
     pub const PAIR_CACHE_EVICTIONS: &str = "topology.pair_cache_evictions";
+    /// Pairwise-delay queries that deliberately skipped the memo because
+    /// the caller wanted contention-inflated delays (the memo only stores
+    /// uncongested values).
+    pub const PAIR_CACHE_BYPASSES: &str = "topology.pair_cache_bypasses";
 }
 
 /// Conventional histogram names used across the experiments.

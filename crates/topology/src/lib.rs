@@ -12,15 +12,20 @@
 //! * [`routing`] — Dijkstra single-source shortest paths and a cached
 //!   multi-source oracle;
 //! * [`overlay`] — peer selection and overlay construction, with per-link
-//!   latency/capacity derived from the underlying IP paths.
+//!   latency/capacity derived from the underlying IP paths;
+//! * [`flow`] — the shared-bandwidth contention model: active streams as
+//!   flows over their route's links, with order-independent max-min
+//!   fair-share rates recomputed on flow add/remove.
 
 #![warn(missing_docs)]
 
+pub mod flow;
 pub mod graph;
 pub mod inet;
 pub mod overlay;
 pub mod routing;
 
+pub use flow::{FlowKey, FlowNet, LinkId};
 pub use graph::{EdgeAttrs, Graph, NodeIndex};
 pub use inet::{generate_power_law, InetConfig};
 pub use overlay::{Overlay, OverlayConfig, OverlayLink, OverlayStyle};

@@ -107,6 +107,12 @@ pub struct PairDelayCache {
     hits: u64,
     /// Lookups that fell through to the producing SSSP tree.
     misses: u64,
+    /// Lookups that deliberately skipped the memo because the caller
+    /// needed a contention-adjusted delay: the memo stores *uncongested*
+    /// shortest-path delays, so serving it while flows load the route
+    /// would hand back stale QoS. Counted so the bypass cost is visible
+    /// next to hits/misses.
+    bypasses: u64,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -199,6 +205,18 @@ impl PairDelayCache {
     /// `topology.pair_cache_misses` counter).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Records a lookup that skipped the memo because a contention-aware
+    /// delay was required (static cached values would be stale).
+    pub fn note_bypass(&mut self) {
+        self.bypasses += 1;
+    }
+
+    /// Lookups that bypassed the memo for contention-aware delays (feeds
+    /// the `topology.pair_cache_bypasses` counter).
+    pub fn bypasses(&self) -> u64 {
+        self.bypasses
     }
 
     /// True if nothing is cached.
@@ -428,6 +446,19 @@ mod tests {
         assert_eq!(pc.len(), 1);
         pc.clear();
         assert!(pc.is_empty());
+    }
+
+    #[test]
+    fn pair_cache_counts_bypasses_separately_from_lookups() {
+        let mut pc = PairDelayCache::new();
+        pc.insert(0, 1, 2.0);
+        assert_eq!(pc.get(0, 1), Some(2.0));
+        pc.note_bypass();
+        pc.note_bypass();
+        assert_eq!(pc.bypasses(), 2);
+        // Bypasses are not hits or misses: the memo was never consulted.
+        assert_eq!(pc.hits(), 1);
+        assert_eq!(pc.misses(), 0);
     }
 
     #[test]

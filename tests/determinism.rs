@@ -4,7 +4,7 @@
 //! byte-identical for *any* worker-thread count — including 1 (fully
 //! sequential) and more threads than this machine has cores.
 
-use spidernet_core::experiments::{fig8, fig9};
+use spidernet_core::experiments::{congestion, fig8, fig9};
 use spidernet_core::loadgen::{
     run_cell, zipf_request, ArrivalProcess, ArrivalSampler, LoadConfig, ZipfSampler,
 };
@@ -74,6 +74,30 @@ fn fig9_is_invariant_to_map_iteration_order() {
     let a = fig9::run(&fig9_tiny(1)).to_csv();
     let b = fig9::run(&fig9_tiny(1)).to_csv();
     assert_eq!(a, b, "fig9 output depends on map iteration order");
+}
+
+fn congestion_tiny(threads: usize) -> congestion::CongestionConfig {
+    congestion::CongestionConfig {
+        ip_nodes: 300,
+        peers: 60,
+        loads: vec![10, 40],
+        population: PopulationConfig {
+            functions: 8,
+            ..congestion::CongestionConfig::default().population
+        },
+        threads: Some(threads),
+        ..congestion::CongestionConfig::default()
+    }
+}
+
+#[test]
+fn congestion_csv_is_byte_identical_across_thread_counts() {
+    let reference = congestion::run(&congestion_tiny(1)).to_csv();
+    assert!(reference.lines().count() > 1, "empty figure");
+    for threads in [2usize, 8] {
+        let csv = congestion::run(&congestion_tiny(threads)).to_csv();
+        assert_eq!(csv, reference, "congestion output diverged at {threads} threads");
+    }
 }
 
 #[test]

@@ -479,6 +479,152 @@ fn pastry_correct_under_churn_sequences() {
     }
 }
 
+// ---- shared-bandwidth flow model ---------------------------------------
+
+/// Max-min fair shares never exceed a flow's demand, never go negative,
+/// and never oversubscribe any link, over random topologies and flow sets.
+#[test]
+fn flow_shares_respect_demand_and_capacity() {
+    use spidernet::topology::flow::{FlowNet, LinkId};
+    let mut rng = prop_rng("flow-caps");
+    for _ in 0..CASES {
+        let n_links = rng.gen_range(1usize..8);
+        let mut net = FlowNet::new();
+        let links: Vec<LinkId> =
+            (0..n_links).map(|_| net.add_link(rng.gen_range(0.0f64..100.0))).collect();
+        let n_flows = rng.gen_range(1usize..20);
+        let mut flows = Vec::new();
+        for _ in 0..n_flows {
+            let k = rng.gen_range(1usize..=n_links);
+            let mut subset: Vec<LinkId> =
+                (0..k).map(|_| links[rng.gen_range(0usize..n_links)]).collect();
+            subset.sort_by_key(|l| l.index());
+            subset.dedup();
+            let demand = rng.gen_range(0.0f64..50.0);
+            let key = net.add_flow(&subset, demand);
+            flows.push((key, subset, demand));
+        }
+        net.verify_invariants().expect("flow invariants");
+        let mut per_link = vec![0.0f64; n_links];
+        for (key, subset, demand) in &flows {
+            let rate = net.rate(*key).expect("live flow");
+            assert!(rate >= 0.0, "negative rate");
+            assert!(rate <= demand + 1e-9, "rate {rate} above demand {demand}");
+            for l in subset {
+                per_link[l.index()] += rate;
+            }
+        }
+        for (i, l) in links.iter().enumerate() {
+            assert!(
+                per_link[i] <= net.link_capacity(*l) + 1e-6,
+                "link {i} oversubscribed: {} > {}",
+                per_link[i],
+                net.link_capacity(*l)
+            );
+        }
+    }
+}
+
+/// Fair shares are bitwise independent of flow insertion order: the same
+/// flow set added under a random permutation yields identical rates.
+#[test]
+fn flow_shares_are_insertion_order_invariant() {
+    use spidernet::topology::flow::{FlowNet, LinkId};
+    let mut rng = prop_rng("flow-order");
+    for _ in 0..CASES {
+        let n_links = rng.gen_range(1usize..6);
+        let caps: Vec<f64> = (0..n_links).map(|_| rng.gen_range(1.0f64..80.0)).collect();
+        let n_flows = rng.gen_range(2usize..12);
+        let specs: Vec<(Vec<usize>, f64)> = (0..n_flows)
+            .map(|_| {
+                let k = rng.gen_range(1usize..=n_links);
+                let subset: Vec<usize> = (0..k).map(|_| rng.gen_range(0usize..n_links)).collect();
+                (subset, rng.gen_range(0.0f64..40.0))
+            })
+            .collect();
+        // Random permutation (Fisher–Yates) of the insertion order.
+        let mut perm: Vec<usize> = (0..n_flows).collect();
+        for i in (1..n_flows).rev() {
+            perm.swap(i, rng.gen_range(0usize..i + 1));
+        }
+        let build = |order: &[usize]| {
+            let mut net = FlowNet::new();
+            let links: Vec<LinkId> = caps.iter().map(|&c| net.add_link(c)).collect();
+            let mut keys = vec![None; n_flows];
+            for &i in order {
+                let (subset, demand) = &specs[i];
+                let ls: Vec<LinkId> = subset.iter().map(|&j| links[j]).collect();
+                keys[i] = Some(net.add_flow(&ls, *demand));
+            }
+            let rates: Vec<u64> = keys
+                .into_iter()
+                .map(|k| net.rate(k.expect("added")).expect("live").to_bits())
+                .collect();
+            rates
+        };
+        let forward: Vec<usize> = (0..n_flows).collect();
+        assert_eq!(build(&forward), build(&perm), "rates depend on insertion order");
+    }
+}
+
+/// Removing flows is as if they were never added: survivors' rates match a
+/// net built from the survivor set alone, bit for bit, and stale keys stay
+/// dead.
+#[test]
+fn flow_removal_is_as_if_never_added() {
+    use spidernet::topology::flow::{FlowNet, LinkId};
+    let mut rng = prop_rng("flow-removal");
+    for _ in 0..CASES {
+        let n_links = rng.gen_range(1usize..6);
+        let caps: Vec<f64> = (0..n_links).map(|_| rng.gen_range(1.0f64..80.0)).collect();
+        let n_flows = rng.gen_range(2usize..12);
+        let specs: Vec<(Vec<usize>, f64)> = (0..n_flows)
+            .map(|_| {
+                let k = rng.gen_range(1usize..=n_links);
+                let subset: Vec<usize> = (0..k).map(|_| rng.gen_range(0usize..n_links)).collect();
+                (subset, rng.gen_range(0.0f64..40.0))
+            })
+            .collect();
+        let keep: Vec<bool> = (0..n_flows).map(|_| rng.gen::<bool>()).collect();
+
+        let mut net = FlowNet::new();
+        let links: Vec<LinkId> = caps.iter().map(|&c| net.add_link(c)).collect();
+        let keys: Vec<_> = specs
+            .iter()
+            .map(|(subset, demand)| {
+                let ls: Vec<LinkId> = subset.iter().map(|&j| links[j]).collect();
+                net.add_flow(&ls, *demand)
+            })
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            if !keep[i] {
+                assert!(net.remove_flow(k), "first removal succeeds");
+                assert!(!net.remove_flow(k), "stale key is inert");
+                assert_eq!(net.rate(k), None);
+            }
+        }
+        net.verify_invariants().expect("flow invariants after removal");
+
+        let mut fresh = FlowNet::new();
+        let fresh_links: Vec<LinkId> = caps.iter().map(|&c| fresh.add_link(c)).collect();
+        let mut survivors = Vec::new();
+        for (i, (subset, demand)) in specs.iter().enumerate() {
+            if keep[i] {
+                let ls: Vec<LinkId> = subset.iter().map(|&j| fresh_links[j]).collect();
+                survivors.push((i, fresh.add_flow(&ls, *demand)));
+            }
+        }
+        for (i, fk) in survivors {
+            let survivor = net.rate(keys[i]).expect("survivor live");
+            assert_eq!(
+                survivor.to_bits(),
+                fresh.rate(fk).expect("live").to_bits(),
+                "survivor rate differs from a fresh build"
+            );
+        }
+    }
+}
+
 /// Media transforms preserve frame well-formedness for arbitrary sizes and
 /// chain them safely.
 #[test]
